@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use serenity_ir::{GraphError, NodeId};
+
+/// Errors produced by the memory planners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The schedule is not a valid topological order of the graph.
+    Graph(GraphError),
+    /// Two tensors that are live simultaneously were assigned overlapping
+    /// byte ranges (indicates a planner bug; surfaced by
+    /// [`MemoryPlan::validate`](crate::MemoryPlan::validate)).
+    Overlap {
+        /// First offending tensor.
+        a: NodeId,
+        /// Second offending tensor.
+        b: NodeId,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Graph(e) => write!(f, "graph error: {e}"),
+            AllocError::Overlap { a, b } => {
+                write!(f, "tensors {a} and {b} overlap while both live")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for AllocError {
+    fn from(e: GraphError) -> Self {
+        AllocError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AllocError::Overlap { a: NodeId::from_index(1), b: NodeId::from_index(2) };
+        assert!(e.to_string().contains("n1"));
+        let e: AllocError = GraphError::Empty.into();
+        assert!(e.to_string().contains("graph error"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn check<E: Error + Send + Sync>() {}
+        check::<AllocError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Activation-memory offset planners for a fixed schedule.
+//!
+//! The paper evaluates peak memory "while using the same linear memory
+//! allocation scheme" as TensorFlow Lite (§4.1, footnote 1): TFLite's
+//! *simple memory arena* assigns each tensor a byte offset in one flat
+//! buffer, reusing the space of dead tensors. This crate reimplements that
+//! allocator plus two reference points:
+//!
+//! * [`Strategy::FirstFitArena`] — TFLite's `simple_memory_arena.cc`
+//!   behaviour: tensors are allocated in schedule order at the lowest offset
+//!   whose gap fits, among the allocations currently live.
+//! * [`Strategy::GreedyBySize`] — TFLite's offline `greedy_by_size` planner:
+//!   tensors are placed in decreasing-size order at the lowest offset that
+//!   does not conflict with already-placed, *time-overlapping* tensors.
+//!   Usually tighter than first-fit.
+//! * [`Strategy::NoReuse`] — every tensor gets fresh space; the arena equals
+//!   the sum of all activations. The upper-bound strawman.
+//!
+//! The arena size of a plan is the "with memory allocator" peak the paper
+//! reports in Figures 10/12(a)/15; the liveness analysis matches the
+//! allocate-on-schedule / free-after-last-consumer accounting of
+//! [`serenity_ir::mem`].
+//!
+//! # Example
+//!
+//! ```
+//! use serenity_allocator::{plan, Strategy};
+//! use serenity_ir::{Graph, topo};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new("g");
+//! let a = g.add_opaque("a", 100, &[])?;
+//! let b = g.add_opaque("b", 50, &[a])?;
+//! let c = g.add_opaque("c", 100, &[b])?;
+//! g.mark_output(c);
+//!
+//! let order = topo::kahn(&g);
+//! let plan = plan(&g, &order, Strategy::FirstFitArena)?;
+//! // c reuses a's slot: the arena is 150 B, not 250 B.
+//! assert_eq!(plan.arena_bytes, 150);
+//! plan.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod liveness;
+mod plan;
+mod strategies;
+
+pub use error::AllocError;
+pub use liveness::{live_ranges, LiveRange};
+pub use plan::{MemoryPlan, TensorAlloc};
+pub use strategies::{plan, Strategy};

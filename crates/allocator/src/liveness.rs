@@ -1,0 +1,149 @@
+//! Liveness analysis: when is each tensor allocated, and when does it die?
+
+use serde::{Deserialize, Serialize};
+use serenity_ir::mem::SlabAnalysis;
+use serenity_ir::{topo, Graph, GraphError, NodeId};
+
+/// Lifetime of one node's output tensor over the steps of a schedule.
+///
+/// A tensor is live on every step in `[alloc_step, last_use_step]` inclusive:
+/// it must exist while its producer runs and while its final consumer runs.
+/// Graph outputs (and dead-end tensors' producers) keep `last_use_step` at
+/// the end of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveRange {
+    /// The producing node.
+    pub node: NodeId,
+    /// Tensor size in bytes.
+    pub size: u64,
+    /// Step at which the producer runs (tensor comes into existence).
+    pub alloc_step: usize,
+    /// Step of the last consumer (inclusive); the tensor may be reclaimed
+    /// from step `last_use_step + 1` on.
+    pub last_use_step: usize,
+}
+
+impl LiveRange {
+    /// Whether this range and `other` are live at the same time.
+    pub fn overlaps_in_time(&self, other: &LiveRange) -> bool {
+        self.alloc_step <= other.last_use_step && other.alloc_step <= self.last_use_step
+    }
+}
+
+/// Computes the live range of every tensor under `order`.
+///
+/// Ranges are returned in schedule (allocation) order. Graph outputs remain
+/// live until the final step, matching
+/// [`serenity_ir::mem`]'s never-free-outputs rule.
+///
+/// Slab semantics (see [`serenity_ir::mem::SlabAnalysis`]) carry over: a
+/// qualifying member of an [`serenity_ir::Op::AccumAdd`] /
+/// [`serenity_ir::Op::SlabConcat`] occupies zero bytes of its own, and the
+/// slab buffer's range starts at the step of its **first member** (the slab
+/// must exist before partial results can be written into it).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidOrder`] if `order` is not a topological order
+/// of `graph`.
+pub fn live_ranges(graph: &Graph, order: &[NodeId]) -> Result<Vec<LiveRange>, GraphError> {
+    topo::check_order(graph, order)?;
+    let slabs = SlabAnalysis::analyze(graph);
+    let mut position = vec![0usize; graph.len()];
+    for (i, &u) in order.iter().enumerate() {
+        position[u.index()] = i;
+    }
+    let last = order.len().saturating_sub(1);
+    let ranges = order
+        .iter()
+        .enumerate()
+        .map(|(step, &u)| {
+            let last_use_step = if graph.is_output(u) {
+                last
+            } else {
+                graph
+                    .succs(u)
+                    .iter()
+                    .map(|&s| position[s.index()])
+                    .max()
+                    // Dead-end non-outputs die on their own step.
+                    .unwrap_or(step)
+            };
+            let alloc_step = if slabs.is_head(u) {
+                slabs
+                    .members(u)
+                    .iter()
+                    .map(|&m| position[m.index()])
+                    .min()
+                    .unwrap_or(step)
+            } else {
+                step
+            };
+            LiveRange {
+                node: u,
+                size: slabs.owned_bytes(graph, u),
+                alloc_step,
+                last_use_step,
+            }
+        })
+        .collect();
+    Ok(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::Graph;
+
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new("diamond");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 20, &[a]).unwrap();
+        let c = g.add_opaque("c", 30, &[a]).unwrap();
+        let d = g.add_opaque("d", 5, &[b, c]).unwrap();
+        g.mark_output(d);
+        let order = vec![a, b, c, d];
+        (g, order)
+    }
+
+    #[test]
+    fn ranges_match_consumers() {
+        let (g, order) = diamond();
+        let ranges = live_ranges(&g, &order).unwrap();
+        // a is live until c (its last consumer, step 2).
+        assert_eq!(ranges[0].alloc_step, 0);
+        assert_eq!(ranges[0].last_use_step, 2);
+        // b until d (step 3); d (output) until the end.
+        assert_eq!(ranges[1].last_use_step, 3);
+        assert_eq!(ranges[3].last_use_step, 3);
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let (g, order) = diamond();
+        let r = live_ranges(&g, &order).unwrap();
+        assert!(r[0].overlaps_in_time(&r[1])); // a and b coexist
+        let disjoint = LiveRange { node: NodeId::from_index(9), size: 1, alloc_step: 5, last_use_step: 6 };
+        assert!(!r[0].overlaps_in_time(&disjoint));
+    }
+
+    #[test]
+    fn dead_end_tensor_dies_immediately() {
+        let mut g = Graph::new("g");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let dead = g.add_opaque("dead", 10, &[a]).unwrap();
+        let out = g.add_opaque("out", 10, &[a]).unwrap();
+        g.mark_output(out);
+        let order = vec![a, dead, out];
+        let ranges = live_ranges(&g, &order).unwrap();
+        assert_eq!(ranges[1].node, dead);
+        assert_eq!(ranges[1].alloc_step, ranges[1].last_use_step);
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let (g, mut order) = diamond();
+        order.reverse();
+        assert!(live_ranges(&g, &order).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{AllocError, LiveRange};
+
+/// One tensor's placement in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorAlloc {
+    /// The tensor's live range.
+    pub range: LiveRange,
+    /// Byte offset within the arena.
+    pub offset: u64,
+}
+
+impl TensorAlloc {
+    /// One past the last byte of this allocation.
+    pub fn end(&self) -> u64 {
+        self.offset + self.range.size
+    }
+
+    /// Whether this allocation and `other` conflict: overlapping in both
+    /// time and address space (zero-sized tensors never conflict).
+    pub fn conflicts_with(&self, other: &TensorAlloc) -> bool {
+        self.range.size > 0
+            && other.range.size > 0
+            && self.range.overlaps_in_time(&other.range)
+            && self.offset < other.end()
+            && other.offset < self.end()
+    }
+}
+
+/// A complete arena layout for one schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryPlan {
+    /// Placements in schedule (allocation) order.
+    pub allocs: Vec<TensorAlloc>,
+    /// Total arena size: `max(offset + size)` over all placements. This is
+    /// the "peak memory footprint with the memory allocator" the paper
+    /// reports against TensorFlow Lite.
+    pub arena_bytes: u64,
+}
+
+impl MemoryPlan {
+    /// Builds a plan from placements, computing the arena size.
+    pub fn new(allocs: Vec<TensorAlloc>) -> Self {
+        let arena_bytes = allocs.iter().map(TensorAlloc::end).max().unwrap_or(0);
+        MemoryPlan { allocs, arena_bytes }
+    }
+
+    /// Arena size in KiB.
+    pub fn arena_kib(&self) -> f64 {
+        self.arena_bytes as f64 / 1024.0
+    }
+
+    /// Verifies that no two simultaneously live tensors overlap in the arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Overlap`] naming the first offending pair.
+    pub fn validate(&self) -> Result<(), AllocError> {
+        for (i, a) in self.allocs.iter().enumerate() {
+            for b in &self.allocs[i + 1..] {
+                if a.conflicts_with(b) {
+                    return Err(AllocError::Overlap { a: a.range.node, b: b.range.node });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Arena usage over time: for each step, the high-water mark
+    /// `max(offset + size)` over the tensors live at that step. This is the
+    /// Figure 12(a) "memory footprint with the memory allocator" curve.
+    pub fn footprint_trace(&self) -> Vec<u64> {
+        let steps = self
+            .allocs
+            .iter()
+            .map(|a| a.range.last_use_step + 1)
+            .max()
+            .unwrap_or(0);
+        let mut trace = vec![0u64; steps];
+        for alloc in &self.allocs {
+            for step in alloc.range.alloc_step..=alloc.range.last_use_step {
+                trace[step] = trace[step].max(alloc.end());
+            }
+        }
+        trace
+    }
+
+    /// Renders the arena layout as an ASCII memory map: one row per tensor
+    /// (schedule order, top to bottom), columns spanning the arena address
+    /// space. Useful for eyeballing reuse and fragmentation; the `serenity`
+    /// CLI exposes it via `schedule --map`.
+    ///
+    /// ```text
+    /// n0 |####................|      0..8192
+    /// n1 |....##########......|   8192..28672
+    /// n2 |####................|      0..8192  (reused n0's slot)
+    /// ```
+    pub fn render_ascii(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let width = width.max(8);
+        let mut out = String::new();
+        if self.arena_bytes == 0 {
+            return "(empty arena)\n".to_owned();
+        }
+        let scale = self.arena_bytes as f64;
+        for alloc in &self.allocs {
+            let begin = ((alloc.offset as f64 / scale) * width as f64).floor() as usize;
+            let end = ((alloc.end() as f64 / scale) * width as f64).ceil() as usize;
+            let begin = begin.min(width);
+            let end = end.clamp(begin, width);
+            let fill = (end - begin).max(usize::from(alloc.range.size > 0));
+            let mut row = String::with_capacity(width);
+            row.push_str(&".".repeat(begin));
+            row.push_str(&"#".repeat(fill.min(width - begin)));
+            row.push_str(&".".repeat(width.saturating_sub(begin + fill)));
+            let _ = writeln!(
+                out,
+                "{:>5} |{row}| {:>9}..{:<9}",
+                alloc.range.node.to_string(),
+                alloc.offset,
+                alloc.end(),
+            );
+        }
+        out
+    }
+
+    /// Bytes wasted at the peak: arena size minus the largest simultaneous
+    /// sum of live tensor sizes (internal fragmentation of the layout).
+    pub fn peak_fragmentation(&self) -> u64 {
+        let steps = self
+            .allocs
+            .iter()
+            .map(|a| a.range.last_use_step + 1)
+            .max()
+            .unwrap_or(0);
+        let mut live_sum = vec![0u64; steps];
+        for alloc in &self.allocs {
+            for step in alloc.range.alloc_step..=alloc.range.last_use_step {
+                live_sum[step] += alloc.range.size;
+            }
+        }
+        let peak_live = live_sum.into_iter().max().unwrap_or(0);
+        self.arena_bytes.saturating_sub(peak_live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::NodeId;
+
+    fn alloc(node: usize, size: u64, offset: u64, from: usize, to: usize) -> TensorAlloc {
+        TensorAlloc {
+            range: LiveRange {
+                node: NodeId::from_index(node),
+                size,
+                alloc_step: from,
+                last_use_step: to,
+            },
+            offset,
+        }
+    }
+
+    #[test]
+    fn arena_size_is_max_end() {
+        let plan = MemoryPlan::new(vec![alloc(0, 10, 0, 0, 1), alloc(1, 20, 16, 1, 2)]);
+        assert_eq!(plan.arena_bytes, 36);
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let plan = MemoryPlan::new(vec![alloc(0, 10, 0, 0, 2), alloc(1, 10, 5, 1, 3)]);
+        assert!(matches!(plan.validate(), Err(AllocError::Overlap { .. })));
+    }
+
+    #[test]
+    fn time_disjoint_tensors_may_share_space() {
+        let plan = MemoryPlan::new(vec![alloc(0, 10, 0, 0, 1), alloc(1, 10, 0, 2, 3)]);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_sized_never_conflicts() {
+        let plan = MemoryPlan::new(vec![alloc(0, 0, 0, 0, 5), alloc(1, 10, 0, 0, 5)]);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn trace_and_fragmentation() {
+        // Two 10-byte tensors, the second placed at offset 20 leaving a hole.
+        let plan = MemoryPlan::new(vec![alloc(0, 10, 0, 0, 2), alloc(1, 10, 20, 1, 2)]);
+        let trace = plan.footprint_trace();
+        assert_eq!(trace, vec![10, 30, 30]);
+        assert_eq!(plan.peak_fragmentation(), 10);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = MemoryPlan::new(Vec::new());
+        assert_eq!(plan.arena_bytes, 0);
+        assert!(plan.validate().is_ok());
+        assert!(plan.footprint_trace().is_empty());
+    }
+
+    #[test]
+    fn ascii_map_reflects_offsets() {
+        let plan = MemoryPlan::new(vec![alloc(0, 10, 0, 0, 1), alloc(1, 10, 10, 1, 2)]);
+        let map = plan.render_ascii(20);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("|##########..........|"));
+        assert!(lines[1].contains("|..........##########|"));
+        assert!(lines[0].contains("0..10"));
+    }
+
+    #[test]
+    fn ascii_map_handles_empty_and_zero_sized() {
+        assert_eq!(MemoryPlan::new(Vec::new()).render_ascii(20), "(empty arena)\n");
+        let plan = MemoryPlan::new(vec![alloc(0, 0, 0, 0, 1), alloc(1, 16, 0, 0, 1)]);
+        let map = plan.render_ascii(16);
+        assert_eq!(map.lines().count(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! The offset-assignment strategies.
+
+use serde::{Deserialize, Serialize};
+use serenity_ir::{Graph, NodeId};
+
+use crate::{live_ranges, AllocError, LiveRange, MemoryPlan, TensorAlloc};
+
+/// Offset-assignment strategy (see the crate docs for provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Strategy {
+    /// TFLite's online `simple_memory_arena`: allocate in schedule order at
+    /// the first gap among currently live allocations.
+    #[default]
+    FirstFitArena,
+    /// TFLite's offline `greedy_by_size` planner: place tensors in
+    /// decreasing-size order at the lowest conflict-free offset.
+    GreedyBySize,
+    /// No reuse: every tensor gets fresh address space.
+    NoReuse,
+}
+
+impl Strategy {
+    /// All strategies, for sweeps in tests and benchmarks.
+    pub fn all() -> [Strategy; 3] {
+        [Strategy::FirstFitArena, Strategy::GreedyBySize, Strategy::NoReuse]
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::FirstFitArena => "first-fit-arena",
+            Strategy::GreedyBySize => "greedy-by-size",
+            Strategy::NoReuse => "no-reuse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Plans arena offsets for every tensor of `graph` under `order`.
+///
+/// # Errors
+///
+/// Returns [`AllocError::Graph`] if `order` is not a topological order of
+/// `graph`. The produced plan always passes
+/// [`MemoryPlan::validate`](crate::MemoryPlan::validate).
+pub fn plan(graph: &Graph, order: &[NodeId], strategy: Strategy) -> Result<MemoryPlan, AllocError> {
+    let ranges = live_ranges(graph, order)?;
+    let plan = match strategy {
+        Strategy::FirstFitArena => first_fit(&ranges),
+        Strategy::GreedyBySize => greedy_by_size(&ranges),
+        Strategy::NoReuse => no_reuse(&ranges),
+    };
+    debug_assert!(plan.validate().is_ok(), "planner produced overlapping allocations");
+    Ok(plan)
+}
+
+/// Online first-fit over live allocations, exactly as TFLite's
+/// `SimpleMemoryArena::Allocate`: at each tensor's allocation time, walk the
+/// allocations it coexists with (sorted by offset) and take the first gap
+/// large enough. Tensors are processed in allocation-time order (slab
+/// buffers come into existence at their first member's step).
+fn first_fit(ranges: &[LiveRange]) -> MemoryPlan {
+    let mut idx: Vec<usize> = (0..ranges.len()).collect();
+    idx.sort_by_key(|&i| (ranges[i].alloc_step, i));
+    let mut placed: Vec<TensorAlloc> = Vec::with_capacity(ranges.len());
+    for &i in &idx {
+        let range = ranges[i];
+        let mut active: Vec<&TensorAlloc> = placed
+            .iter()
+            .filter(|a| a.range.size > 0 && a.range.overlaps_in_time(&range))
+            .collect();
+        active.sort_by_key(|a| a.offset);
+        let offset = first_gap(&active, range.size);
+        placed.push(TensorAlloc { range, offset });
+    }
+    placed.sort_by_key(|a| a.range.alloc_step);
+    MemoryPlan::new(placed)
+}
+
+/// Offline greedy-by-size: biggest tensors first, each at the lowest offset
+/// that avoids all time-overlapping, already-placed tensors.
+fn greedy_by_size(ranges: &[LiveRange]) -> MemoryPlan {
+    let mut idx: Vec<usize> = (0..ranges.len()).collect();
+    // Decreasing size; ties broken by allocation step for determinism.
+    idx.sort_by_key(|&i| (std::cmp::Reverse(ranges[i].size), ranges[i].alloc_step));
+    let mut placed: Vec<TensorAlloc> = Vec::with_capacity(ranges.len());
+    for &i in &idx {
+        let range = ranges[i];
+        let mut conflicting: Vec<&TensorAlloc> = placed
+            .iter()
+            .filter(|a| a.range.size > 0 && a.range.overlaps_in_time(&range))
+            .collect();
+        conflicting.sort_by_key(|a| a.offset);
+        let offset = first_gap(&conflicting, range.size);
+        placed.push(TensorAlloc { range, offset });
+    }
+    // Restore schedule order for stable downstream consumption.
+    placed.sort_by_key(|a| a.range.alloc_step);
+    MemoryPlan::new(placed)
+}
+
+fn no_reuse(ranges: &[LiveRange]) -> MemoryPlan {
+    let mut offset = 0u64;
+    let allocs = ranges
+        .iter()
+        .map(|&range| {
+            let alloc = TensorAlloc { range, offset };
+            offset += range.size;
+            alloc
+        })
+        .collect();
+    MemoryPlan::new(allocs)
+}
+
+/// Lowest offset at which `size` bytes fit between `sorted` (by offset,
+/// non-overlapping or not — gaps are measured conservatively) allocations.
+fn first_gap(sorted: &[&TensorAlloc], size: u64) -> u64 {
+    if size == 0 {
+        return 0;
+    }
+    let mut candidate = 0u64;
+    for alloc in sorted {
+        if candidate + size <= alloc.offset {
+            return candidate;
+        }
+        candidate = candidate.max(alloc.end());
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::topo;
+
+    fn chain_with_reuse() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new("chain");
+        let a = g.add_opaque("a", 100, &[]).unwrap();
+        let b = g.add_opaque("b", 50, &[a]).unwrap();
+        let c = g.add_opaque("c", 100, &[b]).unwrap();
+        g.mark_output(c);
+        let order = topo::kahn(&g);
+        (g, order)
+    }
+
+    #[test]
+    fn first_fit_reuses_dead_space() {
+        let (g, order) = chain_with_reuse();
+        let p = plan(&g, &order, Strategy::FirstFitArena).unwrap();
+        // c (100 B) fits exactly into a's freed slot at offset 0.
+        assert_eq!(p.arena_bytes, 150);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn no_reuse_is_total_sum() {
+        let (g, order) = chain_with_reuse();
+        let p = plan(&g, &order, Strategy::NoReuse).unwrap();
+        assert_eq!(p.arena_bytes, 250);
+    }
+
+    #[test]
+    fn greedy_by_size_never_worse_than_no_reuse() {
+        let (g, order) = chain_with_reuse();
+        let greedy = plan(&g, &order, Strategy::GreedyBySize).unwrap();
+        let none = plan(&g, &order, Strategy::NoReuse).unwrap();
+        assert!(greedy.arena_bytes <= none.arena_bytes);
+    }
+
+    #[test]
+    fn arena_at_least_live_peak() {
+        // The arena can never be smaller than the sum of simultaneously live
+        // tensors (the allocator-free peak).
+        let (g, order) = chain_with_reuse();
+        let peak = serenity_ir::mem::peak_bytes(&g, &order).unwrap();
+        for strategy in Strategy::all() {
+            let p = plan(&g, &order, strategy).unwrap();
+            assert!(p.arena_bytes >= peak, "{strategy} arena below live peak");
+        }
+    }
+
+    #[test]
+    fn first_fit_takes_earliest_gap() {
+        // a[0,100) dies early; b[100,110) lives long; c(40) should land at 0.
+        let mut g = Graph::new("gap");
+        let a = g.add_opaque("a", 100, &[]).unwrap();
+        let b = g.add_opaque("b", 10, &[a]).unwrap();
+        let c = g.add_opaque("c", 40, &[b]).unwrap();
+        let d = g.add_opaque("d", 10, &[b, c]).unwrap();
+        g.mark_output(d);
+        let order = topo::kahn(&g);
+        let p = plan(&g, &order, Strategy::FirstFitArena).unwrap();
+        let c_alloc = p.allocs.iter().find(|al| al.range.node == c).unwrap();
+        assert_eq!(c_alloc.offset, 0, "c should reuse a's freed space");
+    }
+
+    #[test]
+    fn zero_sized_tensors_are_harmless() {
+        let mut g = Graph::new("zero");
+        let a = g.add_opaque("a", 0, &[]).unwrap();
+        let b = g.add_opaque("b", 10, &[a]).unwrap();
+        g.mark_output(b);
+        let order = topo::kahn(&g);
+        for strategy in Strategy::all() {
+            let p = plan(&g, &order, strategy).unwrap();
+            assert_eq!(p.arena_bytes, 10);
+            assert!(p.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let (g, order) = chain_with_reuse();
+        let p1 = plan(&g, &order, Strategy::GreedyBySize).unwrap();
+        let p2 = plan(&g, &order, Strategy::GreedyBySize).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Strategy::all().iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["first-fit-arena", "greedy-by-size", "no-reuse"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion benches for the arena offset planners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serenity_allocator::{plan, Strategy};
+use serenity_ir::topo;
+
+fn planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    for (label, graph) in [
+        ("swiftnet_full", serenity_nets::swiftnet::swiftnet()),
+        ("darts_normal", serenity_nets::darts::normal_cell()),
+    ] {
+        let order = topo::kahn(&graph);
+        for strategy in Strategy::all() {
+            group.bench_with_input(
+                BenchmarkId::new(label, strategy),
+                &(&graph, &order, strategy),
+                |b, (graph, order, strategy)| {
+                    b.iter(|| plan(graph, order, *strategy).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planners);
+criterion_main!(benches);

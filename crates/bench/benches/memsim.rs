@@ -1,0 +1,34 @@
+//! Criterion benches for the memory-hierarchy simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serenity_ir::topo;
+use serenity_memsim::{simulate, simulate_blocked, Policy, DEFAULT_BLOCK_BYTES};
+
+fn simulators(c: &mut Criterion) {
+    let graph = serenity_nets::swiftnet::swiftnet();
+    let order = topo::kahn(&graph);
+    let capacity = 256 * 1024;
+
+    let mut group = c.benchmark_group("memsim/swiftnet_full");
+    for policy in [Policy::Belady, Policy::Lru, Policy::Fifo] {
+        group.bench_with_input(
+            BenchmarkId::new("tensor_granularity", policy),
+            &policy,
+            |b, &policy| b.iter(|| simulate(&graph, &order, capacity, policy)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked_4k", policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    simulate_blocked(&graph, &order, capacity, DEFAULT_BLOCK_BYTES, policy)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulators);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for identity graph rewriting and the end-to-end
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serenity_bench::compiler;
+use serenity_core::rewrite::Rewriter;
+
+fn rewriting(c: &mut Criterion) {
+    let swiftnet = serenity_nets::swiftnet::swiftnet();
+    let darts = serenity_nets::darts::normal_cell();
+
+    let mut group = c.benchmark_group("rewrite");
+    group.bench_function("swiftnet_full/fixpoint", |b| {
+        b.iter(|| Rewriter::standard().rewrite(&swiftnet))
+    });
+    group.bench_function("darts_normal/fixpoint", |b| {
+        b.iter(|| Rewriter::standard().rewrite(&darts))
+    });
+    group.bench_function("swiftnet_full/find_sites", |b| {
+        b.iter(|| Rewriter::standard().find_sites(&swiftnet))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let cell = serenity_nets::swiftnet::cell_b();
+    group.bench_function("swiftnet_cell_b/compile", |b| {
+        b.iter(|| compiler(true).compile(&cell).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rewriting);
+criterion_main!(benches);

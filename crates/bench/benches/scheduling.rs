@@ -1,0 +1,69 @@
+//! Criterion benches for the schedulers, including the Appendix D
+//! complexity comparison: the dynamic program is bounded by `O(|V|·2^|V|)`
+//! while exhaustive enumeration is `Θ(|V|!)` — measured on the Figure 16
+//! independent-branch topology where the gap is maximal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serenity_core::baseline;
+use serenity_core::budget::AdaptiveSoftBudget;
+use serenity_core::dp::DpScheduler;
+use serenity_ir::random_dag::{independent_branches, random_dag, RandomDagConfig};
+use serenity_ir::topo;
+
+fn schedulers_on_random_dags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers/random_dag_12");
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = random_dag(
+        &RandomDagConfig { nodes: 12, edge_prob: 0.25, ..Default::default() },
+        &mut rng,
+    );
+    group.bench_function("kahn", |b| b.iter(|| topo::kahn(&graph)));
+    group.bench_function("greedy", |b| b.iter(|| baseline::greedy(&graph).unwrap()));
+    group.bench_function("dp", |b| b.iter(|| DpScheduler::new().schedule(&graph).unwrap()));
+    group.bench_function("brute_force", |b| {
+        b.iter(|| baseline::brute_force(&graph).unwrap())
+    });
+    group.finish();
+}
+
+fn complexity_scaling(c: &mut Criterion) {
+    // Appendix D: k independent branches have k! orders but only 2^k
+    // signatures; the DP/brute-force gap widens factorially.
+    let mut group = c.benchmark_group("complexity/independent_branches");
+    group.sample_size(10);
+    for width in [4usize, 6, 8] {
+        let graph = independent_branches(width, 64);
+        group.bench_with_input(BenchmarkId::new("dp", width), &graph, |b, g| {
+            b.iter(|| DpScheduler::new().schedule(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", width), &graph, |b, g| {
+            b.iter(|| baseline::brute_force(g).unwrap())
+        });
+    }
+    // The DP alone keeps scaling where enumeration already cannot.
+    for width in [12usize, 16] {
+        let graph = independent_branches(width, 64);
+        group.bench_with_input(BenchmarkId::new("dp", width), &graph, |b, g| {
+            b.iter(|| DpScheduler::new().schedule(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn adaptive_budgeting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_soft_budgeting");
+    group.sample_size(10);
+    let cell = serenity_nets::swiftnet::cell_a();
+    group.bench_function("swiftnet_cell_a/asb", |b| {
+        b.iter(|| AdaptiveSoftBudget::new().threads(4).search(&cell).unwrap())
+    });
+    group.bench_function("swiftnet_cell_a/plain_dp", |b| {
+        b.iter(|| DpScheduler::new().threads(4).schedule(&cell).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, schedulers_on_random_dags, complexity_scaling, adaptive_budgeting);
+criterion_main!(benches);

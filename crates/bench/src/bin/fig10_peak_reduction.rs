@@ -1,0 +1,62 @@
+//! Figure 10 + Figure 15 (Appendix B): peak-memory-footprint reduction of
+//! SERENITY against the TensorFlow-Lite-style baseline, per benchmark cell,
+//! for the "DP + memory allocator" and "DP + graph rewriting + memory
+//! allocator" configurations; plus the raw KB values.
+//!
+//! Run with: `cargo run --release -p serenity-bench --bin fig10_peak_reduction`
+
+use serenity_bench::{compiler, geomean, kb, tflite_baseline_arena};
+use serenity_nets::suite;
+
+fn main() {
+    println!("Figure 10: reduction in peak memory footprint vs TensorFlow Lite");
+    println!("(and Figure 15: raw peak memory footprints in KB)\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} | {:>8} {:>8} | {:>8} {:>8}",
+        "benchmark", "tflite KB", "dp KB", "dp+gr KB", "dp x", "ppr x", "gr x", "ppr x"
+    );
+
+    let mut dp_reductions = Vec::new();
+    let mut gr_reductions = Vec::new();
+    let mut paper_dp = Vec::new();
+    let mut paper_gr = Vec::new();
+
+    for b in suite() {
+        let baseline = tflite_baseline_arena(&b.graph);
+        let dp = compiler(false).compile(&b.graph).expect(b.name);
+        let gr = compiler(true).compile(&b.graph).expect(b.name);
+        let dp_arena = dp.arena_bytes().expect("allocator enabled");
+        let gr_arena = gr.arena_bytes().expect("allocator enabled");
+
+        let dp_x = baseline as f64 / dp_arena as f64;
+        let gr_x = baseline as f64 / gr_arena as f64;
+        dp_reductions.push(dp_x);
+        gr_reductions.push(gr_x);
+        paper_dp.push(b.paper.dp_reduction());
+        paper_gr.push(b.paper.dp_gr_reduction());
+
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} | {:>7.2}x {:>7.2}x | {:>7.2}x {:>7.2}x",
+            b.name,
+            kb(baseline),
+            kb(dp_arena),
+            kb(gr_arena),
+            dp_x,
+            b.paper.dp_reduction(),
+            gr_x,
+            b.paper.dp_gr_reduction(),
+        );
+    }
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} | {:>7.2}x {:>7.2}x | {:>7.2}x {:>7.2}x",
+        "geomean",
+        "",
+        "",
+        "",
+        geomean(&dp_reductions),
+        geomean(&paper_dp),
+        geomean(&gr_reductions),
+        geomean(&paper_gr),
+    );
+    println!("\npaper: DP geomean 1.68x, DP+GR geomean 1.86x (Figure 10).");
+}

@@ -1,0 +1,108 @@
+//! Table 1: specification of the networks used for evaluation — multiply-
+//! accumulate counts and weight counts, computed from the synthesized
+//! graphs. The paper's full-network values and top-1 accuracies are quoted
+//! for reference (accuracy requires training, which is out of scope for a
+//! scheduling reproduction; see DESIGN.md).
+//!
+//! Run with: `cargo run --release -p serenity-bench --bin table1_networks`
+
+use serenity_nets::{suite, swiftnet, Family};
+
+struct PaperRow {
+    name: &'static str,
+    ty: &'static str,
+    dataset: &'static str,
+    macs: &'static str,
+    weights: &'static str,
+    top1: &'static str,
+}
+
+const PAPER_ROWS: [PaperRow; 4] = [
+    PaperRow {
+        name: "DARTS",
+        ty: "NAS",
+        dataset: "ImageNet",
+        macs: "574.0M",
+        weights: "4.7M",
+        top1: "73.3%",
+    },
+    PaperRow {
+        name: "SwiftNet",
+        ty: "NAS",
+        dataset: "HPD",
+        macs: "57.4M",
+        weights: "249.7K",
+        top1: "95.1%",
+    },
+    PaperRow {
+        name: "RandWire",
+        ty: "RAND",
+        dataset: "CIFAR10",
+        macs: "111.0M",
+        weights: "1.2M",
+        top1: "93.6%",
+    },
+    PaperRow {
+        name: "RandWire",
+        ty: "RAND",
+        dataset: "CIFAR100",
+        macs: "160.0M",
+        weights: "4.7M",
+        top1: "74.5%",
+    },
+];
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+fn main() {
+    println!("Table 1: network specifications (paper values are whole networks;");
+    println!("ours are the scheduled cells — the paper schedules cells too, §4.1)\n");
+
+    println!("paper:");
+    println!(
+        "{:<10} {:<5} {:<9} {:>8} {:>9} {:>7}",
+        "network", "type", "dataset", "#MAC", "#weight", "top-1"
+    );
+    for row in PAPER_ROWS {
+        println!(
+            "{:<10} {:<5} {:<9} {:>8} {:>9} {:>7}",
+            row.name, row.ty, row.dataset, row.macs, row.weights, row.top1
+        );
+    }
+
+    println!("\nours (synthesized cells):");
+    println!(
+        "{:<26} {:<9} {:>6} {:>7} {:>9} {:>9}",
+        "benchmark", "family", "nodes", "edges", "#MAC", "#weight"
+    );
+    for b in suite() {
+        println!(
+            "{:<26} {:<9} {:>6} {:>7} {:>9} {:>9}",
+            b.name,
+            b.family.to_string(),
+            b.graph.len(),
+            b.graph.edge_count(),
+            human(b.graph.total_macs()),
+            human(b.graph.total_weights()),
+        );
+        let _ = Family::SwiftNet; // referenced for the doc link
+    }
+    let full = swiftnet::swiftnet();
+    println!(
+        "{:<26} {:<9} {:>6} {:>7} {:>9} {:>9}",
+        "SwiftNet (full, 3 cells)",
+        "SwiftNet",
+        full.len(),
+        full.edge_count(),
+        human(full.total_macs()),
+        human(full.total_weights()),
+    );
+}

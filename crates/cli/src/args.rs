@@ -1,0 +1,272 @@
+//! Hand-rolled argument parsing (the workspace deliberately avoids
+//! dependencies outside its allowed set, so no `clap`).
+
+use serenity_allocator::Strategy;
+use serenity_memsim::Policy;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  serenity list                                  list benchmark ids
+  serenity suite                                 schedule every benchmark
+  serenity generate <id|swiftnet-full> [-o FILE] emit a benchmark graph as JSON
+  serenity schedule <graph.json> [options]       schedule a graph
+      --no-rewrite            disable identity graph rewriting
+      --allocator <greedy|first-fit|none>        offset planner (default greedy)
+      --budget-kb <N>         fixed soft budget instead of adaptive search
+      --threads <N>           DP worker threads (default 1)
+      --json                  machine-readable output
+      --map                   print the ASCII arena memory map
+  serenity dot <graph.json>                      emit Graphviz Dot
+  serenity info <graph.json>                     structural analysis
+  serenity traffic <graph.json> --capacity-kb <N> [--policy belady|lru|fifo]
+                                                 off-chip traffic of the
+                                                 SERENITY schedule";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print benchmark ids.
+    List,
+    /// Schedule the whole benchmark suite and print the comparison table.
+    Suite,
+    /// Emit a benchmark graph as JSON.
+    Generate {
+        /// Benchmark id or `swiftnet-full`.
+        id: String,
+        /// Output path (stdout when absent).
+        output: Option<String>,
+    },
+    /// Schedule a graph from a JSON file.
+    Schedule {
+        /// Input path.
+        path: String,
+        /// Disable rewriting.
+        no_rewrite: bool,
+        /// Offset planner, `None` to skip allocation.
+        allocator: Option<Strategy>,
+        /// Fixed soft budget in KiB (adaptive search when absent).
+        budget_kb: Option<u64>,
+        /// DP worker threads.
+        threads: usize,
+        /// Emit JSON instead of a table.
+        json: bool,
+        /// Print the ASCII arena memory map.
+        map: bool,
+    },
+    /// Emit Graphviz Dot for a graph file.
+    Dot {
+        /// Input path.
+        path: String,
+    },
+    /// Print structural analysis of a graph file.
+    Info {
+        /// Input path.
+        path: String,
+    },
+    /// Simulate off-chip traffic for the SERENITY schedule of a graph.
+    Traffic {
+        /// Input path.
+        path: String,
+        /// On-chip capacity in KiB.
+        capacity_kb: u64,
+        /// Replacement policy.
+        policy: Policy,
+    },
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message describing the first problem.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub {
+        "-h" | "--help" | "help" => Err("help requested".into()),
+        "list" => Ok(Command::List),
+        "suite" => Ok(Command::Suite),
+        "generate" => {
+            let id = it.next().ok_or("generate: missing benchmark id")?.to_owned();
+            let mut output = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-o" | "--output" => {
+                        output =
+                            Some(it.next().ok_or("generate: -o needs a path")?.to_owned());
+                    }
+                    other => return Err(format!("generate: unknown flag {other}")),
+                }
+            }
+            Ok(Command::Generate { id, output })
+        }
+        "schedule" => {
+            let path = it.next().ok_or("schedule: missing graph path")?.to_owned();
+            let mut no_rewrite = false;
+            let mut allocator = Some(Strategy::GreedyBySize);
+            let mut budget_kb = None;
+            let mut threads = 1usize;
+            let mut json = false;
+            let mut map = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--no-rewrite" => no_rewrite = true,
+                    "--json" => json = true,
+                    "--map" => map = true,
+                    "--allocator" => {
+                        allocator = match it.next().ok_or("schedule: --allocator needs a value")? {
+                            "greedy" => Some(Strategy::GreedyBySize),
+                            "first-fit" => Some(Strategy::FirstFitArena),
+                            "none" => None,
+                            other => {
+                                return Err(format!("schedule: unknown allocator {other}"))
+                            }
+                        };
+                    }
+                    "--budget-kb" => {
+                        let raw = it.next().ok_or("schedule: --budget-kb needs a value")?;
+                        budget_kb = Some(
+                            raw.parse::<u64>()
+                                .map_err(|_| format!("schedule: bad budget {raw}"))?,
+                        );
+                    }
+                    "--threads" => {
+                        let raw = it.next().ok_or("schedule: --threads needs a value")?;
+                        threads = raw
+                            .parse::<usize>()
+                            .map_err(|_| format!("schedule: bad thread count {raw}"))?;
+                        if threads == 0 {
+                            return Err("schedule: --threads must be at least 1".into());
+                        }
+                    }
+                    other => return Err(format!("schedule: unknown flag {other}")),
+                }
+            }
+            Ok(Command::Schedule { path, no_rewrite, allocator, budget_kb, threads, json, map })
+        }
+        "dot" => {
+            let path = it.next().ok_or("dot: missing graph path")?.to_owned();
+            Ok(Command::Dot { path })
+        }
+        "info" => {
+            let path = it.next().ok_or("info: missing graph path")?.to_owned();
+            Ok(Command::Info { path })
+        }
+        "traffic" => {
+            let path = it.next().ok_or("traffic: missing graph path")?.to_owned();
+            let mut capacity_kb = None;
+            let mut policy = Policy::Belady;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--capacity-kb" => {
+                        let raw = it.next().ok_or("traffic: --capacity-kb needs a value")?;
+                        capacity_kb = Some(
+                            raw.parse::<u64>()
+                                .map_err(|_| format!("traffic: bad capacity {raw}"))?,
+                        );
+                    }
+                    "--policy" => {
+                        policy = match it.next().ok_or("traffic: --policy needs a value")? {
+                            "belady" => Policy::Belady,
+                            "lru" => Policy::Lru,
+                            "fifo" => Policy::Fifo,
+                            other => return Err(format!("traffic: unknown policy {other}")),
+                        };
+                    }
+                    other => return Err(format!("traffic: unknown flag {other}")),
+                }
+            }
+            let capacity_kb = capacity_kb.ok_or("traffic: --capacity-kb is required")?;
+            Ok(Command::Traffic { path, capacity_kb, policy })
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse(&args("list")).unwrap(), Command::List);
+        assert_eq!(parse(&args("suite")).unwrap(), Command::Suite);
+        assert_eq!(
+            parse(&args("dot g.json")).unwrap(),
+            Command::Dot { path: "g.json".into() }
+        );
+        assert_eq!(
+            parse(&args("info g.json")).unwrap(),
+            Command::Info { path: "g.json".into() }
+        );
+    }
+
+    #[test]
+    fn parses_generate() {
+        assert_eq!(
+            parse(&args("generate swiftnet-a -o out.json")).unwrap(),
+            Command::Generate { id: "swiftnet-a".into(), output: Some("out.json".into()) }
+        );
+    }
+
+    #[test]
+    fn parses_schedule_flags() {
+        let cmd = parse(&args(
+            "schedule g.json --no-rewrite --allocator first-fit --budget-kb 256 --threads 4 --json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Schedule {
+                path: "g.json".into(),
+                no_rewrite: true,
+                allocator: Some(Strategy::FirstFitArena),
+                budget_kb: Some(256),
+                threads: 4,
+                json: true,
+                map: false,
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_defaults() {
+        let cmd = parse(&args("schedule g.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Schedule {
+                path: "g.json".into(),
+                no_rewrite: false,
+                allocator: Some(Strategy::GreedyBySize),
+                budget_kb: None,
+                threads: 1,
+                json: false,
+                map: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_traffic() {
+        let cmd = parse(&args("traffic g.json --capacity-kb 256 --policy lru")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Traffic { path: "g.json".into(), capacity_kb: 256, policy: Policy::Lru }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&args("bogus")).is_err());
+        assert!(parse(&args("schedule")).is_err());
+        assert!(parse(&args("schedule g.json --allocator martian")).is_err());
+        assert!(parse(&args("schedule g.json --threads 0")).is_err());
+        assert!(parse(&args("traffic g.json")).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Command implementations.
+
+use serenity_core::budget::BudgetConfig;
+use serenity_core::divide::SegmentScheduler;
+use serenity_core::dp::DpConfig;
+use serenity_core::pipeline::{RewriteMode, Serenity};
+use serenity_ir::{dot, json, Graph};
+use serenity_memsim::Policy;
+use serenity_nets::{suite, swiftnet};
+
+use crate::args::Command;
+
+/// Executes a parsed command.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::List => list(),
+        Command::Suite => run_suite(),
+        Command::Generate { id, output } => generate(&id, output.as_deref()),
+        Command::Schedule { path, no_rewrite, allocator, budget_kb, threads, json, map } => {
+            schedule(&path, no_rewrite, allocator, budget_kb, threads, json, map)
+        }
+        Command::Dot { path } => {
+            let graph = load(&path)?;
+            print!("{}", dot::to_dot(&graph));
+            Ok(())
+        }
+        Command::Info { path } => {
+            let graph = load(&path)?;
+            info(&graph);
+            Ok(())
+        }
+        Command::Traffic { path, capacity_kb, policy } => traffic(&path, capacity_kb, policy),
+    }
+}
+
+fn info(graph: &Graph) {
+    let a = serenity_ir::analysis::GraphAnalysis::of(graph);
+    println!("graph            : {}", graph.name());
+    println!("nodes / edges    : {} / {}", a.nodes, a.edges);
+    println!("depth            : {}", a.depth);
+    println!("max frontier     : {}", a.max_frontier);
+    println!("interior cuts    : {}", a.cut_count);
+    println!("activations      : {:.1} KiB total, {:.1} KiB largest",
+        a.total_activation_bytes as f64 / 1024.0,
+        a.max_activation_bytes as f64 / 1024.0);
+    println!("peak lower bound : {:.1} KiB", a.peak_lower_bound as f64 / 1024.0);
+    println!("kahn peak        : {:.1} KiB", a.kahn_peak_bytes as f64 / 1024.0);
+    println!("headroom         : {:.2}x", a.headroom());
+    let path = serenity_ir::analysis::critical_path(graph);
+    println!("critical path    : {} nodes ({} .. {})",
+        path.len(),
+        path.first().map(|&n| graph.node(n).name.as_str()).unwrap_or("-"),
+        path.last().map(|&n| graph.node(n).name.as_str()).unwrap_or("-"));
+}
+
+fn list() -> Result<(), String> {
+    for b in suite() {
+        println!("{:<18} {:<26} {} nodes", b.id, b.name, b.graph.len());
+    }
+    println!("{:<18} {:<26} {} nodes", "swiftnet-full", "SwiftNet (3 cells)", 62);
+    Ok(())
+}
+
+fn generate(id: &str, output: Option<&str>) -> Result<(), String> {
+    let graph = graph_by_id(id)?;
+    let rendered = json::to_json(&graph);
+    match output {
+        Some(path) => std::fs::write(path, rendered)
+            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn graph_by_id(id: &str) -> Result<Graph, String> {
+    if id == "swiftnet-full" {
+        return Ok(swiftnet::swiftnet());
+    }
+    serenity_nets::suite::by_id(id)
+        .map(|b| b.graph)
+        .ok_or_else(|| format!("unknown benchmark id {id} (try `serenity list`)"))
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::from_json(&raw).map_err(|e| format!("invalid graph in {path}: {e}"))
+}
+
+fn compiler(
+    no_rewrite: bool,
+    allocator: Option<serenity_allocator::Strategy>,
+    budget_kb: Option<u64>,
+    threads: usize,
+) -> Serenity {
+    let rewrite = if no_rewrite { RewriteMode::Off } else { RewriteMode::IfBeneficial };
+    let scheduler = match budget_kb {
+        Some(kb) => SegmentScheduler::Dp(DpConfig {
+            budget: Some(kb * 1024),
+            threads,
+            ..DpConfig::default()
+        }),
+        None => SegmentScheduler::Adaptive(BudgetConfig { threads, ..BudgetConfig::default() }),
+    };
+    Serenity::builder()
+        .rewrite(rewrite)
+        .segment_scheduler(scheduler)
+        .allocator(allocator)
+        .build()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule(
+    path: &str,
+    no_rewrite: bool,
+    allocator: Option<serenity_allocator::Strategy>,
+    budget_kb: Option<u64>,
+    threads: usize,
+    as_json: bool,
+    map: bool,
+) -> Result<(), String> {
+    let graph = load(path)?;
+    let compiled = compiler(no_rewrite, allocator, budget_kb, threads)
+        .compile(&graph)
+        .map_err(|e| e.to_string())?;
+    if as_json {
+        let report = serde_json::json!({
+            "graph": compiled.graph.name(),
+            "nodes": compiled.graph.len(),
+            "peak_bytes": compiled.peak_bytes,
+            "baseline_peak_bytes": compiled.baseline_peak_bytes,
+            "reduction": compiled.reduction_factor(),
+            "arena_bytes": compiled.arena_bytes(),
+            "rewrites": compiled.rewrites,
+            "partition": compiled.partition,
+            "compile_time_us": compiled.compile_time.as_micros() as u64,
+            "order": compiled.schedule.order,
+        });
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    } else {
+        println!("graph         : {}", compiled.graph.name());
+        println!("nodes         : {}", compiled.graph.len());
+        println!(
+            "baseline peak : {:.1} KiB",
+            compiled.baseline_peak_bytes as f64 / 1024.0
+        );
+        println!("serenity peak : {:.1} KiB", compiled.peak_bytes as f64 / 1024.0);
+        println!("reduction     : {:.2}x", compiled.reduction_factor());
+        if let Some(arena) = compiled.arena_bytes() {
+            println!("arena size    : {:.1} KiB", arena as f64 / 1024.0);
+        }
+        println!("rewrites      : {}", compiled.rewrites.len());
+        println!("segments      : {:?}", compiled.partition.segment_sizes);
+        println!("compile time  : {:.1?}", compiled.compile_time);
+        if map {
+            match compiled.arena.as_ref() {
+                Some(plan) => {
+                    println!("\narena memory map:");
+                    print!("{}", plan.render_ascii(64));
+                }
+                None => println!("(no arena: allocator disabled)"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_suite() -> Result<(), String> {
+    println!(
+        "{:<26} {:>6} {:>11} {:>11} {:>8}",
+        "benchmark", "nodes", "baseline", "serenity", "gain"
+    );
+    for b in suite() {
+        let compiled = Serenity::builder()
+            .build()
+            .compile(&b.graph)
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        println!(
+            "{:<26} {:>6} {:>9.1}KB {:>9.1}KB {:>7.2}x",
+            b.name,
+            b.graph.len(),
+            compiled.baseline_peak_bytes as f64 / 1024.0,
+            compiled.peak_bytes as f64 / 1024.0,
+            compiled.reduction_factor(),
+        );
+    }
+    Ok(())
+}
+
+fn traffic(path: &str, capacity_kb: u64, policy: Policy) -> Result<(), String> {
+    let graph = load(path)?;
+    let compiled = Serenity::builder()
+        .allocator(None)
+        .build()
+        .compile(&graph)
+        .map_err(|e| e.to_string())?;
+    let stats = serenity_memsim::simulate(
+        &compiled.graph,
+        &compiled.schedule.order,
+        capacity_kb * 1024,
+        policy,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("capacity      : {capacity_kb} KiB ({policy})");
+    println!("bytes in      : {:.1} KiB", stats.bytes_in as f64 / 1024.0);
+    println!("bytes out     : {:.1} KiB", stats.bytes_out as f64 / 1024.0);
+    println!("total traffic : {:.1} KiB", stats.traffic_kib());
+    println!("evictions     : {}", stats.evictions);
+    println!("peak resident : {:.1} KiB", stats.peak_resident as f64 / 1024.0);
+    Ok(())
+}

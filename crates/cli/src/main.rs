@@ -1,0 +1,35 @@
+//! `serenity` — command-line interface to the SERENITY scheduler.
+//!
+//! ```text
+//! serenity generate <benchmark-id|swiftnet-full> [-o FILE]
+//! serenity schedule <graph.json> [--no-rewrite] [--allocator greedy|first-fit|none]
+//!                   [--budget-kb N] [--threads N] [--json]
+//! serenity dot <graph.json>
+//! serenity suite
+//! serenity traffic <graph.json> --capacity-kb N [--policy belady|lru|fifo]
+//! serenity list
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match commands::run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

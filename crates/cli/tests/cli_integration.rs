@@ -1,0 +1,95 @@
+//! End-to-end tests of the `serenity` binary (spawned as a subprocess).
+
+use std::process::{Command, Output};
+
+fn serenity(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_serenity"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let out = serenity(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for id in ["darts-normal", "swiftnet-a", "randwire-c100-c", "swiftnet-full"] {
+        assert!(text.contains(id), "missing {id} in:\n{text}");
+    }
+}
+
+#[test]
+fn generate_schedule_round_trip() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cell_c.json");
+    let path_str = path.to_str().unwrap();
+
+    let out = serenity(&["generate", "swiftnet-c", "-o", path_str]);
+    assert!(out.status.success(), "generate failed: {out:?}");
+    assert!(path.exists());
+
+    let out = serenity(&["schedule", path_str]);
+    assert!(out.status.success(), "schedule failed: {out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("reduction"));
+    assert!(text.contains("serenity peak"));
+
+    let out = serenity(&["schedule", path_str, "--json", "--no-rewrite"]);
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert!(report["peak_bytes"].as_u64().unwrap() > 0);
+    assert_eq!(report["rewrites"].as_array().unwrap().len(), 0);
+}
+
+#[test]
+fn dot_renders_graphviz() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dot_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-b", "-o", path_str]).status.success());
+
+    let out = serenity(&["dot", path_str]);
+    assert!(out.status.success());
+    assert!(stdout(&out).starts_with("digraph"));
+}
+
+#[test]
+fn traffic_reports_zero_when_fitting() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("traffic_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    let out = serenity(&["traffic", path_str, "--capacity-kb", "512"]);
+    assert!(out.status.success(), "traffic failed: {out:?}");
+    assert!(stdout(&out).contains("total traffic : 0.0 KiB"));
+}
+
+#[test]
+fn bad_usage_exits_with_code_2() {
+    let out = serenity(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = serenity(&["schedule", "/nonexistent/graph.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn unknown_benchmark_fails_cleanly() {
+    let out = serenity(&["generate", "not-a-network"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}

@@ -1,0 +1,277 @@
+//! Baseline schedulers SERENITY is evaluated against (§2.3, §4).
+//!
+//! * [`kahn`] — the TensorFlow-Lite-style topological order (the paper's
+//!   comparison baseline throughout §4).
+//! * [`dfs`] — depth-first order, another common framework default.
+//! * [`random`] — uniform scheduling decisions (the Figure 3(b) population).
+//! * [`greedy`] — a memory-aware one-step-lookahead heuristic: cheap, often
+//!   good, but not optimal; included to show the gap DP closes.
+//! * [`brute_force`] — exhaustive search over all topological orders with
+//!   branch-and-bound pruning: the `Θ(|V|!)` optimality oracle used by tests
+//!   and the Appendix D complexity comparison.
+
+use rand::Rng;
+use serenity_ir::mem::CostModel;
+use serenity_ir::{topo, Graph, GraphError, NodeId, NodeSet};
+
+use crate::Schedule;
+
+/// Kahn's-algorithm schedule (the TensorFlow Lite baseline).
+///
+/// # Errors
+///
+/// Returns a graph error if `graph` is cyclic (possible only for
+/// deserialized graphs).
+pub fn kahn(graph: &Graph) -> Result<Schedule, GraphError> {
+    Schedule::from_order(graph, topo::kahn(graph))
+}
+
+/// Depth-first schedule.
+///
+/// # Errors
+///
+/// Returns a graph error if `graph` is cyclic.
+pub fn dfs(graph: &Graph) -> Result<Schedule, GraphError> {
+    Schedule::from_order(graph, topo::dfs(graph))
+}
+
+/// A uniformly random scheduling-decision order.
+///
+/// # Errors
+///
+/// Returns a graph error if `graph` is cyclic.
+pub fn random<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Result<Schedule, GraphError> {
+    Schedule::from_order(graph, topo::random(graph, rng))
+}
+
+/// Greedy memory-aware heuristic: at every step, among the ready nodes pick
+/// the one minimizing the footprint right after allocation-and-free
+/// (ties: larger immediate free, then node id).
+///
+/// Runs in `O(|V|² · deg)`; finds good schedules on many graphs but is not
+/// optimal — see the `greedy_is_not_optimal` test for a counterexample.
+///
+/// # Errors
+///
+/// Returns a graph error if `graph` is cyclic.
+pub fn greedy(graph: &Graph) -> Result<Schedule, GraphError> {
+    let n = graph.len();
+    let cost = CostModel::new(graph);
+    let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
+    let mut ready: Vec<NodeId> =
+        graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
+    let mut scheduled = NodeSet::with_capacity(n);
+    let mut order = Vec::with_capacity(n);
+    let mut mu = 0u64;
+
+    while !ready.is_empty() {
+        // Score each candidate: footprint after its allocation and frees.
+        let mut best: Option<(u64, u64, NodeId, usize)> = None;
+        for (i, &u) in ready.iter().enumerate() {
+            let alloc = cost.alloc_bytes(&scheduled, u);
+            let freed = cost.free_bytes(&scheduled, u);
+            let after = mu + alloc - freed;
+            let candidate = (after, u64::MAX - freed, u, i);
+            if best.map_or(true, |b| (candidate.0, candidate.1, candidate.2) < (b.0, b.1, b.2)) {
+                best = Some(candidate);
+            }
+        }
+        let (after, _, u, idx) = best.expect("ready set is non-empty");
+        ready.swap_remove(idx);
+        order.push(u);
+        mu = after;
+        scheduled.insert(u);
+        for &s in graph.succs(u) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    Schedule::from_order(graph, order)
+}
+
+/// Exhaustive branch-and-bound search over all topological orders: the
+/// optimality oracle. Worst case `Θ(|V|!)`; intended for graphs of at most
+/// ~14 nodes (tests, Appendix D benchmarks).
+///
+/// # Errors
+///
+/// Returns a graph error if `graph` is cyclic.
+///
+/// # Panics
+///
+/// Panics if the graph has more than `max_nodes` nodes (default 20) — call
+/// sites must opt in to the factorial blow-up consciously.
+pub fn brute_force(graph: &Graph) -> Result<Schedule, GraphError> {
+    brute_force_capped(graph, 20)
+}
+
+/// [`brute_force`] with an explicit node-count cap.
+///
+/// # Errors
+///
+/// Returns a graph error if `graph` is cyclic.
+///
+/// # Panics
+///
+/// Panics if `graph.len() > max_nodes`.
+pub fn brute_force_capped(graph: &Graph, max_nodes: usize) -> Result<Schedule, GraphError> {
+    assert!(
+        graph.len() <= max_nodes,
+        "brute force on {} nodes exceeds the cap of {max_nodes}",
+        graph.len()
+    );
+    if graph.is_empty() {
+        return Ok(Schedule { order: Vec::new(), peak_bytes: 0 });
+    }
+    let mut search = BruteForce {
+        cost: CostModel::new(graph),
+        graph,
+        indegree: graph.node_ids().map(|id| graph.indegree(id)).collect(),
+        scheduled: NodeSet::with_capacity(graph.len()),
+        prefix: Vec::with_capacity(graph.len()),
+        best_order: None,
+        best_peak: u64::MAX,
+    };
+    let ready: Vec<NodeId> =
+        graph.node_ids().filter(|&id| graph.indegree(id) == 0).collect();
+    search.recurse(&ready, 0, 0);
+    let order = search.best_order.expect("acyclic graph has at least one order");
+    Schedule::from_order(graph, order)
+}
+
+struct BruteForce<'g> {
+    cost: CostModel<'g>,
+    graph: &'g Graph,
+    indegree: Vec<usize>,
+    scheduled: NodeSet,
+    prefix: Vec<NodeId>,
+    best_order: Option<Vec<NodeId>>,
+    best_peak: u64,
+}
+
+impl BruteForce<'_> {
+    fn recurse(&mut self, ready: &[NodeId], mu: u64, peak: u64) {
+        // Branch-and-bound: a prefix whose peak already matches or exceeds
+        // the incumbent cannot improve on it.
+        if peak >= self.best_peak {
+            return;
+        }
+        if self.prefix.len() == self.graph.len() {
+            self.best_peak = peak;
+            self.best_order = Some(self.prefix.clone());
+            return;
+        }
+        for (i, &u) in ready.iter().enumerate() {
+            let mu_after_alloc = mu + self.cost.alloc_bytes(&self.scheduled, u);
+            let peak_next = peak.max(mu_after_alloc);
+            let mu_next = mu_after_alloc - self.cost.free_bytes(&self.scheduled, u);
+            // Mutate.
+            self.prefix.push(u);
+            self.scheduled.insert(u);
+            let mut next_ready: Vec<NodeId> =
+                ready.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).collect();
+            for &s in self.graph.succs(u) {
+                self.indegree[s.index()] -= 1;
+                if self.indegree[s.index()] == 0 {
+                    next_ready.push(s);
+                }
+            }
+            self.recurse(&next_ready, mu_next, peak_next);
+            // Undo.
+            for &s in self.graph.succs(u) {
+                self.indegree[s.index()] += 1;
+            }
+            self.scheduled.remove(u);
+            self.prefix.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpScheduler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use serenity_ir::random_dag::{random_dag, RandomDagConfig};
+    use serenity_ir::topo::is_order;
+
+    fn graphs(count: usize, nodes: usize, seed: u64) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                random_dag(
+                    &RandomDagConfig { nodes, edge_prob: 0.3, ..Default::default() },
+                    &mut rng,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_baselines_produce_valid_orders() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in graphs(5, 10, 42) {
+            assert!(is_order(&g, &kahn(&g).unwrap().order));
+            assert!(is_order(&g, &dfs(&g).unwrap().order));
+            assert!(is_order(&g, &random(&g, &mut rng).unwrap().order));
+            assert!(is_order(&g, &greedy(&g).unwrap().order));
+            assert!(is_order(&g, &brute_force(&g).unwrap().order));
+        }
+    }
+
+    #[test]
+    fn brute_force_matches_dp_on_small_graphs() {
+        for g in graphs(10, 9, 7) {
+            let bf = brute_force(&g).unwrap();
+            let dp = DpScheduler::new().schedule(&g).unwrap();
+            assert_eq!(bf.peak_bytes, dp.schedule.peak_bytes, "graph {g}");
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal() {
+        for g in graphs(10, 9, 13) {
+            let gr = greedy(&g).unwrap();
+            let bf = brute_force(&g).unwrap();
+            assert!(gr.peak_bytes >= bf.peak_bytes);
+        }
+    }
+
+    #[test]
+    fn greedy_is_not_optimal() {
+        // Counterexample: after `root, x1` the greedy rule prefers y1
+        // (footprint 42, frees root) over x2 (footprint 51), but delaying x2
+        // forces x2 and y1 to coexist with x1, peaking at 92 instead of the
+        // optimal 91 reached by `root, x1, x2, y1, join`.
+        let mut g = Graph::new("trap");
+        let root = g.add_opaque("root", 1, &[]).unwrap();
+        let x1 = g.add_opaque("x1", 2, &[root]).unwrap();
+        let x2 = g.add_opaque("x2", 50, &[x1]).unwrap();
+        let y1 = g.add_opaque("y1", 40, &[root]).unwrap();
+        let join = g.add_opaque("join", 1, &[x2, y1]).unwrap();
+        g.mark_output(join);
+
+        let gr = greedy(&g).unwrap();
+        let bf = brute_force(&g).unwrap();
+        assert_eq!(bf.peak_bytes, 91);
+        assert_eq!(gr.peak_bytes, 92);
+        assert!(gr.peak_bytes > bf.peak_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cap")]
+    fn brute_force_cap_is_enforced() {
+        let g = serenity_ir::random_dag::independent_branches(30, 1);
+        let _ = brute_force(&g);
+    }
+
+    #[test]
+    fn brute_force_empty_graph() {
+        let g = Graph::new("empty");
+        let s = brute_force(&g).unwrap();
+        assert!(s.is_empty());
+    }
+}

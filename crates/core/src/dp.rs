@@ -1,0 +1,595 @@
+//! The dynamic-programming scheduler of §3.1 (Algorithm 1).
+//!
+//! # How it works
+//!
+//! A recursive topological ordering repeatedly picks a node from the
+//! *zero-indegree set* `z` (nodes whose predecessors have all been scheduled).
+//! The paper's key insight (Figure 5) is that many partial schedules share the
+//! same `z`, and `z` is a *complete signature* of a partial schedule: the set
+//! of unscheduled nodes is exactly the upward closure of `z`, so two prefixes
+//! with equal `z` have scheduled the same nodes — and therefore hold exactly
+//! the same set of live tensors, i.e. the same running footprint `µ`. Only
+//! the *peak* `µ_peak` differs between them, so keeping the single
+//! minimum-peak state per signature preserves optimality (Theorem 1,
+//! Appendix C).
+//!
+//! The scheduler sweeps search steps `i = 0..|V|`; step `i` holds one state
+//! per distinct signature reachable after scheduling `i` nodes. Scheduling a
+//! node `u` allocates its output, raises the peak, and frees every
+//! predecessor whose last consumer has now run (Figure 6). The memo-table
+//! update keeps the smaller `µ_peak` per signature (Algorithm 1, line 21).
+//!
+//! Two §3.2 accelerations are integrated here rather than layered on top:
+//!
+//! * **Soft-budget pruning** — transitions whose `µ_peak` exceeds the budget
+//!   τ are discarded; with τ ≥ µ* the optimum survives (Figure 8(a)).
+//! * **Per-step timeout** — if one search step exceeds `T`, the run aborts
+//!   with [`ScheduleError::Timeout`], the signal Algorithm 2's meta-search
+//!   reacts to.
+//!
+//! Frontier expansion optionally fans out across threads (`threads > 1`);
+//! results are merged deterministically, so parallel runs return the same
+//! peak as serial runs.
+
+use std::time::{Duration, Instant};
+
+use serenity_ir::fxhash::FxHashMap;
+use serenity_ir::mem::{CostModel, FootprintTracker};
+use serenity_ir::{Graph, GraphError, NodeId, NodeSet};
+
+use crate::{Schedule, ScheduleError, ScheduleStats};
+
+/// Configuration of a [`DpScheduler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpConfig {
+    /// Soft budget τ in bytes: states whose peak exceeds it are pruned.
+    /// `None` disables pruning (pure Algorithm 1).
+    pub budget: Option<u64>,
+    /// Per-search-step time limit `T` (Algorithm 2's hyper-parameter).
+    pub step_timeout: Option<Duration>,
+    /// Worker threads for frontier expansion (1 = serial).
+    pub threads: usize,
+    /// Upper bound on memoized states per step; exceeding it aborts with
+    /// [`ScheduleError::Timeout`]. A safety valve for exploding frontiers.
+    pub max_states: Option<usize>,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        DpConfig { budget: None, step_timeout: None, threads: 1, max_states: None }
+    }
+}
+
+/// Result of a successful DP run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpSolution {
+    /// The footprint-optimal schedule (within the budget, if one was set).
+    pub schedule: Schedule,
+    /// Search-effort counters.
+    pub stats: ScheduleStats,
+}
+
+/// The dynamic-programming scheduler (Algorithm 1 with §3.2 pruning).
+///
+/// # Example
+///
+/// ```
+/// use serenity_core::dp::DpScheduler;
+/// use serenity_ir::{Graph, topo, mem};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new("g");
+/// let a = g.add_opaque("a", 10, &[])?;
+/// let b = g.add_opaque("b", 100, &[a])?;
+/// let c = g.add_opaque("c", 10, &[a])?;
+/// let d = g.add_opaque("d", 1, &[c])?;
+/// let e = g.add_opaque("e", 10, &[b, d])?;
+/// g.mark_output(e);
+///
+/// let solution = DpScheduler::new().schedule(&g)?;
+/// let kahn_peak = mem::peak_bytes(&g, &topo::kahn(&g))?;
+/// assert!(solution.schedule.peak_bytes <= kahn_peak);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DpScheduler {
+    config: DpConfig,
+}
+
+/// One memoized state: the minimum-peak partial schedule for a signature.
+#[derive(Debug, Clone)]
+struct State {
+    /// Zero-indegree set signature.
+    z: NodeSet,
+    /// Scheduled-node set (the downward closure complement of `↑z`; kept
+    /// explicitly to make transitions O(deg) instead of O(V+E)).
+    scheduled: NodeSet,
+    /// Running footprint µ — a function of the signature alone.
+    mu: u64,
+    /// Peak footprint µ_peak of the best prefix reaching this signature.
+    peak: u64,
+    /// Index of the parent state in the previous step's arena.
+    parent: u32,
+    /// Node scheduled to reach this state from the parent.
+    node: NodeId,
+}
+
+const ROOT: u32 = u32::MAX;
+/// Frontier size beyond which expansion is parallelized.
+const PARALLEL_THRESHOLD: usize = 192;
+/// Transitions between deadline checks.
+const TIMEOUT_CHECK_MASK: u64 = 0x3FF;
+
+impl DpScheduler {
+    /// Creates a scheduler with the default configuration (no budget, no
+    /// timeout, serial).
+    pub fn new() -> Self {
+        DpScheduler::default()
+    }
+
+    /// Creates a scheduler from an explicit configuration.
+    pub fn with_config(config: DpConfig) -> Self {
+        DpScheduler { config }
+    }
+
+    /// Sets the soft budget τ in bytes.
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.config.budget = Some(budget);
+        self
+    }
+
+    /// Sets the per-search-step time limit `T`.
+    pub fn step_timeout(mut self, limit: Duration) -> Self {
+        self.config.step_timeout = Some(limit);
+        self
+    }
+
+    /// Sets the number of worker threads for frontier expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread is required");
+        self.config.threads = threads;
+        self
+    }
+
+    /// Caps the number of memoized states per step.
+    pub fn max_states(mut self, max: usize) -> Self {
+        self.config.max_states = Some(max);
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &DpConfig {
+        &self.config
+    }
+
+    /// Finds the minimum-peak-footprint schedule of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::NoSolution`] if a soft budget is set and every
+    ///   schedule exceeds it.
+    /// * [`ScheduleError::Timeout`] if a search step exceeds the configured
+    ///   step timeout or state cap.
+    /// * [`ScheduleError::Graph`] if the graph is malformed.
+    pub fn schedule(&self, graph: &Graph) -> Result<DpSolution, ScheduleError> {
+        self.schedule_with_prefix(graph, &[])
+    }
+
+    /// Like [`DpScheduler::schedule`], but with the nodes of `prefix` pinned
+    /// to the front of the schedule, in the given order.
+    ///
+    /// Divide-and-conquer uses this to pre-allocate the boundary tensor of a
+    /// segment: the cut tensor is live before the segment starts, so its
+    /// placeholder input must be "scheduled" at step 0 for every explored
+    /// state to account for its bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`DpScheduler::schedule`]; additionally
+    /// [`ScheduleError::Graph`]`(`[`GraphError::InvalidOrder`]`)` if `prefix`
+    /// is not a schedulable sequence.
+    pub fn schedule_with_prefix(
+        &self,
+        graph: &Graph,
+        prefix: &[NodeId],
+    ) -> Result<DpSolution, ScheduleError> {
+        let started = Instant::now();
+        let n = graph.len();
+        if n == 0 {
+            return Ok(DpSolution {
+                schedule: Schedule { order: Vec::new(), peak_bytes: 0 },
+                stats: ScheduleStats::default(),
+            });
+        }
+
+        let cost = CostModel::new(graph);
+        let root = self.root_state(graph, prefix)?;
+        if let Some(budget) = self.config.budget {
+            if root.peak > budget {
+                return Err(ScheduleError::NoSolution { budget });
+            }
+        }
+
+        let mut stats = ScheduleStats { states: 1, ..ScheduleStats::default() };
+        // Arena per search step; step 0 holds only the root.
+        let mut arenas: Vec<Vec<State>> = vec![vec![root]];
+        let remaining = n - prefix.len();
+
+        for step in 0..remaining {
+            let step_started = Instant::now();
+            let frontier = arenas.last().expect("arena for current step exists");
+            let next = if self.config.threads > 1 && frontier.len() >= PARALLEL_THRESHOLD {
+                self.expand_parallel(&cost, frontier, step, step_started, &mut stats)?
+            } else {
+                self.expand_serial(&cost, frontier, step, step_started, &mut stats)?
+            };
+            if next.is_empty() {
+                let budget = self.config.budget.unwrap_or(u64::MAX);
+                return Err(ScheduleError::NoSolution { budget });
+            }
+            stats.states += next.len() as u64;
+            stats.steps = step + 1;
+            arenas.push(next);
+        }
+
+        // All nodes scheduled: the final arena holds exactly one state with
+        // an empty signature (Algorithm 1, line 27).
+        let last = arenas.last().expect("final arena exists");
+        debug_assert_eq!(last.len(), 1, "final signature must be unique");
+        let best = last.iter().enumerate().min_by_key(|(_, s)| s.peak).expect("non-empty");
+
+        let mut order = Vec::with_capacity(n);
+        let (mut arena_idx, mut state_idx) = (arenas.len() - 1, best.0 as u32);
+        while arena_idx > 0 {
+            let state = &arenas[arena_idx][state_idx as usize];
+            order.push(state.node);
+            state_idx = state.parent;
+            arena_idx -= 1;
+        }
+        order.extend(prefix.iter().rev());
+        order.reverse();
+
+        stats.duration = started.elapsed();
+        let schedule = Schedule { order, peak_bytes: best.1.peak };
+        debug_assert_eq!(
+            serenity_ir::mem::peak_bytes(graph, &schedule.order).expect("valid order"),
+            schedule.peak_bytes,
+            "DP peak accounting must agree with the reference profiler"
+        );
+        Ok(DpSolution { schedule, stats })
+    }
+
+    fn root_state(&self, graph: &Graph, prefix: &[NodeId]) -> Result<State, ScheduleError> {
+        let mut scheduled = NodeSet::with_capacity(graph.len());
+        let mut tracker = FootprintTracker::new(graph);
+        for (i, &u) in prefix.iter().enumerate() {
+            if graph.get(u).is_none() {
+                return Err(GraphError::UnknownNode(u).into());
+            }
+            let ready = graph.preds(u).iter().all(|p| scheduled.contains(*p));
+            if scheduled.contains(u) || !ready {
+                return Err(GraphError::InvalidOrder {
+                    detail: format!("prefix node {u} at position {i} is not schedulable"),
+                }
+                .into());
+            }
+            scheduled.insert(u);
+            tracker.schedule(u);
+        }
+        let z = zero_indegree(graph, &scheduled);
+        Ok(State {
+            z,
+            scheduled,
+            mu: tracker.current_bytes(),
+            peak: tracker.peak_bytes(),
+            parent: ROOT,
+            node: NodeId::from_index(0),
+        })
+    }
+
+    fn expand_serial(
+        &self,
+        cost: &CostModel<'_>,
+        frontier: &[State],
+        step: usize,
+        step_started: Instant,
+        stats: &mut ScheduleStats,
+    ) -> Result<Vec<State>, ScheduleError> {
+        let mut arena: Vec<State> = Vec::new();
+        let mut index: FxHashMap<NodeSet, u32> = FxHashMap::default();
+        let mut transitions = 0u64;
+        let mut pruned = 0u64;
+        for (si, state) in frontier.iter().enumerate() {
+            for u in state.z.iter() {
+                transitions += 1;
+                if transitions & TIMEOUT_CHECK_MASK == 0 {
+                    self.check_limits(step, step_started, arena.len())?;
+                }
+                match self.transition(cost, state, si as u32, u) {
+                    Some(candidate) => merge_candidate(&mut arena, &mut index, candidate),
+                    None => pruned += 1,
+                }
+            }
+        }
+        self.check_limits(step, step_started, arena.len())?;
+        stats.transitions += transitions;
+        stats.pruned += pruned;
+        Ok(arena)
+    }
+
+    fn expand_parallel(
+        &self,
+        cost: &CostModel<'_>,
+        frontier: &[State],
+        step: usize,
+        step_started: Instant,
+        stats: &mut ScheduleStats,
+    ) -> Result<Vec<State>, ScheduleError> {
+        let threads = self.config.threads.min(frontier.len());
+        let chunk_size = frontier.len().div_ceil(threads);
+        let chunks: Vec<&[State]> = frontier.chunks(chunk_size).collect();
+
+        type ChunkResult = Result<(Vec<State>, u64, u64), ScheduleError>;
+        let results: Vec<ChunkResult> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let base = (ci * chunk_size) as u32;
+                    scope.spawn(move |_| -> ChunkResult {
+                        let mut local: Vec<State> = Vec::new();
+                        let mut transitions = 0u64;
+                        let mut pruned = 0u64;
+                        for (offset, state) in chunk.iter().enumerate() {
+                            for u in state.z.iter() {
+                                transitions += 1;
+                                if transitions & TIMEOUT_CHECK_MASK == 0 {
+                                    self.check_limits(step, step_started, local.len())?;
+                                }
+                                match self.transition(cost, state, base + offset as u32, u) {
+                                    Some(candidate) => local.push(candidate),
+                                    None => pruned += 1,
+                                }
+                            }
+                        }
+                        Ok((local, transitions, pruned))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
+        })
+        .expect("scoped threads do not panic");
+
+        // Deterministic merge in chunk order: identical outcome to serial.
+        let mut arena: Vec<State> = Vec::new();
+        let mut index: FxHashMap<NodeSet, u32> = FxHashMap::default();
+        for result in results {
+            let (candidates, transitions, pruned) = result?;
+            stats.transitions += transitions;
+            stats.pruned += pruned;
+            for candidate in candidates {
+                merge_candidate(&mut arena, &mut index, candidate);
+            }
+            self.check_limits(step, step_started, arena.len())?;
+        }
+        Ok(arena)
+    }
+
+    /// Applies the Figure 6 step through the shared cost model: allocate `u`,
+    /// update the peak, free dead predecessors, compute the successor
+    /// signature. Returns `None` when the transition is pruned by the soft
+    /// budget.
+    fn transition(
+        &self,
+        cost: &CostModel<'_>,
+        state: &State,
+        parent: u32,
+        u: NodeId,
+    ) -> Option<State> {
+        let graph = cost.graph();
+        let mu_after_alloc = state.mu + cost.alloc_bytes(&state.scheduled, u);
+        let peak = state.peak.max(mu_after_alloc);
+        if let Some(budget) = self.config.budget {
+            if peak > budget {
+                return None;
+            }
+        }
+        let mu = mu_after_alloc - cost.free_bytes(&state.scheduled, u);
+        let mut scheduled = state.scheduled.clone();
+        scheduled.insert(u);
+        let mut z = state.z.clone();
+        z.remove(u);
+        for &s in graph.succs(u) {
+            if graph.preds(s).iter().all(|p| scheduled.contains(*p)) {
+                z.insert(s);
+            }
+        }
+        Some(State { z, scheduled, mu, peak, parent, node: u })
+    }
+
+    fn check_limits(
+        &self,
+        step: usize,
+        step_started: Instant,
+        states: usize,
+    ) -> Result<(), ScheduleError> {
+        if let Some(limit) = self.config.step_timeout {
+            let elapsed = step_started.elapsed();
+            if elapsed > limit {
+                return Err(ScheduleError::Timeout { step, elapsed });
+            }
+        }
+        if let Some(max) = self.config.max_states {
+            if states > max {
+                return Err(ScheduleError::Timeout { step, elapsed: step_started.elapsed() });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Inserts `candidate` into the next-step arena, keeping the minimum-peak
+/// state per signature (Algorithm 1, lines 21-23).
+fn merge_candidate(arena: &mut Vec<State>, index: &mut FxHashMap<NodeSet, u32>, candidate: State) {
+    match index.get(&candidate.z) {
+        Some(&at) => {
+            let existing = &mut arena[at as usize];
+            // Same signature ⇒ same scheduled set ⇒ same live set ⇒ same µ.
+            debug_assert_eq!(existing.mu, candidate.mu, "µ must be a function of the signature");
+            if candidate.peak < existing.peak {
+                *existing = candidate;
+            }
+        }
+        None => {
+            index.insert(candidate.z.clone(), arena.len() as u32);
+            arena.push(candidate);
+        }
+    }
+}
+
+fn zero_indegree(graph: &Graph, scheduled: &NodeSet) -> NodeSet {
+    let mut z = NodeSet::with_capacity(graph.len());
+    for u in graph.node_ids() {
+        if !scheduled.contains(u) && graph.preds(u).iter().all(|p| scheduled.contains(*p)) {
+            z.insert(u);
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{mem, topo};
+
+    fn branchy() -> Graph {
+        // A graph where scheduling order matters: finishing the small branch
+        // first retires its tensors before the big branch allocates.
+        let mut g = Graph::new("branchy");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let s1 = g.add_opaque("s1", 10, &[a]).unwrap();
+        let s2 = g.add_opaque("s2", 2, &[s1]).unwrap();
+        let b1 = g.add_opaque("b1", 100, &[a]).unwrap();
+        let sink = g.add_opaque("sink", 10, &[s2, b1]).unwrap();
+        g.mark_output(sink);
+        g
+    }
+
+    #[test]
+    fn beats_or_matches_kahn() {
+        let g = branchy();
+        let dp = DpScheduler::new().schedule(&g).unwrap();
+        let kahn_peak = mem::peak_bytes(&g, &topo::kahn(&g)).unwrap();
+        assert!(dp.schedule.peak_bytes <= kahn_peak);
+        assert!(topo::is_order(&g, &dp.schedule.order));
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut g = Graph::new("one");
+        g.add_opaque("only", 7, &[]).unwrap();
+        let dp = DpScheduler::new().schedule(&g).unwrap();
+        assert_eq!(dp.schedule.order.len(), 1);
+        assert_eq!(dp.schedule.peak_bytes, 7);
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let g = Graph::new("empty");
+        let dp = DpScheduler::new().schedule(&g).unwrap();
+        assert!(dp.schedule.is_empty());
+    }
+
+    #[test]
+    fn chain_is_deterministic() {
+        let mut g = Graph::new("chain");
+        let a = g.add_opaque("a", 1, &[]).unwrap();
+        let b = g.add_opaque("b", 2, &[a]).unwrap();
+        let c = g.add_opaque("c", 3, &[b]).unwrap();
+        g.mark_output(c);
+        let dp = DpScheduler::new().schedule(&g).unwrap();
+        assert_eq!(dp.schedule.order, vec![a, b, c]);
+        assert_eq!(dp.schedule.peak_bytes, 5); // b(2)+c(3), a freed when b ran... a(1)+b(2)=3, then b(2)+c(3)=5
+    }
+
+    #[test]
+    fn budget_at_optimum_succeeds() {
+        let g = branchy();
+        let optimal = DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        let tight = DpScheduler::new().budget(optimal).schedule(&g).unwrap();
+        assert_eq!(tight.schedule.peak_bytes, optimal);
+    }
+
+    #[test]
+    fn budget_below_optimum_fails() {
+        let g = branchy();
+        let optimal = DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        let err = DpScheduler::new().budget(optimal - 1).schedule(&g).unwrap_err();
+        assert!(matches!(err, ScheduleError::NoSolution { .. }));
+    }
+
+    #[test]
+    fn pruning_reduces_transitions() {
+        let g = serenity_ir::random_dag::independent_branches(8, 10);
+        let free = DpScheduler::new().schedule(&g).unwrap();
+        let tight = DpScheduler::new().budget(free.schedule.peak_bytes).schedule(&g).unwrap();
+        assert!(tight.stats.transitions <= free.stats.transitions);
+        assert!(tight.stats.pruned > 0 || tight.stats.transitions == free.stats.transitions);
+    }
+
+    #[test]
+    fn prefix_is_respected() {
+        let g = branchy();
+        let b1 = g.node_ids().find(|&id| g.node(id).name == "b1").unwrap();
+        let a = g.node_ids().find(|&id| g.node(id).name == "a").unwrap();
+        let dp = DpScheduler::new().schedule_with_prefix(&g, &[a, b1]).unwrap();
+        assert_eq!(&dp.schedule.order[..2], &[a, b1]);
+        assert!(topo::is_order(&g, &dp.schedule.order));
+    }
+
+    #[test]
+    fn invalid_prefix_is_rejected() {
+        let g = branchy();
+        let sink = *g.outputs().first().unwrap();
+        let err = DpScheduler::new().schedule_with_prefix(&g, &[sink]).unwrap_err();
+        assert!(matches!(err, ScheduleError::Graph(GraphError::InvalidOrder { .. })));
+    }
+
+    #[test]
+    fn state_cap_triggers_timeout() {
+        let g = serenity_ir::random_dag::independent_branches(16, 10);
+        let err = DpScheduler::new().max_states(4).schedule(&g).unwrap_err();
+        assert!(matches!(err, ScheduleError::Timeout { .. }));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let config = serenity_ir::random_dag::RandomDagConfig {
+                nodes: 18,
+                edge_prob: 0.15,
+                ..Default::default()
+            };
+            let g = serenity_ir::random_dag::random_dag(&config, &mut rng);
+            let serial = DpScheduler::new().schedule(&g).unwrap();
+            let parallel = DpScheduler::new().threads(4).schedule(&g).unwrap();
+            assert_eq!(serial.schedule.peak_bytes, parallel.schedule.peak_bytes);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = branchy();
+        let dp = DpScheduler::new().schedule(&g).unwrap();
+        assert_eq!(dp.stats.steps, g.len());
+        assert!(dp.stats.transitions >= g.len() as u64);
+        assert!(dp.stats.states >= g.len() as u64);
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use serenity_ir::GraphError;
+
+/// Errors produced by the SERENITY schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// Every path was pruned by the soft budget τ: the budget is below the
+    /// optimal peak µ* (Algorithm 2's `'no solution'` flag).
+    NoSolution {
+        /// The budget that admitted no schedule, in bytes.
+        budget: u64,
+    },
+    /// A search step exceeded the per-step time limit `T` (Algorithm 2's
+    /// `'timeout'` flag), or the state table outgrew the configured cap.
+    Timeout {
+        /// Search step at which the limit was hit.
+        step: usize,
+        /// Elapsed wall-clock time in the offending step.
+        elapsed: Duration,
+    },
+    /// The adaptive budget meta-search exhausted its round limit without a
+    /// DP solution; the caller may fall back to the hard-budget schedule.
+    BudgetSearchExhausted {
+        /// Number of rounds attempted.
+        rounds: usize,
+    },
+    /// The underlying graph is malformed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoSolution { budget } => {
+                write!(f, "no schedule fits within the soft budget of {budget} bytes")
+            }
+            ScheduleError::Timeout { step, elapsed } => {
+                write!(f, "search step {step} exceeded its time limit after {elapsed:?}")
+            }
+            ScheduleError::BudgetSearchExhausted { rounds } => {
+                write!(f, "adaptive soft budgeting found no solution in {rounds} rounds")
+            }
+            ScheduleError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ScheduleError {
+    fn from(e: GraphError) -> Self {
+        ScheduleError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ScheduleError::NoSolution { budget: 1024 };
+        assert!(e.to_string().contains("1024"));
+        let e = ScheduleError::Timeout { step: 7, elapsed: Duration::from_millis(3) };
+        assert!(e.to_string().contains("step 7"));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let e: ScheduleError = GraphError::Empty.into();
+        assert!(matches!(e, ScheduleError::Graph(GraphError::Empty)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ScheduleError>();
+    }
+}

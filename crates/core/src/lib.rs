@@ -1,0 +1,64 @@
+//! SERENITY: memory-aware scheduling of irregularly wired neural networks.
+//!
+//! This crate implements the primary contribution of *"Ordering Chaos:
+//! Memory-Aware Scheduling of Irregularly Wired Neural Networks for Edge
+//! Devices"* (Ahn et al., MLSys 2020):
+//!
+//! * [`dp::DpScheduler`] — the dynamic-programming scheduler of §3.1
+//!   (Algorithm 1). Partial schedules are keyed by their *zero-indegree set
+//!   signature*; one optimal-peak state is memoized per signature, yielding
+//!   the provably footprint-optimal schedule in `O(|V|·2^|V|)` instead of
+//!   `O(|V|!)`.
+//! * [`budget::AdaptiveSoftBudget`] — the meta-search of §3.2 (Algorithm 2):
+//!   a binary search over the pruning budget τ between a hard budget obtained
+//!   from Kahn's algorithm and a provable lower bound, driven by the
+//!   `{solution, no-solution, timeout}` flags of budget-pruned DP runs.
+//! * [`divide`] — divide-and-conquer over the single-node cuts of hourglass
+//!   graphs (§3.2, Figure 7), preserving optimality while shrinking `2^|V|`
+//!   to `2^{|V|/N}` per segment.
+//! * [`rewrite`] — identity graph rewriting (§3.3): channel-wise partitioning
+//!   of `concat→conv` and kernel-wise partitioning of `concat→depthwise-conv`
+//!   patterns, keeping the network's arithmetic output identical while
+//!   lowering the achievable peak footprint.
+//! * [`pipeline::Serenity`] — the end-to-end flow of Figure 4: rewrite →
+//!   partition → DP + adaptive budgeting → memory allocation.
+//! * [`baseline`] — the schedulers SERENITY is compared against: Kahn
+//!   (TensorFlow Lite), DFS, random orders, a greedy heuristic, and
+//!   brute-force exhaustive search (the optimality oracle for tests).
+//!
+//! # Example
+//!
+//! ```
+//! use serenity_core::pipeline::Serenity;
+//! use serenity_ir::{Graph, TensorShape, DType, Op};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new("cell");
+//! let x = g.add_input("x", TensorShape::nhwc(1, 8, 8, 4, DType::F32));
+//! let a = g.add(Op::Relu, &[x])?;
+//! let b = g.add(Op::Sigmoid, &[x])?;
+//! let y = g.add(Op::Add, &[a, b])?;
+//! g.mark_output(y);
+//!
+//! let compiled = Serenity::builder().build().compile(&g)?;
+//! assert!(compiled.peak_bytes <= serenity_ir::mem::peak_bytes(&g, &serenity_ir::topo::kahn(&g))?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod beam;
+pub mod budget;
+pub mod canon;
+pub mod divide;
+pub mod dp;
+mod error;
+pub mod pipeline;
+pub mod rewrite;
+mod schedule;
+
+pub use error::ScheduleError;
+pub use schedule::{Schedule, ScheduleStats};

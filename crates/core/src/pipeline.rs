@@ -1,0 +1,364 @@
+//! The end-to-end SERENITY pipeline (Figure 4): identity graph rewriting →
+//! divide-and-conquer partitioning → dynamic-programming scheduling with
+//! adaptive soft budgeting → arena memory allocation.
+
+use std::time::{Duration, Instant};
+
+use serenity_allocator::{MemoryPlan, Strategy};
+use serenity_ir::cuts::PartitionSummary;
+use serenity_ir::Graph;
+
+use crate::budget::BudgetConfig;
+use crate::divide::{DivideAndConquer, SegmentScheduler};
+use crate::rewrite::{AppliedRewrite, Rewriter};
+use crate::{Schedule, ScheduleError, ScheduleStats};
+
+/// Whether and how graph rewriting participates in compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RewriteMode {
+    /// Never rewrite (the paper's "Dynamic Programming + Memory Allocator"
+    /// configuration).
+    Off,
+    /// Always schedule the rewritten graph when any rule matched.
+    Always,
+    /// Schedule both graphs and keep the better peak — Equation (2)'s
+    /// `argmin over transformations`. The default.
+    #[default]
+    IfBeneficial,
+}
+
+/// Builder for [`Serenity`].
+#[derive(Debug, Clone, Default)]
+pub struct SerenityBuilder {
+    rewrite: RewriteMode,
+    segment_scheduler: SegmentScheduler,
+    allocator: Option<Strategy>,
+    divide: bool,
+}
+
+impl SerenityBuilder {
+    /// Creates the default builder: rewriting if beneficial, adaptive soft
+    /// budgeting, divide-and-conquer on, and greedy-by-size offset planning
+    /// (TFLite's `ArenaPlanner` policy, which both the baseline and SERENITY
+    /// numbers use in the paper's comparison).
+    pub fn new() -> Self {
+        SerenityBuilder {
+            rewrite: RewriteMode::IfBeneficial,
+            segment_scheduler: SegmentScheduler::default(),
+            allocator: Some(Strategy::GreedyBySize),
+            divide: true,
+        }
+    }
+
+    /// Sets the rewrite mode.
+    pub fn rewrite(mut self, mode: RewriteMode) -> Self {
+        self.rewrite = mode;
+        self
+    }
+
+    /// Sets how segments (or the whole graph) are scheduled.
+    pub fn segment_scheduler(mut self, scheduler: SegmentScheduler) -> Self {
+        self.segment_scheduler = scheduler;
+        self
+    }
+
+    /// Shorthand: adaptive soft budgeting with the given configuration.
+    pub fn adaptive_budget(mut self, config: BudgetConfig) -> Self {
+        self.segment_scheduler = SegmentScheduler::Adaptive(config);
+        self
+    }
+
+    /// Shorthand: plain DP with the given configuration.
+    pub fn plain_dp(mut self, config: crate::dp::DpConfig) -> Self {
+        self.segment_scheduler = SegmentScheduler::Dp(config);
+        self
+    }
+
+    /// Chooses the arena allocator (`None` disables offset planning).
+    pub fn allocator(mut self, strategy: Option<Strategy>) -> Self {
+        self.allocator = strategy;
+        self
+    }
+
+    /// Enables or disables divide-and-conquer partitioning.
+    pub fn divide_and_conquer(mut self, enabled: bool) -> Self {
+        self.divide = enabled;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Serenity {
+        Serenity { config: self }
+    }
+}
+
+/// The SERENITY compiler.
+///
+/// # Example
+///
+/// ```
+/// use serenity_core::pipeline::Serenity;
+/// use serenity_ir::{DType, GraphBuilder, Padding};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new("cell");
+/// let x = b.image_input("x", 8, 8, 4, DType::F32);
+/// let l = b.conv1x1(x, 4)?;
+/// let r = b.conv1x1(x, 4)?;
+/// let cat = b.concat(&[l, r])?;
+/// let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same)?;
+/// b.mark_output(y);
+/// let g = b.finish();
+///
+/// let compiled = Serenity::builder().build().compile(&g)?;
+/// assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes);
+/// assert!(compiled.arena.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Serenity {
+    config: SerenityBuilder,
+}
+
+/// Result of compiling a graph.
+#[derive(Debug, Clone)]
+pub struct CompiledSchedule {
+    /// The graph that was scheduled (the rewritten one if rewriting won).
+    pub graph: Graph,
+    /// The chosen schedule of [`CompiledSchedule::graph`].
+    pub schedule: Schedule,
+    /// Peak activation footprint without the allocator, in bytes
+    /// (Figure 12(b) accounting). Equal to `schedule.peak_bytes`.
+    pub peak_bytes: u64,
+    /// Arena layout under the configured allocator, if enabled.
+    pub arena: Option<MemoryPlan>,
+    /// Peak of the TensorFlow-Lite-style baseline (Kahn order) on the
+    /// *original* graph, for reduction factors.
+    pub baseline_peak_bytes: u64,
+    /// Rewrites applied to obtain [`CompiledSchedule::graph`] (empty when the
+    /// original graph was kept).
+    pub rewrites: Vec<AppliedRewrite>,
+    /// Partition used by divide-and-conquer.
+    pub partition: PartitionSummary,
+    /// Aggregate search statistics.
+    pub stats: ScheduleStats,
+    /// End-to-end compilation wall-clock time.
+    pub compile_time: Duration,
+}
+
+impl CompiledSchedule {
+    /// Peak-footprint reduction versus the TFLite-style baseline
+    /// (the Figure 10 metric): `baseline / serenity`.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.peak_bytes == 0 {
+            1.0
+        } else {
+            self.baseline_peak_bytes as f64 / self.peak_bytes as f64
+        }
+    }
+
+    /// Arena size in bytes when allocation was enabled.
+    pub fn arena_bytes(&self) -> Option<u64> {
+        self.arena.as_ref().map(|p| p.arena_bytes)
+    }
+}
+
+impl Serenity {
+    /// Starts building a compiler.
+    pub fn builder() -> SerenityBuilder {
+        SerenityBuilder::new()
+    }
+
+    /// Compiles `graph`: rewrites (per mode), schedules, and plans memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures ([`ScheduleError`]) and graph errors.
+    pub fn compile(&self, graph: &Graph) -> Result<CompiledSchedule, ScheduleError> {
+        let started = Instant::now();
+        let baseline_peak_bytes = crate::baseline::kahn(graph)?.peak_bytes;
+
+        let (original_schedule, original_partition, original_stats) = self.schedule_one(graph)?;
+
+        let mut chosen_graph = graph.clone();
+        let mut chosen = original_schedule;
+        let mut chosen_partition = original_partition;
+        let mut stats = original_stats;
+        let mut rewrites = Vec::new();
+
+        if self.config.rewrite != RewriteMode::Off {
+            let outcome = Rewriter::standard().rewrite(graph);
+            if outcome.changed() {
+                let (rw_schedule, rw_partition, rw_stats) = self.schedule_one(&outcome.graph)?;
+                let take_rewrite = match self.config.rewrite {
+                    RewriteMode::Always => true,
+                    RewriteMode::IfBeneficial => rw_schedule.peak_bytes < chosen.peak_bytes,
+                    RewriteMode::Off => false,
+                };
+                stats.states += rw_stats.states;
+                stats.transitions += rw_stats.transitions;
+                stats.pruned += rw_stats.pruned;
+                if take_rewrite {
+                    chosen_graph = outcome.graph;
+                    chosen = rw_schedule;
+                    chosen_partition = rw_partition;
+                    rewrites = outcome.applied;
+                }
+            }
+        }
+
+        // Among the schedules attaining the optimal peak, a run-to-completion
+        // order (`canon::stackify`) often allocates more tightly — but not
+        // always, so when an allocator is configured both candidates are
+        // planned and the smaller arena wins at identical live peak.
+        let canonical = crate::canon::stackify(&chosen_graph, chosen.peak_bytes)
+            .and_then(|order| Schedule::from_order(&chosen_graph, order).ok());
+
+        let mut arena = None;
+        if let Some(strategy) = self.config.allocator {
+            let plan_for = |schedule: &Schedule| {
+                serenity_allocator::plan(&chosen_graph, &schedule.order, strategy).map_err(
+                    |e| match e {
+                        serenity_allocator::AllocError::Graph(g) => ScheduleError::Graph(g),
+                        other => ScheduleError::Graph(serenity_ir::GraphError::InvalidOrder {
+                            detail: other.to_string(),
+                        }),
+                    },
+                )
+            };
+            let mut best = plan_for(&chosen)?;
+            if let Some(candidate) = canonical {
+                let candidate_plan = plan_for(&candidate)?;
+                if candidate_plan.arena_bytes < best.arena_bytes {
+                    chosen = candidate;
+                    best = candidate_plan;
+                }
+            }
+            arena = Some(best);
+        } else if let Some(candidate) = canonical {
+            debug_assert!(candidate.peak_bytes <= chosen.peak_bytes);
+            chosen = candidate;
+        }
+
+        let compile_time = started.elapsed();
+        stats.duration = compile_time;
+        Ok(CompiledSchedule {
+            peak_bytes: chosen.peak_bytes,
+            graph: chosen_graph,
+            schedule: chosen,
+            arena,
+            baseline_peak_bytes,
+            rewrites,
+            partition: chosen_partition,
+            stats,
+            compile_time,
+        })
+    }
+
+    fn schedule_one(
+        &self,
+        graph: &Graph,
+    ) -> Result<(Schedule, PartitionSummary, ScheduleStats), ScheduleError> {
+        if self.config.divide {
+            let outcome = DivideAndConquer::new()
+                .segment_scheduler(self.config.segment_scheduler.clone())
+                .schedule(graph)?;
+            Ok((outcome.schedule, outcome.partition, outcome.total_stats))
+        } else {
+            let (schedule, stats) = match &self.config.segment_scheduler {
+                SegmentScheduler::Dp(config) => {
+                    let s = crate::dp::DpScheduler::with_config(config.clone()).schedule(graph)?;
+                    (s.schedule, s.stats)
+                }
+                SegmentScheduler::Adaptive(config) => {
+                    let o = crate::budget::AdaptiveSoftBudget::with_config(config.clone())
+                        .search(graph)?;
+                    (o.schedule, o.total_stats)
+                }
+            };
+            let partition = PartitionSummary {
+                total_nodes: graph.len(),
+                segment_sizes: vec![graph.len()],
+                cut_count: 0,
+            };
+            Ok((schedule, partition, stats))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{DType, GraphBuilder, Padding};
+
+    fn concat_cell() -> Graph {
+        let mut b = GraphBuilder::new("cell");
+        let x = b.image_input("x", 8, 8, 8, DType::F32);
+        let b1 = b.conv1x1(x, 8).unwrap();
+        let b2 = b.conv1x1(x, 8).unwrap();
+        let b3 = b.conv1x1(x, 8).unwrap();
+        let cat = b.concat(&[b1, b2, b3]).unwrap();
+        let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+        b.mark_output(y);
+        b.finish()
+    }
+
+    #[test]
+    fn full_pipeline_beats_baseline() {
+        let g = concat_cell();
+        let compiled = Serenity::builder().build().compile(&g).unwrap();
+        assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes);
+        assert!(compiled.reduction_factor() >= 1.0);
+        let arena = compiled.arena.expect("allocator enabled by default");
+        arena.validate().unwrap();
+        assert!(arena.arena_bytes >= compiled.peak_bytes);
+    }
+
+    #[test]
+    fn rewriting_improves_this_cell() {
+        let g = concat_cell();
+        let without = Serenity::builder().rewrite(RewriteMode::Off).build().compile(&g).unwrap();
+        let with =
+            Serenity::builder().rewrite(RewriteMode::IfBeneficial).build().compile(&g).unwrap();
+        assert!(with.peak_bytes < without.peak_bytes);
+        assert!(!with.rewrites.is_empty());
+        assert!(with.graph.len() > g.len());
+    }
+
+    #[test]
+    fn if_beneficial_never_hurts() {
+        // A plain chain: rewriting finds nothing, graph stays as-is.
+        let mut b = GraphBuilder::new("plain");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let y = b.conv(x, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+        b.mark_output(y);
+        let g = b.finish();
+        let compiled = Serenity::builder().build().compile(&g).unwrap();
+        assert!(compiled.rewrites.is_empty());
+        assert_eq!(compiled.graph, g);
+    }
+
+    #[test]
+    fn allocator_can_be_disabled() {
+        let g = concat_cell();
+        let compiled = Serenity::builder().allocator(None).build().compile(&g).unwrap();
+        assert!(compiled.arena.is_none());
+    }
+
+    #[test]
+    fn no_divide_matches_divide_on_peak() {
+        let g = concat_cell();
+        let divided = Serenity::builder().build().compile(&g).unwrap();
+        let whole = Serenity::builder().divide_and_conquer(false).build().compile(&g).unwrap();
+        assert_eq!(divided.peak_bytes, whole.peak_bytes);
+    }
+
+    #[test]
+    fn schedule_covers_all_nodes() {
+        let g = concat_cell();
+        let compiled = Serenity::builder().build().compile(&g).unwrap();
+        assert_eq!(compiled.schedule.order.len(), compiled.graph.len());
+        assert!(serenity_ir::topo::is_order(&compiled.graph, &compiled.schedule.order));
+    }
+}

@@ -1,0 +1,174 @@
+//! Channel-wise partitioning of `concat + conv` (§3.3, Equations 3–6).
+
+use serenity_ir::{ChannelRange, Graph, GraphError, NodeId, Op};
+
+use super::rebuild::Rebuilder;
+use super::{concat_feeding, RewriteRule, RewriteSite};
+
+/// Rewrites `y = conv(concat(x₁…xₖ))` into
+/// `y = accum_add(partial_conv₁(x₁), …, partial_convₖ(xₖ))`, where
+/// `partial_convᵢ` convolves with the input-channel slice `w⋆ᵢ` of the
+/// original kernel and the partials accumulate in place into the
+/// pre-allocated output ([`Op::AccumAdd`]). By distributivity of the channel
+/// sum over convolution the result is arithmetically identical, but each
+/// branch tensor is freed as soon as its partial convolution runs, instead of
+/// surviving until the full concatenated tensor is consumed. Memory cost
+/// drops from `Σᵢ xᵢ + y` to `max(xᵢ + y)` (Figure 9, top).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelWiseRule;
+
+impl RewriteRule for ChannelWiseRule {
+    fn name(&self) -> &'static str {
+        "channel-wise"
+    }
+
+    fn find(&self, graph: &Graph) -> Vec<RewriteSite> {
+        graph
+            .node_ids()
+            .filter_map(|v| {
+                let Op::Conv2d(conv) = &graph.node(v).op else {
+                    return None;
+                };
+                // Partial convolutions (already sliced) are not re-partitioned.
+                if conv.weight.is_sliced() {
+                    return None;
+                }
+                let (concat, branches) = concat_feeding(graph, v)?;
+                Some(RewriteSite { rule: self.name(), concat, consumer: v, branches })
+            })
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError> {
+        let Op::Conv2d(conv) = &graph.node(site.consumer).op else {
+            return Err(GraphError::InvalidOrder {
+                detail: format!("site consumer {} is not a conv", site.consumer),
+            });
+        };
+        let branches: Vec<NodeId> = graph.preds(site.concat).to_vec();
+        let consumer_name = graph.node(site.consumer).name.clone();
+
+        let mut rb = Rebuilder::new(graph);
+        for u in graph.node_ids() {
+            if u == site.concat {
+                continue; // the concat disappears
+            }
+            if u != site.consumer {
+                rb.copy(u)?;
+                continue;
+            }
+            // Splice: one partial conv per branch, then an n-ary add.
+            let mut partials = Vec::with_capacity(branches.len());
+            let mut offset = 0u32;
+            for (i, &x) in branches.iter().enumerate() {
+                let channels = graph.node(x).shape.c() as u32;
+                let slice = ChannelRange::new(offset, offset + channels);
+                offset += channels;
+                let mut partial = conv.clone();
+                partial.weight = partial.weight.with_in_slice(slice);
+                let mapped = rb.mapped(x);
+                let id = rb.out_mut().add_named(
+                    format!("{consumer_name}_part{i}"),
+                    Op::Conv2d(partial),
+                    &[mapped],
+                )?;
+                partials.push(id);
+            }
+            let add = rb.out_mut().add_named(
+                format!("{consumer_name}_sum"),
+                Op::AccumAdd,
+                &partials,
+            )?;
+            rb.splice(site.consumer, add);
+        }
+        Ok(rb.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::Rewriter;
+    use serenity_ir::{mem, topo, DType, GraphBuilder, Padding};
+
+    fn concat_conv_cell(branch_channels: &[usize]) -> Graph {
+        let mut b = GraphBuilder::new("cc");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let branches: Vec<_> =
+            branch_channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+        let cat = b.concat(&branches).unwrap();
+        let y = b.conv(cat, 16, (3, 3), (1, 1), Padding::Same).unwrap();
+        b.mark_output(y);
+        b.finish()
+    }
+
+    #[test]
+    fn produces_partial_convs_and_add() {
+        let g = concat_conv_cell(&[2, 3, 5]);
+        let site = ChannelWiseRule.find(&g).remove(0);
+        assert_eq!(site.branches, 3);
+        let out = ChannelWiseRule.apply(&g, &site).unwrap();
+        assert!(out.validate().is_ok());
+        // concat+conv (2) → 3 partials + add (4): net +2.
+        assert_eq!(out.len(), g.len() + 2);
+
+        let partials: Vec<_> = out
+            .nodes()
+            .filter(|n| matches!(&n.op, Op::Conv2d(c) if c.weight.is_sliced()))
+            .collect();
+        assert_eq!(partials.len(), 3);
+        // Slices tile the concatenated channel axis [0,2), [2,5), [5,10).
+        let mut slices: Vec<(u32, u32)> = partials
+            .iter()
+            .map(|n| {
+                let Op::Conv2d(c) = &n.op else { unreachable!() };
+                let s = c.weight.in_slice.unwrap();
+                (s.start, s.end)
+            })
+            .collect();
+        slices.sort_unstable();
+        assert_eq!(slices, vec![(0, 2), (2, 5), (5, 10)]);
+        // All partials share the original weight id.
+        let ids: std::collections::HashSet<_> = partials
+            .iter()
+            .map(|n| n.op.weight().unwrap().id)
+            .collect();
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn peak_memory_cost_drops_as_figure9_predicts() {
+        // With many equal branches: before = Σxᵢ + y live at the conv;
+        // after = one branch + y (plus pipeline slack).
+        let g = concat_conv_cell(&[8, 8, 8, 8]);
+        let rewritten = Rewriter::channel_only().rewrite(&g).graph;
+        let before = crate::dp::DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        let after =
+            crate::dp::DpScheduler::new().schedule(&rewritten).unwrap().schedule.peak_bytes;
+        assert!(after < before, "after {after} >= before {before}");
+    }
+
+    #[test]
+    fn rewritten_graph_schedules_validly() {
+        let g = concat_conv_cell(&[2, 2]);
+        let rewritten = Rewriter::channel_only().rewrite(&g).graph;
+        let order = topo::kahn(&rewritten);
+        assert!(mem::peak_bytes(&rewritten, &order).is_ok());
+    }
+
+    #[test]
+    fn weight_count_is_preserved() {
+        // Slicing shares the original kernel: total parameters must not grow.
+        let g = concat_conv_cell(&[2, 3]);
+        let rewritten = Rewriter::channel_only().rewrite(&g).graph;
+        assert_eq!(g.total_weights(), rewritten.total_weights());
+    }
+
+    #[test]
+    fn macs_are_preserved() {
+        // Partial convolutions perform exactly the same multiplies.
+        let g = concat_conv_cell(&[2, 3, 4]);
+        let rewritten = Rewriter::channel_only().rewrite(&g).graph;
+        assert_eq!(g.total_macs(), rewritten.total_macs());
+    }
+}

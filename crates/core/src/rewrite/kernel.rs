@@ -1,0 +1,163 @@
+//! Kernel-wise partitioning of `concat + depthwise conv` (§3.3, Eq. 7–8).
+
+use serenity_ir::{ChannelRange, Graph, GraphError, NodeId, Op};
+
+use super::rebuild::Rebuilder;
+use super::{concat_feeding, RewriteRule, RewriteSite};
+
+/// Rewrites `y = depthconv(concat(x₁…xₖ))` into
+/// `y = slab_concat(partial_depthconv₁(x₁), …, partial_depthconvₖ(xₖ))`.
+///
+/// A depthwise convolution applies one kernel per channel, so it commutes
+/// with channel concatenation: every output channel depends on exactly one
+/// input branch. Each `partial_depthconvᵢ` uses the kernel slice matching its
+/// branch's channels and writes its result directly into its slice of the
+/// pre-allocated output buffer ([`Op::SlabConcat`]). Memory cost drops from
+/// `Σᵢ xᵢ + y` to `max(xᵢ + y)` (Figure 9, bottom).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelWiseRule;
+
+impl RewriteRule for KernelWiseRule {
+    fn name(&self) -> &'static str {
+        "kernel-wise"
+    }
+
+    fn find(&self, graph: &Graph) -> Vec<RewriteSite> {
+        graph
+            .node_ids()
+            .filter_map(|v| {
+                let Op::DepthwiseConv2d(dw) = &graph.node(v).op else {
+                    return None;
+                };
+                if dw.weight.is_sliced() {
+                    return None;
+                }
+                let (concat, branches) = concat_feeding(graph, v)?;
+                Some(RewriteSite { rule: self.name(), concat, consumer: v, branches })
+            })
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError> {
+        let Op::DepthwiseConv2d(dw) = &graph.node(site.consumer).op else {
+            return Err(GraphError::InvalidOrder {
+                detail: format!("site consumer {} is not a depthwise conv", site.consumer),
+            });
+        };
+        let branches: Vec<NodeId> = graph.preds(site.concat).to_vec();
+        let consumer_name = graph.node(site.consumer).name.clone();
+
+        let mut rb = Rebuilder::new(graph);
+        for u in graph.node_ids() {
+            if u == site.concat {
+                continue;
+            }
+            if u != site.consumer {
+                rb.copy(u)?;
+                continue;
+            }
+            let mut partials = Vec::with_capacity(branches.len());
+            let mut offset = 0u32;
+            for (i, &x) in branches.iter().enumerate() {
+                let channels = graph.node(x).shape.c() as u32;
+                let slice = ChannelRange::new(offset, offset + channels);
+                offset += channels;
+                let mut partial = dw.clone();
+                partial.weight = partial.weight.with_kernel_slice(slice);
+                let mapped = rb.mapped(x);
+                let id = rb.out_mut().add_named(
+                    format!("{consumer_name}_part{i}"),
+                    Op::DepthwiseConv2d(partial),
+                    &[mapped],
+                )?;
+                partials.push(id);
+            }
+            let concat = rb.out_mut().add_named(
+                format!("{consumer_name}_cat"),
+                Op::SlabConcat { axis: 3 },
+                &partials,
+            )?;
+            rb.splice(site.consumer, concat);
+        }
+        Ok(rb.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::Rewriter;
+    use serenity_ir::{DType, GraphBuilder, Padding};
+
+    fn concat_dw_cell(branch_channels: &[usize]) -> Graph {
+        let mut b = GraphBuilder::new("cdw");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let branches: Vec<_> =
+            branch_channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+        let cat = b.concat(&branches).unwrap();
+        let y = b.depthwise(cat, (3, 3), (1, 1), Padding::Same).unwrap();
+        let out = b.conv1x1(y, 8).unwrap();
+        b.mark_output(out);
+        b.finish()
+    }
+
+    #[test]
+    fn produces_partial_depthwise_and_concat() {
+        let g = concat_dw_cell(&[2, 3]);
+        let site = KernelWiseRule.find(&g).remove(0);
+        let out = KernelWiseRule.apply(&g, &site).unwrap();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.len(), g.len() + 1); // 2 partials + concat replace 2 nodes
+
+        let partials: Vec<_> = out
+            .nodes()
+            .filter(|n| matches!(&n.op, Op::DepthwiseConv2d(c) if c.weight.is_sliced()))
+            .collect();
+        assert_eq!(partials.len(), 2);
+        let mut slices: Vec<(u32, u32)> = partials
+            .iter()
+            .map(|n| {
+                let Op::DepthwiseConv2d(c) = &n.op else { unreachable!() };
+                let s = c.weight.kernel_slice.unwrap();
+                (s.start, s.end)
+            })
+            .collect();
+        slices.sort_unstable();
+        assert_eq!(slices, vec![(0, 2), (2, 5)]);
+    }
+
+    #[test]
+    fn partial_outputs_tile_the_channel_axis() {
+        let g = concat_dw_cell(&[2, 3]);
+        let rewritten = Rewriter::kernel_only().rewrite(&g).graph;
+        let cat = rewritten
+            .node_ids()
+            .find(|&id| {
+                matches!(rewritten.node(id).op, Op::SlabConcat { .. })
+                    && rewritten.node(id).name.contains("_cat")
+            })
+            .expect("rewritten slab concat exists");
+        assert_eq!(rewritten.node(cat).shape.c(), 5);
+        let pred_channels: Vec<usize> =
+            rewritten.preds(cat).iter().map(|&p| rewritten.node(p).shape.c()).collect();
+        assert_eq!(pred_channels, vec![2, 3]);
+    }
+
+    #[test]
+    fn rewrite_lowers_optimal_peak() {
+        let g = concat_dw_cell(&[8, 8, 8, 8]);
+        let rewritten = Rewriter::kernel_only().rewrite(&g).graph;
+        let before = crate::dp::DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        let after =
+            crate::dp::DpScheduler::new().schedule(&rewritten).unwrap().schedule.peak_bytes;
+        assert!(after < before, "after {after} >= before {before}");
+    }
+
+    #[test]
+    fn weight_and_mac_counts_are_preserved() {
+        let g = concat_dw_cell(&[2, 3, 4]);
+        let rewritten = Rewriter::kernel_only().rewrite(&g).graph;
+        assert_eq!(g.total_weights(), rewritten.total_weights());
+        assert_eq!(g.total_macs(), rewritten.total_macs());
+    }
+}

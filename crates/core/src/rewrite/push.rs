@@ -1,0 +1,197 @@
+//! Activation pushdown: `act(concat(x₁…xₖ)) → concat(act(x₁)…act(xₖ))`.
+//!
+//! Purely element-wise activations (ReLU, sigmoid) commute with
+//! concatenation, so pushing them *through* a concat is an identity rewrite.
+//! On its own it neither helps nor hurts the footprint (shapes are
+//! unchanged), but it **exposes** `concat → conv` patterns that were hidden
+//! behind an activation — exactly the situation in DARTS-style cells, where
+//! a cell's output concat is consumed by the next cell's
+//! `ReLU → 1×1 conv → BN` preprocessing. After pushdown, channel-wise
+//! partitioning (§3.3) applies to the now-adjacent `concat → conv` pair.
+
+use serenity_ir::{Graph, GraphError, NodeId, Op};
+
+use super::rebuild::Rebuilder;
+use super::{RewriteRule, RewriteSite};
+
+/// The activation-pushdown rule (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActivationPushdownRule;
+
+fn is_pushable(op: &Op) -> bool {
+    matches!(op, Op::Relu | Op::Sigmoid)
+}
+
+impl RewriteRule for ActivationPushdownRule {
+    fn name(&self) -> &'static str {
+        "activation-pushdown"
+    }
+
+    fn find(&self, graph: &Graph) -> Vec<RewriteSite> {
+        graph
+            .node_ids()
+            .filter_map(|v| {
+                if !is_pushable(&graph.node(v).op) {
+                    return None;
+                }
+                let preds = graph.preds(v);
+                if preds.len() != 1 {
+                    return None;
+                }
+                let concat = preds[0];
+                // Only materializing concats: pushing through a slab concat
+                // would force its members to materialize again.
+                let Op::Concat { axis } = graph.node(concat).op else {
+                    return None;
+                };
+                if axis != 3
+                    || graph.succs(concat).len() != 1
+                    || graph.explicit_outputs().contains(&concat)
+                {
+                    return None;
+                }
+                let branches = graph.preds(concat).len();
+                if branches < 2 {
+                    return None;
+                }
+                Some(RewriteSite { rule: self.name(), concat, consumer: v, branches })
+            })
+            .collect()
+    }
+
+    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError> {
+        let act = graph.node(site.consumer).op.clone();
+        if !is_pushable(&act) {
+            return Err(GraphError::InvalidOrder {
+                detail: format!("site consumer {} is not a pushable activation", site.consumer),
+            });
+        }
+        let Op::Concat { axis } = graph.node(site.concat).op else {
+            return Err(GraphError::InvalidOrder {
+                detail: format!("site anchor {} is not a concat", site.concat),
+            });
+        };
+        let branches: Vec<NodeId> = graph.preds(site.concat).to_vec();
+        let act_name = graph.node(site.consumer).name.clone();
+
+        let mut rb = Rebuilder::new(graph);
+        for u in graph.node_ids() {
+            if u == site.concat {
+                continue;
+            }
+            if u != site.consumer {
+                rb.copy(u)?;
+                continue;
+            }
+            let mut pushed = Vec::with_capacity(branches.len());
+            for (i, &x) in branches.iter().enumerate() {
+                let mapped = rb.mapped(x);
+                let id = rb.out_mut().add_named(
+                    format!("{act_name}_push{i}"),
+                    act.clone(),
+                    &[mapped],
+                )?;
+                pushed.push(id);
+            }
+            let concat = rb.out_mut().add_named(
+                format!("{act_name}_cat"),
+                Op::Concat { axis },
+                &pushed,
+            )?;
+            rb.splice(site.consumer, concat);
+        }
+        Ok(rb.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::Rewriter;
+    use serenity_ir::{DType, GraphBuilder};
+
+    /// DARTS-style tail: cell concat consumed by relu → 1x1 conv → bn.
+    fn darts_tail() -> Graph {
+        let mut b = GraphBuilder::new("tail");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let s1 = b.conv1x1(x, 6).unwrap();
+        let s2 = b.conv1x1(x, 6).unwrap();
+        let s3 = b.conv1x1(x, 6).unwrap();
+        let cat = b.concat(&[s1, s2, s3]).unwrap();
+        let r = b.relu(cat).unwrap();
+        let c = b.conv1x1(r, 8).unwrap();
+        let bn = b.batch_norm(c).unwrap();
+        b.mark_output(bn);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_hidden_pattern() {
+        let g = darts_tail();
+        // Channel-wise alone cannot match: the conv's pred is the relu.
+        assert!(crate::rewrite::ChannelWiseRule.find(&g).is_empty());
+        assert_eq!(ActivationPushdownRule.find(&g).len(), 1);
+    }
+
+    #[test]
+    fn pushdown_then_channel_wise_cascade() {
+        let g = darts_tail();
+        let outcome = Rewriter::standard().rewrite(&g);
+        // Pushdown (+2 relus) exposes concat→conv, then channel-wise fires.
+        assert!(outcome.applied.iter().any(|a| a.rule == "activation-pushdown"));
+        assert!(outcome.applied.iter().any(|a| a.rule == "channel-wise"));
+        assert!(outcome.graph.validate().is_ok());
+        // Rewriting lowers the achievable peak on this tail.
+        let before = crate::dp::DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        let after =
+            crate::dp::DpScheduler::new().schedule(&outcome.graph).unwrap().schedule.peak_bytes;
+        assert!(after < before, "after {after} >= before {before}");
+    }
+
+    #[test]
+    fn sigmoid_is_also_pushed() {
+        let mut b = GraphBuilder::new("sig");
+        let x = b.image_input("x", 4, 4, 2, DType::F32);
+        let l = b.conv1x1(x, 2).unwrap();
+        let r = b.conv1x1(x, 2).unwrap();
+        let cat = b.concat(&[l, r]).unwrap();
+        let s = b.sigmoid(cat).unwrap();
+        let out = b.conv1x1(s, 4).unwrap();
+        b.mark_output(out);
+        let g = b.finish();
+        assert_eq!(ActivationPushdownRule.find(&g).len(), 1);
+    }
+
+    #[test]
+    fn batch_norm_is_not_pushed() {
+        // BN parameters are indexed by absolute channel, so BN does not
+        // commute with concat; the rule must not match it.
+        let mut b = GraphBuilder::new("bn");
+        let x = b.image_input("x", 4, 4, 2, DType::F32);
+        let l = b.conv1x1(x, 2).unwrap();
+        let r = b.conv1x1(x, 2).unwrap();
+        let cat = b.concat(&[l, r]).unwrap();
+        let n = b.batch_norm(cat).unwrap();
+        let out = b.conv1x1(n, 4).unwrap();
+        b.mark_output(out);
+        let g = b.finish();
+        assert!(ActivationPushdownRule.find(&g).is_empty());
+    }
+
+    #[test]
+    fn concat_with_multiple_consumers_not_pushed() {
+        let mut b = GraphBuilder::new("multi");
+        let x = b.image_input("x", 4, 4, 2, DType::F32);
+        let l = b.conv1x1(x, 2).unwrap();
+        let r = b.conv1x1(x, 2).unwrap();
+        let cat = b.concat(&[l, r]).unwrap();
+        let a = b.relu(cat).unwrap();
+        let s = b.sigmoid(cat).unwrap();
+        let a1 = b.conv1x1(a, 2).unwrap();
+        let s1 = b.conv1x1(s, 2).unwrap();
+        let out = b.add(&[a1, s1]).unwrap();
+        b.mark_output(out);
+        let g = b.finish();
+        assert!(ActivationPushdownRule.find(&g).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Graph-rebuild helper shared by the rewrite rules.
+//!
+//! Node ids are topological by construction (predecessors are always added
+//! first), so rules rebuild a graph by walking ids in order, copying
+//! untouched nodes and splicing replacements at the consumer's position.
+
+use serenity_ir::fxhash::FxHashMap;
+use serenity_ir::{Graph, GraphError, NodeId, Op};
+
+/// Incrementally rebuilds a graph with an old→new id mapping.
+pub(crate) struct Rebuilder<'g> {
+    src: &'g Graph,
+    out: Graph,
+    map: FxHashMap<NodeId, NodeId>,
+}
+
+impl<'g> Rebuilder<'g> {
+    pub(crate) fn new(src: &'g Graph) -> Self {
+        Rebuilder { src, out: Graph::new(src.name().to_owned()), map: FxHashMap::default() }
+    }
+
+    /// The graph being built.
+    pub(crate) fn out_mut(&mut self) -> &mut Graph {
+        &mut self.out
+    }
+
+    /// New id of an already-copied (or spliced) source node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` has not been mapped yet — rules only look up
+    /// predecessors, which precede their consumers in id order.
+    pub(crate) fn mapped(&self, old: NodeId) -> NodeId {
+        *self.map.get(&old).expect("predecessor must already be mapped")
+    }
+
+    /// Registers a replacement: consumers of `old` will use `new`.
+    pub(crate) fn splice(&mut self, old: NodeId, new: NodeId) {
+        self.map.insert(old, new);
+    }
+
+    /// Copies source node `u` verbatim (with mapped predecessors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures (impossible for faithful copies).
+    pub(crate) fn copy(&mut self, u: NodeId) -> Result<NodeId, GraphError> {
+        let node = self.src.node(u);
+        let preds: Vec<NodeId> = self.src.preds(u).iter().map(|&p| self.mapped(p)).collect();
+        let id = match &node.op {
+            Op::Input => self.out.add_input(node.name.clone(), node.shape.clone()),
+            Op::Opaque { .. } => {
+                self.out.add_opaque(node.name.clone(), node.shape.bytes(), &preds)?
+            }
+            op => self.out.add_named(node.name.clone(), op.clone(), &preds)?,
+        };
+        self.map.insert(u, id);
+        Ok(id)
+    }
+
+    /// Carries explicit output markings over and returns the rebuilt graph.
+    pub(crate) fn finish(mut self) -> Graph {
+        for &o in self.src.explicit_outputs() {
+            let mapped = self.mapped(o);
+            self.out.mark_output(mapped);
+        }
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{DType, TensorShape};
+
+    #[test]
+    fn verbatim_rebuild_is_identical() {
+        let mut g = Graph::new("g");
+        let a = g.add_input("a", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+        let b = g.add(Op::Relu, &[a]).unwrap();
+        let c = g.add(Op::Sigmoid, &[a]).unwrap();
+        let d = g.add(Op::Add, &[b, c]).unwrap();
+        g.mark_output(d);
+
+        let mut rb = Rebuilder::new(&g);
+        for u in g.node_ids() {
+            rb.copy(u).unwrap();
+        }
+        let out = rb.finish();
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn splice_redirects_consumers() {
+        let mut g = Graph::new("g");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 20, &[a]).unwrap();
+        let c = g.add_opaque("c", 30, &[b]).unwrap();
+        g.mark_output(c);
+
+        // Replace b with a differently sized node.
+        let mut rb = Rebuilder::new(&g);
+        rb.copy(a).unwrap();
+        let replacement = {
+            let mapped_a = rb.mapped(a);
+            rb.out_mut().add_opaque("b_new", 99, &[mapped_a]).unwrap()
+        };
+        rb.splice(b, replacement);
+        rb.copy(c).unwrap();
+        let out = rb.finish();
+        assert_eq!(out.len(), 3);
+        let new_c = out.node_ids().find(|&id| out.node(id).name == "c").unwrap();
+        let pred = out.preds(new_c)[0];
+        assert_eq!(out.node(pred).name, "b_new");
+        assert_eq!(out.out_bytes(pred), 99);
+    }
+}

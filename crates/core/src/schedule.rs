@@ -1,0 +1,139 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use serenity_ir::{mem, Graph, GraphError, NodeId};
+
+/// A schedule: a topological order of a graph's nodes together with its peak
+/// activation footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Execution order of the nodes.
+    pub order: Vec<NodeId>,
+    /// Peak activation footprint of the order, in bytes (allocator-free
+    /// accounting: the sum of live tensors, as in Figure 12(b)).
+    pub peak_bytes: u64,
+}
+
+impl Schedule {
+    /// Builds a schedule from an order, computing and validating its peak.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidOrder`] if `order` is not a topological
+    /// order of `graph`.
+    pub fn from_order(graph: &Graph, order: Vec<NodeId>) -> Result<Self, GraphError> {
+        let peak_bytes = mem::peak_bytes(graph, &order)?;
+        Ok(Schedule { order, peak_bytes })
+    }
+
+    /// Number of scheduled nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Peak footprint in KiB.
+    pub fn peak_kib(&self) -> f64 {
+        self.peak_bytes as f64 / 1024.0
+    }
+
+    /// Full footprint profile of this schedule on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidOrder`] if the schedule does not belong
+    /// to `graph`.
+    pub fn profile(&self, graph: &Graph) -> Result<mem::ScheduleProfile, GraphError> {
+        mem::profile_schedule(graph, &self.order)
+    }
+}
+
+/// Search-effort counters reported by the dynamic-programming scheduler.
+///
+/// `transitions` is the paper's "number of explored schedules" axis of
+/// Figure 8(b): it grows monotonically with the soft budget τ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Distinct memoized signatures summed over all search steps.
+    pub states: u64,
+    /// State expansions (schedule-one-more-node transitions) performed.
+    pub transitions: u64,
+    /// Transitions discarded because their peak exceeded the soft budget.
+    pub pruned: u64,
+    /// Number of search steps executed (equals `|V|` on success).
+    pub steps: usize,
+    /// Wall-clock scheduling time.
+    #[serde(with = "duration_micros")]
+    pub duration: Duration,
+}
+
+mod duration_micros {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(d.as_micros() as u64)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let micros = <u64 as serde::Deserialize>::deserialize(d)?;
+        Ok(Duration::from_micros(micros))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{topo, Graph};
+
+    fn chain() -> Graph {
+        let mut g = Graph::new("chain");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 20, &[a]).unwrap();
+        g.add_opaque("c", 5, &[b]).unwrap();
+        g
+    }
+
+    #[test]
+    fn from_order_computes_peak() {
+        let g = chain();
+        let s = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        assert_eq!(s.peak_bytes, 30);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_order_rejects_invalid() {
+        let g = chain();
+        let mut order = topo::kahn(&g);
+        order.reverse();
+        assert!(Schedule::from_order(&g, order).is_err());
+    }
+
+    #[test]
+    fn stats_serde_round_trip() {
+        let stats = ScheduleStats {
+            states: 5,
+            transitions: 17,
+            pruned: 2,
+            steps: 3,
+            duration: Duration::from_micros(1500),
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ScheduleStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+
+    #[test]
+    fn profile_matches_peak() {
+        let g = chain();
+        let s = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        let p = s.profile(&g).unwrap();
+        assert_eq!(p.peak_bytes, s.peak_bytes);
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end verification that identity graph rewriting (§3.3) keeps the
+//! network's arithmetic output intact: the rewritten graph, executed by the
+//! reference interpreter on the same inputs and the same (sliced) weights,
+//! produces the same tensors as the original graph.
+//!
+//! Channel-wise partitioning reassociates the input-channel sum, so results
+//! match up to floating-point tolerance; kernel-wise partitioning performs
+//! the exact same per-element operations and must match bit for bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serenity_core::rewrite::Rewriter;
+use serenity_ir::{DType, Graph, GraphBuilder, Padding};
+use serenity_tensor::{Interpreter, Tensor};
+
+/// Builds a concat→conv cell with the given branch channel widths.
+fn concat_conv_cell(branches: &[usize], kernel: usize, stride: usize) -> Graph {
+    let mut b = GraphBuilder::new("cc");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let inputs: Vec<_> = branches.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+    let cat = b.concat(&inputs).unwrap();
+    let y = b
+        .conv(cat, 8, (kernel, kernel), (stride, stride), Padding::Same)
+        .unwrap();
+    b.mark_output(y);
+    b.finish()
+}
+
+/// Builds a concat→depthwise cell.
+fn concat_dw_cell(branches: &[usize], kernel: usize, stride: usize) -> Graph {
+    let mut b = GraphBuilder::new("cdw");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let inputs: Vec<_> = branches.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+    let cat = b.concat(&inputs).unwrap();
+    let y = b
+        .depthwise(cat, (kernel, kernel), (stride, stride), Padding::Same)
+        .unwrap();
+    let out = b.conv1x1(y, 6).unwrap();
+    b.mark_output(out);
+    b.finish()
+}
+
+fn outputs_match(original: &Graph, rewriter: &Rewriter, seed: u64, tol: f32) {
+    let outcome = rewriter.rewrite(original);
+    assert!(outcome.changed(), "expected at least one rewrite in {}", original.name());
+
+    let input = Tensor::random(original.node(original.inputs()[0]).shape.dims(), seed);
+    let interp = Interpreter::new(seed ^ 0xABCD);
+    let before = interp.run(original, &[input.clone()]).expect("original runs");
+    let after = interp.run(&outcome.graph, &[input]).expect("rewritten runs");
+
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(&after) {
+        assert!(
+            b.approx_eq(a, tol),
+            "rewrite changed the output of {} (max diff {})",
+            original.name(),
+            b.max_abs_diff(a)
+        );
+    }
+}
+
+#[test]
+fn channel_wise_preserves_outputs() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for trial in 0..8 {
+        let n_branches = rng.gen_range(2..=5);
+        let branches: Vec<usize> = (0..n_branches).map(|_| rng.gen_range(1..=6)).collect();
+        let kernel = [1, 3, 5][rng.gen_range(0..3)];
+        let stride = rng.gen_range(1..=2);
+        let g = concat_conv_cell(&branches, kernel, stride);
+        outputs_match(&g, &Rewriter::channel_only(), 1000 + trial, 1e-4);
+    }
+}
+
+#[test]
+fn kernel_wise_preserves_outputs_exactly() {
+    let mut rng = StdRng::seed_from_u64(200);
+    for trial in 0..8 {
+        let n_branches = rng.gen_range(2..=5);
+        let branches: Vec<usize> = (0..n_branches).map(|_| rng.gen_range(1..=6)).collect();
+        let kernel = [3, 5][rng.gen_range(0..2)];
+        let stride = rng.gen_range(1..=2);
+        let g = concat_dw_cell(&branches, kernel, stride);
+        // Kernel-wise partitioning is pure data movement plus per-branch
+        // depthwise convolutions over the very same values: bit-exact.
+        outputs_match(&g, &Rewriter::kernel_only(), 2000 + trial, 0.0);
+    }
+}
+
+#[test]
+fn cascaded_standard_rewrites_preserve_outputs() {
+    // A cell exhibiting both patterns, including the kernel-then-channel
+    // cascade over the slab concat.
+    let mut b = GraphBuilder::new("dual");
+    let x = b.image_input("x", 8, 8, 6, DType::F32);
+    let b1 = b.conv1x1(x, 5).unwrap();
+    let b2 = b.conv1x1(x, 3).unwrap();
+    let b3 = b.conv1x1(x, 4).unwrap();
+    let cat1 = b.concat(&[b1, b2, b3]).unwrap();
+    let conv = b.conv(cat1, 7, (3, 3), (1, 1), Padding::Same).unwrap();
+
+    let c1 = b.conv1x1(x, 2).unwrap();
+    let c2 = b.conv1x1(x, 5).unwrap();
+    let cat2 = b.concat(&[c1, c2]).unwrap();
+    let dw = b.depthwise(cat2, (3, 3), (1, 1), Padding::Same).unwrap();
+    let dwp = b.conv1x1(dw, 7).unwrap();
+
+    let out = b.add(&[conv, dwp]).unwrap();
+    b.mark_output(out);
+    let g = b.finish();
+
+    outputs_match(&g, &Rewriter::standard(), 31337, 1e-4);
+}
+
+#[test]
+fn rewrite_preserves_outputs_with_dilation() {
+    let mut b = GraphBuilder::new("dilated");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let l = b.conv1x1(x, 3).unwrap();
+    let r = b.conv1x1(x, 5).unwrap();
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b
+        .dilated_depthwise(cat, (3, 3), (1, 1), (2, 2), Padding::Same)
+        .unwrap();
+    let out = b.conv1x1(y, 4).unwrap();
+    b.mark_output(out);
+    let g = b.finish();
+    outputs_match(&g, &Rewriter::kernel_only(), 555, 0.0);
+}
+
+#[test]
+fn rewrite_preserves_deep_downstream_computation() {
+    // The rewritten region feeds further layers; end-of-network outputs must
+    // still agree.
+    let mut b = GraphBuilder::new("deep");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let l = b.conv1x1(x, 4).unwrap();
+    let r = b.conv1x1(x, 4).unwrap();
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b.conv(cat, 6, (3, 3), (1, 1), Padding::Same).unwrap();
+    let bn = b.batch_norm(y).unwrap();
+    let re = b.relu(bn).unwrap();
+    let gap = b.global_avg_pool(re).unwrap();
+    let logits = b.dense(gap, 10).unwrap();
+    b.mark_output(logits);
+    let g = b.finish();
+    outputs_match(&g, &Rewriter::standard(), 777, 1e-4);
+}
+
+#[test]
+fn rewritten_graph_peak_never_exceeds_original_optimal() {
+    // Sanity link between the two halves of the paper: rewriting is only
+    // useful if the optimal peak of the rewritten graph is at most that of
+    // the original (on cells where branches dominate).
+    let g = concat_conv_cell(&[8, 8, 8], 3, 1);
+    let outcome = Rewriter::channel_only().rewrite(&g);
+    let before = serenity_core::dp::DpScheduler::new().schedule(&g).unwrap();
+    let after = serenity_core::dp::DpScheduler::new().schedule(&outcome.graph).unwrap();
+    assert!(after.schedule.peak_bytes <= before.schedule.peak_bytes);
+}

@@ -1,0 +1,190 @@
+//! Structural graph analysis: the quantities that predict how hard a graph
+//! is to schedule and how much an oblivious order can waste.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, NodeId};
+
+/// Summary statistics of a graph's structure and memory profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphAnalysis {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Longest path length in nodes (the critical path).
+    pub depth: usize,
+    /// Maximum width of the zero-indegree frontier over a Kahn traversal —
+    /// a lower bound on the scheduler's per-step choice count and a proxy
+    /// for the signature-space size (`2^width` worst case).
+    pub max_frontier: usize,
+    /// Number of interior single-node cuts (divide-and-conquer boundaries).
+    pub cut_count: usize,
+    /// Total activation bytes over all nodes.
+    pub total_activation_bytes: u64,
+    /// Largest single activation in bytes.
+    pub max_activation_bytes: u64,
+    /// The provable peak-footprint lower bound of any schedule.
+    pub peak_lower_bound: u64,
+    /// Peak footprint of the Kahn (construction-order) schedule — the
+    /// oblivious baseline.
+    pub kahn_peak_bytes: u64,
+}
+
+impl GraphAnalysis {
+    /// Analyzes `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn of(graph: &Graph) -> Self {
+        assert!(!graph.is_empty(), "cannot analyze an empty graph");
+        let order = crate::topo::kahn(graph);
+        // Depth via longest path over the topological order.
+        let mut depth = vec![1usize; graph.len()];
+        for &u in &order {
+            for &s in graph.succs(u) {
+                depth[s.index()] = depth[s.index()].max(depth[u.index()] + 1);
+            }
+        }
+        // Maximum frontier width over the Kahn traversal.
+        let mut indegree: Vec<usize> =
+            graph.node_ids().map(|id| graph.indegree(id)).collect();
+        let mut frontier: usize =
+            graph.node_ids().filter(|&id| graph.indegree(id) == 0).count();
+        let mut max_frontier = frontier;
+        for &u in &order {
+            frontier -= 1;
+            for &s in graph.succs(u) {
+                indegree[s.index()] -= 1;
+                if indegree[s.index()] == 0 {
+                    frontier += 1;
+                }
+            }
+            max_frontier = max_frontier.max(frontier);
+        }
+
+        GraphAnalysis {
+            nodes: graph.len(),
+            edges: graph.edge_count(),
+            depth: depth.iter().copied().max().unwrap_or(0),
+            max_frontier,
+            cut_count: crate::cuts::cut_nodes(graph).len(),
+            total_activation_bytes: graph.total_activation_bytes(),
+            max_activation_bytes: graph
+                .node_ids()
+                .map(|id| graph.out_bytes(id))
+                .max()
+                .unwrap_or(0),
+            peak_lower_bound: crate::mem::peak_lower_bound(graph),
+            kahn_peak_bytes: crate::mem::peak_bytes(graph, &order)
+                .expect("kahn order is valid"),
+        }
+    }
+
+    /// Upper bound on how much any scheduler could improve on the oblivious
+    /// baseline: `kahn_peak / peak_lower_bound`.
+    pub fn headroom(&self) -> f64 {
+        if self.peak_lower_bound == 0 {
+            1.0
+        } else {
+            self.kahn_peak_bytes as f64 / self.peak_lower_bound as f64
+        }
+    }
+}
+
+/// Returns each node's depth (1-based longest path from a source).
+pub fn node_depths(graph: &Graph) -> Vec<usize> {
+    let order = crate::topo::kahn(graph);
+    let mut depth = vec![1usize; graph.len()];
+    for &u in &order {
+        for &s in graph.succs(u) {
+            depth[s.index()] = depth[s.index()].max(depth[u.index()] + 1);
+        }
+    }
+    depth
+}
+
+/// Nodes on some longest path (a critical path witness).
+pub fn critical_path(graph: &Graph) -> Vec<NodeId> {
+    if graph.is_empty() {
+        return Vec::new();
+    }
+    let depths = node_depths(graph);
+    let mut current = graph
+        .node_ids()
+        .max_by_key(|id| depths[id.index()])
+        .expect("non-empty graph");
+    let mut path = vec![current];
+    while let Some(&pred) = graph
+        .preds(current)
+        .iter()
+        .max_by_key(|p| depths[p.index()])
+    {
+        path.push(pred);
+        current = pred;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new("diamond");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 20, &[a]).unwrap();
+        let c = g.add_opaque("c", 30, &[a]).unwrap();
+        let d = g.add_opaque("d", 5, &[b, c]).unwrap();
+        g.mark_output(d);
+        g
+    }
+
+    #[test]
+    fn analysis_of_diamond() {
+        let a = GraphAnalysis::of(&diamond());
+        assert_eq!(a.nodes, 4);
+        assert_eq!(a.edges, 4);
+        assert_eq!(a.depth, 3);
+        assert_eq!(a.max_frontier, 2); // b and c ready together
+        assert_eq!(a.max_activation_bytes, 30);
+        assert_eq!(a.total_activation_bytes, 65);
+        assert!(a.headroom() >= 1.0);
+    }
+
+    #[test]
+    fn critical_path_spans_depth() {
+        let g = diamond();
+        let path = critical_path(&g);
+        assert_eq!(path.len(), 3);
+        assert_eq!(g.node(path[0]).name, "a");
+        assert_eq!(g.node(path[2]).name, "d");
+    }
+
+    #[test]
+    fn chain_has_unit_frontier() {
+        let mut g = Graph::new("chain");
+        let a = g.add_opaque("a", 1, &[]).unwrap();
+        let b = g.add_opaque("b", 1, &[a]).unwrap();
+        g.add_opaque("c", 1, &[b]).unwrap();
+        let a = GraphAnalysis::of(&g);
+        assert_eq!(a.max_frontier, 1);
+        assert_eq!(a.depth, 3);
+        assert_eq!(a.cut_count, 1); // b
+    }
+
+    #[test]
+    fn frontier_tracks_parallelism() {
+        let g = crate::random_dag::independent_branches(6, 8);
+        let a = GraphAnalysis::of(&g);
+        assert_eq!(a.max_frontier, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_graph_panics() {
+        GraphAnalysis::of(&Graph::new("empty"));
+    }
+}

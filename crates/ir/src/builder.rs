@@ -1,0 +1,325 @@
+use crate::{
+    Conv2d, Dense, DepthwiseConv2d, DType, Graph, GraphError, NodeId, Op, Padding, Pool2d,
+    TensorShape,
+};
+
+/// Ergonomic layer-level construction of [`Graph`]s.
+///
+/// The builder wraps a graph and provides one method per common layer so that
+/// network generators (DARTS / SwiftNet / RandWire) read like model code.
+/// Weight references are issued automatically.
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::{GraphBuilder, TensorShape, DType, Padding};
+///
+/// # fn main() -> Result<(), serenity_ir::GraphError> {
+/// let mut b = GraphBuilder::new("net");
+/// let x = b.input("x", TensorShape::nhwc(1, 16, 16, 3, DType::F32));
+/// let c1 = b.conv(x, 8, (3, 3), (1, 1), Padding::Same)?;
+/// let c2 = b.depthwise(c1, (3, 3), (1, 1), Padding::Same)?;
+/// let y = b.relu(c2)?;
+/// b.mark_output(y);
+/// let graph = b.finish();
+/// assert_eq!(graph.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder { graph: Graph::new(name) }
+    }
+
+    /// Adds an input node.
+    pub fn input(&mut self, name: impl Into<String>, shape: TensorShape) -> NodeId {
+        self.graph.add_input(name, shape)
+    }
+
+    /// Adds an NHWC image input.
+    pub fn image_input(
+        &mut self,
+        name: impl Into<String>,
+        h: usize,
+        w: usize,
+        c: usize,
+        dtype: DType,
+    ) -> NodeId {
+        self.graph.add_input(name, TensorShape::nhwc(1, h, w, c, dtype))
+    }
+
+    /// Adds a standard convolution with a fresh weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn conv(
+        &mut self,
+        src: NodeId,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: Padding,
+    ) -> Result<NodeId, GraphError> {
+        let weight = self.graph.fresh_weight();
+        self.graph.add(
+            Op::Conv2d(Conv2d { out_channels, kernel, stride, padding, dilation: (1, 1), weight }),
+            &[src],
+        )
+    }
+
+    /// Adds a pointwise (1×1) convolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn conv1x1(&mut self, src: NodeId, out_channels: usize) -> Result<NodeId, GraphError> {
+        self.conv(src, out_channels, (1, 1), (1, 1), Padding::Same)
+    }
+
+    /// Adds a depthwise convolution with a fresh weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn depthwise(
+        &mut self,
+        src: NodeId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: Padding,
+    ) -> Result<NodeId, GraphError> {
+        let weight = self.graph.fresh_weight();
+        self.graph.add(
+            Op::DepthwiseConv2d(DepthwiseConv2d {
+                kernel,
+                stride,
+                padding,
+                dilation: (1, 1),
+                weight,
+            }),
+            &[src],
+        )
+    }
+
+    /// Adds a dilated depthwise convolution with a fresh weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn dilated_depthwise(
+        &mut self,
+        src: NodeId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        dilation: (usize, usize),
+        padding: Padding,
+    ) -> Result<NodeId, GraphError> {
+        let weight = self.graph.fresh_weight();
+        self.graph.add(
+            Op::DepthwiseConv2d(DepthwiseConv2d { kernel, stride, padding, dilation, weight }),
+            &[src],
+        )
+    }
+
+    /// Adds a fully connected layer with a fresh weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn dense(&mut self, src: NodeId, out_features: usize) -> Result<NodeId, GraphError> {
+        let weight = self.graph.fresh_weight();
+        self.graph.add(Op::Dense(Dense { out_features, weight }), &[src])
+    }
+
+    /// Adds a channel-axis concatenation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn concat(&mut self, srcs: &[NodeId]) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::Concat { axis: 3 }, srcs)
+    }
+
+    /// Adds an element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn add(&mut self, srcs: &[NodeId]) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::Add, srcs)
+    }
+
+    /// Adds a ReLU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn relu(&mut self, src: NodeId) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::Relu, &[src])
+    }
+
+    /// Adds a sigmoid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn sigmoid(&mut self, src: NodeId) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::Sigmoid, &[src])
+    }
+
+    /// Adds a batch-normalization node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn batch_norm(&mut self, src: NodeId) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::BatchNorm, &[src])
+    }
+
+    /// Adds a max-pooling node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn max_pool(
+        &mut self,
+        src: NodeId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: Padding,
+    ) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::MaxPool2d(Pool2d { kernel, stride, padding }), &[src])
+    }
+
+    /// Adds an average-pooling node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn avg_pool(
+        &mut self,
+        src: NodeId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: Padding,
+    ) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::AvgPool2d(Pool2d { kernel, stride, padding }), &[src])
+    }
+
+    /// Adds a global average pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn global_avg_pool(&mut self, src: NodeId) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::GlobalAvgPool, &[src])
+    }
+
+    /// Adds an identity (skip connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn identity(&mut self, src: NodeId) -> Result<NodeId, GraphError> {
+        self.graph.add(Op::Identity, &[src])
+    }
+
+    /// Adds the ReLU → depthwise k×k → pointwise 1×1 → BN block used as the
+    /// "separable convolution" half in DARTS-style cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from [`Graph::add`].
+    pub fn sep_conv_half(
+        &mut self,
+        src: NodeId,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+    ) -> Result<NodeId, GraphError> {
+        let r = self.relu(src)?;
+        let d = self.depthwise(r, kernel, stride, Padding::Same)?;
+        let p = self.conv1x1(d, out_channels)?;
+        self.batch_norm(p)
+    }
+
+    /// Marks a node as a graph output.
+    pub fn mark_output(&mut self, id: NodeId) {
+        self.graph.mark_output(id);
+    }
+
+    /// Read access to the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access for operations the builder does not wrap.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Finishes construction and returns the graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_network() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.image_input("x", 8, 8, 3, DType::F32);
+        let c = b.conv(x, 4, (3, 3), (1, 1), Padding::Same).unwrap();
+        let d = b.depthwise(c, (3, 3), (1, 1), Padding::Same).unwrap();
+        let e = b.identity(c).unwrap();
+        let cat = b.concat(&[d, e]).unwrap();
+        let p = b.max_pool(cat, (2, 2), (2, 2), Padding::Valid).unwrap();
+        let gap = b.global_avg_pool(p).unwrap();
+        let out = b.dense(gap, 10).unwrap();
+        b.mark_output(out);
+        let g = b.finish();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node(cat).shape.c(), 8);
+        assert_eq!(g.node(out).shape.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn sep_conv_half_expands_to_four_nodes() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let before = b.graph().len();
+        let y = b.sep_conv_half(x, 8, (3, 3), (1, 1)).unwrap();
+        assert_eq!(b.graph().len() - before, 4);
+        assert_eq!(b.graph().node(y).shape.c(), 8);
+    }
+
+    #[test]
+    fn weights_are_distinct() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let c1 = b.conv1x1(x, 8).unwrap();
+        let c2 = b.conv1x1(x, 8).unwrap();
+        let g = b.graph();
+        let w1 = g.node(c1).op.weight().unwrap().id;
+        let w2 = g.node(c2).op.weight().unwrap().id;
+        assert_ne!(w1, w2);
+    }
+
+    #[test]
+    fn dilated_depthwise_shapes() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.image_input("x", 16, 16, 4, DType::F32);
+        let y = b.dilated_depthwise(x, (3, 3), (1, 1), (2, 2), Padding::Same).unwrap();
+        assert_eq!(b.graph().node(y).shape.h(), 16);
+    }
+}

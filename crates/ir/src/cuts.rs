@@ -1,0 +1,474 @@
+//! Cut detection and graph partitioning for divide-and-conquer scheduling
+//! (§3.2, Figure 7).
+//!
+//! Irregularly wired cells are typically "hourglass shaped": single-input,
+//! single-output cells stacked in series. A *cut node* is a node through
+//! which **every** source→sink path passes and past which no edge reaches
+//! (no edge from a proper ancestor to a proper descendant). At the instant a
+//! cut node has just been scheduled, its output is the **only** live tensor,
+//! so the graph can be split there: each segment is scheduled independently
+//! and the concatenation of optimal segment schedules is an optimal schedule
+//! of the whole graph (the Wilken et al. 2000 argument the paper cites).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, GraphError, NodeId, Op};
+
+/// Returns the interior cut nodes of `graph` in topological order.
+///
+/// A node `v` qualifies iff (i) every other node is an ancestor or a
+/// descendant of `v`, and (ii) no edge connects a proper ancestor directly to
+/// a proper descendant. Sources at position 0 and the final node are not
+/// reported (splitting there is useless).
+pub fn cut_nodes(graph: &Graph) -> Vec<NodeId> {
+    let order = crate::topo::kahn(graph);
+    if order.len() != graph.len() {
+        return Vec::new(); // cyclic (deserialized garbage): no cuts
+    }
+    let n = graph.len();
+    let mut position = vec![0usize; n];
+    for (i, &u) in order.iter().enumerate() {
+        position[u.index()] = i;
+    }
+    // Cheap necessary condition first: at boundary p every crossing edge
+    // (a, b) with pos(a) <= p < pos(b) must originate from order[p] itself.
+    // `furthest[p]` = max over edges (a,b) with pos(a) < p of pos(b).
+    let mut candidates = Vec::new();
+    let mut furthest = 0usize;
+    for p in 1..n.saturating_sub(1) {
+        let prev = order[p - 1];
+        for &s in graph.succs(prev) {
+            furthest = furthest.max(position[s.index()]);
+        }
+        // All edges from nodes before p must land at or before p.
+        if furthest <= p {
+            candidates.push(order[p]);
+        }
+    }
+    candidates.retain(|&v| verify_cut(graph, v));
+    candidates
+}
+
+/// Full verification of the cut property for `v` (see [`cut_nodes`]).
+fn verify_cut(graph: &Graph, v: NodeId) -> bool {
+    let n = graph.len();
+    let mut anc = vec![false; n];
+    let mut desc = vec![false; n];
+    // Ancestors: reverse reachability from v.
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        for &p in graph.preds(u) {
+            if !anc[p.index()] {
+                anc[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    // Descendants: forward reachability from v.
+    stack.push(v);
+    while let Some(u) = stack.pop() {
+        for &s in graph.succs(u) {
+            if !desc[s.index()] {
+                desc[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    // (i) everyone is comparable to v.
+    for u in graph.node_ids() {
+        if u != v && !anc[u.index()] && !desc[u.index()] {
+            return false;
+        }
+    }
+    // (ii) no edge jumps from an ancestor straight to a descendant.
+    for u in graph.node_ids() {
+        if anc[u.index()] {
+            for &s in graph.succs(u) {
+                if desc[s.index()] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// One independently schedulable piece of a partitioned graph.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// The segment as a standalone graph. The previous segment's cut tensor
+    /// (if any) appears as an [`Op::Input`] placeholder node.
+    pub graph: Graph,
+    /// Maps each local node id to the corresponding node of the parent graph.
+    pub to_parent: Vec<NodeId>,
+    /// Local id of the boundary placeholder, if this is not the first
+    /// segment. Schedulers must pin this node to the front of the segment
+    /// schedule (the tensor is already live when the segment starts); it is
+    /// skipped when schedules are recombined.
+    pub boundary_input: Option<NodeId>,
+}
+
+impl Segment {
+    /// Local node ids that must be scheduled before everything else.
+    pub fn pinned_prefix(&self) -> Vec<NodeId> {
+        self.boundary_input.into_iter().collect()
+    }
+}
+
+/// Result of partitioning a graph at its cut nodes.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The segments in series order. Always non-empty; a graph with no cuts
+    /// yields a single segment that mirrors the whole graph.
+    pub segments: Vec<Segment>,
+    /// Parent-graph ids of the interior cut nodes used as boundaries.
+    pub cuts: Vec<NodeId>,
+}
+
+impl Partition {
+    /// Number of nodes in each segment (the paper's `62 = {21, 19, 22}`
+    /// notation from Table 2 counts parent nodes, i.e. excludes boundary
+    /// placeholders).
+    pub fn segment_sizes(&self) -> Vec<usize> {
+        self.segments
+            .iter()
+            .map(|s| s.graph.len() - usize::from(s.boundary_input.is_some()))
+            .collect()
+    }
+
+    /// Recombines per-segment schedules into a schedule of the parent graph
+    /// (the *combine* step of Figure 7). `locals[i]` must be a topological
+    /// order of `segments[i].graph` whose pinned prefix comes first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidOrder`] if the number of schedules does
+    /// not match the number of segments or a schedule is not a valid local
+    /// order with the pinned prefix first.
+    pub fn combine(&self, locals: &[Vec<NodeId>]) -> Result<Vec<NodeId>, GraphError> {
+        if locals.len() != self.segments.len() {
+            return Err(GraphError::InvalidOrder {
+                detail: format!(
+                    "{} schedules supplied for {} segments",
+                    locals.len(),
+                    self.segments.len()
+                ),
+            });
+        }
+        let mut combined = Vec::new();
+        for (segment, local) in self.segments.iter().zip(locals) {
+            crate::topo::check_order(&segment.graph, local)?;
+            if let Some(boundary) = segment.boundary_input {
+                if local.first() != Some(&boundary) {
+                    return Err(GraphError::InvalidOrder {
+                        detail: format!(
+                            "segment schedule must start with boundary placeholder {boundary}"
+                        ),
+                    });
+                }
+            }
+            for &u in local {
+                if Some(u) == segment.boundary_input {
+                    continue; // the cut node was already emitted by the previous segment
+                }
+                combined.push(segment.to_parent[u.index()]);
+            }
+        }
+        Ok(combined)
+    }
+}
+
+/// Partitions `graph` at its cut nodes (the *divide* step of Figure 7).
+///
+/// Cuts that would strand a marked graph output in a non-final segment are
+/// discarded: an intermediate output tensor stays live past the cut, which
+/// would break the "only the cut tensor is live" isolation property.
+pub fn partition(graph: &Graph) -> Partition {
+    if graph.is_empty() {
+        return Partition { segments: Vec::new(), cuts: Vec::new() };
+    }
+    build_partition(graph, cut_nodes(graph))
+}
+
+/// Partitions `graph` at an explicit subset of boundary nodes (e.g. cell
+/// boundaries only, as in the paper's Table 2 `62 = {21, 19, 22}` split),
+/// instead of the maximal set found by [`cut_nodes`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidOrder`] if any requested boundary is not a
+/// verified cut node of `graph`.
+pub fn partition_at(graph: &Graph, boundaries: &[NodeId]) -> Result<Partition, GraphError> {
+    if graph.is_empty() {
+        return Ok(Partition { segments: Vec::new(), cuts: Vec::new() });
+    }
+    for &c in boundaries {
+        if graph.get(c).is_none() {
+            return Err(GraphError::UnknownNode(c));
+        }
+        if !verify_cut(graph, c) {
+            return Err(GraphError::InvalidOrder {
+                detail: format!("{c} is not a cut node"),
+            });
+        }
+    }
+    Ok(build_partition(graph, boundaries.to_vec()))
+}
+
+fn build_partition(graph: &Graph, candidate_cuts: Vec<NodeId>) -> Partition {
+    let order = crate::topo::kahn(graph);
+    let mut position = vec![0usize; graph.len()];
+    for (i, &u) in order.iter().enumerate() {
+        position[u.index()] = i;
+    }
+    let outputs = graph.outputs();
+    let min_output_pos = outputs.iter().map(|&o| position[o.index()]).min().unwrap_or(0);
+
+    let mut cuts: Vec<NodeId> = candidate_cuts
+        .into_iter()
+        .filter(|&c| {
+            let p = position[c.index()];
+            p > 0 && p < order.len() - 1 && p < min_output_pos
+        })
+        .collect();
+    cuts.sort_by_key(|c| position[c.index()]);
+    cuts.dedup();
+
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    let mut prev_cut: Option<NodeId> = None;
+    for &cut in cuts.iter().chain(std::iter::once(&order[order.len() - 1])).take(cuts.len() + 1) {
+        let end = position[cut.index()];
+        // The final pseudo-boundary is the last node; interior cut segments
+        // end at the cut inclusive.
+        let slice = &order[start..=end];
+        segments.push(build_segment(graph, slice, prev_cut));
+        prev_cut = Some(cut);
+        start = end + 1;
+    }
+    // Whatever follows the last interior cut forms the final segment.
+    if start < order.len() {
+        let slice = &order[start..];
+        segments.push(build_segment(graph, slice, prev_cut));
+    }
+    Partition { segments, cuts }
+}
+
+fn build_segment(graph: &Graph, parent_nodes: &[NodeId], boundary: Option<NodeId>) -> Segment {
+    let mut local = Graph::new(format!("{}::segment", graph.name()));
+    let mut to_parent = Vec::new();
+    let mut map = crate::fxhash::FxHashMap::default();
+
+    let mut boundary_local = None;
+    if let Some(b) = boundary {
+        let shape = graph.node(b).shape.clone();
+        let id = local.add_input(format!("boundary_{}", graph.node(b).name), shape);
+        map.insert(b, id);
+        to_parent.push(b);
+        boundary_local = Some(id);
+    }
+    for &u in parent_nodes {
+        let node = graph.node(u);
+        let preds: Vec<NodeId> = graph
+            .preds(u)
+            .iter()
+            .map(|p| *map.get(p).expect("segment predecessor must precede node"))
+            .collect();
+        let id = match &node.op {
+            Op::Input => local.add_input(node.name.clone(), node.shape.clone()),
+            Op::Opaque { .. } => local
+                .add_opaque(node.name.clone(), node.shape.bytes(), &preds)
+                .expect("opaque segment node is valid"),
+            op => local
+                .add_named(node.name.clone(), op.clone(), &preds)
+                .expect("segment node re-infers the same shape"),
+        };
+        debug_assert_eq!(local.node(id).shape, node.shape, "segment shape inference diverged");
+        map.insert(u, id);
+        to_parent.push(u);
+    }
+    // The last parent node of an interior segment is the cut: keep it live.
+    let last_parent = *parent_nodes.last().expect("segments are non-empty");
+    for out in graph.outputs() {
+        if let Some(&lo) = map.get(&out) {
+            local.mark_output(lo);
+        }
+    }
+    if graph.succs(last_parent).iter().any(|s| !map.contains_key(s)) {
+        // Consumers outside the segment: the cut tensor must survive.
+        local.mark_output(map[&last_parent]);
+    }
+    Segment { graph: local, to_parent, boundary_input: boundary_local }
+}
+
+/// Serializable summary of a partition, for reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSummary {
+    /// Total number of parent nodes.
+    pub total_nodes: usize,
+    /// Parent nodes per segment.
+    pub segment_sizes: Vec<usize>,
+    /// Number of interior cut nodes.
+    pub cut_count: usize,
+}
+
+impl Partition {
+    /// Produces a serializable summary (Table 2's `62 = {21, 19, 22}` form).
+    pub fn summary(&self) -> PartitionSummary {
+        let sizes = self.segment_sizes();
+        PartitionSummary {
+            total_nodes: sizes.iter().sum(),
+            segment_sizes: sizes,
+            cut_count: self.cuts.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mem, topo};
+
+    /// Two diamonds in series joined at a waist node — the hourglass shape.
+    fn hourglass() -> (Graph, NodeId) {
+        let mut g = Graph::new("hourglass");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 20, &[a]).unwrap();
+        let c = g.add_opaque("c", 30, &[a]).unwrap();
+        let waist = g.add_opaque("waist", 10, &[b, c]).unwrap();
+        let d = g.add_opaque("d", 25, &[waist]).unwrap();
+        let e = g.add_opaque("e", 15, &[waist]).unwrap();
+        let f = g.add_opaque("f", 10, &[d, e]).unwrap();
+        g.mark_output(f);
+        (g, waist)
+    }
+
+    #[test]
+    fn finds_the_waist() {
+        let (g, waist) = hourglass();
+        assert_eq!(cut_nodes(&g), vec![waist]);
+    }
+
+    #[test]
+    fn skip_edge_defeats_cut() {
+        // Same hourglass plus an edge b→d that bypasses the waist.
+        let mut g = Graph::new("skip");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 20, &[a]).unwrap();
+        let c = g.add_opaque("c", 30, &[a]).unwrap();
+        let waist = g.add_opaque("waist", 10, &[b, c]).unwrap();
+        let d = g.add_opaque("d", 25, &[waist, b]).unwrap();
+        let e = g.add_opaque("e", 15, &[waist]).unwrap();
+        let f = g.add_opaque("f", 10, &[d, e]).unwrap();
+        g.mark_output(f);
+        assert!(cut_nodes(&g).is_empty());
+    }
+
+    #[test]
+    fn chain_of_cells_has_many_cuts() {
+        let mut g = Graph::new("stack");
+        let mut prev = g.add_opaque("in", 10, &[]).unwrap();
+        let mut expected_cuts = Vec::new();
+        for i in 0..3 {
+            let l = g.add_opaque(format!("l{i}"), 20, &[prev]).unwrap();
+            let r = g.add_opaque(format!("r{i}"), 20, &[prev]).unwrap();
+            prev = g.add_opaque(format!("join{i}"), 10, &[l, r]).unwrap();
+            expected_cuts.push(prev);
+        }
+        g.mark_output(prev);
+        // The final join is the last node, so it is not an interior cut.
+        expected_cuts.pop();
+        assert_eq!(cut_nodes(&g), expected_cuts);
+    }
+
+    #[test]
+    fn partition_round_trip_preserves_peak() {
+        let (g, _) = hourglass();
+        let part = partition(&g);
+        assert_eq!(part.segments.len(), 2);
+        assert_eq!(part.segment_sizes().iter().sum::<usize>(), g.len());
+
+        // Schedule every segment with Kahn (pinned prefix first) and combine.
+        let locals: Vec<Vec<NodeId>> = part
+            .segments
+            .iter()
+            .map(|s| {
+                let mut order = topo::kahn(&s.graph);
+                if let Some(b) = s.boundary_input {
+                    let pos = order.iter().position(|&x| x == b).unwrap();
+                    order.remove(pos);
+                    order.insert(0, b);
+                }
+                order
+            })
+            .collect();
+        let combined = part.combine(&locals).unwrap();
+        assert!(topo::is_order(&g, &combined));
+
+        // Peak of the combined schedule equals max of local peaks.
+        let combined_peak = mem::peak_bytes(&g, &combined).unwrap();
+        let local_peak = part
+            .segments
+            .iter()
+            .zip(&locals)
+            .map(|(s, o)| mem::peak_bytes(&s.graph, o).unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(combined_peak, local_peak);
+    }
+
+    #[test]
+    fn no_cut_yields_single_segment() {
+        let mut g = Graph::new("parallel");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 10, &[a]).unwrap();
+        let c = g.add_opaque("c", 10, &[a]).unwrap();
+        let d = g.add_opaque("d", 10, &[b, c]).unwrap();
+        let e = g.add_opaque("e", 10, &[b, c]).unwrap();
+        let f = g.add_opaque("f", 10, &[d, e]).unwrap();
+        g.mark_output(f);
+        // d and e both span the middle: no single-node cut below f.
+        let part = partition(&g);
+        assert_eq!(part.segments.len(), 1);
+        assert!(part.cuts.is_empty());
+        let local = topo::kahn(&part.segments[0].graph);
+        let combined = part.combine(&[local]).unwrap();
+        assert!(topo::is_order(&g, &combined));
+    }
+
+    #[test]
+    fn marked_intermediate_output_blocks_cut() {
+        let (mut g, waist) = hourglass();
+        // Marking a node before the waist keeps its tensor alive across the
+        // boundary, so the waist must no longer be used as a cut.
+        let b = g.node_ids().find(|&id| g.node(id).name == "b").unwrap();
+        g.mark_output(b);
+        let part = partition(&g);
+        assert!(!part.cuts.contains(&waist));
+    }
+
+    #[test]
+    fn segment_graphs_are_valid() {
+        let (g, _) = hourglass();
+        for segment in partition(&g).segments {
+            assert!(segment.graph.validate().is_ok());
+            assert_eq!(segment.to_parent.len(), segment.graph.len());
+        }
+    }
+
+    #[test]
+    fn combine_rejects_wrong_arity() {
+        let (g, _) = hourglass();
+        let part = partition(&g);
+        assert!(part.combine(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_matches_paper_notation() {
+        let (g, _) = hourglass();
+        let summary = partition(&g).summary();
+        assert_eq!(summary.total_nodes, g.len());
+        assert_eq!(summary.segment_sizes.iter().sum::<usize>(), g.len());
+        assert_eq!(summary.cut_count, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz Dot export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::Graph;
+
+/// Renders the graph in Graphviz Dot format.
+///
+/// Nodes are labelled with their name, operation, shape, and activation size
+/// in KiB; graph outputs are drawn with a double border.
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::{Graph, TensorShape, DType, dot};
+///
+/// let mut g = Graph::new("tiny");
+/// g.add_input("x", TensorShape::vector(4, DType::F32));
+/// let rendered = dot::to_dot(&g);
+/// assert!(rendered.starts_with("digraph"));
+/// assert!(rendered.contains("\"n0\""));
+/// ```
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for node in graph.nodes() {
+        let peripheries = if graph.is_output(node.id) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\n{}\\n{} ({:.1} KiB)\", peripheries={}];",
+            node.id,
+            sanitize(&node.name),
+            node.op,
+            node.shape,
+            node.out_bytes() as f64 / 1024.0,
+            peripheries,
+        );
+    }
+    for node in graph.nodes() {
+        for &s in graph.succs(node.id) {
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", node.id, s);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'").replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Op, TensorShape};
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = Graph::new("t");
+        let a = g.add_input("a", TensorShape::nhwc(1, 2, 2, 1, DType::F32));
+        let b = g.add(Op::Relu, &[a]).unwrap();
+        g.mark_output(b);
+        let d = to_dot(&g);
+        assert!(d.contains("\"n0\" -> \"n1\""));
+        assert!(d.contains("peripheries=2"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        let mut g = Graph::new("has\"quote");
+        g.add_input("in\"put", TensorShape::vector(1, DType::U8));
+        let d = to_dot(&g);
+        assert!(!d.contains("has\"quote"));
+    }
+}

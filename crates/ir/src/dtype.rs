@@ -1,0 +1,81 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of an activation or weight tensor.
+///
+/// The scheduler only ever consumes the element *size*: the paper's memory
+/// cost of a node is `∏(shape) × precision` (§3.1, "shape … includes
+/// channels, height, width, and the precision (e.g., byte, float)").
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::DType;
+/// assert_eq!(DType::F32.size_bytes(), 4);
+/// assert_eq!(DType::U8.size_bytes(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (default for server-trained models).
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 float.
+    F16,
+    /// Signed 8-bit integer (post-training quantization).
+    I8,
+    /// Unsigned 8-bit integer (TFLite-style quantization).
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+            DType::I8 | DType::U8 => 1,
+        }
+    }
+
+    /// All supported element types, useful for sweeps in tests/benches.
+    pub fn all() -> [DType; 4] {
+        [DType::F32, DType::F16, DType::I8, DType::U8]
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::I8 => "i8",
+            DType::U8 => "u8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I8.size_bytes(), 1);
+        assert_eq!(DType::U8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = DType::all().iter().map(|d| d.to_string()).collect();
+        assert_eq!(names, ["f32", "f16", "i8", "u8"]);
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DType::default(), DType::F32);
+    }
+}

@@ -1,0 +1,521 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::infer::infer_shape;
+use crate::{GraphError, NodeId, Op, TensorShape, WeightId, WeightRef};
+
+/// A node of the dataflow graph: an operation plus its inferred output shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's id within its graph.
+    pub id: NodeId,
+    /// Human-readable name (unique names are not enforced).
+    pub name: String,
+    /// The operation this node performs.
+    pub op: Op,
+    /// Shape of the node's output activation.
+    pub shape: TensorShape,
+}
+
+impl Node {
+    /// Size of this node's output activation in bytes — the paper's memory
+    /// cost `∏(u.shape)`.
+    pub fn out_bytes(&self) -> u64 {
+        self.shape.bytes()
+    }
+}
+
+/// A directed acyclic dataflow graph of an irregularly wired neural network.
+///
+/// Nodes are added in any valid construction order (predecessors first), which
+/// guarantees acyclicity by construction; graphs deserialized from JSON are
+/// re-validated. Every node produces exactly one output tensor whose byte size
+/// drives the scheduler's footprint accounting.
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::{Graph, Op, TensorShape, DType};
+///
+/// # fn main() -> Result<(), serenity_ir::GraphError> {
+/// let mut g = Graph::new("tiny");
+/// let x = g.add_input("x", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+/// let y = g.add(Op::Relu, &[x])?;
+/// g.mark_output(y);
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<Node>,
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    outputs: Vec<NodeId>,
+    next_weight: u32,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph {
+            name: name.into(),
+            nodes: Vec::new(),
+            preds: Vec::new(),
+            succs: Vec::new(),
+            outputs: Vec::new(),
+            next_weight: 0,
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the graph.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Adds an input node with a declared shape and returns its id.
+    pub fn add_input(&mut self, name: impl Into<String>, shape: TensorShape) -> NodeId {
+        self.add_named_with_shape(name, Op::Input, &[], Some(shape))
+            .expect("input nodes cannot fail validation")
+    }
+
+    /// Adds an opaque node of exactly `bytes` output bytes and returns its id.
+    ///
+    /// Opaque nodes carry no tensor semantics and accept any number of
+    /// inputs; they exist so scheduler tests and benchmarks can build graphs
+    /// with arbitrary memory costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input id is unknown or duplicated.
+    pub fn add_opaque(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        inputs: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        let name = name.into();
+        self.add_named_with_shape(
+            name.clone(),
+            Op::Opaque { label: name },
+            inputs,
+            Some(TensorShape::opaque_bytes(bytes)),
+        )
+    }
+
+    /// Adds a node computing `op` over `inputs`, inferring its output shape,
+    /// and returns its id. The node is named after the op's mnemonic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input id is unknown or duplicated, the arity is
+    /// wrong, or the input shapes are incompatible with `op`.
+    pub fn add(&mut self, op: Op, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        let name = format!("{}_{}", op.mnemonic(), self.nodes.len());
+        self.add_named_with_shape(name, op, inputs, None)
+    }
+
+    /// Like [`Graph::add`] but with an explicit node name.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::add`].
+    pub fn add_named(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        inputs: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        self.add_named_with_shape(name, op, inputs, None)
+    }
+
+    fn add_named_with_shape(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        inputs: &[NodeId],
+        declared: Option<TensorShape>,
+    ) -> Result<NodeId, GraphError> {
+        for (i, &a) in inputs.iter().enumerate() {
+            if a.index() >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(a));
+            }
+            if inputs[..i].contains(&a) {
+                return Err(GraphError::DuplicateInput(a));
+            }
+        }
+        let in_shapes: Vec<&TensorShape> = inputs.iter().map(|&a| &self.nodes[a.index()].shape).collect();
+        let shape = infer_shape(&op, &in_shapes, declared.as_ref())?;
+
+        if let Some(w) = op.weight() {
+            self.next_weight = self.next_weight.max(w.id.0 + 1);
+        }
+
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node { id, name: name.into(), op, shape });
+        self.preds.push(inputs.to_vec());
+        self.succs.push(Vec::new());
+        for &a in inputs {
+            self.succs[a.index()].push(id);
+        }
+        Ok(id)
+    }
+
+    /// Renames a node (graph structure is unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node_rename(&mut self, id: NodeId, name: impl Into<String>) {
+        self.nodes[id.index()].name = name.into();
+    }
+
+    /// Issues a fresh, unsliced weight reference for a new parameterized node.
+    pub fn fresh_weight(&mut self) -> WeightRef {
+        let id = WeightId(self.next_weight);
+        self.next_weight += 1;
+        WeightRef::full(id)
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the node with the given id, or `None` if out of range.
+    pub fn get(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Iterates over all nodes in id order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all node ids in id order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + 'static {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Predecessors (inputs) of a node.
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Successors (consumers) of a node.
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Number of incoming edges of a node.
+    pub fn indegree(&self, id: NodeId) -> usize {
+        self.preds[id.index()].len()
+    }
+
+    /// Number of outgoing edges of a node.
+    pub fn outdegree(&self, id: NodeId) -> usize {
+        self.succs[id.index()].len()
+    }
+
+    /// Output activation size of a node in bytes.
+    pub fn out_bytes(&self, id: NodeId) -> u64 {
+        self.nodes[id.index()].shape.bytes()
+    }
+
+    /// Ids of all [`Op::Input`] nodes.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Input))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all nodes with no predecessors (includes opaque sources).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| self.indegree(id) == 0).collect()
+    }
+
+    /// Ids of all nodes with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| self.outdegree(id) == 0).collect()
+    }
+
+    /// Marks a node as a graph output. Output tensors are never freed by the
+    /// memory accounting. Marking the same node twice is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn mark_output(&mut self, id: NodeId) {
+        assert!(id.index() < self.nodes.len(), "unknown node {id}");
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Graph outputs: the explicitly marked outputs, or — when none were
+    /// marked — every sink node.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        if self.outputs.is_empty() {
+            self.sinks()
+        } else {
+            self.outputs.clone()
+        }
+    }
+
+    /// The outputs explicitly marked via [`Graph::mark_output`], without the
+    /// fall-back-to-sinks rule of [`Graph::outputs`]. Graph transformations
+    /// use this to carry output markings over to rewritten graphs.
+    pub fn explicit_outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Whether `id` is a graph output (under the same defaulting rule as
+    /// [`Graph::outputs`]).
+    pub fn is_output(&self, id: NodeId) -> bool {
+        if self.outputs.is_empty() {
+            self.outdegree(id) == 0
+        } else {
+            self.outputs.contains(&id)
+        }
+    }
+
+    /// Total bytes of all activations in the graph (the footprint of a
+    /// schedule that never frees anything).
+    pub fn total_activation_bytes(&self) -> u64 {
+        self.nodes.iter().map(Node::out_bytes).sum()
+    }
+
+    /// Sum of MAC counts over all nodes (Table 1's `# MAC` column).
+    pub fn total_macs(&self) -> u64 {
+        self.node_ids().map(|id| self.node_macs(id)).sum()
+    }
+
+    /// MAC count of a single node.
+    pub fn node_macs(&self, id: NodeId) -> u64 {
+        let node = self.node(id);
+        let in_shapes: Vec<&TensorShape> =
+            self.preds(id).iter().map(|&p| &self.nodes[p.index()].shape).collect();
+        node.op.macs(&in_shapes, &node.shape)
+    }
+
+    /// Sum of weight-parameter counts over all nodes (Table 1's `# WEIGHT`
+    /// column). Sliced weight references count only their slice, so rewritten
+    /// graphs report the same parameter count as the original.
+    pub fn total_weights(&self) -> u64 {
+        self.node_ids()
+            .map(|id| {
+                let node = self.node(id);
+                let in_shapes: Vec<&TensorShape> =
+                    self.preds(id).iter().map(|&p| &self.nodes[p.index()].shape).collect();
+                node.op.weight_count(&in_shapes, &node.shape)
+            })
+            .sum()
+    }
+
+    /// Validates structural invariants: non-emptiness, edge endpoints, and
+    /// acyclicity. Graphs built through [`Graph::add`] always pass; this
+    /// exists for graphs deserialized from external sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = self.nodes.len();
+        if self.preds.len() != n || self.succs.len() != n {
+            return Err(GraphError::InvalidOrder {
+                detail: "edge tables and node table have different lengths".into(),
+            });
+        }
+        for id in self.node_ids() {
+            for &p in self.preds(id) {
+                if p.index() >= n {
+                    return Err(GraphError::UnknownNode(p));
+                }
+                if !self.succs(p).contains(&id) {
+                    return Err(GraphError::InvalidOrder {
+                        detail: format!("edge {p}→{id} missing from successor table"),
+                    });
+                }
+            }
+        }
+        for &o in &self.outputs {
+            if o.index() >= n {
+                return Err(GraphError::UnknownNode(o));
+            }
+        }
+        // Kahn's algorithm visits every node iff the graph is acyclic.
+        let visited = crate::topo::kahn(self).len();
+        if visited != n {
+            return Err(GraphError::Cycle);
+        }
+        Ok(())
+    }
+
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes, {} edges, {:.1} KB activations",
+            self.name,
+            self.len(),
+            self.edge_count(),
+            self.total_activation_bytes() as f64 / 1024.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    fn diamond() -> (Graph, [NodeId; 4]) {
+        let mut g = Graph::new("diamond");
+        let a = g.add_input("a", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+        let b = g.add(Op::Relu, &[a]).unwrap();
+        let c = g.add(Op::Sigmoid, &[a]).unwrap();
+        let d = g.add(Op::Add, &[b, c]).unwrap();
+        g.mark_output(d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn construction_and_degrees() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.indegree(a), 0);
+        assert_eq!(g.outdegree(a), 2);
+        assert_eq!(g.preds(d), &[b, c]);
+        assert_eq!(g.succs(a), &[b, c]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut g = Graph::new("g");
+        let err = g.add(Op::Relu, &[NodeId::from_index(5)]).unwrap_err();
+        assert_eq!(err, GraphError::UnknownNode(NodeId::from_index(5)));
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        let mut g = Graph::new("g");
+        let a = g.add_input("a", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+        let err = g.add(Op::Add, &[a, a]).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateInput(a));
+    }
+
+    #[test]
+    fn outputs_default_to_sinks() {
+        let mut g = Graph::new("g");
+        let a = g.add_input("a", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+        let b = g.add(Op::Relu, &[a]).unwrap();
+        let c = g.add(Op::Sigmoid, &[a]).unwrap();
+        assert_eq!(g.outputs(), vec![b, c]);
+        assert!(g.is_output(b));
+        g.mark_output(b);
+        assert_eq!(g.outputs(), vec![b]);
+        assert!(!g.is_output(c));
+    }
+
+    #[test]
+    fn opaque_bytes_are_exact() {
+        let mut g = Graph::new("g");
+        let a = g.add_opaque("a", 100, &[]).unwrap();
+        let b = g.add_opaque("b", 50, &[a]).unwrap();
+        assert_eq!(g.out_bytes(a), 100);
+        assert_eq!(g.out_bytes(b), 50);
+        assert_eq!(g.total_activation_bytes(), 150);
+    }
+
+    #[test]
+    fn fresh_weights_are_unique_and_respect_imports() {
+        let mut g = Graph::new("g");
+        let w0 = g.fresh_weight();
+        let w1 = g.fresh_weight();
+        assert_ne!(w0.id, w1.id);
+
+        // Importing a node that references w9 bumps the counter past it.
+        let x = g.add_input("x", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+        let conv = Op::Conv2d(crate::Conv2d {
+            out_channels: 3,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: crate::Padding::Same,
+            dilation: (1, 1),
+            weight: WeightRef::full(WeightId::from_index(9)),
+        });
+        g.add(conv, &[x]).unwrap();
+        assert!(g.fresh_weight().id.index() > 9);
+    }
+
+    #[test]
+    fn mac_and_weight_totals() {
+        let mut g = Graph::new("g");
+        let x = g.add_input("x", TensorShape::nhwc(1, 8, 8, 4, DType::F32));
+        let w = g.fresh_weight();
+        g.add(
+            Op::Conv2d(crate::Conv2d {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: crate::Padding::Same,
+                dilation: (1, 1),
+                weight: w,
+            }),
+            &[x],
+        )
+        .unwrap();
+        assert_eq!(g.total_macs(), 8 * 8 * 8 * 4 * 9);
+        assert_eq!(g.total_weights(), 9 * 4 * 8);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let (g, _) = diamond();
+        let s = g.to_string();
+        assert!(s.contains("diamond"));
+        assert!(s.contains("4 nodes"));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let g = Graph::new("empty");
+        assert_eq!(g.validate().unwrap_err(), GraphError::Empty);
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node within a [`Graph`](crate::Graph).
+///
+/// Node ids are dense: the `i`-th node added to a graph receives id `i`, so a
+/// `NodeId` doubles as an index into per-node side tables (see
+/// [`NodeId::index`]). Ids are only meaningful relative to the graph that
+/// issued them.
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::{Graph, TensorShape, DType};
+///
+/// let mut g = Graph::new("g");
+/// let a = g.add_input("a", TensorShape::vector(16, DType::F32));
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(a.to_string(), "n0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// Mostly useful in tests and when deserializing external formats; within
+    /// this workspace ids are issued by [`Graph::add`](crate::Graph::add).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a weight tensor.
+///
+/// Weights are referenced symbolically so that *identity graph rewriting*
+/// (§3.3 of the paper) can slice an existing weight (channel-wise or
+/// kernel-wise) without copying data: a rewritten node keeps the same
+/// `WeightId` plus a [`ChannelRange`](crate::ChannelRange) describing the
+/// slice. The reference interpreter materializes weight values
+/// deterministically from the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct WeightId(pub(crate) u32);
+
+impl WeightId {
+    /// Creates a weight id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        WeightId(u32::try_from(index).expect("weight index exceeds u32"))
+    }
+
+    /// Returns the id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WeightId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn weight_id_roundtrip() {
+        let id = WeightId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "w7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(WeightId::from_index(0) < WeightId::from_index(9));
+    }
+}

@@ -1,0 +1,303 @@
+//! Shape inference: computes a node's output shape from its operation and the
+//! shapes of its inputs, validating compatibility along the way.
+
+use crate::{GraphError, Op, TensorShape};
+
+/// Infers the output shape of `op` applied to `inputs`.
+///
+/// `declared` carries the shape supplied at node-creation time; it is required
+/// for [`Op::Input`] and [`Op::Opaque`] (whose shapes cannot be derived) and
+/// ignored otherwise.
+pub(crate) fn infer_shape(
+    op: &Op,
+    inputs: &[&TensorShape],
+    declared: Option<&TensorShape>,
+) -> Result<TensorShape, GraphError> {
+    check_arity(op, inputs.len())?;
+    match op {
+        Op::Input => declared.cloned().ok_or_else(|| GraphError::ShapeMismatch {
+            op: "input",
+            detail: "input nodes require a declared shape".into(),
+        }),
+        Op::Opaque { .. } => declared.cloned().ok_or_else(|| GraphError::ShapeMismatch {
+            op: "opaque",
+            detail: "opaque nodes require a declared shape".into(),
+        }),
+        Op::Conv2d(c) => {
+            let x = rank4(inputs[0], "conv")?;
+            if let Some(slice) = c.weight.in_slice {
+                if slice.len() as usize != x.c() {
+                    return Err(GraphError::ShapeMismatch {
+                        op: "conv",
+                        detail: format!(
+                            "partial conv expects {} input channels (weight slice {slice}), got {}",
+                            slice.len(),
+                            x.c()
+                        ),
+                    });
+                }
+            }
+            if let Some(slice) = c.weight.kernel_slice {
+                if slice.len() as usize != c.out_channels {
+                    return Err(GraphError::ShapeMismatch {
+                        op: "conv",
+                        detail: format!(
+                            "kernel slice {slice} does not match out_channels {}",
+                            c.out_channels
+                        ),
+                    });
+                }
+            }
+            let h = c.padding.output_extent(x.h(), c.dilated_kernel(0), c.stride.0);
+            let w = c.padding.output_extent(x.w(), c.dilated_kernel(1), c.stride.1);
+            nonzero_spatial(h, w, "conv")?;
+            Ok(TensorShape::nhwc(x.n(), h, w, c.out_channels, x.dtype()))
+        }
+        Op::DepthwiseConv2d(c) => {
+            let x = rank4(inputs[0], "dwconv")?;
+            if let Some(slice) = c.weight.kernel_slice {
+                if slice.len() as usize != x.c() {
+                    return Err(GraphError::ShapeMismatch {
+                        op: "dwconv",
+                        detail: format!(
+                            "partial depthwise conv expects {} channels (kernel slice {slice}), got {}",
+                            slice.len(),
+                            x.c()
+                        ),
+                    });
+                }
+            }
+            let h = c.padding.output_extent(x.h(), c.dilated_kernel(0), c.stride.0);
+            let w = c.padding.output_extent(x.w(), c.dilated_kernel(1), c.stride.1);
+            nonzero_spatial(h, w, "dwconv")?;
+            Ok(TensorShape::nhwc(x.n(), h, w, x.c(), x.dtype()))
+        }
+        Op::Dense(d) => {
+            let x = inputs[0];
+            let n = x.dims()[0];
+            Ok(TensorShape::new(vec![n, d.out_features], x.dtype()))
+        }
+        Op::Concat { axis } | Op::SlabConcat { axis } => {
+            let first = inputs[0];
+            let axis = *axis;
+            if axis >= first.rank() {
+                return Err(GraphError::ShapeMismatch {
+                    op: "concat",
+                    detail: format!("axis {axis} out of range for rank {}", first.rank()),
+                });
+            }
+            let mut dims = first.dims().to_vec();
+            for other in &inputs[1..] {
+                if other.rank() != first.rank() || other.dtype() != first.dtype() {
+                    return Err(GraphError::ShapeMismatch {
+                        op: "concat",
+                        detail: format!("incompatible inputs {first} and {other}"),
+                    });
+                }
+                for (ax, (&a, &b)) in first.dims().iter().zip(other.dims()).enumerate() {
+                    if ax != axis && a != b {
+                        return Err(GraphError::ShapeMismatch {
+                            op: "concat",
+                            detail: format!(
+                                "dimension {ax} differs ({a} vs {b}) off the concat axis {axis}"
+                            ),
+                        });
+                    }
+                }
+                dims[axis] += other.dims()[axis];
+            }
+            Ok(TensorShape::new(dims, first.dtype()))
+        }
+        Op::Add | Op::AccumAdd => {
+            let first = inputs[0];
+            for other in &inputs[1..] {
+                if *other != first {
+                    return Err(GraphError::ShapeMismatch {
+                        op: op.mnemonic(),
+                        detail: format!("inputs {first} and {other} differ"),
+                    });
+                }
+            }
+            Ok((*first).clone())
+        }
+        Op::Relu | Op::Sigmoid | Op::BatchNorm | Op::Identity => Ok(inputs[0].clone()),
+        Op::MaxPool2d(p) | Op::AvgPool2d(p) => {
+            let x = rank4(inputs[0], "pool")?;
+            let h = p.padding.output_extent(x.h(), p.kernel.0, p.stride.0);
+            let w = p.padding.output_extent(x.w(), p.kernel.1, p.stride.1);
+            nonzero_spatial(h, w, "pool")?;
+            Ok(TensorShape::nhwc(x.n(), h, w, x.c(), x.dtype()))
+        }
+        Op::GlobalAvgPool => {
+            let x = rank4(inputs[0], "gap")?;
+            Ok(TensorShape::nhwc(x.n(), 1, 1, x.c(), x.dtype()))
+        }
+    }
+}
+
+fn check_arity(op: &Op, got: usize) -> Result<(), GraphError> {
+    let (min, max) = op.arity();
+    if got < min || got > max {
+        return Err(GraphError::BadArity { op: op.mnemonic(), got, min, max });
+    }
+    Ok(())
+}
+
+fn rank4<'s>(shape: &'s TensorShape, op: &'static str) -> Result<&'s TensorShape, GraphError> {
+    if shape.rank() != 4 {
+        return Err(GraphError::ShapeMismatch {
+            op,
+            detail: format!("expected rank-4 NHWC input, got {shape}"),
+        });
+    }
+    Ok(shape)
+}
+
+fn nonzero_spatial(h: usize, w: usize, op: &'static str) -> Result<(), GraphError> {
+    if h == 0 || w == 0 {
+        return Err(GraphError::ShapeMismatch {
+            op,
+            detail: format!("kernel does not fit: output spatial extent {h}x{w}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelRange, Conv2d, DType, Dense, DepthwiseConv2d, Padding, Pool2d, WeightId, WeightRef};
+
+    fn shape(h: usize, w: usize, c: usize) -> TensorShape {
+        TensorShape::nhwc(1, h, w, c, DType::F32)
+    }
+
+    fn conv(out_channels: usize, k: usize, s: usize) -> Op {
+        Op::Conv2d(Conv2d {
+            out_channels,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: Padding::Same,
+            dilation: (1, 1),
+            weight: WeightRef::full(WeightId::from_index(0)),
+        })
+    }
+
+    #[test]
+    fn conv_same_stride1_preserves_spatial() {
+        let out = infer_shape(&conv(8, 3, 1), &[&shape(32, 32, 4)], None).unwrap();
+        assert_eq!(out, shape(32, 32, 8));
+    }
+
+    #[test]
+    fn conv_stride2_halves_spatial() {
+        let out = infer_shape(&conv(8, 3, 2), &[&shape(32, 32, 4)], None).unwrap();
+        assert_eq!(out, shape(16, 16, 8));
+    }
+
+    #[test]
+    fn partial_conv_checks_slice() {
+        let mut c = Conv2d {
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            dilation: (1, 1),
+            weight: WeightRef::full(WeightId::from_index(0)),
+        };
+        c.weight = c.weight.with_in_slice(ChannelRange::new(0, 4));
+        // Input with 4 channels matches the slice.
+        assert!(infer_shape(&Op::Conv2d(c.clone()), &[&shape(8, 8, 4)], None).is_ok());
+        // Input with 6 channels does not.
+        assert!(matches!(
+            infer_shape(&Op::Conv2d(c), &[&shape(8, 8, 6)], None),
+            Err(GraphError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn depthwise_preserves_channels() {
+        let op = Op::DepthwiseConv2d(DepthwiseConv2d {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            dilation: (1, 1),
+            weight: WeightRef::full(WeightId::from_index(0)),
+        });
+        let out = infer_shape(&op, &[&shape(16, 16, 12)], None).unwrap();
+        assert_eq!(out, shape(16, 16, 12));
+    }
+
+    #[test]
+    fn concat_sums_axis() {
+        let out =
+            infer_shape(&Op::Concat { axis: 3 }, &[&shape(8, 8, 3), &shape(8, 8, 5)], None)
+                .unwrap();
+        assert_eq!(out, shape(8, 8, 8));
+    }
+
+    #[test]
+    fn concat_rejects_off_axis_mismatch() {
+        let err =
+            infer_shape(&Op::Concat { axis: 3 }, &[&shape(8, 8, 3), &shape(4, 8, 5)], None)
+                .unwrap_err();
+        assert!(matches!(err, GraphError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn add_requires_equal_shapes() {
+        assert!(infer_shape(&Op::Add, &[&shape(8, 8, 3), &shape(8, 8, 3)], None).is_ok());
+        assert!(infer_shape(&Op::Add, &[&shape(8, 8, 3), &shape(8, 8, 4)], None).is_err());
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        let pool = Pool2d { kernel: (2, 2), stride: (2, 2), padding: Padding::Valid };
+        let out = infer_shape(&Op::MaxPool2d(pool), &[&shape(8, 8, 3)], None).unwrap();
+        assert_eq!(out, shape(4, 4, 3));
+        let out = infer_shape(&Op::GlobalAvgPool, &[&shape(8, 8, 3)], None).unwrap();
+        assert_eq!(out, shape(1, 1, 3));
+    }
+
+    #[test]
+    fn dense_flattens() {
+        let op = Op::Dense(Dense { out_features: 10, weight: WeightRef::full(WeightId::from_index(0)) });
+        let out = infer_shape(&op, &[&shape(4, 4, 8)], None).unwrap();
+        assert_eq!(out.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn valid_padding_too_small_errors() {
+        let err = infer_shape(&conv(8, 3, 1), &[&shape(1, 1, 4)], None);
+        // Same padding keeps 1x1 alive; use Valid to trigger the error.
+        assert!(err.is_ok());
+        let op = Op::Conv2d(Conv2d {
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Valid,
+            dilation: (1, 1),
+            weight: WeightRef::full(WeightId::from_index(0)),
+        });
+        assert!(infer_shape(&op, &[&shape(2, 2, 4)], None).is_err());
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        assert!(matches!(
+            infer_shape(&Op::Add, &[&shape(8, 8, 3)], None),
+            Err(GraphError::BadArity { .. })
+        ));
+        assert!(matches!(
+            infer_shape(&Op::Relu, &[], None),
+            Err(GraphError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn input_requires_declared_shape() {
+        assert!(infer_shape(&Op::Input, &[], None).is_err());
+        let s = shape(8, 8, 3);
+        assert_eq!(infer_shape(&Op::Input, &[], Some(&s)).unwrap(), s);
+    }
+}

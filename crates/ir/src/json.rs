@@ -1,0 +1,71 @@
+//! JSON (de)serialization of graphs.
+//!
+//! Graphs round-trip through [`serde_json`]; deserialized graphs are
+//! re-validated because JSON from external tools may violate the invariants
+//! that [`Graph::add`](crate::Graph::add) enforces by construction.
+
+use crate::{Graph, GraphError};
+
+/// Serializes a graph to a pretty-printed JSON string.
+///
+/// # Panics
+///
+/// Never panics for graphs built through the public API (all field types are
+/// infallibly serializable).
+pub fn to_json(graph: &Graph) -> String {
+    serde_json::to_string_pretty(graph).expect("graph serialization is infallible")
+}
+
+/// Deserializes and validates a graph from JSON.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidOrder`] describing the parse failure, or any
+/// structural error reported by [`Graph::validate`](crate::Graph::validate).
+pub fn from_json(json: &str) -> Result<Graph, GraphError> {
+    let graph: Graph = serde_json::from_str(json)
+        .map_err(|e| GraphError::InvalidOrder { detail: format!("JSON parse error: {e}") })?;
+    graph.validate()?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Op, TensorShape};
+
+    fn sample() -> Graph {
+        let mut g = Graph::new("sample");
+        let a = g.add_input("a", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+        let b = g.add(Op::Relu, &[a]).unwrap();
+        let c = g.add(Op::Sigmoid, &[a]).unwrap();
+        let d = g.add(Op::Add, &[b, c]).unwrap();
+        g.mark_output(d);
+        g
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let json = to_json(&g);
+        let back = from_json(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{}").is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_edges() {
+        let g = sample();
+        // Corrupt the successor table by textual surgery: drop the succs of
+        // node 0 so the preds/succs tables disagree.
+        let json = to_json(&g);
+        let corrupted = json.replacen("\"succs\"", "\"succs_ignored\"", 1);
+        // Unknown field => parse error, or validation error: either way Err.
+        assert!(from_json(&corrupted).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Graph intermediate representation for irregularly wired neural networks.
+//!
+//! This crate is the substrate of the SERENITY reproduction ("Ordering Chaos:
+//! Memory-Aware Scheduling of Irregularly Wired Neural Networks for Edge
+//! Devices", MLSys 2020). It provides:
+//!
+//! * [`Graph`]: a directed acyclic dataflow graph whose nodes carry an
+//!   operation ([`Op`]), an output tensor shape ([`TensorShape`]), and hence a
+//!   memory cost in bytes — exactly the metadata the paper's scheduler
+//!   consumes (§3, "we augment this IR with the metadata of the nodes such as
+//!   the operation type, input/output edges, input/output shapes, and memory
+//!   cost").
+//! * Topological-ordering algorithms ([`topo`]): Kahn's algorithm (the
+//!   TensorFlow-Lite-style baseline), DFS orders, uniform-at-random orders for
+//!   the Figure 3(b) CDF, and bounded exhaustive enumeration used by the
+//!   brute-force optimal baseline.
+//! * Memory accounting ([`mem`]): the allocate-on-schedule /
+//!   free-on-last-consumer footprint recurrence of Algorithm 1 and Figure 6,
+//!   applied to any (partial) schedule.
+//! * Cut detection and graph partitioning ([`cuts`]) for the
+//!   divide-and-conquer step of §3.2.
+//! * [`NodeSet`]: the bitset used as the zero-indegree-set *signature* that
+//!   enables dynamic programming (§3.1).
+//!
+//! # Example
+//!
+//! ```
+//! use serenity_ir::{Graph, TensorShape, DType, Op};
+//!
+//! # fn main() -> Result<(), serenity_ir::GraphError> {
+//! let mut g = Graph::new("diamond");
+//! let input = g.add_input("x", TensorShape::nhwc(1, 8, 8, 4, DType::F32));
+//! let left = g.add(Op::Relu, &[input])?;
+//! let right = g.add(Op::Relu, &[input])?;
+//! let out = g.add(Op::Add, &[left, right])?;
+//! g.mark_output(out);
+//!
+//! let order = serenity_ir::topo::kahn(&g);
+//! let profile = serenity_ir::mem::profile_schedule(&g, &order)?;
+//! assert!(profile.peak_bytes >= g.out_bytes(input));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+pub mod cuts;
+pub mod dot;
+mod dtype;
+mod error;
+pub mod fxhash;
+mod graph;
+mod id;
+mod infer;
+pub mod json;
+pub mod mem;
+mod op;
+pub mod random_dag;
+mod set;
+mod shape;
+pub mod topo;
+
+pub use builder::GraphBuilder;
+pub use dtype::DType;
+pub use error::GraphError;
+pub use graph::{Graph, Node};
+pub use id::{NodeId, WeightId};
+pub use op::{ChannelRange, Conv2d, Dense, DepthwiseConv2d, Op, Padding, Pool2d, WeightRef};
+pub use set::NodeSet;
+pub use shape::TensorShape;

@@ -1,0 +1,506 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{TensorShape, WeightId};
+
+/// Half-open channel interval `[start, end)` used to slice a weight tensor.
+///
+/// Identity graph rewriting (§3.3) replaces a `concat → conv` pattern with
+/// *partial* convolutions whose weights are channel slices of the original
+/// kernel; this range records which slice, so the rewritten graph remains
+/// mathematically identical to the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelRange {
+    /// First channel in the slice (inclusive).
+    pub start: u32,
+    /// One past the last channel in the slice (exclusive).
+    pub end: u32,
+}
+
+impl ChannelRange {
+    /// Creates a range covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "channel range start {start} > end {end}");
+        ChannelRange { start, end }
+    }
+
+    /// Number of channels in the slice.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for ChannelRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end)
+    }
+}
+
+/// Symbolic reference to a weight tensor, possibly sliced.
+///
+/// `in_slice` restricts the *input-channel* axis (channel-wise partitioning of
+/// a convolution); `kernel_slice` restricts the *kernel/output* axis
+/// (kernel-wise partitioning of a depthwise convolution). A plain reference
+/// has both slices set to `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightRef {
+    /// The referenced weight tensor.
+    pub id: WeightId,
+    /// Optional input-channel slice of the full weight.
+    pub in_slice: Option<ChannelRange>,
+    /// Optional kernel (output-channel) slice of the full weight.
+    pub kernel_slice: Option<ChannelRange>,
+}
+
+impl WeightRef {
+    /// Creates an unsliced reference to `id`.
+    pub fn full(id: WeightId) -> Self {
+        WeightRef { id, in_slice: None, kernel_slice: None }
+    }
+
+    /// Returns a copy restricted to the given input-channel slice.
+    pub fn with_in_slice(mut self, range: ChannelRange) -> Self {
+        self.in_slice = Some(range);
+        self
+    }
+
+    /// Returns a copy restricted to the given kernel slice.
+    pub fn with_kernel_slice(mut self, range: ChannelRange) -> Self {
+        self.kernel_slice = Some(range);
+        self
+    }
+
+    /// Whether this reference views only part of the weight.
+    pub fn is_sliced(&self) -> bool {
+        self.in_slice.is_some() || self.kernel_slice.is_some()
+    }
+}
+
+/// Spatial padding policy for convolutions and pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Padding {
+    /// Pad so the output spatial size equals `ceil(input / stride)`.
+    #[default]
+    Same,
+    /// No padding; the kernel must fit entirely inside the input.
+    Valid,
+}
+
+impl Padding {
+    /// Output spatial extent for one axis.
+    ///
+    /// `input` is the input extent, `kernel` the kernel extent after dilation,
+    /// `stride` the stride.
+    pub fn output_extent(self, input: usize, kernel: usize, stride: usize) -> usize {
+        match self {
+            Padding::Same => input.div_ceil(stride),
+            Padding::Valid => {
+                if input < kernel {
+                    0
+                } else {
+                    (input - kernel) / stride + 1
+                }
+            }
+        }
+    }
+
+    /// Total padding (both sides summed) applied on one axis under this
+    /// policy, matching the TensorFlow SAME convention.
+    pub fn total_padding(self, input: usize, kernel: usize, stride: usize) -> usize {
+        match self {
+            Padding::Valid => 0,
+            Padding::Same => {
+                let out = self.output_extent(input, kernel, stride);
+                ((out - 1) * stride + kernel).saturating_sub(input)
+            }
+        }
+    }
+}
+
+/// Parameters of a standard 2-D convolution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Number of output channels (kernels). When `weight.kernel_slice` is
+    /// set, this must equal the slice length.
+    pub out_channels: usize,
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Stride along height and width.
+    pub stride: (usize, usize),
+    /// Padding policy.
+    pub padding: Padding,
+    /// Dilation along height and width.
+    pub dilation: (usize, usize),
+    /// Weight reference (possibly a channel slice, for partial convolutions).
+    pub weight: WeightRef,
+}
+
+impl Conv2d {
+    /// Effective kernel extent after dilation on one axis.
+    pub fn dilated_kernel(&self, axis: usize) -> usize {
+        let (k, d) = if axis == 0 {
+            (self.kernel.0, self.dilation.0)
+        } else {
+            (self.kernel.1, self.dilation.1)
+        };
+        d * (k - 1) + 1
+    }
+}
+
+/// Parameters of a depthwise 2-D convolution (one kernel per input channel).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepthwiseConv2d {
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Stride along height and width.
+    pub stride: (usize, usize),
+    /// Padding policy.
+    pub padding: Padding,
+    /// Dilation along height and width.
+    pub dilation: (usize, usize),
+    /// Weight reference (possibly a kernel slice, for partial depthwise
+    /// convolutions).
+    pub weight: WeightRef,
+}
+
+impl DepthwiseConv2d {
+    /// Effective kernel extent after dilation on one axis.
+    pub fn dilated_kernel(&self, axis: usize) -> usize {
+        let (k, d) = if axis == 0 {
+            (self.kernel.0, self.dilation.0)
+        } else {
+            (self.kernel.1, self.dilation.1)
+        };
+        d * (k - 1) + 1
+    }
+}
+
+/// Parameters of a fully connected layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dense {
+    /// Number of output features.
+    pub out_features: usize,
+    /// Weight reference.
+    pub weight: WeightRef,
+}
+
+/// Parameters of a 2-D pooling window.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool2d {
+    /// Window height and width.
+    pub kernel: (usize, usize),
+    /// Stride along height and width.
+    pub stride: (usize, usize),
+    /// Padding policy.
+    pub padding: Padding,
+}
+
+/// Operation performed by a graph node.
+///
+/// The set covers the primitives appearing in the paper's benchmark networks
+/// (DARTS, SwiftNet, RandWire): convolutions, depthwise convolutions, the
+/// concatenations that motivate identity graph rewriting, element-wise
+/// arithmetic, pooling, and normalization. [`Op::Opaque`] is a
+/// scheduler-facing escape hatch: a node with an arbitrary output size and no
+/// tensor semantics, used by tests and benchmarks that exercise pure
+/// scheduling behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Graph input (no predecessors); the output shape is declared.
+    Input,
+    /// Standard convolution.
+    Conv2d(Conv2d),
+    /// Depthwise convolution.
+    DepthwiseConv2d(DepthwiseConv2d),
+    /// Fully connected layer over flattened input.
+    Dense(Dense),
+    /// Concatenation along `axis` (3 = channels for NHWC), materializing a
+    /// copy of every input.
+    Concat {
+        /// Axis along which inputs are concatenated.
+        axis: usize,
+    },
+    /// Element-wise sum of two or more equally shaped inputs.
+    Add,
+    /// Zero-copy concatenation: inputs write directly into slices of the
+    /// output buffer (the *slab*), which is allocated when the first input
+    /// producer runs. Emitted by kernel-wise graph rewriting (§3.3); this is
+    /// what makes the Figure 9 cost `max(xᵢ + y)` instead of `Σxᵢ + y`.
+    /// Inputs whose only consumer is this node occupy no storage of their
+    /// own (see [`crate::mem::SlabAnalysis`]).
+    SlabConcat {
+        /// Axis along which inputs are concatenated.
+        axis: usize,
+    },
+    /// N-ary accumulation `y = Σᵢ xᵢ` into a single pre-allocated buffer:
+    /// each input is added into the slab as soon as it is produced. Emitted
+    /// by channel-wise graph rewriting (§3.3) to combine partial
+    /// convolutions without materializing every partial simultaneously.
+    AccumAdd,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Batch normalization (inference-mode scale and shift).
+    BatchNorm,
+    /// Max pooling.
+    MaxPool2d(Pool2d),
+    /// Average pooling.
+    AvgPool2d(Pool2d),
+    /// Global average pooling to `1×1` spatial extent.
+    GlobalAvgPool,
+    /// Shape-preserving pass-through (skip connections).
+    Identity,
+    /// Opaque node with a declared output size and no tensor semantics;
+    /// accepts any number of inputs. Only for scheduler tests/benches.
+    Opaque {
+        /// Human-readable label.
+        label: String,
+    },
+}
+
+impl Op {
+    /// Short mnemonic used in Dot exports and reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv2d(_) => "conv",
+            Op::DepthwiseConv2d(_) => "dwconv",
+            Op::Dense(_) => "dense",
+            Op::Concat { .. } => "concat",
+            Op::Add => "add",
+            Op::SlabConcat { .. } => "slab_concat",
+            Op::AccumAdd => "accum_add",
+            Op::Relu => "relu",
+            Op::Sigmoid => "sigmoid",
+            Op::BatchNorm => "bn",
+            Op::MaxPool2d(_) => "maxpool",
+            Op::AvgPool2d(_) => "avgpool",
+            Op::GlobalAvgPool => "gap",
+            Op::Identity => "id",
+            Op::Opaque { .. } => "opaque",
+        }
+    }
+
+    /// Permitted number of inputs as an `(min, max)` interval
+    /// (`max == usize::MAX` means unbounded).
+    pub fn arity(&self) -> (usize, usize) {
+        match self {
+            Op::Input => (0, 0),
+            Op::Conv2d(_)
+            | Op::DepthwiseConv2d(_)
+            | Op::Dense(_)
+            | Op::Relu
+            | Op::Sigmoid
+            | Op::BatchNorm
+            | Op::MaxPool2d(_)
+            | Op::AvgPool2d(_)
+            | Op::GlobalAvgPool
+            | Op::Identity => (1, 1),
+            Op::Concat { .. } | Op::Add | Op::SlabConcat { .. } | Op::AccumAdd => {
+                (2, usize::MAX)
+            }
+            Op::Opaque { .. } => (0, usize::MAX),
+        }
+    }
+
+    /// Whether this op is a *slab combiner*: its output buffer can be
+    /// written in place by its producers ([`Op::SlabConcat`],
+    /// [`Op::AccumAdd`]).
+    pub fn is_slab(&self) -> bool {
+        matches!(self, Op::SlabConcat { .. } | Op::AccumAdd)
+    }
+
+    /// The weight referenced by this op, if any.
+    pub fn weight(&self) -> Option<&WeightRef> {
+        match self {
+            Op::Conv2d(c) => Some(&c.weight),
+            Op::DepthwiseConv2d(c) => Some(&c.weight),
+            Op::Dense(d) => Some(&d.weight),
+            _ => None,
+        }
+    }
+
+    /// Number of multiply-accumulate operations performed by this node, given
+    /// its input shapes and (already inferred) output shape.
+    ///
+    /// Used to reproduce the `# MAC` column of Table 1. Element-wise ops,
+    /// pooling, and data movement count zero MACs, matching the convention of
+    /// the NAS literature the paper compares against.
+    pub fn macs(&self, inputs: &[&TensorShape], output: &TensorShape) -> u64 {
+        match self {
+            Op::Conv2d(c) => {
+                let in_c = inputs[0].c() as u64;
+                output.elements() * in_c * (c.kernel.0 * c.kernel.1) as u64
+            }
+            Op::DepthwiseConv2d(c) => output.elements() * (c.kernel.0 * c.kernel.1) as u64,
+            Op::Dense(_) => {
+                let in_features = inputs[0].elements() / inputs[0].dims()[0] as u64;
+                output.elements() * in_features
+            }
+            _ => 0,
+        }
+    }
+
+    /// Number of weight parameters held by this node, given its input shapes
+    /// and output shape. Sliced weight references count only the slice.
+    ///
+    /// Used to reproduce the `# WEIGHT` column of Table 1.
+    pub fn weight_count(&self, inputs: &[&TensorShape], output: &TensorShape) -> u64 {
+        match self {
+            Op::Conv2d(c) => {
+                let in_c = inputs[0].c() as u64;
+                (c.kernel.0 * c.kernel.1) as u64 * in_c * output.c() as u64
+            }
+            Op::DepthwiseConv2d(c) => (c.kernel.0 * c.kernel.1) as u64 * output.c() as u64,
+            Op::Dense(_) => {
+                let in_features = inputs[0].elements() / inputs[0].dims()[0] as u64;
+                let out_features = output.elements() / output.dims()[0] as u64;
+                in_features * out_features
+            }
+            Op::BatchNorm => 2 * output.c() as u64,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Conv2d(c) => write!(
+                f,
+                "conv{}x{}/{}→{}{}",
+                c.kernel.0,
+                c.kernel.1,
+                c.stride.0,
+                c.out_channels,
+                if c.weight.is_sliced() { "*" } else { "" }
+            ),
+            Op::DepthwiseConv2d(c) => write!(
+                f,
+                "dwconv{}x{}/{}{}",
+                c.kernel.0,
+                c.kernel.1,
+                c.stride.0,
+                if c.weight.is_sliced() { "*" } else { "" }
+            ),
+            Op::Dense(d) => write!(f, "dense→{}", d.out_features),
+            Op::Concat { axis } => write!(f, "concat@{axis}"),
+            Op::SlabConcat { axis } => write!(f, "slab_concat@{axis}"),
+            Op::MaxPool2d(p) => write!(f, "maxpool{}x{}/{}", p.kernel.0, p.kernel.1, p.stride.0),
+            Op::AvgPool2d(p) => write!(f, "avgpool{}x{}/{}", p.kernel.0, p.kernel.1, p.stride.0),
+            Op::Opaque { label } => write!(f, "opaque({label})"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    fn conv(out_channels: usize, k: usize) -> Conv2d {
+        Conv2d {
+            out_channels,
+            kernel: (k, k),
+            stride: (1, 1),
+            padding: Padding::Same,
+            dilation: (1, 1),
+            weight: WeightRef::full(WeightId::from_index(0)),
+        }
+    }
+
+    #[test]
+    fn channel_range_len() {
+        let r = ChannelRange::new(2, 6);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(ChannelRange::new(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "start")]
+    fn channel_range_rejects_inverted() {
+        ChannelRange::new(5, 2);
+    }
+
+    #[test]
+    fn padding_same_extent() {
+        assert_eq!(Padding::Same.output_extent(32, 3, 1), 32);
+        assert_eq!(Padding::Same.output_extent(32, 3, 2), 16);
+        assert_eq!(Padding::Same.output_extent(33, 3, 2), 17);
+    }
+
+    #[test]
+    fn padding_valid_extent() {
+        assert_eq!(Padding::Valid.output_extent(32, 3, 1), 30);
+        assert_eq!(Padding::Valid.output_extent(32, 3, 2), 15);
+        assert_eq!(Padding::Valid.output_extent(2, 3, 1), 0);
+    }
+
+    #[test]
+    fn conv_macs() {
+        let op = Op::Conv2d(conv(8, 3));
+        let input = TensorShape::nhwc(1, 16, 16, 4, DType::F32);
+        let output = TensorShape::nhwc(1, 16, 16, 8, DType::F32);
+        // out elements (16*16*8) × in_c (4) × k*k (9)
+        assert_eq!(op.macs(&[&input], &output), 16 * 16 * 8 * 4 * 9);
+        assert_eq!(op.weight_count(&[&input], &output), 9 * 4 * 8);
+    }
+
+    #[test]
+    fn depthwise_macs() {
+        let op = Op::DepthwiseConv2d(DepthwiseConv2d {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            dilation: (1, 1),
+            weight: WeightRef::full(WeightId::from_index(0)),
+        });
+        let input = TensorShape::nhwc(1, 8, 8, 4, DType::F32);
+        let output = input.clone();
+        assert_eq!(op.macs(&[&input], &output), 8 * 8 * 4 * 9);
+        assert_eq!(op.weight_count(&[&input], &output), 9 * 4);
+    }
+
+    #[test]
+    fn elementwise_has_no_macs() {
+        let s = TensorShape::nhwc(1, 8, 8, 4, DType::F32);
+        assert_eq!(Op::Add.macs(&[&s, &s], &s), 0);
+        assert_eq!(Op::Relu.macs(&[&s], &s), 0);
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(Op::Input.arity(), (0, 0));
+        assert_eq!(Op::Add.arity().0, 2);
+        assert_eq!(Op::Relu.arity(), (1, 1));
+    }
+
+    #[test]
+    fn sliced_weight_display_is_marked() {
+        let mut c = conv(8, 3);
+        c.weight = c.weight.with_in_slice(ChannelRange::new(0, 2));
+        assert!(Op::Conv2d(c).to_string().contains('*'));
+    }
+
+    #[test]
+    fn dilated_kernel_extent() {
+        let mut c = conv(8, 3);
+        c.dilation = (2, 2);
+        assert_eq!(c.dilated_kernel(0), 5);
+        c.dilation = (1, 1);
+        assert_eq!(c.dilated_kernel(1), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Seeded random DAG generation for tests and benchmarks.
+//!
+//! The scheduler crates need graphs with arbitrary topologies and tensor
+//! sizes to exercise optimality and complexity properties; these generators
+//! produce connected DAGs of [`Op::Opaque`](crate::Op::Opaque) nodes.
+
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+/// Configuration for [`random_dag`].
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Number of nodes (≥ 1).
+    pub nodes: usize,
+    /// Probability of each optional extra edge from an earlier node.
+    pub edge_prob: f64,
+    /// Maximum number of extra predecessors per node beyond the mandatory
+    /// connecting edge.
+    pub max_extra_inputs: usize,
+    /// Minimum output size in bytes.
+    pub min_bytes: u64,
+    /// Maximum output size in bytes (inclusive).
+    pub max_bytes: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            nodes: 12,
+            edge_prob: 0.25,
+            max_extra_inputs: 3,
+            min_bytes: 1,
+            max_bytes: 128,
+        }
+    }
+}
+
+/// Generates a connected random DAG of opaque nodes.
+///
+/// Node 0 is the unique source; every later node receives one mandatory edge
+/// from a uniformly chosen earlier node plus extra edges with probability
+/// [`RandomDagConfig::edge_prob`]. All sinks become graph outputs (the
+/// default output rule).
+///
+/// # Panics
+///
+/// Panics if `config.nodes == 0` or `config.min_bytes > config.max_bytes`.
+pub fn random_dag<R: Rng + ?Sized>(config: &RandomDagConfig, rng: &mut R) -> Graph {
+    assert!(config.nodes >= 1, "need at least one node");
+    assert!(config.min_bytes <= config.max_bytes, "min_bytes > max_bytes");
+    let mut g = Graph::new("random_dag");
+    let mut ids: Vec<NodeId> = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        let bytes = rng.gen_range(config.min_bytes..=config.max_bytes);
+        let preds = if i == 0 {
+            Vec::new()
+        } else {
+            let mandatory = ids[rng.gen_range(0..i)];
+            let mut preds = vec![mandatory];
+            let mut extras = 0;
+            for &candidate in ids.iter().take(i) {
+                if candidate != mandatory
+                    && extras < config.max_extra_inputs
+                    && rng.gen_bool(config.edge_prob)
+                {
+                    preds.push(candidate);
+                    extras += 1;
+                }
+            }
+            preds
+        };
+        let id = g.add_opaque(format!("v{i}"), bytes, &preds).expect("construction is valid");
+        ids.push(id);
+    }
+    g
+}
+
+/// Generates the Appendix D worst-case topology (Figure 16): a single entry,
+/// `width` mutually independent middle nodes, and a single exit. This graph
+/// has `width!` topological orders, demonstrating the factorial blow-up of
+/// exhaustive search versus the `O(|V|·2^|V|)` dynamic program.
+pub fn independent_branches(width: usize, bytes: u64) -> Graph {
+    let mut g = Graph::new(format!("fig16_w{width}"));
+    let entry = g.add_opaque("entry", bytes, &[]).expect("valid");
+    let mids: Vec<NodeId> = (0..width)
+        .map(|i| g.add_opaque(format!("m{i}"), bytes, &[entry]).expect("valid"))
+        .collect();
+    let exit = g.add_opaque("exit", bytes, &mids).expect("valid");
+    g.mark_output(exit);
+    g
+}
+
+/// Generates a stack of `cells` hourglass cells, each with `branches`
+/// parallel branches between its entry and exit — a caricature of the
+/// NAS-cell stacking the paper's divide-and-conquer step exploits.
+pub fn hourglass_stack<R: Rng + ?Sized>(
+    cells: usize,
+    branches: usize,
+    max_bytes: u64,
+    rng: &mut R,
+) -> Graph {
+    assert!(cells >= 1 && branches >= 1 && max_bytes >= 1);
+    let mut g = Graph::new(format!("hourglass_{cells}x{branches}"));
+    let mut prev = g.add_opaque("in", rng.gen_range(1..=max_bytes), &[]).expect("valid");
+    for c in 0..cells {
+        let mids: Vec<NodeId> = (0..branches)
+            .map(|b| {
+                let bytes = rng.gen_range(1..=max_bytes);
+                g.add_opaque(format!("c{c}b{b}"), bytes, &[prev]).expect("valid")
+            })
+            .collect();
+        prev = g
+            .add_opaque(format!("join{c}"), rng.gen_range(1..=max_bytes), &mids)
+            .expect("valid");
+    }
+    g.mark_output(prev);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_dags_are_valid_and_connected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 5, 20, 50] {
+            let config = RandomDagConfig { nodes: n, ..Default::default() };
+            let g = random_dag(&config, &mut rng);
+            assert_eq!(g.len(), n);
+            assert!(g.validate().is_ok());
+            // Connectivity: only node 0 has indegree zero.
+            let sources = g.sources();
+            assert_eq!(sources.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let config = RandomDagConfig::default();
+        let a = random_dag(&config, &mut StdRng::seed_from_u64(3));
+        let b = random_dag(&config, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_byte_bounds() {
+        let config = RandomDagConfig { min_bytes: 10, max_bytes: 20, ..Default::default() };
+        let g = random_dag(&config, &mut StdRng::seed_from_u64(5));
+        for id in g.node_ids() {
+            let b = g.out_bytes(id);
+            assert!((10..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn independent_branches_structure() {
+        let g = independent_branches(4, 8);
+        assert_eq!(g.len(), 6);
+        assert_eq!(crate::topo::count_orders(&g), 24);
+    }
+
+    #[test]
+    fn hourglass_stack_has_cuts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = hourglass_stack(3, 4, 64, &mut rng);
+        let cuts = crate::cuts::cut_nodes(&g);
+        // Every cell join except the final node is a cut.
+        assert_eq!(cuts.len(), 2);
+    }
+}

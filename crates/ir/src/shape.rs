@@ -1,0 +1,193 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::DType;
+
+/// Shape (plus element type) of a tensor, in NHWC layout for rank-4 tensors.
+///
+/// The byte size of a node's output tensor — [`TensorShape::bytes`] — is the
+/// paper's per-node memory cost `∏(u.shape)` used throughout Algorithm 1.
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::{TensorShape, DType};
+///
+/// let act = TensorShape::nhwc(1, 32, 32, 16, DType::F32);
+/// assert_eq!(act.elements(), 32 * 32 * 16);
+/// assert_eq!(act.bytes(), 32 * 32 * 16 * 4);
+/// assert_eq!(act.to_string(), "1x32x32x16:f32");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    dims: Vec<usize>,
+    dtype: DType,
+}
+
+impl TensorShape {
+    /// Creates a shape from raw dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty; zero-sized dimensions are allowed (an empty
+    /// tensor occupies zero bytes).
+    pub fn new(dims: Vec<usize>, dtype: DType) -> Self {
+        assert!(!dims.is_empty(), "tensor shape must have at least one dimension");
+        TensorShape { dims, dtype }
+    }
+
+    /// Creates a rank-4 activation shape in NHWC layout.
+    pub fn nhwc(n: usize, h: usize, w: usize, c: usize, dtype: DType) -> Self {
+        TensorShape::new(vec![n, h, w, c], dtype)
+    }
+
+    /// Creates a rank-1 shape, e.g. for flattened features or opaque buffers.
+    pub fn vector(len: usize, dtype: DType) -> Self {
+        TensorShape::new(vec![len], dtype)
+    }
+
+    /// Creates a shape describing an opaque buffer of exactly `bytes` bytes.
+    pub fn opaque_bytes(bytes: u64) -> Self {
+        TensorShape::vector(usize::try_from(bytes).expect("byte count exceeds usize"), DType::U8)
+    }
+
+    /// The dimensions of the tensor.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions).
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().map(|&d| d as u64).product()
+    }
+
+    /// Total size in bytes: `elements() × dtype.size_bytes()`.
+    pub fn bytes(&self) -> u64 {
+        self.elements() * self.dtype.size_bytes()
+    }
+
+    /// Batch dimension of an NHWC tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn n(&self) -> usize {
+        self.expect_rank4();
+        self.dims[0]
+    }
+
+    /// Height of an NHWC tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn h(&self) -> usize {
+        self.expect_rank4();
+        self.dims[1]
+    }
+
+    /// Width of an NHWC tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn w(&self) -> usize {
+        self.expect_rank4();
+        self.dims[2]
+    }
+
+    /// Channel count of an NHWC tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn c(&self) -> usize {
+        self.expect_rank4();
+        self.dims[3]
+    }
+
+    /// Returns a copy with the channel dimension replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn with_c(&self, c: usize) -> TensorShape {
+        self.expect_rank4();
+        let mut dims = self.dims.clone();
+        dims[3] = c;
+        TensorShape::new(dims, self.dtype)
+    }
+
+    fn expect_rank4(&self) {
+        assert_eq!(self.rank(), 4, "expected NHWC rank-4 tensor, got rank {}", self.rank());
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                f.write_str("x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ":{}", self.dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nhwc_accessors() {
+        let s = TensorShape::nhwc(2, 7, 5, 3, DType::F16);
+        assert_eq!((s.n(), s.h(), s.w(), s.c()), (2, 7, 5, 3));
+        assert_eq!(s.elements(), 2 * 7 * 5 * 3);
+        assert_eq!(s.bytes(), 2 * 7 * 5 * 3 * 2);
+    }
+
+    #[test]
+    fn with_c_replaces_channels() {
+        let s = TensorShape::nhwc(1, 4, 4, 8, DType::F32);
+        let t = s.with_c(2);
+        assert_eq!(t.c(), 2);
+        assert_eq!(t.h(), 4);
+        assert_eq!(t.bytes(), 4 * 4 * 2 * 4);
+    }
+
+    #[test]
+    fn opaque_bytes_is_exact() {
+        let s = TensorShape::opaque_bytes(1234);
+        assert_eq!(s.bytes(), 1234);
+    }
+
+    #[test]
+    fn zero_dim_is_zero_bytes() {
+        let s = TensorShape::new(vec![0, 5], DType::F32);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-4")]
+    fn rank_mismatch_panics() {
+        TensorShape::vector(3, DType::F32).c();
+    }
+
+    #[test]
+    fn display_format() {
+        let s = TensorShape::nhwc(1, 2, 3, 4, DType::I8);
+        assert_eq!(s.to_string(), "1x2x3x4:i8");
+    }
+}

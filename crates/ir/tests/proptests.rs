@@ -1,0 +1,169 @@
+//! Property tests for the IR crate's invariants.
+
+use proptest::prelude::*;
+use serenity_ir::random_dag::{random_dag, RandomDagConfig};
+use serenity_ir::{cuts, mem, topo, Graph, NodeId, NodeSet};
+
+prop_compose! {
+    fn arb_graph()(
+        nodes in 1usize..24,
+        edge_prob in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) -> Graph {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        random_dag(
+            &RandomDagConfig {
+                nodes,
+                edge_prob,
+                max_extra_inputs: 4,
+                min_bytes: 1,
+                max_bytes: 1024,
+            },
+            &mut rng,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kahn_and_dfs_are_valid_orders(graph in arb_graph()) {
+        prop_assert!(topo::is_order(&graph, &topo::kahn(&graph)));
+        prop_assert!(topo::is_order(&graph, &topo::dfs(&graph)));
+    }
+
+    #[test]
+    fn random_orders_are_valid(graph in arb_graph(), seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        prop_assert!(topo::is_order(&graph, &topo::random(&graph, &mut rng)));
+    }
+
+    #[test]
+    fn footprint_conservation(graph in arb_graph()) {
+        // After a full schedule, exactly the outputs remain allocated.
+        let order = topo::kahn(&graph);
+        let profile = mem::profile_schedule(&graph, &order).unwrap();
+        let expected: u64 = {
+            let slabs = mem::SlabAnalysis::analyze(&graph);
+            graph
+                .outputs()
+                .into_iter()
+                .map(|o| slabs.owned_bytes(&graph, o))
+                .sum()
+        };
+        prop_assert_eq!(profile.final_bytes, expected);
+    }
+
+    #[test]
+    fn peak_is_invariant_of_profile_entry_point(graph in arb_graph(), seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let order = topo::random(&graph, &mut rng);
+        prop_assert_eq!(
+            mem::peak_bytes(&graph, &order).unwrap(),
+            mem::profile_schedule(&graph, &order).unwrap().peak_bytes
+        );
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_any_schedule(graph in arb_graph(), seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let order = topo::random(&graph, &mut rng);
+        prop_assert!(mem::peak_lower_bound(&graph) <= mem::peak_bytes(&graph, &order).unwrap());
+    }
+
+    #[test]
+    fn partition_combine_round_trips(graph in arb_graph()) {
+        let partition = cuts::partition(&graph);
+        let locals: Vec<Vec<NodeId>> = partition
+            .segments
+            .iter()
+            .map(|s| {
+                let mut order = topo::kahn(&s.graph);
+                if let Some(b) = s.boundary_input {
+                    let pos = order.iter().position(|&x| x == b).unwrap();
+                    order.remove(pos);
+                    order.insert(0, b);
+                }
+                order
+            })
+            .collect();
+        let combined = partition.combine(&locals).unwrap();
+        prop_assert!(topo::is_order(&graph, &combined));
+        prop_assert_eq!(combined.len(), graph.len());
+    }
+
+    #[test]
+    fn cut_nodes_really_are_cuts(graph in arb_graph()) {
+        // Removing a reported cut must disconnect every source from every
+        // sink (checked by forward reachability skipping the cut).
+        for cut in cuts::cut_nodes(&graph) {
+            let mut reachable = vec![false; graph.len()];
+            let mut stack: Vec<NodeId> = graph
+                .sources()
+                .into_iter()
+                .filter(|&s| s != cut)
+                .collect();
+            for &s in &stack {
+                reachable[s.index()] = true;
+            }
+            while let Some(u) = stack.pop() {
+                for &s in graph.succs(u) {
+                    if s != cut && !reachable[s.index()] {
+                        reachable[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            for sink in graph.sinks() {
+                if sink != cut {
+                    prop_assert!(
+                        !reachable[sink.index()],
+                        "sink {sink} still reachable without {cut}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip(graph in arb_graph()) {
+        let json = serenity_ir::json::to_json(&graph);
+        let back = serenity_ir::json::from_json(&json).unwrap();
+        prop_assert_eq!(graph, back);
+    }
+
+    #[test]
+    fn node_set_behaves_like_btreeset(ops in proptest::collection::vec((0usize..160, any::<bool>()), 0..60)) {
+        let mut ours = NodeSet::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for (idx, insert) in ops {
+            let id = NodeId::from_index(idx);
+            if insert {
+                prop_assert_eq!(ours.insert(id), reference.insert(id));
+            } else {
+                prop_assert_eq!(ours.remove(id), reference.remove(&id));
+            }
+        }
+        prop_assert_eq!(ours.len(), reference.len());
+        let collected: Vec<NodeId> = ours.iter().collect();
+        let expected: Vec<NodeId> = reference.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn count_orders_matches_enumeration(graph in arb_graph()) {
+        // Only check tiny graphs to keep the factorial in check.
+        if graph.len() <= 7 {
+            let mut seen = std::collections::HashSet::new();
+            let mut all_valid = true;
+            let counted = topo::for_each_order(&graph, |order| {
+                all_valid &= topo::is_order(&graph, order);
+                seen.insert(order.to_vec());
+                std::ops::ControlFlow::Continue(())
+            });
+            prop_assert!(all_valid);
+            prop_assert_eq!(counted as usize, seen.len());
+        }
+    }
+}

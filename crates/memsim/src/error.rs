@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use serenity_ir::{GraphError, NodeId};
+
+/// Errors produced by the memory-hierarchy simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemSimError {
+    /// The schedule is not a valid topological order of the graph.
+    Graph(GraphError),
+    /// One node's working set (inputs + output) exceeds the scratchpad: the
+    /// schedule cannot run on this device at all.
+    WorkingSetTooLarge {
+        /// The node whose working set does not fit.
+        node: NodeId,
+        /// Working-set size in bytes.
+        required: u64,
+        /// Scratchpad capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for MemSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSimError::Graph(e) => write!(f, "graph error: {e}"),
+            MemSimError::WorkingSetTooLarge { node, required, capacity } => write!(
+                f,
+                "working set of node {node} needs {required} bytes but the scratchpad holds {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for MemSimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemSimError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for MemSimError {
+    fn from(e: GraphError) -> Self {
+        MemSimError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MemSimError::WorkingSetTooLarge {
+            node: NodeId::from_index(3),
+            required: 100,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("n3"));
+        assert!(e.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Multi-level memory-hierarchy simulator for measuring off-chip activation
+//! traffic under a fixed schedule (§4.2, Figure 11).
+//!
+//! The paper evaluates SERENITY on "devices with multi-level memory
+//! hierarchy" by sweeping on-chip scratchpad sizes (32–256 KB) and measuring
+//! the off-chip traffic a schedule induces, using **Belady's optimal
+//! (clairvoyant) replacement** — legitimate here because the whole schedule
+//! is known at compile time, so the measurement isolates the effect of
+//! scheduling from replacement-policy noise.
+//!
+//! The model:
+//!
+//! * On-chip scratchpad of `capacity` bytes holding whole activation tensors
+//!   (slab-combined tensors — [`serenity_ir::Op::AccumAdd`] /
+//!   [`serenity_ir::Op::SlabConcat`] — occupy one physical buffer shared
+//!   with their members, consistent with [`serenity_ir::mem`]).
+//! * Executing a node requires its input tensors and output tensor to be
+//!   resident simultaneously (the *working set*).
+//! * A missing input is fetched from off-chip memory (`bytes_in += size`);
+//!   evicting a *dirty, still-live* tensor writes it back
+//!   (`bytes_out += size`). Dead tensors vanish for free, and the model
+//!   charges no compulsory traffic for network inputs/outputs — both systems
+//!   under comparison pay those equally, and this matches the paper's
+//!   observation that small-enough footprints *eliminate* traffic.
+//! * Victims are chosen among resident tensors outside the current working
+//!   set by the configured [`Policy`] (Belady by default; LRU and FIFO are
+//!   provided for ablations).
+//!
+//! If a single working set exceeds the capacity the schedule is infeasible
+//! on that device and [`MemSimError::WorkingSetTooLarge`] is returned.
+//!
+//! # Example
+//!
+//! ```
+//! use serenity_ir::{Graph, topo};
+//! use serenity_memsim::{simulate, Policy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new("g");
+//! let a = g.add_opaque("a", 100, &[])?;
+//! let b = g.add_opaque("b", 100, &[a])?;
+//! let c = g.add_opaque("c", 100, &[a, b])?;
+//! g.mark_output(c);
+//! let order = topo::kahn(&g);
+//!
+//! // Everything fits: zero traffic.
+//! let stats = simulate(&g, &order, 1024, Policy::Belady)?;
+//! assert_eq!(stats.total_traffic(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocked;
+mod error;
+mod sim;
+mod trace;
+
+pub use blocked::{simulate_blocked, DEFAULT_BLOCK_BYTES};
+pub use error::MemSimError;
+pub use sim::{simulate, sweep_capacities, Policy, TrafficStats};
+pub use trace::{AccessTrace, StepAccess};

@@ -1,0 +1,382 @@
+//! The scratchpad simulation proper.
+
+use serde::{Deserialize, Serialize};
+use serenity_ir::{Graph, NodeId};
+
+use crate::{AccessTrace, MemSimError};
+
+/// Replacement policy for scratchpad eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Policy {
+    /// Belady's optimal (clairvoyant) replacement: evict the resident tensor
+    /// whose next use is furthest in the future. The paper's measurement
+    /// policy (§4.2: "we use Belady's optimal algorithm … for measuring the
+    /// off-chip memory communication").
+    #[default]
+    Belady,
+    /// Least-recently-used, for ablations against the clairvoyant bound.
+    Lru,
+    /// First-in-first-out, the simplest hardware-realizable policy.
+    Fifo,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Policy::Belady => "belady",
+            Policy::Lru => "lru",
+            Policy::Fifo => "fifo",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Traffic measured by one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Scratchpad capacity in bytes.
+    pub capacity: u64,
+    /// Bytes fetched from off-chip memory (re-loads of spilled tensors).
+    pub bytes_in: u64,
+    /// Bytes written back to off-chip memory (spills of live dirty tensors).
+    pub bytes_out: u64,
+    /// Number of evictions performed.
+    pub evictions: u64,
+    /// Peak bytes resident at any instant.
+    pub peak_resident: u64,
+}
+
+impl TrafficStats {
+    /// Total off-chip traffic in bytes (`bytes_in + bytes_out`).
+    pub fn total_traffic(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+
+    /// Total traffic in KiB.
+    pub fn traffic_kib(&self) -> f64 {
+        self.total_traffic() as f64 / 1024.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    tensor: NodeId,
+    size: u64,
+    dirty: bool,
+    inserted_at: usize,
+    last_access: usize,
+}
+
+/// Simulates `order` on a scratchpad of `capacity` bytes.
+///
+/// # Errors
+///
+/// * [`MemSimError::Graph`] if the order is invalid.
+/// * [`MemSimError::WorkingSetTooLarge`] if any node's inputs + output
+///   exceed `capacity`.
+pub fn simulate(
+    graph: &Graph,
+    order: &[NodeId],
+    capacity: u64,
+    policy: Policy,
+) -> Result<TrafficStats, MemSimError> {
+    let trace = AccessTrace::build(graph, order)?;
+    let mut stats = TrafficStats {
+        capacity,
+        bytes_in: 0,
+        bytes_out: 0,
+        evictions: 0,
+        peak_resident: 0,
+    };
+    let mut resident: Vec<Resident> = Vec::new();
+    let mut used: u64 = 0;
+
+    for (step, access) in trace.steps().iter().enumerate() {
+        // The working set of this step: inputs plus output buffer.
+        let mut working: Vec<NodeId> = access.reads.clone();
+        if !working.contains(&access.write) {
+            working.push(access.write);
+        }
+        let demand: u64 = working
+            .iter()
+            .filter(|t| !resident.iter().any(|r| r.tensor == **t))
+            .map(|&t| trace.size(t))
+            .sum();
+        let working_total: u64 = working.iter().map(|&t| trace.size(t)).sum();
+        if working_total > capacity {
+            return Err(MemSimError::WorkingSetTooLarge {
+                node: access.node,
+                required: working_total,
+                capacity,
+            });
+        }
+
+        // Make room, evicting non-working-set victims by policy.
+        while used + demand > capacity {
+            let victim_idx = choose_victim(&resident, &working, &trace, step, policy)
+                .expect("working set fits, so a victim must exist");
+            let victim = resident.swap_remove(victim_idx);
+            used -= victim.size;
+            stats.evictions += 1;
+            // A dirty tensor that will be used again must be written back;
+            // clean or dead tensors vanish for free. (The victim is not in
+            // the current working set, so its next use is strictly later.)
+            let live = trace.next_use_after(victim.tensor, step).is_some()
+                || trace.is_output(victim.tensor);
+            if victim.dirty && live {
+                stats.bytes_out += victim.size;
+            }
+        }
+
+        // Fetch missing reads; allocate the output buffer.
+        for &t in &access.reads {
+            if !resident.iter().any(|r| r.tensor == t) {
+                let size = trace.size(t);
+                // Re-load of a previously spilled tensor.
+                stats.bytes_in += size;
+                used += size;
+                resident.push(Resident {
+                    tensor: t,
+                    size,
+                    dirty: false,
+                    inserted_at: step,
+                    last_access: step,
+                });
+            }
+        }
+        match resident.iter_mut().find(|r| r.tensor == access.write) {
+            Some(r) => {
+                r.dirty = true;
+                r.last_access = step;
+            }
+            None => {
+                let size = trace.size(access.write);
+                used += size;
+                resident.push(Resident {
+                    tensor: access.write,
+                    size,
+                    dirty: true,
+                    inserted_at: step,
+                    last_access: step,
+                });
+            }
+        }
+        for &t in &access.reads {
+            if let Some(r) = resident.iter_mut().find(|r| r.tensor == t) {
+                r.last_access = step;
+            }
+        }
+        stats.peak_resident = stats.peak_resident.max(used);
+
+        // Dead tensors free their space without traffic.
+        resident.retain(|r| {
+            if trace.dead_after(r.tensor, step) {
+                used -= r.size;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    Ok(stats)
+}
+
+fn choose_victim(
+    resident: &[Resident],
+    working: &[NodeId],
+    trace: &AccessTrace,
+    step: usize,
+    policy: Policy,
+) -> Option<usize> {
+    resident
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !working.contains(&r.tensor) && r.size > 0)
+        .max_by_key(|(_, r)| match policy {
+            // Furthest next use wins; tensors never used again (or only as
+            // final outputs) are ideal victims.
+            Policy::Belady => {
+                let next = trace.next_use_after(r.tensor, step).unwrap_or(usize::MAX);
+                (next, usize::MAX - r.last_access)
+            }
+            Policy::Lru => (usize::MAX - r.last_access, 0),
+            Policy::Fifo => (usize::MAX - r.inserted_at, 0),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Sweeps scratchpad capacities (the Figure 11 x-axis) and returns one
+/// traffic measurement per capacity. Infeasible capacities yield `None`.
+///
+/// # Errors
+///
+/// Returns [`MemSimError::Graph`] if the order is invalid.
+pub fn sweep_capacities(
+    graph: &Graph,
+    order: &[NodeId],
+    capacities: &[u64],
+    policy: Policy,
+) -> Result<Vec<(u64, Option<TrafficStats>)>, MemSimError> {
+    AccessTrace::build(graph, order)?; // validate once
+    capacities
+        .iter()
+        .map(|&cap| match simulate(graph, order, cap, policy) {
+            Ok(stats) => Ok((cap, Some(stats))),
+            Err(MemSimError::WorkingSetTooLarge { .. }) => Ok((cap, None)),
+            Err(e) => Err(e),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{mem, topo};
+
+    fn chain(sizes: &[u64]) -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new("chain");
+        let mut prev: Option<NodeId> = None;
+        let mut ids = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            let preds: Vec<NodeId> = prev.into_iter().collect();
+            let id = g.add_opaque(format!("n{i}"), s, &preds).unwrap();
+            ids.push(id);
+            prev = Some(id);
+        }
+        g.mark_output(*ids.last().unwrap());
+        (g, ids)
+    }
+
+    #[test]
+    fn fits_entirely_means_zero_traffic() {
+        let (g, order) = chain(&[100, 100, 100]);
+        let peak = mem::peak_bytes(&g, &order).unwrap();
+        let stats = simulate(&g, &order, peak, Policy::Belady).unwrap();
+        assert_eq!(stats.total_traffic(), 0);
+        assert_eq!(stats.peak_resident, peak);
+    }
+
+    #[test]
+    fn spill_and_reload_is_counted() {
+        // a (40 B) is used at the start and again at the very end; the
+        // 100 B tensors of the middle chain force it off-chip meanwhile.
+        let mut g = Graph::new("g");
+        let a = g.add_opaque("a", 40, &[]).unwrap();
+        let b = g.add_opaque("b", 100, &[a]).unwrap();
+        let c = g.add_opaque("c", 100, &[b]).unwrap();
+        let e = g.add_opaque("e", 100, &[c]).unwrap();
+        let d = g.add_opaque("d", 40, &[e, a]).unwrap();
+        g.mark_output(d);
+        let order = topo::kahn(&g);
+        // Max working set is 200 B ({b,c}); live peak is 240 B at step c.
+        let stats = simulate(&g, &order, 200, Policy::Belady).unwrap();
+        // a is dirty (produced on-chip) and still live: write + later read.
+        assert_eq!(stats.bytes_out, 40);
+        assert_eq!(stats.bytes_in, 40);
+        // With capacity for the live peak there is no traffic at all.
+        let roomy = simulate(&g, &order, 240, Policy::Belady).unwrap();
+        assert_eq!(roomy.total_traffic(), 0);
+    }
+
+    #[test]
+    fn working_set_too_large_errors() {
+        let (g, order) = chain(&[100, 100]);
+        let err = simulate(&g, &order, 150, Policy::Belady).unwrap_err();
+        assert!(matches!(err, MemSimError::WorkingSetTooLarge { .. }));
+    }
+
+    #[test]
+    fn belady_never_worse_than_lru_or_fifo() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let g = serenity_ir::random_dag::random_dag(
+                &serenity_ir::random_dag::RandomDagConfig {
+                    nodes: 20,
+                    edge_prob: 0.2,
+                    min_bytes: 10,
+                    max_bytes: 100,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            let order = topo::kahn(&g);
+            let peak = mem::peak_bytes(&g, &order).unwrap();
+            let capacity = peak * 3 / 4 + 1;
+            let run = |p| simulate(&g, &order, capacity, p);
+            match (run(Policy::Belady), run(Policy::Lru), run(Policy::Fifo)) {
+                (Ok(belady), Ok(lru), Ok(fifo)) => {
+                    assert!(belady.total_traffic() <= lru.total_traffic());
+                    assert!(belady.total_traffic() <= fifo.total_traffic());
+                }
+                // All policies share feasibility (working-set bound).
+                (Err(_), Err(_), Err(_)) => {}
+                other => panic!("feasibility must not depend on policy: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_decreases_with_capacity() {
+        // Six 50 B branches produced up front, then consumed pairwise by a
+        // combiner chain: the Kahn order keeps all branches live (350 B
+        // peak) while every individual working set stays at 150 B.
+        let mut g = Graph::new("wide");
+        let a = g.add_opaque("a", 50, &[]).unwrap();
+        let mids: Vec<NodeId> =
+            (0..6).map(|i| g.add_opaque(format!("m{i}"), 50, &[a]).unwrap()).collect();
+        let mut acc = g.add_opaque("s0", 50, &[mids[0], mids[1]]).unwrap();
+        for (i, &m) in mids.iter().enumerate().skip(2) {
+            acc = g.add_opaque(format!("s{}", i - 1), 50, &[acc, m]).unwrap();
+        }
+        g.mark_output(acc);
+        let order = topo::kahn(&g);
+        let sweep =
+            sweep_capacities(&g, &order, &[400, 300, 250], Policy::Belady).unwrap();
+        let t: Vec<u64> = sweep
+            .iter()
+            .map(|(_, s)| s.expect("feasible").total_traffic())
+            .collect();
+        assert!(t[0] <= t[1] && t[1] <= t[2], "traffic should not grow with capacity: {t:?}");
+        assert_eq!(t[0], 0); // 400 B exceeds the live peak: zero traffic
+        assert!(t[2] > 0, "tight capacity must spill");
+    }
+
+    #[test]
+    fn better_schedule_less_traffic() {
+        // The schedule that retires the small branch first keeps the
+        // working set small and avoids spills at tight capacity.
+        let mut g = Graph::new("g2");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let s = g.add_opaque("small", 10, &[a]).unwrap();
+        let t = g.add_opaque("tiny", 2, &[s]).unwrap();
+        let b = g.add_opaque("big", 100, &[a]).unwrap();
+        let sink = g.add_opaque("sink", 10, &[t, b]).unwrap();
+        g.mark_output(sink);
+        let good = vec![a, s, t, b, sink];
+        let bad = vec![a, b, s, t, sink];
+        let cap = mem::peak_bytes(&g, &good).unwrap();
+        let good_traffic = simulate(&g, &good, cap, Policy::Belady).unwrap().total_traffic();
+        let bad_traffic = simulate(&g, &bad, cap, Policy::Belady).unwrap().total_traffic();
+        assert_eq!(good_traffic, 0);
+        assert!(bad_traffic > 0);
+    }
+
+    #[test]
+    fn slab_members_do_not_double_count() {
+        use serenity_ir::{DType, Op, TensorShape};
+        let shape = TensorShape::nhwc(1, 1, 1, 64, DType::U8);
+        let mut g = Graph::new("slab");
+        let x = g.add_input("x", shape);
+        let p1 = g.add_named("p1", Op::Identity, &[x]).unwrap();
+        let p2 = g.add_named("p2", Op::Relu, &[x]).unwrap();
+        let y = g.add_named("y", Op::AccumAdd, &[p1, p2]).unwrap();
+        g.mark_output(y);
+        let order = topo::kahn(&g);
+        let peak = mem::peak_bytes(&g, &order).unwrap(); // x(64) + slab(64)
+        assert_eq!(peak, 128);
+        let stats = simulate(&g, &order, peak, Policy::Belady).unwrap();
+        assert_eq!(stats.total_traffic(), 0);
+        assert_eq!(stats.peak_resident, 128);
+    }
+}

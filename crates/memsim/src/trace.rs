@@ -1,0 +1,174 @@
+//! Tensor access traces: which physical buffers each schedule step touches.
+
+use serenity_ir::mem::SlabAnalysis;
+use serenity_ir::{topo, Graph, GraphError, NodeId};
+
+/// The tensors touched by one schedule step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepAccess {
+    /// The node executing at this step.
+    pub node: NodeId,
+    /// Physical tensors read (deduplicated, in predecessor order).
+    pub reads: Vec<NodeId>,
+    /// Physical tensor written.
+    pub write: NodeId,
+}
+
+/// A complete access trace for a schedule, with per-tensor metadata.
+///
+/// Physical tensors are identified by the id of the node that *owns* the
+/// buffer: slab members resolve to their slab head, every other node to
+/// itself.
+#[derive(Debug, Clone)]
+pub struct AccessTrace {
+    steps: Vec<StepAccess>,
+    /// Size in bytes per physical tensor (indexed by node id; zero for
+    /// non-owning nodes).
+    sizes: Vec<u64>,
+    /// Sorted step indices at which each physical tensor is accessed.
+    uses: Vec<Vec<usize>>,
+    /// Whether the physical tensor is a graph output (never considered dead).
+    is_output: Vec<bool>,
+}
+
+impl AccessTrace {
+    /// Builds the access trace of `order` on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidOrder`] if `order` is not a topological
+    /// order of `graph`.
+    pub fn build(graph: &Graph, order: &[NodeId]) -> Result<Self, GraphError> {
+        topo::check_order(graph, order)?;
+        let slabs = SlabAnalysis::analyze(graph);
+        let n = graph.len();
+        let physical = |u: NodeId| slabs.member_of(u).unwrap_or(u);
+
+        let mut sizes = vec![0u64; n];
+        let mut is_output = vec![false; n];
+        for u in graph.node_ids() {
+            if slabs.member_of(u).is_none() {
+                sizes[u.index()] = graph.out_bytes(u);
+            }
+            if graph.is_output(u) {
+                is_output[physical(u).index()] = true;
+            }
+        }
+
+        let mut steps = Vec::with_capacity(order.len());
+        let mut uses: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (step, &u) in order.iter().enumerate() {
+            let write = physical(u);
+            let mut reads = Vec::new();
+            for &p in graph.preds(u) {
+                let phys = physical(p);
+                if phys != write && !reads.contains(&phys) {
+                    reads.push(phys);
+                }
+            }
+            for &t in reads.iter().chain(std::iter::once(&write)) {
+                uses[t.index()].push(step);
+            }
+            steps.push(StepAccess { node: u, reads, write });
+        }
+        Ok(AccessTrace { steps, sizes, uses, is_output })
+    }
+
+    /// The per-step accesses.
+    pub fn steps(&self) -> &[StepAccess] {
+        &self.steps
+    }
+
+    /// Size in bytes of a physical tensor.
+    pub fn size(&self, tensor: NodeId) -> u64 {
+        self.sizes[tensor.index()]
+    }
+
+    /// Steps at which a physical tensor is accessed (sorted).
+    pub fn uses(&self, tensor: NodeId) -> &[usize] {
+        &self.uses[tensor.index()]
+    }
+
+    /// Whether a physical tensor backs a graph output.
+    pub fn is_output(&self, tensor: NodeId) -> bool {
+        self.is_output[tensor.index()]
+    }
+
+    /// The first step strictly after `step` at which `tensor` is accessed,
+    /// or `None` if it is never accessed again.
+    pub fn next_use_after(&self, tensor: NodeId, step: usize) -> Option<usize> {
+        let uses = &self.uses[tensor.index()];
+        match uses.binary_search(&(step + 1)) {
+            Ok(i) => Some(uses[i]),
+            Err(i) => uses.get(i).copied(),
+        }
+    }
+
+    /// Whether `tensor` is dead after `step`: no future accesses and not a
+    /// graph output.
+    pub fn dead_after(&self, tensor: NodeId, step: usize) -> bool {
+        !self.is_output(tensor) && self.next_use_after(tensor, step).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{DType, Op, TensorShape};
+
+    #[test]
+    fn trace_of_chain() {
+        let mut g = Graph::new("chain");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let b = g.add_opaque("b", 20, &[a]).unwrap();
+        g.mark_output(b);
+        let trace = AccessTrace::build(&g, &[a, b]).unwrap();
+        assert_eq!(trace.steps().len(), 2);
+        assert_eq!(trace.steps()[1].reads, vec![a]);
+        assert_eq!(trace.steps()[1].write, b);
+        assert_eq!(trace.size(a), 10);
+        assert!(trace.dead_after(a, 1));
+        assert!(!trace.dead_after(b, 1)); // output
+    }
+
+    #[test]
+    fn slab_members_share_the_head_buffer() {
+        let shape = TensorShape::nhwc(1, 1, 1, 8, DType::U8);
+        let mut g = Graph::new("slab");
+        let x = g.add_input("x", shape);
+        let p1 = g.add_named("p1", Op::Identity, &[x]).unwrap();
+        let p2 = g.add_named("p2", Op::Relu, &[x]).unwrap();
+        let y = g.add_named("y", Op::AccumAdd, &[p1, p2]).unwrap();
+        g.mark_output(y);
+        let trace = AccessTrace::build(&g, &[x, p1, p2, y]).unwrap();
+        // p1 and p2 write into y's buffer.
+        assert_eq!(trace.steps()[1].write, y);
+        assert_eq!(trace.steps()[2].write, y);
+        assert_eq!(trace.size(p1), 0);
+        assert_eq!(trace.size(y), 8);
+        // y's own step reads nothing new (members resolved to itself).
+        assert!(trace.steps()[3].reads.is_empty());
+        assert_eq!(trace.uses(y), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn next_use_lookup() {
+        let mut g = Graph::new("g");
+        let a = g.add_opaque("a", 1, &[]).unwrap();
+        let b = g.add_opaque("b", 1, &[a]).unwrap();
+        let c = g.add_opaque("c", 1, &[a, b]).unwrap();
+        g.mark_output(c);
+        let trace = AccessTrace::build(&g, &[a, b, c]).unwrap();
+        assert_eq!(trace.next_use_after(a, 0), Some(1));
+        assert_eq!(trace.next_use_after(a, 1), Some(2));
+        assert_eq!(trace.next_use_after(a, 2), None);
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let mut g = Graph::new("g");
+        let a = g.add_opaque("a", 1, &[]).unwrap();
+        let b = g.add_opaque("b", 1, &[a]).unwrap();
+        assert!(AccessTrace::build(&g, &[b, a]).is_err());
+    }
+}

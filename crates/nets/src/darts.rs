@@ -1,0 +1,280 @@
+//! The DARTS-V2 normal cell (Liu, Simonyan & Yang, ICLR 2019).
+//!
+//! Built from the genotype released with the paper:
+//!
+//! ```text
+//! normal = [(sep_conv_3x3, 0), (sep_conv_3x3, 1),   # state 2
+//!           (sep_conv_3x3, 0), (sep_conv_3x3, 1),   # state 3
+//!           (sep_conv_3x3, 1), (skip_connect, 0),   # state 4
+//!           (skip_connect, 0), (dil_conv_3x3, 2)]   # state 5
+//! normal_concat = [2, 3, 4, 5]
+//! ```
+//!
+//! Each intermediate state sums two operation outputs; the cell output
+//! concatenates states 2–5. SERENITY's evaluation schedules "only the first
+//! cell because it has the highest peak memory footprint" (§4.1); we append
+//! the next cell's `ReLU → 1×1 conv → BN` preprocessing so the concat is
+//! consumed exactly as in the full network (this is what lets identity graph
+//! rewriting reach through the concat, Figure 10's DARTS bars).
+
+use serenity_ir::{DType, Graph, GraphBuilder, NodeId, Padding};
+
+/// Dimensions of the synthesized cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DartsConfig {
+    /// Spatial extent (height = width) at the cell's position in the
+    /// network. The first ImageNet normal cell sees 28×28 activations.
+    pub hw: usize,
+    /// Channels per operation (`C` in the DARTS paper; 48 for ImageNet).
+    pub channels: usize,
+    /// Channels of the raw stem outputs feeding the cell (wider than `C`;
+    /// each input is reduced to `C` by its own `ReLU → 1×1 conv → BN`
+    /// preprocessing, as in the DARTS implementation).
+    pub input_channels: usize,
+    /// Whether to append the next cell's preprocessing after the concat.
+    pub preprocessing_tail: bool,
+}
+
+impl Default for DartsConfig {
+    fn default() -> Self {
+        DartsConfig { hw: 28, channels: 48, input_channels: 96, preprocessing_tail: true }
+    }
+}
+
+/// One operation of the genotype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOp {
+    /// Separable 3×3 convolution (two depthwise-separable stacks).
+    SepConv3x3,
+    /// Dilated (rate 2) separable 3×3 convolution.
+    DilConv3x3,
+    /// Identity skip connection.
+    SkipConnect,
+    /// 3×3 max pooling (reduction-cell primitive).
+    MaxPool3x3,
+}
+
+/// The DARTS-V2 normal-cell genotype: `(op, input_state)` pairs, two per
+/// intermediate state.
+pub const DARTS_V2_NORMAL: [(CellOp, usize); 8] = [
+    (CellOp::SepConv3x3, 0),
+    (CellOp::SepConv3x3, 1),
+    (CellOp::SepConv3x3, 0),
+    (CellOp::SepConv3x3, 1),
+    (CellOp::SepConv3x3, 1),
+    (CellOp::SkipConnect, 0),
+    (CellOp::SkipConnect, 0),
+    (CellOp::DilConv3x3, 2),
+];
+
+/// States concatenated into the cell output.
+pub const DARTS_V2_CONCAT: [usize; 4] = [2, 3, 4, 5];
+
+/// The DARTS-V2 *reduction*-cell genotype (stride-2 cell between stages).
+pub const DARTS_V2_REDUCE: [(CellOp, usize); 8] = [
+    (CellOp::MaxPool3x3, 0),
+    (CellOp::MaxPool3x3, 1),
+    (CellOp::SkipConnect, 2),
+    (CellOp::MaxPool3x3, 1),
+    (CellOp::MaxPool3x3, 0),
+    (CellOp::SkipConnect, 2),
+    (CellOp::SkipConnect, 2),
+    (CellOp::MaxPool3x3, 1),
+];
+
+/// Builds the first ImageNet normal cell with default dimensions.
+pub fn normal_cell() -> Graph {
+    normal_cell_with(&DartsConfig::default())
+}
+
+/// Builds the normal cell with explicit dimensions.
+///
+/// # Panics
+///
+/// Panics if `hw` or `channels` is zero (the genotype itself is fixed).
+pub fn normal_cell_with(config: &DartsConfig) -> Graph {
+    assert!(config.hw > 0 && config.channels > 0);
+    let c = config.channels;
+    let mut b = GraphBuilder::new("darts_normal");
+
+    // Raw stem outputs feeding the first cell, each reduced to C channels by
+    // its own ReLU → 1×1 conv → BN preprocessing (as in the DARTS code; the
+    // wide stem tensors dominate the footprint until their preprocessing
+    // frees them — an ordering opportunity the oblivious baseline misses).
+    let raw0 = b.image_input("stem0", config.hw, config.hw, config.input_channels, DType::F32);
+    let raw1 = b.image_input("stem1", config.hw, config.hw, config.input_channels, DType::F32);
+    let mut states: Vec<NodeId> = Vec::with_capacity(6);
+    for raw in [raw0, raw1] {
+        let r = b.relu(raw).expect("preprocess relu");
+        let pw = b.conv1x1(r, c).expect("preprocess conv");
+        let bn = b.batch_norm(pw).expect("preprocess bn");
+        states.push(bn);
+    }
+
+    for (state, pair) in DARTS_V2_NORMAL.chunks(2).enumerate() {
+        let state_idx = state + 2;
+        let a = apply_op(&mut b, pair[0].0, states[pair[0].1], c, state_idx, 0);
+        let d = apply_op(&mut b, pair[1].0, states[pair[1].1], c, state_idx, 1);
+        let sum = b.add(&[a, d]).expect("state operands share shapes");
+        states.push(sum);
+    }
+
+    let concat_inputs: Vec<NodeId> = DARTS_V2_CONCAT.iter().map(|&s| states[s]).collect();
+    let cat = b.concat(&concat_inputs).expect("states share spatial shape");
+
+    if config.preprocessing_tail {
+        // Next cell's input preprocessing: ReLU → 1x1 conv (4C → C) → BN.
+        let r = b.relu(cat).expect("relu of concat");
+        let pw = b.conv1x1(r, c).expect("preprocessing conv");
+        let bn = b.batch_norm(pw).expect("preprocessing bn");
+        b.mark_output(bn);
+    } else {
+        b.mark_output(cat);
+    }
+    b.finish()
+}
+
+fn apply_op(
+    b: &mut GraphBuilder,
+    op: CellOp,
+    src: NodeId,
+    channels: usize,
+    state: usize,
+    slot: usize,
+) -> NodeId {
+    let tag = format!("s{state}_{slot}");
+    match op {
+        CellOp::SkipConnect => b.identity(src).expect("skip"),
+        CellOp::SepConv3x3 => {
+            // Two stacked depthwise-separable halves, as in the DARTS code.
+            let first = b.sep_conv_half(src, channels, (3, 3), (1, 1)).expect("sep conv 1");
+            let second = b.sep_conv_half(first, channels, (3, 3), (1, 1)).expect("sep conv 2");
+            let _ = tag;
+            second
+        }
+        CellOp::DilConv3x3 => {
+            let r = b.relu(src).expect("dil relu");
+            let dw = b
+                .dilated_depthwise(r, (3, 3), (1, 1), (2, 2), Padding::Same)
+                .expect("dil dw");
+            let pw = b.conv1x1(dw, channels).expect("dil pw");
+            b.batch_norm(pw).expect("dil bn")
+        }
+        CellOp::MaxPool3x3 => b
+            .max_pool(src, (3, 3), (1, 1), Padding::Same)
+            .expect("max pool"),
+    }
+}
+
+/// Builds the DARTS-V2 *reduction* cell (pooling-heavy genotype) at the
+/// given dimensions. The spatial stride of the real reduction cell is
+/// applied by the preprocessing of the *next* cell in DARTS, so the cell
+/// body itself stays stride-1 here; what matters to the scheduler is the
+/// wiring, which follows `DARTS_V2_REDUCE` exactly.
+pub fn reduction_cell_with(config: &DartsConfig) -> Graph {
+    assert!(config.hw > 0 && config.channels > 0);
+    let c = config.channels;
+    let mut b = GraphBuilder::new("darts_reduce");
+    let raw0 = b.image_input("stem0", config.hw, config.hw, config.input_channels, DType::F32);
+    let raw1 = b.image_input("stem1", config.hw, config.hw, config.input_channels, DType::F32);
+    let mut states: Vec<NodeId> = Vec::with_capacity(6);
+    for raw in [raw0, raw1] {
+        let r = b.relu(raw).expect("preprocess relu");
+        let pw = b.conv1x1(r, c).expect("preprocess conv");
+        let bn = b.batch_norm(pw).expect("preprocess bn");
+        states.push(bn);
+    }
+    for (state, pair) in DARTS_V2_REDUCE.chunks(2).enumerate() {
+        let state_idx = state + 2;
+        let a = apply_op(&mut b, pair[0].0, states[pair[0].1], c, state_idx, 0);
+        let d = apply_op(&mut b, pair[1].0, states[pair[1].1], c, state_idx, 1);
+        let sum = b.add(&[a, d]).expect("state operands share shapes");
+        states.push(sum);
+    }
+    let concat_inputs: Vec<NodeId> = DARTS_V2_CONCAT.iter().map(|&s| states[s]).collect();
+    let cat = b.concat(&concat_inputs).expect("states share spatial shape");
+    if config.preprocessing_tail {
+        let r = b.relu(cat).expect("tail relu");
+        let pw = b.conv1x1(r, c).expect("tail conv");
+        let bn = b.batch_norm(pw).expect("tail bn");
+        b.mark_output(bn);
+    } else {
+        b.mark_output(cat);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{mem, topo};
+
+    #[test]
+    fn cell_structure() {
+        let g = normal_cell();
+        assert!(g.validate().is_ok());
+        // 2 inputs + 2 preprocessing(3) + 5 sep(8) + 1 dil(4) + 2 skip(1) +
+        // 4 adds + concat + tail(3) = 62 nodes.
+        assert_eq!(g.len(), 62);
+        assert_eq!(g.inputs().len(), 2);
+        assert_eq!(g.outputs().len(), 1);
+    }
+
+    #[test]
+    fn concat_merges_four_states() {
+        let g = normal_cell();
+        let cat = g
+            .node_ids()
+            .find(|&id| matches!(g.node(id).op, serenity_ir::Op::Concat { .. }))
+            .expect("cell has a concat");
+        assert_eq!(g.preds(cat).len(), 4);
+        assert_eq!(g.node(cat).shape.c(), 4 * 48);
+    }
+
+    #[test]
+    fn schedulable_and_nontrivial() {
+        let g = normal_cell();
+        let order = topo::kahn(&g);
+        let peak = mem::peak_bytes(&g, &order).unwrap();
+        assert!(peak > 0);
+    }
+
+    #[test]
+    fn dimensions_are_configurable() {
+        let g = normal_cell_with(&DartsConfig {
+            hw: 8,
+            channels: 4,
+            input_channels: 8,
+            preprocessing_tail: false,
+        });
+        assert!(g.validate().is_ok());
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.c(), 16); // 4 states × 4 channels
+    }
+
+    #[test]
+    fn reduction_cell_is_valid_and_distinct() {
+        let g = reduction_cell_with(&DartsConfig::default());
+        assert!(g.validate().is_ok());
+        assert_ne!(g.len(), normal_cell().len());
+        // Pooling-heavy genotype: at least 5 max-pool nodes.
+        let pools = g
+            .nodes()
+            .filter(|n| matches!(n.op, serenity_ir::Op::MaxPool2d(_)))
+            .count();
+        assert_eq!(pools, 5);
+        // It schedules and the DP never loses to Kahn.
+        let kahn = mem::peak_bytes(&g, &topo::kahn(&g)).unwrap();
+        let dp = serenity_ir::mem::peak_lower_bound(&g);
+        assert!(dp <= kahn);
+    }
+
+    #[test]
+    fn tail_enables_rewriting_reach() {
+        // With the preprocessing tail the concat has a single relu consumer;
+        // without it the concat is the graph output.
+        let with_tail = normal_cell();
+        let out = with_tail.outputs()[0];
+        assert!(matches!(with_tail.node(out).op, serenity_ir::Op::BatchNorm));
+    }
+}

@@ -1,0 +1,33 @@
+//! Benchmark irregularly wired neural networks (§4.1, Table 1).
+//!
+//! The paper evaluates SERENITY on graphs extracted from three network
+//! families; the original model files are not distributed, so this crate
+//! *synthesizes* the same families from their published construction rules
+//! (see DESIGN.md for the substitution argument):
+//!
+//! * [`darts`] — the DARTS-V2 normal cell (Liu et al. 2019), built from the
+//!   released genotype, with the next cell's `ReLU → 1×1 conv → BN`
+//!   preprocessing appended so the cell-output concatenation is consumed the
+//!   way it is in the full ImageNet network.
+//! * [`swiftnet`] — SwiftNet cells A/B/C (Zhang et al. 2019):
+//!   concat-heavy multi-branch cells, dimensioned to reproduce the paper's
+//!   Table 2 node counts exactly (62 = {21, 19, 22} nodes, growing to
+//!   92 = {33, 28, 29} under identity graph rewriting).
+//! * [`randwire`] — RandWire cells (Xie et al. 2019): Watts–Strogatz
+//!   small-world graphs mapped to ReLU → conv → BN nodes with additive
+//!   aggregation. No concatenations, so graph rewriting finds nothing —
+//!   matching the paper's Figure 10, where the RandWire bars are identical
+//!   with and without rewriting.
+//!
+//! [`suite()`](suite::suite) assembles the nine benchmark cells of Figures 10/11/13/15
+//! together with the paper's reference numbers for side-by-side reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod darts;
+pub mod randwire;
+pub mod suite;
+pub mod swiftnet;
+
+pub use suite::{suite, Benchmark, Family, PaperNumbers};

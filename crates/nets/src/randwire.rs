@@ -1,0 +1,341 @@
+//! RandWire cells (Xie et al., ICCV 2019): randomly wired networks from the
+//! Watts–Strogatz (WS) small-world generator.
+//!
+//! Construction follows the paper that introduced them:
+//!
+//! 1. Generate an undirected WS graph: `n` nodes in a ring, each connected
+//!    to its `k` nearest neighbours, then every edge is rewired to a random
+//!    endpoint with probability `p` (Xie et al. use WS(4, 0.75) as their
+//!    best-performing regime).
+//! 2. Orient every edge from the smaller to the larger node index — a DAG.
+//! 3. Each graph node becomes an aggregate-transform unit: a weighted sum of
+//!    its inputs (an [`Op::Add`](serenity_ir::Op::Add) here), then `ReLU → 3×3 conv → BN`.
+//! 4. Nodes without predecessors read the cell input; nodes without
+//!    successors are averaged (an `Add` again) into the cell output.
+//!
+//! Aggregation is additive, never concatenative, so identity graph rewriting
+//! finds no sites in RandWire cells — which is precisely why the paper's
+//! Figure 10 shows identical bars for DP and DP+GR on RandWire.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serenity_ir::{DType, Graph, GraphBuilder, NodeId, Padding};
+
+/// The random wiring model (Xie et al. evaluate all three; WS performs
+/// best and is what the SERENITY benchmarks use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WiringModel {
+    /// Watts–Strogatz small-world: ring lattice with probabilistic rewiring.
+    #[default]
+    WattsStrogatz,
+    /// Erdős–Rényi: every node pair connected independently with
+    /// probability `p`.
+    ErdosRenyi,
+    /// Barabási–Albert: preferential attachment, each new node wiring to
+    /// `k/2` existing nodes weighted by their degree.
+    BarabasiAlbert,
+}
+
+impl std::fmt::Display for WiringModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WiringModel::WattsStrogatz => "ws",
+            WiringModel::ErdosRenyi => "er",
+            WiringModel::BarabasiAlbert => "ba",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parameters of a RandWire cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandWireConfig {
+    /// Number of random-graph nodes.
+    pub nodes: usize,
+    /// Ring degree `k` of the WS generator (even, ≥ 2); also the number of
+    /// attachments per node for BA (`k/2`).
+    pub k: usize,
+    /// Rewiring probability (WS) or edge probability (ER).
+    pub p: f64,
+    /// RNG seed (cells A/B/C differ by seed, as in the paper's independent
+    /// random cells).
+    pub seed: u64,
+    /// Spatial extent of the cell's activations.
+    pub hw: usize,
+    /// Channels per node.
+    pub channels: usize,
+    /// Which random-graph family to draw from.
+    pub model: WiringModel,
+}
+
+impl Default for RandWireConfig {
+    fn default() -> Self {
+        RandWireConfig {
+            nodes: 12,
+            k: 4,
+            p: 0.75,
+            seed: 1,
+            hw: 16,
+            channels: 16,
+            model: WiringModel::WattsStrogatz,
+        }
+    }
+}
+
+/// Undirected WS edges as `(min, max)` index pairs, deduplicated.
+pub fn watts_strogatz_edges(n: usize, k: usize, p: f64, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    assert!(n > k, "WS requires n > k");
+    assert!(k >= 2 && k % 2 == 0, "WS requires even k ≥ 2");
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut has_edge = vec![vec![false; n]; n];
+    let push = |edges: &mut Vec<(usize, usize)>,
+                    has_edge: &mut Vec<Vec<bool>>,
+                    a: usize,
+                    b: usize| {
+        let (lo, hi) = (a.min(b), a.max(b));
+        if lo != hi && !has_edge[lo][hi] {
+            has_edge[lo][hi] = true;
+            edges.push((lo, hi));
+        }
+    };
+    for i in 0..n {
+        for j in 1..=k / 2 {
+            push(&mut edges, &mut has_edge, i, (i + j) % n);
+        }
+    }
+    // Rewire each ring edge with probability p to a random endpoint.
+    let ring_edges: Vec<(usize, usize)> = edges.clone();
+    for (a, b) in ring_edges {
+        if rng.gen_bool(p) {
+            // Remove (a, b); reconnect a to a fresh endpoint.
+            let mut target = rng.gen_range(0..n);
+            let mut attempts = 0;
+            while (target == a || has_edge[a.min(target)][a.max(target)]) && attempts < 4 * n {
+                target = rng.gen_range(0..n);
+                attempts += 1;
+            }
+            if target != a && !has_edge[a.min(target)][a.max(target)] {
+                has_edge[a][b] = false;
+                edges.retain(|&e| e != (a, b));
+                push(&mut edges, &mut has_edge, a, target);
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+/// Undirected Erdős–Rényi edges: each pair `(i, j)` with `i < j` is
+/// connected independently with probability `p`.
+pub fn erdos_renyi_edges(n: usize, p: f64, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+/// Undirected Barabási–Albert edges: nodes join one at a time, each
+/// attaching to `m` existing nodes chosen with probability proportional to
+/// their current degree (plus one, so isolated seeds stay reachable).
+pub fn barabasi_albert_edges(n: usize, m: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    assert!(m >= 1 && n > m, "BA requires n > m ≥ 1");
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut degree = vec![0usize; n];
+    for new in m..n {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let total: usize = degree[..new].iter().map(|d| d + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            let mut chosen = 0;
+            for (candidate, &d) in degree[..new].iter().enumerate() {
+                let weight = d + 1;
+                if pick < weight {
+                    chosen = candidate;
+                    break;
+                }
+                pick -= weight;
+            }
+            if !targets.contains(&chosen) {
+                targets.push(chosen);
+            }
+        }
+        for &t in &targets {
+            edges.push((t.min(new), t.max(new)));
+            degree[t] += 1;
+            degree[new] += 1;
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+/// Draws the undirected edge set of `config`'s wiring model.
+pub fn random_edges(config: &RandWireConfig, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    match config.model {
+        WiringModel::WattsStrogatz => {
+            watts_strogatz_edges(config.nodes, config.k, config.p, rng)
+        }
+        WiringModel::ErdosRenyi => erdos_renyi_edges(config.nodes, config.p, rng),
+        WiringModel::BarabasiAlbert => {
+            barabasi_albert_edges(config.nodes, (config.k / 2).max(1), rng)
+        }
+    }
+}
+
+/// Builds a RandWire cell graph.
+pub fn randwire_cell(config: &RandWireConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let edges = random_edges(config, &mut rng);
+    let n = config.nodes;
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs_count = vec![0usize; n];
+    for &(a, b) in &edges {
+        preds[b].push(a);
+        succs_count[a] += 1;
+    }
+
+    let mut b = GraphBuilder::new(format!(
+        "randwire_{}_n{}_s{}",
+        config.model, n, config.seed
+    ));
+    let input = b.image_input("input", config.hw, config.hw, config.channels, DType::F32);
+    let mut unit_out: Vec<NodeId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let aggregated = if preds[i].is_empty() {
+            input
+        } else if preds[i].len() == 1 {
+            unit_out[preds[i][0]]
+        } else {
+            let inputs: Vec<NodeId> = preds[i].iter().map(|&p| unit_out[p]).collect();
+            b.add(&inputs).expect("aggregation shapes match")
+        };
+        let r = b.relu(aggregated).expect("unit relu");
+        let c = b
+            .conv(r, config.channels, (3, 3), (1, 1), Padding::Same)
+            .expect("unit conv");
+        let bn = b.batch_norm(c).expect("unit bn");
+        unit_out.push(bn);
+    }
+    // Average the dangling unit outputs into the cell output.
+    let sinks: Vec<NodeId> = (0..n).filter(|&i| succs_count[i] == 0).map(|i| unit_out[i]).collect();
+    let out = if sinks.len() == 1 {
+        sinks[0]
+    } else {
+        b.add(&sinks).expect("sink shapes match")
+    };
+    b.mark_output(out);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_edges_are_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert_eq!(
+            watts_strogatz_edges(16, 4, 0.75, &mut r1),
+            watts_strogatz_edges(16, 4, 0.75, &mut r2)
+        );
+    }
+
+    #[test]
+    fn ws_without_rewiring_is_a_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let edges = watts_strogatz_edges(10, 4, 0.0, &mut rng);
+        // 10 nodes × k/2 = 2 edges each.
+        assert_eq!(edges.len(), 20);
+    }
+
+    #[test]
+    fn rewiring_changes_topology() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lattice = watts_strogatz_edges(16, 4, 0.0, &mut StdRng::seed_from_u64(1));
+        let rewired = watts_strogatz_edges(16, 4, 0.9, &mut rng);
+        assert_ne!(lattice, rewired);
+    }
+
+    #[test]
+    fn cell_is_valid_and_seeded() {
+        let a = randwire_cell(&RandWireConfig::default());
+        assert!(a.validate().is_ok());
+        let b = randwire_cell(&RandWireConfig::default());
+        assert_eq!(a, b);
+        let c = randwire_cell(&RandWireConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cell_has_no_concat() {
+        let g = randwire_cell(&RandWireConfig::default());
+        assert!(!g
+            .nodes()
+            .any(|n| matches!(n.op, serenity_ir::Op::Concat { .. })));
+    }
+
+    #[test]
+    fn cell_has_irregular_wiring() {
+        let g = randwire_cell(&RandWireConfig::default());
+        // At least one aggregation joins multiple branches.
+        assert!(g.nodes().any(|n| matches!(n.op, serenity_ir::Op::Add)));
+        assert_eq!(g.outputs().len(), 1);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sparse = erdos_renyi_edges(20, 0.1, &mut rng).len();
+        let mut rng = StdRng::seed_from_u64(4);
+        let dense = erdos_renyi_edges(20, 0.6, &mut rng).len();
+        assert!(dense > sparse);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(erdos_renyi_edges(20, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Every node after the first m contributes exactly m edges.
+        let edges = barabasi_albert_edges(20, 2, &mut rng);
+        assert_eq!(edges.len(), (20 - 2) * 2);
+        // Preferential attachment produces hubs: max degree well above m.
+        let mut degree = vec![0usize; 20];
+        for (a, b) in edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        assert!(degree.iter().copied().max().unwrap() >= 5);
+    }
+
+    #[test]
+    fn all_models_build_valid_cells() {
+        for model in
+            [WiringModel::WattsStrogatz, WiringModel::ErdosRenyi, WiringModel::BarabasiAlbert]
+        {
+            let g = randwire_cell(&RandWireConfig {
+                model,
+                nodes: 14,
+                p: if model == WiringModel::ErdosRenyi { 0.25 } else { 0.75 },
+                ..Default::default()
+            });
+            assert!(g.validate().is_ok(), "{model} cell invalid");
+            assert!(g.len() > 14, "{model} cell too small");
+        }
+    }
+
+    #[test]
+    fn model_names_appear_in_graph_names() {
+        let g = randwire_cell(&RandWireConfig {
+            model: WiringModel::BarabasiAlbert,
+            ..Default::default()
+        });
+        assert!(g.name().contains("_ba_"));
+    }
+}

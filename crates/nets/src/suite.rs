@@ -1,0 +1,250 @@
+//! The nine benchmark cells of Figures 10/11/13/15 with the paper's
+//! reference numbers for side-by-side reporting.
+
+use serenity_ir::Graph;
+
+use crate::randwire::{randwire_cell, RandWireConfig};
+use crate::{darts, swiftnet};
+
+/// Network family (Table 1's TYPE column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Gradient-based NAS (DARTS, ImageNet).
+    Darts,
+    /// NAS for human presence detection (SwiftNet, HPD).
+    SwiftNet,
+    /// Random network generator (RandWire, CIFAR-10/100).
+    RandWire,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Family::Darts => "DARTS",
+            Family::SwiftNet => "SwiftNet",
+            Family::RandWire => "RandWire",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The paper's measured values for one cell (Figures 13 and 15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperNumbers {
+    /// TensorFlow Lite peak footprint in KB (Figure 15, first bar).
+    pub tflite_peak_kb: f64,
+    /// Dynamic programming + memory allocator peak in KB (second bar).
+    pub dp_peak_kb: f64,
+    /// DP + graph rewriting + memory allocator peak in KB (third bar).
+    pub dp_gr_peak_kb: f64,
+    /// Scheduling time without rewriting, seconds (Figure 13).
+    pub dp_time_s: f64,
+    /// Scheduling time with rewriting, seconds (Figure 13).
+    pub dp_gr_time_s: f64,
+}
+
+impl PaperNumbers {
+    /// The paper's peak reduction factor for DP alone (Figure 10).
+    pub fn dp_reduction(&self) -> f64 {
+        self.tflite_peak_kb / self.dp_peak_kb
+    }
+
+    /// The paper's peak reduction factor for DP + rewriting (Figure 10).
+    pub fn dp_gr_reduction(&self) -> f64 {
+        self.tflite_peak_kb / self.dp_gr_peak_kb
+    }
+}
+
+/// One benchmark cell plus its paper reference numbers.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Full display name, e.g. `"SwiftNet Cell A"`.
+    pub name: &'static str,
+    /// Short identifier for files and CLI, e.g. `"swiftnet-a"`.
+    pub id: &'static str,
+    /// Network family.
+    pub family: Family,
+    /// The synthesized graph.
+    pub graph: Graph,
+    /// The paper's measurements.
+    pub paper: PaperNumbers,
+}
+
+/// RandWire dimensions per benchmark cell: chosen so the TFLite-style
+/// baseline peaks land near Figure 15's raw KB values (see EXPERIMENTS.md).
+fn randwire(seed: u64, nodes: usize, hw: usize, channels: usize) -> Graph {
+    randwire_cell(&RandWireConfig { nodes, k: 4, p: 0.75, seed, hw, channels, ..Default::default() })
+}
+
+/// Builds all nine benchmark cells in the paper's presentation order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "DARTS Normal",
+            id: "darts-normal",
+            family: Family::Darts,
+            graph: darts::normal_cell(),
+            paper: PaperNumbers {
+                tflite_peak_kb: 1656.0,
+                dp_peak_kb: 903.0,
+                dp_gr_peak_kb: 753.0,
+                dp_time_s: 3.2,
+                dp_gr_time_s: 3.2,
+            },
+        },
+        Benchmark {
+            name: "SwiftNet Cell A",
+            id: "swiftnet-a",
+            family: Family::SwiftNet,
+            graph: swiftnet::cell_a(),
+            paper: PaperNumbers {
+                tflite_peak_kb: 552.0,
+                dp_peak_kb: 251.0,
+                dp_gr_peak_kb: 226.0,
+                dp_time_s: 5.7,
+                dp_gr_time_s: 42.1,
+            },
+        },
+        Benchmark {
+            name: "SwiftNet Cell B",
+            id: "swiftnet-b",
+            family: Family::SwiftNet,
+            graph: swiftnet::cell_b(),
+            paper: PaperNumbers {
+                tflite_peak_kb: 194.0,
+                dp_peak_kb: 82.0,
+                dp_gr_peak_kb: 72.0,
+                dp_time_s: 4.5,
+                dp_gr_time_s: 30.5,
+            },
+        },
+        Benchmark {
+            name: "SwiftNet Cell C",
+            id: "swiftnet-c",
+            family: Family::SwiftNet,
+            graph: swiftnet::cell_c(),
+            paper: PaperNumbers {
+                tflite_peak_kb: 70.0,
+                dp_peak_kb: 33.0,
+                dp_gr_peak_kb: 20.0,
+                dp_time_s: 27.8,
+                dp_gr_time_s: 39.3,
+            },
+        },
+        Benchmark {
+            name: "RandWire CIFAR10 Cell A",
+            id: "randwire-c10-a",
+            family: Family::RandWire,
+            graph: randwire(44, 20, 16, 46),
+            paper: PaperNumbers {
+                tflite_peak_kb: 645.0,
+                dp_peak_kb: 459.0,
+                dp_gr_peak_kb: 459.0,
+                dp_time_s: 118.1,
+                dp_gr_time_s: 118.1,
+            },
+        },
+        Benchmark {
+            name: "RandWire CIFAR10 Cell B",
+            id: "randwire-c10-b",
+            family: Family::RandWire,
+            graph: randwire(22, 12, 16, 36),
+            paper: PaperNumbers {
+                tflite_peak_kb: 330.0,
+                dp_peak_kb: 260.0,
+                dp_gr_peak_kb: 260.0,
+                dp_time_s: 15.1,
+                dp_gr_time_s: 15.1,
+            },
+        },
+        Benchmark {
+            name: "RandWire CIFAR100 Cell A",
+            id: "randwire-c100-a",
+            family: Family::RandWire,
+            graph: randwire(47, 20, 16, 46),
+            paper: PaperNumbers {
+                tflite_peak_kb: 605.0,
+                dp_peak_kb: 359.0,
+                dp_gr_peak_kb: 359.0,
+                dp_time_s: 28.5,
+                dp_gr_time_s: 28.5,
+            },
+        },
+        Benchmark {
+            name: "RandWire CIFAR100 Cell B",
+            id: "randwire-c100-b",
+            family: Family::RandWire,
+            graph: randwire(22, 16, 16, 35),
+            paper: PaperNumbers {
+                tflite_peak_kb: 350.0,
+                dp_peak_kb: 280.0,
+                dp_gr_peak_kb: 280.0,
+                dp_time_s: 74.4,
+                dp_gr_time_s: 74.4,
+            },
+        },
+        Benchmark {
+            name: "RandWire CIFAR100 Cell C",
+            id: "randwire-c100-c",
+            family: Family::RandWire,
+            graph: randwire(28, 12, 16, 16),
+            paper: PaperNumbers {
+                tflite_peak_kb: 160.0,
+                dp_peak_kb: 115.0,
+                dp_gr_peak_kb: 115.0,
+                dp_time_s: 87.9,
+                dp_gr_time_s: 87.9,
+            },
+        },
+    ]
+}
+
+/// Looks a benchmark up by its short id.
+pub fn by_id(id: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 9);
+        for b in &s {
+            assert!(b.graph.validate().is_ok(), "{} must be valid", b.name);
+            assert!(b.paper.dp_reduction() >= 1.0);
+            assert!(b.paper.dp_gr_reduction() >= b.paper.dp_reduction() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let s = suite();
+        let mut ids: Vec<&str> = s.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), s.len());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("swiftnet-a").is_some());
+        assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn geomean_of_paper_reductions_matches_figure10() {
+        // The paper reports 1.68× (DP) and 1.86× (DP+GR) geometric means.
+        let s = suite();
+        let geo = |f: &dyn Fn(&PaperNumbers) -> f64| {
+            let product: f64 = s.iter().map(|b| f(&b.paper)).product();
+            product.powf(1.0 / s.len() as f64)
+        };
+        let dp = geo(&|p| p.dp_reduction());
+        let gr = geo(&|p| p.dp_gr_reduction());
+        assert!((dp - 1.68).abs() < 0.05, "paper DP geomean ≈ 1.68, got {dp:.3}");
+        assert!((gr - 1.86).abs() < 0.05, "paper DP+GR geomean ≈ 1.86, got {gr:.3}");
+    }
+}

@@ -1,0 +1,278 @@
+//! SwiftNet cells A/B/C (Zhang et al. 2019) for human presence detection.
+//!
+//! SwiftNet's exact cell definitions were not released; these cells are
+//! synthesized to match every structural property the paper reports:
+//!
+//! * the full network partitions into **62 = {21, 19, 22}** nodes at its two
+//!   cell boundaries, growing to **92 = {33, 28, 29}** under identity graph
+//!   rewriting (Table 2);
+//! * cells are concatenation-heavy multi-branch blocks whose `concat → conv`
+//!   and `concat → depthwise conv` patterns are exactly the rewrite targets
+//!   of §3.3 (Figure 3(a) shows Cell A built from concat + conv);
+//! * cells are stacked through single waist tensors (the hourglass shape
+//!   §3.2 exploits), and successive cells shrink spatially while deepening
+//!   in channels, so peak footprints fall from Cell A to Cell C as in
+//!   Figure 15 (552 → 194 → 70 KB under TensorFlow Lite).
+//!
+//! Channel widths below are calibrated so the TFLite-style baseline
+//! (Kahn order + greedy-by-size arena) lands near the paper's Figure 15 raw
+//! numbers; EXPERIMENTS.md records the calibration.
+
+use serenity_ir::{DType, Graph, GraphBuilder, NodeId, Padding};
+
+/// Dimension knobs for the synthesized SwiftNet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwiftNetConfig {
+    /// Input spatial extent (height = width); HPD-style 64×64 by default.
+    pub hw: usize,
+    /// Input channels (RGB).
+    pub in_channels: usize,
+    /// Global channel multiplier (all widths scale linearly).
+    pub width: usize,
+}
+
+impl Default for SwiftNetConfig {
+    fn default() -> Self {
+        SwiftNetConfig { hw: 48, in_channels: 3, width: 4 }
+    }
+}
+
+// Per-cell channel widths, calibrated against Figure 15 (see EXPERIMENTS.md):
+// Cell A at 48×48 → TFLite ≈ 552 KB, Cell B at 24×24 → ≈ 194 KB,
+// Cell C at 12×12 → ≈ 70 KB.
+const A_STEM: usize = 4;
+const A_BRANCH: usize = 5;
+const A_BOTTLENECK: usize = 3;
+const A_SKIP: usize = 3;
+const A_OUT: usize = 8;
+const B_STEM: usize = 8;
+const B_BRANCH: usize = 8;
+const B_BOTTLENECK: usize = 4;
+const B_SKIP: usize = 3;
+const B_OUT: usize = 12;
+const C_STEM: usize = 8;
+const C_BRANCH: usize = 7;
+const C_JOIN: usize = 16;
+const C_HEAD: usize = 8;
+
+/// Builds the full three-cell network (62 nodes).
+pub fn swiftnet() -> Graph {
+    swiftnet_with(&SwiftNetConfig::default())
+}
+
+/// Builds the full network with explicit dimensions.
+pub fn swiftnet_with(config: &SwiftNetConfig) -> Graph {
+    let mut b = GraphBuilder::new("swiftnet");
+    let input =
+        b.image_input("image", config.hw, config.hw, config.in_channels, DType::F32);
+    let a = cell_a_body(&mut b, input, config);
+    let bo = cell_b_body(&mut b, a, config);
+    let c = cell_c_body(&mut b, bo, config);
+    b.mark_output(c);
+    b.finish()
+}
+
+/// The two waist tensors separating the cells of [`swiftnet`], in order
+/// (Cell A's output, Cell B's output). Use with
+/// [`serenity_ir::cuts::partition_at`] to reproduce the paper's
+/// `{21, 19, 22}` split.
+pub fn cell_boundaries(graph: &Graph) -> Vec<NodeId> {
+    ["cellA_out", "cellB_out"]
+        .iter()
+        .map(|name| {
+            graph
+                .node_ids()
+                .find(|&id| graph.node(id).name == *name)
+                .expect("swiftnet graphs name their cell boundaries")
+        })
+        .collect()
+}
+
+/// Builds Cell A standalone (21 nodes, the Figure 3/12 subject).
+pub fn cell_a() -> Graph {
+    let config = SwiftNetConfig::default();
+    let mut b = GraphBuilder::new("swiftnet_cell_a");
+    let input =
+        b.image_input("image", config.hw, config.hw, config.in_channels, DType::F32);
+    let out = cell_a_body(&mut b, input, &config);
+    b.mark_output(out);
+    b.finish()
+}
+
+/// Builds Cell B standalone (its input mirrors Cell A's output tensor).
+pub fn cell_b() -> Graph {
+    let config = SwiftNetConfig::default();
+    let mut b = GraphBuilder::new("swiftnet_cell_b");
+    let input = b.image_input("cellA_out", config.hw, config.hw, A_OUT, DType::F32);
+    let out = cell_b_body(&mut b, input, &config);
+    b.mark_output(out);
+    b.finish()
+}
+
+/// Builds Cell C standalone (its input mirrors Cell B's output tensor).
+pub fn cell_c() -> Graph {
+    let config = SwiftNetConfig::default();
+    let mut b = GraphBuilder::new("swiftnet_cell_c");
+    let input =
+        b.image_input("cellB_out", config.hw / 2, config.hw / 2, B_OUT, DType::F32);
+    let out = cell_c_body(&mut b, input, &config);
+    b.mark_output(out);
+    b.finish()
+}
+
+/// Cell A: 20 nodes after the input. Two depthwise groups and three skip
+/// paths joined by a wide concat — lots of inter-group scheduling freedom,
+/// which is exactly what an oblivious (Kahn) order wastes by interleaving
+/// all branches. Rewrite delta: +2+2 (g1 kernel + cascade) +2+2 (g2) +4
+/// (5-way join, channel-wise) = +12.
+fn cell_a_body(b: &mut GraphBuilder, input: NodeId, _config: &SwiftNetConfig) -> NodeId {
+    let stem = b.conv(input, A_STEM, (3, 3), (1, 1), Padding::Same).expect("stem conv");
+
+    // Groups 1 and 2: three fat branches → concat → depthwise → pointwise
+    // bottleneck (kernel-wise site, cascading into the pointwise).
+    let group = |b: &mut GraphBuilder, tag: &str| {
+        let branches: Vec<NodeId> =
+            (0..3).map(|_| b.conv1x1(stem, A_BRANCH).expect("branch")).collect();
+        let cat = b.concat(&branches).expect("group concat");
+        let dw = b.depthwise(cat, (3, 3), (1, 1), Padding::Same).expect("group dw");
+        let pw = b.conv1x1(dw, A_BOTTLENECK).expect("group pw");
+        let _ = tag;
+        pw
+    };
+    let g1 = group(b, "g1");
+    let g2 = group(b, "g2");
+
+    // Three thin skip paths.
+    let skips: Vec<NodeId> = (0..3).map(|_| b.conv1x1(stem, A_SKIP).expect("skip")).collect();
+
+    // Five-way join concat → 1×1 conv (channel-wise site, +4).
+    let join = b.concat(&[g1, g2, skips[0], skips[1], skips[2]]).expect("join concat");
+    let join_conv = b.conv1x1(join, A_OUT).expect("join conv");
+    let bn = b.batch_norm(join_conv).expect("cell a bn");
+    let out = b.relu(bn).expect("cell a relu");
+    b.graph_mut().node_rename(out, "cellA_out");
+    out
+}
+
+/// Cell B: 19 nodes. Stride-2 stem halves the spatial extent. One depthwise
+/// group, one conv group, two skips, four-way join. Rewrite delta:
+/// +2+2 (g1 kernel + cascade) +2 (g2 channel) +3 (join) = +9.
+fn cell_b_body(b: &mut GraphBuilder, input: NodeId, _config: &SwiftNetConfig) -> NodeId {
+    let stem = b.conv(input, B_STEM, (3, 3), (2, 2), Padding::Same).expect("stem conv");
+    let stem_relu = b.relu(stem).expect("stem relu");
+
+    // Group 1: three branches → concat → depthwise → pointwise.
+    let g1: Vec<NodeId> =
+        (0..3).map(|_| b.conv1x1(stem_relu, B_BRANCH).expect("g1 branch")).collect();
+    let g1_cat = b.concat(&g1).expect("g1 concat");
+    let g1_dw = b.depthwise(g1_cat, (3, 3), (1, 1), Padding::Same).expect("g1 dw");
+    let g1_out = b.conv1x1(g1_dw, B_BOTTLENECK).expect("g1 pw");
+
+    // Group 2: three branches → concat → 3×3 conv.
+    let g2: Vec<NodeId> =
+        (0..3).map(|_| b.conv1x1(stem_relu, B_BRANCH).expect("g2 branch")).collect();
+    let g2_cat = b.concat(&g2).expect("g2 concat");
+    let g2_out =
+        b.conv(g2_cat, B_BOTTLENECK, (3, 3), (1, 1), Padding::Same).expect("g2 conv");
+
+    // Two thin skip paths and the four-way join (channel-wise site, +3).
+    let sk1 = b.conv1x1(stem_relu, B_SKIP).expect("skip 1");
+    let sk2 = b.conv1x1(stem_relu, B_SKIP).expect("skip 2");
+    let join = b.concat(&[g1_out, g2_out, sk1, sk2]).expect("join concat");
+    let join_conv = b.conv1x1(join, B_OUT).expect("join conv");
+    let bn = b.batch_norm(join_conv).expect("cell b bn");
+    let out = b.relu(bn).expect("cell b relu");
+    b.graph_mut().node_rename(out, "cellB_out");
+    out
+}
+
+/// Cell C: 22 nodes ending in the classifier head. Rewrite delta:
+/// +3 (g1 kernel, blocked from cascading by the BN) +3 (g2 channel)
+/// +1 (join) = +7.
+fn cell_c_body(b: &mut GraphBuilder, input: NodeId, _config: &SwiftNetConfig) -> NodeId {
+    let stem = b.conv(input, C_STEM, (3, 3), (2, 2), Padding::Same).expect("stem conv");
+
+    // Group 1: four branches → concat → depthwise → BN (no cascade).
+    let g1: Vec<NodeId> =
+        (0..4).map(|_| b.conv1x1(stem, C_BRANCH).expect("g1 branch")).collect();
+    let g1_cat = b.concat(&g1).expect("g1 concat");
+    let g1_dw = b.depthwise(g1_cat, (3, 3), (1, 1), Padding::Same).expect("g1 dw");
+    let g1_out = b.batch_norm(g1_dw).expect("g1 bn");
+
+    // Group 2: four branches → concat → 3×3 conv.
+    let g2: Vec<NodeId> =
+        (0..4).map(|_| b.conv1x1(stem, C_BRANCH).expect("g2 branch")).collect();
+    let g2_cat = b.concat(&g2).expect("g2 concat");
+    let g2_out =
+        b.conv(g2_cat, 4 * C_BRANCH, (3, 3), (1, 1), Padding::Same).expect("g2 conv");
+
+    // Two-way join concat → conv (channel-wise site, +1), then the head.
+    let join = b.concat(&[g1_out, g2_out]).expect("join concat");
+    let join_conv = b.conv1x1(join, C_JOIN).expect("join conv");
+    let bn = b.batch_norm(join_conv).expect("head bn");
+    let relu = b.relu(bn).expect("head relu");
+    let pw = b.conv1x1(relu, C_HEAD).expect("head pw");
+    let gap = b.global_avg_pool(pw).expect("head gap");
+    let logits = b.dense(gap, 2).expect("head dense");
+    b.sigmoid(logits).expect("head sigmoid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::cuts;
+
+    #[test]
+    fn full_network_has_62_nodes() {
+        let g = swiftnet();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 62, "Table 2: SwiftNet has 62 nodes");
+    }
+
+    #[test]
+    fn partitions_as_21_19_22() {
+        let g = swiftnet();
+        let boundaries = cell_boundaries(&g);
+        let part = cuts::partition_at(&g, &boundaries).unwrap();
+        assert_eq!(part.segment_sizes(), vec![21, 19, 22], "Table 2 cell split");
+    }
+
+    #[test]
+    fn boundaries_are_true_cuts() {
+        let g = swiftnet();
+        let cuts_found = cuts::cut_nodes(&g);
+        for boundary in cell_boundaries(&g) {
+            assert!(cuts_found.contains(&boundary), "{boundary} must be a detected cut");
+        }
+    }
+
+    #[test]
+    fn standalone_cell_a_has_21_nodes() {
+        let g = cell_a();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 21);
+    }
+
+    #[test]
+    fn standalone_cells_are_valid() {
+        for g in [cell_b(), cell_c()] {
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn cells_shrink_spatially() {
+        let g = swiftnet();
+        let boundaries = cell_boundaries(&g);
+        let a_hw = g.node(boundaries[0]).shape.h();
+        let b_hw = g.node(boundaries[1]).shape.h();
+        assert!(b_hw < a_hw);
+    }
+
+    #[test]
+    fn output_is_binary_classifier() {
+        let g = swiftnet();
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[1, 2]);
+    }
+}

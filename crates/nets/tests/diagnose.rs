@@ -1,0 +1,142 @@
+//! Scratch diagnosis harness (run with --ignored --nocapture).
+
+use serenity_allocator::Strategy;
+use serenity_core::dp::DpScheduler;
+use serenity_ir::{mem, topo};
+use serenity_nets::swiftnet;
+
+#[test]
+#[ignore = "diagnostic printout"]
+fn swiftnet_a_pipeline_breakdown() {
+    use serenity_core::divide::{DivideAndConquer, SegmentScheduler};
+    let g = swiftnet::cell_a();
+    let whole = DpScheduler::new().schedule(&g).unwrap();
+    println!("whole-graph dp: {:.1} KB", whole.schedule.peak_bytes as f64 / 1024.0);
+
+    let part = serenity_ir::cuts::partition(&g);
+    println!("partition: {:?} cuts={:?}", part.segment_sizes(), part.cuts.len());
+    let divided = DivideAndConquer::new()
+        .segment_scheduler(SegmentScheduler::Dp(Default::default()))
+        .schedule(&g)
+        .unwrap();
+    println!("divided dp: {:.1} KB", divided.schedule.peak_bytes as f64 / 1024.0);
+    for seg in &divided.segments {
+        println!("  segment {} nodes, peak {:.1} KB", seg.nodes, seg.peak_bytes as f64 / 1024.0);
+    }
+    let adaptive = DivideAndConquer::new().schedule(&g).unwrap();
+    println!("divided asb: {:.1} KB", adaptive.schedule.peak_bytes as f64 / 1024.0);
+    for (name, order) in
+        [("whole-dp", &whole.schedule.order), ("divided", &divided.schedule.order)]
+    {
+        for strat in [Strategy::FirstFitArena, Strategy::GreedyBySize] {
+            let plan = serenity_allocator::plan(&g, order, strat).unwrap();
+            println!(
+                "{name} + {strat}: arena {:.1} KB (frag {:.1} KB)",
+                plan.arena_bytes as f64 / 1024.0,
+                plan.peak_fragmentation() as f64 / 1024.0
+            );
+        }
+    }
+    // Print the divided order with per-step footprint for inspection.
+    let profile = mem::profile_schedule(&g, &divided.schedule.order).unwrap();
+    for s in &profile.trace {
+        println!(
+            "  step {:>2} {:<18} alloc {:>8.1} KB free {:>8.1} KB",
+            s.step,
+            g.node(s.node).name,
+            s.after_alloc as f64 / 1024.0,
+            s.after_free as f64 / 1024.0
+        );
+    }
+}
+
+#[test]
+#[ignore = "diagnostic printout"]
+fn randwire_seed_sweep() {
+    use serenity_core::budget::AdaptiveSoftBudget;
+    use serenity_nets::randwire::{randwire_cell, RandWireConfig};
+    use std::time::Duration;
+    for nodes in [20usize, 24] {
+        for seed in 30..55u64 {
+            let g = randwire_cell(&RandWireConfig {
+                nodes,
+                k: 4,
+                p: 0.75,
+                seed,
+                hw: 16,
+                channels: 32,
+                ..Default::default()
+            });
+            let kahn = mem::peak_bytes(&g, &topo::kahn(&g)).unwrap();
+            let t0 = std::time::Instant::now();
+            let asb = AdaptiveSoftBudget::new()
+                .step_timeout(Duration::from_millis(500))
+                .threads(4)
+                .search(&g);
+            match asb {
+                Ok(outcome) => println!(
+                    "n={nodes} seed={seed}: ratio {:.2} ({:.0} -> {:.0} KB) in {:?}",
+                    kahn as f64 / outcome.schedule.peak_bytes as f64,
+                    kahn as f64 / 1024.0,
+                    outcome.schedule.peak_bytes as f64 / 1024.0,
+                    t0.elapsed()
+                ),
+                Err(e) => println!("n={nodes} seed={seed}: FAILED {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "diagnostic printout"]
+fn darts_breakdown() {
+    use serenity_core::budget::BudgetConfig;
+    use serenity_core::pipeline::{RewriteMode, Serenity};
+    use std::time::Duration;
+    let g = serenity_nets::darts::normal_cell();
+    let kahn = topo::kahn(&g);
+    println!("kahn live: {:.1} KB", mem::peak_bytes(&g, &kahn).unwrap() as f64 / 1024.0);
+    let compiled = Serenity::builder()
+        .rewrite(RewriteMode::Off)
+        .adaptive_budget(BudgetConfig {
+            step_timeout: Duration::from_millis(500),
+            max_rounds: 24,
+            threads: 4,
+            max_states: Some(2_000_000),
+        })
+        .build()
+        .compile(&g)
+        .unwrap();
+    println!("pipeline live: {:.1} KB", compiled.peak_bytes as f64 / 1024.0);
+    println!(
+        "pipeline sched live: {:.1} KB",
+        compiled.schedule.peak_bytes as f64 / 1024.0
+    );
+    println!(
+        "pipeline arena: {:.1} KB",
+        compiled.arena.unwrap().arena_bytes as f64 / 1024.0
+    );
+    let lb = mem::peak_lower_bound(&g);
+    println!("lower bound: {:.1} KB", lb as f64 / 1024.0);
+}
+
+#[test]
+#[ignore = "diagnostic printout"]
+fn swiftnet_a_breakdown() {
+    let g = swiftnet::cell_a();
+    let kahn = topo::kahn(&g);
+    let kahn_peak = mem::peak_bytes(&g, &kahn).unwrap();
+    let dp = DpScheduler::new().threads(4).schedule(&g).unwrap();
+    println!("kahn live peak: {:.1} KB", kahn_peak as f64 / 1024.0);
+    println!("dp   live peak: {:.1} KB", dp.schedule.peak_bytes as f64 / 1024.0);
+    for (name, order) in [("kahn", &kahn), ("dp", &dp.schedule.order)] {
+        for strat in [Strategy::FirstFitArena, Strategy::GreedyBySize] {
+            let plan = serenity_allocator::plan(&g, order, strat).unwrap();
+            println!(
+                "{name} + {strat}: arena {:.1} KB (frag {:.1} KB)",
+                plan.arena_bytes as f64 / 1024.0,
+                plan.peak_fragmentation() as f64 / 1024.0
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+use serenity_ir::GraphError;
+
+/// Errors produced by the reference interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterpError {
+    /// The number or shape of the provided inputs does not match the graph.
+    BadInput {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The graph contains an operation the interpreter cannot execute
+    /// (e.g. [`serenity_ir::Op::Opaque`]).
+    Unsupported {
+        /// Mnemonic of the unsupported operation.
+        op: &'static str,
+    },
+    /// The underlying graph is malformed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::BadInput { detail } => write!(f, "bad interpreter input: {detail}"),
+            InterpError::Unsupported { op } => {
+                write!(f, "operation {op} is not executable by the reference interpreter")
+            }
+            InterpError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for InterpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InterpError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for InterpError {
+    fn from(e: GraphError) -> Self {
+        InterpError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = InterpError::Unsupported { op: "opaque" };
+        assert!(e.to_string().contains("opaque"));
+        let e: InterpError = GraphError::Empty.into();
+        assert!(e.to_string().contains("graph error"));
+    }
+}

@@ -1,0 +1,200 @@
+use serenity_ir::{Graph, NodeId, Op};
+
+use crate::{ops, InterpError, Tensor, WeightStore};
+
+/// Executes a graph with `f32` tensors and deterministic weights.
+///
+/// Nodes are evaluated in id order (ids are topological by construction);
+/// [`Op::AccumAdd`] and [`Op::SlabConcat`] compute exactly like their
+/// materializing counterparts — slab semantics change *memory accounting*,
+/// never arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct Interpreter {
+    store: WeightStore,
+}
+
+impl Interpreter {
+    /// Creates an interpreter whose weights derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Interpreter { store: WeightStore::new(seed) }
+    }
+
+    /// Runs `graph` on `inputs` (given in [`Graph::inputs`] order) and
+    /// returns the tensors of [`Graph::outputs`] in order.
+    ///
+    /// # Errors
+    ///
+    /// * [`InterpError::BadInput`] if the input count or shapes mismatch.
+    /// * [`InterpError::Unsupported`] for ops without tensor semantics
+    ///   ([`Op::Opaque`]).
+    pub fn run(&self, graph: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, InterpError> {
+        let input_ids = graph.inputs();
+        if inputs.len() != input_ids.len() {
+            return Err(InterpError::BadInput {
+                detail: format!("graph has {} inputs, {} provided", input_ids.len(), inputs.len()),
+            });
+        }
+        let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+        for (id, tensor) in input_ids.iter().zip(inputs) {
+            let declared = graph.node(*id).shape.dims();
+            if tensor.shape() != declared {
+                return Err(InterpError::BadInput {
+                    detail: format!(
+                        "input {} expects shape {declared:?}, got {:?}",
+                        graph.node(*id).name,
+                        tensor.shape()
+                    ),
+                });
+            }
+            values[id.index()] = Some(tensor.clone());
+        }
+
+        for id in graph.node_ids() {
+            if values[id.index()].is_some() {
+                continue; // graph input, already provided
+            }
+            let result = self.eval(graph, id, &values)?;
+            debug_assert_eq!(
+                result.shape(),
+                graph.node(id).shape.dims(),
+                "interpreter output shape must match inference for {}",
+                graph.node(id).name
+            );
+            values[id.index()] = Some(result);
+        }
+
+        Ok(graph
+            .outputs()
+            .into_iter()
+            .map(|o| values[o.index()].clone().expect("outputs were computed"))
+            .collect())
+    }
+
+    fn eval(
+        &self,
+        graph: &Graph,
+        id: NodeId,
+        values: &[Option<Tensor>],
+    ) -> Result<Tensor, InterpError> {
+        let node = graph.node(id);
+        let args: Vec<&Tensor> = graph
+            .preds(id)
+            .iter()
+            .map(|p| values[p.index()].as_ref().expect("predecessors evaluated first"))
+            .collect();
+        let out = match &node.op {
+            Op::Input => {
+                return Err(InterpError::BadInput {
+                    detail: format!("input {} received no tensor", node.name),
+                })
+            }
+            Op::Opaque { .. } => return Err(InterpError::Unsupported { op: "opaque" }),
+            Op::Conv2d(c) => {
+                let in_c = args[0].shape()[3];
+                let w = self.store.conv(&c.weight, c.kernel.0, c.kernel.1, in_c, c.out_channels);
+                ops::conv2d(args[0], &w, c.stride, c.padding, c.dilation)
+            }
+            Op::DepthwiseConv2d(c) => {
+                let ch = args[0].shape()[3];
+                let w = self.store.depthwise(&c.weight, c.kernel.0, c.kernel.1, ch);
+                ops::depthwise(args[0], &w, c.stride, c.padding, c.dilation)
+            }
+            Op::Dense(d) => {
+                let n = args[0].shape()[0];
+                let in_features = args[0].len() / n;
+                let w = self.store.dense(&d.weight, in_features, d.out_features);
+                ops::dense(args[0], &w)
+            }
+            Op::Concat { axis } | Op::SlabConcat { axis } => ops::concat(&args, *axis),
+            Op::Add | Op::AccumAdd => ops::add(&args),
+            Op::Relu => ops::relu(args[0]),
+            Op::Sigmoid => ops::sigmoid(args[0]),
+            Op::BatchNorm => ops::batch_norm(args[0]),
+            Op::MaxPool2d(p) => ops::max_pool(args[0], p.kernel, p.stride, p.padding),
+            Op::AvgPool2d(p) => ops::avg_pool(args[0], p.kernel, p.stride, p.padding),
+            Op::GlobalAvgPool => ops::global_avg_pool(args[0]),
+            Op::Identity => args[0].clone(),
+        };
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::{DType, GraphBuilder, Padding};
+
+    fn small_net() -> Graph {
+        let mut b = GraphBuilder::new("net");
+        let x = b.image_input("x", 6, 6, 3, DType::F32);
+        let c = b.conv(x, 4, (3, 3), (1, 1), Padding::Same).unwrap();
+        let r = b.relu(c).unwrap();
+        let d = b.depthwise(r, (3, 3), (1, 1), Padding::Same).unwrap();
+        let s = b.identity(r).unwrap();
+        let cat = b.concat(&[d, s]).unwrap();
+        let g = b.global_avg_pool(cat).unwrap();
+        let out = b.dense(g, 5).unwrap();
+        b.mark_output(out);
+        b.finish()
+    }
+
+    #[test]
+    fn runs_end_to_end() {
+        let g = small_net();
+        let input = Tensor::random(&[1, 6, 6, 3], 1);
+        let out = Interpreter::new(3).run(&g, &[input]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].shape(), &[1, 5]);
+        assert!(out[0].data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_input() {
+        let g = small_net();
+        let input = Tensor::random(&[1, 6, 6, 3], 1);
+        let a = Interpreter::new(3).run(&g, &[input.clone()]).unwrap();
+        let b = Interpreter::new(3).run(&g, &[input.clone()]).unwrap();
+        assert_eq!(a[0], b[0]);
+        let c = Interpreter::new(4).run(&g, &[input]).unwrap();
+        assert_ne!(a[0], c[0]);
+    }
+
+    #[test]
+    fn rejects_wrong_input_count() {
+        let g = small_net();
+        let err = Interpreter::new(3).run(&g, &[]).unwrap_err();
+        assert!(matches!(err, InterpError::BadInput { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let g = small_net();
+        let bad = Tensor::random(&[1, 5, 5, 3], 1);
+        let err = Interpreter::new(3).run(&g, &[bad]).unwrap_err();
+        assert!(matches!(err, InterpError::BadInput { .. }));
+    }
+
+    #[test]
+    fn rejects_opaque() {
+        let mut g = Graph::new("opaque");
+        g.add_opaque("o", 10, &[]).unwrap();
+        let err = Interpreter::new(0).run(&g, &[]).unwrap_err();
+        assert_eq!(err, InterpError::Unsupported { op: "opaque" });
+    }
+
+    #[test]
+    fn multiple_outputs_in_order() {
+        let mut b = GraphBuilder::new("multi");
+        let x = b.image_input("x", 2, 2, 1, DType::F32);
+        let a = b.relu(x).unwrap();
+        let s = b.sigmoid(x).unwrap();
+        b.mark_output(a);
+        b.mark_output(s);
+        let g = b.finish();
+        let input = Tensor::new(&[1, 2, 2, 1], vec![-1.0, 1.0, -2.0, 2.0]);
+        let out = Interpreter::new(0).run(&g, &[input]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].data()[0], 0.0); // relu of -1
+        assert!(out[1].data()[0] < 0.5); // sigmoid of -1
+    }
+}

@@ -1,0 +1,46 @@
+//! Reference tensor interpreter for SERENITY graphs.
+//!
+//! The paper's identity graph rewriting (§3.3) claims to keep "the
+//! mathematical integrity of the neural network intact". This crate makes
+//! that claim *testable*: it executes a [`serenity_ir::Graph`] with plain
+//! `f32` tensors and naive kernels, materializing weights deterministically
+//! from their [`WeightId`](serenity_ir::WeightId) so that a rewritten graph
+//! (whose partial convolutions reference *slices* of the original weights)
+//! computes with exactly the same values as the original.
+//!
+//! Performance is explicitly a non-goal — kernels are straightforward loop
+//! nests kept simple enough to be obviously correct.
+//!
+//! # Example
+//!
+//! ```
+//! use serenity_ir::{GraphBuilder, DType, Padding};
+//! use serenity_tensor::{Interpreter, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new("net");
+//! let x = b.image_input("x", 4, 4, 2, DType::F32);
+//! let y = b.conv(x, 3, (3, 3), (1, 1), Padding::Same)?;
+//! b.mark_output(y);
+//! let g = b.finish();
+//!
+//! let input = Tensor::random(&[1, 4, 4, 2], 42);
+//! let outputs = Interpreter::new(7).run(&g, &[input])?;
+//! assert_eq!(outputs[0].shape(), &[1, 4, 4, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod interp;
+mod ops;
+mod tensor;
+mod weights;
+
+pub use error::InterpError;
+pub use interp::Interpreter;
+pub use tensor::Tensor;
+pub use weights::WeightStore;

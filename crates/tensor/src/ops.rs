@@ -1,0 +1,440 @@
+//! Naive reference kernels (NHWC activations, HWIO conv kernels).
+//!
+//! Padding follows the TensorFlow `SAME`/`VALID` conventions:
+//! `pad_total = max((out-1)·stride + k_eff - in, 0)` with the smaller half
+//! before the data. Max pooling ignores padded positions; average pooling
+//! divides by the number of valid (unpadded) window elements, as TFLite does.
+
+use serenity_ir::Padding;
+
+use crate::Tensor;
+
+fn pad_begin(padding: Padding, input: usize, k_eff: usize, stride: usize) -> isize {
+    match padding {
+        Padding::Valid => 0,
+        Padding::Same => {
+            let out = padding.output_extent(input, k_eff, stride);
+            let total = ((out - 1) * stride + k_eff).saturating_sub(input);
+            (total / 2) as isize
+        }
+    }
+}
+
+/// Standard 2-D convolution: `x` NHWC, `w` HWIO `[kh, kw, in_c, out_c]`.
+pub(crate) fn conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    stride: (usize, usize),
+    padding: Padding,
+    dilation: (usize, usize),
+) -> Tensor {
+    let (n, h, wd, in_c) = dims4(x);
+    let (kh, kw, w_in_c, out_c) =
+        (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    assert_eq!(in_c, w_in_c, "kernel input channels must match activation");
+    let k_eff_h = dilation.0 * (kh - 1) + 1;
+    let k_eff_w = dilation.1 * (kw - 1) + 1;
+    let out_h = padding.output_extent(h, k_eff_h, stride.0);
+    let out_w = padding.output_extent(wd, k_eff_w, stride.1);
+    let ph = pad_begin(padding, h, k_eff_h, stride.0);
+    let pw = pad_begin(padding, wd, k_eff_w, stride.1);
+
+    let mut out = Tensor::zeros(&[n, out_h, out_w, out_c]);
+    for b in 0..n {
+        for oh in 0..out_h {
+            for ow in 0..out_w {
+                for oc in 0..out_c {
+                    let mut acc = 0.0f32;
+                    for i in 0..kh {
+                        for j in 0..kw {
+                            let ih = oh as isize * stride.0 as isize - ph
+                                + (i * dilation.0) as isize;
+                            let iw = ow as isize * stride.1 as isize - pw
+                                + (j * dilation.1) as isize;
+                            if ih < 0 || iw < 0 || ih >= h as isize || iw >= wd as isize {
+                                continue;
+                            }
+                            for ic in 0..in_c {
+                                let wv = w.data()[((i * kw + j) * in_c + ic) * out_c + oc];
+                                acc += x.at(b, ih as usize, iw as usize, ic) * wv;
+                            }
+                        }
+                    }
+                    out.set(b, oh, ow, oc, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Depthwise 2-D convolution: `x` NHWC, `w` `[kh, kw, c]`.
+pub(crate) fn depthwise(
+    x: &Tensor,
+    w: &Tensor,
+    stride: (usize, usize),
+    padding: Padding,
+    dilation: (usize, usize),
+) -> Tensor {
+    let (n, h, wd, c) = dims4(x);
+    let (kh, kw, w_c) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    assert_eq!(c, w_c, "kernel channels must match activation");
+    let k_eff_h = dilation.0 * (kh - 1) + 1;
+    let k_eff_w = dilation.1 * (kw - 1) + 1;
+    let out_h = padding.output_extent(h, k_eff_h, stride.0);
+    let out_w = padding.output_extent(wd, k_eff_w, stride.1);
+    let ph = pad_begin(padding, h, k_eff_h, stride.0);
+    let pw = pad_begin(padding, wd, k_eff_w, stride.1);
+
+    let mut out = Tensor::zeros(&[n, out_h, out_w, c]);
+    for b in 0..n {
+        for oh in 0..out_h {
+            for ow in 0..out_w {
+                for ch in 0..c {
+                    let mut acc = 0.0f32;
+                    for i in 0..kh {
+                        for j in 0..kw {
+                            let ih = oh as isize * stride.0 as isize - ph
+                                + (i * dilation.0) as isize;
+                            let iw = ow as isize * stride.1 as isize - pw
+                                + (j * dilation.1) as isize;
+                            if ih < 0 || iw < 0 || ih >= h as isize || iw >= wd as isize {
+                                continue;
+                            }
+                            let wv = w.data()[(i * kw + j) * c + ch];
+                            acc += x.at(b, ih as usize, iw as usize, ch) * wv;
+                        }
+                    }
+                    out.set(b, oh, ow, ch, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fully connected layer over the flattened input: `w` is
+/// `[in_features, out_features]`.
+pub(crate) fn dense(x: &Tensor, w: &Tensor) -> Tensor {
+    let n = x.shape()[0];
+    let in_features = x.len() / n;
+    let (w_in, out_features) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(in_features, w_in, "dense weight must match flattened input");
+    let mut out = Tensor::zeros(&[n, out_features]);
+    for b in 0..n {
+        for o in 0..out_features {
+            let mut acc = 0.0f32;
+            for i in 0..in_features {
+                acc += x.data()[b * in_features + i] * w.data()[i * out_features + o];
+            }
+            out.data_mut()[b * out_features + o] = acc;
+        }
+    }
+    out
+}
+
+/// Concatenation along `axis` for arbitrary-rank row-major tensors.
+pub(crate) fn concat(inputs: &[&Tensor], axis: usize) -> Tensor {
+    let first = inputs[0];
+    let rank = first.shape().len();
+    assert!(axis < rank, "concat axis out of range");
+    let mut out_shape = first.shape().to_vec();
+    out_shape[axis] = inputs.iter().map(|t| t.shape()[axis]).sum();
+
+    let outer: usize = first.shape()[..axis].iter().product();
+    let chunks: Vec<usize> =
+        inputs.iter().map(|t| t.shape()[axis..].iter().product()).collect();
+    let mut data = Vec::with_capacity(out_shape.iter().product());
+    for o in 0..outer {
+        for (t, &chunk) in inputs.iter().zip(&chunks) {
+            data.extend_from_slice(&t.data()[o * chunk..(o + 1) * chunk]);
+        }
+    }
+    Tensor::new(&out_shape, data)
+}
+
+/// Element-wise n-ary sum.
+pub(crate) fn add(inputs: &[&Tensor]) -> Tensor {
+    let mut out = inputs[0].clone();
+    for t in &inputs[1..] {
+        assert_eq!(t.shape(), out.shape(), "add operands must match");
+        for (o, v) in out.data_mut().iter_mut().zip(t.data()) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Rectified linear unit.
+pub(crate) fn relu(x: &Tensor) -> Tensor {
+    map(x, |v| v.max(0.0))
+}
+
+/// Logistic sigmoid.
+pub(crate) fn sigmoid(x: &Tensor) -> Tensor {
+    map(x, |v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Inference-mode batch normalization with deterministic per-channel scale
+/// and shift (a pure function of the channel index, so structurally
+/// identical graphs normalize identically).
+pub(crate) fn batch_norm(x: &Tensor) -> Tensor {
+    let c = *x.shape().last().expect("tensor has at least one dim");
+    let gamma: Vec<f32> = (0..c).map(|ch| 1.0 + 0.05 * unit(ch as u64)).collect();
+    let beta: Vec<f32> = (0..c).map(|ch| 0.1 * unit(ch as u64 + 0x5151)).collect();
+    let mut out = x.clone();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        let ch = i % c;
+        *v = *v * gamma[ch] + beta[ch];
+    }
+    out
+}
+
+/// Max pooling (padded positions are ignored).
+pub(crate) fn max_pool(
+    x: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: Padding,
+) -> Tensor {
+    pool(x, kernel, stride, padding, true)
+}
+
+/// Average pooling (averages over valid positions only, like TFLite).
+pub(crate) fn avg_pool(
+    x: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: Padding,
+) -> Tensor {
+    pool(x, kernel, stride, padding, false)
+}
+
+/// Global average pooling to 1×1 spatial extent.
+pub(crate) fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, h, w, c) = dims4(x);
+    let mut out = Tensor::zeros(&[n, 1, 1, c]);
+    let scale = 1.0 / (h * w) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let mut acc = 0.0;
+            for i in 0..h {
+                for j in 0..w {
+                    acc += x.at(b, i, j, ch);
+                }
+            }
+            out.set(b, 0, 0, ch, acc * scale);
+        }
+    }
+    out
+}
+
+fn pool(
+    x: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: Padding,
+    is_max: bool,
+) -> Tensor {
+    let (n, h, w, c) = dims4(x);
+    let out_h = padding.output_extent(h, kernel.0, stride.0);
+    let out_w = padding.output_extent(w, kernel.1, stride.1);
+    let ph = pad_begin(padding, h, kernel.0, stride.0);
+    let pw = pad_begin(padding, w, kernel.1, stride.1);
+    let mut out = Tensor::zeros(&[n, out_h, out_w, c]);
+    for b in 0..n {
+        for oh in 0..out_h {
+            for ow in 0..out_w {
+                for ch in 0..c {
+                    let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                    let mut count = 0u32;
+                    for i in 0..kernel.0 {
+                        for j in 0..kernel.1 {
+                            let ih = oh as isize * stride.0 as isize - ph + i as isize;
+                            let iw = ow as isize * stride.1 as isize - pw + j as isize;
+                            if ih < 0 || iw < 0 || ih >= h as isize || iw >= w as isize {
+                                continue;
+                            }
+                            let v = x.at(b, ih as usize, iw as usize, ch);
+                            if is_max {
+                                acc = acc.max(v);
+                            } else {
+                                acc += v;
+                            }
+                            count += 1;
+                        }
+                    }
+                    let value = if is_max { acc } else { acc / count.max(1) as f32 };
+                    out.set(b, oh, ow, ch, value);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn map(x: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut out = x.clone();
+    for v in out.data_mut() {
+        *v = f(*v);
+    }
+    out
+}
+
+fn unit(x: u64) -> f32 {
+    let mut v = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    v = (v ^ (v >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    v ^= v >> 31;
+    (v >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0
+}
+
+fn dims4(x: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(x.shape().len(), 4, "expected NHWC tensor");
+    (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        // A 1x1 kernel with identity channel mixing reproduces the input.
+        let x = Tensor::random(&[1, 3, 3, 2], 1);
+        let w = Tensor::new(&[1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let y = conv2d(&x, &w, (1, 1), Padding::Same, (1, 1));
+        assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn conv_counts_window_sums() {
+        // All-ones input and kernel: interior outputs equal kh*kw*in_c.
+        let x = Tensor::new(&[1, 5, 5, 1], vec![1.0; 25]);
+        let w = Tensor::new(&[3, 3, 1, 1], vec![1.0; 9]);
+        let y = conv2d(&x, &w, (1, 1), Padding::Same, (1, 1));
+        assert_eq!(y.at(0, 2, 2, 0), 9.0);
+        assert_eq!(y.at(0, 0, 0, 0), 4.0); // corner: 2x2 valid window
+    }
+
+    #[test]
+    fn conv_valid_padding_shrinks() {
+        let x = Tensor::random(&[1, 5, 5, 1], 2);
+        let w = Tensor::random(&[3, 3, 1, 1], 3);
+        let y = conv2d(&x, &w, (1, 1), Padding::Valid, (1, 1));
+        assert_eq!(y.shape(), &[1, 3, 3, 1]);
+    }
+
+    #[test]
+    fn conv_is_linear_in_input_channels() {
+        // conv(concat(x1, x2)) == conv_slice1(x1) + conv_slice2(x2):
+        // the identity behind channel-wise partitioning (Eq. 3-6).
+        let x1 = Tensor::random(&[1, 4, 4, 2], 4);
+        let x2 = Tensor::random(&[1, 4, 4, 3], 5);
+        let w = Tensor::random(&[3, 3, 5, 4], 6);
+        let xc = concat(&[&x1, &x2], 3);
+        let full = conv2d(&xc, &w, (1, 1), Padding::Same, (1, 1));
+
+        // Split w along the input-channel axis.
+        let mut w1 = Tensor::zeros(&[3, 3, 2, 4]);
+        let mut w2 = Tensor::zeros(&[3, 3, 3, 4]);
+        for i in 0..3 {
+            for j in 0..3 {
+                for oc in 0..4 {
+                    for ic in 0..2 {
+                        let v = w.data()[((i * 3 + j) * 5 + ic) * 4 + oc];
+                        w1.data_mut()[((i * 3 + j) * 2 + ic) * 4 + oc] = v;
+                    }
+                    for ic in 0..3 {
+                        let v = w.data()[((i * 3 + j) * 5 + (ic + 2)) * 4 + oc];
+                        w2.data_mut()[((i * 3 + j) * 3 + ic) * 4 + oc] = v;
+                    }
+                }
+            }
+        }
+        let p1 = conv2d(&x1, &w1, (1, 1), Padding::Same, (1, 1));
+        let p2 = conv2d(&x2, &w2, (1, 1), Padding::Same, (1, 1));
+        let sum = add(&[&p1, &p2]);
+        assert!(sum.approx_eq(&full, 1e-5));
+    }
+
+    #[test]
+    fn depthwise_commutes_with_concat() {
+        // depthconv(concat(x1, x2)) == concat(dw1(x1), dw2(x2)):
+        // the identity behind kernel-wise partitioning (Eq. 7-8).
+        let x1 = Tensor::random(&[1, 4, 4, 2], 7);
+        let x2 = Tensor::random(&[1, 4, 4, 3], 8);
+        let w = Tensor::random(&[3, 3, 5], 9);
+        let xc = concat(&[&x1, &x2], 3);
+        let full = depthwise(&xc, &w, (1, 1), Padding::Same, (1, 1));
+
+        let w1 = Tensor::new(
+            &[3, 3, 2],
+            (0..9).flat_map(|k| w.data()[k * 5..k * 5 + 2].to_vec()).collect(),
+        );
+        let w2 = Tensor::new(
+            &[3, 3, 3],
+            (0..9).flat_map(|k| w.data()[k * 5 + 2..k * 5 + 5].to_vec()).collect(),
+        );
+        let p1 = depthwise(&x1, &w1, (1, 1), Padding::Same, (1, 1));
+        let p2 = depthwise(&x2, &w2, (1, 1), Padding::Same, (1, 1));
+        let cat = concat(&[&p1, &p2], 3);
+        assert!(cat.approx_eq(&full, 1e-5));
+    }
+
+    #[test]
+    fn concat_lays_out_channels() {
+        let a = Tensor::new(&[1, 1, 1, 2], vec![1.0, 2.0]);
+        let b = Tensor::new(&[1, 1, 1, 1], vec![3.0]);
+        let c = concat(&[&a, &b], 3);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_spatial_axis() {
+        let a = Tensor::new(&[1, 1, 2, 1], vec![1.0, 2.0]);
+        let b = Tensor::new(&[1, 1, 1, 1], vec![3.0]);
+        let c = concat(&[&a, &b], 2);
+        assert_eq!(c.shape(), &[1, 1, 3, 1]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_and_sigmoid() {
+        let x = Tensor::new(&[3], vec![-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let s = sigmoid(&x);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[0] < 0.5 && s.data()[2] > 0.5);
+    }
+
+    #[test]
+    fn pooling() {
+        let x = Tensor::new(&[1, 2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let mx = max_pool(&x, (2, 2), (2, 2), Padding::Valid);
+        assert_eq!(mx.data(), &[4.0]);
+        let av = avg_pool(&x, (2, 2), (2, 2), Padding::Valid);
+        assert_eq!(av.data(), &[2.5]);
+        let gap = global_avg_pool(&x);
+        assert_eq!(gap.data(), &[2.5]);
+    }
+
+    #[test]
+    fn batch_norm_is_deterministic_per_channel() {
+        let x = Tensor::new(&[1, 1, 1, 2], vec![1.0, 1.0]);
+        let a = batch_norm(&x);
+        let b = batch_norm(&x);
+        assert_eq!(a, b);
+        // Different channels get different scale/shift.
+        assert_ne!(a.data()[0], a.data()[1]);
+    }
+
+    #[test]
+    fn strided_dilated_conv_shapes() {
+        let x = Tensor::random(&[1, 8, 8, 2], 10);
+        let w = Tensor::random(&[3, 3, 2, 4], 11);
+        let y = conv2d(&x, &w, (2, 2), Padding::Same, (1, 1));
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+        let y = conv2d(&x, &w, (1, 1), Padding::Same, (2, 2));
+        assert_eq!(y.shape(), &[1, 8, 8, 4]);
+    }
+}

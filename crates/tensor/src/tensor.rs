@@ -1,0 +1,181 @@
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense `f32` tensor in row-major (NHWC for rank 4) layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(data.len(), expected, "data length {} != shape volume {expected}", data.len());
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Creates an all-zero tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Creates a tensor with uniform random values in `[-1, 1)`,
+    /// reproducible from `seed`.
+    pub fn random(shape: &[usize], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Flat read access to the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable access to the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat index of NHWC coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or an index is out of range.
+    #[inline]
+    pub fn nhwc_index(&self, n: usize, h: usize, w: usize, c: usize) -> usize {
+        assert_eq!(self.shape.len(), 4, "nhwc indexing requires rank 4");
+        debug_assert!(n < self.shape[0] && h < self.shape[1] && w < self.shape[2] && c < self.shape[3]);
+        ((n * self.shape[1] + h) * self.shape[2] + w) * self.shape[3] + c
+    }
+
+    /// Reads one NHWC element.
+    ///
+    /// # Panics
+    ///
+    /// As [`Tensor::nhwc_index`].
+    #[inline]
+    pub fn at(&self, n: usize, h: usize, w: usize, c: usize) -> f32 {
+        self.data[self.nhwc_index(n, h, w, c)]
+    }
+
+    /// Writes one NHWC element.
+    ///
+    /// # Panics
+    ///
+    /// As [`Tensor::nhwc_index`].
+    #[inline]
+    pub fn set(&mut self, n: usize, h: usize, w: usize, c: usize, value: f32) {
+        let idx = self.nhwc_index(n, h, w, c);
+        self.data[idx] = value;
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether all elements differ from `other` by at most `tol`, scaled by
+    /// the larger magnitude (mixed absolute/relative comparison).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elements)", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros(&[1, 2, 2, 3]);
+        t.set(0, 1, 0, 2, 5.0);
+        assert_eq!(t.at(0, 1, 0, 2), 5.0);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn wrong_data_length_panics() {
+        Tensor::new(&[2, 2], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random(&[2, 3], 9);
+        let b = Tensor::random(&[2, 3], 9);
+        assert_eq!(a, b);
+        let c = Tensor::random(&[2, 3], 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        let a = Tensor::new(&[2], vec![1.0, 100.0]);
+        let b = Tensor::new(&[2], vec![1.00001, 100.001]);
+        assert!(a.approx_eq(&b, 1e-4));
+        assert!(!a.approx_eq(&b, 1e-7));
+    }
+
+    #[test]
+    fn max_abs_diff_computes() {
+        let a = Tensor::new(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::new(&[3], vec![1.5, 2.0, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let t = Tensor::new(&[1, 1, 2, 2], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.at(0, 0, 0, 1), 1.0);
+        assert_eq!(t.at(0, 0, 1, 0), 2.0);
+    }
+}

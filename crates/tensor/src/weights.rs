@@ -1,0 +1,205 @@
+//! Deterministic, index-addressed weight materialization.
+//!
+//! Weight *values* are a pure function of `(store seed, weight id, logical
+//! element coordinates)`. Because the coordinates are global — e.g. the
+//! input-channel index within the *full* kernel — a sliced
+//! [`WeightRef`](serenity_ir::WeightRef) (produced by identity graph
+//! rewriting) materializes exactly the values of the corresponding slice of
+//! the original weight. That property is what lets the interpreter verify
+//! rewrites end-to-end without ever storing whole-weight tensors.
+
+use serenity_ir::{ChannelRange, WeightRef};
+
+use crate::Tensor;
+
+/// Deterministic weight source.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightStore {
+    seed: u64,
+}
+
+impl WeightStore {
+    /// Creates a store; different seeds give independent networks.
+    pub fn new(seed: u64) -> Self {
+        WeightStore { seed }
+    }
+
+    /// Value of one logical weight element (SplitMix64 over the coordinates,
+    /// mapped to `[-scale, scale)`).
+    fn value(&self, weight: u32, coords: [u64; 4], scale: f32) -> f32 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(weight))
+            .wrapping_add(coords[0].wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(coords[1].wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(coords[2].wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(coords[3].wrapping_mul(0xA076_1D64_78BD_642F));
+        // SplitMix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f32 / (1u64 << 53) as f32; // [0, 1)
+        (unit * 2.0 - 1.0) * scale
+    }
+
+    /// Materializes a convolution kernel in HWIO layout
+    /// `[kh, kw, in_c, out_c]` for the *effective* (possibly sliced)
+    /// channels of `weight`; slices address the same global coordinates as
+    /// the full kernel. The value scale depends only on the kernel's spatial
+    /// extent, never on channel counts, so sliced and full kernels agree
+    /// element for element.
+    pub fn conv(
+        &self,
+        weight: &WeightRef,
+        kh: usize,
+        kw: usize,
+        in_c: usize,
+        out_c: usize,
+    ) -> Tensor {
+        let in_range = resolve(weight.in_slice, in_c);
+        let out_range = resolve(weight.kernel_slice, out_c);
+        let scale = 0.5 / ((kh * kw) as f32).sqrt();
+        let mut data = Vec::with_capacity(kh * kw * in_c * out_c);
+        for i in 0..kh {
+            for j in 0..kw {
+                for ic in in_range.start..in_range.end {
+                    for oc in out_range.start..out_range.end {
+                        data.push(self.value(
+                            weight.id.index() as u32,
+                            [i as u64, j as u64, u64::from(ic), u64::from(oc)],
+                            scale,
+                        ));
+                    }
+                }
+            }
+        }
+        Tensor::new(&[kh, kw, in_c, out_c], data)
+    }
+
+    /// Materializes a depthwise kernel `[kh, kw, c]`; slices address global
+    /// channel coordinates.
+    pub fn depthwise(&self, weight: &WeightRef, kh: usize, kw: usize, c: usize) -> Tensor {
+        let range = resolve(weight.kernel_slice, c);
+        let scale = 1.0 / ((kh * kw) as f32).sqrt();
+        let mut data = Vec::with_capacity(kh * kw * c);
+        for i in 0..kh {
+            for j in 0..kw {
+                for ch in range.start..range.end {
+                    data.push(self.value(
+                        weight.id.index() as u32,
+                        [i as u64, j as u64, u64::from(ch), 3],
+                        scale,
+                    ));
+                }
+            }
+        }
+        Tensor::new(&[kh, kw, c], data)
+    }
+
+    /// Materializes a dense weight `[in_features, out_features]`.
+    pub fn dense(&self, weight: &WeightRef, in_features: usize, out_features: usize) -> Tensor {
+        let scale = 1.0 / (in_features as f32).sqrt();
+        let mut data = Vec::with_capacity(in_features * out_features);
+        for i in 0..in_features {
+            for o in 0..out_features {
+                data.push(self.value(
+                    weight.id.index() as u32,
+                    [i as u64, o as u64, 1, 2],
+                    scale,
+                ));
+            }
+        }
+        Tensor::new(&[in_features, out_features], data)
+    }
+}
+
+fn resolve(slice: Option<ChannelRange>, len: usize) -> ChannelRange {
+    match slice {
+        Some(range) => {
+            debug_assert_eq!(range.len() as usize, len, "slice length must match tensor dim");
+            range
+        }
+        None => ChannelRange::new(0, len as u32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::WeightId;
+
+    fn wref(id: usize) -> WeightRef {
+        WeightRef::full(WeightId::from_index(id))
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let store = WeightStore::new(5);
+        let a = store.conv(&wref(0), 3, 3, 4, 8);
+        let b = store.conv(&wref(0), 3, 3, 4, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_ids_differ() {
+        let store = WeightStore::new(5);
+        let a = store.conv(&wref(0), 3, 3, 4, 8);
+        let b = store.conv(&wref(1), 3, 3, 4, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn input_slice_matches_full_kernel() {
+        // The slice [2, 5) of the full 8-input-channel kernel must equal the
+        // materialized partial kernel with in_slice = [2, 5).
+        let store = WeightStore::new(11);
+        let full = store.conv(&wref(0), 3, 3, 8, 6);
+        let part = store.conv(&wref(0).with_in_slice(ChannelRange::new(2, 5)), 3, 3, 3, 6);
+        for i in 0..3 {
+            for j in 0..3 {
+                for ic in 0..3 {
+                    for oc in 0..6 {
+                        let full_idx = ((i * 3 + j) * 8 + (ic + 2)) * 6 + oc;
+                        let part_idx = ((i * 3 + j) * 3 + ic) * 6 + oc;
+                        assert_eq!(full.data()[full_idx], part.data()[part_idx]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_slice_matches_full_depthwise() {
+        let store = WeightStore::new(11);
+        let full = store.depthwise(&wref(3), 3, 3, 8);
+        let part =
+            store.depthwise(&wref(3).with_kernel_slice(ChannelRange::new(4, 8)), 3, 3, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                for ch in 0..4 {
+                    let full_idx = (i * 3 + j) * 8 + (ch + 4);
+                    let part_idx = (i * 3 + j) * 4 + ch;
+                    assert_eq!(full.data()[full_idx], part.data()[part_idx]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let store = WeightStore::new(1);
+        let w = store.conv(&wref(0), 3, 3, 16, 16);
+        let bound = 0.5 / (3.0f32 * 3.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        // And not all identical.
+        assert!(w.data().iter().any(|&v| v != w.data()[0]));
+    }
+
+    #[test]
+    fn seeds_give_independent_networks() {
+        let a = WeightStore::new(1).conv(&wref(0), 1, 1, 2, 2);
+        let b = WeightStore::new(2).conv(&wref(0), 1, 1, 2, 2);
+        assert_ne!(a, b);
+    }
+}

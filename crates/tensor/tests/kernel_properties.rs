@@ -1,0 +1,116 @@
+//! Property tests for the reference kernels: the algebraic identities that
+//! identity graph rewriting relies on, checked on random shapes and values.
+
+use proptest::prelude::*;
+use serenity_ir::{DType, GraphBuilder, Padding};
+use serenity_tensor::{Interpreter, Tensor};
+
+prop_compose! {
+    fn arb_dims()(
+        hw in 2usize..10,
+        channels in proptest::collection::vec(1usize..5, 2..4),
+        kernel in prop_oneof![Just(1usize), Just(3usize)],
+        stride in 1usize..3,
+        seed in any::<u64>(),
+    ) -> (usize, Vec<usize>, usize, usize, u64) {
+        (hw, channels, kernel, stride, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// conv(concat(xᵢ)) == Σᵢ partial_conv(xᵢ) — Equations 3–6, executed end
+    /// to end through the interpreter on graphs before/after rewriting.
+    #[test]
+    fn channel_partition_identity((hw, channels, kernel, stride, seed) in arb_dims()) {
+        let mut b = GraphBuilder::new("prop_cc");
+        let x = b.image_input("x", hw, hw, 3, DType::F32);
+        let branches: Vec<_> =
+            channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+        let cat = b.concat(&branches).unwrap();
+        let y = b.conv(cat, 4, (kernel, kernel), (stride, stride), Padding::Same).unwrap();
+        b.mark_output(y);
+        let graph = b.finish();
+
+        let rewritten =
+            serenity_core::rewrite::Rewriter::channel_only().rewrite(&graph);
+        prop_assume!(rewritten.changed());
+
+        let input = Tensor::random(&[1, hw, hw, 3], seed);
+        let interp = Interpreter::new(seed ^ 0x5EED);
+        let before = interp.run(&graph, &[input.clone()]).unwrap();
+        let after = interp.run(&rewritten.graph, &[input]).unwrap();
+        prop_assert!(
+            before[0].approx_eq(&after[0], 1e-4),
+            "max diff {}",
+            before[0].max_abs_diff(&after[0])
+        );
+    }
+
+    /// depthconv(concat(xᵢ)) == concat(partial_depthconv(xᵢ)) — Eq. 7–8,
+    /// bit-exact (pure data movement plus identical per-element arithmetic).
+    #[test]
+    fn kernel_partition_identity((hw, channels, kernel, stride, seed) in arb_dims()) {
+        let mut b = GraphBuilder::new("prop_kw");
+        let x = b.image_input("x", hw, hw, 3, DType::F32);
+        let branches: Vec<_> =
+            channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+        let cat = b.concat(&branches).unwrap();
+        let dw = b.depthwise(cat, (kernel, kernel), (stride, stride), Padding::Same).unwrap();
+        let out = b.conv1x1(dw, 3).unwrap();
+        b.mark_output(out);
+        let graph = b.finish();
+
+        let rewritten = serenity_core::rewrite::Rewriter::kernel_only().rewrite(&graph);
+        prop_assume!(rewritten.changed());
+
+        let input = Tensor::random(&[1, hw, hw, 3], seed);
+        let interp = Interpreter::new(seed ^ 0xF00D);
+        let before = interp.run(&graph, &[input.clone()]).unwrap();
+        let after = interp.run(&rewritten.graph, &[input]).unwrap();
+        prop_assert_eq!(before[0].data(), after[0].data());
+    }
+
+    /// relu(concat(xᵢ)) == concat(relu(xᵢ)) — the pushdown rule, bit-exact.
+    #[test]
+    fn activation_pushdown_identity((hw, channels, _k, _s, seed) in arb_dims()) {
+        let mut b = GraphBuilder::new("prop_push");
+        let x = b.image_input("x", hw, hw, 3, DType::F32);
+        let branches: Vec<_> =
+            channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+        let cat = b.concat(&branches).unwrap();
+        let r = b.relu(cat).unwrap();
+        let out = b.batch_norm(r).unwrap();
+        b.mark_output(out);
+        let graph = b.finish();
+
+        let outcome = serenity_core::rewrite::Rewriter::standard().rewrite(&graph);
+        prop_assume!(outcome.changed());
+
+        let input = Tensor::random(&[1, hw, hw, 3], seed);
+        let interp = Interpreter::new(seed);
+        let before = interp.run(&graph, &[input.clone()]).unwrap();
+        let after = interp.run(&outcome.graph, &[input]).unwrap();
+        prop_assert_eq!(before[0].data(), after[0].data());
+    }
+
+    /// Interpreting a graph is deterministic and shape-faithful.
+    #[test]
+    fn interpreter_matches_shape_inference((hw, channels, kernel, stride, seed) in arb_dims()) {
+        let mut b = GraphBuilder::new("prop_shapes");
+        let x = b.image_input("x", hw, hw, 3, DType::F32);
+        let mut cur = x;
+        for &c in &channels {
+            cur = b.conv(cur, c, (kernel, kernel), (stride, stride), Padding::Same).unwrap();
+            cur = b.relu(cur).unwrap();
+        }
+        b.mark_output(cur);
+        let graph = b.finish();
+        let input = Tensor::random(&[1, hw, hw, 3], seed);
+        let out = Interpreter::new(seed).run(&graph, &[input]).unwrap();
+        let expected = graph.node(graph.outputs()[0]).shape.dims().to_vec();
+        prop_assert_eq!(out[0].shape(), &expected[..]);
+        prop_assert!(out[0].data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,72 @@
+//! Edge deployment: fit SwiftNet onto a SparkFun-Edge-class device.
+//!
+//! The paper motivates SERENITY with a 250 KB weight/activation budget
+//! (§2.2). This example compiles the full SwiftNet, checks the activation
+//! arena against the device budget with and without SERENITY, and sweeps
+//! on-chip capacities to show when off-chip traffic disappears (Figure 11's
+//! measurement on one network).
+//!
+//! Run with: `cargo run --release --example edge_deployment`
+
+use serenity::nets::swiftnet;
+use serenity::prelude::*;
+
+/// SparkFun Edge: 250 KB shared weight/activation memory.
+const DEVICE_BUDGET_KB: f64 = 250.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = swiftnet::swiftnet();
+    println!("network: {graph}");
+    println!("device activation budget: {DEVICE_BUDGET_KB} KB\n");
+
+    // TFLite-style deployment: construction-order schedule + arena planner.
+    let kahn = baseline::kahn(&graph)?;
+    let baseline_arena = plan(&graph, &kahn.order, Strategy::GreedyBySize)?;
+    report("TFLite-style baseline", baseline_arena.arena_bytes);
+
+    // SERENITY without graph rewriting (scheduling gains only).
+    let dp_only = Serenity::builder()
+        .rewrite(RewriteMode::Off)
+        .build()
+        .compile(&graph)?;
+    report("SERENITY (DP only)", dp_only.arena_bytes().unwrap());
+
+    // Full SERENITY: scheduling + identity graph rewriting.
+    let full = Serenity::builder().build().compile(&graph)?;
+    report("SERENITY (DP + rewriting)", full.arena_bytes().unwrap());
+    println!(
+        "  rewrites: {:?}\n",
+        full.rewrites.iter().map(|r| r.rule).collect::<Vec<_>>()
+    );
+
+    // Off-chip traffic sweep (Belady replacement, as in §4.2).
+    println!("off-chip activation traffic by on-chip capacity:");
+    println!("{:>10} {:>16} {:>16}", "capacity", "baseline", "serenity");
+    let capacities: Vec<u64> = [32u64, 64, 128, 256].iter().map(|kb| kb * 1024).collect();
+    let base_sweep = sweep_capacities(&graph, &kahn.order, &capacities, Policy::Belady)?;
+    let ser_sweep =
+        sweep_capacities(&full.graph, &full.schedule.order, &capacities, Policy::Belady)?;
+    for ((cap, base), (_, ser)) in base_sweep.iter().zip(&ser_sweep) {
+        println!(
+            "{:>7} KB {:>16} {:>16}",
+            cap / 1024,
+            fmt_traffic(base),
+            fmt_traffic(ser)
+        );
+    }
+    Ok(())
+}
+
+fn report(label: &str, arena_bytes: u64) {
+    let kb = arena_bytes as f64 / 1024.0;
+    let verdict = if kb <= DEVICE_BUDGET_KB { "FITS" } else { "TOO BIG" };
+    println!("{label:<28} arena {kb:8.1} KB  -> {verdict}");
+}
+
+fn fmt_traffic(stats: &Option<serenity::memsim::TrafficStats>) -> String {
+    match stats {
+        None => "infeasible".to_owned(),
+        Some(s) if s.total_traffic() == 0 => "0 (on-chip)".to_owned(),
+        Some(s) => format!("{:.1} KB", s.traffic_kib()),
+    }
+}

@@ -1,0 +1,54 @@
+//! Model zoo: compile every benchmark network of the paper's evaluation and
+//! reproduce the Figure 10 comparison table, then export one graph for
+//! external tooling.
+//!
+//! Run with: `cargo run --release --example model_zoo`
+
+use serenity::ir::{dot, json};
+use serenity::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<26} {:>6} {:>10} {:>10} {:>8} {:>8}",
+        "benchmark", "nodes", "baseline", "serenity", "ours", "paper"
+    );
+    let mut ours = Vec::new();
+    let mut papers = Vec::new();
+    for b in suite() {
+        let compiled = Serenity::builder().build().compile(&b.graph)?;
+        let reduction = compiled.reduction_factor();
+        ours.push(reduction);
+        papers.push(b.paper.dp_gr_reduction());
+        println!(
+            "{:<26} {:>6} {:>8.1}KB {:>8.1}KB {:>7.2}x {:>7.2}x",
+            b.name,
+            b.graph.len(),
+            compiled.baseline_peak_bytes as f64 / 1024.0,
+            compiled.peak_bytes as f64 / 1024.0,
+            reduction,
+            b.paper.dp_gr_reduction(),
+        );
+    }
+    let geomean = |v: &[f64]| {
+        let p: f64 = v.iter().product();
+        p.powf(1.0 / v.len() as f64)
+    };
+    println!(
+        "{:<26} {:>6} {:>10} {:>10} {:>7.2}x {:>7.2}x",
+        "geomean",
+        "",
+        "",
+        "",
+        geomean(&ours),
+        geomean(&papers)
+    );
+
+    // Export SwiftNet Cell A for external tooling.
+    let cell = serenity::nets::swiftnet::cell_a();
+    let json_path = std::env::temp_dir().join("swiftnet_cell_a.json");
+    let dot_path = std::env::temp_dir().join("swiftnet_cell_a.dot");
+    std::fs::write(&json_path, json::to_json(&cell))?;
+    std::fs::write(&dot_path, dot::to_dot(&cell))?;
+    println!("\nexported {} and {}", json_path.display(), dot_path.display());
+    Ok(())
+}

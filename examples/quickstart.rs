@@ -1,0 +1,60 @@
+//! Quickstart: build an irregularly wired cell, schedule it memory-optimally,
+//! and compare against the TensorFlow-Lite-style baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use serenity::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small irregular cell in the spirit of Figure 3(a): three parallel
+    // branch groups, concatenations, and a joining convolution.
+    let mut b = GraphBuilder::new("quickstart_cell");
+    let x = b.image_input("input", 32, 32, 8, DType::F32);
+    let stem = b.conv(x, 8, (3, 3), (1, 1), Padding::Same)?;
+
+    let g1: Vec<_> = (0..3).map(|_| b.conv1x1(stem, 8).unwrap()).collect();
+    let cat1 = b.concat(&g1)?;
+    let dw = b.depthwise(cat1, (3, 3), (1, 1), Padding::Same)?;
+    let g1_out = b.conv1x1(dw, 8)?;
+
+    let g2: Vec<_> = (0..2).map(|_| b.conv1x1(stem, 8).unwrap()).collect();
+    let cat2 = b.concat(&g2)?;
+    let g2_out = b.conv(cat2, 8, (3, 3), (1, 1), Padding::Same)?;
+
+    let join = b.add(&[g1_out, g2_out])?;
+    let out = b.relu(join)?;
+    b.mark_output(out);
+    let graph = b.finish();
+
+    println!("graph: {graph}");
+
+    // The baselines the paper compares against.
+    let kahn = baseline::kahn(&graph)?;
+    let dfs = baseline::dfs(&graph)?;
+    let greedy = baseline::greedy(&graph)?;
+    println!("\nbaseline peaks:");
+    println!("  kahn (TFLite-style) : {:8.1} KiB", kahn.peak_kib());
+    println!("  dfs                 : {:8.1} KiB", dfs.peak_kib());
+    println!("  greedy heuristic    : {:8.1} KiB", greedy.peak_kib());
+
+    // The full SERENITY pipeline: identity graph rewriting, divide-and-
+    // conquer partitioning, DP scheduling with adaptive soft budgeting,
+    // and arena offset planning.
+    let compiled = Serenity::builder().build().compile(&graph)?;
+    println!("\nserenity:");
+    println!("  peak footprint      : {:8.1} KiB", compiled.peak_bytes as f64 / 1024.0);
+    println!(
+        "  arena size          : {:8.1} KiB",
+        compiled.arena_bytes().unwrap_or(0) as f64 / 1024.0
+    );
+    println!("  reduction vs TFLite : {:8.2}x", compiled.reduction_factor());
+    println!("  rewrites applied    : {:8}", compiled.rewrites.len());
+    println!("  compile time        : {:8.1?}", compiled.compile_time);
+
+    println!("\nschedule ({} nodes):", compiled.schedule.order.len());
+    for (i, &node) in compiled.schedule.order.iter().enumerate() {
+        let n = compiled.graph.node(node);
+        println!("  {i:>2}. {:<22} {}", n.name, n.op);
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! SERENITY — memory-aware scheduling of irregularly wired neural networks
+//! for edge devices.
+//!
+//! This is the facade crate of a full Rust reproduction of
+//! *"Ordering Chaos: Memory-Aware Scheduling of Irregularly Wired Neural
+//! Networks for Edge Devices"* (Ahn et al., MLSys 2020). It re-exports the
+//! workspace crates under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ir`] | `serenity-ir` | graph IR, topological orders, memory accounting, cuts |
+//! | [`sched`] | `serenity-core` | DP scheduler, adaptive soft budgeting, divide-and-conquer, identity graph rewriting, pipeline |
+//! | [`alloc`] | `serenity-allocator` | TFLite-style arena offset planners |
+//! | [`memsim`] | `serenity-memsim` | scratchpad simulator with Belady replacement |
+//! | [`tensor`] | `serenity-tensor` | reference interpreter for rewrite verification |
+//! | [`nets`] | `serenity-nets` | DARTS / SwiftNet / RandWire benchmark generators |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use serenity::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An irregularly wired cell: two branches concatenated into a conv.
+//! let mut b = GraphBuilder::new("cell");
+//! let x = b.image_input("x", 16, 16, 8, DType::F32);
+//! let left = b.conv1x1(x, 8)?;
+//! let right = b.conv1x1(x, 8)?;
+//! let cat = b.concat(&[left, right])?;
+//! let y = b.conv(cat, 16, (3, 3), (1, 1), Padding::Same)?;
+//! b.mark_output(y);
+//! let graph = b.finish();
+//!
+//! // Compile: rewrite → partition → DP + adaptive budgeting → allocate.
+//! let compiled = Serenity::builder().build().compile(&graph)?;
+//! println!(
+//!     "peak {:.1} KiB (baseline {:.1} KiB, {:.2}x)",
+//!     compiled.peak_bytes as f64 / 1024.0,
+//!     compiled.baseline_peak_bytes as f64 / 1024.0,
+//!     compiled.reduction_factor(),
+//! );
+//! assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serenity_allocator as alloc;
+pub use serenity_core as sched;
+pub use serenity_ir as ir;
+pub use serenity_memsim as memsim;
+pub use serenity_nets as nets;
+pub use serenity_tensor as tensor;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use serenity_allocator::{plan, MemoryPlan, Strategy};
+    pub use serenity_core::baseline;
+    pub use serenity_core::budget::AdaptiveSoftBudget;
+    pub use serenity_core::dp::DpScheduler;
+    pub use serenity_core::pipeline::{CompiledSchedule, RewriteMode, Serenity};
+    pub use serenity_core::rewrite::Rewriter;
+    pub use serenity_core::{Schedule, ScheduleError};
+    pub use serenity_ir::{
+        mem, topo, DType, Graph, GraphBuilder, GraphError, NodeId, Op, Padding, TensorShape,
+    };
+    pub use serenity_memsim::{simulate, sweep_capacities, Policy};
+    pub use serenity_nets::{suite, Benchmark, Family};
+    pub use serenity_tensor::{Interpreter, Tensor};
+}

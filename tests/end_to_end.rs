@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the full SERENITY flow — generate →
+//! rewrite → schedule → allocate → simulate → (interpret) — through the
+//! facade crate's public API only.
+
+use serenity::prelude::*;
+use serenity::sched::rewrite::Rewriter;
+
+#[test]
+fn compile_and_deploy_swiftnet_cell_a() {
+    let graph = serenity::nets::swiftnet::cell_a();
+    let compiled = Serenity::builder().build().compile(&graph).unwrap();
+
+    // Schedule is a valid topological order of the compiled graph.
+    assert!(topo::is_order(&compiled.graph, &compiled.schedule.order));
+    // The reported peak matches the reference accounting.
+    let recomputed = mem::peak_bytes(&compiled.graph, &compiled.schedule.order).unwrap();
+    assert_eq!(recomputed, compiled.peak_bytes);
+    // The arena plan is overlap-free and at least as large as the live peak.
+    let arena = compiled.arena.as_ref().unwrap();
+    arena.validate().unwrap();
+    assert!(arena.arena_bytes >= compiled.peak_bytes);
+    // Deploying on a scratchpad the size of the arena produces no traffic.
+    let stats = simulate(
+        &compiled.graph,
+        &compiled.schedule.order,
+        arena.arena_bytes,
+        Policy::Belady,
+    )
+    .unwrap();
+    assert_eq!(stats.total_traffic(), 0);
+}
+
+#[test]
+fn rewriting_preserves_network_semantics_through_the_facade() {
+    let graph = serenity::nets::swiftnet::cell_a();
+    let rewritten = Rewriter::standard().rewrite(&graph);
+    assert!(rewritten.changed());
+
+    let input_shape = graph.node(graph.inputs()[0]).shape.dims().to_vec();
+    let input = Tensor::random(&input_shape, 99);
+    let interp = Interpreter::new(12345);
+    let before = interp.run(&graph, &[input.clone()]).unwrap();
+    let after = interp.run(&rewritten.graph, &[input]).unwrap();
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(&after) {
+        assert!(
+            b.approx_eq(a, 1e-4),
+            "rewriting changed the output (max diff {})",
+            b.max_abs_diff(a)
+        );
+    }
+}
+
+#[test]
+fn json_round_trip_preserves_compilation_results() {
+    let graph = serenity::nets::swiftnet::cell_b();
+    let json = serenity::ir::json::to_json(&graph);
+    let back = serenity::ir::json::from_json(&json).unwrap();
+    assert_eq!(graph, back);
+
+    let a = Serenity::builder().build().compile(&graph).unwrap();
+    let b = Serenity::builder().build().compile(&back).unwrap();
+    assert_eq!(a.peak_bytes, b.peak_bytes);
+}
+
+#[test]
+fn every_suite_benchmark_round_trips_through_json() {
+    for b in suite() {
+        let json = serenity::ir::json::to_json(&b.graph);
+        let back = serenity::ir::json::from_json(&json).unwrap();
+        assert_eq!(b.graph, back, "{} JSON round trip", b.name);
+    }
+}
+
+#[test]
+fn dp_schedule_never_loses_to_sampled_orders() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let graph = serenity::nets::swiftnet::cell_c();
+    let optimal = DpScheduler::new().schedule(&graph).unwrap().schedule.peak_bytes;
+    for _ in 0..200 {
+        let order = topo::random(&graph, &mut rng);
+        let peak = mem::peak_bytes(&graph, &order).unwrap();
+        assert!(optimal <= peak);
+    }
+}
+
+#[test]
+fn traffic_reduction_follows_schedule_quality() {
+    // A better schedule can only help (or tie) under the clairvoyant policy
+    // at every capacity, per the paper's Figure 11 argument.
+    let graph = serenity::nets::swiftnet::cell_c();
+    let kahn = baseline::kahn(&graph).unwrap();
+    let compiled =
+        Serenity::builder().rewrite(RewriteMode::Off).build().compile(&graph).unwrap();
+    for capacity_kb in [48u64, 64, 96] {
+        let capacity = capacity_kb * 1024;
+        let base = simulate(&graph, &kahn.order, capacity, Policy::Belady);
+        let ours = simulate(&compiled.graph, &compiled.schedule.order, capacity, Policy::Belady);
+        match (base, ours) {
+            (Ok(b), Ok(o)) => assert!(
+                o.total_traffic() <= b.total_traffic(),
+                "at {capacity_kb} KB: serenity {} vs baseline {}",
+                o.total_traffic(),
+                b.total_traffic()
+            ),
+            // The optimized schedule must stay feasible wherever the
+            // baseline was.
+            (Ok(_), Err(e)) => panic!("serenity infeasible where baseline fits: {e}"),
+            (Err(_), _) => {}
+        }
+    }
+}
+
+#[test]
+fn full_swiftnet_meets_the_sparkfun_budget_only_with_serenity() {
+    // The paper's headline story (§1, §2.2): the 250 KB-class device runs
+    // the network only after memory-aware scheduling + rewriting.
+    let graph = serenity::nets::swiftnet::swiftnet();
+    let kahn = baseline::kahn(&graph).unwrap();
+    let baseline_arena = plan(&graph, &kahn.order, Strategy::GreedyBySize).unwrap();
+    let compiled = Serenity::builder().build().compile(&graph).unwrap();
+    let serenity_arena = compiled.arena.as_ref().unwrap();
+
+    let budget = 250 * 1024;
+    assert!(baseline_arena.arena_bytes > budget, "baseline should not fit");
+    assert!(serenity_arena.arena_bytes <= budget, "serenity should fit");
+}
+
+#[test]
+fn compiled_dot_export_is_renderable_text() {
+    let graph = serenity::nets::swiftnet::cell_a();
+    let rendered = serenity::ir::dot::to_dot(&graph);
+    assert!(rendered.starts_with("digraph"));
+    assert!(rendered.matches("->").count() >= graph.edge_count());
+}

@@ -1,0 +1,94 @@
+//! Workspace-level property tests: invariants that must hold across crate
+//! boundaries on randomly generated graphs.
+
+use proptest::prelude::*;
+use serenity::prelude::*;
+use serenity::ir::random_dag::{random_dag, RandomDagConfig};
+use serenity::sched::baseline;
+
+prop_compose! {
+    fn arb_graph()(
+        nodes in 2usize..12,
+        edge_prob in 0.05f64..0.6,
+        seed in any::<u64>(),
+    ) -> Graph {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        random_dag(
+            &RandomDagConfig {
+                nodes,
+                edge_prob,
+                max_extra_inputs: 3,
+                min_bytes: 1,
+                max_bytes: 512,
+            },
+            &mut rng,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_is_optimal_vs_brute_force(graph in arb_graph()) {
+        let dp = DpScheduler::new().schedule(&graph).unwrap();
+        let bf = baseline::brute_force(&graph).unwrap();
+        prop_assert_eq!(dp.schedule.peak_bytes, bf.peak_bytes);
+    }
+
+    #[test]
+    fn schedules_are_valid_topological_orders(graph in arb_graph()) {
+        let dp = DpScheduler::new().schedule(&graph).unwrap();
+        prop_assert!(topo::is_order(&graph, &dp.schedule.order));
+    }
+
+    #[test]
+    fn allocator_plans_never_overlap(graph in arb_graph()) {
+        let order = topo::kahn(&graph);
+        for strategy in serenity::alloc::Strategy::all() {
+            let p = plan(&graph, &order, strategy).unwrap();
+            prop_assert!(p.validate().is_ok());
+            let live_peak = mem::peak_bytes(&graph, &order).unwrap();
+            prop_assert!(p.arena_bytes >= live_peak);
+        }
+    }
+
+    #[test]
+    fn capacity_at_peak_means_zero_traffic(graph in arb_graph()) {
+        let order = topo::kahn(&graph);
+        let peak = mem::peak_bytes(&graph, &order).unwrap();
+        let stats = simulate(&graph, &order, peak, Policy::Belady).unwrap();
+        prop_assert_eq!(stats.total_traffic(), 0);
+        prop_assert_eq!(stats.peak_resident, peak);
+    }
+
+    #[test]
+    fn budget_search_matches_plain_dp(graph in arb_graph()) {
+        let dp = DpScheduler::new().schedule(&graph).unwrap();
+        let asb = AdaptiveSoftBudget::new().search(&graph).unwrap();
+        prop_assert_eq!(asb.schedule.peak_bytes, dp.schedule.peak_bytes);
+    }
+
+    #[test]
+    fn divide_and_conquer_preserves_optimality(graph in arb_graph()) {
+        use serenity::sched::divide::{DivideAndConquer, SegmentScheduler};
+        let whole = DpScheduler::new().schedule(&graph).unwrap();
+        let divided = DivideAndConquer::new()
+            .segment_scheduler(SegmentScheduler::Dp(Default::default()))
+            .schedule(&graph)
+            .unwrap();
+        prop_assert_eq!(divided.schedule.peak_bytes, whole.schedule.peak_bytes);
+    }
+
+    #[test]
+    fn lower_bound_is_sound(graph in arb_graph()) {
+        let dp = DpScheduler::new().schedule(&graph).unwrap();
+        prop_assert!(mem::peak_lower_bound(&graph) <= dp.schedule.peak_bytes);
+    }
+
+    #[test]
+    fn pipeline_never_loses_to_baseline(graph in arb_graph()) {
+        let compiled = Serenity::builder().build().compile(&graph).unwrap();
+        prop_assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes);
+    }
+}
