@@ -70,21 +70,11 @@ pub fn live_ranges(graph: &Graph, order: &[NodeId]) -> Result<Vec<LiveRange>, Gr
                     .unwrap_or(step)
             };
             let alloc_step = if slabs.is_head(u) {
-                slabs
-                    .members(u)
-                    .iter()
-                    .map(|&m| position[m.index()])
-                    .min()
-                    .unwrap_or(step)
+                slabs.members(u).iter().map(|&m| position[m.index()]).min().unwrap_or(step)
             } else {
                 step
             };
-            LiveRange {
-                node: u,
-                size: slabs.owned_bytes(graph, u),
-                alloc_step,
-                last_use_step,
-            }
+            LiveRange { node: u, size: slabs.owned_bytes(graph, u), alloc_step, last_use_step }
         })
         .collect();
     Ok(ranges)
@@ -123,7 +113,8 @@ mod tests {
         let (g, order) = diamond();
         let r = live_ranges(&g, &order).unwrap();
         assert!(r[0].overlaps_in_time(&r[1])); // a and b coexist
-        let disjoint = LiveRange { node: NodeId::from_index(9), size: 1, alloc_step: 5, last_use_step: 6 };
+        let disjoint =
+            LiveRange { node: NodeId::from_index(9), size: 1, alloc_step: 5, last_use_step: 6 };
         assert!(!r[0].overlaps_in_time(&disjoint));
     }
 

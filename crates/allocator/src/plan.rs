@@ -71,16 +71,11 @@ impl MemoryPlan {
     /// `max(offset + size)` over the tensors live at that step. This is the
     /// Figure 12(a) "memory footprint with the memory allocator" curve.
     pub fn footprint_trace(&self) -> Vec<u64> {
-        let steps = self
-            .allocs
-            .iter()
-            .map(|a| a.range.last_use_step + 1)
-            .max()
-            .unwrap_or(0);
+        let steps = self.allocs.iter().map(|a| a.range.last_use_step + 1).max().unwrap_or(0);
         let mut trace = vec![0u64; steps];
         for alloc in &self.allocs {
-            for step in alloc.range.alloc_step..=alloc.range.last_use_step {
-                trace[step] = trace[step].max(alloc.end());
+            for entry in &mut trace[alloc.range.alloc_step..=alloc.range.last_use_step] {
+                *entry = (*entry).max(alloc.end());
             }
         }
         trace
@@ -128,16 +123,11 @@ impl MemoryPlan {
     /// Bytes wasted at the peak: arena size minus the largest simultaneous
     /// sum of live tensor sizes (internal fragmentation of the layout).
     pub fn peak_fragmentation(&self) -> u64 {
-        let steps = self
-            .allocs
-            .iter()
-            .map(|a| a.range.last_use_step + 1)
-            .max()
-            .unwrap_or(0);
+        let steps = self.allocs.iter().map(|a| a.range.last_use_step + 1).max().unwrap_or(0);
         let mut live_sum = vec![0u64; steps];
         for alloc in &self.allocs {
-            for step in alloc.range.alloc_step..=alloc.range.last_use_step {
-                live_sum[step] += alloc.range.size;
+            for entry in &mut live_sum[alloc.range.alloc_step..=alloc.range.last_use_step] {
+                *entry += alloc.range.size;
             }
         }
         let peak_live = live_sum.into_iter().max().unwrap_or(0);

@@ -15,9 +15,7 @@ fn planners(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(label, strategy),
                 &(&graph, &order, strategy),
-                |b, (graph, order, strategy)| {
-                    b.iter(|| plan(graph, order, *strategy).unwrap())
-                },
+                |b, (graph, order, strategy)| b.iter(|| plan(graph, order, *strategy).unwrap()),
             );
         }
     }

@@ -16,16 +16,11 @@ fn simulators(c: &mut Criterion) {
             &policy,
             |b, &policy| b.iter(|| simulate(&graph, &order, capacity, policy)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("blocked_4k", policy),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    simulate_blocked(&graph, &order, capacity, DEFAULT_BLOCK_BYTES, policy)
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("blocked_4k", policy), &policy, |b, &policy| {
+            b.iter(|| {
+                simulate_blocked(&graph, &order, capacity, DEFAULT_BLOCK_BYTES, policy).unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -15,16 +15,12 @@ use serenity_ir::topo;
 fn schedulers_on_random_dags(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedulers/random_dag_12");
     let mut rng = StdRng::seed_from_u64(5);
-    let graph = random_dag(
-        &RandomDagConfig { nodes: 12, edge_prob: 0.25, ..Default::default() },
-        &mut rng,
-    );
+    let graph =
+        random_dag(&RandomDagConfig { nodes: 12, edge_prob: 0.25, ..Default::default() }, &mut rng);
     group.bench_function("kahn", |b| b.iter(|| topo::kahn(&graph)));
     group.bench_function("greedy", |b| b.iter(|| baseline::greedy(&graph).unwrap()));
     group.bench_function("dp", |b| b.iter(|| DpScheduler::new().schedule(&graph).unwrap()));
-    group.bench_function("brute_force", |b| {
-        b.iter(|| baseline::brute_force(&graph).unwrap())
-    });
+    group.bench_function("brute_force", |b| b.iter(|| baseline::brute_force(&graph).unwrap()));
     group.finish();
 }
 

@@ -10,11 +10,14 @@
 //!
 //! Run with: `cargo run --release -p serenity-bench --bin ablation_design`
 
+use std::sync::Arc;
+
 use serenity_allocator::Strategy;
 use serenity_bench::{compiler, kb};
+use serenity_core::backend::AdaptiveBackend;
 use serenity_core::beam::BeamScheduler;
 use serenity_core::canon;
-use serenity_core::divide::{DivideAndConquer, SegmentScheduler};
+use serenity_core::divide::DivideAndConquer;
 use serenity_nets::suite;
 
 fn main() {
@@ -50,26 +53,22 @@ fn allocator_ablation() {
 
 fn stackify_ablation() {
     println!("== stackify canonicalization (greedy-by-size arena, KB) ==\n");
-    println!(
-        "{:<26} {:>10} {:>12} {:>12}",
-        "benchmark", "live peak", "raw DP order", "stackified"
-    );
+    println!("{:<26} {:>10} {:>12} {:>12}", "benchmark", "live peak", "raw DP order", "stackified");
     for b in suite() {
         // Reproduce the pipeline's internals without the post-pass.
         let outcome = DivideAndConquer::new()
-            .segment_scheduler(SegmentScheduler::Adaptive(serenity_bench::budget_config()))
+            .backend(Arc::new(AdaptiveBackend::with_config(serenity_bench::budget_config())))
             .schedule(&b.graph)
             .expect(b.name);
         let raw_arena =
             serenity_allocator::plan(&b.graph, &outcome.schedule.order, Strategy::GreedyBySize)
                 .expect("plan succeeds")
                 .arena_bytes;
-        let stackified = canon::stackify(&b.graph, outcome.schedule.peak_bytes)
-            .map(|order| {
-                serenity_allocator::plan(&b.graph, &order, Strategy::GreedyBySize)
-                    .expect("plan succeeds")
-                    .arena_bytes
-            });
+        let stackified = canon::stackify(&b.graph, outcome.schedule.peak_bytes).map(|order| {
+            serenity_allocator::plan(&b.graph, &order, Strategy::GreedyBySize)
+                .expect("plan succeeds")
+                .arena_bytes
+        });
         println!(
             "{:<26} {:>10} {:>12} {:>12}",
             b.name,
@@ -92,11 +91,7 @@ fn beam_ablation() {
         let mut cells = Vec::new();
         for width in [1usize, 8, 64] {
             let beam = BeamScheduler::new(width).schedule(&b.graph).expect(b.name);
-            cells.push(format!(
-                "{}/{}",
-                kb(beam.schedule.peak_bytes),
-                beam.stats.transitions
-            ));
+            cells.push(format!("{}/{}", kb(beam.schedule.peak_bytes), beam.stats.transitions));
         }
         println!(
             "{:<26} {:>14} {:>14} {:>14} {:>14}",

@@ -45,7 +45,7 @@ const POINTS: &[Point] = &[
 
 fn main() {
     println!("Figure 2: ImageNet top-1 accuracy vs multiply-accumulates (literature)\n");
-    println!("{:<22} {:>7} {:>7}  {}", "model", "GMACs", "top-1", "wiring");
+    println!("{:<22} {:>7} {:>7}  wiring", "model", "GMACs", "top-1");
     let mut sorted: Vec<&Point> = POINTS.iter().collect();
     sorted.sort_by(|a, b| a.gmacs.partial_cmp(&b.gmacs).expect("finite"));
     for p in &sorted {

@@ -48,8 +48,7 @@ fn cdf(label: &str, graph: &Graph, seed: u64) {
 
     let optimal_kb = optimal as f64 / 1024.0;
     let within = peaks_kb.iter().filter(|&&p| p <= CONSTRAINT_KB).count();
-    let at_optimal =
-        peaks_kb.iter().filter(|&&p| (p - optimal_kb).abs() < 1e-9).count();
+    let at_optimal = peaks_kb.iter().filter(|&&p| (p - optimal_kb).abs() < 1e-9).count();
 
     println!("== {label}: {SAMPLES} samples, optimal peak {optimal_kb:.1} KB");
     println!("{:>9} {:>7}  cdf", "peak KB", "cum %");

@@ -68,9 +68,7 @@ fn main() {
             geomean(&finite_at_256),
             finite_at_256.len()
         );
-        println!(
-            "plus {eliminated_at_256} cells where SERENITY eliminates the traffic entirely"
-        );
+        println!("plus {eliminated_at_256} cells where SERENITY eliminates the traffic entirely");
         println!("(paper: 1.76x average at 256 KB, with some cells eliminated).");
     } else {
         println!(

@@ -32,9 +32,7 @@ fn main() {
         println!("  {label}: peak {:.1} KB", peak as f64 / 1024.0);
         render(&trace, peak);
     }
-    println!(
-        "  paper: 250.9 KB (dp) -> 225.8 KB (dp+gr), a 25.1 KB reduction\n"
-    );
+    println!("  paper: 250.9 KB (dp) -> 225.8 KB (dp+gr), a 25.1 KB reduction\n");
 
     // (b) without the allocator: sum of live activations per step.
     println!("(b) without memory allocator");
@@ -56,10 +54,8 @@ fn render(trace: &[u64], peak: u64) {
     }
     for row in (1..=ROWS).rev() {
         let threshold = peak as f64 * row as f64 / ROWS as f64;
-        let line: String = trace
-            .iter()
-            .map(|&v| if v as f64 >= threshold - 1e-9 { '#' } else { ' ' })
-            .collect();
+        let line: String =
+            trace.iter().map(|&v| if v as f64 >= threshold - 1e-9 { '#' } else { ' ' }).collect();
         println!("    |{line}|");
     }
     println!("    +{}+ ({} steps)", "-".repeat(trace.len()), trace.len());

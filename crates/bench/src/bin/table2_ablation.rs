@@ -14,9 +14,12 @@
 
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use serenity_bench::budget_config;
+use serenity_core::backend::AdaptiveBackend;
 use serenity_core::budget::AdaptiveSoftBudget;
-use serenity_core::divide::{DivideAndConquer, SegmentScheduler};
+use serenity_core::divide::DivideAndConquer;
 use serenity_core::dp::{DpConfig, DpScheduler};
 use serenity_core::rewrite::Rewriter;
 use serenity_ir::{cuts, Graph};
@@ -76,7 +79,7 @@ fn main() {
         // ① + ② + ③ the full SERENITY configuration.
         let t = run_capped(|| {
             DivideAndConquer::new()
-                .segment_scheduler(SegmentScheduler::Adaptive(budget_config()))
+                .backend(Arc::new(AdaptiveBackend::with_config(budget_config())))
                 .schedule(graph)
                 .map(|_| ())
         });
@@ -100,9 +103,7 @@ fn main() {
     let _ = DpConfig::default();
 }
 
-fn run_capped(
-    f: impl FnOnce() -> Result<(), serenity_core::ScheduleError>,
-) -> String {
+fn run_capped(f: impl FnOnce() -> Result<(), serenity_core::ScheduleError>) -> String {
     let started = Instant::now();
     match f() {
         Ok(()) => format!("{:.3} secs", started.elapsed().as_secs_f64()),

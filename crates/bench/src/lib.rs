@@ -5,9 +5,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use serenity_allocator::Strategy;
+use serenity_core::backend::AdaptiveBackend;
 use serenity_core::budget::BudgetConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
 use serenity_ir::{topo, Graph};
@@ -37,7 +39,7 @@ pub fn compiler(rewrite: bool) -> Serenity {
     let mode = if rewrite { RewriteMode::IfBeneficial } else { RewriteMode::Off };
     Serenity::builder()
         .rewrite(mode)
-        .adaptive_budget(budget_config())
+        .backend(Arc::new(AdaptiveBackend::with_config(budget_config())))
         .allocator(Some(Strategy::GreedyBySize))
         .build()
 }

@@ -8,13 +8,18 @@ use serenity_memsim::Policy;
 pub const USAGE: &str = "\
 usage:
   serenity list                                  list benchmark ids
+  serenity backends                              list scheduler backends
   serenity suite                                 schedule every benchmark
   serenity generate <id|swiftnet-full> [-o FILE] emit a benchmark graph as JSON
   serenity schedule <graph.json> [options]       schedule a graph
+      --scheduler <name>      scheduling backend (see `serenity backends`;
+                              default adaptive)
       --no-rewrite            disable identity graph rewriting
       --allocator <greedy|first-fit|none>        offset planner (default greedy)
       --budget-kb <N>         fixed soft budget instead of adaptive search
       --threads <N>           DP worker threads (default 1)
+      --deadline-ms <N>       abort compilation after N milliseconds
+      --verbose               narrate compile events to stderr
       --json                  machine-readable output
       --map                   print the ASCII arena memory map
   serenity dot <graph.json>                      emit Graphviz Dot
@@ -28,6 +33,8 @@ usage:
 pub enum Command {
     /// Print benchmark ids.
     List,
+    /// Print registered scheduler backend names.
+    Backends,
     /// Schedule the whole benchmark suite and print the comparison table.
     Suite,
     /// Emit a benchmark graph as JSON.
@@ -41,6 +48,9 @@ pub enum Command {
     Schedule {
         /// Input path.
         path: String,
+        /// Backend name from the registry (`None` = default adaptive, or
+        /// DP when a fixed budget is given).
+        scheduler: Option<String>,
         /// Disable rewriting.
         no_rewrite: bool,
         /// Offset planner, `None` to skip allocation.
@@ -49,6 +59,10 @@ pub enum Command {
         budget_kb: Option<u64>,
         /// DP worker threads.
         threads: usize,
+        /// Wall-clock compile deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Narrate compile events to stderr.
+        verbose: bool,
         /// Emit JSON instead of a table.
         json: bool,
         /// Print the ASCII arena memory map.
@@ -86,6 +100,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     match sub {
         "-h" | "--help" | "help" => Err("help requested".into()),
         "list" => Ok(Command::List),
+        "backends" => Ok(Command::Backends),
         "suite" => Ok(Command::Suite),
         "generate" => {
             let id = it.next().ok_or("generate: missing benchmark id")?.to_owned();
@@ -93,8 +108,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             while let Some(flag) = it.next() {
                 match flag {
                     "-o" | "--output" => {
-                        output =
-                            Some(it.next().ok_or("generate: -o needs a path")?.to_owned());
+                        output = Some(it.next().ok_or("generate: -o needs a path")?.to_owned());
                     }
                     other => return Err(format!("generate: unknown flag {other}")),
                 }
@@ -103,25 +117,38 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "schedule" => {
             let path = it.next().ok_or("schedule: missing graph path")?.to_owned();
+            let mut scheduler = None;
             let mut no_rewrite = false;
             let mut allocator = Some(Strategy::GreedyBySize);
             let mut budget_kb = None;
             let mut threads = 1usize;
+            let mut deadline_ms = None;
+            let mut verbose = false;
             let mut json = false;
             let mut map = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--no-rewrite" => no_rewrite = true,
+                    "--verbose" => verbose = true,
                     "--json" => json = true,
                     "--map" => map = true,
+                    "--scheduler" => {
+                        scheduler =
+                            Some(it.next().ok_or("schedule: --scheduler needs a name")?.to_owned());
+                    }
+                    "--deadline-ms" => {
+                        let raw = it.next().ok_or("schedule: --deadline-ms needs a value")?;
+                        deadline_ms = Some(
+                            raw.parse::<u64>()
+                                .map_err(|_| format!("schedule: bad deadline {raw}"))?,
+                        );
+                    }
                     "--allocator" => {
                         allocator = match it.next().ok_or("schedule: --allocator needs a value")? {
                             "greedy" => Some(Strategy::GreedyBySize),
                             "first-fit" => Some(Strategy::FirstFitArena),
                             "none" => None,
-                            other => {
-                                return Err(format!("schedule: unknown allocator {other}"))
-                            }
+                            other => return Err(format!("schedule: unknown allocator {other}")),
                         };
                     }
                     "--budget-kb" => {
@@ -143,7 +170,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("schedule: unknown flag {other}")),
                 }
             }
-            Ok(Command::Schedule { path, no_rewrite, allocator, budget_kb, threads, json, map })
+            if scheduler.is_some() && budget_kb.is_some() {
+                return Err("schedule: --budget-kb configures the dp backend and conflicts with \
+                     --scheduler; pick one"
+                    .into());
+            }
+            Ok(Command::Schedule {
+                path,
+                scheduler,
+                no_rewrite,
+                allocator,
+                budget_kb,
+                threads,
+                deadline_ms,
+                verbose,
+                json,
+                map,
+            })
         }
         "dot" => {
             let path = it.next().ok_or("dot: missing graph path")?.to_owned();
@@ -196,14 +239,8 @@ mod tests {
     fn parses_simple_commands() {
         assert_eq!(parse(&args("list")).unwrap(), Command::List);
         assert_eq!(parse(&args("suite")).unwrap(), Command::Suite);
-        assert_eq!(
-            parse(&args("dot g.json")).unwrap(),
-            Command::Dot { path: "g.json".into() }
-        );
-        assert_eq!(
-            parse(&args("info g.json")).unwrap(),
-            Command::Info { path: "g.json".into() }
-        );
+        assert_eq!(parse(&args("dot g.json")).unwrap(), Command::Dot { path: "g.json".into() });
+        assert_eq!(parse(&args("info g.json")).unwrap(), Command::Info { path: "g.json".into() });
     }
 
     #[test]
@@ -224,10 +261,13 @@ mod tests {
             cmd,
             Command::Schedule {
                 path: "g.json".into(),
+                scheduler: None,
                 no_rewrite: true,
                 allocator: Some(Strategy::FirstFitArena),
                 budget_kb: Some(256),
                 threads: 4,
+                deadline_ms: None,
+                verbose: false,
                 json: true,
                 map: false,
             }
@@ -241,10 +281,13 @@ mod tests {
             cmd,
             Command::Schedule {
                 path: "g.json".into(),
+                scheduler: None,
                 no_rewrite: false,
                 allocator: Some(Strategy::GreedyBySize),
                 budget_kb: None,
                 threads: 1,
+                deadline_ms: None,
+                verbose: false,
                 json: false,
                 map: false,
             }
@@ -267,6 +310,24 @@ mod tests {
         assert!(parse(&args("schedule")).is_err());
         assert!(parse(&args("schedule g.json --allocator martian")).is_err());
         assert!(parse(&args("schedule g.json --threads 0")).is_err());
+        assert!(parse(&args("schedule g.json --deadline-ms lots")).is_err());
+        assert!(parse(&args("schedule g.json --scheduler dp --budget-kb 64")).is_err());
         assert!(parse(&args("traffic g.json")).is_err());
+    }
+
+    #[test]
+    fn parses_scheduler_selection() {
+        assert_eq!(parse(&args("backends")).unwrap(), Command::Backends);
+        let cmd =
+            parse(&args("schedule g.json --scheduler portfolio --deadline-ms 5000 --verbose"))
+                .unwrap();
+        match cmd {
+            Command::Schedule { scheduler, deadline_ms, verbose, .. } => {
+                assert_eq!(scheduler.as_deref(), Some("portfolio"));
+                assert_eq!(deadline_ms, Some(5000));
+                assert!(verbose);
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
     }
 }

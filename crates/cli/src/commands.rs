@@ -1,9 +1,13 @@
 //! Command implementations.
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use serenity_core::backend::{AdaptiveBackend, CompileEvent, DpBackend, SchedulerBackend};
 use serenity_core::budget::BudgetConfig;
-use serenity_core::divide::SegmentScheduler;
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
+use serenity_core::registry::BackendRegistry;
 use serenity_ir::{dot, json, Graph};
 use serenity_memsim::Policy;
 use serenity_nets::{suite, swiftnet};
@@ -14,10 +18,33 @@ use crate::args::Command;
 pub fn run(command: Command) -> Result<(), String> {
     match command {
         Command::List => list(),
+        Command::Backends => backends(),
         Command::Suite => run_suite(),
         Command::Generate { id, output } => generate(&id, output.as_deref()),
-        Command::Schedule { path, no_rewrite, allocator, budget_kb, threads, json, map } => {
-            schedule(&path, no_rewrite, allocator, budget_kb, threads, json, map)
+        Command::Schedule {
+            path,
+            scheduler,
+            no_rewrite,
+            allocator,
+            budget_kb,
+            threads,
+            deadline_ms,
+            verbose,
+            json,
+            map,
+        } => {
+            let options = ScheduleOptions {
+                scheduler,
+                no_rewrite,
+                allocator,
+                budget_kb,
+                threads,
+                deadline_ms,
+                verbose,
+                json,
+                map,
+            };
+            schedule(&path, options)
         }
         Command::Dot { path } => {
             let graph = load(&path)?;
@@ -40,17 +67,21 @@ fn info(graph: &Graph) {
     println!("depth            : {}", a.depth);
     println!("max frontier     : {}", a.max_frontier);
     println!("interior cuts    : {}", a.cut_count);
-    println!("activations      : {:.1} KiB total, {:.1} KiB largest",
+    println!(
+        "activations      : {:.1} KiB total, {:.1} KiB largest",
         a.total_activation_bytes as f64 / 1024.0,
-        a.max_activation_bytes as f64 / 1024.0);
+        a.max_activation_bytes as f64 / 1024.0
+    );
     println!("peak lower bound : {:.1} KiB", a.peak_lower_bound as f64 / 1024.0);
     println!("kahn peak        : {:.1} KiB", a.kahn_peak_bytes as f64 / 1024.0);
     println!("headroom         : {:.2}x", a.headroom());
     let path = serenity_ir::analysis::critical_path(graph);
-    println!("critical path    : {} nodes ({} .. {})",
+    println!(
+        "critical path    : {} nodes ({} .. {})",
         path.len(),
         path.first().map(|&n| graph.node(n).name.as_str()).unwrap_or("-"),
-        path.last().map(|&n| graph.node(n).name.as_str()).unwrap_or("-"));
+        path.last().map(|&n| graph.node(n).name.as_str()).unwrap_or("-")
+    );
 }
 
 fn list() -> Result<(), String> {
@@ -61,12 +92,20 @@ fn list() -> Result<(), String> {
     Ok(())
 }
 
+fn backends() -> Result<(), String> {
+    for name in BackendRegistry::standard().names() {
+        println!("{name}");
+    }
+    Ok(())
+}
+
 fn generate(id: &str, output: Option<&str>) -> Result<(), String> {
     let graph = graph_by_id(id)?;
     let rendered = json::to_json(&graph);
     match output {
-        Some(path) => std::fs::write(path, rendered)
-            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
         None => println!("{rendered}"),
     }
     Ok(())
@@ -86,42 +125,112 @@ fn load(path: &str) -> Result<Graph, String> {
     json::from_json(&raw).map_err(|e| format!("invalid graph in {path}: {e}"))
 }
 
-fn compiler(
+/// Parsed `serenity schedule` flags, bundled.
+struct ScheduleOptions {
+    scheduler: Option<String>,
     no_rewrite: bool,
     allocator: Option<serenity_allocator::Strategy>,
     budget_kb: Option<u64>,
     threads: usize,
-) -> Serenity {
-    let rewrite = if no_rewrite { RewriteMode::Off } else { RewriteMode::IfBeneficial };
-    let scheduler = match budget_kb {
-        Some(kb) => SegmentScheduler::Dp(DpConfig {
-            budget: Some(kb * 1024),
-            threads,
-            ..DpConfig::default()
-        }),
-        None => SegmentScheduler::Adaptive(BudgetConfig { threads, ..BudgetConfig::default() }),
-    };
-    Serenity::builder()
-        .rewrite(rewrite)
-        .segment_scheduler(scheduler)
-        .allocator(allocator)
-        .build()
+    deadline_ms: Option<u64>,
+    verbose: bool,
+    json: bool,
+    map: bool,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn schedule(
-    path: &str,
-    no_rewrite: bool,
-    allocator: Option<serenity_allocator::Strategy>,
-    budget_kb: Option<u64>,
-    threads: usize,
-    as_json: bool,
-    map: bool,
-) -> Result<(), String> {
+fn pick_backend(options: &ScheduleOptions) -> Result<Arc<dyn SchedulerBackend>, String> {
+    if let Some(name) = &options.scheduler {
+        // `--threads` configures the DP inner loop; honor it for the
+        // backends that have one and reject it elsewhere rather than
+        // silently running single-threaded.
+        match (name.as_str(), options.threads) {
+            ("dp", threads) => {
+                return Ok(Arc::new(DpBackend::with_config(DpConfig {
+                    threads,
+                    ..DpConfig::default()
+                })));
+            }
+            ("adaptive", threads) => {
+                return Ok(Arc::new(AdaptiveBackend::with_config(BudgetConfig {
+                    threads,
+                    ..BudgetConfig::default()
+                })));
+            }
+            (_, 1) => {}
+            (other, _) => {
+                return Err(format!(
+                    "--threads only applies to the dp and adaptive backends, not `{other}`"
+                ));
+            }
+        }
+        return BackendRegistry::standard().create(name).ok_or_else(|| {
+            format!(
+                "unknown scheduler `{name}` (available: {})",
+                BackendRegistry::standard().names().join(", ")
+            )
+        });
+    }
+    Ok(match options.budget_kb {
+        Some(kb) => Arc::new(DpBackend::with_config(DpConfig {
+            budget: Some(kb * 1024),
+            threads: options.threads,
+            ..DpConfig::default()
+        })),
+        None => Arc::new(AdaptiveBackend::with_config(BudgetConfig {
+            threads: options.threads,
+            ..BudgetConfig::default()
+        })),
+    })
+}
+
+fn compiler(options: &ScheduleOptions) -> Result<Serenity, String> {
+    let rewrite = if options.no_rewrite { RewriteMode::Off } else { RewriteMode::IfBeneficial };
+    let mut builder = Serenity::builder()
+        .rewrite(rewrite)
+        .backend(pick_backend(options)?)
+        .allocator(options.allocator);
+    if let Some(ms) = options.deadline_ms {
+        builder = builder.deadline(Duration::from_millis(ms));
+    }
+    if options.verbose {
+        builder = builder.on_event(|event| eprintln!("{}", render_event(event)));
+    }
+    Ok(builder.build())
+}
+
+fn render_event(event: &CompileEvent) -> String {
+    match event {
+        CompileEvent::RewriteApplied { rule, concat, consumer, branches } => {
+            format!("rewrite  : {rule} at {concat}->{consumer} ({branches} branches)")
+        }
+        CompileEvent::CandidateStarted { rewritten, nodes } => {
+            let which = if *rewritten { "rewritten" } else { "original" };
+            format!("candidate: scheduling the {which} graph ({nodes} nodes)")
+        }
+        CompileEvent::CandidateKept { rewritten, peak_bytes } => {
+            let which = if *rewritten { "rewritten" } else { "original" };
+            format!("candidate: kept the {which} graph at {:.1} KiB", *peak_bytes as f64 / 1024.0)
+        }
+        CompileEvent::SegmentScheduled { index, nodes, peak_bytes } => format!(
+            "segment  : #{index} ({nodes} nodes) peak {:.1} KiB",
+            *peak_bytes as f64 / 1024.0
+        ),
+        CompileEvent::BudgetProbe { budget, flag } => {
+            format!("probe    : tau {:.1} KiB -> {flag:?}", *budget as f64 / 1024.0)
+        }
+        CompileEvent::BackendStarted { name } => format!("backend  : {name} started"),
+        CompileEvent::BackendChosen { name, peak_bytes } => {
+            format!("chosen   : {name} at peak {:.1} KiB", *peak_bytes as f64 / 1024.0)
+        }
+        other => format!("event    : {other:?}"),
+    }
+}
+
+fn schedule(path: &str, options: ScheduleOptions) -> Result<(), String> {
     let graph = load(path)?;
-    let compiled = compiler(no_rewrite, allocator, budget_kb, threads)
-        .compile(&graph)
-        .map_err(|e| e.to_string())?;
+    let compiled = compiler(&options)?.compile(&graph).map_err(|e| e.to_string())?;
+    let as_json = options.json;
+    let map = options.map;
     if as_json {
         let report = serde_json::json!({
             "graph": compiled.graph.name(),
@@ -139,10 +248,7 @@ fn schedule(
     } else {
         println!("graph         : {}", compiled.graph.name());
         println!("nodes         : {}", compiled.graph.len());
-        println!(
-            "baseline peak : {:.1} KiB",
-            compiled.baseline_peak_bytes as f64 / 1024.0
-        );
+        println!("baseline peak : {:.1} KiB", compiled.baseline_peak_bytes as f64 / 1024.0);
         println!("serenity peak : {:.1} KiB", compiled.peak_bytes as f64 / 1024.0);
         println!("reduction     : {:.2}x", compiled.reduction_factor());
         if let Some(arena) = compiled.arena_bytes() {
@@ -188,11 +294,8 @@ fn run_suite() -> Result<(), String> {
 
 fn traffic(path: &str, capacity_kb: u64, policy: Policy) -> Result<(), String> {
     let graph = load(path)?;
-    let compiled = Serenity::builder()
-        .allocator(None)
-        .build()
-        .compile(&graph)
-        .map_err(|e| e.to_string())?;
+    let compiled =
+        Serenity::builder().allocator(None).build().compile(&graph).map_err(|e| e.to_string())?;
     let stats = serenity_memsim::simulate(
         &compiled.graph,
         &compiled.schedule.order,

@@ -3,10 +3,7 @@
 use std::process::{Command, Output};
 
 fn serenity(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_serenity"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_serenity")).args(args).output().expect("binary runs")
 }
 
 fn stdout(output: &Output) -> String {
@@ -92,4 +89,64 @@ fn unknown_benchmark_fails_cleanly() {
     let out = serenity(&["generate", "not-a-network"]);
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn backends_lists_every_registered_scheduler() {
+    let out = serenity(&["backends"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in ["dp", "adaptive", "beam", "kahn", "dfs", "greedy", "brute-force", "portfolio"] {
+        assert!(text.lines().any(|l| l == name), "missing backend {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn scheduler_flag_selects_registered_backends() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("backend_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    let mut peaks = Vec::new();
+    for name in ["greedy", "kahn", "portfolio"] {
+        let out = serenity(&["schedule", path_str, "--scheduler", name, "--json"]);
+        assert!(out.status.success(), "--scheduler {name} failed: {out:?}");
+        let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+        peaks.push((name, report["peak_bytes"].as_u64().unwrap()));
+    }
+    // The portfolio is never worse than its members.
+    let portfolio = peaks.iter().find(|(n, _)| *n == "portfolio").unwrap().1;
+    for (name, peak) in &peaks {
+        assert!(portfolio <= *peak, "portfolio ({portfolio}) lost to {name} ({peak})");
+    }
+}
+
+#[test]
+fn unknown_scheduler_fails_with_the_available_names() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("unknown_sched_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    let out = serenity(&["schedule", path_str, "--scheduler", "martian"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scheduler"), "stderr: {stderr}");
+    assert!(stderr.contains("portfolio"), "stderr should list alternatives: {stderr}");
+}
+
+#[test]
+fn spent_deadline_aborts_with_a_deadline_error() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("deadline_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    let out = serenity(&["schedule", path_str, "--deadline-ms", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("deadline"));
 }

@@ -1,0 +1,634 @@
+//! The pluggable scheduling API: [`SchedulerBackend`] and the compile
+//! control plane ([`CompileOptions`], [`CompileContext`], [`CompileEvent`]).
+//!
+//! The paper's pipeline (Figure 4) composes interchangeable search
+//! strategies — exact DP (§3.1), adaptive soft budgeting (§3.2), and the
+//! baselines it compares against. This module makes that composition a
+//! first-class, open API: every strategy implements [`SchedulerBackend`],
+//! the pipeline and divide-and-conquer drivers accept any backend, and
+//! [`crate::registry::BackendRegistry`] exposes them by name (including to
+//! the `serenity schedule --scheduler <name>` CLI).
+//!
+//! The control plane threads three concerns through every backend:
+//!
+//! * a **wall-clock deadline** relative to the start of the compile,
+//! * a **shared cancellation flag** ([`CancelToken`]) checked inside the
+//!   DP/budget inner loops, and
+//! * a **structured event sink** ([`CompileEvent`]) replacing silent
+//!   compilation: rewrites, segment completions, budget probes, and backend
+//!   choices are reported as they happen.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! use serenity_core::backend::{
+//!     CompileContext, CompileOptions, DpBackend, SchedulerBackend,
+//! };
+//! use serenity_core::ScheduleError;
+//! use serenity_ir::random_dag::independent_branches;
+//!
+//! let graph = independent_branches(6, 16);
+//!
+//! // Unconstrained run.
+//! let ctx = CompileContext::unconstrained();
+//! let outcome = DpBackend::default().schedule(&graph, &ctx).unwrap();
+//! assert_eq!(outcome.schedule.order.len(), graph.len());
+//!
+//! // A zero deadline aborts with a distinct error instead of a bogus
+//! // schedule.
+//! let ctx = CompileContext::new(CompileOptions::new().deadline(Duration::ZERO));
+//! let err = DpBackend::default().schedule(&graph, &ctx).unwrap_err();
+//! assert!(matches!(err, ScheduleError::DeadlineExceeded { .. }));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serenity_ir::{Graph, NodeId};
+
+use crate::baseline;
+use crate::beam::BeamScheduler;
+use crate::budget::{AdaptiveSoftBudget, BudgetConfig, RoundFlag};
+use crate::dp::{DpConfig, DpScheduler};
+use crate::{Schedule, ScheduleError, ScheduleStats};
+
+/// Shared cancellation flag, cloneable across threads.
+///
+/// Cancelling is sticky: once [`CancelToken::cancel`] is called every clone
+/// observes it and in-flight schedules abort with
+/// [`ScheduleError::Cancelled`] at their next check point.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation of every run holding a clone of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Structured events emitted during compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileEvent {
+    /// An identity graph rewrite was applied.
+    RewriteApplied {
+        /// Rule name.
+        rule: &'static str,
+        /// Name of the rewritten concat node.
+        concat: String,
+        /// Name of the rewritten consumer node.
+        consumer: String,
+        /// Number of branches partitioned.
+        branches: usize,
+    },
+    /// A divide-and-conquer segment finished scheduling.
+    SegmentScheduled {
+        /// Segment index in series order.
+        index: usize,
+        /// Parent-graph nodes in the segment.
+        nodes: usize,
+        /// Peak footprint of the segment schedule in bytes.
+        peak_bytes: u64,
+    },
+    /// The pipeline started scheduling one candidate graph (the original,
+    /// or the rewritten one under `RewriteMode::{IfBeneficial, Always}`).
+    ///
+    /// Delimits the event stream: every `SegmentScheduled`/`BudgetProbe`
+    /// that follows belongs to this candidate, until the next
+    /// `CandidateStarted` or the closing `CandidateKept`.
+    CandidateStarted {
+        /// Whether this candidate is the rewritten graph.
+        rewritten: bool,
+        /// Node count of the candidate graph.
+        nodes: usize,
+    },
+    /// The pipeline decided which candidate's schedule to keep.
+    CandidateKept {
+        /// Whether the kept schedule belongs to the rewritten graph.
+        rewritten: bool,
+        /// Peak footprint of the kept schedule in bytes.
+        peak_bytes: u64,
+    },
+    /// One budget-pruned DP probe of the adaptive meta-search completed.
+    BudgetProbe {
+        /// The soft budget τ used, in bytes.
+        budget: u64,
+        /// How the probe ended.
+        flag: RoundFlag,
+    },
+    /// A portfolio member started running.
+    BackendStarted {
+        /// Backend name.
+        name: String,
+    },
+    /// A backend's schedule was selected as the winner.
+    BackendChosen {
+        /// Backend name.
+        name: String,
+        /// Peak footprint of the chosen schedule in bytes.
+        peak_bytes: u64,
+    },
+}
+
+/// Receiver for [`CompileEvent`]s.
+pub type EventSink = Arc<dyn Fn(&CompileEvent) + Send + Sync>;
+
+/// Caller-facing knobs of a compile/schedule run.
+#[derive(Clone, Default)]
+pub struct CompileOptions {
+    /// Wall-clock budget for the whole run, measured from
+    /// [`CompileContext::new`]. `None` disables the deadline.
+    pub deadline: Option<Duration>,
+    /// Shared cancellation flag checked inside scheduler inner loops.
+    pub cancel: CancelToken,
+    /// Structured event receiver (`None` drops events).
+    pub events: Option<EventSink>,
+}
+
+impl fmt::Debug for CompileOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileOptions")
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel)
+            .field("events", &self.events.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+impl CompileOptions {
+    /// Creates default options: no deadline, fresh token, no sink.
+    pub fn new() -> Self {
+        CompileOptions::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Uses `token` as the cancellation flag (share a clone with the code
+    /// that may cancel).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Installs an event sink.
+    pub fn on_event(mut self, sink: impl Fn(&CompileEvent) + Send + Sync + 'static) -> Self {
+        self.events = Some(Arc::new(sink));
+        self
+    }
+}
+
+/// Per-run compile state handed to every backend: options plus the run's
+/// start instant, from which the deadline is measured.
+#[derive(Debug, Clone)]
+pub struct CompileContext {
+    options: CompileOptions,
+    started: Instant,
+}
+
+impl CompileContext {
+    /// Starts a run governed by `options`; the deadline clock starts now.
+    pub fn new(options: CompileOptions) -> Self {
+        CompileContext { options, started: Instant::now() }
+    }
+
+    /// A context with no deadline, no cancellation, and no event sink.
+    pub fn unconstrained() -> Self {
+        CompileContext::new(CompileOptions::default())
+    }
+
+    /// The options governing this run.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Wall-clock time since the run started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Emits an event to the configured sink (drops it when none is set).
+    pub fn emit(&self, event: CompileEvent) {
+        if let Some(sink) = &self.options.events {
+            sink(&event);
+        }
+    }
+
+    /// Checks cancellation and the deadline.
+    ///
+    /// Called from scheduler inner loops every few hundred transitions, so
+    /// aborts take effect promptly without per-transition overhead.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::Cancelled`] when the token was triggered.
+    /// * [`ScheduleError::DeadlineExceeded`] when the wall-clock budget ran
+    ///   out.
+    pub fn check(&self) -> Result<(), ScheduleError> {
+        if self.options.cancel.is_cancelled() {
+            return Err(ScheduleError::Cancelled);
+        }
+        if let Some(deadline) = self.options.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed >= deadline {
+                return Err(ScheduleError::DeadlineExceeded { elapsed });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a backend returns: a valid schedule plus its search effort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendOutcome {
+    /// The schedule (a topological order with its exact peak).
+    pub schedule: Schedule,
+    /// Search-effort counters of the run.
+    pub stats: ScheduleStats,
+}
+
+/// A scheduling strategy, pluggable into the pipeline, divide-and-conquer,
+/// the portfolio, and the CLI.
+///
+/// Implementations must return either a *valid* schedule — a topological
+/// order of `graph` whose `peak_bytes` equals
+/// [`serenity_ir::mem::peak_bytes`] on that order — or an error; never a
+/// best-effort invalid order. They should poll [`CompileContext::check`]
+/// often enough that cancellation and deadlines take effect promptly.
+pub trait SchedulerBackend: Send + Sync {
+    /// Stable, registry-facing name (lowercase, dash-separated).
+    fn name(&self) -> &str;
+
+    /// Schedules `graph` under the run context `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific ([`ScheduleError::NoSolution`],
+    /// [`ScheduleError::Timeout`], …) plus the context aborts
+    /// [`ScheduleError::Cancelled`] and [`ScheduleError::DeadlineExceeded`].
+    fn schedule(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError>;
+
+    /// Schedules `graph` with `prefix` pinned to the front, in order.
+    ///
+    /// Divide-and-conquer pins a segment's boundary placeholder (a
+    /// predecessor-free input node) so the cut tensor's bytes are accounted
+    /// from step 0. The default implementation schedules normally and hoists
+    /// the prefix to the front — sound because pinned nodes have no
+    /// predecessors — re-deriving the peak; backends with native prefix
+    /// support (DP, adaptive budgeting) override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`SchedulerBackend::schedule`]; additionally a graph error when
+    /// `prefix` is not schedulable up front.
+    fn schedule_with_prefix(
+        &self,
+        graph: &Graph,
+        prefix: &[NodeId],
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let outcome = self.schedule(graph, ctx)?;
+        if outcome.schedule.order.starts_with(prefix) {
+            return Ok(outcome);
+        }
+        let mut order = prefix.to_vec();
+        order.extend(outcome.schedule.order.iter().filter(|id| !prefix.contains(id)));
+        let schedule = Schedule::from_order(graph, order)?;
+        Ok(BackendOutcome { schedule, stats: outcome.stats })
+    }
+}
+
+impl<B: SchedulerBackend + ?Sized> SchedulerBackend for Arc<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        (**self).schedule(graph, ctx)
+    }
+
+    fn schedule_with_prefix(
+        &self,
+        graph: &Graph,
+        prefix: &[NodeId],
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        (**self).schedule_with_prefix(graph, prefix, ctx)
+    }
+}
+
+/// The exact dynamic-programming scheduler (§3.1) as a backend.
+#[derive(Debug, Clone, Default)]
+pub struct DpBackend {
+    config: DpConfig,
+}
+
+impl DpBackend {
+    /// A DP backend with the given configuration.
+    pub fn with_config(config: DpConfig) -> Self {
+        DpBackend { config }
+    }
+}
+
+impl SchedulerBackend for DpBackend {
+    fn name(&self) -> &str {
+        "dp"
+    }
+
+    fn schedule(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        self.schedule_with_prefix(graph, &[], ctx)
+    }
+
+    fn schedule_with_prefix(
+        &self,
+        graph: &Graph,
+        prefix: &[NodeId],
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let solution = DpScheduler::with_config(self.config.clone())
+            .schedule_with_prefix_ctx(graph, prefix, ctx)?;
+        Ok(BackendOutcome { schedule: solution.schedule, stats: solution.stats })
+    }
+}
+
+/// Adaptive soft budgeting (§3.2, Algorithm 2) as a backend.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveBackend {
+    config: BudgetConfig,
+}
+
+impl AdaptiveBackend {
+    /// An adaptive-budget backend with the given configuration.
+    pub fn with_config(config: BudgetConfig) -> Self {
+        AdaptiveBackend { config }
+    }
+}
+
+impl SchedulerBackend for AdaptiveBackend {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    fn schedule(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        self.schedule_with_prefix(graph, &[], ctx)
+    }
+
+    fn schedule_with_prefix(
+        &self,
+        graph: &Graph,
+        prefix: &[NodeId],
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let outcome = AdaptiveSoftBudget::with_config(self.config.clone())
+            .search_with_prefix_ctx(graph, prefix, ctx)?;
+        Ok(BackendOutcome { schedule: outcome.schedule, stats: outcome.total_stats })
+    }
+}
+
+/// Bounded-width beam search as a backend.
+#[derive(Debug, Clone)]
+pub struct BeamBackend {
+    width: usize,
+}
+
+impl BeamBackend {
+    /// A beam backend keeping `width` states per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1, "beam width must be at least 1");
+        BeamBackend { width }
+    }
+}
+
+impl Default for BeamBackend {
+    /// Width 64: comfortably past the quality knee of the beam ablation
+    /// while staying polynomial.
+    fn default() -> Self {
+        BeamBackend::new(64)
+    }
+}
+
+impl SchedulerBackend for BeamBackend {
+    fn name(&self) -> &str {
+        "beam"
+    }
+
+    fn schedule(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let solution = BeamScheduler::new(self.width).schedule_ctx(graph, ctx)?;
+        Ok(BackendOutcome { schedule: solution.schedule, stats: solution.stats })
+    }
+}
+
+/// Wraps one of the order-producing baseline schedulers as a backend.
+macro_rules! baseline_backend {
+    ($(#[$doc:meta])* $backend:ident, $name:literal, $f:path) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $backend;
+
+        impl SchedulerBackend for $backend {
+            fn name(&self) -> &str {
+                $name
+            }
+
+            fn schedule(
+                &self,
+                graph: &Graph,
+                ctx: &CompileContext,
+            ) -> Result<BackendOutcome, ScheduleError> {
+                ctx.check()?;
+                let started = Instant::now();
+                let schedule = $f(graph)?;
+                let stats = ScheduleStats {
+                    steps: schedule.order.len(),
+                    duration: started.elapsed(),
+                    ..ScheduleStats::default()
+                };
+                Ok(BackendOutcome { schedule, stats })
+            }
+        }
+    };
+}
+
+baseline_backend! {
+    /// Kahn's-algorithm order (the TensorFlow Lite baseline) as a backend.
+    KahnBackend, "kahn", baseline::kahn
+}
+
+baseline_backend! {
+    /// Depth-first order as a backend.
+    DfsBackend, "dfs", baseline::dfs
+}
+
+baseline_backend! {
+    /// The greedy memory-aware one-step-lookahead heuristic as a backend.
+    GreedyBackend, "greedy", baseline::greedy
+}
+
+/// Exhaustive branch-and-bound search as a backend.
+///
+/// Unlike [`baseline::brute_force`], graphs beyond the node cap return
+/// [`ScheduleError::TooLarge`] instead of panicking, so the backend is safe
+/// to include in registries and portfolios.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForceBackend {
+    max_nodes: usize,
+}
+
+impl BruteForceBackend {
+    /// A brute-force backend refusing graphs above `max_nodes` nodes.
+    pub fn new(max_nodes: usize) -> Self {
+        BruteForceBackend { max_nodes }
+    }
+}
+
+impl Default for BruteForceBackend {
+    fn default() -> Self {
+        BruteForceBackend::new(20)
+    }
+}
+
+impl SchedulerBackend for BruteForceBackend {
+    fn name(&self) -> &str {
+        "brute-force"
+    }
+
+    fn schedule(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        ctx.check()?;
+        if graph.len() > self.max_nodes {
+            return Err(ScheduleError::TooLarge { nodes: graph.len(), limit: self.max_nodes });
+        }
+        let started = Instant::now();
+        let schedule = baseline::brute_force_capped_ctx(graph, self.max_nodes, ctx)?;
+        let stats = ScheduleStats {
+            steps: schedule.order.len(),
+            duration: started.elapsed(),
+            ..ScheduleStats::default()
+        };
+        Ok(BackendOutcome { schedule, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::random_dag::independent_branches;
+    use serenity_ir::topo;
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_fails_before_work() {
+        let graph = independent_branches(4, 8);
+        let ctx = CompileContext::new(CompileOptions::new().deadline(Duration::ZERO));
+        for backend in [
+            Box::new(DpBackend::default()) as Box<dyn SchedulerBackend>,
+            Box::new(AdaptiveBackend::default()),
+            Box::new(KahnBackend),
+            Box::new(BruteForceBackend::default()),
+        ] {
+            let err = backend.schedule(&graph, &ctx).unwrap_err();
+            assert!(
+                matches!(err, ScheduleError::DeadlineExceeded { .. }),
+                "{} returned {err:?}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_aborts() {
+        let graph = independent_branches(4, 8);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = CompileContext::new(CompileOptions::new().cancel_token(token));
+        let err = DpBackend::default().schedule(&graph, &ctx).unwrap_err();
+        assert!(matches!(err, ScheduleError::Cancelled));
+    }
+
+    #[test]
+    fn default_prefix_hoisting_preserves_validity() {
+        let mut graph = Graph::new("g");
+        let a = graph.add_opaque("a", 4, &[]).unwrap();
+        let b = graph.add_opaque("b", 2, &[]).unwrap();
+        let c = graph.add_opaque("c", 1, &[a, b]).unwrap();
+        graph.mark_output(c);
+        let ctx = CompileContext::unconstrained();
+        // Greedy has no native prefix support; the default hoist applies.
+        let outcome = GreedyBackend.schedule_with_prefix(&graph, &[b], &ctx).unwrap();
+        assert_eq!(outcome.schedule.order.first(), Some(&b));
+        assert!(topo::is_order(&graph, &outcome.schedule.order));
+    }
+
+    #[test]
+    fn brute_force_backend_rejects_large_graphs() {
+        let graph = independent_branches(30, 1);
+        let ctx = CompileContext::unconstrained();
+        let err = BruteForceBackend::default().schedule(&graph, &ctx).unwrap_err();
+        assert!(matches!(err, ScheduleError::TooLarge { limit: 20, .. }));
+    }
+
+    #[test]
+    fn events_reach_the_sink() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let ctx = CompileContext::new(
+            CompileOptions::new().on_event(move |e| sink.lock().unwrap().push(e.clone())),
+        );
+        ctx.emit(CompileEvent::BackendStarted { name: "dp".into() });
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+}

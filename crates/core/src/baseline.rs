@@ -14,7 +14,8 @@ use rand::Rng;
 use serenity_ir::mem::CostModel;
 use serenity_ir::{topo, Graph, GraphError, NodeId, NodeSet};
 
-use crate::Schedule;
+use crate::backend::CompileContext;
+use crate::{Schedule, ScheduleError};
 
 /// Kahn's-algorithm schedule (the TensorFlow Lite baseline).
 ///
@@ -58,8 +59,7 @@ pub fn greedy(graph: &Graph) -> Result<Schedule, GraphError> {
     let n = graph.len();
     let cost = CostModel::new(graph);
     let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
-    let mut ready: Vec<NodeId> =
-        graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
+    let mut ready: Vec<NodeId> = graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
     let mut scheduled = NodeSet::with_capacity(n);
     let mut order = Vec::with_capacity(n);
     let mut mu = 0u64;
@@ -72,7 +72,7 @@ pub fn greedy(graph: &Graph) -> Result<Schedule, GraphError> {
             let freed = cost.free_bytes(&scheduled, u);
             let after = mu + alloc - freed;
             let candidate = (after, u64::MAX - freed, u, i);
-            if best.map_or(true, |b| (candidate.0, candidate.1, candidate.2) < (b.0, b.1, b.2)) {
+            if best.is_none_or(|b| (candidate.0, candidate.1, candidate.2) < (b.0, b.1, b.2)) {
                 best = Some(candidate);
             }
         }
@@ -117,6 +117,29 @@ pub fn brute_force(graph: &Graph) -> Result<Schedule, GraphError> {
 ///
 /// Panics if `graph.len() > max_nodes`.
 pub fn brute_force_capped(graph: &Graph, max_nodes: usize) -> Result<Schedule, GraphError> {
+    match brute_force_capped_ctx(graph, max_nodes, &CompileContext::unconstrained()) {
+        Ok(schedule) => Ok(schedule),
+        Err(ScheduleError::Graph(e)) => Err(e),
+        Err(other) => unreachable!("unconstrained context cannot abort: {other}"),
+    }
+}
+
+/// [`brute_force_capped`] governed by a [`CompileContext`]: cancellation
+/// and the deadline are polled every few hundred search-tree nodes.
+///
+/// # Errors
+///
+/// As [`brute_force_capped`], plus [`ScheduleError::Cancelled`] /
+/// [`ScheduleError::DeadlineExceeded`].
+///
+/// # Panics
+///
+/// Panics if `graph.len() > max_nodes`.
+pub fn brute_force_capped_ctx(
+    graph: &Graph,
+    max_nodes: usize,
+    ctx: &CompileContext,
+) -> Result<Schedule, ScheduleError> {
     assert!(
         graph.len() <= max_nodes,
         "brute force on {} nodes exceeds the cap of {max_nodes}",
@@ -125,6 +148,7 @@ pub fn brute_force_capped(graph: &Graph, max_nodes: usize) -> Result<Schedule, G
     if graph.is_empty() {
         return Ok(Schedule { order: Vec::new(), peak_bytes: 0 });
     }
+    ctx.check()?;
     let mut search = BruteForce {
         cost: CostModel::new(graph),
         graph,
@@ -133,12 +157,12 @@ pub fn brute_force_capped(graph: &Graph, max_nodes: usize) -> Result<Schedule, G
         prefix: Vec::with_capacity(graph.len()),
         best_order: None,
         best_peak: u64::MAX,
+        visited: 0,
     };
-    let ready: Vec<NodeId> =
-        graph.node_ids().filter(|&id| graph.indegree(id) == 0).collect();
-    search.recurse(&ready, 0, 0);
+    let ready: Vec<NodeId> = graph.node_ids().filter(|&id| graph.indegree(id) == 0).collect();
+    search.recurse(&ready, 0, 0, ctx)?;
     let order = search.best_order.expect("acyclic graph has at least one order");
-    Schedule::from_order(graph, order)
+    Ok(Schedule::from_order(graph, order)?)
 }
 
 struct BruteForce<'g> {
@@ -149,19 +173,31 @@ struct BruteForce<'g> {
     prefix: Vec<NodeId>,
     best_order: Option<Vec<NodeId>>,
     best_peak: u64,
+    /// Search-tree nodes visited, for periodic context polling.
+    visited: u64,
 }
 
 impl BruteForce<'_> {
-    fn recurse(&mut self, ready: &[NodeId], mu: u64, peak: u64) {
+    fn recurse(
+        &mut self,
+        ready: &[NodeId],
+        mu: u64,
+        peak: u64,
+        ctx: &CompileContext,
+    ) -> Result<(), ScheduleError> {
+        self.visited += 1;
+        if self.visited & 0x3FF == 0 {
+            ctx.check()?;
+        }
         // Branch-and-bound: a prefix whose peak already matches or exceeds
         // the incumbent cannot improve on it.
         if peak >= self.best_peak {
-            return;
+            return Ok(());
         }
         if self.prefix.len() == self.graph.len() {
             self.best_peak = peak;
             self.best_order = Some(self.prefix.clone());
-            return;
+            return Ok(());
         }
         for (i, &u) in ready.iter().enumerate() {
             let mu_after_alloc = mu + self.cost.alloc_bytes(&self.scheduled, u);
@@ -178,14 +214,16 @@ impl BruteForce<'_> {
                     next_ready.push(s);
                 }
             }
-            self.recurse(&next_ready, mu_next, peak_next);
-            // Undo.
+            let result = self.recurse(&next_ready, mu_next, peak_next, ctx);
+            // Undo (also on abort, to keep the borrow checker honest).
             for &s in self.graph.succs(u) {
                 self.indegree[s.index()] += 1;
             }
             self.scheduled.remove(u);
             self.prefix.pop();
+            result?;
         }
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@ use serenity_ir::fxhash::FxHashMap;
 use serenity_ir::mem::CostModel;
 use serenity_ir::{Graph, NodeId, NodeSet};
 
+use crate::backend::CompileContext;
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// The bounded-width scheduler.
@@ -88,7 +89,24 @@ impl BeamScheduler {
     /// the exact DP, the beam never times out and never reports
     /// `NoSolution`.
     pub fn schedule(&self, graph: &Graph) -> Result<BeamSolution, ScheduleError> {
+        self.schedule_ctx(graph, &CompileContext::unconstrained())
+    }
+
+    /// Like [`BeamScheduler::schedule`], but governed by a
+    /// [`CompileContext`]: cancellation and the deadline are polled every
+    /// few hundred candidate expansions.
+    ///
+    /// # Errors
+    ///
+    /// As [`BeamScheduler::schedule`], plus [`ScheduleError::Cancelled`] /
+    /// [`ScheduleError::DeadlineExceeded`].
+    pub fn schedule_ctx(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BeamSolution, ScheduleError> {
         let started = Instant::now();
+        ctx.check()?;
         let n = graph.len();
         if n == 0 {
             return Ok(BeamSolution {
@@ -121,6 +139,9 @@ impl BeamScheduler {
             for (si, state) in frontier.iter().enumerate() {
                 for u in state.z.iter() {
                     stats.transitions += 1;
+                    if stats.transitions & 0x3FF == 0 {
+                        ctx.check()?;
+                    }
                     let mu_after = state.mu + cost.alloc_bytes(&state.scheduled, u);
                     let peak = state.peak.max(mu_after);
                     let mu = mu_after - cost.free_bytes(&state.scheduled, u);
@@ -133,8 +154,7 @@ impl BeamScheduler {
                             z.insert(s);
                         }
                     }
-                    let candidate =
-                        State { z, scheduled, mu, peak, parent: si as u32, node: u };
+                    let candidate = State { z, scheduled, mu, peak, parent: si as u32, node: u };
                     match index.get(&candidate.z) {
                         Some(&at) => {
                             let existing = &mut candidates[at as usize];
@@ -160,11 +180,8 @@ impl BeamScheduler {
         }
 
         let last = arenas.last().expect("final arena");
-        let (best_idx, best) = last
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.peak)
-            .expect("final arena is non-empty");
+        let (best_idx, best) =
+            last.iter().enumerate().min_by_key(|(_, s)| s.peak).expect("final arena is non-empty");
         let mut order = Vec::with_capacity(n);
         let (mut arena_idx, mut state_idx) = (arenas.len() - 1, best_idx as u32);
         while arena_idx > 0 {

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 use serenity_ir::{mem, topo, Graph};
 
+use crate::backend::{CompileContext, CompileEvent};
 use crate::dp::{DpScheduler, DpSolution};
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
@@ -172,7 +173,26 @@ impl AdaptiveSoftBudget {
         graph: &Graph,
         prefix: &[serenity_ir::NodeId],
     ) -> Result<BudgetSearchOutcome, ScheduleError> {
+        self.search_with_prefix_ctx(graph, prefix, &CompileContext::unconstrained())
+    }
+
+    /// Like [`AdaptiveSoftBudget::search_with_prefix`], but governed by a
+    /// [`CompileContext`]: cancellation and the wall-clock deadline abort
+    /// between and within probes, and every probe result is reported as a
+    /// [`CompileEvent::BudgetProbe`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AdaptiveSoftBudget::search_with_prefix`], plus
+    /// [`ScheduleError::Cancelled`] / [`ScheduleError::DeadlineExceeded`].
+    pub fn search_with_prefix_ctx(
+        &self,
+        graph: &Graph,
+        prefix: &[serenity_ir::NodeId],
+        ctx: &CompileContext,
+    ) -> Result<BudgetSearchOutcome, ScheduleError> {
         let started = Instant::now();
+        ctx.check()?;
         // Hard budget from Kahn's algorithm (Algorithm 2, line 3).
         let kahn_order = topo::kahn(graph);
         let hard_budget = mem::peak_bytes(graph, &kahn_order)?;
@@ -184,8 +204,9 @@ impl AdaptiveSoftBudget {
         let mut total_stats = ScheduleStats::default();
 
         for _ in 0..self.config.max_rounds {
+            ctx.check()?;
             let scheduler = self.dp_for(tau_new);
-            let result = scheduler.schedule_with_prefix(graph, prefix);
+            let result = scheduler.schedule_with_prefix_ctx(graph, prefix, ctx);
             let (flag, solution) = match result {
                 Ok(solution) => (RoundFlag::Solution, Some(solution)),
                 Err(ScheduleError::NoSolution { .. }) => (RoundFlag::NoSolution, None),
@@ -193,7 +214,9 @@ impl AdaptiveSoftBudget {
                 Err(other) => return Err(other),
             };
             let stats = solution.as_ref().map(|s| s.stats).unwrap_or_default();
-            accumulate(&mut total_stats, &stats);
+            total_stats.absorb(&stats);
+            total_stats.probes += 1;
+            ctx.emit(CompileEvent::BudgetProbe { budget: tau_new, flag });
             rounds.push(BudgetRound { budget: tau_new, flag, stats });
 
             match flag {
@@ -278,13 +301,6 @@ fn midpoint(a: u64, b: u64) -> u64 {
     a / 2 + b / 2 + (a % 2 + b % 2) / 2
 }
 
-fn accumulate(total: &mut ScheduleStats, round: &ScheduleStats) {
-    total.states += round.states;
-    total.transitions += round.transitions;
-    total.pruned += round.pruned;
-    total.steps = total.steps.max(round.steps);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,11 +336,12 @@ mod tests {
         // A modest random DAG with a (deliberately generous) step budget: the
         // search should converge without exhausting rounds.
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let g = random_dag(&RandomDagConfig { nodes: 24, edge_prob: 0.2, ..Default::default() }, &mut rng);
-        let outcome = AdaptiveSoftBudget::new()
-            .step_timeout(Duration::from_millis(500))
-            .search(&g)
-            .unwrap();
+        let g = random_dag(
+            &RandomDagConfig { nodes: 24, edge_prob: 0.2, ..Default::default() },
+            &mut rng,
+        );
+        let outcome =
+            AdaptiveSoftBudget::new().step_timeout(Duration::from_millis(500)).search(&g).unwrap();
         let optimal = DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
         assert_eq!(outcome.schedule.peak_bytes, optimal);
     }
@@ -335,10 +352,7 @@ mod tests {
         // the search; the fallback returns the Kahn schedule.
         let g = independent_branches(12, 8);
         let search = AdaptiveSoftBudget::new().max_states(2).max_rounds(4);
-        assert!(matches!(
-            search.search(&g),
-            Err(ScheduleError::BudgetSearchExhausted { .. })
-        ));
+        assert!(matches!(search.search(&g), Err(ScheduleError::BudgetSearchExhausted { .. })));
         let (outcome, fell_back) = search.search_or_fallback(&g).unwrap();
         assert!(fell_back);
         assert_eq!(outcome.schedule.order.len(), g.len());

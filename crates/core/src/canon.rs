@@ -29,8 +29,7 @@ pub fn stackify(graph: &Graph, peak_cap: u64) -> Option<Vec<NodeId>> {
     let n = graph.len();
     let cost = CostModel::new(graph);
     let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
-    let mut ready: Vec<NodeId> =
-        graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
+    let mut ready: Vec<NodeId> = graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
     let mut scheduled = NodeSet::with_capacity(n);
     // Production step of each node's output, for the recency preference.
     let mut produced_at = vec![usize::MAX; n];
@@ -56,7 +55,7 @@ pub fn stackify(graph: &Graph, peak_cap: u64) -> Option<Vec<NodeId>> {
                 .max()
                 .unwrap_or(0);
             let key = (usize::MAX - recency, u64::MAX - freed, u, i);
-            if best.map_or(true, |b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+            if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
                 best = Some(key);
             }
         }
@@ -121,8 +120,7 @@ mod tests {
         let sink = g.add_opaque("sink", 10, &[a2, b2]).unwrap();
         g.mark_output(sink);
         let order = stackify(&g, u64::MAX).unwrap();
-        let names: Vec<&str> =
-            order.iter().map(|&id| g.node(id).name.as_str()).collect();
+        let names: Vec<&str> = order.iter().map(|&id| g.node(id).name.as_str()).collect();
         // After a0, its successor chain runs to completion.
         let a_positions: Vec<usize> =
             ["a0", "a1", "a2"].iter().map(|n| names.iter().position(|x| x == n).unwrap()).collect();
@@ -149,19 +147,13 @@ mod tests {
             let Some(canon) = stackify(&g, dp.schedule.peak_bytes) else {
                 continue;
             };
-            let dp_arena =
-                serenity_allocator::plan(&g, &dp.schedule.order, Strategy::GreedyBySize)
-                    .unwrap()
-                    .arena_bytes;
+            let dp_arena = serenity_allocator::plan(&g, &dp.schedule.order, Strategy::GreedyBySize)
+                .unwrap()
+                .arena_bytes;
             let canon_arena =
-                serenity_allocator::plan(&g, &canon, Strategy::GreedyBySize)
-                    .unwrap()
-                    .arena_bytes;
+                serenity_allocator::plan(&g, &canon, Strategy::GreedyBySize).unwrap().arena_bytes;
             // Not a theorem, but the greedy should rarely lose; allow equality.
-            assert!(
-                canon_arena <= dp_arena.max(canon_arena),
-                "sanity: arenas computed"
-            );
+            assert!(canon_arena <= dp_arena.max(canon_arena), "sanity: arenas computed");
         }
     }
 

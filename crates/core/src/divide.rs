@@ -3,7 +3,7 @@
 //! Irregular cells are stacked into hourglass-shaped graphs: the waist nodes
 //! are single-node cuts at which only one tensor is live. The graph is split
 //! there (*divide*), every segment is scheduled independently by the
-//! DP/adaptive-budget scheduler (*conquer*), and the sub-schedules are
+//! configured [`SchedulerBackend`] (*conquer*), and the sub-schedules are
 //! concatenated (*combine*). Because only the cut tensor crosses a boundary,
 //! the combined peak equals the maximum of the segment peaks, and combining
 //! optimal segment schedules yields an optimal whole-graph schedule.
@@ -11,17 +11,26 @@
 //! The win is exponential: scheduling `N` equal segments costs
 //! `N · (|V|/N) · 2^{|V|/N}` instead of `|V| · 2^{|V|}` (§3.2).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use serenity_ir::cuts::{self, PartitionSummary};
 use serenity_ir::{Graph, NodeId};
 
-use crate::budget::{AdaptiveSoftBudget, BudgetConfig};
-use crate::dp::DpScheduler;
+use crate::backend::{AdaptiveBackend, CompileContext, CompileEvent, DpBackend, SchedulerBackend};
+use crate::budget::BudgetConfig;
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// How each segment is scheduled.
+///
+/// Deprecated closed enum, superseded by the open
+/// [`SchedulerBackend`] trait: any backend can now schedule segments via
+/// [`DivideAndConquer::backend`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use DivideAndConquer::backend with any SchedulerBackend instead"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SegmentScheduler {
     /// Plain dynamic programming (optionally budget-pruned) — Algorithm 1.
@@ -30,9 +39,21 @@ pub enum SegmentScheduler {
     Adaptive(BudgetConfig),
 }
 
+#[allow(deprecated)]
 impl Default for SegmentScheduler {
     fn default() -> Self {
         SegmentScheduler::Adaptive(BudgetConfig::default())
+    }
+}
+
+#[allow(deprecated)]
+impl SegmentScheduler {
+    /// Converts the legacy enum into the equivalent backend.
+    pub fn into_backend(self) -> Arc<dyn SchedulerBackend> {
+        match self {
+            SegmentScheduler::Dp(config) => Arc::new(DpBackend::with_config(config)),
+            SegmentScheduler::Adaptive(config) => Arc::new(AdaptiveBackend::with_config(config)),
+        }
     }
 }
 
@@ -62,7 +83,7 @@ pub struct DivideOutcome {
 }
 
 /// Divide-and-conquer scheduler: partitions at cut nodes and runs the
-/// configured segment scheduler on each piece.
+/// configured backend on each piece.
 ///
 /// # Example
 ///
@@ -80,9 +101,21 @@ pub struct DivideOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct DivideAndConquer {
-    segment_scheduler: SegmentScheduler,
+    backend: Arc<dyn SchedulerBackend>,
+}
+
+impl std::fmt::Debug for DivideAndConquer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DivideAndConquer").field("backend", &self.backend.name()).finish()
+    }
+}
+
+impl Default for DivideAndConquer {
+    fn default() -> Self {
+        DivideAndConquer { backend: Arc::new(AdaptiveBackend::default()) }
+    }
 }
 
 impl DivideAndConquer {
@@ -92,10 +125,17 @@ impl DivideAndConquer {
         DivideAndConquer::default()
     }
 
-    /// Overrides how segments are scheduled.
-    pub fn segment_scheduler(mut self, scheduler: SegmentScheduler) -> Self {
-        self.segment_scheduler = scheduler;
+    /// Overrides the backend scheduling each segment.
+    pub fn backend(mut self, backend: Arc<dyn SchedulerBackend>) -> Self {
+        self.backend = backend;
         self
+    }
+
+    /// Overrides how segments are scheduled (legacy enum).
+    #[deprecated(since = "0.1.0", note = "use DivideAndConquer::backend instead")]
+    #[allow(deprecated)]
+    pub fn segment_scheduler(self, scheduler: SegmentScheduler) -> Self {
+        self.backend(scheduler.into_backend())
     }
 
     /// Schedules `graph` by partitioning at its cut nodes.
@@ -106,51 +146,58 @@ impl DivideAndConquer {
     /// ([`ScheduleError::Timeout`], [`ScheduleError::NoSolution`],
     /// [`ScheduleError::BudgetSearchExhausted`], or a graph error).
     pub fn schedule(&self, graph: &Graph) -> Result<DivideOutcome, ScheduleError> {
+        self.schedule_with_ctx(graph, &CompileContext::unconstrained())
+    }
+
+    /// Like [`DivideAndConquer::schedule`], but governed by a
+    /// [`CompileContext`]: the context is threaded into every segment run
+    /// and a [`CompileEvent::SegmentScheduled`] is emitted per segment.
+    ///
+    /// # Errors
+    ///
+    /// As [`DivideAndConquer::schedule`], plus the context aborts
+    /// [`ScheduleError::Cancelled`] / [`ScheduleError::DeadlineExceeded`].
+    pub fn schedule_with_ctx(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<DivideOutcome, ScheduleError> {
         let started = Instant::now();
         let partition = cuts::partition(graph);
         let mut locals: Vec<Vec<NodeId>> = Vec::with_capacity(partition.segments.len());
         let mut reports = Vec::with_capacity(partition.segments.len());
         let mut total_stats = ScheduleStats::default();
 
-        for segment in &partition.segments {
+        for (index, segment) in partition.segments.iter().enumerate() {
+            ctx.check()?;
             let pinned = segment.pinned_prefix();
-            let (schedule, stats) = match &self.segment_scheduler {
-                SegmentScheduler::Dp(config) => {
-                    let solution = DpScheduler::with_config(config.clone())
-                        .schedule_with_prefix(&segment.graph, &pinned)?;
-                    (solution.schedule, solution.stats)
+            let attempt = self.backend.schedule_with_prefix(&segment.graph, &pinned, ctx);
+            let (schedule, stats) = match attempt {
+                Ok(outcome) => (outcome.schedule, outcome.stats),
+                // An exhausted meta-search degrades gracefully to the
+                // hard-budget (Kahn) schedule for this segment: sound, and
+                // never worse than the baseline. The boundary placeholder
+                // has id 0, so Kahn's FIFO schedules it first, satisfying
+                // the pin.
+                Err(ScheduleError::BudgetSearchExhausted { .. }) => {
+                    let order = serenity_ir::topo::kahn(&segment.graph);
+                    debug_assert!(
+                        pinned.is_empty() || order.first() == Some(&pinned[0]),
+                        "boundary placeholder must lead the fallback order"
+                    );
+                    let schedule = Schedule::from_order(&segment.graph, order)?;
+                    (schedule, ScheduleStats::default())
                 }
-                SegmentScheduler::Adaptive(config) => {
-                    let search = AdaptiveSoftBudget::with_config(config.clone())
-                        .search_with_prefix(&segment.graph, &pinned);
-                    match search {
-                        Ok(outcome) => (outcome.schedule, outcome.total_stats),
-                        // An exhausted meta-search degrades gracefully to
-                        // the hard-budget (Kahn) schedule for this segment:
-                        // sound, and never worse than the baseline. The
-                        // boundary placeholder has id 0, so Kahn's FIFO
-                        // schedules it first, satisfying the pin.
-                        Err(ScheduleError::BudgetSearchExhausted { .. }) => {
-                            let order = serenity_ir::topo::kahn(&segment.graph);
-                            debug_assert!(
-                                pinned.is_empty() || order.first() == Some(&pinned[0]),
-                                "boundary placeholder must lead the fallback order"
-                            );
-                            let schedule = Schedule::from_order(&segment.graph, order)?;
-                            (schedule, ScheduleStats::default())
-                        }
-                        Err(other) => return Err(other),
-                    }
-                }
+                Err(other) => return Err(other),
             };
-            total_stats.states += stats.states;
-            total_stats.transitions += stats.transitions;
-            total_stats.pruned += stats.pruned;
-            reports.push(SegmentReport {
-                nodes: segment.graph.len() - usize::from(segment.boundary_input.is_some()),
+            total_stats.absorb(&stats);
+            let nodes = segment.graph.len() - usize::from(segment.boundary_input.is_some());
+            ctx.emit(CompileEvent::SegmentScheduled {
+                index,
+                nodes,
                 peak_bytes: schedule.peak_bytes,
-                stats,
             });
+            reports.push(SegmentReport { nodes, peak_bytes: schedule.peak_bytes, stats });
             locals.push(schedule.order);
         }
 
@@ -175,6 +222,8 @@ impl DivideAndConquer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{BeamBackend, CancelToken, CompileOptions, GreedyBackend};
+    use crate::dp::DpScheduler;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use serenity_ir::random_dag::hourglass_stack;
@@ -187,7 +236,7 @@ mod tests {
             let g = hourglass_stack(3, 4, 100, &mut rng);
             let whole = DpScheduler::new().schedule(&g).unwrap();
             let divided = DivideAndConquer::new()
-                .segment_scheduler(SegmentScheduler::Dp(Default::default()))
+                .backend(Arc::new(DpBackend::default()))
                 .schedule(&g)
                 .unwrap();
             assert_eq!(divided.schedule.peak_bytes, whole.schedule.peak_bytes);
@@ -215,10 +264,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let g = hourglass_stack(3, 6, 50, &mut rng);
         let whole = DpScheduler::new().schedule(&g).unwrap();
-        let divided = DivideAndConquer::new()
-            .segment_scheduler(SegmentScheduler::Dp(Default::default()))
-            .schedule(&g)
-            .unwrap();
+        let divided =
+            DivideAndConquer::new().backend(Arc::new(DpBackend::default())).schedule(&g).unwrap();
         assert!(divided.total_stats.transitions <= whole.stats.transitions);
         assert_eq!(divided.schedule.peak_bytes, whole.schedule.peak_bytes);
     }
@@ -238,5 +285,65 @@ mod tests {
         let outcome = DivideAndConquer::new().schedule(&g).unwrap();
         assert_eq!(outcome.partition.segment_sizes.len(), 1);
         assert_eq!(outcome.schedule.order.len(), g.len());
+    }
+
+    #[test]
+    fn arbitrary_backends_schedule_segments() {
+        // Backends without native prefix support (beam, greedy) still
+        // produce valid combined schedules through the prefix hoist.
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = hourglass_stack(3, 4, 60, &mut rng);
+        for backend in
+            [Arc::new(BeamBackend::default()) as Arc<dyn SchedulerBackend>, Arc::new(GreedyBackend)]
+        {
+            let name = backend.name().to_string();
+            let outcome = DivideAndConquer::new().backend(backend).schedule(&g).unwrap();
+            assert!(topo::is_order(&g, &outcome.schedule.order), "{name} order invalid");
+            assert_eq!(outcome.schedule.order.len(), g.len(), "{name} incomplete");
+        }
+    }
+
+    #[test]
+    fn cancellation_aborts_between_segments() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = hourglass_stack(3, 4, 60, &mut rng);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = CompileContext::new(CompileOptions::new().cancel_token(token));
+        let err = DivideAndConquer::new().schedule_with_ctx(&g, &ctx).unwrap_err();
+        assert!(matches!(err, ScheduleError::Cancelled));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_segment_scheduler_shim_still_works() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let g = hourglass_stack(3, 4, 60, &mut rng);
+        let outcome = DivideAndConquer::new()
+            .segment_scheduler(SegmentScheduler::Dp(Default::default()))
+            .schedule(&g)
+            .unwrap();
+        assert_eq!(outcome.schedule.order.len(), g.len());
+    }
+
+    #[test]
+    fn segment_events_are_emitted() {
+        use std::sync::Mutex;
+        let mut rng = StdRng::seed_from_u64(28);
+        let g = hourglass_stack(3, 4, 60, &mut rng);
+        let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let ctx = CompileContext::new(
+            CompileOptions::new().on_event(move |e| sink.lock().unwrap().push(e.clone())),
+        );
+        let outcome = DivideAndConquer::new().schedule_with_ctx(&g, &ctx).unwrap();
+        let segments: Vec<_> = seen
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e, CompileEvent::SegmentScheduled { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(segments.len(), outcome.segments.len());
     }
 }

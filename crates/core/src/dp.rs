@@ -37,6 +37,7 @@ use serenity_ir::fxhash::FxHashMap;
 use serenity_ir::mem::{CostModel, FootprintTracker};
 use serenity_ir::{Graph, GraphError, NodeId, NodeSet};
 
+use crate::backend::CompileContext;
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// Configuration of a [`DpScheduler`].
@@ -198,7 +199,26 @@ impl DpScheduler {
         graph: &Graph,
         prefix: &[NodeId],
     ) -> Result<DpSolution, ScheduleError> {
+        self.schedule_with_prefix_ctx(graph, prefix, &CompileContext::unconstrained())
+    }
+
+    /// Like [`DpScheduler::schedule_with_prefix`], but governed by a
+    /// [`CompileContext`]: the context's cancellation flag and wall-clock
+    /// deadline are polled inside the frontier-expansion inner loop (every
+    /// few hundred transitions), aborting with
+    /// [`ScheduleError::Cancelled`] / [`ScheduleError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DpScheduler::schedule_with_prefix`], plus the context aborts.
+    pub fn schedule_with_prefix_ctx(
+        &self,
+        graph: &Graph,
+        prefix: &[NodeId],
+        ctx: &CompileContext,
+    ) -> Result<DpSolution, ScheduleError> {
         let started = Instant::now();
+        ctx.check()?;
         let n = graph.len();
         if n == 0 {
             return Ok(DpSolution {
@@ -224,9 +244,9 @@ impl DpScheduler {
             let step_started = Instant::now();
             let frontier = arenas.last().expect("arena for current step exists");
             let next = if self.config.threads > 1 && frontier.len() >= PARALLEL_THRESHOLD {
-                self.expand_parallel(&cost, frontier, step, step_started, &mut stats)?
+                self.expand_parallel(&cost, frontier, step, step_started, &mut stats, ctx)?
             } else {
-                self.expand_serial(&cost, frontier, step, step_started, &mut stats)?
+                self.expand_serial(&cost, frontier, step, step_started, &mut stats, ctx)?
             };
             if next.is_empty() {
                 let budget = self.config.budget.unwrap_or(u64::MAX);
@@ -299,6 +319,7 @@ impl DpScheduler {
         step: usize,
         step_started: Instant,
         stats: &mut ScheduleStats,
+        ctx: &CompileContext,
     ) -> Result<Vec<State>, ScheduleError> {
         let mut arena: Vec<State> = Vec::new();
         let mut index: FxHashMap<NodeSet, u32> = FxHashMap::default();
@@ -308,7 +329,7 @@ impl DpScheduler {
             for u in state.z.iter() {
                 transitions += 1;
                 if transitions & TIMEOUT_CHECK_MASK == 0 {
-                    self.check_limits(step, step_started, arena.len())?;
+                    self.check_limits(step, step_started, arena.len(), ctx)?;
                 }
                 match self.transition(cost, state, si as u32, u) {
                     Some(candidate) => merge_candidate(&mut arena, &mut index, candidate),
@@ -316,7 +337,7 @@ impl DpScheduler {
                 }
             }
         }
-        self.check_limits(step, step_started, arena.len())?;
+        self.check_limits(step, step_started, arena.len(), ctx)?;
         stats.transitions += transitions;
         stats.pruned += pruned;
         Ok(arena)
@@ -329,19 +350,20 @@ impl DpScheduler {
         step: usize,
         step_started: Instant,
         stats: &mut ScheduleStats,
+        ctx: &CompileContext,
     ) -> Result<Vec<State>, ScheduleError> {
         let threads = self.config.threads.min(frontier.len());
         let chunk_size = frontier.len().div_ceil(threads);
         let chunks: Vec<&[State]> = frontier.chunks(chunk_size).collect();
 
         type ChunkResult = Result<(Vec<State>, u64, u64), ScheduleError>;
-        let results: Vec<ChunkResult> = crossbeam::thread::scope(|scope| {
+        let results: Vec<ChunkResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .enumerate()
                 .map(|(ci, chunk)| {
                     let base = (ci * chunk_size) as u32;
-                    scope.spawn(move |_| -> ChunkResult {
+                    scope.spawn(move || -> ChunkResult {
                         let mut local: Vec<State> = Vec::new();
                         let mut transitions = 0u64;
                         let mut pruned = 0u64;
@@ -349,7 +371,7 @@ impl DpScheduler {
                             for u in state.z.iter() {
                                 transitions += 1;
                                 if transitions & TIMEOUT_CHECK_MASK == 0 {
-                                    self.check_limits(step, step_started, local.len())?;
+                                    self.check_limits(step, step_started, local.len(), ctx)?;
                                 }
                                 match self.transition(cost, state, base + offset as u32, u) {
                                     Some(candidate) => local.push(candidate),
@@ -362,8 +384,7 @@ impl DpScheduler {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
-        })
-        .expect("scoped threads do not panic");
+        });
 
         // Deterministic merge in chunk order: identical outcome to serial.
         let mut arena: Vec<State> = Vec::new();
@@ -375,7 +396,7 @@ impl DpScheduler {
             for candidate in candidates {
                 merge_candidate(&mut arena, &mut index, candidate);
             }
-            self.check_limits(step, step_started, arena.len())?;
+            self.check_limits(step, step_started, arena.len(), ctx)?;
         }
         Ok(arena)
     }
@@ -417,7 +438,9 @@ impl DpScheduler {
         step: usize,
         step_started: Instant,
         states: usize,
+        ctx: &CompileContext,
     ) -> Result<(), ScheduleError> {
+        ctx.check()?;
         if let Some(limit) = self.config.step_timeout {
             let elapsed = step_started.elapsed();
             if elapsed > limit {

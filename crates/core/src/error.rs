@@ -28,6 +28,25 @@ pub enum ScheduleError {
         /// Number of rounds attempted.
         rounds: usize,
     },
+    /// The compile run's wall-clock deadline
+    /// ([`CompileOptions::deadline`](crate::backend::CompileOptions))
+    /// expired. Distinct from [`ScheduleError::Timeout`], which is the
+    /// *per-search-step* soft limit that adaptive budgeting reacts to.
+    DeadlineExceeded {
+        /// Elapsed wall-clock time when the abort was observed.
+        elapsed: Duration,
+    },
+    /// The run's shared [`CancelToken`](crate::backend::CancelToken) was
+    /// triggered.
+    Cancelled,
+    /// The graph exceeds a backend's structural limit (e.g. the brute-force
+    /// node cap).
+    TooLarge {
+        /// Nodes in the rejected graph.
+        nodes: usize,
+        /// The backend's limit.
+        limit: usize,
+    },
     /// The underlying graph is malformed.
     Graph(GraphError),
 }
@@ -43,6 +62,13 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::BudgetSearchExhausted { rounds } => {
                 write!(f, "adaptive soft budgeting found no solution in {rounds} rounds")
+            }
+            ScheduleError::DeadlineExceeded { elapsed } => {
+                write!(f, "compile deadline exceeded after {elapsed:?}")
+            }
+            ScheduleError::Cancelled => write!(f, "compilation was cancelled"),
+            ScheduleError::TooLarge { nodes, limit } => {
+                write!(f, "graph of {nodes} nodes exceeds the backend's limit of {limit}")
             }
             ScheduleError::Graph(e) => write!(f, "graph error: {e}"),
         }

@@ -2,29 +2,43 @@
 //!
 //! This crate implements the primary contribution of *"Ordering Chaos:
 //! Memory-Aware Scheduling of Irregularly Wired Neural Networks for Edge
-//! Devices"* (Ahn et al., MLSys 2020):
+//! Devices"* (Ahn et al., MLSys 2020), organized around an open scheduling
+//! API:
 //!
+//! * [`backend`] — the [`SchedulerBackend`](backend::SchedulerBackend)
+//!   trait every strategy implements, plus the compile control plane:
+//!   [`CompileOptions`](backend::CompileOptions) (wall-clock deadline,
+//!   shared [`CancelToken`](backend::CancelToken)) and structured
+//!   [`CompileEvent`](backend::CompileEvent)s replacing silent compilation.
+//! * [`registry`] — [`BackendRegistry`](registry::BackendRegistry), the
+//!   name → factory map behind `serenity schedule --scheduler <name>`, and
+//!   [`PortfolioBackend`](registry::PortfolioBackend), which runs several
+//!   backends and keeps the minimum-peak schedule.
 //! * [`dp::DpScheduler`] — the dynamic-programming scheduler of §3.1
 //!   (Algorithm 1). Partial schedules are keyed by their *zero-indegree set
 //!   signature*; one optimal-peak state is memoized per signature, yielding
 //!   the provably footprint-optimal schedule in `O(|V|·2^|V|)` instead of
-//!   `O(|V|!)`.
+//!   `O(|V|!)`. Backend name: `dp`.
 //! * [`budget::AdaptiveSoftBudget`] — the meta-search of §3.2 (Algorithm 2):
 //!   a binary search over the pruning budget τ between a hard budget obtained
 //!   from Kahn's algorithm and a provable lower bound, driven by the
 //!   `{solution, no-solution, timeout}` flags of budget-pruned DP runs.
+//!   Backend name: `adaptive` (the default).
+//! * [`beam::BeamScheduler`] — bounded-width beam search, a polynomial
+//!   fallback for graphs beyond exact reach. Backend name: `beam`.
+//! * [`baseline`] — the schedulers SERENITY is compared against: Kahn
+//!   (TensorFlow Lite), DFS, random orders, a greedy heuristic, and
+//!   brute-force exhaustive search. Backend names: `kahn`, `dfs`, `greedy`,
+//!   `brute-force`.
 //! * [`divide`] — divide-and-conquer over the single-node cuts of hourglass
-//!   graphs (§3.2, Figure 7), preserving optimality while shrinking `2^|V|`
-//!   to `2^{|V|/N}` per segment.
+//!   graphs (§3.2, Figure 7); any backend schedules the segments.
 //! * [`rewrite`] — identity graph rewriting (§3.3): channel-wise partitioning
 //!   of `concat→conv` and kernel-wise partitioning of `concat→depthwise-conv`
 //!   patterns, keeping the network's arithmetic output identical while
 //!   lowering the achievable peak footprint.
 //! * [`pipeline::Serenity`] — the end-to-end flow of Figure 4: rewrite →
-//!   partition → DP + adaptive budgeting → memory allocation.
-//! * [`baseline`] — the schedulers SERENITY is compared against: Kahn
-//!   (TensorFlow Lite), DFS, random orders, a greedy heuristic, and
-//!   brute-force exhaustive search (the optimality oracle for tests).
+//!   partition → backend scheduling → memory allocation, governed by
+//!   [`CompileOptions`](backend::CompileOptions).
 //!
 //! # Example
 //!
@@ -45,10 +59,32 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Selecting a strategy by name and constraining the run:
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! use serenity_core::backend::CompileOptions;
+//! use serenity_core::pipeline::Serenity;
+//! use serenity_core::registry::BackendRegistry;
+//! use serenity_ir::random_dag::independent_branches;
+//!
+//! let graph = independent_branches(6, 32);
+//! let backend = BackendRegistry::standard().create("portfolio").unwrap();
+//! let compiled = Serenity::builder()
+//!     .backend(backend)
+//!     .deadline(Duration::from_secs(30))
+//!     .build()
+//!     .compile(&graph)
+//!     .unwrap();
+//! assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baseline;
 pub mod beam;
 pub mod budget;
@@ -57,8 +93,13 @@ pub mod divide;
 pub mod dp;
 mod error;
 pub mod pipeline;
+pub mod registry;
 pub mod rewrite;
 mod schedule;
 
+pub use backend::{
+    BackendOutcome, CancelToken, CompileContext, CompileEvent, CompileOptions, SchedulerBackend,
+};
 pub use error::ScheduleError;
+pub use registry::{BackendRegistry, PortfolioBackend};
 pub use schedule::{Schedule, ScheduleStats};

@@ -1,15 +1,27 @@
 //! The end-to-end SERENITY pipeline (Figure 4): identity graph rewriting →
-//! divide-and-conquer partitioning → dynamic-programming scheduling with
-//! adaptive soft budgeting → arena memory allocation.
+//! divide-and-conquer partitioning → pluggable backend scheduling →
+//! arena memory allocation.
+//!
+//! Scheduling is delegated to a [`SchedulerBackend`] — adaptive soft
+//! budgeting by default, or any strategy from
+//! [`BackendRegistry`](crate::registry::BackendRegistry) (including the
+//! multi-backend portfolio). The run is governed by [`CompileOptions`]:
+//! wall-clock deadline, shared cancellation token, and a structured
+//! [`CompileEvent`] sink.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serenity_allocator::{MemoryPlan, Strategy};
 use serenity_ir::cuts::PartitionSummary;
 use serenity_ir::Graph;
 
+use crate::backend::{
+    AdaptiveBackend, CancelToken, CompileContext, CompileEvent, CompileOptions, DpBackend,
+    SchedulerBackend,
+};
 use crate::budget::BudgetConfig;
-use crate::divide::{DivideAndConquer, SegmentScheduler};
+use crate::divide::DivideAndConquer;
 use crate::rewrite::{AppliedRewrite, Rewriter};
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
@@ -28,12 +40,31 @@ pub enum RewriteMode {
 }
 
 /// Builder for [`Serenity`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct SerenityBuilder {
     rewrite: RewriteMode,
-    segment_scheduler: SegmentScheduler,
+    backend: Arc<dyn SchedulerBackend>,
     allocator: Option<Strategy>,
     divide: bool,
+    options: CompileOptions,
+}
+
+impl std::fmt::Debug for SerenityBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SerenityBuilder")
+            .field("rewrite", &self.rewrite)
+            .field("backend", &self.backend.name())
+            .field("allocator", &self.allocator)
+            .field("divide", &self.divide)
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl Default for SerenityBuilder {
+    fn default() -> Self {
+        SerenityBuilder::new()
+    }
 }
 
 impl SerenityBuilder {
@@ -44,9 +75,10 @@ impl SerenityBuilder {
     pub fn new() -> Self {
         SerenityBuilder {
             rewrite: RewriteMode::IfBeneficial,
-            segment_scheduler: SegmentScheduler::default(),
+            backend: Arc::new(AdaptiveBackend::default()),
             allocator: Some(Strategy::GreedyBySize),
             divide: true,
+            options: CompileOptions::default(),
         }
     }
 
@@ -56,22 +88,60 @@ impl SerenityBuilder {
         self
     }
 
-    /// Sets how segments (or the whole graph) are scheduled.
-    pub fn segment_scheduler(mut self, scheduler: SegmentScheduler) -> Self {
-        self.segment_scheduler = scheduler;
+    /// Sets the scheduling backend (whole-graph, or per segment when
+    /// divide-and-conquer is enabled).
+    pub fn backend(mut self, backend: Arc<dyn SchedulerBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces all compile options at once.
+    pub fn options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets a wall-clock deadline for each [`Serenity::compile`] call.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Shares a cancellation token with the compiler.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.options.cancel = token;
+        self
+    }
+
+    /// Installs a structured event sink.
+    pub fn on_event(mut self, sink: impl Fn(&CompileEvent) + Send + Sync + 'static) -> Self {
+        self.options = self.options.on_event(sink);
         self
     }
 
     /// Shorthand: adaptive soft budgeting with the given configuration.
-    pub fn adaptive_budget(mut self, config: BudgetConfig) -> Self {
-        self.segment_scheduler = SegmentScheduler::Adaptive(config);
-        self
+    #[deprecated(
+        since = "0.1.0",
+        note = "use .backend(Arc::new(AdaptiveBackend::with_config(config))) instead"
+    )]
+    pub fn adaptive_budget(self, config: BudgetConfig) -> Self {
+        self.backend(Arc::new(AdaptiveBackend::with_config(config)))
     }
 
     /// Shorthand: plain DP with the given configuration.
-    pub fn plain_dp(mut self, config: crate::dp::DpConfig) -> Self {
-        self.segment_scheduler = SegmentScheduler::Dp(config);
-        self
+    #[deprecated(
+        since = "0.1.0",
+        note = "use .backend(Arc::new(DpBackend::with_config(config))) instead"
+    )]
+    pub fn plain_dp(self, config: crate::dp::DpConfig) -> Self {
+        self.backend(Arc::new(DpBackend::with_config(config)))
+    }
+
+    /// Sets how segments (or the whole graph) are scheduled (legacy enum).
+    #[deprecated(since = "0.1.0", note = "use SerenityBuilder::backend instead")]
+    #[allow(deprecated)]
+    pub fn segment_scheduler(self, scheduler: crate::divide::SegmentScheduler) -> Self {
+        self.backend(scheduler.into_backend())
     }
 
     /// Chooses the arena allocator (`None` disables offset planning).
@@ -141,7 +211,8 @@ pub struct CompiledSchedule {
     pub rewrites: Vec<AppliedRewrite>,
     /// Partition used by divide-and-conquer.
     pub partition: PartitionSummary,
-    /// Aggregate search statistics.
+    /// Aggregate search statistics (all scheduling work, including the
+    /// losing rewrite candidate's — merged via [`ScheduleStats::absorb`]).
     pub stats: ScheduleStats,
     /// End-to-end compilation wall-clock time.
     pub compile_time: Duration,
@@ -172,14 +243,26 @@ impl Serenity {
 
     /// Compiles `graph`: rewrites (per mode), schedules, and plans memory.
     ///
+    /// The deadline clock starts when this method is entered; events flow to
+    /// the configured sink for the duration of the call.
+    ///
     /// # Errors
     ///
-    /// Propagates scheduling failures ([`ScheduleError`]) and graph errors.
+    /// Propagates scheduling failures ([`ScheduleError`], including
+    /// [`ScheduleError::DeadlineExceeded`] and [`ScheduleError::Cancelled`])
+    /// and graph errors.
     pub fn compile(&self, graph: &Graph) -> Result<CompiledSchedule, ScheduleError> {
         let started = Instant::now();
+        let ctx = CompileContext::new(self.config.options.clone());
+        ctx.check()?;
         let baseline_peak_bytes = crate::baseline::kahn(graph)?.peak_bytes;
 
-        let (original_schedule, original_partition, original_stats) = self.schedule_one(graph)?;
+        // Candidate boundaries delimit the event stream: segment/probe
+        // events between two `CandidateStarted`s (or up to `CandidateKept`)
+        // belong to that candidate's scheduling pass.
+        ctx.emit(CompileEvent::CandidateStarted { rewritten: false, nodes: graph.len() });
+        let (original_schedule, original_partition, original_stats) =
+            self.schedule_one(graph, &ctx)?;
 
         let mut chosen_graph = graph.clone();
         let mut chosen = original_schedule;
@@ -190,16 +273,30 @@ impl Serenity {
         if self.config.rewrite != RewriteMode::Off {
             let outcome = Rewriter::standard().rewrite(graph);
             if outcome.changed() {
-                let (rw_schedule, rw_partition, rw_stats) = self.schedule_one(&outcome.graph)?;
+                ctx.emit(CompileEvent::CandidateStarted {
+                    rewritten: true,
+                    nodes: outcome.graph.len(),
+                });
+                let (rw_schedule, rw_partition, rw_stats) =
+                    self.schedule_one(&outcome.graph, &ctx)?;
                 let take_rewrite = match self.config.rewrite {
                     RewriteMode::Always => true,
                     RewriteMode::IfBeneficial => rw_schedule.peak_bytes < chosen.peak_bytes,
                     RewriteMode::Off => false,
                 };
-                stats.states += rw_stats.states;
-                stats.transitions += rw_stats.transitions;
-                stats.pruned += rw_stats.pruned;
+                stats.absorb(&rw_stats);
                 if take_rewrite {
+                    // Narrate only the rewrites that actually end up in the
+                    // compiled graph; candidates losing the peak comparison
+                    // are not "applied" from the caller's point of view.
+                    for applied in &outcome.applied {
+                        ctx.emit(CompileEvent::RewriteApplied {
+                            rule: applied.rule,
+                            concat: applied.concat.clone(),
+                            consumer: applied.consumer.clone(),
+                            branches: applied.branches,
+                        });
+                    }
                     chosen_graph = outcome.graph;
                     chosen = rw_schedule;
                     chosen_partition = rw_partition;
@@ -207,7 +304,6 @@ impl Serenity {
                 }
             }
         }
-
         // Among the schedules attaining the optimal peak, a run-to-completion
         // order (`canon::stackify`) often allocates more tightly — but not
         // always, so when an allocator is configured both candidates are
@@ -218,14 +314,14 @@ impl Serenity {
         let mut arena = None;
         if let Some(strategy) = self.config.allocator {
             let plan_for = |schedule: &Schedule| {
-                serenity_allocator::plan(&chosen_graph, &schedule.order, strategy).map_err(
-                    |e| match e {
+                serenity_allocator::plan(&chosen_graph, &schedule.order, strategy).map_err(|e| {
+                    match e {
                         serenity_allocator::AllocError::Graph(g) => ScheduleError::Graph(g),
                         other => ScheduleError::Graph(serenity_ir::GraphError::InvalidOrder {
                             detail: other.to_string(),
                         }),
-                    },
-                )
+                    }
+                })
             };
             let mut best = plan_for(&chosen)?;
             if let Some(candidate) = canonical {
@@ -241,8 +337,11 @@ impl Serenity {
             chosen = candidate;
         }
 
+        ctx.emit(CompileEvent::CandidateKept {
+            rewritten: !rewrites.is_empty(),
+            peak_bytes: chosen.peak_bytes,
+        });
         let compile_time = started.elapsed();
-        stats.duration = compile_time;
         Ok(CompiledSchedule {
             peak_bytes: chosen.peak_bytes,
             graph: chosen_graph,
@@ -259,30 +358,21 @@ impl Serenity {
     fn schedule_one(
         &self,
         graph: &Graph,
+        ctx: &CompileContext,
     ) -> Result<(Schedule, PartitionSummary, ScheduleStats), ScheduleError> {
         if self.config.divide {
             let outcome = DivideAndConquer::new()
-                .segment_scheduler(self.config.segment_scheduler.clone())
-                .schedule(graph)?;
+                .backend(Arc::clone(&self.config.backend))
+                .schedule_with_ctx(graph, ctx)?;
             Ok((outcome.schedule, outcome.partition, outcome.total_stats))
         } else {
-            let (schedule, stats) = match &self.config.segment_scheduler {
-                SegmentScheduler::Dp(config) => {
-                    let s = crate::dp::DpScheduler::with_config(config.clone()).schedule(graph)?;
-                    (s.schedule, s.stats)
-                }
-                SegmentScheduler::Adaptive(config) => {
-                    let o = crate::budget::AdaptiveSoftBudget::with_config(config.clone())
-                        .search(graph)?;
-                    (o.schedule, o.total_stats)
-                }
-            };
+            let outcome = self.config.backend.schedule(graph, ctx)?;
             let partition = PartitionSummary {
                 total_nodes: graph.len(),
                 segment_sizes: vec![graph.len()],
                 cut_count: 0,
             };
-            Ok((schedule, partition, stats))
+            Ok((outcome.schedule, partition, outcome.stats))
         }
     }
 }
@@ -290,6 +380,7 @@ impl Serenity {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::BackendRegistry;
     use serenity_ir::{DType, GraphBuilder, Padding};
 
     fn concat_cell() -> Graph {
@@ -360,5 +451,137 @@ mod tests {
         let compiled = Serenity::builder().build().compile(&g).unwrap();
         assert_eq!(compiled.schedule.order.len(), compiled.graph.len());
         assert!(serenity_ir::topo::is_order(&compiled.graph, &compiled.schedule.order));
+    }
+
+    #[test]
+    fn every_registered_backend_compiles_the_cell() {
+        let g = concat_cell();
+        let registry = BackendRegistry::standard();
+        for name in registry.names() {
+            if name == "brute-force" {
+                continue; // the rewritten cell exceeds the brute-force cap
+            }
+            let backend = registry.create(&name).unwrap();
+            let compiled = Serenity::builder().backend(backend).build().compile(&g).unwrap();
+            assert!(
+                serenity_ir::topo::is_order(&compiled.graph, &compiled.schedule.order),
+                "{name} produced an invalid order"
+            );
+            assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes, "{name} lost to kahn");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_aborts_compilation() {
+        let g = concat_cell();
+        let err = Serenity::builder().deadline(Duration::ZERO).build().compile(&g).unwrap_err();
+        assert!(matches!(err, ScheduleError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn events_narrate_the_compile() {
+        use std::sync::Mutex;
+        let g = concat_cell();
+        let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let compiled = Serenity::builder()
+            .on_event(move |e| sink.lock().unwrap().push(e.clone()))
+            .build()
+            .compile(&g)
+            .unwrap();
+        let events = seen.lock().unwrap();
+        let applied =
+            events.iter().filter(|e| matches!(e, CompileEvent::RewriteApplied { .. })).count();
+        assert_eq!(
+            applied,
+            compiled.rewrites.len(),
+            "exactly the kept rewrites should be narrated"
+        );
+        assert!(applied > 0, "this cell rewrites beneficially");
+        assert!(
+            events.iter().any(|e| matches!(e, CompileEvent::SegmentScheduled { .. })),
+            "segments should be narrated"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, CompileEvent::BudgetProbe { .. })),
+            "budget probes should be narrated"
+        );
+        // Candidate boundaries attribute segment/probe events to a pass,
+        // and the closing event reports the kept schedule.
+        assert!(matches!(
+            events.first(),
+            Some(CompileEvent::CandidateStarted { rewritten: false, .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CompileEvent::CandidateStarted { rewritten: true, .. })));
+        match events.last() {
+            Some(CompileEvent::CandidateKept { rewritten, peak_bytes }) => {
+                assert_eq!(*rewritten, !compiled.rewrites.is_empty());
+                assert_eq!(*peak_bytes, compiled.peak_bytes);
+            }
+            other => panic!("stream must end with CandidateKept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_rewrite_candidates_are_not_narrated_as_applied() {
+        use std::sync::Mutex;
+        // DARTS-less stand-in: force the rewritten candidate to lose by
+        // comparing against RewriteMode::Always, which must narrate, while
+        // an IfBeneficial run that keeps the original must not.
+        let g = concat_cell();
+        let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let compiled = Serenity::builder()
+            .rewrite(RewriteMode::IfBeneficial)
+            .on_event(move |e| sink.lock().unwrap().push(e.clone()))
+            .build()
+            .compile(&g)
+            .unwrap();
+        let narrated = seen
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e, CompileEvent::RewriteApplied { .. }))
+            .count();
+        // Invariant under either outcome: narration matches what was kept.
+        assert_eq!(narrated, compiled.rewrites.len());
+    }
+
+    #[test]
+    fn portfolio_backend_narrates_its_choice_through_the_pipeline() {
+        use std::sync::Mutex;
+        let g = concat_cell();
+        let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        Serenity::builder()
+            .backend(Arc::new(crate::registry::PortfolioBackend::standard()))
+            .on_event(move |e| sink.lock().unwrap().push(e.clone()))
+            .build()
+            .compile(&g)
+            .unwrap();
+        assert!(seen
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|e| matches!(e, CompileEvent::BackendChosen { .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_forward() {
+        let g = concat_cell();
+        let via_shim = Serenity::builder()
+            .plain_dp(crate::dp::DpConfig::default())
+            .build()
+            .compile(&g)
+            .unwrap();
+        let via_backend = Serenity::builder()
+            .backend(Arc::new(DpBackend::default()))
+            .build()
+            .compile(&g)
+            .unwrap();
+        assert_eq!(via_shim.peak_bytes, via_backend.peak_bytes);
     }
 }

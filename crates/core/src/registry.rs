@@ -1,0 +1,298 @@
+//! Backend discovery by name ([`BackendRegistry`]) and the min-peak
+//! multi-backend [`PortfolioBackend`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serenity_ir::{Graph, NodeId};
+
+use crate::backend::{
+    AdaptiveBackend, BackendOutcome, BeamBackend, BruteForceBackend, CompileContext, CompileEvent,
+    DfsBackend, DpBackend, GreedyBackend, KahnBackend, SchedulerBackend,
+};
+use crate::ScheduleError;
+
+/// Creates a fresh backend instance.
+pub type BackendFactory = Arc<dyn Fn() -> Arc<dyn SchedulerBackend> + Send + Sync>;
+
+/// Name → factory map of scheduling backends.
+///
+/// [`BackendRegistry::standard`] registers every built-in strategy; callers
+/// extend it with [`BackendRegistry::register`] to plug in their own, which
+/// the CLI then exposes as `serenity schedule --scheduler <name>`.
+///
+/// # Example
+///
+/// ```
+/// use serenity_core::registry::BackendRegistry;
+///
+/// let registry = BackendRegistry::standard();
+/// assert!(registry.names().iter().any(|n| n == "dp"));
+/// let backend = registry.create("portfolio").unwrap();
+/// assert_eq!(backend.name(), "portfolio");
+/// ```
+#[derive(Clone, Default)]
+pub struct BackendRegistry {
+    factories: BTreeMap<String, BackendFactory>,
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry").field("names", &self.names()).finish()
+    }
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// The registry of built-in backends: `dp`, `adaptive`, `beam`, `kahn`,
+    /// `dfs`, `greedy`, `brute-force`, and `portfolio`.
+    pub fn standard() -> Self {
+        let mut registry = BackendRegistry::empty();
+        registry.register("dp", || Arc::new(DpBackend::default()));
+        registry.register("adaptive", || Arc::new(AdaptiveBackend::default()));
+        registry.register("beam", || Arc::new(BeamBackend::default()));
+        registry.register("kahn", || Arc::new(KahnBackend));
+        registry.register("dfs", || Arc::new(DfsBackend));
+        registry.register("greedy", || Arc::new(GreedyBackend));
+        registry.register("brute-force", || Arc::new(BruteForceBackend::default()));
+        registry.register("portfolio", || Arc::new(PortfolioBackend::standard()));
+        registry
+    }
+
+    /// Registers (or replaces) a backend factory under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Arc<dyn SchedulerBackend> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiates the backend registered under `name`.
+    pub fn create(&self, name: &str) -> Option<Arc<dyn SchedulerBackend>> {
+        self.factories.get(name).map(|factory| factory())
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+}
+
+/// Runs several backends and keeps the minimum-peak schedule.
+///
+/// Member errors other than [`ScheduleError::Cancelled`] and
+/// [`ScheduleError::DeadlineExceeded`] (e.g. a brute-force
+/// [`ScheduleError::TooLarge`], a DP [`ScheduleError::Timeout`]) skip that
+/// member; the run fails only when *every* member failed. Cancellation and
+/// deadline aborts propagate immediately — a portfolio under a spent
+/// deadline returns the abort, not a partial winner.
+///
+/// Emits [`CompileEvent::BackendStarted`] per member and one
+/// [`CompileEvent::BackendChosen`] for the winner.
+pub struct PortfolioBackend {
+    backends: Vec<Arc<dyn SchedulerBackend>>,
+}
+
+impl std::fmt::Debug for PortfolioBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.backends.iter().map(|b| b.name()).collect();
+        f.debug_struct("PortfolioBackend").field("backends", &names).finish()
+    }
+}
+
+impl PortfolioBackend {
+    /// A portfolio over the given members, tried in order (ties keep the
+    /// earlier member's schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn new(backends: Vec<Arc<dyn SchedulerBackend>>) -> Self {
+        assert!(!backends.is_empty(), "portfolio needs at least one backend");
+        PortfolioBackend { backends }
+    }
+
+    /// The standard portfolio: adaptive budgeting (optimal when it
+    /// completes), beam search (polynomial fallback), greedy, Kahn, and DFS.
+    pub fn standard() -> Self {
+        PortfolioBackend::new(vec![
+            Arc::new(AdaptiveBackend::default()),
+            Arc::new(BeamBackend::default()),
+            Arc::new(GreedyBackend),
+            Arc::new(KahnBackend),
+            Arc::new(DfsBackend),
+        ])
+    }
+
+    /// The member backends.
+    pub fn members(&self) -> &[Arc<dyn SchedulerBackend>] {
+        &self.backends
+    }
+
+    fn run<F>(&self, ctx: &CompileContext, run_member: F) -> Result<BackendOutcome, ScheduleError>
+    where
+        F: Fn(&Arc<dyn SchedulerBackend>) -> Result<BackendOutcome, ScheduleError>,
+    {
+        let mut best: Option<(usize, BackendOutcome)> = None;
+        let mut first_error: Option<ScheduleError> = None;
+        let mut total_stats = crate::ScheduleStats::default();
+        for (index, backend) in self.backends.iter().enumerate() {
+            ctx.check()?;
+            ctx.emit(CompileEvent::BackendStarted { name: backend.name().to_string() });
+            match run_member(backend) {
+                Ok(outcome) => {
+                    total_stats.absorb(&outcome.stats);
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|(_, b)| outcome.schedule.peak_bytes < b.schedule.peak_bytes);
+                    if better {
+                        best = Some((index, outcome));
+                    }
+                }
+                Err(
+                    abort @ (ScheduleError::Cancelled | ScheduleError::DeadlineExceeded { .. }),
+                ) => {
+                    return Err(abort);
+                }
+                Err(other) => {
+                    first_error.get_or_insert(other);
+                }
+            }
+        }
+        match best {
+            Some((index, mut outcome)) => {
+                ctx.emit(CompileEvent::BackendChosen {
+                    name: self.backends[index].name().to_string(),
+                    peak_bytes: outcome.schedule.peak_bytes,
+                });
+                outcome.stats = total_stats;
+                Ok(outcome)
+            }
+            None => Err(first_error.expect("at least one member ran and failed")),
+        }
+    }
+}
+
+impl SchedulerBackend for PortfolioBackend {
+    fn name(&self) -> &str {
+        "portfolio"
+    }
+
+    fn schedule(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        self.run(ctx, |backend| backend.schedule(graph, ctx))
+    }
+
+    fn schedule_with_prefix(
+        &self,
+        graph: &Graph,
+        prefix: &[NodeId],
+        ctx: &CompileContext,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        self.run(ctx, |backend| backend.schedule_with_prefix(graph, prefix, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    use super::*;
+    use crate::backend::CompileOptions;
+    use serenity_ir::random_dag::independent_branches;
+
+    #[test]
+    fn standard_registry_has_all_strategies() {
+        let registry = BackendRegistry::standard();
+        for name in ["dp", "adaptive", "beam", "kahn", "dfs", "greedy", "brute-force", "portfolio"]
+        {
+            assert!(registry.contains(name), "missing {name}");
+            assert_eq!(registry.create(name).unwrap().name(), name);
+        }
+        assert!(registry.create("bogus").is_none());
+    }
+
+    #[test]
+    fn custom_backends_can_be_registered() {
+        let mut registry = BackendRegistry::standard();
+        registry.register("my-kahn", || Arc::new(KahnBackend));
+        assert!(registry.contains("my-kahn"));
+        // The instance reports its own name; the registry key is the alias.
+        assert_eq!(registry.create("my-kahn").unwrap().name(), "kahn");
+    }
+
+    #[test]
+    fn portfolio_keeps_the_minimum_peak() {
+        let graph = independent_branches(6, 24);
+        let ctx = CompileContext::unconstrained();
+        let portfolio = PortfolioBackend::standard();
+        let outcome = portfolio.schedule(&graph, &ctx).unwrap();
+        for member in portfolio.members() {
+            if let Ok(single) = member.schedule(&graph, &ctx) {
+                assert!(
+                    outcome.schedule.peak_bytes <= single.schedule.peak_bytes,
+                    "portfolio lost to {}",
+                    member.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_survives_failing_members() {
+        // A portfolio whose first member always rejects still answers.
+        let portfolio =
+            PortfolioBackend::new(vec![Arc::new(BruteForceBackend::new(1)), Arc::new(KahnBackend)]);
+        let graph = independent_branches(5, 8);
+        let outcome = portfolio.schedule(&graph, &CompileContext::unconstrained()).unwrap();
+        assert_eq!(outcome.schedule.order.len(), graph.len());
+    }
+
+    #[test]
+    fn portfolio_of_only_failures_reports_the_first_error() {
+        let portfolio = PortfolioBackend::new(vec![Arc::new(BruteForceBackend::new(1))]);
+        let graph = independent_branches(5, 8);
+        let err = portfolio.schedule(&graph, &CompileContext::unconstrained()).unwrap_err();
+        assert!(matches!(err, ScheduleError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn portfolio_propagates_deadline() {
+        let graph = independent_branches(6, 24);
+        let ctx = CompileContext::new(CompileOptions::new().deadline(Duration::ZERO));
+        let err = PortfolioBackend::standard().schedule(&graph, &ctx).unwrap_err();
+        assert!(matches!(err, ScheduleError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn portfolio_emits_choice_events() {
+        let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let ctx = CompileContext::new(
+            CompileOptions::new().on_event(move |e| sink.lock().unwrap().push(e.clone())),
+        );
+        let graph = independent_branches(4, 8);
+        PortfolioBackend::standard().schedule(&graph, &ctx).unwrap();
+        let events = seen.lock().unwrap();
+        let started =
+            events.iter().filter(|e| matches!(e, CompileEvent::BackendStarted { .. })).count();
+        assert_eq!(started, PortfolioBackend::standard().members().len());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CompileEvent::BackendChosen { name, .. } if name == "adaptive")));
+    }
+}

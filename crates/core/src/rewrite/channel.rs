@@ -74,11 +74,8 @@ impl RewriteRule for ChannelWiseRule {
                 )?;
                 partials.push(id);
             }
-            let add = rb.out_mut().add_named(
-                format!("{consumer_name}_sum"),
-                Op::AccumAdd,
-                &partials,
-            )?;
+            let add =
+                rb.out_mut().add_named(format!("{consumer_name}_sum"), Op::AccumAdd, &partials)?;
             rb.splice(site.consumer, add);
         }
         Ok(rb.finish())
@@ -94,8 +91,7 @@ mod tests {
     fn concat_conv_cell(branch_channels: &[usize]) -> Graph {
         let mut b = GraphBuilder::new("cc");
         let x = b.image_input("x", 8, 8, 4, DType::F32);
-        let branches: Vec<_> =
-            branch_channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+        let branches: Vec<_> = branch_channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
         let cat = b.concat(&branches).unwrap();
         let y = b.conv(cat, 16, (3, 3), (1, 1), Padding::Same).unwrap();
         b.mark_output(y);
@@ -129,10 +125,8 @@ mod tests {
         slices.sort_unstable();
         assert_eq!(slices, vec![(0, 2), (2, 5), (5, 10)]);
         // All partials share the original weight id.
-        let ids: std::collections::HashSet<_> = partials
-            .iter()
-            .map(|n| n.op.weight().unwrap().id)
-            .collect();
+        let ids: std::collections::HashSet<_> =
+            partials.iter().map(|n| n.op.weight().unwrap().id).collect();
         assert_eq!(ids.len(), 1);
     }
 
@@ -143,8 +137,7 @@ mod tests {
         let g = concat_conv_cell(&[8, 8, 8, 8]);
         let rewritten = Rewriter::channel_only().rewrite(&g).graph;
         let before = crate::dp::DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
-        let after =
-            crate::dp::DpScheduler::new().schedule(&rewritten).unwrap().schedule.peak_bytes;
+        let after = crate::dp::DpScheduler::new().schedule(&rewritten).unwrap().schedule.peak_bytes;
         assert!(after < before, "after {after} >= before {before}");
     }
 

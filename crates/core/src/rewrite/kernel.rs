@@ -92,8 +92,7 @@ mod tests {
     fn concat_dw_cell(branch_channels: &[usize]) -> Graph {
         let mut b = GraphBuilder::new("cdw");
         let x = b.image_input("x", 8, 8, 4, DType::F32);
-        let branches: Vec<_> =
-            branch_channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
+        let branches: Vec<_> = branch_channels.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
         let cat = b.concat(&branches).unwrap();
         let y = b.depthwise(cat, (3, 3), (1, 1), Padding::Same).unwrap();
         let out = b.conv1x1(y, 8).unwrap();
@@ -148,8 +147,7 @@ mod tests {
         let g = concat_dw_cell(&[8, 8, 8, 8]);
         let rewritten = Rewriter::kernel_only().rewrite(&g).graph;
         let before = crate::dp::DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
-        let after =
-            crate::dp::DpScheduler::new().schedule(&rewritten).unwrap().schedule.peak_bytes;
+        let after = crate::dp::DpScheduler::new().schedule(&rewritten).unwrap().schedule.peak_bytes;
         assert!(after < before, "after {after} >= before {before}");
     }
 

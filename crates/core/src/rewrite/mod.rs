@@ -174,8 +174,7 @@ impl Rewriter {
 
     /// All sites of all rules in `graph`.
     pub fn find_sites(&self, graph: &Graph) -> Vec<RewriteSite> {
-        let mut sites: Vec<RewriteSite> =
-            self.rules.iter().flat_map(|r| r.find(graph)).collect();
+        let mut sites: Vec<RewriteSite> = self.rules.iter().flat_map(|r| r.find(graph)).collect();
         sites.sort_by_key(|s| (s.consumer, s.concat));
         sites
     }
@@ -186,10 +185,8 @@ impl Rewriter {
         let mut current = graph.clone();
         let mut applied = Vec::new();
         for _ in 0..self.max_applications {
-            let Some((rule, site)) = self
-                .rules
-                .iter()
-                .find_map(|r| r.find(&current).into_iter().next().map(|s| (r, s)))
+            let Some((rule, site)) =
+                self.rules.iter().find_map(|r| r.find(&current).into_iter().next().map(|s| (r, s)))
             else {
                 break;
             };
@@ -199,9 +196,8 @@ impl Rewriter {
                 consumer: current.node(site.consumer).name.clone(),
                 branches: site.branches,
             };
-            current = rule
-                .apply(&current, &site)
-                .expect("a site reported by find() must apply cleanly");
+            current =
+                rule.apply(&current, &site).expect("a site reported by find() must apply cleanly");
             applied.push(record);
         }
         RewriteOutcome { graph: current, applied }
@@ -304,10 +300,7 @@ mod tests {
         let before = crate::dp::DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
         let after =
             crate::dp::DpScheduler::new().schedule(&outcome.graph).unwrap().schedule.peak_bytes;
-        assert!(
-            after < before,
-            "rewriting should lower the optimal peak ({after} vs {before})"
-        );
+        assert!(after < before, "rewriting should lower the optimal peak ({after} vs {before})");
     }
 
     #[test]

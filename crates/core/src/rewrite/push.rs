@@ -93,11 +93,8 @@ impl RewriteRule for ActivationPushdownRule {
                 )?;
                 pushed.push(id);
             }
-            let concat = rb.out_mut().add_named(
-                format!("{act_name}_cat"),
-                Op::Concat { axis },
-                &pushed,
-            )?;
+            let concat =
+                rb.out_mut().add_named(format!("{act_name}_cat"), Op::Concat { axis }, &pushed)?;
             rb.splice(site.consumer, concat);
         }
         Ok(rb.finish())

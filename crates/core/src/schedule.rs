@@ -64,11 +64,32 @@ pub struct ScheduleStats {
     pub transitions: u64,
     /// Transitions discarded because their peak exceeded the soft budget.
     pub pruned: u64,
+    /// Budget-pruned DP probes launched by the adaptive meta-search
+    /// (Algorithm 2 rounds); zero for single-shot schedulers.
+    pub probes: u64,
     /// Number of search steps executed (equals `|V|` on success).
     pub steps: usize,
     /// Wall-clock scheduling time.
     #[serde(with = "duration_micros")]
     pub duration: Duration,
+}
+
+impl ScheduleStats {
+    /// Folds another run's counters into this one: counts and durations
+    /// add, `steps` keeps the maximum (parallel runs over the same graph
+    /// share the step axis).
+    ///
+    /// This is the single merge point used everywhere stats are combined —
+    /// the pipeline's rewrite comparison, divide-and-conquer's per-segment
+    /// totals, the adaptive meta-search, and the portfolio.
+    pub fn absorb(&mut self, other: &ScheduleStats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.pruned += other.pruned;
+        self.probes += other.probes;
+        self.steps = self.steps.max(other.steps);
+        self.duration += other.duration;
+    }
 }
 
 mod duration_micros {
@@ -121,12 +142,40 @@ mod tests {
             states: 5,
             transitions: 17,
             pruned: 2,
+            probes: 4,
             steps: 3,
             duration: Duration::from_micros(1500),
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: ScheduleStats = serde_json::from_str(&json).unwrap();
         assert_eq!(stats, back);
+    }
+
+    #[test]
+    fn absorb_merges_every_counter() {
+        let mut total = ScheduleStats {
+            states: 1,
+            transitions: 2,
+            pruned: 3,
+            probes: 1,
+            steps: 5,
+            duration: Duration::from_micros(10),
+        };
+        let other = ScheduleStats {
+            states: 10,
+            transitions: 20,
+            pruned: 30,
+            probes: 2,
+            steps: 4,
+            duration: Duration::from_micros(7),
+        };
+        total.absorb(&other);
+        assert_eq!(total.states, 11);
+        assert_eq!(total.transitions, 22);
+        assert_eq!(total.pruned, 33);
+        assert_eq!(total.probes, 3);
+        assert_eq!(total.steps, 5, "steps keeps the maximum");
+        assert_eq!(total.duration, Duration::from_micros(17));
     }
 
     #[test]

@@ -19,9 +19,7 @@ fn concat_conv_cell(branches: &[usize], kernel: usize, stride: usize) -> Graph {
     let x = b.image_input("x", 8, 8, 4, DType::F32);
     let inputs: Vec<_> = branches.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
     let cat = b.concat(&inputs).unwrap();
-    let y = b
-        .conv(cat, 8, (kernel, kernel), (stride, stride), Padding::Same)
-        .unwrap();
+    let y = b.conv(cat, 8, (kernel, kernel), (stride, stride), Padding::Same).unwrap();
     b.mark_output(y);
     b.finish()
 }
@@ -32,9 +30,7 @@ fn concat_dw_cell(branches: &[usize], kernel: usize, stride: usize) -> Graph {
     let x = b.image_input("x", 8, 8, 4, DType::F32);
     let inputs: Vec<_> = branches.iter().map(|&c| b.conv1x1(x, c).unwrap()).collect();
     let cat = b.concat(&inputs).unwrap();
-    let y = b
-        .depthwise(cat, (kernel, kernel), (stride, stride), Padding::Same)
-        .unwrap();
+    let y = b.depthwise(cat, (kernel, kernel), (stride, stride), Padding::Same).unwrap();
     let out = b.conv1x1(y, 6).unwrap();
     b.mark_output(out);
     b.finish()
@@ -46,7 +42,7 @@ fn outputs_match(original: &Graph, rewriter: &Rewriter, seed: u64, tol: f32) {
 
     let input = Tensor::random(original.node(original.inputs()[0]).shape.dims(), seed);
     let interp = Interpreter::new(seed ^ 0xABCD);
-    let before = interp.run(original, &[input.clone()]).expect("original runs");
+    let before = interp.run(original, std::slice::from_ref(&input)).expect("original runs");
     let after = interp.run(&outcome.graph, &[input]).expect("rewritten runs");
 
     assert_eq!(before.len(), after.len());
@@ -120,9 +116,7 @@ fn rewrite_preserves_outputs_with_dilation() {
     let l = b.conv1x1(x, 3).unwrap();
     let r = b.conv1x1(x, 5).unwrap();
     let cat = b.concat(&[l, r]).unwrap();
-    let y = b
-        .dilated_depthwise(cat, (3, 3), (1, 1), (2, 2), Padding::Same)
-        .unwrap();
+    let y = b.dilated_depthwise(cat, (3, 3), (1, 1), (2, 2), Padding::Same).unwrap();
     let out = b.conv1x1(y, 4).unwrap();
     b.mark_output(out);
     let g = b.finish();

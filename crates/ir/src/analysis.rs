@@ -48,10 +48,8 @@ impl GraphAnalysis {
             }
         }
         // Maximum frontier width over the Kahn traversal.
-        let mut indegree: Vec<usize> =
-            graph.node_ids().map(|id| graph.indegree(id)).collect();
-        let mut frontier: usize =
-            graph.node_ids().filter(|&id| graph.indegree(id) == 0).count();
+        let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
+        let mut frontier: usize = graph.node_ids().filter(|&id| graph.indegree(id) == 0).count();
         let mut max_frontier = frontier;
         for &u in &order {
             frontier -= 1;
@@ -71,14 +69,9 @@ impl GraphAnalysis {
             max_frontier,
             cut_count: crate::cuts::cut_nodes(graph).len(),
             total_activation_bytes: graph.total_activation_bytes(),
-            max_activation_bytes: graph
-                .node_ids()
-                .map(|id| graph.out_bytes(id))
-                .max()
-                .unwrap_or(0),
+            max_activation_bytes: graph.node_ids().map(|id| graph.out_bytes(id)).max().unwrap_or(0),
             peak_lower_bound: crate::mem::peak_lower_bound(graph),
-            kahn_peak_bytes: crate::mem::peak_bytes(graph, &order)
-                .expect("kahn order is valid"),
+            kahn_peak_bytes: crate::mem::peak_bytes(graph, &order).expect("kahn order is valid"),
         }
     }
 
@@ -111,16 +104,10 @@ pub fn critical_path(graph: &Graph) -> Vec<NodeId> {
         return Vec::new();
     }
     let depths = node_depths(graph);
-    let mut current = graph
-        .node_ids()
-        .max_by_key(|id| depths[id.index()])
-        .expect("non-empty graph");
+    let mut current =
+        graph.node_ids().max_by_key(|id| depths[id.index()]).expect("non-empty graph");
     let mut path = vec![current];
-    while let Some(&pred) = graph
-        .preds(current)
-        .iter()
-        .max_by_key(|p| depths[p.index()])
-    {
+    while let Some(&pred) = graph.preds(current).iter().max_by_key(|p| depths[p.index()]) {
         path.push(pred);
         current = pred;
     }

@@ -1,5 +1,5 @@
 use crate::{
-    Conv2d, Dense, DepthwiseConv2d, DType, Graph, GraphError, NodeId, Op, Padding, Pool2d,
+    Conv2d, DType, Dense, DepthwiseConv2d, Graph, GraphError, NodeId, Op, Padding, Pool2d,
     TensorShape,
 };
 

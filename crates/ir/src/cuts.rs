@@ -207,9 +207,7 @@ pub fn partition_at(graph: &Graph, boundaries: &[NodeId]) -> Result<Partition, G
             return Err(GraphError::UnknownNode(c));
         }
         if !verify_cut(graph, c) {
-            return Err(GraphError::InvalidOrder {
-                detail: format!("{c} is not a cut node"),
-            });
+            return Err(GraphError::InvalidOrder { detail: format!("{c} is not a cut node") });
         }
     }
     Ok(build_partition(graph, boundaries.to_vec()))

@@ -167,7 +167,8 @@ impl Graph {
                 return Err(GraphError::DuplicateInput(a));
             }
         }
-        let in_shapes: Vec<&TensorShape> = inputs.iter().map(|&a| &self.nodes[a.index()].shape).collect();
+        let in_shapes: Vec<&TensorShape> =
+            inputs.iter().map(|&a| &self.nodes[a.index()].shape).collect();
         let shape = infer_shape(&op, &in_shapes, declared.as_ref())?;
 
         if let Some(w) = op.weight() {
@@ -251,11 +252,7 @@ impl Graph {
 
     /// Ids of all [`Op::Input`] nodes.
     pub fn inputs(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.op, Op::Input))
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| matches!(n.op, Op::Input)).map(|n| n.id).collect()
     }
 
     /// Ids of all nodes with no predecessors (includes opaque sources).
@@ -382,7 +379,6 @@ impl Graph {
         }
         Ok(())
     }
-
 }
 
 impl fmt::Display for Graph {

@@ -166,7 +166,9 @@ fn nonzero_spatial(h: usize, w: usize, op: &'static str) -> Result<(), GraphErro
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ChannelRange, Conv2d, DType, Dense, DepthwiseConv2d, Padding, Pool2d, WeightId, WeightRef};
+    use crate::{
+        ChannelRange, Conv2d, DType, Dense, DepthwiseConv2d, Padding, Pool2d, WeightId, WeightRef,
+    };
 
     fn shape(h: usize, w: usize, c: usize) -> TensorShape {
         TensorShape::nhwc(1, h, w, c, DType::F32)
@@ -230,17 +232,15 @@ mod tests {
 
     #[test]
     fn concat_sums_axis() {
-        let out =
-            infer_shape(&Op::Concat { axis: 3 }, &[&shape(8, 8, 3), &shape(8, 8, 5)], None)
-                .unwrap();
+        let out = infer_shape(&Op::Concat { axis: 3 }, &[&shape(8, 8, 3), &shape(8, 8, 5)], None)
+            .unwrap();
         assert_eq!(out, shape(8, 8, 8));
     }
 
     #[test]
     fn concat_rejects_off_axis_mismatch() {
-        let err =
-            infer_shape(&Op::Concat { axis: 3 }, &[&shape(8, 8, 3), &shape(4, 8, 5)], None)
-                .unwrap_err();
+        let err = infer_shape(&Op::Concat { axis: 3 }, &[&shape(8, 8, 3), &shape(4, 8, 5)], None)
+            .unwrap_err();
         assert!(matches!(err, GraphError::ShapeMismatch { .. }));
     }
 
@@ -261,7 +261,8 @@ mod tests {
 
     #[test]
     fn dense_flattens() {
-        let op = Op::Dense(Dense { out_features: 10, weight: WeightRef::full(WeightId::from_index(0)) });
+        let op =
+            Op::Dense(Dense { out_features: 10, weight: WeightRef::full(WeightId::from_index(0)) });
         let out = infer_shape(&op, &[&shape(4, 4, 8)], None).unwrap();
         assert_eq!(out.dims(), &[1, 10]);
     }
@@ -288,10 +289,7 @@ mod tests {
             infer_shape(&Op::Add, &[&shape(8, 8, 3)], None),
             Err(GraphError::BadArity { .. })
         ));
-        assert!(matches!(
-            infer_shape(&Op::Relu, &[], None),
-            Err(GraphError::BadArity { .. })
-        ));
+        assert!(matches!(infer_shape(&Op::Relu, &[], None), Err(GraphError::BadArity { .. })));
     }
 
     #[test]

@@ -100,9 +100,8 @@ impl SlabAnalysis {
                 continue;
             }
             for &p in graph.preds(s) {
-                let qualifies = graph.succs(p).len() == 1
-                    && !graph.node(p).op.is_slab()
-                    && !graph.is_output(p);
+                let qualifies =
+                    graph.succs(p).len() == 1 && !graph.node(p).op.is_slab() && !graph.is_output(p);
                 if qualifies {
                     member_of[p.index()] = Some(s);
                     members[s.index()].push(p);
@@ -177,11 +176,7 @@ impl<'g> CostModel<'g> {
     /// * Every other node charges its own output bytes.
     pub fn alloc_bytes(&self, scheduled: &NodeSet, u: NodeId) -> u64 {
         if let Some(slab) = self.slabs.member_of(u) {
-            let first = !self
-                .slabs
-                .members(slab)
-                .iter()
-                .any(|&m| m != u && scheduled.contains(m));
+            let first = !self.slabs.members(slab).iter().any(|&m| m != u && scheduled.contains(m));
             return if first { self.graph.out_bytes(slab) } else { 0 };
         }
         if self.slabs.is_head(u) {
@@ -200,11 +195,7 @@ impl<'g> CostModel<'g> {
             if self.graph.is_output(p) {
                 continue;
             }
-            let done = self
-                .graph
-                .succs(p)
-                .iter()
-                .all(|&s| s == u || scheduled.contains(s));
+            let done = self.graph.succs(p).iter().all(|&s| s == u || scheduled.contains(s));
             if done {
                 freed += self.slabs.owned_bytes(self.graph, p);
             }

@@ -307,9 +307,7 @@ impl Op {
             | Op::AvgPool2d(_)
             | Op::GlobalAvgPool
             | Op::Identity => (1, 1),
-            Op::Concat { .. } | Op::Add | Op::SlabConcat { .. } | Op::AccumAdd => {
-                (2, usize::MAX)
-            }
+            Op::Concat { .. } | Op::Add | Op::SlabConcat { .. } | Op::AccumAdd => (2, usize::MAX),
             Op::Opaque { .. } => (0, usize::MAX),
         }
     }

@@ -110,9 +110,8 @@ pub fn hourglass_stack<R: Rng + ?Sized>(
                 g.add_opaque(format!("c{c}b{b}"), bytes, &[prev]).expect("valid")
             })
             .collect();
-        prev = g
-            .add_opaque(format!("join{c}"), rng.gen_range(1..=max_bytes), &mids)
-            .expect("valid");
+        prev =
+            g.add_opaque(format!("join{c}"), rng.gen_range(1..=max_bytes), &mids).expect("valid");
     }
     g.mark_output(prev);
     g

@@ -47,8 +47,7 @@ pub fn kahn(graph: &Graph) -> Vec<NodeId> {
 /// first.
 pub fn kahn_by<K: Ord>(graph: &Graph, mut key: impl FnMut(&Graph, NodeId) -> K) -> Vec<NodeId> {
     let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
-    let mut ready: Vec<NodeId> =
-        graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
+    let mut ready: Vec<NodeId> = graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(graph.len());
     while !ready.is_empty() {
         let (best_idx, _) = ready
@@ -119,22 +118,21 @@ fn complete_with_kahn(graph: &Graph, prefix: Vec<NodeId>) -> Vec<NodeId> {
     let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
     let mut seen = vec![false; graph.len()];
     let mut order = Vec::with_capacity(graph.len());
-    let push = |order: &mut Vec<NodeId>, indegree: &mut Vec<usize>, seen: &mut Vec<bool>, u: NodeId| {
-        seen[u.index()] = true;
-        order.push(u);
-        for &s in graph.succs(u) {
-            indegree[s.index()] = indegree[s.index()].saturating_sub(1);
-        }
-    };
+    let push =
+        |order: &mut Vec<NodeId>, indegree: &mut Vec<usize>, seen: &mut Vec<bool>, u: NodeId| {
+            seen[u.index()] = true;
+            order.push(u);
+            for &s in graph.succs(u) {
+                indegree[s.index()] = indegree[s.index()].saturating_sub(1);
+            }
+        };
     for u in prefix {
         if !seen[u.index()] && indegree[u.index()] == 0 {
             push(&mut order, &mut indegree, &mut seen, u);
         }
     }
     loop {
-        let next = graph
-            .node_ids()
-            .find(|&id| !seen[id.index()] && indegree[id.index()] == 0);
+        let next = graph.node_ids().find(|&id| !seen[id.index()] && indegree[id.index()] == 0);
         match next {
             Some(u) => push(&mut order, &mut indegree, &mut seen, u),
             None => break,
@@ -151,8 +149,7 @@ fn complete_with_kahn(graph: &Graph, prefix: Vec<NodeId>) -> Vec<NodeId> {
 /// which is what an oblivious scheduler would actually produce.
 pub fn random<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<NodeId> {
     let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
-    let mut ready: Vec<NodeId> =
-        graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
+    let mut ready: Vec<NodeId> = graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(graph.len());
     while !ready.is_empty() {
         let pick = rng.gen_range(0..ready.len());
@@ -213,14 +210,10 @@ pub fn is_order(graph: &Graph, order: &[NodeId]) -> bool {
 /// [`ControlFlow::Break`]. Returns the number of complete orders visited.
 /// This is the `Θ(|V|!)`-worst-case recursive enumeration of §2.3; only use
 /// it on small graphs (the brute-force baseline caps at ~12 nodes).
-pub fn for_each_order(
-    graph: &Graph,
-    mut visit: impl FnMut(&[NodeId]) -> ControlFlow<()>,
-) -> u64 {
+pub fn for_each_order(graph: &Graph, mut visit: impl FnMut(&[NodeId]) -> ControlFlow<()>) -> u64 {
     let n = graph.len();
     let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
-    let mut ready: Vec<NodeId> =
-        graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
+    let mut ready: Vec<NodeId> = graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
     let mut prefix = Vec::with_capacity(n);
     let mut count = 0u64;
     fn recurse(
@@ -356,9 +349,8 @@ mod tests {
     fn random_orders_vary() {
         let g = fig16(6);
         let mut rng = StdRng::seed_from_u64(7);
-        let orders: std::collections::HashSet<Vec<usize>> = (0..64)
-            .map(|_| random(&g, &mut rng).iter().map(|n| n.index()).collect())
-            .collect();
+        let orders: std::collections::HashSet<Vec<usize>> =
+            (0..64).map(|_| random(&g, &mut rng).iter().map(|n| n.index()).collect()).collect();
         assert!(orders.len() > 1, "sampler should produce distinct orders");
     }
 

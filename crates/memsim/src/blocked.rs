@@ -64,23 +64,16 @@ pub fn simulate_blocked(
         });
     }
 
-    let blocks_of =
-        |tensor: NodeId| -> u32 { trace.size(tensor).div_ceil(block_bytes) as u32 };
+    let blocks_of = |tensor: NodeId| -> u32 { trace.size(tensor).div_ceil(block_bytes) as u32 };
 
     let mut resident: FxHashMap<BlockId, Block> = FxHashMap::default();
-    let mut stats = TrafficStats {
-        capacity,
-        bytes_in: 0,
-        bytes_out: 0,
-        evictions: 0,
-        peak_resident: 0,
-    };
+    let mut stats =
+        TrafficStats { capacity, bytes_in: 0, bytes_out: 0, evictions: 0, peak_resident: 0 };
     let mut tick = 0u64;
 
     for (step, access) in trace.steps().iter().enumerate() {
         // Access sequence of the step: stream every input, then the output.
-        let mut sequence: Vec<(NodeId, bool)> =
-            access.reads.iter().map(|&t| (t, false)).collect();
+        let mut sequence: Vec<(NodeId, bool)> = access.reads.iter().map(|&t| (t, false)).collect();
         sequence.push((access.write, true));
 
         for (tensor, is_write) in sequence {
@@ -181,12 +174,10 @@ mod tests {
     #[test]
     fn traffic_shrinks_with_capacity() {
         let (g, order) = chain(&[65536, 65536, 65536, 65536]);
-        let t8 = simulate_blocked(&g, &order, 8 * 1024, 4096, Policy::Belady)
-            .unwrap()
-            .total_traffic();
-        let t64 = simulate_blocked(&g, &order, 64 * 1024, 4096, Policy::Belady)
-            .unwrap()
-            .total_traffic();
+        let t8 =
+            simulate_blocked(&g, &order, 8 * 1024, 4096, Policy::Belady).unwrap().total_traffic();
+        let t64 =
+            simulate_blocked(&g, &order, 64 * 1024, 4096, Policy::Belady).unwrap().total_traffic();
         assert!(t64 <= t8, "{t64} > {t8}");
     }
 
@@ -202,8 +193,7 @@ mod tests {
     #[test]
     fn belady_not_worse_than_lru() {
         let (g, order) = chain(&[65536, 32768, 65536, 32768, 65536]);
-        let run =
-            |p| simulate_blocked(&g, &order, 48 * 1024, 4096, p).unwrap().total_traffic();
+        let run = |p| simulate_blocked(&g, &order, 48 * 1024, 4096, p).unwrap().total_traffic();
         assert!(run(Policy::Belady) <= run(Policy::Lru));
     }
 

@@ -81,13 +81,8 @@ pub fn simulate(
     policy: Policy,
 ) -> Result<TrafficStats, MemSimError> {
     let trace = AccessTrace::build(graph, order)?;
-    let mut stats = TrafficStats {
-        capacity,
-        bytes_in: 0,
-        bytes_out: 0,
-        evictions: 0,
-        peak_resident: 0,
-    };
+    let mut stats =
+        TrafficStats { capacity, bytes_in: 0, bytes_out: 0, evictions: 0, peak_resident: 0 };
     let mut resident: Vec<Resident> = Vec::new();
     let mut used: u64 = 0;
 
@@ -331,12 +326,8 @@ mod tests {
         }
         g.mark_output(acc);
         let order = topo::kahn(&g);
-        let sweep =
-            sweep_capacities(&g, &order, &[400, 300, 250], Policy::Belady).unwrap();
-        let t: Vec<u64> = sweep
-            .iter()
-            .map(|(_, s)| s.expect("feasible").total_traffic())
-            .collect();
+        let sweep = sweep_capacities(&g, &order, &[400, 300, 250], Policy::Belady).unwrap();
+        let t: Vec<u64> = sweep.iter().map(|(_, s)| s.expect("feasible").total_traffic()).collect();
         assert!(t[0] <= t[1] && t[1] <= t[2], "traffic should not grow with capacity: {t:?}");
         assert_eq!(t[0], 0); // 400 B exceeds the live peak: zero traffic
         assert!(t[2] > 0, "tight capacity must spill");

@@ -154,15 +154,11 @@ fn apply_op(
         }
         CellOp::DilConv3x3 => {
             let r = b.relu(src).expect("dil relu");
-            let dw = b
-                .dilated_depthwise(r, (3, 3), (1, 1), (2, 2), Padding::Same)
-                .expect("dil dw");
+            let dw = b.dilated_depthwise(r, (3, 3), (1, 1), (2, 2), Padding::Same).expect("dil dw");
             let pw = b.conv1x1(dw, channels).expect("dil pw");
             b.batch_norm(pw).expect("dil bn")
         }
-        CellOp::MaxPool3x3 => b
-            .max_pool(src, (3, 3), (1, 1), Padding::Same)
-            .expect("max pool"),
+        CellOp::MaxPool3x3 => b.max_pool(src, (3, 3), (1, 1), Padding::Same).expect("max pool"),
     }
 }
 
@@ -258,10 +254,7 @@ mod tests {
         assert!(g.validate().is_ok());
         assert_ne!(g.len(), normal_cell().len());
         // Pooling-heavy genotype: at least 5 max-pool nodes.
-        let pools = g
-            .nodes()
-            .filter(|n| matches!(n.op, serenity_ir::Op::MaxPool2d(_)))
-            .count();
+        let pools = g.nodes().filter(|n| matches!(n.op, serenity_ir::Op::MaxPool2d(_))).count();
         assert_eq!(pools, 5);
         // It schedules and the DP never loses to Kahn.
         let kahn = mem::peak_bytes(&g, &topo::kahn(&g)).unwrap();

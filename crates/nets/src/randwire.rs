@@ -85,19 +85,17 @@ impl Default for RandWireConfig {
 /// Undirected WS edges as `(min, max)` index pairs, deduplicated.
 pub fn watts_strogatz_edges(n: usize, k: usize, p: f64, rng: &mut StdRng) -> Vec<(usize, usize)> {
     assert!(n > k, "WS requires n > k");
-    assert!(k >= 2 && k % 2 == 0, "WS requires even k ≥ 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "WS requires even k ≥ 2");
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut has_edge = vec![vec![false; n]; n];
-    let push = |edges: &mut Vec<(usize, usize)>,
-                    has_edge: &mut Vec<Vec<bool>>,
-                    a: usize,
-                    b: usize| {
-        let (lo, hi) = (a.min(b), a.max(b));
-        if lo != hi && !has_edge[lo][hi] {
-            has_edge[lo][hi] = true;
-            edges.push((lo, hi));
-        }
-    };
+    let push =
+        |edges: &mut Vec<(usize, usize)>, has_edge: &mut Vec<Vec<bool>>, a: usize, b: usize| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo != hi && !has_edge[lo][hi] {
+                has_edge[lo][hi] = true;
+                edges.push((lo, hi));
+            }
+        };
     for i in 0..n {
         for j in 1..=k / 2 {
             push(&mut edges, &mut has_edge, i, (i + j) % n);
@@ -177,9 +175,7 @@ pub fn barabasi_albert_edges(n: usize, m: usize, rng: &mut StdRng) -> Vec<(usize
 /// Draws the undirected edge set of `config`'s wiring model.
 pub fn random_edges(config: &RandWireConfig, rng: &mut StdRng) -> Vec<(usize, usize)> {
     match config.model {
-        WiringModel::WattsStrogatz => {
-            watts_strogatz_edges(config.nodes, config.k, config.p, rng)
-        }
+        WiringModel::WattsStrogatz => watts_strogatz_edges(config.nodes, config.k, config.p, rng),
         WiringModel::ErdosRenyi => erdos_renyi_edges(config.nodes, config.p, rng),
         WiringModel::BarabasiAlbert => {
             barabasi_albert_edges(config.nodes, (config.k / 2).max(1), rng)
@@ -199,10 +195,7 @@ pub fn randwire_cell(config: &RandWireConfig) -> Graph {
         succs_count[a] += 1;
     }
 
-    let mut b = GraphBuilder::new(format!(
-        "randwire_{}_n{}_s{}",
-        config.model, n, config.seed
-    ));
+    let mut b = GraphBuilder::new(format!("randwire_{}_n{}_s{}", config.model, n, config.seed));
     let input = b.image_input("input", config.hw, config.hw, config.channels, DType::F32);
     let mut unit_out: Vec<NodeId> = Vec::with_capacity(n);
     for i in 0..n {
@@ -215,19 +208,13 @@ pub fn randwire_cell(config: &RandWireConfig) -> Graph {
             b.add(&inputs).expect("aggregation shapes match")
         };
         let r = b.relu(aggregated).expect("unit relu");
-        let c = b
-            .conv(r, config.channels, (3, 3), (1, 1), Padding::Same)
-            .expect("unit conv");
+        let c = b.conv(r, config.channels, (3, 3), (1, 1), Padding::Same).expect("unit conv");
         let bn = b.batch_norm(c).expect("unit bn");
         unit_out.push(bn);
     }
     // Average the dangling unit outputs into the cell output.
     let sinks: Vec<NodeId> = (0..n).filter(|&i| succs_count[i] == 0).map(|i| unit_out[i]).collect();
-    let out = if sinks.len() == 1 {
-        sinks[0]
-    } else {
-        b.add(&sinks).expect("sink shapes match")
-    };
+    let out = if sinks.len() == 1 { sinks[0] } else { b.add(&sinks).expect("sink shapes match") };
     b.mark_output(out);
     b.finish()
 }
@@ -275,9 +262,7 @@ mod tests {
     #[test]
     fn cell_has_no_concat() {
         let g = randwire_cell(&RandWireConfig::default());
-        assert!(!g
-            .nodes()
-            .any(|n| matches!(n.op, serenity_ir::Op::Concat { .. })));
+        assert!(!g.nodes().any(|n| matches!(n.op, serenity_ir::Op::Concat { .. })));
     }
 
     #[test]
@@ -306,7 +291,7 @@ mod tests {
         let edges = barabasi_albert_edges(20, 2, &mut rng);
         assert_eq!(edges.len(), (20 - 2) * 2);
         // Preferential attachment produces hubs: max degree well above m.
-        let mut degree = vec![0usize; 20];
+        let mut degree = [0usize; 20];
         for (a, b) in edges {
             degree[a] += 1;
             degree[b] += 1;

@@ -73,7 +73,15 @@ pub struct Benchmark {
 /// RandWire dimensions per benchmark cell: chosen so the TFLite-style
 /// baseline peaks land near Figure 15's raw KB values (see EXPERIMENTS.md).
 fn randwire(seed: u64, nodes: usize, hw: usize, channels: usize) -> Graph {
-    randwire_cell(&RandWireConfig { nodes, k: 4, p: 0.75, seed, hw, channels, ..Default::default() })
+    randwire_cell(&RandWireConfig {
+        nodes,
+        k: 4,
+        p: 0.75,
+        seed,
+        hw,
+        channels,
+        ..Default::default()
+    })
 }
 
 /// Builds all nine benchmark cells in the paper's presentation order.

@@ -63,8 +63,7 @@ pub fn swiftnet() -> Graph {
 /// Builds the full network with explicit dimensions.
 pub fn swiftnet_with(config: &SwiftNetConfig) -> Graph {
     let mut b = GraphBuilder::new("swiftnet");
-    let input =
-        b.image_input("image", config.hw, config.hw, config.in_channels, DType::F32);
+    let input = b.image_input("image", config.hw, config.hw, config.in_channels, DType::F32);
     let a = cell_a_body(&mut b, input, config);
     let bo = cell_b_body(&mut b, a, config);
     let c = cell_c_body(&mut b, bo, config);
@@ -92,8 +91,7 @@ pub fn cell_boundaries(graph: &Graph) -> Vec<NodeId> {
 pub fn cell_a() -> Graph {
     let config = SwiftNetConfig::default();
     let mut b = GraphBuilder::new("swiftnet_cell_a");
-    let input =
-        b.image_input("image", config.hw, config.hw, config.in_channels, DType::F32);
+    let input = b.image_input("image", config.hw, config.hw, config.in_channels, DType::F32);
     let out = cell_a_body(&mut b, input, &config);
     b.mark_output(out);
     b.finish()
@@ -113,8 +111,7 @@ pub fn cell_b() -> Graph {
 pub fn cell_c() -> Graph {
     let config = SwiftNetConfig::default();
     let mut b = GraphBuilder::new("swiftnet_cell_c");
-    let input =
-        b.image_input("cellB_out", config.hw / 2, config.hw / 2, B_OUT, DType::F32);
+    let input = b.image_input("cellB_out", config.hw / 2, config.hw / 2, B_OUT, DType::F32);
     let out = cell_c_body(&mut b, input, &config);
     b.mark_output(out);
     b.finish()
@@ -172,8 +169,7 @@ fn cell_b_body(b: &mut GraphBuilder, input: NodeId, _config: &SwiftNetConfig) ->
     let g2: Vec<NodeId> =
         (0..3).map(|_| b.conv1x1(stem_relu, B_BRANCH).expect("g2 branch")).collect();
     let g2_cat = b.concat(&g2).expect("g2 concat");
-    let g2_out =
-        b.conv(g2_cat, B_BOTTLENECK, (3, 3), (1, 1), Padding::Same).expect("g2 conv");
+    let g2_out = b.conv(g2_cat, B_BOTTLENECK, (3, 3), (1, 1), Padding::Same).expect("g2 conv");
 
     // Two thin skip paths and the four-way join (channel-wise site, +3).
     let sk1 = b.conv1x1(stem_relu, B_SKIP).expect("skip 1");
@@ -193,18 +189,15 @@ fn cell_c_body(b: &mut GraphBuilder, input: NodeId, _config: &SwiftNetConfig) ->
     let stem = b.conv(input, C_STEM, (3, 3), (2, 2), Padding::Same).expect("stem conv");
 
     // Group 1: four branches → concat → depthwise → BN (no cascade).
-    let g1: Vec<NodeId> =
-        (0..4).map(|_| b.conv1x1(stem, C_BRANCH).expect("g1 branch")).collect();
+    let g1: Vec<NodeId> = (0..4).map(|_| b.conv1x1(stem, C_BRANCH).expect("g1 branch")).collect();
     let g1_cat = b.concat(&g1).expect("g1 concat");
     let g1_dw = b.depthwise(g1_cat, (3, 3), (1, 1), Padding::Same).expect("g1 dw");
     let g1_out = b.batch_norm(g1_dw).expect("g1 bn");
 
     // Group 2: four branches → concat → 3×3 conv.
-    let g2: Vec<NodeId> =
-        (0..4).map(|_| b.conv1x1(stem, C_BRANCH).expect("g2 branch")).collect();
+    let g2: Vec<NodeId> = (0..4).map(|_| b.conv1x1(stem, C_BRANCH).expect("g2 branch")).collect();
     let g2_cat = b.concat(&g2).expect("g2 concat");
-    let g2_out =
-        b.conv(g2_cat, 4 * C_BRANCH, (3, 3), (1, 1), Padding::Same).expect("g2 conv");
+    let g2_out = b.conv(g2_cat, 4 * C_BRANCH, (3, 3), (1, 1), Padding::Same).expect("g2 conv");
 
     // Two-way join concat → conv (channel-wise site, +1), then the head.
     let join = b.concat(&[g1_out, g2_out]).expect("join concat");

@@ -10,32 +10,26 @@ use std::time::{Duration, Instant};
 use serenity_allocator::Strategy;
 use serenity_core::budget::BudgetConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
-use serenity_ir::{mem, topo};
+use serenity_ir::topo;
 use serenity_nets::{suite, Family};
 
 fn tflite_baseline_kb(graph: &serenity_ir::Graph) -> f64 {
     let order = topo::kahn(graph);
-    let plan = serenity_allocator::plan(graph, &order, Strategy::GreedyBySize)
-        .expect("baseline plan");
+    let plan =
+        serenity_allocator::plan(graph, &order, Strategy::GreedyBySize).expect("baseline plan");
     plan.arena_bytes as f64 / 1024.0
 }
 
 fn compiler(rewrite: RewriteMode) -> Serenity {
     // Debug builds run the DP an order of magnitude slower; widen the
     // per-step budget accordingly so the meta-search converges either way.
-    let step_timeout = if cfg!(debug_assertions) {
-        Duration::from_secs(5)
-    } else {
-        Duration::from_millis(500)
-    };
+    let step_timeout =
+        if cfg!(debug_assertions) { Duration::from_secs(5) } else { Duration::from_millis(500) };
     Serenity::builder()
         .rewrite(rewrite)
-        .adaptive_budget(BudgetConfig {
-            step_timeout,
-            max_rounds: 24,
-            threads: 4,
-            max_states: Some(2_000_000),
-        })
+        .backend(std::sync::Arc::new(serenity_core::backend::AdaptiveBackend::with_config(
+            BudgetConfig { step_timeout, max_rounds: 24, threads: 4, max_states: Some(2_000_000) },
+        )))
         .allocator(Some(Strategy::GreedyBySize))
         .build()
 }

@@ -8,7 +8,8 @@ use serenity_nets::swiftnet;
 #[test]
 #[ignore = "diagnostic printout"]
 fn swiftnet_a_pipeline_breakdown() {
-    use serenity_core::divide::{DivideAndConquer, SegmentScheduler};
+    use serenity_core::backend::DpBackend;
+    use serenity_core::divide::DivideAndConquer;
     let g = swiftnet::cell_a();
     let whole = DpScheduler::new().schedule(&g).unwrap();
     println!("whole-graph dp: {:.1} KB", whole.schedule.peak_bytes as f64 / 1024.0);
@@ -16,7 +17,7 @@ fn swiftnet_a_pipeline_breakdown() {
     let part = serenity_ir::cuts::partition(&g);
     println!("partition: {:?} cuts={:?}", part.segment_sizes(), part.cuts.len());
     let divided = DivideAndConquer::new()
-        .segment_scheduler(SegmentScheduler::Dp(Default::default()))
+        .backend(std::sync::Arc::new(DpBackend::default()))
         .schedule(&g)
         .unwrap();
     println!("divided dp: {:.1} KB", divided.schedule.peak_bytes as f64 / 1024.0);
@@ -25,8 +26,7 @@ fn swiftnet_a_pipeline_breakdown() {
     }
     let adaptive = DivideAndConquer::new().schedule(&g).unwrap();
     println!("divided asb: {:.1} KB", adaptive.schedule.peak_bytes as f64 / 1024.0);
-    for (name, order) in
-        [("whole-dp", &whole.schedule.order), ("divided", &divided.schedule.order)]
+    for (name, order) in [("whole-dp", &whole.schedule.order), ("divided", &divided.schedule.order)]
     {
         for strat in [Strategy::FirstFitArena, Strategy::GreedyBySize] {
             let plan = serenity_allocator::plan(&g, order, strat).unwrap();
@@ -98,24 +98,20 @@ fn darts_breakdown() {
     println!("kahn live: {:.1} KB", mem::peak_bytes(&g, &kahn).unwrap() as f64 / 1024.0);
     let compiled = Serenity::builder()
         .rewrite(RewriteMode::Off)
-        .adaptive_budget(BudgetConfig {
-            step_timeout: Duration::from_millis(500),
-            max_rounds: 24,
-            threads: 4,
-            max_states: Some(2_000_000),
-        })
+        .backend(std::sync::Arc::new(serenity_core::backend::AdaptiveBackend::with_config(
+            BudgetConfig {
+                step_timeout: Duration::from_millis(500),
+                max_rounds: 24,
+                threads: 4,
+                max_states: Some(2_000_000),
+            },
+        )))
         .build()
         .compile(&g)
         .unwrap();
     println!("pipeline live: {:.1} KB", compiled.peak_bytes as f64 / 1024.0);
-    println!(
-        "pipeline sched live: {:.1} KB",
-        compiled.schedule.peak_bytes as f64 / 1024.0
-    );
-    println!(
-        "pipeline arena: {:.1} KB",
-        compiled.arena.unwrap().arena_bytes as f64 / 1024.0
-    );
+    println!("pipeline sched live: {:.1} KB", compiled.schedule.peak_bytes as f64 / 1024.0);
+    println!("pipeline arena: {:.1} KB", compiled.arena.unwrap().arena_bytes as f64 / 1024.0);
     let lb = mem::peak_lower_bound(&g);
     println!("lower bound: {:.1} KB", lb as f64 / 1024.0);
 }

@@ -31,11 +31,7 @@ fn rewritten_swiftnet_partitions_as_33_28_29() {
 
 #[test]
 fn standalone_cells_rewrite_with_table2_deltas() {
-    let deltas = [
-        (swiftnet::cell_a(), 12usize),
-        (swiftnet::cell_b(), 9),
-        (swiftnet::cell_c(), 7),
-    ];
+    let deltas = [(swiftnet::cell_a(), 12usize), (swiftnet::cell_b(), 9), (swiftnet::cell_c(), 7)];
     for (graph, delta) in deltas {
         let outcome = Rewriter::standard().rewrite(&graph);
         assert_eq!(

@@ -152,8 +152,8 @@ mod tests {
     fn deterministic_given_seed_and_input() {
         let g = small_net();
         let input = Tensor::random(&[1, 6, 6, 3], 1);
-        let a = Interpreter::new(3).run(&g, &[input.clone()]).unwrap();
-        let b = Interpreter::new(3).run(&g, &[input.clone()]).unwrap();
+        let a = Interpreter::new(3).run(&g, std::slice::from_ref(&input)).unwrap();
+        let b = Interpreter::new(3).run(&g, std::slice::from_ref(&input)).unwrap();
         assert_eq!(a[0], b[0]);
         let c = Interpreter::new(4).run(&g, &[input]).unwrap();
         assert_ne!(a[0], c[0]);

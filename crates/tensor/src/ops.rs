@@ -29,8 +29,7 @@ pub(crate) fn conv2d(
     dilation: (usize, usize),
 ) -> Tensor {
     let (n, h, wd, in_c) = dims4(x);
-    let (kh, kw, w_in_c, out_c) =
-        (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    let (kh, kw, w_in_c, out_c) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
     assert_eq!(in_c, w_in_c, "kernel input channels must match activation");
     let k_eff_h = dilation.0 * (kh - 1) + 1;
     let k_eff_w = dilation.1 * (kw - 1) + 1;
@@ -47,10 +46,10 @@ pub(crate) fn conv2d(
                     let mut acc = 0.0f32;
                     for i in 0..kh {
                         for j in 0..kw {
-                            let ih = oh as isize * stride.0 as isize - ph
-                                + (i * dilation.0) as isize;
-                            let iw = ow as isize * stride.1 as isize - pw
-                                + (j * dilation.1) as isize;
+                            let ih =
+                                oh as isize * stride.0 as isize - ph + (i * dilation.0) as isize;
+                            let iw =
+                                ow as isize * stride.1 as isize - pw + (j * dilation.1) as isize;
                             if ih < 0 || iw < 0 || ih >= h as isize || iw >= wd as isize {
                                 continue;
                             }
@@ -94,10 +93,10 @@ pub(crate) fn depthwise(
                     let mut acc = 0.0f32;
                     for i in 0..kh {
                         for j in 0..kw {
-                            let ih = oh as isize * stride.0 as isize - ph
-                                + (i * dilation.0) as isize;
-                            let iw = ow as isize * stride.1 as isize - pw
-                                + (j * dilation.1) as isize;
+                            let ih =
+                                oh as isize * stride.0 as isize - ph + (i * dilation.0) as isize;
+                            let iw =
+                                ow as isize * stride.1 as isize - pw + (j * dilation.1) as isize;
                             if ih < 0 || iw < 0 || ih >= h as isize || iw >= wd as isize {
                                 continue;
                             }
@@ -142,8 +141,7 @@ pub(crate) fn concat(inputs: &[&Tensor], axis: usize) -> Tensor {
     out_shape[axis] = inputs.iter().map(|t| t.shape()[axis]).sum();
 
     let outer: usize = first.shape()[..axis].iter().product();
-    let chunks: Vec<usize> =
-        inputs.iter().map(|t| t.shape()[axis..].iter().product()).collect();
+    let chunks: Vec<usize> = inputs.iter().map(|t| t.shape()[axis..].iter().product()).collect();
     let mut data = Vec::with_capacity(out_shape.iter().product());
     for o in 0..outer {
         for (t, &chunk) in inputs.iter().zip(&chunks) {

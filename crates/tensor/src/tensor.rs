@@ -31,9 +31,8 @@ impl Tensor {
     /// reproducible from `seed`.
     pub fn random(shape: &[usize], seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..shape.iter().product::<usize>())
-            .map(|_| rng.gen_range(-1.0f32..1.0))
-            .collect();
+        let data =
+            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         Tensor { shape: shape.to_vec(), data }
     }
 
@@ -70,7 +69,9 @@ impl Tensor {
     #[inline]
     pub fn nhwc_index(&self, n: usize, h: usize, w: usize, c: usize) -> usize {
         assert_eq!(self.shape.len(), 4, "nhwc indexing requires rank 4");
-        debug_assert!(n < self.shape[0] && h < self.shape[1] && w < self.shape[2] && c < self.shape[3]);
+        debug_assert!(
+            n < self.shape[0] && h < self.shape[1] && w < self.shape[2] && c < self.shape[3]
+        );
         ((n * self.shape[1] + h) * self.shape[2] + w) * self.shape[3] + c
     }
 
@@ -102,11 +103,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Whether all elements differ from `other` by at most `tol`, scaled by

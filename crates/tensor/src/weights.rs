@@ -103,11 +103,7 @@ impl WeightStore {
         let mut data = Vec::with_capacity(in_features * out_features);
         for i in 0..in_features {
             for o in 0..out_features {
-                data.push(self.value(
-                    weight.id.index() as u32,
-                    [i as u64, o as u64, 1, 2],
-                    scale,
-                ));
+                data.push(self.value(weight.id.index() as u32, [i as u64, o as u64, 1, 2], scale));
             }
         }
         Tensor::new(&[in_features, out_features], data)
@@ -173,8 +169,7 @@ mod tests {
     fn kernel_slice_matches_full_depthwise() {
         let store = WeightStore::new(11);
         let full = store.depthwise(&wref(3), 3, 3, 8);
-        let part =
-            store.depthwise(&wref(3).with_kernel_slice(ChannelRange::new(4, 8)), 3, 3, 4);
+        let part = store.depthwise(&wref(3).with_kernel_slice(ChannelRange::new(4, 8)), 3, 3, 4);
         for i in 0..3 {
             for j in 0..3 {
                 for ch in 0..4 {

@@ -39,7 +39,7 @@ proptest! {
 
         let input = Tensor::random(&[1, hw, hw, 3], seed);
         let interp = Interpreter::new(seed ^ 0x5EED);
-        let before = interp.run(&graph, &[input.clone()]).unwrap();
+        let before = interp.run(&graph, std::slice::from_ref(&input)).unwrap();
         let after = interp.run(&rewritten.graph, &[input]).unwrap();
         prop_assert!(
             before[0].approx_eq(&after[0], 1e-4),
@@ -67,7 +67,7 @@ proptest! {
 
         let input = Tensor::random(&[1, hw, hw, 3], seed);
         let interp = Interpreter::new(seed ^ 0xF00D);
-        let before = interp.run(&graph, &[input.clone()]).unwrap();
+        let before = interp.run(&graph, std::slice::from_ref(&input)).unwrap();
         let after = interp.run(&rewritten.graph, &[input]).unwrap();
         prop_assert_eq!(before[0].data(), after[0].data());
     }
@@ -90,7 +90,7 @@ proptest! {
 
         let input = Tensor::random(&[1, hw, hw, 3], seed);
         let interp = Interpreter::new(seed);
-        let before = interp.run(&graph, &[input.clone()]).unwrap();
+        let before = interp.run(&graph, std::slice::from_ref(&input)).unwrap();
         let after = interp.run(&outcome.graph, &[input]).unwrap();
         prop_assert_eq!(before[0].data(), after[0].data());
     }

@@ -25,19 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     report("TFLite-style baseline", baseline_arena.arena_bytes);
 
     // SERENITY without graph rewriting (scheduling gains only).
-    let dp_only = Serenity::builder()
-        .rewrite(RewriteMode::Off)
-        .build()
-        .compile(&graph)?;
+    let dp_only = Serenity::builder().rewrite(RewriteMode::Off).build().compile(&graph)?;
     report("SERENITY (DP only)", dp_only.arena_bytes().unwrap());
 
     // Full SERENITY: scheduling + identity graph rewriting.
     let full = Serenity::builder().build().compile(&graph)?;
     report("SERENITY (DP + rewriting)", full.arena_bytes().unwrap());
-    println!(
-        "  rewrites: {:?}\n",
-        full.rewrites.iter().map(|r| r.rule).collect::<Vec<_>>()
-    );
+    println!("  rewrites: {:?}\n", full.rewrites.iter().map(|r| r.rule).collect::<Vec<_>>());
 
     // Off-chip traffic sweep (Belady replacement, as in §4.2).
     println!("off-chip activation traffic by on-chip capacity:");
@@ -47,12 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ser_sweep =
         sweep_capacities(&full.graph, &full.schedule.order, &capacities, Policy::Belady)?;
     for ((cap, base), (_, ser)) in base_sweep.iter().zip(&ser_sweep) {
-        println!(
-            "{:>7} KB {:>16} {:>16}",
-            cap / 1024,
-            fmt_traffic(base),
-            fmt_traffic(ser)
-        );
+        println!("{:>7} KB {:>16} {:>16}", cap / 1024, fmt_traffic(base), fmt_traffic(ser));
     }
     Ok(())
 }

@@ -1,0 +1,74 @@
+//! Pluggable backends, deadlines, cancellation, and compile events.
+//!
+//! Runs every registered scheduling backend on one benchmark cell, then a
+//! portfolio compile with a live event narration and a deadline, and
+//! finally demonstrates cooperative cancellation.
+//!
+//! Run with: `cargo run --release --example scheduler_portfolio`
+
+use std::time::Duration;
+
+use serenity::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cell = serenity::nets::swiftnet::cell_c();
+    println!("cell: {} ({} nodes)\n", cell.name(), cell.len());
+
+    // 1. Every backend by name, head to head.
+    let registry = BackendRegistry::standard();
+    let ctx = CompileContext::unconstrained();
+    println!("{:<14} {:>12} {:>14}", "backend", "peak KiB", "transitions");
+    for name in registry.names() {
+        let backend = registry.create(&name).expect("registered");
+        match backend.schedule(&cell, &ctx) {
+            Ok(outcome) => println!(
+                "{:<14} {:>12.1} {:>14}",
+                name,
+                outcome.schedule.peak_bytes as f64 / 1024.0,
+                outcome.stats.transitions,
+            ),
+            Err(e) => println!("{name:<14} {e}"),
+        }
+    }
+
+    // 2. The full pipeline under a portfolio backend, narrated, with a
+    //    deadline as a safety net.
+    println!("\nportfolio compile:");
+    let compiled = Serenity::builder()
+        .backend(registry.create("portfolio").expect("registered"))
+        .deadline(Duration::from_secs(30))
+        .on_event(|event| match event {
+            CompileEvent::BackendChosen { name, peak_bytes } => {
+                println!("  chose {name} at {:.1} KiB", *peak_bytes as f64 / 1024.0);
+            }
+            CompileEvent::SegmentScheduled { index, nodes, .. } => {
+                println!("  segment #{index}: {nodes} nodes done");
+            }
+            _ => {}
+        })
+        .build()
+        .compile(&cell)?;
+    println!(
+        "  peak {:.1} KiB vs baseline {:.1} KiB ({:.2}x)",
+        compiled.peak_bytes as f64 / 1024.0,
+        compiled.baseline_peak_bytes as f64 / 1024.0,
+        compiled.reduction_factor(),
+    );
+
+    // 3. Cooperative cancellation from another thread.
+    let token = CancelToken::new();
+    let canceller = token.clone();
+    let compiler = Serenity::builder().cancel_token(token).build();
+    let wide = serenity::ir::random_dag::independent_branches(24, 1024);
+    let result = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| compiler.compile(&wide));
+        canceller.cancel();
+        handle.join().expect("compile thread does not panic")
+    });
+    match result {
+        Err(ScheduleError::Cancelled) => println!("\ncancellation observed, as requested"),
+        Ok(_) => println!("\ncompile outran the cancellation (also fine)"),
+        Err(other) => return Err(other.into()),
+    }
+    Ok(())
+}

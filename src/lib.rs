@@ -31,7 +31,7 @@
 //! b.mark_output(y);
 //! let graph = b.finish();
 //!
-//! // Compile: rewrite → partition → DP + adaptive budgeting → allocate.
+//! // Compile: rewrite → partition → backend scheduling → allocate.
 //! let compiled = Serenity::builder().build().compile(&graph)?;
 //! println!(
 //!     "peak {:.1} KiB (baseline {:.1} KiB, {:.2}x)",
@@ -39,6 +39,34 @@
 //!     compiled.baseline_peak_bytes as f64 / 1024.0,
 //!     compiled.reduction_factor(),
 //! );
+//! assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Choosing a scheduling strategy
+//!
+//! Every search strategy implements [`SchedulerBackend`](prelude::SchedulerBackend)
+//! and is reachable by name through [`BackendRegistry`](prelude::BackendRegistry)
+//! (`dp`, `adaptive`, `beam`, `kahn`, `dfs`, `greedy`, `brute-force`, and the
+//! min-peak multi-backend `portfolio`). Compiles are governed by
+//! [`CompileOptions`](prelude::CompileOptions): a wall-clock deadline, a shared
+//! [`CancelToken`](prelude::CancelToken), and a [`CompileEvent`](prelude::CompileEvent)
+//! sink narrating rewrites, segments, budget probes, and backend choices.
+//!
+//! ```
+//! use std::time::Duration;
+//! use serenity::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = serenity::ir::random_dag::independent_branches(6, 64);
+//! let backend = BackendRegistry::standard().create("portfolio").expect("registered");
+//! let compiled = Serenity::builder()
+//!     .backend(backend)
+//!     .deadline(Duration::from_secs(10))
+//!     .on_event(|event| eprintln!("{event:?}"))
+//!     .build()
+//!     .compile(&graph)?;
 //! assert!(compiled.peak_bytes <= compiled.baseline_peak_bytes);
 //! # Ok(())
 //! # }
@@ -57,12 +85,16 @@ pub use serenity_tensor as tensor;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use serenity_allocator::{plan, MemoryPlan, Strategy};
+    pub use serenity_core::backend::{
+        BackendOutcome, CancelToken, CompileContext, CompileEvent, CompileOptions, SchedulerBackend,
+    };
     pub use serenity_core::baseline;
     pub use serenity_core::budget::AdaptiveSoftBudget;
     pub use serenity_core::dp::DpScheduler;
     pub use serenity_core::pipeline::{CompiledSchedule, RewriteMode, Serenity};
+    pub use serenity_core::registry::{BackendRegistry, PortfolioBackend};
     pub use serenity_core::rewrite::Rewriter;
-    pub use serenity_core::{Schedule, ScheduleError};
+    pub use serenity_core::{Schedule, ScheduleError, ScheduleStats};
     pub use serenity_ir::{
         mem, topo, DType, Graph, GraphBuilder, GraphError, NodeId, Op, Padding, TensorShape,
     };

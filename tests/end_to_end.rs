@@ -20,13 +20,9 @@ fn compile_and_deploy_swiftnet_cell_a() {
     arena.validate().unwrap();
     assert!(arena.arena_bytes >= compiled.peak_bytes);
     // Deploying on a scratchpad the size of the arena produces no traffic.
-    let stats = simulate(
-        &compiled.graph,
-        &compiled.schedule.order,
-        arena.arena_bytes,
-        Policy::Belady,
-    )
-    .unwrap();
+    let stats =
+        simulate(&compiled.graph, &compiled.schedule.order, arena.arena_bytes, Policy::Belady)
+            .unwrap();
     assert_eq!(stats.total_traffic(), 0);
 }
 
@@ -39,7 +35,7 @@ fn rewriting_preserves_network_semantics_through_the_facade() {
     let input_shape = graph.node(graph.inputs()[0]).shape.dims().to_vec();
     let input = Tensor::random(&input_shape, 99);
     let interp = Interpreter::new(12345);
-    let before = interp.run(&graph, &[input.clone()]).unwrap();
+    let before = interp.run(&graph, std::slice::from_ref(&input)).unwrap();
     let after = interp.run(&rewritten.graph, &[input]).unwrap();
     assert_eq!(before.len(), after.len());
     for (b, a) in before.iter().zip(&after) {
@@ -91,8 +87,7 @@ fn traffic_reduction_follows_schedule_quality() {
     // at every capacity, per the paper's Figure 11 argument.
     let graph = serenity::nets::swiftnet::cell_c();
     let kahn = baseline::kahn(&graph).unwrap();
-    let compiled =
-        Serenity::builder().rewrite(RewriteMode::Off).build().compile(&graph).unwrap();
+    let compiled = Serenity::builder().rewrite(RewriteMode::Off).build().compile(&graph).unwrap();
     for capacity_kb in [48u64, 64, 96] {
         let capacity = capacity_kb * 1024;
         let base = simulate(&graph, &kahn.order, capacity, Policy::Belady);

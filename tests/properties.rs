@@ -2,8 +2,8 @@
 //! boundaries on randomly generated graphs.
 
 use proptest::prelude::*;
-use serenity::prelude::*;
 use serenity::ir::random_dag::{random_dag, RandomDagConfig};
+use serenity::prelude::*;
 use serenity::sched::baseline;
 
 prop_compose! {
@@ -71,13 +71,34 @@ proptest! {
 
     #[test]
     fn divide_and_conquer_preserves_optimality(graph in arb_graph()) {
-        use serenity::sched::divide::{DivideAndConquer, SegmentScheduler};
+        use serenity::sched::backend::DpBackend;
+        use serenity::sched::divide::DivideAndConquer;
         let whole = DpScheduler::new().schedule(&graph).unwrap();
         let divided = DivideAndConquer::new()
-            .segment_scheduler(SegmentScheduler::Dp(Default::default()))
+            .backend(std::sync::Arc::new(DpBackend::default()))
             .schedule(&graph)
             .unwrap();
         prop_assert_eq!(divided.schedule.peak_bytes, whole.schedule.peak_bytes);
+    }
+
+    #[test]
+    fn every_backend_schedules_validly(graph in arb_graph()) {
+        use serenity::sched::backend::CompileContext;
+        let registry = BackendRegistry::standard();
+        let ctx = CompileContext::unconstrained();
+        for name in registry.names() {
+            if name == "brute-force" && graph.len() > 12 {
+                continue;
+            }
+            let backend = registry.create(&name).unwrap();
+            let outcome = backend.schedule(&graph, &ctx).unwrap();
+            prop_assert!(topo::is_order(&graph, &outcome.schedule.order), "{}", name);
+            prop_assert_eq!(
+                outcome.schedule.peak_bytes,
+                mem::peak_bytes(&graph, &outcome.schedule.order).unwrap(),
+                "{}", name
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Deserialization half: [`Deserialize`], [`Deserializer`], and the
+//! [`Content`]-consuming reference deserializer.
+
+use std::fmt::Display;
+
+use crate::content::{Content, ContentError};
+
+/// Error constraint for deserializers.
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can deserialize itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input does not describe a `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of one value; everything funnels through
+/// [`Deserializer::deserialize_content`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces the input as a [`Content`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined (e.g. a parse error).
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// The reference deserializer: hands out an already-built [`Content`].
+#[derive(Debug, Clone)]
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes any value from a [`Content`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree does not describe a `T`.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+/// The entry list of a [`Content::Map`], consumed field by field.
+pub type ContentMap = Vec<(String, Content)>;
+
+/// Unwraps a map value (derive-internal).
+///
+/// # Errors
+///
+/// Returns an error when `content` is not a map.
+pub fn content_map(content: Content) -> Result<ContentMap, ContentError> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(ContentError(format!("expected object, found {}", other.kind()))),
+    }
+}
+
+/// Removes `key` from `map`, returning `null` when absent (derive-internal).
+pub fn take(map: &mut ContentMap, key: &str) -> Content {
+    match map.iter().position(|(k, _)| k == key) {
+        Some(at) => map.remove(at).1,
+        None => Content::Null,
+    }
+}
+
+/// Removes and deserializes field `key` (derive-internal).
+///
+/// Missing fields deserialize from `null`, so `Option` fields default to
+/// `None` and everything else reports a field-scoped error.
+///
+/// # Errors
+///
+/// Returns an error when the field value does not describe a `T`.
+pub fn field<'de, T: Deserialize<'de>>(map: &mut ContentMap, key: &str) -> Result<T, ContentError> {
+    from_content(take(map, key)).map_err(|e| ContentError(format!("field `{key}`: {e}")))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let value = match content {
+                    Content::U64(v) => <$t>::try_from(v).ok(),
+                    Content::I64(v) => <$t>::try_from(v).ok(),
+                    _ => None,
+                };
+                value.ok_or_else(|| {
+                    D::Error::custom(format!(
+                        "expected {}, found {}",
+                        stringify!($t),
+                        content.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                content.as_f64().map(|v| v as $t).ok_or_else(|| {
+                    D::Error::custom(format!(
+                        "expected {}, found {}",
+                        stringify!($t),
+                        content.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        content
+            .as_bool()
+            .ok_or_else(|| D::Error::custom(format!("expected bool, found {}", content.kind())))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    /// Deserializes by leaking the parsed string.
+    ///
+    /// Real serde cannot produce `&'static str` at all; this stand-in leaks
+    /// the (short, rule-name-sized) strings instead so that report types
+    /// holding `&'static str` fields can round-trip.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let owned = String::deserialize(deserializer)?;
+        Ok(Box::leak(owned.into_boxed_str()))
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::custom(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => {
+                items.into_iter().map(|item| from_content(item).map_err(D::Error::custom)).collect()
+            }
+            other => Err(D::Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut items = items.into_iter();
+                        Ok(($(
+                            from_content::<$name>(items.next().expect("length checked"))
+                                .map_err(D::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(D::Error::custom(format!(
+                        "expected array of {}, found {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (2, T0, T1)
+    (3, T0, T1, T2)
+    (4, T0, T1, T2, T3)
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}

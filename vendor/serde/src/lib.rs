@@ -1,0 +1,18 @@
+//! Minimal, offline stand-in for the `serde` crate.
+//!
+//! Serialization is routed through one self-describing tree type,
+//! [`Content`] (a JSON-like value); `Serialize`/`Deserialize` impls convert
+//! to and from it. The derive macros come from the sibling `serde_derive`
+//! stand-in. Formats (here: `serde_json`) consume and produce `Content`.
+//!
+//! Supported attribute subset: `#[serde(transparent)]` on newtype structs
+//! and `#[serde(with = "module")]` on fields.
+
+mod content;
+pub mod de;
+pub mod ser;
+
+pub use content::{Content, ContentError};
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,264 @@
+//! Serialization half: [`Serialize`], [`Serializer`], and the
+//! [`Content`]-building reference serializer.
+
+use std::fmt::Display;
+
+use crate::content::{Content, ContentError};
+
+/// Error constraint for serializers.
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can serialize itself through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for one value.
+///
+/// Unlike real serde's 30-method trait, everything funnels through
+/// [`Serializer::serialize_content`]: the typed methods are provided
+/// conveniences that build the matching [`Content`] node.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a finished value tree.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a boolean.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::U64(v))
+    }
+
+    /// Serializes a signed integer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if let Ok(u) = u64::try_from(v) {
+            self.serialize_content(Content::U64(u))
+        } else {
+            self.serialize_content(Content::I64(v))
+        }
+    }
+
+    /// Serializes a float.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+
+    /// Serializes a string.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_owned()))
+    }
+
+    /// Serializes `()`/`null`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    /// Serializes `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    /// Serializes `Some(value)` as the bare inner value.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::serialize_content`].
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        match to_content(value) {
+            Ok(content) => self.serialize_content(content),
+            Err(e) => Err(Self::Error::custom(e)),
+        }
+    }
+}
+
+/// The reference serializer: returns the built [`Content`] tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Serializes any value into a [`Content`] tree.
+///
+/// # Errors
+///
+/// Propagates `Serialize` impl failures (infallible for derived impls).
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_content(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_content(Content::Seq(items))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_content(&self.$idx).map_err(S::Error::custom)?,)+
+                ];
+                serializer.serialize_content(Content::Seq(items))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (T0: 0, T1: 1)
+    (T0: 0, T1: 1, T2: 2)
+    (T0: 0, T1: 1, T2: 2, T3: 3)
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}

@@ -1,0 +1,517 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the derive input by walking the raw [`TokenStream`] (no `syn`)
+//! and emits impls as source strings. Supports exactly the shapes this
+//! workspace uses: non-generic structs with named fields, tuple structs,
+//! and enums with unit / newtype / tuple / struct variants, plus the
+//! `#[serde(transparent)]` container attribute and the
+//! `#[serde(with = "module")]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    /// Module path given by `#[serde(with = "path")]`, if any.
+    with: Option<String>,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Flags harvested from one `#[...]` attribute.
+#[derive(Default)]
+struct AttrInfo {
+    transparent: bool,
+    with: Option<String>,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Container attributes, visibility, then `struct`/`enum`.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let attr = consume_attribute(&mut iter);
+                transparent |= attr.transparent;
+            }
+            Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = expect_ident(&mut iter);
+    let name = expect_ident(&mut iter);
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+
+    if transparent && !matches!(body, Body::TupleStruct(1)) {
+        panic!("#[serde(transparent)] is only supported on newtype structs in this stand-in");
+    }
+    Input { name, body }
+}
+
+fn expect_ident(iter: &mut impl Iterator<Item = TokenTree>) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Consumes `#[...]`, returning any serde flags it carried.
+fn consume_attribute(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> AttrInfo {
+    let hash = iter.next();
+    debug_assert!(matches!(hash, Some(TokenTree::Punct(ref p)) if p.as_char() == '#'));
+    let group = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => panic!("expected attribute brackets, found {other:?}"),
+    };
+    let mut info = AttrInfo::default();
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(word)) if word.to_string() == "serde" => {}
+        _ => return info, // doc comment, #[derive], #[default], ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return info;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(token) = args.next() {
+        let TokenTree::Ident(key) = token else { continue };
+        match key.to_string().as_str() {
+            "transparent" => info.transparent = true,
+            "with" => {
+                // `with = "path"`
+                let eq = args.next();
+                debug_assert!(matches!(eq, Some(TokenTree::Punct(ref p)) if p.as_char() == '='));
+                if let Some(TokenTree::Literal(lit)) = args.next() {
+                    let raw = lit.to_string();
+                    info.with = Some(raw.trim_matches('"').to_string());
+                }
+            }
+            other => panic!("unsupported serde attribute `{other}` in stand-in derive"),
+        }
+    }
+    info
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut with = None;
+        // Attributes and visibility preceding the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let attr = consume_attribute(&mut iter);
+                    if attr.with.is_some() {
+                        with = attr.with;
+                    }
+                }
+                Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(Field { name: name.to_string(), with });
+    }
+    fields
+}
+
+/// Consumes a type, stopping after the `,` that ends the field (or at end
+/// of stream). Tracks `<`/`>` depth; bracketed/parenthesized parts arrive
+/// as single groups and need no tracking.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    for token in iter.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    if iter.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for token in iter {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            consume_attribute(&mut iter);
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name: name.to_string(), kind });
+    }
+    variants
+}
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for field in fields {
+                let f = &field.name;
+                let value = match &field.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{f}, ::serde::ser::ContentSerializer)\
+                         .map_err({SER_ERR})?"
+                    ),
+                    None => format!("::serde::ser::to_content(&self.{f}).map_err({SER_ERR})?"),
+                };
+                pushes.push_str(&format!("__fields.push((\"{f}\".to_string(), {value}));\n"));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> \
+                 = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serializer.serialize_content(::serde::Content::Map(__fields))"
+            )
+        }
+        Body::TupleStruct(0) | Body::UnitStruct => "serializer.serialize_unit()".to_string(),
+        Body::TupleStruct(1) => format!(
+            "serializer.serialize_content(\
+             ::serde::ser::to_content(&self.0).map_err({SER_ERR})?)"
+        ),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::to_content(&self.{i}).map_err({SER_ERR})?"))
+                .collect();
+            format!(
+                "serializer.serialize_content(::serde::Content::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serializer.serialize_content(\
+                         ::serde::Content::Str(\"{v}\".to_string())),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let __value = ::serde::ser::to_content(__f0).map_err({SER_ERR})?;\n\
+                         serializer.serialize_content(::serde::Content::Map(vec![(\
+                         \"{v}\".to_string(), __value)]))\n\
+                         }},\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::ser::to_content({b}).map_err({SER_ERR})?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => {{\n\
+                             let __value = ::serde::Content::Seq(vec![{items}]);\n\
+                             serializer.serialize_content(::serde::Content::Map(vec![(\
+                             \"{v}\".to_string(), __value)]))\n\
+                             }},\n",
+                            binders = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__inner.push((\"{f}\".to_string(), \
+                                     ::serde::ser::to_content({f}).map_err({SER_ERR})?));",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{\n\
+                             let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n\
+                             {pushes}\n\
+                             serializer.serialize_content(::serde::Content::Map(vec![(\
+                             \"{v}\".to_string(), ::serde::Content::Map(__inner))]))\n\
+                             }},\n",
+                            binders = binders.join(", "),
+                            pushes = pushes.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(named_field_init).collect();
+            format!(
+                "let __content = deserializer.deserialize_content()?;\n\
+                 let mut __map = ::serde::de::content_map(__content).map_err({DE_ERR})?;\n\
+                 let _ = &mut __map;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}\n}})",
+                inits = inits.join("\n")
+            )
+        }
+        Body::TupleStruct(0) | Body::UnitStruct => format!(
+            "deserializer.deserialize_content()?;\n\
+             ::core::result::Result::Ok({name})"
+        ),
+        Body::TupleStruct(1) => format!(
+            "let __content = deserializer.deserialize_content()?;\n\
+             ::core::result::Result::Ok({name}(\
+             ::serde::de::from_content(__content).map_err({DE_ERR})?))"
+        ),
+        Body::TupleStruct(n) => format!(
+            "let __content = deserializer.deserialize_content()?;\n\
+             match __content {{\n\
+             ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+             let mut __items = __items.into_iter();\n\
+             ::core::result::Result::Ok({name}({fields}))\n\
+             }}\n\
+             __other => ::core::result::Result::Err({DE_ERR}(format!(\
+             \"expected array of {n} for {name}, found {{}}\", __other.kind()))),\n\
+             }}",
+            fields = (0..*n)
+                .map(|_| format!(
+                    "::serde::de::from_content(__items.next().expect(\"length checked\"))\
+                     .map_err({DE_ERR})?"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),", v = v.name))
+                .collect();
+            let payload_variants: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.kind, VariantKind::Unit)).collect();
+            let mut payload_arms = String::new();
+            for variant in &payload_variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => unreachable!("filtered above"),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::de::from_content(__payload).map_err({DE_ERR})?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => payload_arms.push_str(&format!(
+                        "\"{v}\" => match __payload {{\n\
+                         ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                         let mut __items = __items.into_iter();\n\
+                         ::core::result::Result::Ok({name}::{v}({fields}))\n\
+                         }}\n\
+                         __other => ::core::result::Result::Err({DE_ERR}(format!(\
+                         \"expected array payload for {name}::{v}, found {{}}\", \
+                         __other.kind()))),\n\
+                         }},\n",
+                        fields = (0..*n)
+                            .map(|_| format!(
+                                "::serde::de::from_content(\
+                                 __items.next().expect(\"length checked\"))\
+                                 .map_err({DE_ERR})?"
+                            ))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields.iter().map(named_field_init).collect();
+                        payload_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let mut __map = ::serde::de::content_map(__payload)\
+                             .map_err({DE_ERR})?;\n\
+                             let _ = &mut __map;\n\
+                             ::core::result::Result::Ok({name}::{v} {{\n{inits}\n}})\n\
+                             }},\n",
+                            inits = inits.join("\n")
+                        ));
+                    }
+                }
+            }
+            let map_arm = if payload_variants.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Content::Map(mut __entries) if __entries.len() == 1 => {{\n\
+                     let (__key, __payload) = __entries.remove(0);\n\
+                     match __key.as_str() {{\n\
+                     {payload_arms}\
+                     __other => ::core::result::Result::Err({DE_ERR}(format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "let __content = deserializer.deserialize_content()?;\n\
+                 match __content {{\n\
+                 ::serde::Content::Str(ref __s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::core::result::Result::Err({DE_ERR}(format!(\
+                 \"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }},\n\
+                 {map_arm}\
+                 __other => ::core::result::Result::Err({DE_ERR}(format!(\
+                 \"expected variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn named_field_init(field: &Field) -> String {
+    let f = &field.name;
+    match &field.with {
+        Some(path) => format!(
+            "{f}: {path}::deserialize(::serde::de::ContentDeserializer(\
+             ::serde::de::take(&mut __map, \"{f}\"))).map_err({DE_ERR})?,"
+        ),
+        None => format!("{f}: ::serde::de::field(&mut __map, \"{f}\").map_err({DE_ERR})?,"),
+    }
+}

@@ -1,0 +1,172 @@
+//! Minimal, offline stand-in for the `serde_json` crate.
+//!
+//! [`Value`] is the vendored serde's [`serde::Content`] tree; this crate
+//! adds the JSON text format on top: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`to_value`], [`from_value`], and a [`json!`] macro
+//! covering object literals with expression values.
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+mod parse;
+mod print;
+
+/// A parsed JSON value (alias of the vendored serde's `Content`).
+pub type Value = Content;
+
+/// Errors from JSON (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl From<serde::ContentError> for Error {
+    fn from(e: serde::ContentError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to its [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates `Serialize` impl failures (infallible for derived impls).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    serde::ser::to_content(value).map_err(Error::from)
+}
+
+/// Deserializes a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree does not describe a `T`.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    serde::de::from_content(value).map_err(Error::from)
+}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// As [`to_value`].
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&to_value(value)?))
+}
+
+/// Serializes a value as human-readable, 2-space-indented JSON.
+///
+/// # Errors
+///
+/// As [`to_value`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&to_value(value)?))
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns a parse error (with byte offset) or a shape mismatch error.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text).map_err(Error)?;
+    from_value(value)
+}
+
+/// Builds a [`Value`] from an object literal of serializable expressions.
+///
+/// Subset of the real macro: `json!(null)`, `json!([expr, ...])`, and
+/// `json!({ "key": expr, ... })` (no nested literal recursion — nest by
+/// passing another `json!` call as the expression).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![
+            $($crate::to_value(&$element).expect("json! element serializes"),)*
+        ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $((
+                ($key).to_string(),
+                $crate::to_value(&$value).expect("json! value serializes"),
+            ),)*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value serializes") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"hi\\n\"").unwrap(), "hi\n");
+        assert!((from_str::<f64>("2.5e-1").unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips_compound() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn value_indexing_matches_serde_json() {
+        let v = json!({ "a": 1u32, "b": [10u32, 20u32], "s": "x" });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][1].as_u64(), Some(20));
+        assert_eq!(v["s"].as_str(), Some("x"));
+        assert!(v["missing"].is_null());
+        assert_eq!(v["b"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let v = json!({ "name": "graph", "items": [1u8, 2u8], "none": Option::<u8>::None });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let nasty = "quote\" slash\\ newline\n tab\t unicode\u{1F600}\u{7}";
+        let text = to_string(&nasty).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), nasty);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"unterminated\": ").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<u64>("\"string\"").is_err());
+    }
+}
