@@ -1,0 +1,231 @@
+//! `bench_sched` — the tracked scheduler-throughput baseline.
+//!
+//! Schedules the RandWire / DARTS / SwiftNet benchmark suite plus a
+//! dedicated N≈32 RandWire DP workload with the `dp`, `beam`, and
+//! `portfolio` backends, and writes wall-time, peak-search-memory, and
+//! transitions/sec to a JSON file (default `BENCH_sched.json` in the
+//! current directory — run from the repo root).
+//!
+//! The emitted file is the perf trajectory future PRs are measured against:
+//! re-run the bin before and after an optimization and compare
+//! `transitions_per_sec` on the `randwire-n32` / `dp` row.
+//!
+//! Run with: `cargo run --release -p serenity-bench --bin bench_sched`
+//!
+//! Flags:
+//! * `--out PATH`  output path (default `BENCH_sched.json`)
+//! * `--smoke`     tiny graphs, one iteration — CI keeps the emitter honest
+//! * `--iters N`   timed iterations per (workload, scheduler) pair (default 3)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serenity_core::backend::{BeamBackend, CompileContext, DpBackend, SchedulerBackend};
+use serenity_core::dp::DpConfig;
+use serenity_core::registry::BackendRegistry;
+use serenity_ir::Graph;
+use serenity_nets::randwire::{randwire_cell, RandWireConfig};
+use serenity_nets::suite;
+
+/// Safety valve: aborts DP runs whose frontier explodes instead of hanging.
+const MAX_STATES: usize = 2_000_000;
+
+struct Workload {
+    id: String,
+    graph: Graph,
+}
+
+fn randwire(nodes: usize, seed: u64, hw: usize, channels: usize) -> Graph {
+    randwire_cell(&RandWireConfig { nodes, seed, hw, channels, ..Default::default() })
+}
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    if smoke {
+        return vec![
+            Workload { id: "randwire-n10".into(), graph: randwire(10, 7, 4, 4) },
+            Workload { id: "randwire-n12".into(), graph: randwire(12, 9, 4, 4) },
+        ];
+    }
+    let mut all = vec![
+        // The acceptance workload: a single ~32-node RandWire cell whose DP
+        // frontier is large enough to expose per-transition costs.
+        Workload { id: "randwire-n32".into(), graph: randwire(32, 7, 8, 8) },
+    ];
+    all.extend(suite().into_iter().map(|b| Workload { id: b.id.into(), graph: b.graph }));
+    all
+}
+
+fn backends() -> Vec<(&'static str, Arc<dyn SchedulerBackend>)> {
+    vec![
+        (
+            "dp",
+            Arc::new(DpBackend::with_config(DpConfig {
+                max_states: Some(MAX_STATES),
+                ..DpConfig::default()
+            })) as Arc<dyn SchedulerBackend>,
+        ),
+        ("beam", Arc::new(BeamBackend::default())),
+        (
+            "portfolio",
+            BackendRegistry::standard().create("portfolio").expect("portfolio is registered"),
+        ),
+    ]
+}
+
+struct Row {
+    workload: String,
+    nodes: usize,
+    scheduler: &'static str,
+    ok: bool,
+    error: Option<String>,
+    wall: Duration,
+    peak_bytes: u64,
+    transitions: u64,
+    states: u64,
+    peak_memo_bytes: u64,
+}
+
+impl Row {
+    fn transitions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.transitions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(
+    workload: &Workload,
+    name: &'static str,
+    backend: &dyn SchedulerBackend,
+    iters: usize,
+) -> Row {
+    let ctx = CompileContext::unconstrained();
+    let mut best: Option<(Duration, serenity_core::backend::BackendOutcome)> = None;
+    let mut error = None;
+    // One warm-up plus `iters` timed runs; keep the fastest (least noise).
+    for i in 0..=iters {
+        let started = Instant::now();
+        match backend.schedule(&workload.graph, &ctx) {
+            Ok(outcome) => {
+                let wall = started.elapsed();
+                if i > 0 && best.as_ref().is_none_or(|(b, _)| wall < *b) {
+                    best = Some((wall, outcome));
+                }
+            }
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    match (best, error) {
+        (Some((wall, outcome)), None) => Row {
+            workload: workload.id.clone(),
+            nodes: workload.graph.len(),
+            scheduler: name,
+            ok: true,
+            error: None,
+            wall,
+            peak_bytes: outcome.schedule.peak_bytes,
+            transitions: outcome.stats.transitions,
+            states: outcome.stats.states,
+            peak_memo_bytes: outcome.stats.peak_memo_bytes,
+        },
+        (_, error) => Row {
+            workload: workload.id.clone(),
+            nodes: workload.graph.len(),
+            scheduler: name,
+            ok: false,
+            error,
+            wall: Duration::ZERO,
+            peak_bytes: 0,
+            transitions: 0,
+            states: 0,
+            peak_memo_bytes: 0,
+        },
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_sched.json");
+    let mut smoke = false;
+    let mut iters = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--iters" => {
+                iters = args
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters needs an integer")
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench_sched [--out PATH] [--smoke] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        iters = 1;
+    }
+
+    let mut rows = Vec::new();
+    for workload in workloads(smoke) {
+        for (name, backend) in backends() {
+            let row = measure(&workload, name, backend.as_ref(), iters);
+            if row.ok {
+                println!(
+                    "{:<16} {:<10} {:>10.3?} {:>12.0} trans/s {:>10} memo B",
+                    row.workload,
+                    row.scheduler,
+                    row.wall,
+                    row.transitions_per_sec(),
+                    row.peak_memo_bytes,
+                );
+            } else {
+                println!(
+                    "{:<16} {:<10} FAILED: {}",
+                    row.workload,
+                    row.scheduler,
+                    row.error.as_deref().unwrap_or("unknown"),
+                );
+            }
+            rows.push(row);
+        }
+    }
+
+    let results: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "workload": r.workload,
+                "nodes": r.nodes,
+                "scheduler": r.scheduler,
+                "ok": r.ok,
+                "error": r.error,
+                "wall_us": r.wall.as_micros() as u64,
+                "peak_bytes": r.peak_bytes,
+                "transitions": r.transitions,
+                "states": r.states,
+                "peak_memo_bytes": r.peak_memo_bytes,
+                "transitions_per_sec": r.transitions_per_sec() as u64,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "schema": "serenity-bench-sched/v1",
+        "mode": if smoke { "smoke" } else { "full" },
+        "iters": iters,
+        "results": results,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, rendered + "\n").unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+}

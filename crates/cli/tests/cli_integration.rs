@@ -124,6 +124,48 @@ fn scheduler_flag_selects_registered_backends() {
 }
 
 #[test]
+fn threads_flag_drives_parallel_dp_expansion() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("threads_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "randwire-c10-a", "-o", path_str]).status.success());
+
+    // Parallel expansion is deterministic and serial-equal: the dp backend
+    // must report the same peak (and order) at any thread count.
+    let mut reports = Vec::new();
+    for threads in ["1", "4"] {
+        let out =
+            serenity(&["schedule", path_str, "--scheduler", "dp", "--threads", threads, "--json"]);
+        assert!(out.status.success(), "--threads {threads} failed: {out:?}");
+        let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+        reports.push(report);
+    }
+    assert_eq!(reports[0]["peak_bytes"], reports[1]["peak_bytes"]);
+    assert_eq!(reports[0]["order"], reports[1]["order"]);
+}
+
+#[test]
+fn threads_flag_validates_its_argument_and_target() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("threads_bad_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    // Zero threads is a usage error (exit 2, from the parser).
+    let out = serenity(&["schedule", path_str, "--scheduler", "dp", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+
+    // Threads only make sense for backends with a parallel inner loop.
+    let out = serenity(&["schedule", path_str, "--scheduler", "kahn", "--threads", "2"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--threads only applies"), "stderr: {stderr}");
+}
+
+#[test]
 fn unknown_scheduler_fails_with_the_available_names() {
     let dir = std::env::temp_dir().join("serenity_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -28,17 +28,25 @@ use serenity_ir::{Graph, NodeId, NodeSet};
 pub fn stackify(graph: &Graph, peak_cap: u64) -> Option<Vec<NodeId>> {
     let n = graph.len();
     let cost = CostModel::new(graph);
-    let mut indegree: Vec<usize> = graph.node_ids().map(|id| graph.indegree(id)).collect();
-    let mut ready: Vec<NodeId> = graph.node_ids().filter(|&id| indegree[id.index()] == 0).collect();
+    let mut ready: Vec<NodeId> = graph.node_ids().filter(|&id| graph.indegree(id) == 0).collect();
     let mut scheduled = NodeSet::with_capacity(n);
     // Production step of each node's output, for the recency preference.
     let mut produced_at = vec![usize::MAX; n];
     let mut order = Vec::with_capacity(n);
     let mut mu = 0u64;
 
+    /// The winning candidate of one sweep, carrying its already-computed
+    /// byte deltas so selection does not re-run the cost model.
+    struct Best {
+        key: (usize, u64, NodeId),
+        ready_idx: usize,
+        alloc: u64,
+        freed: u64,
+    }
+
     while !ready.is_empty() {
         // Candidates that respect the cap at their allocation instant.
-        let mut best: Option<(usize, u64, NodeId, usize)> = None;
+        let mut best: Option<Best> = None;
         for (i, &u) in ready.iter().enumerate() {
             let alloc = cost.alloc_bytes(&scheduled, u);
             if mu + alloc > peak_cap {
@@ -54,22 +62,20 @@ pub fn stackify(graph: &Graph, peak_cap: u64) -> Option<Vec<NodeId>> {
                 .filter(|&t| t != usize::MAX)
                 .max()
                 .unwrap_or(0);
-            let key = (usize::MAX - recency, u64::MAX - freed, u, i);
-            if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
-                best = Some(key);
+            let key = (usize::MAX - recency, u64::MAX - freed, u);
+            if best.as_ref().is_none_or(|b| key < b.key) {
+                best = Some(Best { key, ready_idx: i, alloc, freed });
             }
         }
-        let (_, _, u, idx) = best?;
-        let alloc = cost.alloc_bytes(&scheduled, u);
-        let freed = cost.free_bytes(&scheduled, u);
+        let Best { key: (_, _, u), ready_idx, alloc, freed } = best?;
         mu = mu + alloc - freed;
         produced_at[u.index()] = order.len();
-        ready.swap_remove(idx);
+        ready.swap_remove(ready_idx);
         order.push(u);
         scheduled.insert(u);
         for &s in graph.succs(u) {
-            indegree[s.index()] -= 1;
-            if indegree[s.index()] == 0 {
+            // The last predecessor to run flips the mask test exactly once.
+            if cost.ready(&scheduled, s) {
                 ready.push(s);
             }
         }

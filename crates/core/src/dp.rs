@@ -1,4 +1,5 @@
-//! The dynamic-programming scheduler of §3.1 (Algorithm 1).
+//! The dynamic-programming scheduler of §3.1 (Algorithm 1), built on a
+//! zero-allocation-per-transition frontier engine.
 //!
 //! # How it works
 //!
@@ -19,6 +20,35 @@
 //! predecessor whose last consumer has now run (Figure 6). The memo-table
 //! update keeps the smaller `µ_peak` per signature (Algorithm 1, line 21).
 //!
+//! # The frontier engine
+//!
+//! Frontiers reach tens of thousands of signatures per step on real
+//! irregularly wired networks, so the engine is built around three ideas:
+//!
+//! * **Interned signatures in step arenas.** A state's `z` and scheduled
+//!   bitsets live as fixed-width word slices inside a per-step
+//!   [`StepArena`] word pool — one allocation per step, not two `Vec<u64>`s
+//!   per state. Transitions build the successor signature in a reused
+//!   scratch buffer; words are copied into the pool only when a signature
+//!   turns out to be new. The steady-state hot loop performs no heap
+//!   allocation per transition.
+//! * **Incremental Zobrist hashing.** Each state carries the 64-bit XOR of
+//!   its members' [`ZobristTable`] keys, updated in O(1) as nodes enter and
+//!   leave `z`. The memo table ([`SigIndex`]) is an open-addressing index
+//!   keyed by that pre-computed hash, so lookups never rehash a signature's
+//!   words; hash hits are confirmed by word comparison, keeping the memo
+//!   exact under (astronomically rare) Zobrist collisions.
+//! * **Arena compaction.** Once a step is expanded, its full signatures are
+//!   no longer needed — only the `(parent, node, peak)` backtrack records
+//!   survive (16 bytes per state), and the word pool is dropped. Peak search
+//!   memory is O(frontier × words) instead of O(steps × states × words);
+//!   [`ScheduleStats::peak_memo_bytes`] reports the measured high-water
+//!   mark.
+//!
+//! The allocate/free/ready queries run through [`CostModel`]'s precomputed
+//! adjacency bitmasks: "all predecessors scheduled" and "last consumer ran"
+//! are word-level subset tests rather than edge-list scans.
+//!
 //! Two §3.2 accelerations are integrated here rather than layered on top:
 //!
 //! * **Soft-budget pruning** — transitions whose `µ_peak` exceeds the budget
@@ -27,15 +57,18 @@
 //!   with [`ScheduleError::Timeout`], the signal Algorithm 2's meta-search
 //!   reacts to.
 //!
-//! Frontier expansion optionally fans out across threads (`threads > 1`);
-//! results are merged deterministically, so parallel runs return the same
-//! peak as serial runs.
+//! Frontier expansion optionally fans out across threads (`threads > 1`):
+//! workers bucket candidates by signature hash into shards, shards are
+//! merged in parallel (a signature lands in exactly one shard), and the
+//! merged arena is re-ordered by first-occurrence so the result — peaks,
+//! representatives, and the reconstructed order — is identical to a serial
+//! run.
 
 use std::time::{Duration, Instant};
 
-use serenity_ir::fxhash::FxHashMap;
 use serenity_ir::mem::{CostModel, FootprintTracker};
-use serenity_ir::{Graph, GraphError, NodeId, NodeSet};
+use serenity_ir::set::wordset;
+use serenity_ir::{Graph, GraphError, NodeId, NodeSet, ZobristTable};
 
 use crate::backend::CompileContext;
 use crate::{Schedule, ScheduleError, ScheduleStats};
@@ -98,14 +131,12 @@ pub struct DpScheduler {
     config: DpConfig,
 }
 
-/// One memoized state: the minimum-peak partial schedule for a signature.
-#[derive(Debug, Clone)]
-struct State {
-    /// Zero-indegree set signature.
-    z: NodeSet,
-    /// Scheduled-node set (the downward closure complement of `↑z`; kept
-    /// explicitly to make transitions O(deg) instead of O(V+E)).
-    scheduled: NodeSet,
+/// Fixed-size per-state metadata; the signature words live in the arena
+/// pool.
+#[derive(Debug, Clone, Copy)]
+struct StateMeta {
+    /// Zobrist hash of the `z` signature (XOR of member keys).
+    hash: u64,
     /// Running footprint µ — a function of the signature alone.
     mu: u64,
     /// Peak footprint µ_peak of the best prefix reaching this signature.
@@ -114,6 +145,170 @@ struct State {
     parent: u32,
     /// Node scheduled to reach this state from the parent.
     node: NodeId,
+}
+
+impl StateMeta {
+    /// Generation-order key of the transition that produced this candidate:
+    /// candidates are generated in ascending `(parent, node)` order, so this
+    /// key totally orders them exactly as a serial sweep visits them.
+    fn transition_key(&self) -> u64 {
+        ((self.parent as u64) << 32) | self.node.index() as u64
+    }
+}
+
+/// One search step's states: fixed-size metadata plus a flat word pool
+/// holding each state's `z` and scheduled bitsets back to back.
+#[derive(Debug)]
+struct StepArena {
+    /// Words per bitset (⌈|V|/64⌉).
+    words: usize,
+    /// `2 * words` pool words per state: `z` first, then `scheduled`.
+    pool: Vec<u64>,
+    meta: Vec<StateMeta>,
+    /// Transition key of the *first* candidate that created each state —
+    /// better-peak replacements keep it, preserving serial insertion order.
+    first_key: Vec<u64>,
+}
+
+impl StepArena {
+    fn new(words: usize) -> Self {
+        StepArena { words, pool: Vec::new(), meta: Vec::new(), first_key: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn z(&self, i: usize) -> &[u64] {
+        let at = i * 2 * self.words;
+        &self.pool[at..at + self.words]
+    }
+
+    /// The state's `(z, scheduled)` word slices.
+    fn sets(&self, i: usize) -> (&[u64], &[u64]) {
+        let at = i * 2 * self.words;
+        self.pool[at..at + 2 * self.words].split_at(self.words)
+    }
+
+    fn push(&mut self, z: &[u64], scheduled: &[u64], meta: StateMeta) -> u32 {
+        debug_assert_eq!(z.len(), self.words);
+        debug_assert_eq!(scheduled.len(), self.words);
+        let at = self.meta.len() as u32;
+        self.pool.extend_from_slice(z);
+        self.pool.extend_from_slice(scheduled);
+        self.first_key.push(meta.transition_key());
+        self.meta.push(meta);
+        at
+    }
+
+    /// Bytes of live signature storage held by this arena.
+    fn pool_bytes(&self) -> u64 {
+        (self.pool.len() * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// Shrinks the arena to its backtrack records, dropping the signature
+    /// pool (the compaction step: completed steps only need the parent
+    /// chain).
+    fn into_back_records(self) -> Vec<BackRec> {
+        self.meta
+            .into_iter()
+            .map(|m| BackRec { parent: m.parent, node: m.node, peak: m.peak })
+            .collect()
+    }
+}
+
+/// Compact backtrack record of a completed step's state.
+#[derive(Debug, Clone, Copy)]
+struct BackRec {
+    parent: u32,
+    node: NodeId,
+    /// Peak of the best prefix reaching the state; kept for diagnostics and
+    /// monotonicity asserts, not needed for reconstruction.
+    #[allow(dead_code)]
+    peak: u64,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Open-addressing memo index over an arena's states, keyed by the
+/// pre-computed Zobrist hash — lookups never rehash signature words.
+#[derive(Debug)]
+struct SigIndex {
+    /// Power-of-two slot array holding arena indices.
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl SigIndex {
+    fn with_capacity(states: usize) -> Self {
+        let cap = (states.max(8) * 2).next_power_of_two();
+        SigIndex { slots: vec![EMPTY_SLOT; cap], mask: cap - 1, len: 0 }
+    }
+
+    /// Re-inserts every arena state into a table twice the size (hashes are
+    /// carried in the metadata, so no signature is rehashed).
+    fn grow(&mut self, arena: &StepArena) {
+        let cap = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY_SLOT);
+        self.mask = cap - 1;
+        for (i, meta) in arena.meta.iter().enumerate() {
+            let mut pos = (meta.hash as usize) & self.mask;
+            while self.slots[pos] != EMPTY_SLOT {
+                pos = (pos + 1) & self.mask;
+            }
+            self.slots[pos] = i as u32;
+        }
+    }
+}
+
+/// Inserts a candidate into the next-step arena, keeping the minimum-peak
+/// state per signature (Algorithm 1, lines 21-23). Ties keep the earlier
+/// candidate in transition order, matching a serial sweep.
+fn merge_candidate(
+    arena: &mut StepArena,
+    index: &mut SigIndex,
+    z: &[u64],
+    scheduled: &[u64],
+    meta: StateMeta,
+) {
+    let mut pos = (meta.hash as usize) & index.mask;
+    loop {
+        let slot = index.slots[pos];
+        if slot == EMPTY_SLOT {
+            let at = arena.push(z, scheduled, meta);
+            index.slots[pos] = at;
+            index.len += 1;
+            if index.len * 4 >= index.slots.len() * 3 {
+                index.grow(arena);
+            }
+            return;
+        }
+        let at = slot as usize;
+        // Hash hit: confirm content equality so Zobrist collisions cannot
+        // merge distinct signatures (exactness over probabilism).
+        if arena.meta[at].hash == meta.hash && arena.z(at) == z {
+            let existing = &mut arena.meta[at];
+            // Same signature ⇒ same scheduled set ⇒ same live set ⇒ same µ.
+            debug_assert_eq!(existing.mu, meta.mu, "µ must be a function of the signature");
+            if meta.peak < existing.peak {
+                *existing = meta;
+            }
+            return;
+        }
+        pos = (pos + 1) & index.mask;
+    }
+}
+
+/// Which shard a signature hash belongs to.
+///
+/// Uses high hash bits: [`SigIndex`] probes from the *low* bits, so deriving
+/// the shard from them too would leave every hash within a shard aliased to
+/// the same initial probe residue, clustering the linear probes.
+#[inline]
+fn shard_of(hash: u64, shards: usize) -> usize {
+    (hash >> 48) as usize & (shards - 1)
 }
 
 const ROOT: u32 = u32::MAX;
@@ -228,54 +423,71 @@ impl DpScheduler {
         }
 
         let cost = CostModel::new(graph);
-        let root = self.root_state(graph, prefix)?;
+        let zobrist = ZobristTable::new(n);
+        let words = n.div_ceil(64);
+        let mut frontier = self.root_arena(graph, &cost, &zobrist, words, prefix)?;
         if let Some(budget) = self.config.budget {
-            if root.peak > budget {
+            if frontier.meta[0].peak > budget {
                 return Err(ScheduleError::NoSolution { budget });
             }
         }
 
         let mut stats = ScheduleStats { states: 1, ..ScheduleStats::default() };
-        // Arena per search step; step 0 holds only the root.
-        let mut arenas: Vec<Vec<State>> = vec![vec![root]];
+        stats.peak_memo_bytes = frontier.pool_bytes();
+        // Compacted backtrack records of completed steps; index k holds the
+        // arena of step k (after k transitions past the prefix).
+        let mut back: Vec<Vec<BackRec>> = Vec::new();
         let remaining = n - prefix.len();
 
         for step in 0..remaining {
             let step_started = Instant::now();
-            let frontier = arenas.last().expect("arena for current step exists");
             let next = if self.config.threads > 1 && frontier.len() >= PARALLEL_THRESHOLD {
-                self.expand_parallel(&cost, frontier, step, step_started, &mut stats, ctx)?
+                self.expand_parallel(
+                    &cost,
+                    &zobrist,
+                    &frontier,
+                    step,
+                    step_started,
+                    &mut stats,
+                    ctx,
+                )?
             } else {
-                self.expand_serial(&cost, frontier, step, step_started, &mut stats, ctx)?
+                self.expand_serial(&cost, &zobrist, &frontier, step, step_started, &mut stats, ctx)?
             };
-            if next.is_empty() {
+            if next.len() == 0 {
                 let budget = self.config.budget.unwrap_or(u64::MAX);
                 return Err(ScheduleError::NoSolution { budget });
             }
             stats.states += next.len() as u64;
             stats.steps = step + 1;
-            arenas.push(next);
+            stats.peak_memo_bytes =
+                stats.peak_memo_bytes.max(frontier.pool_bytes() + next.pool_bytes());
+            // Compaction: the expanded step only needs its parent chain.
+            back.push(frontier.into_back_records());
+            frontier = next;
         }
 
         // All nodes scheduled: the final arena holds exactly one state with
         // an empty signature (Algorithm 1, line 27).
-        let last = arenas.last().expect("final arena exists");
-        debug_assert_eq!(last.len(), 1, "final signature must be unique");
-        let best = last.iter().enumerate().min_by_key(|(_, s)| s.peak).expect("non-empty");
+        debug_assert_eq!(frontier.len(), 1, "final signature must be unique");
+        let best = frontier.meta.iter().min_by_key(|m| m.peak).expect("final arena is non-empty");
 
         let mut order = Vec::with_capacity(n);
-        let (mut arena_idx, mut state_idx) = (arenas.len() - 1, best.0 as u32);
-        while arena_idx > 0 {
-            let state = &arenas[arena_idx][state_idx as usize];
-            order.push(state.node);
-            state_idx = state.parent;
-            arena_idx -= 1;
+        if remaining > 0 {
+            order.push(best.node);
+            let mut parent = best.parent;
+            // Walk levels remaining-1 .. 1; back[0] is the root (dummy node).
+            for recs in back[1..].iter().rev() {
+                let rec = recs[parent as usize];
+                order.push(rec.node);
+                parent = rec.parent;
+            }
         }
         order.extend(prefix.iter().rev());
         order.reverse();
 
         stats.duration = started.elapsed();
-        let schedule = Schedule { order, peak_bytes: best.1.peak };
+        let schedule = Schedule { order, peak_bytes: best.peak };
         debug_assert_eq!(
             serenity_ir::mem::peak_bytes(graph, &schedule.order).expect("valid order"),
             schedule.peak_bytes,
@@ -284,14 +496,21 @@ impl DpScheduler {
         Ok(DpSolution { schedule, stats })
     }
 
-    fn root_state(&self, graph: &Graph, prefix: &[NodeId]) -> Result<State, ScheduleError> {
+    fn root_arena(
+        &self,
+        graph: &Graph,
+        cost: &CostModel<'_>,
+        zobrist: &ZobristTable,
+        words: usize,
+        prefix: &[NodeId],
+    ) -> Result<StepArena, ScheduleError> {
         let mut scheduled = NodeSet::with_capacity(graph.len());
         let mut tracker = FootprintTracker::new(graph);
         for (i, &u) in prefix.iter().enumerate() {
             if graph.get(u).is_none() {
                 return Err(GraphError::UnknownNode(u).into());
             }
-            let ready = graph.preds(u).iter().all(|p| scheduled.contains(*p));
+            let ready = cost.ready(&scheduled, u);
             if scheduled.contains(u) || !ready {
                 return Err(GraphError::InvalidOrder {
                     detail: format!("prefix node {u} at position {i} is not schedulable"),
@@ -301,38 +520,73 @@ impl DpScheduler {
             scheduled.insert(u);
             tracker.schedule(u);
         }
-        let z = zero_indegree(graph, &scheduled);
-        Ok(State {
-            z,
-            scheduled,
-            mu: tracker.current_bytes(),
-            peak: tracker.peak_bytes(),
-            parent: ROOT,
-            node: NodeId::from_index(0),
-        })
+        let mut z = NodeSet::with_capacity(graph.len());
+        for u in graph.node_ids() {
+            if !scheduled.contains(u) && cost.ready(&scheduled, u) {
+                z.insert(u);
+            }
+        }
+        let mut arena = StepArena::new(words);
+        let mut z_words = vec![0u64; words];
+        let mut s_words = vec![0u64; words];
+        z_words[..z.as_words().len()].copy_from_slice(z.as_words());
+        s_words[..scheduled.as_words().len()].copy_from_slice(scheduled.as_words());
+        arena.push(
+            &z_words,
+            &s_words,
+            StateMeta {
+                hash: zobrist.hash_set(&z),
+                mu: tracker.current_bytes(),
+                peak: tracker.peak_bytes(),
+                parent: ROOT,
+                node: NodeId::from_index(0),
+            },
+        );
+        Ok(arena)
     }
 
+    /// Applies the Figure 6 step for every `(state, u ∈ z)` pair of the
+    /// frontier, merging candidates into the next arena as they appear.
+    #[allow(clippy::too_many_arguments)]
     fn expand_serial(
         &self,
         cost: &CostModel<'_>,
-        frontier: &[State],
+        zobrist: &ZobristTable,
+        frontier: &StepArena,
         step: usize,
         step_started: Instant,
         stats: &mut ScheduleStats,
         ctx: &CompileContext,
-    ) -> Result<Vec<State>, ScheduleError> {
-        let mut arena: Vec<State> = Vec::new();
-        let mut index: FxHashMap<NodeSet, u32> = FxHashMap::default();
+    ) -> Result<StepArena, ScheduleError> {
+        let words = frontier.words;
+        let mut arena = StepArena::new(words);
+        arena.pool.reserve(frontier.pool.len());
+        let mut index = SigIndex::with_capacity(frontier.len());
+        let mut scratch = vec![0u64; 2 * words];
         let mut transitions = 0u64;
         let mut pruned = 0u64;
-        for (si, state) in frontier.iter().enumerate() {
-            for u in state.z.iter() {
+        for si in 0..frontier.len() {
+            let (z, scheduled) = frontier.sets(si);
+            let meta = frontier.meta[si];
+            for u in wordset::iter(z) {
                 transitions += 1;
                 if transitions & TIMEOUT_CHECK_MASK == 0 {
                     self.check_limits(step, step_started, arena.len(), ctx)?;
                 }
-                match self.transition(cost, state, si as u32, u) {
-                    Some(candidate) => merge_candidate(&mut arena, &mut index, candidate),
+                match self.transition(
+                    cost,
+                    zobrist,
+                    z,
+                    scheduled,
+                    &meta,
+                    si as u32,
+                    u,
+                    &mut scratch,
+                ) {
+                    Some(candidate) => {
+                        let (cz, cs) = scratch.split_at(words);
+                        merge_candidate(&mut arena, &mut index, cz, cs, candidate);
+                    }
                     None => pruned += 1,
                 }
             }
@@ -343,94 +597,181 @@ impl DpScheduler {
         Ok(arena)
     }
 
+    /// Parallel expansion with a sharded merge: workers bucket candidates by
+    /// signature hash, each shard is merged independently (a signature lands
+    /// in exactly one shard), and the shard arenas are stitched back in
+    /// first-occurrence transition order — the exact arena a serial sweep
+    /// would have produced.
+    #[allow(clippy::too_many_arguments)]
     fn expand_parallel(
         &self,
         cost: &CostModel<'_>,
-        frontier: &[State],
+        zobrist: &ZobristTable,
+        frontier: &StepArena,
         step: usize,
         step_started: Instant,
         stats: &mut ScheduleStats,
         ctx: &CompileContext,
-    ) -> Result<Vec<State>, ScheduleError> {
+    ) -> Result<StepArena, ScheduleError> {
+        let words = frontier.words;
         let threads = self.config.threads.min(frontier.len());
+        let shards = threads.next_power_of_two();
         let chunk_size = frontier.len().div_ceil(threads);
-        let chunks: Vec<&[State]> = frontier.chunks(chunk_size).collect();
 
-        type ChunkResult = Result<(Vec<State>, u64, u64), ScheduleError>;
+        // Phase 1: generate candidates, bucketed by hash shard. Blocks are
+        // plain `StepArena`s holding the worker's candidates (duplicates and
+        // all) in transition order; only phase 2 deduplicates.
+        type ChunkResult = Result<(Vec<StepArena>, u64, u64), ScheduleError>;
         let results: Vec<ChunkResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .enumerate()
-                .map(|(ci, chunk)| {
-                    let base = (ci * chunk_size) as u32;
+            let frontier = &frontier;
+            let handles: Vec<_> = (0..threads)
+                .map(|ci| {
+                    let base = ci * chunk_size;
+                    let end = ((ci + 1) * chunk_size).min(frontier.len());
                     scope.spawn(move || -> ChunkResult {
-                        let mut local: Vec<State> = Vec::new();
+                        let mut blocks: Vec<StepArena> =
+                            (0..shards).map(|_| StepArena::new(words)).collect();
+                        let mut scratch = vec![0u64; 2 * words];
                         let mut transitions = 0u64;
                         let mut pruned = 0u64;
-                        for (offset, state) in chunk.iter().enumerate() {
-                            for u in state.z.iter() {
+                        let mut emitted = 0usize;
+                        for si in base..end {
+                            let (z, scheduled) = frontier.sets(si);
+                            let meta = frontier.meta[si];
+                            for u in wordset::iter(z) {
                                 transitions += 1;
                                 if transitions & TIMEOUT_CHECK_MASK == 0 {
-                                    self.check_limits(step, step_started, local.len(), ctx)?;
+                                    self.check_limits(step, step_started, emitted, ctx)?;
                                 }
-                                match self.transition(cost, state, base + offset as u32, u) {
-                                    Some(candidate) => local.push(candidate),
+                                match self.transition(
+                                    cost,
+                                    zobrist,
+                                    z,
+                                    scheduled,
+                                    &meta,
+                                    si as u32,
+                                    u,
+                                    &mut scratch,
+                                ) {
+                                    Some(candidate) => {
+                                        let shard = shard_of(candidate.hash, shards);
+                                        let (cz, cs) = scratch.split_at(words);
+                                        blocks[shard].push(cz, cs, candidate);
+                                        emitted += 1;
+                                    }
                                     None => pruned += 1,
                                 }
                             }
                         }
-                        Ok((local, transitions, pruned))
+                        Ok((blocks, transitions, pruned))
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
         });
 
-        // Deterministic merge in chunk order: identical outcome to serial.
-        let mut arena: Vec<State> = Vec::new();
-        let mut index: FxHashMap<NodeSet, u32> = FxHashMap::default();
+        let mut worker_blocks: Vec<Vec<StepArena>> = Vec::with_capacity(threads);
+        let mut candidate_bytes = 0u64;
         for result in results {
-            let (candidates, transitions, pruned) = result?;
+            let (blocks, transitions, pruned) = result?;
             stats.transitions += transitions;
             stats.pruned += pruned;
-            for candidate in candidates {
-                merge_candidate(&mut arena, &mut index, candidate);
-            }
-            self.check_limits(step, step_started, arena.len(), ctx)?;
+            candidate_bytes += blocks.iter().map(StepArena::pool_bytes).sum::<u64>();
+            worker_blocks.push(blocks);
         }
-        Ok(arena)
+        ctx.check()?;
+
+        // Phase 2: merge each shard independently, workers in chunk order so
+        // candidates are seen in global transition order within the shard.
+        let shard_arenas: Vec<StepArena> = std::thread::scope(|scope| {
+            let worker_blocks = &worker_blocks;
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let total: usize = worker_blocks.iter().map(|b| b[shard].meta.len()).sum();
+                        let mut arena = StepArena::new(words);
+                        let mut index = SigIndex::with_capacity(total / 2 + 1);
+                        for blocks in worker_blocks {
+                            let block = &blocks[shard];
+                            for (i, &meta) in block.meta.iter().enumerate() {
+                                let (z, scheduled) = block.sets(i);
+                                merge_candidate(&mut arena, &mut index, z, scheduled, meta);
+                            }
+                        }
+                        arena
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("merger does not panic")).collect()
+        });
+
+        // Phase 3: stitch the shards back in first-occurrence order, making
+        // the arena bit-identical to a serial expansion.
+        let mut ordered: Vec<(u64, u32, u32)> = Vec::new();
+        for (shard, arena) in shard_arenas.iter().enumerate() {
+            for (i, &key) in arena.first_key.iter().enumerate() {
+                ordered.push((key, shard as u32, i as u32));
+            }
+        }
+        ordered.sort_unstable();
+        let mut merged = StepArena::new(words);
+        merged.pool.reserve(ordered.len() * 2 * words);
+        for &(key, shard, i) in &ordered {
+            let arena = &shard_arenas[shard as usize];
+            let (z, scheduled) = arena.sets(i as usize);
+            let at = merged.push(z, scheduled, arena.meta[i as usize]);
+            merged.first_key[at as usize] = key;
+        }
+        // High-water mark of live signature storage: the stitched arena is
+        // built while the frontier, the candidate blocks, and the shard
+        // arenas are all still allocated.
+        let shard_bytes = shard_arenas.iter().map(StepArena::pool_bytes).sum::<u64>();
+        stats.peak_memo_bytes = stats
+            .peak_memo_bytes
+            .max(frontier.pool_bytes() + candidate_bytes + shard_bytes + merged.pool_bytes());
+        self.check_limits(step, step_started, merged.len(), ctx)?;
+        Ok(merged)
     }
 
     /// Applies the Figure 6 step through the shared cost model: allocate `u`,
-    /// update the peak, free dead predecessors, compute the successor
-    /// signature. Returns `None` when the transition is pruned by the soft
-    /// budget.
+    /// update the peak, free dead predecessors, build the successor signature
+    /// in `scratch` (`z'` then `scheduled'`), and fold `u` and the newly
+    /// ready successors into the Zobrist hash. Returns `None` when the
+    /// transition is pruned by the soft budget.
+    #[allow(clippy::too_many_arguments)]
     fn transition(
         &self,
         cost: &CostModel<'_>,
-        state: &State,
+        zobrist: &ZobristTable,
+        z: &[u64],
+        scheduled: &[u64],
+        meta: &StateMeta,
         parent: u32,
         u: NodeId,
-    ) -> Option<State> {
-        let graph = cost.graph();
-        let mu_after_alloc = state.mu + cost.alloc_bytes(&state.scheduled, u);
-        let peak = state.peak.max(mu_after_alloc);
+        scratch: &mut [u64],
+    ) -> Option<StateMeta> {
+        let mu_after_alloc = meta.mu + cost.alloc_bytes_words(scheduled, u);
+        let peak = meta.peak.max(mu_after_alloc);
         if let Some(budget) = self.config.budget {
             if peak > budget {
                 return None;
             }
         }
-        let mu = mu_after_alloc - cost.free_bytes(&state.scheduled, u);
-        let mut scheduled = state.scheduled.clone();
-        scheduled.insert(u);
-        let mut z = state.z.clone();
-        z.remove(u);
-        for &s in graph.succs(u) {
-            if graph.preds(s).iter().all(|p| scheduled.contains(*p)) {
-                z.insert(s);
+        let mu = mu_after_alloc - cost.free_bytes_words(scheduled, u);
+        let words = z.len();
+        let (sz, ss) = scratch.split_at_mut(words);
+        sz.copy_from_slice(z);
+        ss.copy_from_slice(scheduled);
+        wordset::remove(sz, u);
+        wordset::insert(ss, u);
+        let mut hash = meta.hash ^ zobrist.key(u);
+        for &s in cost.graph().succs(u) {
+            if cost.ready_words(ss, s) {
+                wordset::insert(sz, s);
+                hash ^= zobrist.key(s);
             }
         }
-        Some(State { z, scheduled, mu, peak, parent, node: u })
+        Some(StateMeta { hash, mu, peak, parent, node: u })
     }
 
     fn check_limits(
@@ -454,35 +795,6 @@ impl DpScheduler {
         }
         Ok(())
     }
-}
-
-/// Inserts `candidate` into the next-step arena, keeping the minimum-peak
-/// state per signature (Algorithm 1, lines 21-23).
-fn merge_candidate(arena: &mut Vec<State>, index: &mut FxHashMap<NodeSet, u32>, candidate: State) {
-    match index.get(&candidate.z) {
-        Some(&at) => {
-            let existing = &mut arena[at as usize];
-            // Same signature ⇒ same scheduled set ⇒ same live set ⇒ same µ.
-            debug_assert_eq!(existing.mu, candidate.mu, "µ must be a function of the signature");
-            if candidate.peak < existing.peak {
-                *existing = candidate;
-            }
-        }
-        None => {
-            index.insert(candidate.z.clone(), arena.len() as u32);
-            arena.push(candidate);
-        }
-    }
-}
-
-fn zero_indegree(graph: &Graph, scheduled: &NodeSet) -> NodeSet {
-    let mut z = NodeSet::with_capacity(graph.len());
-    for u in graph.node_ids() {
-        if !scheduled.contains(u) && graph.preds(u).iter().all(|p| scheduled.contains(*p)) {
-            z.insert(u);
-        }
-    }
-    z
 }
 
 #[cfg(test)]
@@ -604,7 +916,23 @@ mod tests {
             let serial = DpScheduler::new().schedule(&g).unwrap();
             let parallel = DpScheduler::new().threads(4).schedule(&g).unwrap();
             assert_eq!(serial.schedule.peak_bytes, parallel.schedule.peak_bytes);
+            // The sharded merge re-orders by first occurrence, so parallel
+            // runs reconstruct the *same* order, not just the same peak.
+            assert_eq!(serial.schedule.order, parallel.schedule.order);
         }
+    }
+
+    #[test]
+    fn sharded_merge_kicks_in_and_is_serial_equal() {
+        // 12 independent branches: the frontier peaks at C(12,6) = 924
+        // states, well past PARALLEL_THRESHOLD, so the sharded path runs.
+        let g = serenity_ir::random_dag::independent_branches(12, 10);
+        let serial = DpScheduler::new().schedule(&g).unwrap();
+        let parallel = DpScheduler::new().threads(4).schedule(&g).unwrap();
+        assert_eq!(serial.schedule.order, parallel.schedule.order);
+        assert_eq!(serial.schedule.peak_bytes, parallel.schedule.peak_bytes);
+        assert_eq!(serial.stats.states, parallel.stats.states);
+        assert_eq!(serial.stats.transitions, parallel.stats.transitions);
     }
 
     #[test]
@@ -614,5 +942,54 @@ mod tests {
         assert_eq!(dp.stats.steps, g.len());
         assert!(dp.stats.transitions >= g.len() as u64);
         assert!(dp.stats.states >= g.len() as u64);
+        assert!(dp.stats.peak_memo_bytes > 0);
+    }
+
+    /// `depth` stacked diamonds: a deep graph with a tiny frontier, the
+    /// worst case for full-history retention.
+    fn chain_of_diamonds(depth: usize) -> Graph {
+        let mut g = Graph::new("diamonds");
+        let mut prev = g.add_opaque("s", 8, &[]).unwrap();
+        for i in 0..depth {
+            let l = g.add_opaque(format!("l{i}"), 8, &[prev]).unwrap();
+            let r = g.add_opaque(format!("r{i}"), 8, &[prev]).unwrap();
+            prev = g.add_opaque(format!("j{i}"), 8, &[l, r]).unwrap();
+        }
+        g.mark_output(prev);
+        g
+    }
+
+    #[test]
+    fn completed_steps_do_not_retain_signatures() {
+        let g = chain_of_diamonds(100);
+        let dp = DpScheduler::new().schedule(&g).unwrap();
+        let words = g.len().div_ceil(64) as u64;
+        // Retaining every memoized state's two bitsets until reconstruction
+        // would hold `states × 2 × words × 8` bytes at once; compaction keeps
+        // only the live frontier's signatures (≤ 3 states per step here plus
+        // the step being built), far below that.
+        let full_retention = dp.stats.states * 2 * words * 8;
+        assert!(
+            dp.stats.peak_memo_bytes <= full_retention / 10,
+            "peak memo {} vs full retention {}",
+            dp.stats.peak_memo_bytes,
+            full_retention
+        );
+        assert!(topo::is_order(&g, &dp.schedule.order));
+    }
+
+    #[test]
+    fn memo_high_water_mark_is_depth_independent() {
+        // Doubling the depth multiplies the word width by ~2 (more nodes)
+        // but must not multiply the high-water mark by the depth factor:
+        // the frontier stays O(1) states wide.
+        let shallow = DpScheduler::new().schedule(&chain_of_diamonds(60)).unwrap();
+        let deep = DpScheduler::new().schedule(&chain_of_diamonds(120)).unwrap();
+        assert!(
+            deep.stats.peak_memo_bytes <= shallow.stats.peak_memo_bytes * 3,
+            "deep {} vs shallow {}",
+            deep.stats.peak_memo_bytes,
+            shallow.stats.peak_memo_bytes
+        );
     }
 }

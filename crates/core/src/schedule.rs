@@ -67,6 +67,10 @@ pub struct ScheduleStats {
     /// Budget-pruned DP probes launched by the adaptive meta-search
     /// (Algorithm 2 rounds); zero for single-shot schedulers.
     pub probes: u64,
+    /// Peak bytes of signature storage (frontier bitsets) live at any one
+    /// moment of the search — the DP's search-memory high-water mark. Zero
+    /// for schedulers that do not memoize signatures.
+    pub peak_memo_bytes: u64,
     /// Number of search steps executed (equals `|V|` on success).
     pub steps: usize,
     /// Wall-clock scheduling time.
@@ -87,6 +91,8 @@ impl ScheduleStats {
         self.transitions += other.transitions;
         self.pruned += other.pruned;
         self.probes += other.probes;
+        // High-water marks don't add: sequential runs reuse the memory.
+        self.peak_memo_bytes = self.peak_memo_bytes.max(other.peak_memo_bytes);
         self.steps = self.steps.max(other.steps);
         self.duration += other.duration;
     }
@@ -143,6 +149,7 @@ mod tests {
             transitions: 17,
             pruned: 2,
             probes: 4,
+            peak_memo_bytes: 4096,
             steps: 3,
             duration: Duration::from_micros(1500),
         };
@@ -158,6 +165,7 @@ mod tests {
             transitions: 2,
             pruned: 3,
             probes: 1,
+            peak_memo_bytes: 100,
             steps: 5,
             duration: Duration::from_micros(10),
         };
@@ -166,6 +174,7 @@ mod tests {
             transitions: 20,
             pruned: 30,
             probes: 2,
+            peak_memo_bytes: 64,
             steps: 4,
             duration: Duration::from_micros(7),
         };
@@ -174,6 +183,7 @@ mod tests {
         assert_eq!(total.transitions, 22);
         assert_eq!(total.pruned, 33);
         assert_eq!(total.probes, 3);
+        assert_eq!(total.peak_memo_bytes, 100, "memo high-water mark keeps the maximum");
         assert_eq!(total.steps, 5, "steps keeps the maximum");
         assert_eq!(total.duration, Duration::from_micros(17));
     }

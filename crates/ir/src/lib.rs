@@ -59,7 +59,7 @@ pub mod json;
 pub mod mem;
 mod op;
 pub mod random_dag;
-mod set;
+pub mod set;
 mod shape;
 pub mod topo;
 
@@ -69,5 +69,5 @@ pub use error::GraphError;
 pub use graph::{Graph, Node};
 pub use id::{NodeId, WeightId};
 pub use op::{ChannelRange, Conv2d, Dense, DepthwiseConv2d, Op, Padding, Pool2d, WeightRef};
-pub use set::NodeSet;
+pub use set::{wordset, NodeSet, ZobristTable};
 pub use shape::TensorShape;

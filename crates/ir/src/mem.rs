@@ -27,6 +27,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::set::wordset;
 use crate::{Graph, GraphError, NodeId, NodeSet};
 
 /// One step of a footprint trace: the memory state after scheduling a node.
@@ -144,16 +145,75 @@ impl SlabAnalysis {
 /// Every scheduler in the workspace computes footprints through this type so
 /// they provably agree: the DP scheduler, the brute-force oracle, the greedy
 /// heuristic, and the profiling entry points below.
+///
+/// Construction precomputes per-node adjacency *bitmasks* — predecessor,
+/// successor, and slab-member [`NodeSet`]s — so the hot-path questions
+/// ("are all of `u`'s predecessors scheduled?", "did `u`'s last consumer just
+/// run?", "is `u` the first member of its slab?") are answered with a few
+/// word-level mask operations instead of edge-list scans. The word-slice
+/// entry points ([`CostModel::alloc_bytes_words`] and friends) serve search
+/// engines that keep signatures in flat word pools; the [`NodeSet`] methods
+/// delegate to them.
 #[derive(Debug, Clone)]
 pub struct CostModel<'g> {
     graph: &'g Graph,
     slabs: SlabAnalysis,
+    /// Mask of each node's predecessors: `pred_masks[u] ⊆ scheduled` ⇔ `u`
+    /// is ready.
+    pred_masks: Vec<NodeSet>,
+    /// Mask of each node's successors (consumers).
+    succ_masks: Vec<NodeSet>,
+    /// Mask of each slab head's qualifying members (empty for other nodes).
+    member_masks: Vec<NodeSet>,
+    /// Cached output bytes per node.
+    out_bytes: Vec<u64>,
+    /// Bytes released when a node's last consumer runs: owned storage, or 0
+    /// for graph outputs (never freed) and slab members (own nothing).
+    releasable: Vec<u64>,
+    /// Bytes a node frees for itself at its own step (dead-end non-outputs).
+    self_free: Vec<u64>,
 }
 
 impl<'g> CostModel<'g> {
-    /// Builds the cost model (runs slab analysis once).
+    /// Builds the cost model (runs slab analysis and builds the adjacency
+    /// masks once).
     pub fn new(graph: &'g Graph) -> Self {
-        CostModel { graph, slabs: SlabAnalysis::analyze(graph) }
+        let n = graph.len();
+        let slabs = SlabAnalysis::analyze(graph);
+        let mut pred_masks = Vec::with_capacity(n);
+        let mut succ_masks = Vec::with_capacity(n);
+        let mut member_masks = Vec::with_capacity(n);
+        let mut out_bytes = Vec::with_capacity(n);
+        let mut releasable = Vec::with_capacity(n);
+        let mut self_free = Vec::with_capacity(n);
+        for u in graph.node_ids() {
+            let mut preds = NodeSet::with_capacity(n);
+            preds.extend(graph.preds(u).iter().copied());
+            pred_masks.push(preds);
+            let mut succs = NodeSet::with_capacity(n);
+            succs.extend(graph.succs(u).iter().copied());
+            succ_masks.push(succs);
+            let mut members = NodeSet::new();
+            if slabs.is_head(u) {
+                members = NodeSet::with_capacity(n);
+                members.extend(slabs.members(u).iter().copied());
+            }
+            member_masks.push(members);
+            out_bytes.push(graph.out_bytes(u));
+            let owned = slabs.owned_bytes(graph, u);
+            releasable.push(if graph.is_output(u) { 0 } else { owned });
+            self_free.push(if graph.outdegree(u) == 0 && !graph.is_output(u) { owned } else { 0 });
+        }
+        CostModel {
+            graph,
+            slabs,
+            pred_masks,
+            succ_masks,
+            member_masks,
+            out_bytes,
+            releasable,
+            self_free,
+        }
     }
 
     /// The underlying graph.
@@ -166,6 +226,30 @@ impl<'g> CostModel<'g> {
         &self.slabs
     }
 
+    /// Mask of `u`'s predecessors.
+    pub fn pred_mask(&self, u: NodeId) -> &NodeSet {
+        &self.pred_masks[u.index()]
+    }
+
+    /// Mask of `u`'s successors.
+    pub fn succ_mask(&self, u: NodeId) -> &NodeSet {
+        &self.succ_masks[u.index()]
+    }
+
+    /// Whether every predecessor of `u` is in `scheduled` — the
+    /// zero-indegree test, as word-level subset checks against the
+    /// precomputed predecessor mask.
+    #[inline]
+    pub fn ready(&self, scheduled: &NodeSet, u: NodeId) -> bool {
+        self.ready_words(scheduled.as_words(), u)
+    }
+
+    /// [`CostModel::ready`] on a raw word slice.
+    #[inline]
+    pub fn ready_words(&self, scheduled: &[u64], u: NodeId) -> bool {
+        wordset::is_subset(self.pred_masks[u.index()].as_words(), scheduled)
+    }
+
     /// Bytes allocated when `u` is scheduled, given the set of already
     /// scheduled nodes (excluding `u`).
     ///
@@ -174,7 +258,57 @@ impl<'g> CostModel<'g> {
     /// * A slab head charges nothing (its buffer was charged by its first
     ///   member — heads always run after their members).
     /// * Every other node charges its own output bytes.
+    #[inline]
     pub fn alloc_bytes(&self, scheduled: &NodeSet, u: NodeId) -> u64 {
+        self.alloc_bytes_words(scheduled.as_words(), u)
+    }
+
+    /// [`CostModel::alloc_bytes`] on a raw word slice.
+    #[inline]
+    pub fn alloc_bytes_words(&self, scheduled: &[u64], u: NodeId) -> u64 {
+        if let Some(slab) = self.slabs.member_of(u) {
+            let mask = self.member_masks[slab.index()].as_words();
+            let first = !wordset::intersects_excluding(mask, scheduled, u);
+            return if first { self.out_bytes[slab.index()] } else { 0 };
+        }
+        if self.slabs.is_head(u) {
+            return 0;
+        }
+        self.out_bytes[u.index()]
+    }
+
+    /// Bytes freed right after `u` runs: every predecessor whose consumers
+    /// have all been scheduled releases its *owned* storage (members own
+    /// nothing), and a dead-end non-output node releases its own storage
+    /// immediately. `scheduled` must not yet include `u`.
+    #[inline]
+    pub fn free_bytes(&self, scheduled: &NodeSet, u: NodeId) -> u64 {
+        self.free_bytes_words(scheduled.as_words(), u)
+    }
+
+    /// [`CostModel::free_bytes`] on a raw word slice.
+    #[inline]
+    pub fn free_bytes_words(&self, scheduled: &[u64], u: NodeId) -> u64 {
+        let mut freed = self.self_free[u.index()];
+        for &p in self.graph.preds(u) {
+            let bytes = self.releasable[p.index()];
+            if bytes == 0 {
+                // Outputs are never freed; slab members own nothing.
+                continue;
+            }
+            let consumers = self.succ_masks[p.index()].as_words();
+            if wordset::is_subset_with(consumers, scheduled, u) {
+                freed += bytes;
+            }
+        }
+        freed
+    }
+
+    /// Reference list-scan implementation of [`CostModel::alloc_bytes`].
+    ///
+    /// Kept verbatim from before the bitmask rework so property tests can
+    /// assert the mask path is byte-identical; not for hot paths.
+    pub fn alloc_bytes_scan(&self, scheduled: &NodeSet, u: NodeId) -> u64 {
         if let Some(slab) = self.slabs.member_of(u) {
             let first = !self.slabs.members(slab).iter().any(|&m| m != u && scheduled.contains(m));
             return if first { self.graph.out_bytes(slab) } else { 0 };
@@ -185,11 +319,9 @@ impl<'g> CostModel<'g> {
         self.graph.out_bytes(u)
     }
 
-    /// Bytes freed right after `u` runs: every predecessor whose consumers
-    /// have all been scheduled releases its *owned* storage (members own
-    /// nothing), and a dead-end non-output node releases its own storage
-    /// immediately. `scheduled` must not yet include `u`.
-    pub fn free_bytes(&self, scheduled: &NodeSet, u: NodeId) -> u64 {
+    /// Reference list-scan implementation of [`CostModel::free_bytes`]
+    /// (see [`CostModel::alloc_bytes_scan`]).
+    pub fn free_bytes_scan(&self, scheduled: &NodeSet, u: NodeId) -> u64 {
         let mut freed = 0;
         for &p in self.graph.preds(u) {
             if self.graph.is_output(p) {

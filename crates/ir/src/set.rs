@@ -1,3 +1,8 @@
+//! Bitset signatures and their supporting machinery: [`NodeSet`], raw
+//! word-slice operations ([`wordset`]) for arena-pooled signature storage,
+//! and per-node Zobrist keys ([`ZobristTable`]) for O(1) incremental
+//! signature hashing.
+
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -125,6 +130,15 @@ impl NodeSet {
         Iter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
     }
 
+    /// The backing bit words (64 ids per word, low bit = low id).
+    ///
+    /// Exposed so arena-pooled search engines can copy signatures into flat
+    /// word pools and operate on them with [`wordset`] without owning a
+    /// `NodeSet` per state.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     fn significant_words(&self) -> &[u64] {
         let last = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
         &self.words[..last]
@@ -205,6 +219,158 @@ impl<'a> IntoIterator for &'a NodeSet {
 
     fn into_iter(self) -> Iter<'a> {
         self.iter()
+    }
+}
+
+/// Set operations on raw `&[u64]` bit-word slices.
+///
+/// The DP scheduler stores thousands of signatures per search step in flat
+/// word pools (one allocation per step instead of two per state). These
+/// helpers mirror the [`NodeSet`] operations on such pool slices. All
+/// functions tolerate length mismatches by treating missing high words as
+/// zero, matching `NodeSet`'s capacity-independent semantics — except
+/// [`wordset::insert`], which requires the slice to cover the id.
+pub mod wordset {
+    use crate::NodeId;
+
+    #[inline]
+    fn slot(id: NodeId) -> (usize, u64) {
+        (id.index() / 64, 1u64 << (id.index() % 64))
+    }
+
+    /// Whether `id` is in the set.
+    #[inline]
+    pub fn contains(words: &[u64], id: NodeId) -> bool {
+        let (word, bit) = slot(id);
+        words.get(word).is_some_and(|w| w & bit != 0)
+    }
+
+    /// Inserts `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is too short to hold `id` — pool slices are
+    /// pre-sized to the graph's word count.
+    #[inline]
+    pub fn insert(words: &mut [u64], id: NodeId) {
+        let (word, bit) = slot(id);
+        words[word] |= bit;
+    }
+
+    /// Removes `id` (a no-op when the slice does not cover it).
+    #[inline]
+    pub fn remove(words: &mut [u64], id: NodeId) {
+        let (word, bit) = slot(id);
+        if let Some(w) = words.get_mut(word) {
+            *w &= !bit;
+        }
+    }
+
+    /// Whether every id of `sub` is also in `sup`.
+    #[inline]
+    pub fn is_subset(sub: &[u64], sup: &[u64]) -> bool {
+        sub.iter().enumerate().all(|(i, &w)| w & !sup.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether every id of `sub` is in `sup ∪ {extra}` — the "all consumers
+    /// of `p` have run once `extra` does" test of the free rule, one word
+    /// operation per 64 nodes.
+    #[inline]
+    pub fn is_subset_with(sub: &[u64], sup: &[u64], extra: NodeId) -> bool {
+        let (xw, xb) = slot(extra);
+        sub.iter().enumerate().all(|(i, &w)| {
+            let mut uncovered = w & !sup.get(i).copied().unwrap_or(0);
+            if i == xw {
+                uncovered &= !xb;
+            }
+            uncovered == 0
+        })
+    }
+
+    /// Whether `a ∩ b` contains any id other than `skip` — the "some other
+    /// slab member already ran" test of the alloc rule.
+    #[inline]
+    pub fn intersects_excluding(a: &[u64], b: &[u64], skip: NodeId) -> bool {
+        let (sw, sb) = slot(skip);
+        a.iter().zip(b.iter()).enumerate().any(|(i, (&x, &y))| {
+            let mut both = x & y;
+            if i == sw {
+                both &= !sb;
+            }
+            both != 0
+        })
+    }
+
+    /// Iterates the ids of a word slice in increasing order.
+    pub fn iter(words: &[u64]) -> super::Iter<'_> {
+        super::Iter { words, word_idx: 0, current: words.first().copied().unwrap_or(0) }
+    }
+}
+
+/// Per-node 64-bit Zobrist keys for incremental signature hashing.
+///
+/// A signature's hash is the XOR of its members' keys, so inserting or
+/// removing a node updates the hash in O(1) — the DP scheduler carries the
+/// hash in each state and never rehashes a signature's words on memo lookup.
+/// Keys are derived deterministically (splitmix64 from a fixed seed), so
+/// hashes are reproducible across runs and threads.
+///
+/// Zobrist hashes can collide; exact engines must confirm candidate equality
+/// by comparing set contents on hash hits.
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::{NodeId, NodeSet, ZobristTable};
+///
+/// let table = ZobristTable::new(8);
+/// let mut set = NodeSet::with_capacity(8);
+/// let mut hash = table.hash_set(&set);
+/// set.insert(NodeId::from_index(3));
+/// hash ^= table.key(NodeId::from_index(3));
+/// assert_eq!(hash, table.hash_set(&set));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZobristTable {
+    keys: Vec<u64>,
+}
+
+impl ZobristTable {
+    /// Builds keys for node ids `< capacity`.
+    pub fn new(capacity: usize) -> Self {
+        // splitmix64: the standard 64-bit mixer; passes through every value
+        // exactly once, so keys are distinct and well distributed.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let keys = (0..capacity)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            })
+            .collect();
+        ZobristTable { keys }
+    }
+
+    /// The key of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the table's capacity.
+    #[inline]
+    pub fn key(&self, id: NodeId) -> u64 {
+        self.keys[id.index()]
+    }
+
+    /// Hash of a set given as raw bit words (XOR of member keys).
+    pub fn hash_words(&self, words: &[u64]) -> u64 {
+        wordset::iter(words).fold(0, |h, id| h ^ self.key(id))
+    }
+
+    /// Hash of a [`NodeSet`] (XOR of member keys).
+    pub fn hash_set(&self, set: &NodeSet) -> u64 {
+        self.hash_words(set.as_words())
     }
 }
 

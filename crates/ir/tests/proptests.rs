@@ -1,8 +1,9 @@
 //! Property tests for the IR crate's invariants.
 
 use proptest::prelude::*;
+use rand::Rng;
 use serenity_ir::random_dag::{random_dag, RandomDagConfig};
-use serenity_ir::{cuts, mem, topo, Graph, NodeId, NodeSet};
+use serenity_ir::{cuts, mem, topo, DType, Graph, NodeId, NodeSet, Op, TensorShape, ZobristTable};
 
 prop_compose! {
     fn arb_graph()(
@@ -24,8 +25,123 @@ prop_compose! {
     }
 }
 
+prop_compose! {
+    /// Layered graphs stacked with slab combiners (`AccumAdd` /
+    /// `SlabConcat`), occasionally with side consumers that disqualify a
+    /// member — exercising every branch of the slab cost rules.
+    fn arb_slab_graph()(
+        groups in 1usize..5,
+        per_group in 2usize..4,
+        channels in 1usize..32,
+        seed in any::<u64>(),
+    ) -> Graph {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut g = Graph::new("slabby");
+        let shape = TensorShape::nhwc(1, 1, 1, channels, DType::U8);
+        let mut carry = g.add_input("x", shape);
+        for gi in 0..groups {
+            let producers: Vec<NodeId> = (0..per_group)
+                .map(|pi| {
+                    let op = if rng.gen_bool(0.5) { Op::Identity } else { Op::Relu };
+                    g.add_named(format!("p{gi}_{pi}"), op, &[carry]).unwrap()
+                })
+                .collect();
+            let head = if rng.gen_bool(0.5) {
+                g.add_named(format!("acc{gi}"), Op::AccumAdd, &producers).unwrap()
+            } else {
+                g.add_named(format!("cat{gi}"), Op::SlabConcat { axis: 3 }, &producers).unwrap()
+            };
+            // A side consumer disqualifies its producer from slab membership
+            // (two consumers) — keep some groups mixed.
+            if rng.gen_bool(0.4) {
+                let side = g.add_named(format!("side{gi}"), Op::Sigmoid, &[producers[0]]).unwrap();
+                if rng.gen_bool(0.5) {
+                    g.mark_output(side);
+                }
+            }
+            carry = g.add_named(format!("next{gi}"), Op::Relu, &[head]).unwrap();
+        }
+        g.mark_output(carry);
+        g
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cost_model_mask_path_matches_scan_path(graph in arb_graph(), seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let cost = mem::CostModel::new(&graph);
+        let order = topo::random(&graph, &mut rng);
+        let mut scheduled = NodeSet::with_capacity(graph.len());
+        for &u in &order {
+            prop_assert!(cost.ready(&scheduled, u));
+            prop_assert_eq!(cost.alloc_bytes(&scheduled, u), cost.alloc_bytes_scan(&scheduled, u));
+            prop_assert_eq!(cost.free_bytes(&scheduled, u), cost.free_bytes_scan(&scheduled, u));
+            scheduled.insert(u);
+        }
+    }
+
+    #[test]
+    fn cost_model_mask_path_matches_scan_path_on_slab_graphs(
+        graph in arb_slab_graph(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let cost = mem::CostModel::new(&graph);
+        for _ in 0..4 {
+            let order = topo::random(&graph, &mut rng);
+            let mut scheduled = NodeSet::with_capacity(graph.len());
+            let mut mu = 0u64;
+            for &u in &order {
+                let alloc = cost.alloc_bytes(&scheduled, u);
+                let freed = cost.free_bytes(&scheduled, u);
+                prop_assert_eq!(alloc, cost.alloc_bytes_scan(&scheduled, u));
+                prop_assert_eq!(freed, cost.free_bytes_scan(&scheduled, u));
+                mu = mu + alloc - freed;
+                scheduled.insert(u);
+            }
+            // And the accumulated footprint agrees with the profiler.
+            prop_assert_eq!(mu, mem::profile_schedule(&graph, &order).unwrap().final_bytes);
+        }
+    }
+
+    #[test]
+    fn zobrist_incremental_hash_matches_full_rehash(
+        ops in proptest::collection::vec((0usize..160, any::<bool>()), 0..60),
+    ) {
+        let table = ZobristTable::new(160);
+        let mut set = NodeSet::with_capacity(160);
+        let mut hash = 0u64;
+        for (idx, insert) in ops {
+            let id = NodeId::from_index(idx);
+            // XOR is its own inverse, so only *effective* mutations toggle.
+            if insert {
+                if set.insert(id) {
+                    hash ^= table.key(id);
+                }
+            } else if set.remove(id) {
+                hash ^= table.key(id);
+            }
+            prop_assert_eq!(hash, table.hash_set(&set));
+        }
+    }
+
+    #[test]
+    fn zobrist_hash_is_content_based(graph in arb_graph(), seed in any::<u64>()) {
+        // Equal sets hash equal regardless of mutation history; the hash of
+        // a set reached by scheduling is the XOR of its members' keys.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let table = ZobristTable::new(graph.len());
+        let order = topo::random(&graph, &mut rng);
+        let mut scheduled = NodeSet::with_capacity(graph.len());
+        for &u in &order {
+            scheduled.insert(u);
+            let rebuilt = NodeSet::from_ids(scheduled.iter());
+            prop_assert_eq!(table.hash_set(&scheduled), table.hash_set(&rebuilt));
+        }
+    }
 
     #[test]
     fn kahn_and_dfs_are_valid_orders(graph in arb_graph()) {
