@@ -1,14 +1,22 @@
-//! `bench_sched` — the tracked scheduler-throughput baseline.
+//! `bench_sched` — the tracked scheduler-throughput and rewrite-loop
+//! baseline.
 //!
-//! Schedules the RandWire / DARTS / SwiftNet benchmark suite plus a
-//! dedicated N≈32 RandWire DP workload with the `dp`, `beam`, and
-//! `portfolio` backends, and writes wall-time, peak-search-memory, and
-//! transitions/sec to a JSON file (default `BENCH_sched.json` in the
-//! current directory — run from the repo root).
+//! Two sections, one JSON file (default `BENCH_sched.json` in the current
+//! directory — run from the repo root):
+//!
+//! * `results` — scheduler throughput: the RandWire / DARTS / SwiftNet
+//!   benchmark suite plus a dedicated N≈32 RandWire DP workload with the
+//!   `dp`, `beam`, and `portfolio` backends (wall-time, peak-search-memory,
+//!   transitions/sec).
+//! * `rewrite_results` — the cost-guided rewrite↔schedule loop: every suite
+//!   network plus concat-aggregation RandWire instances, compiled with the
+//!   loop off and on (rewrite-loop wall time, peak deltas, iteration count,
+//!   schedule-memo hit rate).
 //!
 //! The emitted file is the perf trajectory future PRs are measured against:
 //! re-run the bin before and after an optimization and compare
-//! `transitions_per_sec` on the `randwire-n32` / `dp` row.
+//! `transitions_per_sec` on the `randwire-n32` / `dp` row, or `peak_on` /
+//! `search_wall_us` on the rewrite rows.
 //!
 //! Run with: `cargo run --release -p serenity-bench --bin bench_sched`
 //!
@@ -22,10 +30,13 @@ use std::time::{Duration, Instant};
 
 use serenity_core::backend::{BeamBackend, CompileContext, DpBackend, SchedulerBackend};
 use serenity_core::dp::DpConfig;
+use serenity_core::pipeline::{RewriteMode, Serenity};
 use serenity_core::registry::BackendRegistry;
+use serenity_core::rewrite::RewriteSearchSummary;
 use serenity_ir::Graph;
-use serenity_nets::randwire::{randwire_cell, RandWireConfig};
+use serenity_nets::randwire::{randwire_cell, Aggregation, RandWireConfig};
 use serenity_nets::suite;
+use serenity_nets::swiftnet::{swiftnet_with, SwiftNetConfig};
 
 /// Safety valve: aborts DP runs whose frontier explodes instead of hanging.
 const MAX_STATES: usize = 2_000_000;
@@ -37,6 +48,17 @@ struct Workload {
 
 fn randwire(nodes: usize, seed: u64, hw: usize, channels: usize) -> Graph {
     randwire_cell(&RandWireConfig { nodes, seed, hw, channels, ..Default::default() })
+}
+
+fn randwire_concat(nodes: usize, seed: u64, hw: usize, channels: usize) -> Graph {
+    randwire_cell(&RandWireConfig {
+        nodes,
+        seed,
+        hw,
+        channels,
+        aggregation: Aggregation::Concat,
+        ..Default::default()
+    })
 }
 
 fn workloads(smoke: bool) -> Vec<Workload> {
@@ -52,6 +74,26 @@ fn workloads(smoke: bool) -> Vec<Workload> {
         Workload { id: "randwire-n32".into(), graph: randwire(32, 7, 8, 8) },
     ];
     all.extend(suite().into_iter().map(|b| Workload { id: b.id.into(), graph: b.graph }));
+    all
+}
+
+/// Workloads of the rewrite-loop section: the full benchmark suite plus
+/// concat-aggregation RandWire instances (the sum-aggregated RandWire cells
+/// have no rewrite sites, exactly as in the paper's Figure 10).
+fn rewrite_workloads(smoke: bool) -> Vec<Workload> {
+    if smoke {
+        return vec![
+            Workload {
+                id: "swiftnet-w1".into(),
+                graph: swiftnet_with(&SwiftNetConfig { hw: 16, in_channels: 3, width: 1 }),
+            },
+            Workload { id: "randwire-concat-n8".into(), graph: randwire_concat(8, 5, 8, 8) },
+        ];
+    }
+    let mut all: Vec<Workload> =
+        suite().into_iter().map(|b| Workload { id: b.id.into(), graph: b.graph }).collect();
+    all.push(Workload { id: "randwire-concat-n12".into(), graph: randwire_concat(12, 1, 16, 16) });
+    all.push(Workload { id: "randwire-concat-n16".into(), graph: randwire_concat(16, 9, 16, 12) });
     all
 }
 
@@ -149,6 +191,75 @@ fn measure(
     }
 }
 
+struct RewriteRow {
+    workload: String,
+    nodes: usize,
+    ok: bool,
+    error: Option<String>,
+    peak_off: u64,
+    peak_on: u64,
+    rewrites_applied: usize,
+    /// The search's own report (`None` on failed rows) — the single source
+    /// for iteration/candidate/memo/wall numbers.
+    summary: Option<RewriteSearchSummary>,
+    compile_wall_on: Duration,
+}
+
+fn measure_rewrite(workload: &Workload, iters: usize) -> RewriteRow {
+    let base = RewriteRow {
+        workload: workload.id.clone(),
+        nodes: workload.graph.len(),
+        ok: false,
+        error: None,
+        peak_off: 0,
+        peak_on: 0,
+        rewrites_applied: 0,
+        summary: None,
+        compile_wall_on: Duration::ZERO,
+    };
+    let off = match Serenity::builder()
+        .rewrite(RewriteMode::Off)
+        .allocator(None)
+        .build()
+        .compile(&workload.graph)
+    {
+        Ok(compiled) => compiled,
+        Err(e) => return RewriteRow { error: Some(format!("rewrite-off: {e}")), ..base },
+    };
+    // One warm-up plus `iters` timed runs, keeping the fastest search wall —
+    // the same noise discipline as `measure()`; peaks and rewrite counts are
+    // deterministic across runs.
+    let mut on: Option<serenity_core::pipeline::CompiledSchedule> = None;
+    for i in 0..=iters {
+        match Serenity::builder().allocator(None).build().compile(&workload.graph) {
+            Ok(compiled) => {
+                let wall = compiled
+                    .rewrite_search
+                    .as_ref()
+                    .expect("IfBeneficial compiles carry a search summary")
+                    .wall;
+                let faster = on
+                    .as_ref()
+                    .is_none_or(|best| wall < best.rewrite_search.as_ref().unwrap().wall);
+                if i > 0 && faster {
+                    on = Some(compiled);
+                }
+            }
+            Err(e) => return RewriteRow { error: Some(format!("rewrite-on: {e}")), ..base },
+        }
+    }
+    let on = on.expect("at least one timed run");
+    RewriteRow {
+        ok: true,
+        peak_off: off.peak_bytes,
+        peak_on: on.peak_bytes,
+        rewrites_applied: on.rewrites.len(),
+        compile_wall_on: on.compile_time,
+        summary: Some(on.rewrite_search.expect("IfBeneficial compiles carry a search summary")),
+        ..base
+    }
+}
+
 fn main() {
     let mut out = String::from("BENCH_sched.json");
     let mut smoke = false;
@@ -201,6 +312,30 @@ fn main() {
         }
     }
 
+    println!();
+    let mut rewrite_rows = Vec::new();
+    for workload in rewrite_workloads(smoke) {
+        let row = measure_rewrite(&workload, iters);
+        if let Some(summary) = &row.summary {
+            println!(
+                "{:<18} rewrite    {:>10.3?} peak {:>9} -> {:>9} B  {} iters  memo {:>5.1}%",
+                row.workload,
+                summary.wall,
+                row.peak_off,
+                row.peak_on,
+                summary.iterations,
+                summary.memo_hit_rate() * 100.0,
+            );
+        } else {
+            println!(
+                "{:<18} rewrite    FAILED: {}",
+                row.workload,
+                row.error.as_deref().unwrap_or("unknown"),
+            );
+        }
+        rewrite_rows.push(row);
+    }
+
     let results: Vec<serde_json::Value> = rows
         .iter()
         .map(|r| {
@@ -219,11 +354,39 @@ fn main() {
             })
         })
         .collect();
+    let rewrite_results: Vec<serde_json::Value> = rewrite_rows
+        .iter()
+        .map(|r| {
+            // Flat keys (not the nested summary) so downstream consumers —
+            // the CI smoke assertion, diffing against older BENCH files —
+            // stay schema-stable; values come straight from the summary.
+            let s = r.summary.as_ref();
+            serde_json::json!({
+                "workload": r.workload,
+                "nodes": r.nodes,
+                "ok": r.ok,
+                "error": r.error,
+                "peak_off": r.peak_off,
+                "peak_on": r.peak_on,
+                "reduction": if r.peak_on > 0 { r.peak_off as f64 / r.peak_on as f64 } else { 1.0 },
+                "rewrites_applied": r.rewrites_applied,
+                "iterations": s.map_or(0, |s| s.iterations),
+                "candidates": s.map_or(0, |s| s.candidates_scored),
+                "memo_hits": s.map_or(0, |s| s.memo_hits),
+                "memo_misses": s.map_or(0, |s| s.memo_misses),
+                "memo_hit_rate": s.map_or(0.0, RewriteSearchSummary::memo_hit_rate),
+                "kept": s.is_some_and(|s| s.kept),
+                "search_wall_us": s.map_or(0, |s| s.wall.as_micros() as u64),
+                "compile_wall_on_us": r.compile_wall_on.as_micros() as u64,
+            })
+        })
+        .collect();
     let report = serde_json::json!({
-        "schema": "serenity-bench-sched/v1",
+        "schema": "serenity-bench-sched/v2",
         "mode": if smoke { "smoke" } else { "full" },
         "iters": iters,
         "results": results,
+        "rewrite_results": rewrite_results,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, rendered + "\n").unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

@@ -15,6 +15,12 @@ usage:
       --scheduler <name>      scheduling backend (see `serenity backends`;
                               default adaptive)
       --no-rewrite            disable identity graph rewriting
+      --rewrite-iters <N>     cap the cost-guided rewrite loop at N accepted
+                              candidates (0 disables rewriting; default 32)
+      --rewrite-score-backend <name>
+                              backend scoring rewrite candidates
+                              (default beam; the final winner is always
+                              re-scheduled by the full backend)
       --allocator <greedy|first-fit|none>        offset planner (default greedy)
       --budget-kb <N>         fixed soft budget instead of adaptive search
       --threads <N>           DP worker threads (default 1)
@@ -53,6 +59,10 @@ pub enum Command {
         scheduler: Option<String>,
         /// Disable rewriting.
         no_rewrite: bool,
+        /// Iteration cap of the cost-guided rewrite loop (`None` = default).
+        rewrite_iters: Option<usize>,
+        /// Backend scoring rewrite candidates (`None` = default beam).
+        rewrite_score_backend: Option<String>,
         /// Offset planner, `None` to skip allocation.
         allocator: Option<Strategy>,
         /// Fixed soft budget in KiB (adaptive search when absent).
@@ -119,6 +129,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let path = it.next().ok_or("schedule: missing graph path")?.to_owned();
             let mut scheduler = None;
             let mut no_rewrite = false;
+            let mut rewrite_iters = None;
+            let mut rewrite_score_backend = None;
             let mut allocator = Some(Strategy::GreedyBySize);
             let mut budget_kb = None;
             let mut threads = 1usize;
@@ -135,6 +147,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--scheduler" => {
                         scheduler =
                             Some(it.next().ok_or("schedule: --scheduler needs a name")?.to_owned());
+                    }
+                    "--rewrite-iters" => {
+                        let raw = it.next().ok_or("schedule: --rewrite-iters needs a value")?;
+                        rewrite_iters =
+                            Some(raw.parse::<usize>().map_err(|_| {
+                                format!("schedule: bad rewrite iteration cap {raw}")
+                            })?);
+                    }
+                    "--rewrite-score-backend" => {
+                        rewrite_score_backend = Some(
+                            it.next()
+                                .ok_or("schedule: --rewrite-score-backend needs a name")?
+                                .to_owned(),
+                        );
                     }
                     "--deadline-ms" => {
                         let raw = it.next().ok_or("schedule: --deadline-ms needs a value")?;
@@ -175,10 +201,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                      --scheduler; pick one"
                     .into());
             }
+            if no_rewrite && (rewrite_iters.is_some() || rewrite_score_backend.is_some()) {
+                return Err("schedule: --rewrite-iters/--rewrite-score-backend configure the \
+                     rewrite loop and conflict with --no-rewrite; pick one"
+                    .into());
+            }
+            if rewrite_iters == Some(0) && rewrite_score_backend.is_some() {
+                return Err("schedule: --rewrite-iters 0 disables the rewrite loop, so \
+                     --rewrite-score-backend would be ignored; drop one"
+                    .into());
+            }
             Ok(Command::Schedule {
                 path,
                 scheduler,
                 no_rewrite,
+                rewrite_iters,
+                rewrite_score_backend,
                 allocator,
                 budget_kb,
                 threads,
@@ -263,6 +301,8 @@ mod tests {
                 path: "g.json".into(),
                 scheduler: None,
                 no_rewrite: true,
+                rewrite_iters: None,
+                rewrite_score_backend: None,
                 allocator: Some(Strategy::FirstFitArena),
                 budget_kb: Some(256),
                 threads: 4,
@@ -283,6 +323,8 @@ mod tests {
                 path: "g.json".into(),
                 scheduler: None,
                 no_rewrite: false,
+                rewrite_iters: None,
+                rewrite_score_backend: None,
                 allocator: Some(Strategy::GreedyBySize),
                 budget_kb: None,
                 threads: 1,
@@ -292,6 +334,28 @@ mod tests {
                 map: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_rewrite_loop_flags() {
+        let cmd =
+            parse(&args("schedule g.json --rewrite-iters 3 --rewrite-score-backend dp")).unwrap();
+        match cmd {
+            Command::Schedule { rewrite_iters, rewrite_score_backend, .. } => {
+                assert_eq!(rewrite_iters, Some(3));
+                assert_eq!(rewrite_score_backend.as_deref(), Some("dp"));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        // 0 is valid (disables rewriting); conflicts with --no-rewrite, and
+        // with a score backend that could never run.
+        assert!(parse(&args("schedule g.json --rewrite-iters 0")).is_ok());
+        assert!(parse(&args("schedule g.json --no-rewrite --rewrite-iters 2")).is_err());
+        assert!(parse(&args("schedule g.json --no-rewrite --rewrite-score-backend beam")).is_err());
+        assert!(
+            parse(&args("schedule g.json --rewrite-iters 0 --rewrite-score-backend dp")).is_err()
+        );
+        assert!(parse(&args("schedule g.json --rewrite-iters lots")).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use serenity_core::budget::BudgetConfig;
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
 use serenity_core::registry::BackendRegistry;
+use serenity_core::rewrite::RewriteSearchConfig;
 use serenity_ir::{dot, json, Graph};
 use serenity_memsim::Policy;
 use serenity_nets::{suite, swiftnet};
@@ -25,6 +26,8 @@ pub fn run(command: Command) -> Result<(), String> {
             path,
             scheduler,
             no_rewrite,
+            rewrite_iters,
+            rewrite_score_backend,
             allocator,
             budget_kb,
             threads,
@@ -36,6 +39,8 @@ pub fn run(command: Command) -> Result<(), String> {
             let options = ScheduleOptions {
                 scheduler,
                 no_rewrite,
+                rewrite_iters,
+                rewrite_score_backend,
                 allocator,
                 budget_kb,
                 threads,
@@ -129,6 +134,8 @@ fn load(path: &str) -> Result<Graph, String> {
 struct ScheduleOptions {
     scheduler: Option<String>,
     no_rewrite: bool,
+    rewrite_iters: Option<usize>,
+    rewrite_score_backend: Option<String>,
     allocator: Option<serenity_allocator::Strategy>,
     budget_kb: Option<u64>,
     threads: usize,
@@ -184,11 +191,29 @@ fn pick_backend(options: &ScheduleOptions) -> Result<Arc<dyn SchedulerBackend>, 
 }
 
 fn compiler(options: &ScheduleOptions) -> Result<Serenity, String> {
-    let rewrite = if options.no_rewrite { RewriteMode::Off } else { RewriteMode::IfBeneficial };
+    // `--rewrite-iters 0` means "off", like --no-rewrite.
+    let rewrite = if options.no_rewrite || options.rewrite_iters == Some(0) {
+        RewriteMode::Off
+    } else {
+        RewriteMode::IfBeneficial
+    };
     let mut builder = Serenity::builder()
         .rewrite(rewrite)
         .backend(pick_backend(options)?)
         .allocator(options.allocator);
+    if let Some(iters) = options.rewrite_iters.filter(|&n| n > 0) {
+        builder = builder
+            .rewrite_search(RewriteSearchConfig { max_iterations: iters, ..Default::default() });
+    }
+    if let Some(name) = &options.rewrite_score_backend {
+        let scorer = BackendRegistry::standard().create(name).ok_or_else(|| {
+            format!(
+                "unknown rewrite score backend `{name}` (available: {})",
+                BackendRegistry::standard().names().join(", ")
+            )
+        })?;
+        builder = builder.rewrite_score_backend(scorer);
+    }
     if let Some(ms) = options.deadline_ms {
         builder = builder.deadline(Duration::from_millis(ms));
     }
@@ -215,6 +240,40 @@ fn render_event(event: &CompileEvent) -> String {
             "segment  : #{index} ({nodes} nodes) peak {:.1} KiB",
             *peak_bytes as f64 / 1024.0
         ),
+        CompileEvent::SegmentMemoHit { index, nodes, peak_bytes } => format!(
+            "memo hit : segment #{index} ({nodes} nodes) replayed at {:.1} KiB",
+            *peak_bytes as f64 / 1024.0
+        ),
+        CompileEvent::RewriteCandidateScored { rule, concat, consumer, peak_bytes, .. } => {
+            format!(
+                "scored   : {rule} at {concat}->{consumer} -> {:.1} KiB",
+                *peak_bytes as f64 / 1024.0
+            )
+        }
+        CompileEvent::RewriteCandidateKept { rule, concat, consumer, iteration, peak_bytes } => {
+            format!(
+                "kept     : iter {iteration}: {rule} at {concat}->{consumer} ({:.1} KiB)",
+                *peak_bytes as f64 / 1024.0
+            )
+        }
+        CompileEvent::RewriteCandidateRejected { rule, concat, consumer, .. } => {
+            format!("rejected : {rule} at {concat}->{consumer}")
+        }
+        CompileEvent::RewriteSearchFinished {
+            iterations,
+            candidates,
+            stop,
+            memo_hits,
+            memo_misses,
+            initial_peak_bytes,
+            final_peak_bytes,
+        } => format!(
+            "search   : {iterations} iters, {candidates} candidates, stop {stop}, \
+             memo {memo_hits}/{} hits, peak {:.1} -> {:.1} KiB",
+            memo_hits + memo_misses,
+            *initial_peak_bytes as f64 / 1024.0,
+            *final_peak_bytes as f64 / 1024.0
+        ),
         CompileEvent::BudgetProbe { budget, flag } => {
             format!("probe    : tau {:.1} KiB -> {flag:?}", *budget as f64 / 1024.0)
         }
@@ -240,6 +299,7 @@ fn schedule(path: &str, options: ScheduleOptions) -> Result<(), String> {
             "reduction": compiled.reduction_factor(),
             "arena_bytes": compiled.arena_bytes(),
             "rewrites": compiled.rewrites,
+            "rewrite_search": compiled.rewrite_search,
             "partition": compiled.partition,
             "compile_time_us": compiled.compile_time.as_micros() as u64,
             "order": compiled.schedule.order,
@@ -255,6 +315,21 @@ fn schedule(path: &str, options: ScheduleOptions) -> Result<(), String> {
             println!("arena size    : {:.1} KiB", arena as f64 / 1024.0);
         }
         println!("rewrites      : {}", compiled.rewrites.len());
+        if let Some(search) = &compiled.rewrite_search {
+            println!(
+                "rewrite loop  : {} iters, {} candidates, stop {}, memo {}/{} hits{}",
+                search.iterations,
+                search.candidates_scored,
+                search.stop,
+                search.memo_hits,
+                search.memo_hits + search.memo_misses,
+                if search.kept || search.applied == 0 {
+                    ""
+                } else {
+                    " (winner discarded by final comparison)"
+                }
+            );
+        }
         println!("segments      : {:?}", compiled.partition.segment_sizes);
         println!("compile time  : {:.1?}", compiled.compile_time);
         if map {

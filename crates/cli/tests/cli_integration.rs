@@ -181,6 +181,70 @@ fn unknown_scheduler_fails_with_the_available_names() {
 }
 
 #[test]
+fn rewrite_loop_flags_drive_the_search() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rewrite_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    // Default run reports the search summary in JSON.
+    let out = serenity(&["schedule", path_str, "--json"]);
+    assert!(out.status.success(), "schedule failed: {out:?}");
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    let search = &report["rewrite_search"];
+    assert!(search.as_object().is_some(), "rewrite_search section missing from JSON report");
+    assert!(search["candidates_scored"].as_u64().is_some());
+    let default_peak = report["peak_bytes"].as_u64().unwrap();
+
+    // --rewrite-iters 0 disables the loop entirely (like --no-rewrite).
+    let out = serenity(&["schedule", path_str, "--rewrite-iters", "0", "--json"]);
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert!(report["rewrite_search"].is_null());
+    assert_eq!(report["rewrites"].as_array().unwrap().len(), 0);
+    let off_peak = report["peak_bytes"].as_u64().unwrap();
+    assert!(default_peak <= off_peak, "rewrite loop must never lose to rewrite-off");
+
+    // A custom scoring backend is accepted; an unknown one fails cleanly.
+    let out = serenity(&[
+        "schedule",
+        path_str,
+        "--rewrite-iters",
+        "2",
+        "--rewrite-score-backend",
+        "greedy",
+        "--json",
+    ]);
+    assert!(out.status.success(), "custom scorer failed: {out:?}");
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert!(report["rewrite_search"]["iterations"].as_u64().unwrap() <= 2);
+    assert!(report["peak_bytes"].as_u64().unwrap() <= off_peak);
+
+    let out = serenity(&["schedule", path_str, "--rewrite-score-backend", "martian"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown rewrite score backend"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn verbose_narrates_the_rewrite_search() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verbose_cell.json");
+    let path_str = path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    let out = serenity(&["schedule", path_str, "--verbose"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("search   :"), "search summary line missing:\n{stderr}");
+}
+
+#[test]
 fn spent_deadline_aborts_with_a_deadline_error() {
     let dir = std::env::temp_dir().join("serenity_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

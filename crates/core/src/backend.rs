@@ -124,6 +124,76 @@ pub enum CompileEvent {
         /// Peak footprint of the kept schedule in bytes.
         peak_bytes: u64,
     },
+    /// A divide-and-conquer segment schedule was replayed from the
+    /// [`ScheduleMemo`](crate::memo::ScheduleMemo) instead of re-searched.
+    SegmentMemoHit {
+        /// Segment index in series order.
+        index: usize,
+        /// Parent-graph nodes in the segment.
+        nodes: usize,
+        /// Peak footprint of the replayed segment schedule in bytes.
+        peak_bytes: u64,
+    },
+    /// The rewrite search scored one candidate graph (the current graph with
+    /// one rewrite site applied) by scheduling it with the scoring backend.
+    RewriteCandidateScored {
+        /// Rule that produced the candidate.
+        rule: &'static str,
+        /// Name of the candidate's concat node (pre-rewrite).
+        concat: String,
+        /// Name of the candidate's consumer node (pre-rewrite).
+        consumer: String,
+        /// Number of branches the site would partition.
+        branches: usize,
+        /// Scored peak footprint of the candidate, in bytes.
+        peak_bytes: u64,
+        /// Scored peak of the current (unrewritten-this-iteration) graph.
+        current_peak_bytes: u64,
+    },
+    /// A scored candidate won its iteration: it did not worsen the scored
+    /// peak (plateau steps included) and became the current graph of the
+    /// rewrite search.
+    RewriteCandidateKept {
+        /// Rule that produced the candidate.
+        rule: &'static str,
+        /// Name of the rewritten concat node.
+        concat: String,
+        /// Name of the rewritten consumer node.
+        consumer: String,
+        /// Search iteration (0-based) that accepted the candidate.
+        iteration: usize,
+        /// Scored peak footprint after accepting, in bytes.
+        peak_bytes: u64,
+    },
+    /// A scored candidate was discarded: it worsened the current peak, or a
+    /// better candidate won the iteration.
+    RewriteCandidateRejected {
+        /// Rule that produced the candidate.
+        rule: &'static str,
+        /// Name of the candidate's concat node.
+        concat: String,
+        /// Name of the candidate's consumer node.
+        consumer: String,
+        /// Scored peak footprint of the candidate, in bytes.
+        peak_bytes: u64,
+    },
+    /// The iterative rewrite↔schedule search finished.
+    RewriteSearchFinished {
+        /// Iterations that accepted a candidate.
+        iterations: usize,
+        /// Total candidates scored across all iterations.
+        candidates: usize,
+        /// Why the loop stopped.
+        stop: crate::rewrite::RewriteStop,
+        /// Schedule-memo hits across all scoring runs.
+        memo_hits: u64,
+        /// Schedule-memo misses across all scoring runs.
+        memo_misses: u64,
+        /// Scored peak of the input graph, in bytes.
+        initial_peak_bytes: u64,
+        /// Scored peak of the final graph, in bytes.
+        final_peak_bytes: u64,
+    },
     /// One budget-pruned DP probe of the adaptive meta-search completed.
     BudgetProbe {
         /// The soft budget τ used, in bytes.

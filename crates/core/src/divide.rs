@@ -20,6 +20,7 @@ use serenity_ir::{Graph, NodeId};
 
 use crate::backend::{AdaptiveBackend, CompileContext, CompileEvent, DpBackend, SchedulerBackend};
 use crate::budget::BudgetConfig;
+use crate::memo::ScheduleMemo;
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// How each segment is scheduled.
@@ -104,17 +105,21 @@ pub struct DivideOutcome {
 #[derive(Clone)]
 pub struct DivideAndConquer {
     backend: Arc<dyn SchedulerBackend>,
+    memo: Option<Arc<ScheduleMemo>>,
 }
 
 impl std::fmt::Debug for DivideAndConquer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DivideAndConquer").field("backend", &self.backend.name()).finish()
+        f.debug_struct("DivideAndConquer")
+            .field("backend", &self.backend.name())
+            .field("memo", &self.memo.is_some())
+            .finish()
     }
 }
 
 impl Default for DivideAndConquer {
     fn default() -> Self {
-        DivideAndConquer { backend: Arc::new(AdaptiveBackend::default()) }
+        DivideAndConquer { backend: Arc::new(AdaptiveBackend::default()), memo: None }
     }
 }
 
@@ -128,6 +133,18 @@ impl DivideAndConquer {
     /// Overrides the backend scheduling each segment.
     pub fn backend(mut self, backend: Arc<dyn SchedulerBackend>) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Installs a schedule memo: segments whose canonical fingerprint (see
+    /// [`serenity_ir::fingerprint`]) matches a previously scheduled,
+    /// structurally equal segment replay the stored schedule instead of
+    /// re-running the backend. Backends are deterministic, so memoized runs
+    /// return bit-identical schedules to memo-free runs of the same backend;
+    /// sharing one memo across *different* backend configurations is a
+    /// caller bug (the memo cannot tell their schedules apart).
+    pub fn memo(mut self, memo: Arc<ScheduleMemo>) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -170,9 +187,31 @@ impl DivideAndConquer {
 
         for (index, segment) in partition.segments.iter().enumerate() {
             ctx.check()?;
+            let nodes = segment.graph.len() - usize::from(segment.boundary_input.is_some());
             let pinned = segment.pinned_prefix();
+            // The pinned prefix is part of the memo identity: an unpinned
+            // first segment can be structurally identical to a pinned later
+            // one, but their schedules are not interchangeable.
+            let memo_key = self.memo.as_ref().map(|m| (m, ScheduleMemo::key(&segment.graph)));
+            if let Some((memo, key)) = &memo_key {
+                if let Some(schedule) = memo.lookup(*key, &segment.graph, &pinned) {
+                    // Replay: the backend is deterministic, so this is the
+                    // schedule a fresh run would have produced.
+                    let stats =
+                        ScheduleStats { memo_hits: 1, steps: schedule.len(), ..Default::default() };
+                    total_stats.absorb(&stats);
+                    ctx.emit(CompileEvent::SegmentMemoHit {
+                        index,
+                        nodes,
+                        peak_bytes: schedule.peak_bytes,
+                    });
+                    reports.push(SegmentReport { nodes, peak_bytes: schedule.peak_bytes, stats });
+                    locals.push(schedule.order);
+                    continue;
+                }
+            }
             let attempt = self.backend.schedule_with_prefix(&segment.graph, &pinned, ctx);
-            let (schedule, stats) = match attempt {
+            let (schedule, mut stats) = match attempt {
                 Ok(outcome) => (outcome.schedule, outcome.stats),
                 // An exhausted meta-search degrades gracefully to the
                 // hard-budget (Kahn) schedule for this segment: sound, and
@@ -190,8 +229,11 @@ impl DivideAndConquer {
                 }
                 Err(other) => return Err(other),
             };
+            if let Some((memo, key)) = &memo_key {
+                stats.memo_misses += 1;
+                memo.insert(*key, &segment.graph, &pinned, &schedule);
+            }
             total_stats.absorb(&stats);
-            let nodes = segment.graph.len() - usize::from(segment.boundary_input.is_some());
             ctx.emit(CompileEvent::SegmentScheduled {
                 index,
                 nodes,

@@ -35,10 +35,22 @@
 //! * [`rewrite`] — identity graph rewriting (§3.3): channel-wise partitioning
 //!   of `concat→conv` and kernel-wise partitioning of `concat→depthwise-conv`
 //!   patterns, keeping the network's arithmetic output identical while
-//!   lowering the achievable peak footprint.
-//! * [`pipeline::Serenity`] — the end-to-end flow of Figure 4: rewrite →
-//!   partition → backend scheduling → memory allocation, governed by
-//!   [`CompileOptions`](backend::CompileOptions).
+//!   lowering the achievable peak footprint. Rules implement the open
+//!   [`RewriteRule`](rewrite::RewriteRule) trait (site enumeration +
+//!   apply-as-delta) and are driven either blindly to fixpoint
+//!   ([`rewrite::Rewriter`]) or by the cost-guided iterative search
+//!   ([`rewrite::RewriteSearch`]), which schedules every candidate and keeps
+//!   it only when the peak strictly drops.
+//! * [`memo`] — [`ScheduleMemo`](memo::ScheduleMemo): a canonical-fingerprint
+//!   → schedule cache ([`serenity_ir::fingerprint`]) replaying
+//!   divide-and-conquer segments that are structurally unchanged between
+//!   rewrite-loop iterations.
+//! * [`pipeline::Serenity`] — the end-to-end flow of Figure 4, run as a
+//!   feedback loop rather than one pass: *(rewrite ⇄ schedule)* until a
+//!   fixed point, then partition → full-backend scheduling of the winner →
+//!   memory allocation, governed by
+//!   [`CompileOptions`](backend::CompileOptions). The original graph is
+//!   always scheduled too, so compilation never regresses below rewrite-off.
 //!
 //! # Example
 //!
@@ -92,6 +104,7 @@ pub mod canon;
 pub mod divide;
 pub mod dp;
 mod error;
+pub mod memo;
 pub mod pipeline;
 pub mod registry;
 pub mod rewrite;

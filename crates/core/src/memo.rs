@@ -1,0 +1,225 @@
+//! The schedule memo: canonical-fingerprint → schedule cache shared across
+//! rewrite-loop iterations.
+//!
+//! The iterative rewrite↔schedule search (see [`crate::rewrite::RewriteSearch`])
+//! re-schedules a candidate graph after every identity rewrite, but a rewrite
+//! is local: every divide-and-conquer segment outside the rewritten region is
+//! structurally unchanged, and its optimal schedule is too. The memo keys
+//! segment graphs by [`serenity_ir::fingerprint::fingerprint`] and replays the
+//! stored order on a hit, so unchanged segments are never re-searched.
+//!
+//! Hits are exact, not probabilistic: fingerprints can collide, so every hash
+//! hit is confirmed with [`serenity_ir::fingerprint::structural_eq`] *and* an
+//! exact match of the pinned boundary prefix before the stored schedule is
+//! replayed — a collision degrades to a miss, never to a wrong schedule, and
+//! a schedule computed unpinned is never replayed into a pinned segment
+//! (whose order must lead with the boundary placeholder) or vice versa. Replay is also deterministic: all backends are
+//! deterministic functions of the (structural) graph, so a replayed schedule
+//! is byte-identical to what a fresh search of the same backend would return,
+//! and memoized runs stay bit-identical to memo-free runs.
+//!
+//! Entries are keyed by graph structure only, so a memo is only coherent for
+//! a single backend configuration. [`RewriteSearch`](crate::rewrite::RewriteSearch)
+//! creates one memo per run and never shares it across backends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serenity_ir::fingerprint::{fingerprint, structural_eq};
+use serenity_ir::fxhash::FxHashMap;
+use serenity_ir::{Graph, NodeId};
+
+use crate::Schedule;
+
+struct MemoEntry {
+    /// The graph the schedule belongs to, kept for exact hit confirmation.
+    graph: Graph,
+    /// The pinned prefix the schedule was produced under. Part of the
+    /// entry's identity: a schedule computed unpinned need not start with
+    /// the boundary placeholder, so replaying it into a pinned segment
+    /// would be rejected by `Partition::combine` (and a pin-constrained
+    /// schedule replayed unpinned could be needlessly suboptimal).
+    prefix: Vec<NodeId>,
+    order: Vec<NodeId>,
+    peak_bytes: u64,
+}
+
+/// A thread-safe fingerprint → schedule cache (see the module docs).
+#[derive(Default)]
+pub struct ScheduleMemo {
+    entries: Mutex<FxHashMap<u64, Vec<MemoEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ScheduleMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleMemo")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl ScheduleMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        ScheduleMemo::default()
+    }
+
+    /// The canonical key of `graph` (compute once, pass to both
+    /// [`ScheduleMemo::lookup`] and [`ScheduleMemo::insert`]).
+    pub fn key(graph: &Graph) -> u64 {
+        fingerprint(graph)
+    }
+
+    /// Returns the memoized schedule of a graph structurally equal to
+    /// `graph` that was produced under the same pinned `prefix`, if one was
+    /// inserted. Counts a hit or a miss.
+    pub fn lookup(&self, key: u64, graph: &Graph, prefix: &[NodeId]) -> Option<Schedule> {
+        let entries = self.entries.lock().expect("memo lock");
+        let found = entries
+            .get(&key)
+            .and_then(|bucket| {
+                bucket.iter().find(|e| e.prefix == prefix && structural_eq(&e.graph, graph))
+            })
+            .map(|e| Schedule { order: e.order.clone(), peak_bytes: e.peak_bytes });
+        match found {
+            Some(schedule) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(schedule)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `schedule` (produced under pinned `prefix`) for `graph` under
+    /// `key`. A structurally equal entry with the same prefix already
+    /// present is kept (first write wins — backends are deterministic, so
+    /// the schedules are identical anyway).
+    pub fn insert(&self, key: u64, graph: &Graph, prefix: &[NodeId], schedule: &Schedule) {
+        let mut entries = self.entries.lock().expect("memo lock");
+        let bucket = entries.entry(key).or_default();
+        if bucket.iter().any(|e| e.prefix == prefix && structural_eq(&e.graph, graph)) {
+            return;
+        }
+        bucket.push(MemoEntry {
+            graph: graph.clone(),
+            prefix: prefix.to_vec(),
+            order: schedule.order.clone(),
+            peak_bytes: schedule.peak_bytes,
+        });
+    }
+
+    /// Number of memoized schedules.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("memo lock").values().map(Vec::len).sum()
+    }
+
+    /// Whether the memo holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that replayed a stored schedule.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (including collision-confirm failures).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::topo;
+
+    fn chain(name: &str, bytes: u64) -> Graph {
+        let mut g = Graph::new(name);
+        let a = g.add_opaque(format!("{name}_a"), bytes, &[]).unwrap();
+        let b = g.add_opaque(format!("{name}_b"), bytes * 2, &[a]).unwrap();
+        g.add_opaque(format!("{name}_c"), bytes / 2, &[b]).unwrap();
+        g
+    }
+
+    #[test]
+    fn hit_replays_across_renamed_twins() {
+        let memo = ScheduleMemo::new();
+        let g = chain("g", 10);
+        let schedule = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        memo.insert(ScheduleMemo::key(&g), &g, &[], &schedule);
+
+        // A structurally identical graph with different names hits.
+        let twin = chain("other", 10);
+        let replayed = memo.lookup(ScheduleMemo::key(&twin), &twin, &[]).expect("twin hits");
+        assert_eq!(replayed, schedule);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 0);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn different_structure_misses() {
+        let memo = ScheduleMemo::new();
+        let g = chain("g", 10);
+        let schedule = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        memo.insert(ScheduleMemo::key(&g), &g, &[], &schedule);
+
+        let other = chain("g", 64);
+        assert!(memo.lookup(ScheduleMemo::key(&other), &other, &[]).is_none());
+        assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn different_pinned_prefix_misses() {
+        // Structurally identical segments, one pinned (boundary placeholder
+        // leads) and one not: the unpinned schedule must never replay into
+        // the pinned lookup, and vice versa.
+        let memo = ScheduleMemo::new();
+        let g = chain("g", 10);
+        let key = ScheduleMemo::key(&g);
+        let unpinned = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        memo.insert(key, &g, &[], &unpinned);
+
+        let pin = [serenity_ir::NodeId::from_index(0)];
+        assert!(memo.lookup(key, &g, &pin).is_none(), "pinned lookup must not see unpinned entry");
+        memo.insert(key, &g, &pin, &unpinned);
+        assert_eq!(memo.len(), 2, "pinned and unpinned entries coexist");
+        assert!(memo.lookup(key, &g, &pin).is_some());
+        assert!(memo.lookup(key, &g, &[]).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let memo = ScheduleMemo::new();
+        let g = chain("g", 10);
+        let schedule = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        let key = ScheduleMemo::key(&g);
+        memo.insert(key, &g, &[], &schedule);
+        memo.insert(key, &chain("renamed", 10), &[], &schedule);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn colliding_keys_are_confirmed_structurally() {
+        // Force both graphs into the same bucket with an artificial key; the
+        // structural confirm must separate them.
+        let memo = ScheduleMemo::new();
+        let g = chain("g", 10);
+        let h = chain("h", 99);
+        let gs = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        let hs = Schedule::from_order(&h, topo::kahn(&h)).unwrap();
+        memo.insert(42, &g, &[], &gs);
+        memo.insert(42, &h, &[], &hs);
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.lookup(42, &h, &[]).unwrap().peak_bytes, hs.peak_bytes);
+        assert_eq!(memo.lookup(42, &g, &[]).unwrap().peak_bytes, gs.peak_bytes);
+    }
+}

@@ -17,23 +17,35 @@ use serenity_ir::cuts::PartitionSummary;
 use serenity_ir::Graph;
 
 use crate::backend::{
-    AdaptiveBackend, CancelToken, CompileContext, CompileEvent, CompileOptions, DpBackend,
-    SchedulerBackend,
+    AdaptiveBackend, BeamBackend, CancelToken, CompileContext, CompileEvent, CompileOptions,
+    DpBackend, SchedulerBackend,
 };
 use crate::budget::BudgetConfig;
 use crate::divide::DivideAndConquer;
-use crate::rewrite::{AppliedRewrite, Rewriter};
+use crate::rewrite::{AppliedRewrite, RewriteSearchConfig, RewriteSearchSummary, Rewriter};
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// Whether and how graph rewriting participates in compilation.
+///
+/// The presets map onto the two rewrite drivers:
+///
+/// * [`RewriteMode::IfBeneficial`] (default) runs the cost-guided
+///   [`RewriteSearch`](crate::rewrite::RewriteSearch): candidates are scored
+///   by scheduling (see [`SerenityBuilder::rewrite_score_backend`]) and kept
+///   only on strict peak reduction; the winner is then re-scheduled by the
+///   full backend and still has to beat the original graph.
+/// * [`RewriteMode::Always`] keeps the legacy blind fixpoint
+///   ([`Rewriter::rewrite`]): every matched site is applied once, no
+///   scheduler in the loop, and the rewritten graph is kept unconditionally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RewriteMode {
     /// Never rewrite (the paper's "Dynamic Programming + Memory Allocator"
     /// configuration).
     Off,
-    /// Always schedule the rewritten graph when any rule matched.
+    /// Blind fixpoint: always schedule the rewritten graph when any rule
+    /// matched, whether or not it helps.
     Always,
-    /// Schedule both graphs and keep the better peak — Equation (2)'s
+    /// Cost-guided search, keeping the better graph — Equation (2)'s
     /// `argmin over transformations`. The default.
     #[default]
     IfBeneficial,
@@ -43,6 +55,8 @@ pub enum RewriteMode {
 #[derive(Clone)]
 pub struct SerenityBuilder {
     rewrite: RewriteMode,
+    rewrite_search: RewriteSearchConfig,
+    rewrite_scorer: Option<Arc<dyn SchedulerBackend>>,
     backend: Arc<dyn SchedulerBackend>,
     allocator: Option<Strategy>,
     divide: bool,
@@ -53,6 +67,8 @@ impl std::fmt::Debug for SerenityBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SerenityBuilder")
             .field("rewrite", &self.rewrite)
+            .field("rewrite_search", &self.rewrite_search)
+            .field("rewrite_scorer", &self.rewrite_scorer.as_ref().map(|b| b.name().to_owned()))
             .field("backend", &self.backend.name())
             .field("allocator", &self.allocator)
             .field("divide", &self.divide)
@@ -75,6 +91,8 @@ impl SerenityBuilder {
     pub fn new() -> Self {
         SerenityBuilder {
             rewrite: RewriteMode::IfBeneficial,
+            rewrite_search: RewriteSearchConfig::default(),
+            rewrite_scorer: None,
             backend: Arc::new(AdaptiveBackend::default()),
             allocator: Some(Strategy::GreedyBySize),
             divide: true,
@@ -85,6 +103,23 @@ impl SerenityBuilder {
     /// Sets the rewrite mode.
     pub fn rewrite(mut self, mode: RewriteMode) -> Self {
         self.rewrite = mode;
+        self
+    }
+
+    /// Tunes the cost-guided rewrite loop (iteration cap, candidate budget;
+    /// only used under [`RewriteMode::IfBeneficial`]).
+    pub fn rewrite_search(mut self, config: RewriteSearchConfig) -> Self {
+        self.rewrite_search = config;
+        self
+    }
+
+    /// Sets the backend that *scores* rewrite candidates (default: cheap
+    /// bounded-width beam search). The final winner is always re-scheduled
+    /// by the full [`SerenityBuilder::backend`], so an approximate scorer
+    /// can mis-rank candidates but never push the compiled result above
+    /// the rewrite-off peak.
+    pub fn rewrite_score_backend(mut self, backend: Arc<dyn SchedulerBackend>) -> Self {
+        self.rewrite_scorer = Some(backend);
         self
     }
 
@@ -209,6 +244,10 @@ pub struct CompiledSchedule {
     /// Rewrites applied to obtain [`CompiledSchedule::graph`] (empty when the
     /// original graph was kept).
     pub rewrites: Vec<AppliedRewrite>,
+    /// Report of the cost-guided rewrite loop (`None` under
+    /// [`RewriteMode::Off`] and [`RewriteMode::Always`]). Present even when
+    /// the original graph won the final comparison.
+    pub rewrite_search: Option<RewriteSearchSummary>,
     /// Partition used by divide-and-conquer.
     pub partition: PartitionSummary,
     /// Aggregate search statistics (all scheduling work, including the
@@ -269,39 +308,68 @@ impl Serenity {
         let mut chosen_partition = original_partition;
         let mut stats = original_stats;
         let mut rewrites = Vec::new();
+        let mut rewrite_search = None;
 
-        if self.config.rewrite != RewriteMode::Off {
-            let outcome = Rewriter::standard().rewrite(graph);
-            if outcome.changed() {
-                ctx.emit(CompileEvent::CandidateStarted {
-                    rewritten: true,
-                    nodes: outcome.graph.len(),
-                });
-                let (rw_schedule, rw_partition, rw_stats) =
-                    self.schedule_one(&outcome.graph, &ctx)?;
-                let take_rewrite = match self.config.rewrite {
-                    RewriteMode::Always => true,
-                    RewriteMode::IfBeneficial => rw_schedule.peak_bytes < chosen.peak_bytes,
-                    RewriteMode::Off => false,
-                };
-                stats.absorb(&rw_stats);
-                if take_rewrite {
-                    // Narrate only the rewrites that actually end up in the
-                    // compiled graph; candidates losing the peak comparison
-                    // are not "applied" from the caller's point of view.
-                    for applied in &outcome.applied {
-                        ctx.emit(CompileEvent::RewriteApplied {
-                            rule: applied.rule,
-                            concat: applied.concat.clone(),
-                            consumer: applied.consumer.clone(),
-                            branches: applied.branches,
-                        });
-                    }
-                    chosen_graph = outcome.graph;
-                    chosen = rw_schedule;
-                    chosen_partition = rw_partition;
-                    rewrites = outcome.applied;
+        // Obtain the rewritten candidate: cost-guided search (IfBeneficial)
+        // or the blind fixpoint (Always).
+        let rewritten = match self.config.rewrite {
+            RewriteMode::Off => None,
+            RewriteMode::Always => {
+                let outcome = Rewriter::standard().rewrite(graph);
+                outcome.changed().then_some((outcome.graph, outcome.applied))
+            }
+            RewriteMode::IfBeneficial => {
+                let scorer = self
+                    .config
+                    .rewrite_scorer
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(BeamBackend::default()));
+                let outcome = Rewriter::standard()
+                    .cost_guided()
+                    .config(self.config.rewrite_search)
+                    .score_backend(scorer)
+                    .run(graph, &ctx)?;
+                stats.absorb(&outcome.stats);
+                let changed = outcome.changed();
+                rewrite_search = Some(outcome.summary);
+                changed.then_some((outcome.graph, outcome.applied))
+            }
+        };
+
+        if let Some((rw_graph, rw_applied)) = rewritten {
+            ctx.emit(CompileEvent::CandidateStarted { rewritten: true, nodes: rw_graph.len() });
+            let (rw_schedule, rw_partition, rw_stats) = self.schedule_one(&rw_graph, &ctx)?;
+            let take_rewrite = match self.config.rewrite {
+                RewriteMode::Always => true,
+                // The search already confirmed improvement under the scoring
+                // backend; this final comparison under the *full* backend is
+                // what guarantees compilation never regresses below
+                // rewrite-off, even with an approximate scorer.
+                RewriteMode::IfBeneficial => rw_schedule.peak_bytes < chosen.peak_bytes,
+                RewriteMode::Off => false,
+            };
+            stats.absorb(&rw_stats);
+            // Keep the summary self-consistent with the compiled artifact:
+            // a winner rejected here was searched but not adopted.
+            if let Some(summary) = rewrite_search.as_mut() {
+                summary.kept = take_rewrite;
+            }
+            if take_rewrite {
+                // Narrate only the rewrites that actually end up in the
+                // compiled graph; candidates losing the peak comparison
+                // are not "applied" from the caller's point of view.
+                for applied in &rw_applied {
+                    ctx.emit(CompileEvent::RewriteApplied {
+                        rule: applied.rule,
+                        concat: applied.concat.clone(),
+                        consumer: applied.consumer.clone(),
+                        branches: applied.branches,
+                    });
                 }
+                chosen_graph = rw_graph;
+                chosen = rw_schedule;
+                chosen_partition = rw_partition;
+                rewrites = rw_applied;
             }
         }
         // Among the schedules attaining the optimal peak, a run-to-completion
@@ -349,6 +417,7 @@ impl Serenity {
             arena,
             baseline_peak_bytes,
             rewrites,
+            rewrite_search,
             partition: chosen_partition,
             stats,
             compile_time,

@@ -3,7 +3,7 @@
 use serenity_ir::{ChannelRange, Graph, GraphError, NodeId, Op};
 
 use super::rebuild::Rebuilder;
-use super::{concat_feeding, RewriteRule, RewriteSite};
+use super::{concat_feeding, RewriteDelta, RewriteRule, RewriteSite};
 
 /// Rewrites `y = conv(concat(x₁…xₖ))` into
 /// `y = accum_add(partial_conv₁(x₁), …, partial_convₖ(xₖ))`, where
@@ -39,7 +39,7 @@ impl RewriteRule for ChannelWiseRule {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError> {
+    fn apply_delta(&self, graph: &Graph, site: &RewriteSite) -> Result<RewriteDelta, GraphError> {
         let Op::Conv2d(conv) = &graph.node(site.consumer).op else {
             return Err(GraphError::InvalidOrder {
                 detail: format!("site consumer {} is not a conv", site.consumer),
@@ -67,18 +67,15 @@ impl RewriteRule for ChannelWiseRule {
                 let mut partial = conv.clone();
                 partial.weight = partial.weight.with_in_slice(slice);
                 let mapped = rb.mapped(x);
-                let id = rb.out_mut().add_named(
-                    format!("{consumer_name}_part{i}"),
-                    Op::Conv2d(partial),
-                    &[mapped],
-                )?;
+                let id =
+                    rb.add_new(format!("{consumer_name}_part{i}"), Op::Conv2d(partial), &[mapped])?;
                 partials.push(id);
             }
-            let add =
-                rb.out_mut().add_named(format!("{consumer_name}_sum"), Op::AccumAdd, &partials)?;
+            let add = rb.add_new(format!("{consumer_name}_sum"), Op::AccumAdd, &partials)?;
             rb.splice(site.consumer, add);
         }
-        Ok(rb.finish())
+        let added = rb.added().to_vec();
+        Ok(RewriteDelta { graph: rb.finish(), removed: vec![site.concat, site.consumer], added })
     }
 }
 

@@ -3,7 +3,7 @@
 use serenity_ir::{ChannelRange, Graph, GraphError, NodeId, Op};
 
 use super::rebuild::Rebuilder;
-use super::{concat_feeding, RewriteRule, RewriteSite};
+use super::{concat_feeding, RewriteDelta, RewriteRule, RewriteSite};
 
 /// Rewrites `y = depthconv(concat(x₁…xₖ))` into
 /// `y = slab_concat(partial_depthconv₁(x₁), …, partial_depthconvₖ(xₖ))`.
@@ -38,7 +38,7 @@ impl RewriteRule for KernelWiseRule {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError> {
+    fn apply_delta(&self, graph: &Graph, site: &RewriteSite) -> Result<RewriteDelta, GraphError> {
         let Op::DepthwiseConv2d(dw) = &graph.node(site.consumer).op else {
             return Err(GraphError::InvalidOrder {
                 detail: format!("site consumer {} is not a depthwise conv", site.consumer),
@@ -65,21 +65,19 @@ impl RewriteRule for KernelWiseRule {
                 let mut partial = dw.clone();
                 partial.weight = partial.weight.with_kernel_slice(slice);
                 let mapped = rb.mapped(x);
-                let id = rb.out_mut().add_named(
+                let id = rb.add_new(
                     format!("{consumer_name}_part{i}"),
                     Op::DepthwiseConv2d(partial),
                     &[mapped],
                 )?;
                 partials.push(id);
             }
-            let concat = rb.out_mut().add_named(
-                format!("{consumer_name}_cat"),
-                Op::SlabConcat { axis: 3 },
-                &partials,
-            )?;
+            let concat =
+                rb.add_new(format!("{consumer_name}_cat"), Op::SlabConcat { axis: 3 }, &partials)?;
             rb.splice(site.consumer, concat);
         }
-        Ok(rb.finish())
+        let added = rb.added().to_vec();
+        Ok(RewriteDelta { graph: rb.finish(), removed: vec![site.concat, site.consumer], added })
     }
 }
 

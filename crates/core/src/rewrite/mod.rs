@@ -19,11 +19,26 @@
 //! §3.3 "Implementation") and applied by rebuilding the graph; weight slices
 //! stay symbolic ([`serenity_ir::WeightRef`]), which lets the reference
 //! interpreter in `serenity-tensor` verify output equality.
+//!
+//! Two drivers run the rules:
+//!
+//! * [`Rewriter`] — the blind fixpoint: apply every matched site once, no
+//!   scheduler in the loop (the legacy mode, kept for
+//!   `RewriteMode::Always` and ablations).
+//! * [`RewriteSearch`] — the cost-guided loop (Figure 4 run iteratively):
+//!   per iteration every site becomes a candidate graph, each candidate is
+//!   *scheduled* by a scoring backend, and only the best strictly-peak-
+//!   reducing candidate is kept, until a fixed point, deadline, or budget.
+//!   Unchanged divide-and-conquer segments are replayed from a
+//!   [`ScheduleMemo`](crate::memo::ScheduleMemo) instead of re-searched.
 
 mod channel;
 mod kernel;
 mod push;
 mod rebuild;
+mod search;
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use serenity_ir::{Graph, GraphError, NodeId, Op};
@@ -31,6 +46,9 @@ use serenity_ir::{Graph, GraphError, NodeId, Op};
 pub use channel::ChannelWiseRule;
 pub use kernel::KernelWiseRule;
 pub use push::ActivationPushdownRule;
+pub use search::{
+    RewriteSearch, RewriteSearchConfig, RewriteSearchOutcome, RewriteSearchSummary, RewriteStop,
+};
 
 /// A matched rewrite opportunity.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,7 +63,23 @@ pub struct RewriteSite {
     pub branches: usize,
 }
 
-/// A graph-rewriting rule: finds sites and applies the transformation.
+/// The effect of applying one rewrite rule at one site: the rewritten graph
+/// plus a description of what changed, so consumers (the cost-guided search,
+/// event sinks) can reason about the *delta* instead of diffing graphs.
+#[derive(Debug, Clone)]
+pub struct RewriteDelta {
+    /// The rewritten graph.
+    pub graph: Graph,
+    /// Pre-rewrite ids of the nodes the rewrite removed (the matched concat
+    /// and its consumer).
+    pub removed: Vec<NodeId>,
+    /// Post-rewrite ids of the nodes the rewrite created (partials plus the
+    /// combining add/concat), in creation order.
+    pub added: Vec<NodeId>,
+}
+
+/// A graph-rewriting rule: enumerates sites and applies the transformation
+/// as a delta.
 pub trait RewriteRule {
     /// Short rule name used in reports.
     fn name(&self) -> &'static str;
@@ -53,13 +87,23 @@ pub trait RewriteRule {
     /// All sites of this rule in `graph`, in id order.
     fn find(&self, graph: &Graph) -> Vec<RewriteSite>;
 
-    /// Applies the rule at `site`, returning the rewritten graph.
+    /// Applies the rule at `site`, returning the rewritten graph together
+    /// with the removed/added node sets.
     ///
     /// # Errors
     ///
     /// Returns a graph error if `site` does not match this rule on `graph`
     /// (e.g. because the graph changed since [`RewriteRule::find`]).
-    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError>;
+    fn apply_delta(&self, graph: &Graph, site: &RewriteSite) -> Result<RewriteDelta, GraphError>;
+
+    /// Applies the rule at `site`, returning only the rewritten graph.
+    ///
+    /// # Errors
+    ///
+    /// As [`RewriteRule::apply_delta`].
+    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError> {
+        self.apply_delta(graph, site).map(|delta| delta.graph)
+    }
 }
 
 /// Description of one applied rewrite (sites reference pre-rewrite ids, so
@@ -92,11 +136,21 @@ impl RewriteOutcome {
     }
 }
 
-/// Drives a set of rewrite rules to fixpoint.
+/// A preset bundle of rewrite rules: the blind fixpoint driver
+/// ([`Rewriter::rewrite`]) and the entry point to the cost-guided search
+/// ([`Rewriter::cost_guided`]).
+///
+/// [`Rewriter::rewrite`] applies every matched site unconditionally, without
+/// consulting a scheduler — the paper's "apply all identity rewrites" mode,
+/// kept for `RewriteMode::Always` and as a cheap preprocessing step. The
+/// recommended flow is [`Rewriter::cost_guided`], which turns the same rule
+/// set into a [`RewriteSearch`] that keeps a rewrite only when scheduling
+/// confirms it lowers the peak.
 ///
 /// Each application strictly decreases the number of *unsliced* convolutions
 /// adjacent to a concat, so the fixpoint always terminates; a hard
-/// application cap guards against rule bugs regardless.
+/// application cap ([`Rewriter::max_applications`]) guards against rule bugs
+/// regardless.
 ///
 /// # Example
 ///
@@ -122,7 +176,7 @@ impl RewriteOutcome {
 /// # }
 /// ```
 pub struct Rewriter {
-    rules: Vec<Box<dyn RewriteRule + Send + Sync>>,
+    rules: Vec<Arc<dyn RewriteRule + Send + Sync>>,
     max_applications: usize,
 }
 
@@ -148,9 +202,9 @@ impl Rewriter {
     pub fn standard() -> Self {
         Rewriter {
             rules: vec![
-                Box::new(ChannelWiseRule),
-                Box::new(KernelWiseRule),
-                Box::new(ActivationPushdownRule),
+                Arc::new(ChannelWiseRule),
+                Arc::new(KernelWiseRule),
+                Arc::new(ActivationPushdownRule),
             ],
             max_applications: 512,
         }
@@ -158,18 +212,42 @@ impl Rewriter {
 
     /// Only channel-wise partitioning (`concat + conv`).
     pub fn channel_only() -> Self {
-        Rewriter { rules: vec![Box::new(ChannelWiseRule)], max_applications: 512 }
+        Rewriter { rules: vec![Arc::new(ChannelWiseRule)], max_applications: 512 }
     }
 
     /// Only kernel-wise partitioning (`concat + depthwise conv`).
     pub fn kernel_only() -> Self {
-        Rewriter { rules: vec![Box::new(KernelWiseRule)], max_applications: 512 }
+        Rewriter { rules: vec![Arc::new(KernelWiseRule)], max_applications: 512 }
     }
 
-    /// Caps the number of applications per [`Rewriter::rewrite`] call.
+    /// A rewriter over a custom rule set, in priority order.
+    pub fn with_rules(rules: Vec<Arc<dyn RewriteRule + Send + Sync>>) -> Self {
+        Rewriter { rules, max_applications: 512 }
+    }
+
+    /// Caps the number of rule applications **per [`Rewriter::rewrite`]
+    /// call, counted across all rules together** (not per rule): once the
+    /// cap is reached the fixpoint loop stops, even if sites remain. A cap
+    /// of `0` disables rewriting entirely — `rewrite` returns the input
+    /// graph unchanged. The same cap bounds accepted applications of a
+    /// search built via [`Rewriter::cost_guided`].
     pub fn max_applications(mut self, max: usize) -> Self {
         self.max_applications = max;
         self
+    }
+
+    /// The rule set, in priority order.
+    pub fn rules(&self) -> &[Arc<dyn RewriteRule + Send + Sync>] {
+        &self.rules
+    }
+
+    /// Turns this preset into a cost-guided [`RewriteSearch`] over the same
+    /// rules (and the same application cap).
+    pub fn cost_guided(&self) -> RewriteSearch {
+        RewriteSearch::new(self.rules.clone()).config(RewriteSearchConfig {
+            max_applications: self.max_applications,
+            ..RewriteSearchConfig::default()
+        })
     }
 
     /// All sites of all rules in `graph`.
@@ -179,8 +257,10 @@ impl Rewriter {
         sites
     }
 
-    /// Applies rules to fixpoint and returns the rewritten graph plus the
-    /// application log.
+    /// Applies rules to fixpoint (blindly — no scheduler in the loop) and
+    /// returns the rewritten graph plus the application log. At most
+    /// [`Rewriter::max_applications`] applications are performed per call,
+    /// counted across all rules.
     pub fn rewrite(&self, graph: &Graph) -> RewriteOutcome {
         let mut current = graph.clone();
         let mut applied = Vec::new();
@@ -346,6 +426,48 @@ mod tests {
         let g = dual_pattern_cell();
         let outcome = Rewriter::standard().max_applications(1).rewrite(&g);
         assert_eq!(outcome.applied.len(), 1);
+    }
+
+    #[test]
+    fn application_cap_of_zero_disables_rewriting() {
+        let g = dual_pattern_cell();
+        let outcome = Rewriter::standard().max_applications(0).rewrite(&g);
+        assert!(!outcome.changed());
+        assert_eq!(outcome.graph, g, "a zero cap must return the input unchanged");
+    }
+
+    #[test]
+    fn application_cap_counts_across_all_rules() {
+        // The dual-pattern cell fires both channel-wise and kernel-wise
+        // rules; the cap bounds their *total*, not each rule separately.
+        let g = dual_pattern_cell();
+        let capped = Rewriter::standard().max_applications(2).rewrite(&g);
+        assert_eq!(capped.applied.len(), 2);
+        let rules: Vec<&str> = capped.applied.iter().map(|a| a.rule).collect();
+        assert!(rules.contains(&"channel-wise") && rules.contains(&"kernel-wise"), "{rules:?}");
+    }
+
+    #[test]
+    fn application_cap_at_the_fixpoint_boundary() {
+        // The uncapped fixpoint applies exactly 3 rewrites on this cell; a
+        // cap equal to that count must reproduce the fixpoint, one less must
+        // stop exactly one application short, and further headroom must not
+        // change the result (each `rewrite()` call enforces its own cap).
+        let g = dual_pattern_cell();
+        let fixpoint = Rewriter::standard().rewrite(&g);
+        let n = fixpoint.applied.len();
+        assert_eq!(n, 3);
+
+        let exact = Rewriter::standard().max_applications(n).rewrite(&g);
+        assert_eq!(exact.applied, fixpoint.applied);
+        assert_eq!(exact.graph, fixpoint.graph);
+
+        let short = Rewriter::standard().max_applications(n - 1).rewrite(&g);
+        assert_eq!(short.applied.len(), n - 1);
+        assert_eq!(short.applied[..], fixpoint.applied[..n - 1]);
+
+        let loose = Rewriter::standard().max_applications(n + 100).rewrite(&g);
+        assert_eq!(loose.graph, fixpoint.graph);
     }
 
     #[test]

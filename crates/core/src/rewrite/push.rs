@@ -12,7 +12,7 @@
 use serenity_ir::{Graph, GraphError, NodeId, Op};
 
 use super::rebuild::Rebuilder;
-use super::{RewriteRule, RewriteSite};
+use super::{RewriteDelta, RewriteRule, RewriteSite};
 
 /// The activation-pushdown rule (see module docs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,7 +59,7 @@ impl RewriteRule for ActivationPushdownRule {
             .collect()
     }
 
-    fn apply(&self, graph: &Graph, site: &RewriteSite) -> Result<Graph, GraphError> {
+    fn apply_delta(&self, graph: &Graph, site: &RewriteSite) -> Result<RewriteDelta, GraphError> {
         let act = graph.node(site.consumer).op.clone();
         if !is_pushable(&act) {
             return Err(GraphError::InvalidOrder {
@@ -86,18 +86,14 @@ impl RewriteRule for ActivationPushdownRule {
             let mut pushed = Vec::with_capacity(branches.len());
             for (i, &x) in branches.iter().enumerate() {
                 let mapped = rb.mapped(x);
-                let id = rb.out_mut().add_named(
-                    format!("{act_name}_push{i}"),
-                    act.clone(),
-                    &[mapped],
-                )?;
+                let id = rb.add_new(format!("{act_name}_push{i}"), act.clone(), &[mapped])?;
                 pushed.push(id);
             }
-            let concat =
-                rb.out_mut().add_named(format!("{act_name}_cat"), Op::Concat { axis }, &pushed)?;
+            let concat = rb.add_new(format!("{act_name}_cat"), Op::Concat { axis }, &pushed)?;
             rb.splice(site.consumer, concat);
         }
-        Ok(rb.finish())
+        let added = rb.added().to_vec();
+        Ok(RewriteDelta { graph: rb.finish(), removed: vec![site.concat, site.consumer], added })
     }
 }
 

@@ -12,16 +12,47 @@ pub(crate) struct Rebuilder<'g> {
     src: &'g Graph,
     out: Graph,
     map: FxHashMap<NodeId, NodeId>,
+    added: Vec<NodeId>,
 }
 
 impl<'g> Rebuilder<'g> {
     pub(crate) fn new(src: &'g Graph) -> Self {
-        Rebuilder { src, out: Graph::new(src.name().to_owned()), map: FxHashMap::default() }
+        Rebuilder {
+            src,
+            out: Graph::new(src.name().to_owned()),
+            map: FxHashMap::default(),
+            added: Vec::new(),
+        }
     }
 
-    /// The graph being built.
+    /// The graph being built (rules go through [`Rebuilder::add_new`], which
+    /// also records the delta; direct access is for tests).
+    #[cfg(test)]
     pub(crate) fn out_mut(&mut self) -> &mut Graph {
         &mut self.out
+    }
+
+    /// Adds a genuinely new node (no source counterpart) and records it in
+    /// the rebuild's [`Rebuilder::added`] delta.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures of the new node.
+    pub(crate) fn add_new(
+        &mut self,
+        name: String,
+        op: Op,
+        preds: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        let id = self.out.add_named(name, op, preds)?;
+        self.added.push(id);
+        Ok(id)
+    }
+
+    /// Post-rewrite ids of the nodes created via [`Rebuilder::add_new`], in
+    /// creation order.
+    pub(crate) fn added(&self) -> &[NodeId] {
+        &self.added
     }
 
     /// New id of an already-copied (or spliced) source node.

@@ -1,0 +1,693 @@
+//! The cost-guided, iterative rewrite↔schedule search.
+//!
+//! The paper's Figure 4 flow is *rewrite → schedule*, but §3.3's identity
+//! rewrites only pay off when the scheduler confirms they lower the peak —
+//! applying every matched site blindly can leave footprint on the table (or,
+//! on cells whose concats are already cheap, add nodes for nothing). This
+//! module closes the loop, following the iterative graph-optimization
+//! formulation of Zhong et al. (2023):
+//!
+//! 1. Enumerate every rewrite site of every rule on the current graph.
+//! 2. Turn each site into a **candidate** graph. Sites whose rewrite is
+//!    footprint-neutral on its own but *enables* another rule (activation
+//!    pushdown exposing `concat→conv`, a kernel-wise slab concat feeding a
+//!    pointwise conv) are chained with the rewrites they enable, so a
+//!    candidate is a maximal enabling chain, not a single blind step.
+//! 3. **Score** each candidate by actually scheduling it (divide-and-conquer
+//!    with the configured scoring backend). Segments unchanged since any
+//!    previous scoring run replay from a [`ScheduleMemo`] instead of being
+//!    re-searched.
+//! 4. Accept the best candidate that does not *worsen* the scored peak;
+//!    stop when every candidate worsens it (fixed point), on the iteration
+//!    cap, the candidate budget, the application cap, or the
+//!    [`CompileContext`] deadline. Peak-neutral acceptances traverse
+//!    *plateaus*: on a cell with two symmetric concat arms, rewriting either
+//!    arm alone leaves the max-peak unchanged and only the second step pays
+//!    off. The search **returns the snapshot at the last strict
+//!    improvement**, so trailing plateau steps that never paid off are
+//!    discarded and the result never has a higher scored peak than the
+//!    input. Termination is guaranteed even with neutral steps: every
+//!    rewrite strictly shrinks the supply of matchable sites.
+//!
+//! The search is deterministic: sites are scored in a canonical order, ties
+//! keep the earliest site, and all backends are deterministic, so serial and
+//! parallel runs return bit-identical graphs and schedules.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use serenity_ir::{Graph, GraphError};
+
+use crate::backend::{BeamBackend, CompileContext, CompileEvent, SchedulerBackend};
+use crate::divide::DivideAndConquer;
+use crate::memo::ScheduleMemo;
+use crate::rewrite::{AppliedRewrite, RewriteRule, RewriteSite};
+use crate::{ScheduleError, ScheduleStats};
+
+/// Why a [`RewriteSearch`] run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewriteStop {
+    /// Every candidate worsened the scored peak, or no sites remained.
+    FixedPoint,
+    /// [`RewriteSearchConfig::max_iterations`] accepted candidates were
+    /// applied.
+    IterationCap,
+    /// [`RewriteSearchConfig::max_candidates`] candidates were scored.
+    CandidateBudget,
+    /// [`RewriteSearchConfig::max_applications`] rewrites were applied.
+    ApplicationCap,
+    /// The [`CompileContext`] deadline expired mid-search.
+    Deadline,
+}
+
+impl std::fmt::Display for RewriteStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RewriteStop::FixedPoint => "fixed-point",
+            RewriteStop::IterationCap => "iteration-cap",
+            RewriteStop::CandidateBudget => "candidate-budget",
+            RewriteStop::ApplicationCap => "application-cap",
+            RewriteStop::Deadline => "deadline",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Knobs of the iterative search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RewriteSearchConfig {
+    /// Maximum accepted candidates (one per iteration).
+    pub max_iterations: usize,
+    /// Total candidate-scoring budget across all iterations (each scored
+    /// candidate costs one scheduling run of the scoring backend).
+    pub max_candidates: usize,
+    /// Maximum rewrite applications overall (chained enabling rewrites
+    /// count individually), mirroring
+    /// [`Rewriter::max_applications`](crate::rewrite::Rewriter::max_applications).
+    pub max_applications: usize,
+    /// Maximum length of one enabling chain (site + the rewrites it
+    /// exposes) within a single candidate.
+    pub max_chain: usize,
+}
+
+impl Default for RewriteSearchConfig {
+    fn default() -> Self {
+        RewriteSearchConfig {
+            max_iterations: 32,
+            max_candidates: 256,
+            max_applications: 512,
+            max_chain: 4,
+        }
+    }
+}
+
+/// Aggregate report of one search run (serializable for CLI/bench output).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewriteSearchSummary {
+    /// Iterations that accepted a candidate.
+    pub iterations: usize,
+    /// Candidates scored across all iterations.
+    pub candidates_scored: usize,
+    /// Rewrites applied to produce the final graph.
+    pub applied: usize,
+    /// Why the loop stopped.
+    pub stop: RewriteStop,
+    /// Schedule-memo hits across all scoring runs.
+    pub memo_hits: u64,
+    /// Schedule-memo misses across all scoring runs.
+    pub memo_misses: u64,
+    /// Scored peak of the input graph, in bytes (zero when the graph had no
+    /// rewrite sites and was never scored).
+    pub initial_peak_bytes: u64,
+    /// Scored peak of the final graph, in bytes (zero when never scored).
+    pub final_peak_bytes: u64,
+    /// Whether the search's result graph was ultimately adopted. The search
+    /// itself sets this to "some rewrite was accepted"; the pipeline flips
+    /// it to `false` when its final full-backend comparison rejects the
+    /// winner (then `applied`/`final_peak_bytes` describe a *discarded*
+    /// candidate and the compiled graph is the original).
+    pub kept: bool,
+    /// Wall-clock time of the whole search.
+    #[serde(with = "crate::schedule::duration_micros")]
+    pub wall: Duration,
+}
+
+impl RewriteSearchSummary {
+    /// Fraction of segment-scheduling lookups served from the memo.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Result of a [`RewriteSearch`] run.
+#[derive(Debug, Clone)]
+pub struct RewriteSearchOutcome {
+    /// The best graph found (the input graph when nothing improved).
+    pub graph: Graph,
+    /// Every accepted application, in order.
+    pub applied: Vec<AppliedRewrite>,
+    /// Run report (iterations, memo counters, stop reason, wall time).
+    pub summary: RewriteSearchSummary,
+    /// Scheduling effort spent scoring candidates (absorbable into a
+    /// pipeline's total via [`ScheduleStats::absorb`]).
+    pub stats: ScheduleStats,
+}
+
+impl RewriteSearchOutcome {
+    /// Whether any rewrite was accepted.
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+/// The iterative, cost-guided rewrite engine (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use serenity_core::rewrite::Rewriter;
+/// use serenity_core::backend::CompileContext;
+/// use serenity_ir::{DType, GraphBuilder, Padding};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new("cell");
+/// let x = b.image_input("x", 8, 8, 8, DType::F32);
+/// let l = b.conv1x1(x, 16)?;
+/// let r = b.conv1x1(x, 16)?;
+/// let cat = b.concat(&[l, r])?;
+/// let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same)?;
+/// b.mark_output(y);
+/// let g = b.finish();
+///
+/// let outcome = Rewriter::standard().cost_guided().run(&g, &CompileContext::unconstrained())?;
+/// assert!(outcome.changed());
+/// assert!(outcome.summary.final_peak_bytes < outcome.summary.initial_peak_bytes);
+/// # Ok(())
+/// # }
+/// ```
+pub struct RewriteSearch {
+    rules: Vec<Arc<dyn RewriteRule + Send + Sync>>,
+    config: RewriteSearchConfig,
+    scorer: Arc<dyn SchedulerBackend>,
+}
+
+impl std::fmt::Debug for RewriteSearch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RewriteSearch")
+            .field("rules", &self.rules.iter().map(|r| r.name()).collect::<Vec<_>>())
+            .field("config", &self.config)
+            .field("scorer", &self.scorer.name())
+            .finish()
+    }
+}
+
+/// One candidate: a rewritten graph plus the chain of applications that
+/// produced it.
+struct Candidate {
+    graph: Graph,
+    records: Vec<AppliedRewrite>,
+    head: RewriteSite,
+    head_names: (String, String),
+}
+
+impl RewriteSearch {
+    /// A search over `rules` (priority order) with default config and the
+    /// default cheap scorer (bounded-width beam search).
+    pub fn new(rules: Vec<Arc<dyn RewriteRule + Send + Sync>>) -> Self {
+        RewriteSearch {
+            rules,
+            config: RewriteSearchConfig::default(),
+            scorer: Arc::new(BeamBackend::default()),
+        }
+    }
+
+    /// Replaces the search configuration.
+    pub fn config(mut self, config: RewriteSearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the backend that scores candidates. Scoring cost dominates the
+    /// search, so a cheap backend (`beam`, the default) is usually right;
+    /// the pipeline re-schedules the final winner with its full backend
+    /// regardless, so an approximate scorer can mis-rank candidates but
+    /// never degrade the compiled result below rewrite-off.
+    pub fn score_backend(mut self, backend: Arc<dyn SchedulerBackend>) -> Self {
+        self.scorer = backend;
+        self
+    }
+
+    /// All sites of all rules on `graph`, canonically ordered.
+    fn sites(&self, graph: &Graph) -> Vec<(usize, RewriteSite)> {
+        let mut sites: Vec<(usize, RewriteSite)> = self
+            .rules
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.find(graph).into_iter().map(move |s| (i, s)))
+            .collect();
+        sites.sort_by_key(|(i, s)| (s.consumer, s.concat, *i));
+        sites
+    }
+
+    /// Builds the candidate for `site`: applies it, then chains any rewrite
+    /// whose concat was *created* by the previous application (an enabling
+    /// chain — activation pushdown exposing `concat→conv`, a slab concat
+    /// cascading into channel-wise partitioning).
+    fn build_candidate(
+        &self,
+        current: &Graph,
+        rule: &Arc<dyn RewriteRule + Send + Sync>,
+        site: &RewriteSite,
+        max_len: usize,
+    ) -> Result<Candidate, GraphError> {
+        let head_names =
+            (current.node(site.concat).name.clone(), current.node(site.consumer).name.clone());
+        let mut records = vec![AppliedRewrite {
+            rule: site.rule,
+            concat: head_names.0.clone(),
+            consumer: head_names.1.clone(),
+            branches: site.branches,
+        }];
+        let mut delta = rule.apply_delta(current, site)?;
+        while records.len() < max_len {
+            let Some((next_rule, next_site)) = self.rules.iter().find_map(|r| {
+                r.find(&delta.graph)
+                    .into_iter()
+                    .find(|s| delta.added.contains(&s.concat))
+                    .map(|s| (r, s))
+            }) else {
+                break;
+            };
+            records.push(AppliedRewrite {
+                rule: next_site.rule,
+                concat: delta.graph.node(next_site.concat).name.clone(),
+                consumer: delta.graph.node(next_site.consumer).name.clone(),
+                branches: next_site.branches,
+            });
+            delta = next_rule.apply_delta(&delta.graph, &next_site)?;
+        }
+        Ok(Candidate { graph: delta.graph, records, head: site.clone(), head_names })
+    }
+
+    /// Runs the search with no deadline, cancellation, or event sink.
+    ///
+    /// # Errors
+    ///
+    /// As [`RewriteSearch::run`].
+    pub fn run_unconstrained(&self, graph: &Graph) -> Result<RewriteSearchOutcome, ScheduleError> {
+        self.run(graph, &CompileContext::unconstrained())
+    }
+
+    /// Runs the iterative search on `graph` under `ctx`.
+    ///
+    /// A graph with no rewrite sites at all returns immediately — no
+    /// scheduling happens, and the summary's peak fields are both zero
+    /// ("never scored"). A deadline expiring *mid-search* is not an error:
+    /// the loop stops and the best graph found so far is returned (with
+    /// [`RewriteStop::Deadline`]). Cancellation propagates as
+    /// [`ScheduleError::Cancelled`], and scoring failures of the *input*
+    /// graph propagate as-is — if the input cannot be scheduled at all the
+    /// search has no cost signal to work with.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Cancelled`], or any error scoring the input graph.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+    ) -> Result<RewriteSearchOutcome, ScheduleError> {
+        let started = Instant::now();
+        // Site-free graphs (every sum-aggregation RandWire, plain CNNs)
+        // short-circuit before any scheduling: pattern matching is the only
+        // cost, exactly like the blind rewriter's no-match path. The
+        // enumeration is reused as iteration 0's site list otherwise.
+        let mut sites = self.sites(graph);
+        if sites.is_empty() {
+            let summary = RewriteSearchSummary {
+                iterations: 0,
+                candidates_scored: 0,
+                applied: 0,
+                stop: RewriteStop::FixedPoint,
+                memo_hits: 0,
+                memo_misses: 0,
+                initial_peak_bytes: 0,
+                final_peak_bytes: 0,
+                kept: false,
+                wall: started.elapsed(),
+            };
+            ctx.emit(CompileEvent::RewriteSearchFinished {
+                iterations: 0,
+                candidates: 0,
+                stop: RewriteStop::FixedPoint,
+                memo_hits: 0,
+                memo_misses: 0,
+                initial_peak_bytes: 0,
+                final_peak_bytes: 0,
+            });
+            return Ok(RewriteSearchOutcome {
+                graph: graph.clone(),
+                applied: Vec::new(),
+                summary,
+                stats: ScheduleStats::default(),
+            });
+        }
+        let memo = Arc::new(ScheduleMemo::new());
+        let scorer =
+            DivideAndConquer::new().backend(Arc::clone(&self.scorer)).memo(Arc::clone(&memo));
+
+        let mut stats = ScheduleStats::default();
+        let initial = scorer.schedule_with_ctx(graph, ctx)?;
+        stats.absorb(&initial.total_stats);
+        let initial_peak = initial.schedule.peak_bytes;
+
+        let mut current = graph.clone();
+        let mut current_peak = initial_peak;
+        let mut applied: Vec<AppliedRewrite> = Vec::new();
+        let mut candidates_scored = 0usize;
+        let mut iterations = 0usize;
+        // Snapshot at the last *strict* improvement: what the search
+        // returns. Plateau (peak-neutral) steps advance `current` so later
+        // wins can build on them, but are only banked once they pay off.
+        let mut best_graph = graph.clone();
+        let mut best_peak = initial_peak;
+        let mut best_applied = 0usize;
+
+        let stop = 'search: loop {
+            if iterations >= self.config.max_iterations {
+                break RewriteStop::IterationCap;
+            }
+            let remaining_applications = self.config.max_applications.saturating_sub(applied.len());
+            if remaining_applications == 0 {
+                break RewriteStop::ApplicationCap;
+            }
+            if sites.is_empty() {
+                break RewriteStop::FixedPoint;
+            }
+
+            let mut best: Option<(u64, Candidate)> = None;
+            let mut losers: Vec<(RewriteSite, String, String, u64)> = Vec::new();
+            let mut budget_hit = false;
+            for (rule_idx, site) in std::mem::take(&mut sites) {
+                if candidates_scored >= self.config.max_candidates {
+                    budget_hit = true;
+                    break;
+                }
+                if ctx.check().is_err() {
+                    if ctx.options().cancel.is_cancelled() {
+                        return Err(ScheduleError::Cancelled);
+                    }
+                    break 'search RewriteStop::Deadline;
+                }
+                let candidate = match self.build_candidate(
+                    &current,
+                    &self.rules[rule_idx],
+                    &site,
+                    remaining_applications.min(self.config.max_chain),
+                ) {
+                    Ok(candidate) => candidate,
+                    // A site invalidated between find and apply is a rule
+                    // bug upstream; here it only costs us the candidate.
+                    Err(_) => continue,
+                };
+                candidates_scored += 1;
+                let scored = match scorer.schedule_with_ctx(&candidate.graph, ctx) {
+                    Ok(outcome) => outcome,
+                    Err(ScheduleError::Cancelled) => return Err(ScheduleError::Cancelled),
+                    Err(ScheduleError::DeadlineExceeded { .. }) => {
+                        break 'search RewriteStop::Deadline;
+                    }
+                    // Unschedulable candidate (e.g. backend size cap):
+                    // discard it, keep searching.
+                    Err(_) => continue,
+                };
+                stats.absorb(&scored.total_stats);
+                let peak = scored.schedule.peak_bytes;
+                ctx.emit(CompileEvent::RewriteCandidateScored {
+                    rule: candidate.head.rule,
+                    concat: candidate.head_names.0.clone(),
+                    consumer: candidate.head_names.1.clone(),
+                    branches: candidate.head.branches,
+                    peak_bytes: peak,
+                    current_peak_bytes: current_peak,
+                });
+                let acceptable = peak <= current_peak;
+                let beats_best = best.as_ref().is_none_or(|(b, _)| peak < *b);
+                if acceptable && beats_best {
+                    if let Some((old_peak, old)) = best.replace((peak, candidate)) {
+                        losers.push((old.head, old.head_names.0, old.head_names.1, old_peak));
+                    }
+                } else {
+                    losers.push((
+                        candidate.head,
+                        candidate.head_names.0,
+                        candidate.head_names.1,
+                        peak,
+                    ));
+                }
+            }
+
+            for (site, concat, consumer, peak) in losers.drain(..) {
+                ctx.emit(CompileEvent::RewriteCandidateRejected {
+                    rule: site.rule,
+                    concat,
+                    consumer,
+                    peak_bytes: peak,
+                });
+            }
+            match best {
+                Some((peak, winner)) => {
+                    ctx.emit(CompileEvent::RewriteCandidateKept {
+                        rule: winner.head.rule,
+                        concat: winner.head_names.0.clone(),
+                        consumer: winner.head_names.1.clone(),
+                        iteration: iterations,
+                        peak_bytes: peak,
+                    });
+                    current = winner.graph;
+                    current_peak = peak;
+                    applied.extend(winner.records);
+                    iterations += 1;
+                    if current_peak < best_peak {
+                        best_graph = current.clone();
+                        best_peak = current_peak;
+                        best_applied = applied.len();
+                    }
+                    sites = self.sites(&current);
+                }
+                None if budget_hit => break RewriteStop::CandidateBudget,
+                None => break RewriteStop::FixedPoint,
+            }
+            if budget_hit {
+                break RewriteStop::CandidateBudget;
+            }
+        };
+
+        // Return the last strictly-improving snapshot, dropping trailing
+        // plateau steps that never paid off.
+        applied.truncate(best_applied);
+        stats.memo_hits = memo.hits();
+        stats.memo_misses = memo.misses();
+        let summary = RewriteSearchSummary {
+            iterations,
+            candidates_scored,
+            applied: applied.len(),
+            stop,
+            memo_hits: memo.hits(),
+            memo_misses: memo.misses(),
+            initial_peak_bytes: initial_peak,
+            final_peak_bytes: best_peak,
+            kept: !applied.is_empty(),
+            wall: started.elapsed(),
+        };
+        ctx.emit(CompileEvent::RewriteSearchFinished {
+            iterations: summary.iterations,
+            candidates: summary.candidates_scored,
+            stop: summary.stop,
+            memo_hits: summary.memo_hits,
+            memo_misses: summary.memo_misses,
+            initial_peak_bytes: summary.initial_peak_bytes,
+            final_peak_bytes: summary.final_peak_bytes,
+        });
+        Ok(RewriteSearchOutcome { graph: best_graph, applied, summary, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DpBackend;
+    use crate::rewrite::Rewriter;
+    use serenity_ir::{DType, GraphBuilder, Padding};
+
+    fn concat_cell(branches: usize, channels: usize) -> Graph {
+        let mut b = GraphBuilder::new("cell");
+        let x = b.image_input("x", 8, 8, 8, DType::F32);
+        let ins: Vec<_> = (0..branches).map(|_| b.conv1x1(x, channels).unwrap()).collect();
+        let cat = b.concat(&ins).unwrap();
+        let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+        b.mark_output(y);
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_only_strict_improvements() {
+        let g = concat_cell(3, 16);
+        let outcome = Rewriter::standard().cost_guided().run_unconstrained(&g).unwrap();
+        assert!(outcome.changed());
+        assert!(outcome.summary.final_peak_bytes < outcome.summary.initial_peak_bytes);
+        assert_eq!(outcome.summary.stop, RewriteStop::FixedPoint);
+        assert!(outcome.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn plain_graph_reaches_fixed_point_unchanged() {
+        let mut b = GraphBuilder::new("plain");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let y = b.conv(x, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+        b.mark_output(y);
+        let g = b.finish();
+        let outcome = Rewriter::standard().cost_guided().run_unconstrained(&g).unwrap();
+        assert!(!outcome.changed());
+        assert_eq!(outcome.graph, g);
+        assert_eq!(outcome.summary.stop, RewriteStop::FixedPoint);
+        assert_eq!(outcome.summary.candidates_scored, 0);
+    }
+
+    #[test]
+    fn pushdown_chain_reaches_through_activations() {
+        // relu between concat and conv: pushdown alone is footprint-neutral,
+        // so only the chained candidate (pushdown + channel-wise) can win.
+        let mut b = GraphBuilder::new("tail");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let s1 = b.conv1x1(x, 12).unwrap();
+        let s2 = b.conv1x1(x, 12).unwrap();
+        let s3 = b.conv1x1(x, 12).unwrap();
+        let cat = b.concat(&[s1, s2, s3]).unwrap();
+        let r = b.relu(cat).unwrap();
+        let c = b.conv1x1(r, 8).unwrap();
+        b.mark_output(c);
+        let g = b.finish();
+
+        let outcome = Rewriter::standard().cost_guided().run_unconstrained(&g).unwrap();
+        assert!(outcome.changed(), "the enabling chain must fire");
+        assert!(outcome.applied.iter().any(|a| a.rule == "activation-pushdown"));
+        assert!(outcome.applied.iter().any(|a| a.rule == "channel-wise"));
+        assert!(outcome.summary.final_peak_bytes < outcome.summary.initial_peak_bytes);
+    }
+
+    /// Two independent concat→conv sites feeding one output add.
+    fn two_site_cell() -> Graph {
+        let mut b = GraphBuilder::new("two");
+        let x = b.image_input("x", 8, 8, 8, DType::F32);
+        let mut arms = Vec::new();
+        for _ in 0..2 {
+            let ins: Vec<_> = (0..3).map(|_| b.conv1x1(x, 16).unwrap()).collect();
+            let cat = b.concat(&ins).unwrap();
+            arms.push(b.conv(cat, 8, (3, 3), (1, 1), Padding::Same).unwrap());
+        }
+        let out = b.add(&arms).unwrap();
+        b.mark_output(out);
+        b.finish()
+    }
+
+    #[test]
+    fn candidate_budget_stops_the_loop() {
+        let g = two_site_cell();
+        let outcome = Rewriter::standard()
+            .cost_guided()
+            .config(RewriteSearchConfig { max_candidates: 1, ..Default::default() })
+            .run_unconstrained(&g)
+            .unwrap();
+        assert_eq!(outcome.summary.candidates_scored, 1);
+        assert_eq!(outcome.summary.stop, RewriteStop::CandidateBudget);
+        // One candidate is a plateau step here (the other arm's concat still
+        // dominates); the budget cut the search before it paid off, so the
+        // snapshot semantics return the unchanged input.
+        assert!(!outcome.changed());
+        assert_eq!(outcome.graph, g);
+    }
+
+    #[test]
+    fn plateau_traversal_rewrites_symmetric_arms() {
+        // Neither arm's rewrite improves the max-peak alone; only after both
+        // are partitioned does the peak drop. Plateau-tolerant acceptance
+        // must find the two-step win.
+        let g = two_site_cell();
+        let outcome = Rewriter::standard().cost_guided().run_unconstrained(&g).unwrap();
+        assert!(outcome.changed());
+        assert!(outcome.summary.final_peak_bytes < outcome.summary.initial_peak_bytes);
+        assert!(
+            outcome.applied.iter().filter(|a| a.rule == "channel-wise").count() >= 2,
+            "both arms must be rewritten, got {:?}",
+            outcome.applied
+        );
+    }
+
+    #[test]
+    fn application_cap_bounds_chains_too() {
+        let g = concat_cell(4, 16);
+        let outcome =
+            Rewriter::standard().max_applications(1).cost_guided().run_unconstrained(&g).unwrap();
+        assert!(outcome.applied.len() <= 1, "cap must bound total applications");
+    }
+
+    #[test]
+    fn zero_iterations_is_a_no_op() {
+        let g = concat_cell(3, 16);
+        let outcome = Rewriter::standard()
+            .cost_guided()
+            .config(RewriteSearchConfig { max_iterations: 0, ..Default::default() })
+            .run_unconstrained(&g)
+            .unwrap();
+        assert!(!outcome.changed());
+        assert_eq!(outcome.graph, g);
+        assert_eq!(outcome.summary.stop, RewriteStop::IterationCap);
+    }
+
+    #[test]
+    fn search_matches_with_exact_scorer() {
+        // With DP scoring, the search result on this cell equals the blind
+        // fixpoint's (every blind application here is genuinely beneficial).
+        let g = concat_cell(3, 16);
+        let blind = Rewriter::standard().rewrite(&g);
+        let searched = Rewriter::standard()
+            .cost_guided()
+            .score_backend(Arc::new(DpBackend::default()))
+            .run_unconstrained(&g)
+            .unwrap();
+        let blind_peak =
+            crate::dp::DpScheduler::new().schedule(&blind.graph).unwrap().schedule.peak_bytes;
+        let searched_peak =
+            crate::dp::DpScheduler::new().schedule(&searched.graph).unwrap().schedule.peak_bytes;
+        assert_eq!(searched_peak, blind_peak);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let g = concat_cell(4, 12);
+        let a = Rewriter::standard().cost_guided().run_unconstrained(&g).unwrap();
+        let b = Rewriter::standard().cost_guided().run_unconstrained(&g).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.summary.final_peak_bytes, b.summary.final_peak_bytes);
+        assert_eq!(a.summary.candidates_scored, b.summary.candidates_scored);
+    }
+
+    #[test]
+    fn cancellation_propagates() {
+        use crate::backend::{CancelToken, CompileOptions};
+        let g = concat_cell(3, 16);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = CompileContext::new(CompileOptions::new().cancel_token(token));
+        let err = Rewriter::standard().cost_guided().run(&g, &ctx).unwrap_err();
+        assert!(matches!(err, ScheduleError::Cancelled));
+    }
+}

@@ -67,6 +67,12 @@ pub struct ScheduleStats {
     /// Budget-pruned DP probes launched by the adaptive meta-search
     /// (Algorithm 2 rounds); zero for single-shot schedulers.
     pub probes: u64,
+    /// Segment schedules replayed from a [`ScheduleMemo`](crate::memo::ScheduleMemo)
+    /// instead of being re-searched (rewrite-loop runs only; zero otherwise).
+    pub memo_hits: u64,
+    /// Segment schedules that missed the memo and were actually searched
+    /// (only counted when a memo was installed).
+    pub memo_misses: u64,
     /// Peak bytes of signature storage (frontier bitsets) live at any one
     /// moment of the search — the DP's search-memory high-water mark. Zero
     /// for schedulers that do not memoize signatures.
@@ -91,6 +97,8 @@ impl ScheduleStats {
         self.transitions += other.transitions;
         self.pruned += other.pruned;
         self.probes += other.probes;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
         // High-water marks don't add: sequential runs reuse the memory.
         self.peak_memo_bytes = self.peak_memo_bytes.max(other.peak_memo_bytes);
         self.steps = self.steps.max(other.steps);
@@ -98,7 +106,7 @@ impl ScheduleStats {
     }
 }
 
-mod duration_micros {
+pub(crate) mod duration_micros {
     use super::*;
     use serde::{Deserializer, Serializer};
 
@@ -149,6 +157,8 @@ mod tests {
             transitions: 17,
             pruned: 2,
             probes: 4,
+            memo_hits: 6,
+            memo_misses: 9,
             peak_memo_bytes: 4096,
             steps: 3,
             duration: Duration::from_micros(1500),
@@ -165,6 +175,8 @@ mod tests {
             transitions: 2,
             pruned: 3,
             probes: 1,
+            memo_hits: 1,
+            memo_misses: 2,
             peak_memo_bytes: 100,
             steps: 5,
             duration: Duration::from_micros(10),
@@ -174,6 +186,8 @@ mod tests {
             transitions: 20,
             pruned: 30,
             probes: 2,
+            memo_hits: 4,
+            memo_misses: 5,
             peak_memo_bytes: 64,
             steps: 4,
             duration: Duration::from_micros(7),
@@ -183,6 +197,8 @@ mod tests {
         assert_eq!(total.transitions, 22);
         assert_eq!(total.pruned, 33);
         assert_eq!(total.probes, 3);
+        assert_eq!(total.memo_hits, 5);
+        assert_eq!(total.memo_misses, 7);
         assert_eq!(total.peak_memo_bytes, 100, "memo high-water mark keeps the maximum");
         assert_eq!(total.steps, 5, "steps keeps the maximum");
         assert_eq!(total.duration, Duration::from_micros(17));

@@ -1,0 +1,181 @@
+//! Edge cases of the graph-rebuild machinery behind the rewrite rules
+//! (`rewrite/rebuild.rs`): sites whose branches are graph *inputs*, sites
+//! whose consumer is an explicit graph *output*, and overlapping sites that
+//! share producer nodes. Each case checks structural validity, output
+//! marking preservation, and (where the interpreter applies) arithmetic
+//! equivalence.
+
+use serenity_core::rewrite::{ChannelWiseRule, RewriteRule, Rewriter};
+use serenity_ir::{DType, Graph, GraphBuilder, NodeId, Op, Padding};
+use serenity_tensor::{Interpreter, Tensor};
+
+fn assert_outputs_match(original: &Graph, rewritten: &Graph, seed: u64, tol: f32) {
+    let inputs: Vec<Tensor> = original
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| Tensor::random(original.node(id).shape.dims(), seed + i as u64))
+        .collect();
+    let interp = Interpreter::new(seed ^ 0x5EED);
+    let before = interp.run(original, &inputs).expect("original runs");
+    let after = interp.run(rewritten, &inputs).expect("rewritten runs");
+    assert_eq!(before.len(), after.len(), "output arity must be preserved");
+    for (b, a) in before.iter().zip(&after) {
+        assert!(b.approx_eq(a, tol), "outputs diverged (max diff {})", b.max_abs_diff(a));
+    }
+}
+
+/// Branches of the concat are graph inputs directly — the rebuild must remap
+/// predecessor-free nodes and leave no dangling references.
+#[test]
+fn site_with_graph_inputs_as_branches() {
+    let mut b = GraphBuilder::new("inputs");
+    let l = b.image_input("l", 8, 8, 3, DType::F32);
+    let r = b.image_input("r", 8, 8, 5, DType::F32);
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+    b.mark_output(y);
+    let g = b.finish();
+
+    let sites = ChannelWiseRule.find(&g);
+    assert_eq!(sites.len(), 1);
+    let outcome = Rewriter::channel_only().rewrite(&g);
+    assert!(outcome.changed());
+    assert!(outcome.graph.validate().is_ok());
+    // Both graph inputs survive, now feeding partial convolutions directly.
+    assert_eq!(outcome.graph.inputs().len(), 2);
+    for input in outcome.graph.inputs() {
+        assert!(
+            outcome
+                .graph
+                .succs(input)
+                .iter()
+                .all(|&s| matches!(outcome.graph.node(s).op, Op::Conv2d(_))),
+            "inputs must feed the partial convolutions"
+        );
+    }
+    assert_outputs_match(&g, &outcome.graph, 11, 1e-4);
+}
+
+/// The consumer conv is an explicitly marked graph output — the splice must
+/// carry the output marking over to the replacement node.
+#[test]
+fn site_whose_consumer_is_an_explicit_output() {
+    let mut b = GraphBuilder::new("outmark");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let l = b.conv1x1(x, 3).unwrap();
+    let r = b.conv1x1(x, 5).unwrap();
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+    let side = b.conv1x1(x, 2).unwrap();
+    b.mark_output(y);
+    b.mark_output(side);
+    let g = b.finish();
+
+    let outcome = Rewriter::channel_only().rewrite(&g);
+    assert!(outcome.changed());
+    assert!(outcome.graph.validate().is_ok());
+    // Two explicit outputs before, two after; the rewritten consumer's
+    // marking lands on the spliced accumulation node.
+    assert_eq!(outcome.graph.explicit_outputs().len(), 2);
+    let marked: Vec<&str> = outcome
+        .graph
+        .explicit_outputs()
+        .iter()
+        .map(|&o| outcome.graph.node(o).name.as_str())
+        .collect();
+    assert!(marked.iter().any(|n| n.ends_with("_sum")), "spliced node must be marked: {marked:?}");
+    assert_outputs_match(&g, &outcome.graph, 23, 1e-4);
+}
+
+/// Two overlapping sites share every producer: both concats read the same
+/// branch convolutions. Rewriting one site must keep the shared producers
+/// intact for the other, and the fixpoint must resolve both.
+#[test]
+fn overlapping_sites_on_shared_producers() {
+    let mut b = GraphBuilder::new("shared");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let p1 = b.conv1x1(x, 3).unwrap();
+    let p2 = b.conv1x1(x, 4).unwrap();
+    let p3 = b.conv1x1(x, 5).unwrap();
+    // Site 1 concatenates {p1, p2}; site 2 concatenates {p2, p3}: p2 is a
+    // shared producer of both sites.
+    let cat_a = b.concat(&[p1, p2]).unwrap();
+    let ya = b.conv(cat_a, 6, (3, 3), (1, 1), Padding::Same).unwrap();
+    let cat_b = b.concat(&[p2, p3]).unwrap();
+    let yb = b.conv(cat_b, 6, (3, 3), (1, 1), Padding::Same).unwrap();
+    let out = b.add(&[ya, yb]).unwrap();
+    b.mark_output(out);
+    let g = b.finish();
+
+    let sites = ChannelWiseRule.find(&g);
+    assert_eq!(sites.len(), 2, "both overlapping sites must be found");
+
+    // Applying either single site keeps the other intact and appliable.
+    for site in &sites {
+        let delta = ChannelWiseRule.apply_delta(&g, site).unwrap();
+        assert!(delta.graph.validate().is_ok());
+        assert_eq!(delta.removed.len(), 2);
+        assert_eq!(delta.added.len(), site.branches + 1);
+        let remaining = ChannelWiseRule.find(&delta.graph);
+        assert_eq!(remaining.len(), 1, "the other site must survive the rebuild");
+    }
+
+    // The fixpoint rewrites both; the shared producer p2 now feeds two
+    // partial convolutions (one per former site).
+    let outcome = Rewriter::channel_only().rewrite(&g);
+    assert_eq!(outcome.applied.len(), 2);
+    assert!(outcome.graph.validate().is_ok());
+    let p2_new = outcome
+        .graph
+        .node_ids()
+        .find(|&id| outcome.graph.node(id).name == g.node(p2).name)
+        .expect("shared producer survives");
+    assert_eq!(outcome.graph.succs(p2_new).len(), 2);
+    assert!(outcome
+        .graph
+        .succs(p2_new)
+        .iter()
+        .all(|&s| matches!(&outcome.graph.node(s).op, Op::Conv2d(c) if c.weight.is_sliced())));
+    assert_outputs_match(&g, &outcome.graph, 37, 1e-4);
+}
+
+/// A concat that *is itself* a graph input's only consumer and whose result
+/// is also an explicit output is not a legal site; the matcher must skip it
+/// rather than the rebuilder producing a graph with a dangling output.
+#[test]
+fn output_concat_site_is_skipped_not_rebuilt() {
+    let mut b = GraphBuilder::new("outcat");
+    let l = b.image_input("l", 8, 8, 2, DType::F32);
+    let r = b.image_input("r", 8, 8, 2, DType::F32);
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b.conv(cat, 4, (3, 3), (1, 1), Padding::Same).unwrap();
+    b.mark_output(cat);
+    b.mark_output(y);
+    let g = b.finish();
+    assert!(Rewriter::standard().find_sites(&g).is_empty());
+    let outcome = Rewriter::standard().rewrite(&g);
+    assert!(!outcome.changed());
+}
+
+/// NodeId sanity: rebuilt graphs re-number densely from zero.
+#[test]
+fn rebuilt_ids_are_dense_and_topological() {
+    let mut b = GraphBuilder::new("dense");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let l = b.conv1x1(x, 4).unwrap();
+    let r = b.conv1x1(x, 4).unwrap();
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+    b.mark_output(y);
+    let g = b.finish();
+
+    let outcome = Rewriter::channel_only().rewrite(&g);
+    let ids: Vec<NodeId> = outcome.graph.node_ids().collect();
+    assert_eq!(ids.len(), outcome.graph.len());
+    for id in &ids {
+        for &p in outcome.graph.preds(*id) {
+            assert!(p < *id, "predecessors must precede consumers in id order");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Canonical structural graph fingerprints.
+//!
+//! The rewrite↔schedule search re-schedules candidate graphs after every
+//! identity rewrite, but a rewrite touches one site — every divide-and-conquer
+//! segment outside it is *structurally unchanged* and its schedule can be
+//! replayed from a memo instead of re-searched. The memo key is the
+//! [`fingerprint`] defined here: a Zobrist-style hash (one mixed key per node
+//! position, XOR-combined, like [`crate::ZobristTable`] does for signature
+//! sets) of everything the scheduler's cost model can observe:
+//!
+//! * each node's operation (including weight slices — they change nothing for
+//!   scheduling, but keeping them makes the hash a faithful content hash),
+//! * each node's output shape (the memory cost `∏(u.shape)`),
+//! * each node's predecessor list, in order, and
+//! * the explicitly marked outputs (output tensors are never freed, so they
+//!   change the footprint accounting).
+//!
+//! Node and graph *names* are deliberately excluded: two segments that differ
+//! only in labels schedule identically. Node ids are canonical — they are
+//! topological positions assigned by construction — so id-indexed structure is
+//! hashed positionally rather than sorted.
+//!
+//! Like any 64-bit hash, fingerprints can collide; exact consumers confirm
+//! candidates with [`structural_eq`], the equality the fingerprint abstracts.
+
+use std::hash::{Hash, Hasher};
+
+use crate::fxhash::FxHasher;
+use crate::{Graph, Op};
+
+/// Golden-ratio increment used to derive a distinct stream per node position
+/// (same constant family as [`crate::ZobristTable`]'s splitmix64 keys).
+const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(PHI);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Canonical structural hash of `graph` (see the module docs for what is and
+/// is not observed). Stable across runs and threads: no pointer values, no
+/// `HashMap` iteration order, no randomized state.
+pub fn fingerprint(graph: &Graph) -> u64 {
+    let mut acc = splitmix64(graph.len() as u64);
+    for id in graph.node_ids() {
+        let node = graph.node(id);
+        let mut h = FxHasher::default();
+        // Ops and shapes derive `Hash` (all-integer fields, no floats), so
+        // the per-node hash is allocation-free — this runs per segment per
+        // candidate on the schedule memo's hot path. Opaque labels are
+        // cosmetic (the shape carries the bytes), so they are masked like
+        // names by hashing a fixed marker instead of the variant.
+        match &node.op {
+            Op::Opaque { .. } => h.write_u64(0x4f50_4151_5545_0000),
+            op => op.hash(&mut h),
+        }
+        node.shape.hash(&mut h);
+        for &p in graph.preds(id) {
+            h.write_u64(p.index() as u64);
+        }
+        // Zobrist-style: a per-position key stream keeps the combine O(1) per
+        // node and makes `acc` independent of everything but content.
+        acc ^= splitmix64(h.finish() ^ PHI.wrapping_mul(id.index() as u64 + 1));
+    }
+    for &o in graph.explicit_outputs() {
+        acc ^= splitmix64(o.index() as u64 ^ 0xa5a5_a5a5_a5a5_a5a5);
+    }
+    acc
+}
+
+/// The exact equality [`fingerprint`] approximates: same node count, and per
+/// node the same op, shape, and predecessor list, plus the same explicit
+/// output set. Names are ignored, as in the fingerprint.
+pub fn structural_eq(a: &Graph, b: &Graph) -> bool {
+    if a.len() != b.len() || a.explicit_outputs() != b.explicit_outputs() {
+        return false;
+    }
+    a.node_ids().all(|id| {
+        let (na, nb) = (a.node(id), b.node(id));
+        let ops_equal = match (&na.op, &nb.op) {
+            // Opaque labels are cosmetic, like names.
+            (Op::Opaque { .. }, Op::Opaque { .. }) => true,
+            (x, y) => x == y,
+        };
+        ops_equal && na.shape == nb.shape && a.preds(id) == b.preds(id)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, GraphBuilder, Op, TensorShape};
+
+    fn cell(name: &str, relu_name: &str) -> Graph {
+        let mut b = GraphBuilder::new(name);
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let l = b.conv1x1(x, 4).unwrap();
+        let r = b.conv1x1(x, 4).unwrap();
+        let cat = b.concat(&[l, r]).unwrap();
+        let mut g = b.finish();
+        let y = g.add_named(relu_name, Op::Relu, &[cat]).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    #[test]
+    fn names_do_not_matter() {
+        let a = cell("a", "relu_a");
+        let b = cell("b", "relu_b");
+        assert_ne!(a, b, "graphs differ by names");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(structural_eq(&a, &b));
+    }
+
+    #[test]
+    fn structure_matters() {
+        let a = cell("a", "r");
+        let mut shuffled = Graph::new("s");
+        // Same multiset of nodes, different wiring: swap which conv feeds
+        // the concat first.
+        let x = shuffled.add_input("x", TensorShape::nhwc(1, 8, 8, 4, DType::F32));
+        let l = shuffled.add(a.node(crate::NodeId::from_index(1)).op.clone(), &[x]).unwrap();
+        let r = shuffled.add(a.node(crate::NodeId::from_index(2)).op.clone(), &[x]).unwrap();
+        let cat = shuffled.add(Op::Concat { axis: 3 }, &[r, l]).unwrap();
+        let y = shuffled.add(Op::Relu, &[cat]).unwrap();
+        shuffled.mark_output(y);
+        assert_ne!(fingerprint(&a), fingerprint(&shuffled));
+        assert!(!structural_eq(&a, &shuffled));
+    }
+
+    #[test]
+    fn shapes_matter() {
+        let mut a = Graph::new("a");
+        a.add_opaque("n", 10, &[]).unwrap();
+        let mut b = Graph::new("b");
+        b.add_opaque("n", 20, &[]).unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert!(!structural_eq(&a, &b));
+    }
+
+    #[test]
+    fn output_markings_matter() {
+        let base = cell("g", "r");
+        let mut marked = base.clone();
+        marked.mark_output(crate::NodeId::from_index(1));
+        assert_ne!(fingerprint(&base), fingerprint(&marked));
+        assert!(!structural_eq(&base, &marked));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let g = cell("g", "r");
+        assert_eq!(fingerprint(&g), fingerprint(&g.clone()));
+    }
+}

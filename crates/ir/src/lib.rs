@@ -21,6 +21,9 @@
 //!   divide-and-conquer step of §3.2.
 //! * [`NodeSet`]: the bitset used as the zero-indegree-set *signature* that
 //!   enables dynamic programming (§3.1).
+//! * Canonical structural fingerprints ([`fingerprint`]): Zobrist-style
+//!   content hashes of graphs/segments, keying the schedule memo of the
+//!   iterative rewrite↔schedule search.
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@ pub mod cuts;
 pub mod dot;
 mod dtype;
 mod error;
+pub mod fingerprint;
 pub mod fxhash;
 mod graph;
 mod id;

@@ -13,9 +13,14 @@
 //! 4. Nodes without predecessors read the cell input; nodes without
 //!    successors are averaged (an `Add` again) into the cell output.
 //!
-//! Aggregation is additive, never concatenative, so identity graph rewriting
-//! finds no sites in RandWire cells — which is precisely why the paper's
-//! Figure 10 shows identical bars for DP and DP+GR on RandWire.
+//! With the default [`Aggregation::Sum`], aggregation is additive, never
+//! concatenative, so identity graph rewriting finds no sites in RandWire
+//! cells — which is precisely why the paper's Figure 10 shows identical bars
+//! for DP and DP+GR on RandWire. [`Aggregation::Concat`] instead
+//! concatenates a unit's inputs along the channel axis (the DenseNet-style
+//! aggregation evaluated by complex-wired follow-up work, e.g. Zhong et al.
+//! 2023), which makes every multi-input unit a `concat → conv` rewrite site
+//! and turns RandWire into a workload for the cost-guided rewrite loop.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +52,28 @@ impl std::fmt::Display for WiringModel {
     }
 }
 
+/// How a unit combines multiple incoming branch tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Weighted sum (an `Add`) — the Xie et al. construction. No rewrite
+    /// sites: addition already frees each branch as it is consumed.
+    #[default]
+    Sum,
+    /// Channel concatenation — the DenseNet-style variant. Every
+    /// multi-input unit becomes `concat → relu → conv`, i.e. a rewrite site
+    /// (after activation pushdown) for channel-wise partitioning.
+    Concat,
+}
+
+impl std::fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Aggregation::Sum => "sum",
+            Aggregation::Concat => "concat",
+        })
+    }
+}
+
 /// Parameters of a RandWire cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RandWireConfig {
@@ -66,6 +93,8 @@ pub struct RandWireConfig {
     pub channels: usize,
     /// Which random-graph family to draw from.
     pub model: WiringModel,
+    /// How multi-input units combine their branches.
+    pub aggregation: Aggregation,
 }
 
 impl Default for RandWireConfig {
@@ -78,6 +107,7 @@ impl Default for RandWireConfig {
             hw: 16,
             channels: 16,
             model: WiringModel::WattsStrogatz,
+            aggregation: Aggregation::Sum,
         }
     }
 }
@@ -195,7 +225,16 @@ pub fn randwire_cell(config: &RandWireConfig) -> Graph {
         succs_count[a] += 1;
     }
 
-    let mut b = GraphBuilder::new(format!("randwire_{}_n{}_s{}", config.model, n, config.seed));
+    // Sum keeps the historical name format so pre-existing serialized
+    // graphs and reports stay byte-identical; only the new concat variant
+    // carries its aggregation tag.
+    let name = match config.aggregation {
+        Aggregation::Sum => format!("randwire_{}_n{}_s{}", config.model, n, config.seed),
+        Aggregation::Concat => {
+            format!("randwire_{}_{}_n{}_s{}", config.model, config.aggregation, n, config.seed)
+        }
+    };
+    let mut b = GraphBuilder::new(name);
     let input = b.image_input("input", config.hw, config.hw, config.channels, DType::F32);
     let mut unit_out: Vec<NodeId> = Vec::with_capacity(n);
     for i in 0..n {
@@ -205,7 +244,10 @@ pub fn randwire_cell(config: &RandWireConfig) -> Graph {
             unit_out[preds[i][0]]
         } else {
             let inputs: Vec<NodeId> = preds[i].iter().map(|&p| unit_out[p]).collect();
-            b.add(&inputs).expect("aggregation shapes match")
+            match config.aggregation {
+                Aggregation::Sum => b.add(&inputs).expect("aggregation shapes match"),
+                Aggregation::Concat => b.concat(&inputs).expect("aggregation shapes match"),
+            }
         };
         let r = b.relu(aggregated).expect("unit relu");
         let c = b.conv(r, config.channels, (3, 3), (1, 1), Padding::Same).expect("unit conv");
@@ -313,6 +355,32 @@ mod tests {
             assert!(g.validate().is_ok(), "{model} cell invalid");
             assert!(g.len() > 14, "{model} cell too small");
         }
+    }
+
+    #[test]
+    fn concat_aggregation_builds_rewriteable_cells() {
+        let g = randwire_cell(&RandWireConfig {
+            aggregation: Aggregation::Concat,
+            ..Default::default()
+        });
+        assert!(g.validate().is_ok());
+        assert!(g.name().contains("_concat_"));
+        let concats = g.nodes().filter(|n| matches!(n.op, serenity_ir::Op::Concat { .. })).count();
+        assert!(concats > 0, "WS(12, 4) has multi-input units, so concats must appear");
+        // The sum variant of the same wiring has none (beyond none at all).
+        let sum = randwire_cell(&RandWireConfig::default());
+        assert!(sum.nodes().all(|n| !matches!(n.op, serenity_ir::Op::Concat { .. })));
+    }
+
+    #[test]
+    fn aggregation_modes_share_wiring() {
+        // Same seed ⇒ same random graph; only the aggregation ops differ.
+        let sum = randwire_cell(&RandWireConfig::default());
+        let cat = randwire_cell(&RandWireConfig {
+            aggregation: Aggregation::Concat,
+            ..Default::default()
+        });
+        assert_eq!(sum.len(), cat.len());
     }
 
     #[test]
