@@ -200,12 +200,15 @@ struct RewriteRow {
     peak_on: u64,
     rewrites_applied: usize,
     /// The search's own report (`None` on failed rows) — the single source
-    /// for iteration/candidate/memo/wall numbers.
+    /// for iteration/candidate/memo/wall/throughput numbers.
     summary: Option<RewriteSearchSummary>,
     compile_wall_on: Duration,
+    /// Whether a 2-thread scoring run reproduced the serial result
+    /// bit-identically (`None` when the check was not run).
+    parallel_consistent: Option<bool>,
 }
 
-fn measure_rewrite(workload: &Workload, iters: usize) -> RewriteRow {
+fn measure_rewrite(workload: &Workload, iters: usize, check_parallel: bool) -> RewriteRow {
     let base = RewriteRow {
         workload: workload.id.clone(),
         nodes: workload.graph.len(),
@@ -216,6 +219,7 @@ fn measure_rewrite(workload: &Workload, iters: usize) -> RewriteRow {
         rewrites_applied: 0,
         summary: None,
         compile_wall_on: Duration::ZERO,
+        parallel_consistent: None,
     };
     let off = match Serenity::builder()
         .rewrite(RewriteMode::Off)
@@ -249,6 +253,33 @@ fn measure_rewrite(workload: &Workload, iters: usize) -> RewriteRow {
         }
     }
     let on = on.expect("at least one timed run");
+    // Determinism gate: a 2-thread scoring run must reproduce the serial
+    // compile bit-identically (smoke mode; enforced by CI on every PR).
+    let parallel_consistent = check_parallel.then(|| {
+        match Serenity::builder()
+            .allocator(None)
+            .rewrite_threads(2)
+            .build()
+            .compile(&workload.graph)
+        {
+            Ok(two) => {
+                let a = on.rewrite_search.as_ref().expect("summary");
+                let b = two.rewrite_search.as_ref().expect("summary");
+                two.peak_bytes == on.peak_bytes
+                    && two.schedule == on.schedule
+                    && two.rewrites == on.rewrites
+                    && (a.iterations, a.candidates_scored, a.applied, a.memo_hits, a.memo_misses)
+                        == (
+                            b.iterations,
+                            b.candidates_scored,
+                            b.applied,
+                            b.memo_hits,
+                            b.memo_misses,
+                        )
+            }
+            Err(_) => false,
+        }
+    });
     RewriteRow {
         ok: true,
         peak_off: off.peak_bytes,
@@ -256,6 +287,7 @@ fn measure_rewrite(workload: &Workload, iters: usize) -> RewriteRow {
         rewrites_applied: on.rewrites.len(),
         compile_wall_on: on.compile_time,
         summary: Some(on.rewrite_search.expect("IfBeneficial compiles carry a search summary")),
+        parallel_consistent,
         ..base
     }
 }
@@ -315,16 +347,17 @@ fn main() {
     println!();
     let mut rewrite_rows = Vec::new();
     for workload in rewrite_workloads(smoke) {
-        let row = measure_rewrite(&workload, iters);
+        let row = measure_rewrite(&workload, iters, smoke);
         if let Some(summary) = &row.summary {
             println!(
-                "{:<18} rewrite    {:>10.3?} peak {:>9} -> {:>9} B  {} iters  memo {:>5.1}%",
+                "{:<18} rewrite    {:>10.3?} peak {:>9} -> {:>9} B  {} iters  memo {:>5.1}%  {:>8.1} cand/s",
                 row.workload,
                 summary.wall,
                 row.peak_off,
                 row.peak_on,
                 summary.iterations,
                 summary.memo_hit_rate() * 100.0,
+                summary.candidates_per_sec(),
             );
         } else {
             println!(
@@ -377,7 +410,11 @@ fn main() {
                 "memo_hit_rate": s.map_or(0.0, RewriteSearchSummary::memo_hit_rate),
                 "kept": s.is_some_and(|s| s.kept),
                 "search_wall_us": s.map_or(0, |s| s.wall.as_micros() as u64),
+                "site_scan_us": s.map_or(0, |s| s.site_scan.as_micros() as u64),
+                "candidate_build_us": s.map_or(0, |s| s.candidate_build.as_micros() as u64),
+                "candidates_per_sec": s.map_or(0.0, RewriteSearchSummary::candidates_per_sec),
                 "compile_wall_on_us": r.compile_wall_on.as_micros() as u64,
+                "parallel_consistent": r.parallel_consistent,
             })
         })
         .collect();

@@ -21,6 +21,8 @@ usage:
                               backend scoring rewrite candidates
                               (default beam; the final winner is always
                               re-scheduled by the full backend)
+      --rewrite-threads <N>   worker threads scoring rewrite candidates
+                              (default 1; any count is bit-identical)
       --allocator <greedy|first-fit|none>        offset planner (default greedy)
       --budget-kb <N>         fixed soft budget instead of adaptive search
       --threads <N>           DP worker threads (default 1)
@@ -63,6 +65,8 @@ pub enum Command {
         rewrite_iters: Option<usize>,
         /// Backend scoring rewrite candidates (`None` = default beam).
         rewrite_score_backend: Option<String>,
+        /// Worker threads scoring rewrite candidates.
+        rewrite_threads: usize,
         /// Offset planner, `None` to skip allocation.
         allocator: Option<Strategy>,
         /// Fixed soft budget in KiB (adaptive search when absent).
@@ -131,6 +135,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut no_rewrite = false;
             let mut rewrite_iters = None;
             let mut rewrite_score_backend = None;
+            let mut rewrite_threads = 1usize;
             let mut allocator = Some(Strategy::GreedyBySize);
             let mut budget_kb = None;
             let mut threads = 1usize;
@@ -161,6 +166,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 .ok_or("schedule: --rewrite-score-backend needs a name")?
                                 .to_owned(),
                         );
+                    }
+                    "--rewrite-threads" => {
+                        let raw = it.next().ok_or("schedule: --rewrite-threads needs a value")?;
+                        rewrite_threads = raw
+                            .parse::<usize>()
+                            .map_err(|_| format!("schedule: bad rewrite thread count {raw}"))?;
+                        if rewrite_threads == 0 {
+                            return Err("schedule: --rewrite-threads must be at least 1".into());
+                        }
                     }
                     "--deadline-ms" => {
                         let raw = it.next().ok_or("schedule: --deadline-ms needs a value")?;
@@ -201,9 +215,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                      --scheduler; pick one"
                     .into());
             }
-            if no_rewrite && (rewrite_iters.is_some() || rewrite_score_backend.is_some()) {
-                return Err("schedule: --rewrite-iters/--rewrite-score-backend configure the \
-                     rewrite loop and conflict with --no-rewrite; pick one"
+            if no_rewrite
+                && (rewrite_iters.is_some()
+                    || rewrite_score_backend.is_some()
+                    || rewrite_threads != 1)
+            {
+                return Err("schedule: --rewrite-iters/--rewrite-score-backend/--rewrite-threads \
+                     configure the rewrite loop and conflict with --no-rewrite; pick one"
                     .into());
             }
             if rewrite_iters == Some(0) && rewrite_score_backend.is_some() {
@@ -217,6 +235,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 no_rewrite,
                 rewrite_iters,
                 rewrite_score_backend,
+                rewrite_threads,
                 allocator,
                 budget_kb,
                 threads,
@@ -303,6 +322,7 @@ mod tests {
                 no_rewrite: true,
                 rewrite_iters: None,
                 rewrite_score_backend: None,
+                rewrite_threads: 1,
                 allocator: Some(Strategy::FirstFitArena),
                 budget_kb: Some(256),
                 threads: 4,
@@ -325,6 +345,7 @@ mod tests {
                 no_rewrite: false,
                 rewrite_iters: None,
                 rewrite_score_backend: None,
+                rewrite_threads: 1,
                 allocator: Some(Strategy::GreedyBySize),
                 budget_kb: None,
                 threads: 1,
@@ -356,6 +377,18 @@ mod tests {
             parse(&args("schedule g.json --rewrite-iters 0 --rewrite-score-backend dp")).is_err()
         );
         assert!(parse(&args("schedule g.json --rewrite-iters lots")).is_err());
+    }
+
+    #[test]
+    fn parses_rewrite_threads() {
+        let cmd = parse(&args("schedule g.json --rewrite-threads 4")).unwrap();
+        match cmd {
+            Command::Schedule { rewrite_threads, .. } => assert_eq!(rewrite_threads, 4),
+            other => panic!("unexpected parse {other:?}"),
+        }
+        assert!(parse(&args("schedule g.json --rewrite-threads 0")).is_err());
+        assert!(parse(&args("schedule g.json --rewrite-threads lots")).is_err());
+        assert!(parse(&args("schedule g.json --no-rewrite --rewrite-threads 2")).is_err());
     }
 
     #[test]

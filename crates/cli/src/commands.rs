@@ -28,6 +28,7 @@ pub fn run(command: Command) -> Result<(), String> {
             no_rewrite,
             rewrite_iters,
             rewrite_score_backend,
+            rewrite_threads,
             allocator,
             budget_kb,
             threads,
@@ -41,6 +42,7 @@ pub fn run(command: Command) -> Result<(), String> {
                 no_rewrite,
                 rewrite_iters,
                 rewrite_score_backend,
+                rewrite_threads,
                 allocator,
                 budget_kb,
                 threads,
@@ -136,6 +138,7 @@ struct ScheduleOptions {
     no_rewrite: bool,
     rewrite_iters: Option<usize>,
     rewrite_score_backend: Option<String>,
+    rewrite_threads: usize,
     allocator: Option<serenity_allocator::Strategy>,
     budget_kb: Option<u64>,
     threads: usize,
@@ -201,10 +204,11 @@ fn compiler(options: &ScheduleOptions) -> Result<Serenity, String> {
         .rewrite(rewrite)
         .backend(pick_backend(options)?)
         .allocator(options.allocator);
+    let mut search = RewriteSearchConfig { threads: options.rewrite_threads, ..Default::default() };
     if let Some(iters) = options.rewrite_iters.filter(|&n| n > 0) {
-        builder = builder
-            .rewrite_search(RewriteSearchConfig { max_iterations: iters, ..Default::default() });
+        search.max_iterations = iters;
     }
+    builder = builder.rewrite_search(search);
     if let Some(name) = &options.rewrite_score_backend {
         let scorer = BackendRegistry::standard().create(name).ok_or_else(|| {
             format!(

@@ -166,6 +166,40 @@ fn threads_flag_validates_its_argument_and_target() {
 }
 
 #[test]
+fn rewrite_threads_flag_is_serial_equal() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rewrite_threads_cell.json");
+    let path_str = path.to_str().unwrap();
+    // swiftnet-c has real rewrite sites, so the loop actually runs.
+    assert!(serenity(&["generate", "swiftnet-c", "-o", path_str]).status.success());
+
+    let mut reports = Vec::new();
+    for threads in ["1", "2", "4"] {
+        let out = serenity(&["schedule", path_str, "--rewrite-threads", threads, "--json"]);
+        assert!(out.status.success(), "--rewrite-threads {threads} failed: {out:?}");
+        let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+        reports.push(report);
+    }
+    for report in &reports[1..] {
+        assert_eq!(reports[0]["peak_bytes"], report["peak_bytes"]);
+        assert_eq!(reports[0]["order"], report["order"]);
+        assert_eq!(reports[0]["rewrites"], report["rewrites"]);
+        let serial = &reports[0]["rewrite_search"];
+        let parallel = &report["rewrite_search"];
+        for field in ["iterations", "candidates_scored", "applied", "memo_hits", "memo_misses"] {
+            assert_eq!(serial[field], parallel[field], "summary field {field} diverged");
+        }
+    }
+
+    // Zero threads is a usage error; combining with --no-rewrite conflicts.
+    let out = serenity(&["schedule", path_str, "--rewrite-threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = serenity(&["schedule", path_str, "--no-rewrite", "--rewrite-threads", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn unknown_scheduler_fails_with_the_available_names() {
     let dir = std::env::temp_dir().join("serenity_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

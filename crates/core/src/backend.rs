@@ -290,6 +290,28 @@ impl CompileContext {
         &self.options
     }
 
+    /// Derives a context that shares this run's deadline clock and
+    /// cancellation token but replaces the event sink (`None` silences
+    /// events). The parallel rewrite search hands each scoring worker a
+    /// buffering sink so events can be replayed deterministically in
+    /// candidate order afterwards.
+    pub fn with_event_sink(&self, events: Option<EventSink>) -> CompileContext {
+        CompileContext {
+            options: CompileOptions {
+                deadline: self.options.deadline,
+                cancel: self.options.cancel.clone(),
+                events,
+            },
+            started: self.started,
+        }
+    }
+
+    /// Whether an event sink is installed (when absent, callers can skip
+    /// building event payloads entirely).
+    pub fn has_sink(&self) -> bool {
+        self.options.events.is_some()
+    }
+
     /// Wall-clock time since the run started.
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()

@@ -23,7 +23,7 @@
 //! creates one memo per run and never shares it across backends.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serenity_ir::fingerprint::{fingerprint, structural_eq};
 use serenity_ir::fxhash::FxHashMap;
@@ -45,9 +45,19 @@ struct MemoEntry {
 }
 
 /// A thread-safe fingerprint → schedule cache (see the module docs).
+///
+/// A memo can be **layered** over a frozen parent
+/// ([`ScheduleMemo::layered`]): lookups fall through to the parent, inserts
+/// stay in the child. The parallel rewrite search gives every concurrently
+/// scored candidate its own layer over the shared iteration-start memo, so
+/// what each candidate *sees* — and therefore its hit/miss counters and the
+/// schedules it replays — is independent of worker scheduling; the layers
+/// are then folded back deterministically ([`ScheduleMemo::absorb`]) in
+/// candidate order.
 #[derive(Default)]
 pub struct ScheduleMemo {
     entries: Mutex<FxHashMap<u64, Vec<MemoEntry>>>,
+    parent: Option<Arc<ScheduleMemo>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -68,6 +78,49 @@ impl ScheduleMemo {
         ScheduleMemo::default()
     }
 
+    /// An empty memo layered over `parent`: lookups consult this memo first
+    /// and fall through to the parent (and its ancestors); inserts stay
+    /// local. The parent must not be mutated while the layer is in use if
+    /// deterministic counters are required.
+    pub fn layered(parent: Arc<ScheduleMemo>) -> Self {
+        ScheduleMemo { parent: Some(parent), ..ScheduleMemo::default() }
+    }
+
+    /// Whether an entry for (`key`, `graph`, `prefix`) exists here or in any
+    /// ancestor, without touching the hit/miss counters.
+    fn find(&self, key: u64, graph: &Graph, prefix: &[NodeId]) -> Option<Schedule> {
+        let local = {
+            let entries = self.entries.lock().expect("memo lock");
+            entries.get(&key).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|e| e.prefix == prefix && structural_eq(&e.graph, graph))
+                    .map(|e| Schedule { order: e.order.clone(), peak_bytes: e.peak_bytes })
+            })
+        };
+        local.or_else(|| self.parent.as_ref().and_then(|p| p.find(key, graph, prefix)))
+    }
+
+    /// Folds another memo's local entries into this one (first write wins,
+    /// exactly like [`ScheduleMemo::insert`]). Used to merge per-candidate
+    /// layers back into the shared memo after an iteration of parallel
+    /// scoring; call it in a deterministic order.
+    pub fn absorb(&self, overlay: ScheduleMemo) {
+        let drained = overlay.entries.into_inner().expect("memo lock");
+        let mut entries = self.entries.lock().expect("memo lock");
+        for (key, bucket) in drained {
+            for entry in bucket {
+                let slot = entries.entry(key).or_default();
+                if !slot
+                    .iter()
+                    .any(|e| e.prefix == entry.prefix && structural_eq(&e.graph, &entry.graph))
+                {
+                    slot.push(entry);
+                }
+            }
+        }
+    }
+
     /// The canonical key of `graph` (compute once, pass to both
     /// [`ScheduleMemo::lookup`] and [`ScheduleMemo::insert`]).
     pub fn key(graph: &Graph) -> u64 {
@@ -76,16 +129,10 @@ impl ScheduleMemo {
 
     /// Returns the memoized schedule of a graph structurally equal to
     /// `graph` that was produced under the same pinned `prefix`, if one was
-    /// inserted. Counts a hit or a miss.
+    /// inserted here or in a parent layer. Counts a hit or a miss (on this
+    /// memo only — parent counters are untouched).
     pub fn lookup(&self, key: u64, graph: &Graph, prefix: &[NodeId]) -> Option<Schedule> {
-        let entries = self.entries.lock().expect("memo lock");
-        let found = entries
-            .get(&key)
-            .and_then(|bucket| {
-                bucket.iter().find(|e| e.prefix == prefix && structural_eq(&e.graph, graph))
-            })
-            .map(|e| Schedule { order: e.order.clone(), peak_bytes: e.peak_bytes });
-        match found {
+        match self.find(key, graph, prefix) {
             Some(schedule) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(schedule)
@@ -115,7 +162,7 @@ impl ScheduleMemo {
         });
     }
 
-    /// Number of memoized schedules.
+    /// Number of locally memoized schedules (excludes parent layers).
     pub fn len(&self) -> usize {
         self.entries.lock().expect("memo lock").values().map(Vec::len).sum()
     }
@@ -205,6 +252,36 @@ mod tests {
         memo.insert(key, &g, &[], &schedule);
         memo.insert(key, &chain("renamed", 10), &[], &schedule);
         assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn layered_lookup_falls_through_and_absorb_merges() {
+        let base = Arc::new(ScheduleMemo::new());
+        let g = chain("g", 10);
+        let key = ScheduleMemo::key(&g);
+        let schedule = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        base.insert(key, &g, &[], &schedule);
+
+        let layer = ScheduleMemo::layered(Arc::clone(&base));
+        // Parent entry is visible through the layer; the hit counts on the
+        // layer, not the parent.
+        assert_eq!(layer.lookup(key, &g, &[]).unwrap(), schedule);
+        assert_eq!(layer.hits(), 1);
+        assert_eq!(base.hits(), 0);
+
+        // Local inserts stay local until absorbed.
+        let h = chain("h", 64);
+        let hk = ScheduleMemo::key(&h);
+        let hs = Schedule::from_order(&h, topo::kahn(&h)).unwrap();
+        layer.insert(hk, &h, &[], &hs);
+        assert!(base.lookup(hk, &h, &[]).is_none());
+        base.absorb(layer);
+        assert_eq!(base.lookup(hk, &h, &[]).unwrap(), hs);
+        // Absorbing a duplicate of an existing entry keeps the first write.
+        let dup = ScheduleMemo::new();
+        dup.insert(key, &chain("renamed", 10), &[], &schedule);
+        base.absorb(dup);
+        assert_eq!(base.len(), 2);
     }
 
     #[test]

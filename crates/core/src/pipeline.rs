@@ -113,6 +113,20 @@ impl SerenityBuilder {
         self
     }
 
+    /// Sets how many worker threads score each rewrite-loop iteration's
+    /// candidate set (default 1 = serial). Parallel scoring is replayed
+    /// deterministically, so any thread count compiles to a bit-identical
+    /// result — this is purely a wall-clock knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn rewrite_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one rewrite-scoring thread is required");
+        self.rewrite_search.threads = threads;
+        self
+    }
+
     /// Sets the backend that *scores* rewrite candidates (default: cheap
     /// bounded-width beam search). The final winner is always re-scheduled
     /// by the full [`SerenityBuilder::backend`], so an approximate scorer

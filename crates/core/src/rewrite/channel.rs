@@ -1,8 +1,8 @@
 //! Channel-wise partitioning of `concat + conv` (§3.3, Equations 3–6).
 
+use serenity_ir::edit::GraphEdit;
 use serenity_ir::{ChannelRange, Graph, GraphError, NodeId, Op};
 
-use super::rebuild::Rebuilder;
 use super::{concat_feeding, RewriteDelta, RewriteRule, RewriteSite};
 
 /// Rewrites `y = conv(concat(x₁…xₖ))` into
@@ -23,20 +23,19 @@ impl RewriteRule for ChannelWiseRule {
     }
 
     fn find(&self, graph: &Graph) -> Vec<RewriteSite> {
-        graph
-            .node_ids()
-            .filter_map(|v| {
-                let Op::Conv2d(conv) = &graph.node(v).op else {
-                    return None;
-                };
-                // Partial convolutions (already sliced) are not re-partitioned.
-                if conv.weight.is_sliced() {
-                    return None;
-                }
-                let (concat, branches) = concat_feeding(graph, v)?;
-                Some(RewriteSite { rule: self.name(), concat, consumer: v, branches })
-            })
-            .collect()
+        graph.node_ids().filter_map(|v| self.match_at(graph, v)).collect()
+    }
+
+    fn match_at(&self, graph: &Graph, consumer: NodeId) -> Option<RewriteSite> {
+        let Op::Conv2d(conv) = &graph.node(consumer).op else {
+            return None;
+        };
+        // Partial convolutions (already sliced) are not re-partitioned.
+        if conv.weight.is_sliced() {
+            return None;
+        }
+        let (concat, branches) = concat_feeding(graph, consumer)?;
+        Some(RewriteSite { rule: self.name(), concat, consumer, branches })
     }
 
     fn apply_delta(&self, graph: &Graph, site: &RewriteSite) -> Result<RewriteDelta, GraphError> {
@@ -45,37 +44,35 @@ impl RewriteRule for ChannelWiseRule {
                 detail: format!("site consumer {} is not a conv", site.consumer),
             });
         };
-        let branches: Vec<NodeId> = graph.preds(site.concat).to_vec();
-        let consumer_name = graph.node(site.consumer).name.clone();
+        let branches: &[NodeId] = graph.preds(site.concat);
+        let consumer_name = &graph.node(site.consumer).name;
 
-        let mut rb = Rebuilder::new(graph);
-        for u in graph.node_ids() {
-            if u == site.concat {
-                continue; // the concat disappears
-            }
-            if u != site.consumer {
-                rb.copy(u)?;
-                continue;
-            }
-            // Splice: one partial conv per branch, then an n-ary add.
-            let mut partials = Vec::with_capacity(branches.len());
-            let mut offset = 0u32;
-            for (i, &x) in branches.iter().enumerate() {
-                let channels = graph.node(x).shape.c() as u32;
-                let slice = ChannelRange::new(offset, offset + channels);
-                offset += channels;
-                let mut partial = conv.clone();
-                partial.weight = partial.weight.with_in_slice(slice);
-                let mapped = rb.mapped(x);
-                let id =
-                    rb.add_new(format!("{consumer_name}_part{i}"), Op::Conv2d(partial), &[mapped])?;
-                partials.push(id);
-            }
-            let add = rb.add_new(format!("{consumer_name}_sum"), Op::AccumAdd, &partials)?;
-            rb.splice(site.consumer, add);
+        // Splice in place: one partial conv per branch, then an n-ary add at
+        // the consumer's position — O(branches), not O(V+E).
+        let mut edit = GraphEdit::new(graph, site.consumer);
+        let mut partials = Vec::with_capacity(branches.len());
+        let mut offset = 0u32;
+        for (i, &x) in branches.iter().enumerate() {
+            let channels = graph.node(x).shape.c() as u32;
+            let slice = ChannelRange::new(offset, offset + channels);
+            offset += channels;
+            let mut partial = conv.clone();
+            partial.weight = partial.weight.with_in_slice(slice);
+            let id =
+                edit.add_node(format!("{consumer_name}_part{i}"), Op::Conv2d(partial), &[x])?;
+            partials.push(id);
         }
-        let added = rb.added().to_vec();
-        Ok(RewriteDelta { graph: rb.finish(), removed: vec![site.concat, site.consumer], added })
+        let add = edit.add_node(format!("{consumer_name}_sum"), Op::AccumAdd, &partials)?;
+        edit.redirect(site.consumer, add);
+        edit.remove(site.concat);
+        edit.remove(site.consumer);
+        let (out, splice) = edit.finish()?;
+        Ok(RewriteDelta {
+            graph: out,
+            removed: vec![site.concat, site.consumer],
+            added: splice.added.clone(),
+            splice,
+        })
     }
 }
 

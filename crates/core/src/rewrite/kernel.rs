@@ -1,8 +1,8 @@
 //! Kernel-wise partitioning of `concat + depthwise conv` (§3.3, Eq. 7–8).
 
+use serenity_ir::edit::GraphEdit;
 use serenity_ir::{ChannelRange, Graph, GraphError, NodeId, Op};
 
-use super::rebuild::Rebuilder;
 use super::{concat_feeding, RewriteDelta, RewriteRule, RewriteSite};
 
 /// Rewrites `y = depthconv(concat(x₁…xₖ))` into
@@ -23,19 +23,18 @@ impl RewriteRule for KernelWiseRule {
     }
 
     fn find(&self, graph: &Graph) -> Vec<RewriteSite> {
-        graph
-            .node_ids()
-            .filter_map(|v| {
-                let Op::DepthwiseConv2d(dw) = &graph.node(v).op else {
-                    return None;
-                };
-                if dw.weight.is_sliced() {
-                    return None;
-                }
-                let (concat, branches) = concat_feeding(graph, v)?;
-                Some(RewriteSite { rule: self.name(), concat, consumer: v, branches })
-            })
-            .collect()
+        graph.node_ids().filter_map(|v| self.match_at(graph, v)).collect()
+    }
+
+    fn match_at(&self, graph: &Graph, consumer: NodeId) -> Option<RewriteSite> {
+        let Op::DepthwiseConv2d(dw) = &graph.node(consumer).op else {
+            return None;
+        };
+        if dw.weight.is_sliced() {
+            return None;
+        }
+        let (concat, branches) = concat_feeding(graph, consumer)?;
+        Some(RewriteSite { rule: self.name(), concat, consumer, branches })
     }
 
     fn apply_delta(&self, graph: &Graph, site: &RewriteSite) -> Result<RewriteDelta, GraphError> {
@@ -44,40 +43,39 @@ impl RewriteRule for KernelWiseRule {
                 detail: format!("site consumer {} is not a depthwise conv", site.consumer),
             });
         };
-        let branches: Vec<NodeId> = graph.preds(site.concat).to_vec();
-        let consumer_name = graph.node(site.consumer).name.clone();
+        let branches: &[NodeId] = graph.preds(site.concat);
+        let consumer_name = &graph.node(site.consumer).name;
 
-        let mut rb = Rebuilder::new(graph);
-        for u in graph.node_ids() {
-            if u == site.concat {
-                continue;
-            }
-            if u != site.consumer {
-                rb.copy(u)?;
-                continue;
-            }
-            let mut partials = Vec::with_capacity(branches.len());
-            let mut offset = 0u32;
-            for (i, &x) in branches.iter().enumerate() {
-                let channels = graph.node(x).shape.c() as u32;
-                let slice = ChannelRange::new(offset, offset + channels);
-                offset += channels;
-                let mut partial = dw.clone();
-                partial.weight = partial.weight.with_kernel_slice(slice);
-                let mapped = rb.mapped(x);
-                let id = rb.add_new(
-                    format!("{consumer_name}_part{i}"),
-                    Op::DepthwiseConv2d(partial),
-                    &[mapped],
-                )?;
-                partials.push(id);
-            }
-            let concat =
-                rb.add_new(format!("{consumer_name}_cat"), Op::SlabConcat { axis: 3 }, &partials)?;
-            rb.splice(site.consumer, concat);
+        // Splice in place: one partial depthwise conv per branch writing
+        // into its slice of the pre-allocated slab — O(branches).
+        let mut edit = GraphEdit::new(graph, site.consumer);
+        let mut partials = Vec::with_capacity(branches.len());
+        let mut offset = 0u32;
+        for (i, &x) in branches.iter().enumerate() {
+            let channels = graph.node(x).shape.c() as u32;
+            let slice = ChannelRange::new(offset, offset + channels);
+            offset += channels;
+            let mut partial = dw.clone();
+            partial.weight = partial.weight.with_kernel_slice(slice);
+            let id = edit.add_node(
+                format!("{consumer_name}_part{i}"),
+                Op::DepthwiseConv2d(partial),
+                &[x],
+            )?;
+            partials.push(id);
         }
-        let added = rb.added().to_vec();
-        Ok(RewriteDelta { graph: rb.finish(), removed: vec![site.concat, site.consumer], added })
+        let concat =
+            edit.add_node(format!("{consumer_name}_cat"), Op::SlabConcat { axis: 3 }, &partials)?;
+        edit.redirect(site.consumer, concat);
+        edit.remove(site.concat);
+        edit.remove(site.consumer);
+        let (out, splice) = edit.finish()?;
+        Ok(RewriteDelta {
+            graph: out,
+            removed: vec![site.concat, site.consumer],
+            added: splice.added.clone(),
+            splice,
+        })
     }
 }
 

@@ -16,8 +16,16 @@
 //!   the op commutes with concatenation.
 //!
 //! Rewrites are found by pattern matching (as in production compilers,
-//! §3.3 "Implementation") and applied by rebuilding the graph; weight slices
-//! stay symbolic ([`serenity_ir::WeightRef`]), which lets the reference
+//! §3.3 "Implementation") and applied as **in-place splices**
+//! ([`serenity_ir::edit::GraphEdit`]): the matched pair is tombstoned, the
+//! replacement nodes materialize at the consumer's position, and only one
+//! compact renumbering pass touches the rest of the graph — no per-node
+//! shape re-inference, no old→new hash map. The resulting
+//! [`RewriteDelta::splice`] record drives incremental fingerprinting and
+//! incremental site rediscovery (see the [`RewriteRule`] delta/splice
+//! contract); the pre-splice node-by-node rebuild survives as the property
+//! tests' reference path ([`rebuild::reference_apply`]). Weight slices stay
+//! symbolic ([`serenity_ir::WeightRef`]), which lets the reference
 //! interpreter in `serenity-tensor` verify output equality.
 //!
 //! Two drivers run the rules:
@@ -27,20 +35,23 @@
 //!   `RewriteMode::Always` and ablations).
 //! * [`RewriteSearch`] — the cost-guided loop (Figure 4 run iteratively):
 //!   per iteration every site becomes a candidate graph, each candidate is
-//!   *scheduled* by a scoring backend, and only the best strictly-peak-
-//!   reducing candidate is kept, until a fixed point, deadline, or budget.
-//!   Unchanged divide-and-conquer segments are replayed from a
+//!   *scheduled* by a scoring backend (optionally across worker threads,
+//!   with a deterministic replay that keeps any thread count bit-identical
+//!   to serial), and only the best strictly-peak-reducing candidate is
+//!   kept, until a fixed point, deadline, or budget. Unchanged
+//!   divide-and-conquer segments are replayed from a
 //!   [`ScheduleMemo`](crate::memo::ScheduleMemo) instead of re-searched.
 
 mod channel;
 mod kernel;
 mod push;
-mod rebuild;
+pub mod rebuild;
 mod search;
 
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use serenity_ir::edit::SpliceInfo;
 use serenity_ir::{Graph, GraphError, NodeId, Op};
 
 pub use channel::ChannelWiseRule;
@@ -65,7 +76,8 @@ pub struct RewriteSite {
 
 /// The effect of applying one rewrite rule at one site: the rewritten graph
 /// plus a description of what changed, so consumers (the cost-guided search,
-/// event sinks) can reason about the *delta* instead of diffing graphs.
+/// event sinks, incremental fingerprints) can reason about the *delta*
+/// instead of diffing graphs.
 #[derive(Debug, Clone)]
 pub struct RewriteDelta {
     /// The rewritten graph.
@@ -76,10 +88,31 @@ pub struct RewriteDelta {
     /// Post-rewrite ids of the nodes the rewrite created (partials plus the
     /// combining add/concat), in creation order.
     pub added: Vec<NodeId>,
+    /// The splice record: old→new id map and the first changed position.
+    /// Produced by [`serenity_ir::edit::GraphEdit::finish`]; consumers use
+    /// it to remap rewrite sites across an accepted delta and to update
+    /// fingerprints incrementally instead of rehashing the whole graph.
+    pub splice: SpliceInfo,
 }
 
 /// A graph-rewriting rule: enumerates sites and applies the transformation
 /// as a delta.
+///
+/// # Delta/splice contract
+///
+/// [`RewriteRule::apply_delta`] must build the rewritten graph through
+/// [`serenity_ir::edit::GraphEdit`] (or satisfy the same numbering: live
+/// nodes keep their relative order and every added node materializes at the
+/// removed consumer's position), and the returned
+/// [`RewriteDelta::splice`] must be faithful: every node below
+/// `splice.first_changed` is bit-identical (id, op, shape, predecessor
+/// list) between the input and output graphs, `splice.node_map` maps every
+/// surviving pre-rewrite id to its post-rewrite id, and
+/// [`RewriteDelta::added`] lists exactly the created nodes. Incremental
+/// fingerprinting ([`serenity_ir::fingerprint::FingerprintCache::update`])
+/// and the search's incremental site rescan are sound only under this
+/// contract; the property suite `rewrite_splice_properties` checks it
+/// against a node-by-node rebuild ([`rebuild::reference_apply`]).
 pub trait RewriteRule {
     /// Short rule name used in reports.
     fn name(&self) -> &'static str;
@@ -87,8 +120,18 @@ pub trait RewriteRule {
     /// All sites of this rule in `graph`, in id order.
     fn find(&self, graph: &Graph) -> Vec<RewriteSite>;
 
+    /// The site of this rule whose consumer is exactly `consumer`, if the
+    /// rule matches there — an O(degree) point query, used for incremental
+    /// site rescans after an accepted delta. Must agree with
+    /// [`RewriteRule::find`]: `find` returns precisely the sites for which
+    /// `match_at` is `Some`.
+    fn match_at(&self, graph: &Graph, consumer: NodeId) -> Option<RewriteSite> {
+        self.find(graph).into_iter().find(|s| s.consumer == consumer)
+    }
+
     /// Applies the rule at `site`, returning the rewritten graph together
-    /// with the removed/added node sets.
+    /// with the removed/added node sets and the splice record (see the
+    /// trait-level contract).
     ///
     /// # Errors
     ///

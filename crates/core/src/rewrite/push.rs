@@ -9,9 +9,9 @@
 //! `ReLU → 1×1 conv → BN` preprocessing. After pushdown, channel-wise
 //! partitioning (§3.3) applies to the now-adjacent `concat → conv` pair.
 
+use serenity_ir::edit::GraphEdit;
 use serenity_ir::{Graph, GraphError, NodeId, Op};
 
-use super::rebuild::Rebuilder;
 use super::{RewriteDelta, RewriteRule, RewriteSite};
 
 /// The activation-pushdown rule (see module docs).
@@ -28,40 +28,37 @@ impl RewriteRule for ActivationPushdownRule {
     }
 
     fn find(&self, graph: &Graph) -> Vec<RewriteSite> {
-        graph
-            .node_ids()
-            .filter_map(|v| {
-                if !is_pushable(&graph.node(v).op) {
-                    return None;
-                }
-                let preds = graph.preds(v);
-                if preds.len() != 1 {
-                    return None;
-                }
-                let concat = preds[0];
-                // Only materializing concats: pushing through a slab concat
-                // would force its members to materialize again.
-                let Op::Concat { axis } = graph.node(concat).op else {
-                    return None;
-                };
-                if axis != 3
-                    || graph.succs(concat).len() != 1
-                    || graph.explicit_outputs().contains(&concat)
-                {
-                    return None;
-                }
-                let branches = graph.preds(concat).len();
-                if branches < 2 {
-                    return None;
-                }
-                Some(RewriteSite { rule: self.name(), concat, consumer: v, branches })
-            })
-            .collect()
+        graph.node_ids().filter_map(|v| self.match_at(graph, v)).collect()
+    }
+
+    fn match_at(&self, graph: &Graph, consumer: NodeId) -> Option<RewriteSite> {
+        if !is_pushable(&graph.node(consumer).op) {
+            return None;
+        }
+        let preds = graph.preds(consumer);
+        if preds.len() != 1 {
+            return None;
+        }
+        let concat = preds[0];
+        // Only materializing concats: pushing through a slab concat
+        // would force its members to materialize again.
+        let Op::Concat { axis } = graph.node(concat).op else {
+            return None;
+        };
+        if axis != 3 || graph.succs(concat).len() != 1 || graph.explicit_outputs().contains(&concat)
+        {
+            return None;
+        }
+        let branches = graph.preds(concat).len();
+        if branches < 2 {
+            return None;
+        }
+        Some(RewriteSite { rule: self.name(), concat, consumer, branches })
     }
 
     fn apply_delta(&self, graph: &Graph, site: &RewriteSite) -> Result<RewriteDelta, GraphError> {
-        let act = graph.node(site.consumer).op.clone();
-        if !is_pushable(&act) {
+        let act = &graph.node(site.consumer).op;
+        if !is_pushable(act) {
             return Err(GraphError::InvalidOrder {
                 detail: format!("site consumer {} is not a pushable activation", site.consumer),
             });
@@ -71,29 +68,28 @@ impl RewriteRule for ActivationPushdownRule {
                 detail: format!("site anchor {} is not a concat", site.concat),
             });
         };
-        let branches: Vec<NodeId> = graph.preds(site.concat).to_vec();
-        let act_name = graph.node(site.consumer).name.clone();
+        let branches: &[NodeId] = graph.preds(site.concat);
+        let act_name = &graph.node(site.consumer).name;
 
-        let mut rb = Rebuilder::new(graph);
-        for u in graph.node_ids() {
-            if u == site.concat {
-                continue;
-            }
-            if u != site.consumer {
-                rb.copy(u)?;
-                continue;
-            }
-            let mut pushed = Vec::with_capacity(branches.len());
-            for (i, &x) in branches.iter().enumerate() {
-                let mapped = rb.mapped(x);
-                let id = rb.add_new(format!("{act_name}_push{i}"), act.clone(), &[mapped])?;
-                pushed.push(id);
-            }
-            let concat = rb.add_new(format!("{act_name}_cat"), Op::Concat { axis }, &pushed)?;
-            rb.splice(site.consumer, concat);
+        // Splice in place: one pushed activation per branch, re-concatenated
+        // at the activation's position — O(branches).
+        let mut edit = GraphEdit::new(graph, site.consumer);
+        let mut pushed = Vec::with_capacity(branches.len());
+        for (i, &x) in branches.iter().enumerate() {
+            let id = edit.add_node(format!("{act_name}_push{i}"), act.clone(), &[x])?;
+            pushed.push(id);
         }
-        let added = rb.added().to_vec();
-        Ok(RewriteDelta { graph: rb.finish(), removed: vec![site.concat, site.consumer], added })
+        let concat = edit.add_node(format!("{act_name}_cat"), Op::Concat { axis }, &pushed)?;
+        edit.redirect(site.consumer, concat);
+        edit.remove(site.concat);
+        edit.remove(site.consumer);
+        let (out, splice) = edit.finish()?;
+        Ok(RewriteDelta {
+            graph: out,
+            removed: vec![site.concat, site.consumer],
+            added: splice.added.clone(),
+            splice,
+        })
     }
 }
 

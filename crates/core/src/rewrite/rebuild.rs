@@ -1,11 +1,19 @@
-//! Graph-rebuild helper shared by the rewrite rules.
+//! The node-by-node graph rebuild: the rewrite rules' *reference* path.
 //!
 //! Node ids are topological by construction (predecessors are always added
-//! first), so rules rebuild a graph by walking ids in order, copying
+//! first), so a graph can be rebuilt by walking ids in order, copying
 //! untouched nodes and splicing replacements at the consumer's position.
+//! This was how every rule applied its delta before the O(site) in-place
+//! splice ([`serenity_ir::edit::GraphEdit`]) took over the hot path; it is
+//! kept as an independent implementation of the same numbering contract so
+//! property tests ([`reference_apply`]) can check that a spliced graph is
+//! structurally identical to a full rebuild — the soundness condition for
+//! incremental fingerprinting and site rescans.
 
 use serenity_ir::fxhash::FxHashMap;
-use serenity_ir::{Graph, GraphError, NodeId, Op};
+use serenity_ir::{ChannelRange, Graph, GraphError, NodeId, Op};
+
+use super::RewriteSite;
 
 /// Incrementally rebuilds a graph with an old→new id mapping.
 pub(crate) struct Rebuilder<'g> {
@@ -97,6 +105,99 @@ impl<'g> Rebuilder<'g> {
         }
         self.out
     }
+}
+
+/// Applies `site` via a full node-by-node rebuild — the reference semantics
+/// the rules' in-place splice path must reproduce structurally (see the
+/// module docs). Dispatches on the site's rule name and returns the rebuilt
+/// graph plus the post-rewrite ids of the created nodes.
+///
+/// # Errors
+///
+/// Returns a graph error if `site` does not match its rule on `graph`, or
+/// the rule name is unknown.
+pub fn reference_apply(
+    graph: &Graph,
+    site: &RewriteSite,
+) -> Result<(Graph, Vec<NodeId>), GraphError> {
+    let branches: Vec<NodeId> = graph.preds(site.concat).to_vec();
+    let consumer_name = graph.node(site.consumer).name.clone();
+    let consumer_op = graph.node(site.consumer).op.clone();
+
+    let mut rb = Rebuilder::new(graph);
+    for u in graph.node_ids() {
+        if u == site.concat {
+            continue; // the concat disappears
+        }
+        if u != site.consumer {
+            rb.copy(u)?;
+            continue;
+        }
+        // Splice the rule's replacement nodes at the consumer's position.
+        let replacement = match (site.rule, &consumer_op) {
+            ("channel-wise", Op::Conv2d(conv)) => {
+                let mut partials = Vec::with_capacity(branches.len());
+                let mut offset = 0u32;
+                for (i, &x) in branches.iter().enumerate() {
+                    let channels = graph.node(x).shape.c() as u32;
+                    let slice = ChannelRange::new(offset, offset + channels);
+                    offset += channels;
+                    let mut partial = conv.clone();
+                    partial.weight = partial.weight.with_in_slice(slice);
+                    let mapped = rb.mapped(x);
+                    let id = rb.add_new(
+                        format!("{consumer_name}_part{i}"),
+                        Op::Conv2d(partial),
+                        &[mapped],
+                    )?;
+                    partials.push(id);
+                }
+                rb.add_new(format!("{consumer_name}_sum"), Op::AccumAdd, &partials)?
+            }
+            ("kernel-wise", Op::DepthwiseConv2d(dw)) => {
+                let mut partials = Vec::with_capacity(branches.len());
+                let mut offset = 0u32;
+                for (i, &x) in branches.iter().enumerate() {
+                    let channels = graph.node(x).shape.c() as u32;
+                    let slice = ChannelRange::new(offset, offset + channels);
+                    offset += channels;
+                    let mut partial = dw.clone();
+                    partial.weight = partial.weight.with_kernel_slice(slice);
+                    let mapped = rb.mapped(x);
+                    let id = rb.add_new(
+                        format!("{consumer_name}_part{i}"),
+                        Op::DepthwiseConv2d(partial),
+                        &[mapped],
+                    )?;
+                    partials.push(id);
+                }
+                rb.add_new(format!("{consumer_name}_cat"), Op::SlabConcat { axis: 3 }, &partials)?
+            }
+            ("activation-pushdown", act @ (Op::Relu | Op::Sigmoid)) => {
+                let Op::Concat { axis } = graph.node(site.concat).op else {
+                    return Err(GraphError::InvalidOrder {
+                        detail: format!("site anchor {} is not a concat", site.concat),
+                    });
+                };
+                let mut pushed = Vec::with_capacity(branches.len());
+                for (i, &x) in branches.iter().enumerate() {
+                    let mapped = rb.mapped(x);
+                    let id =
+                        rb.add_new(format!("{consumer_name}_push{i}"), act.clone(), &[mapped])?;
+                    pushed.push(id);
+                }
+                rb.add_new(format!("{consumer_name}_cat"), Op::Concat { axis }, &pushed)?
+            }
+            (rule, op) => {
+                return Err(GraphError::InvalidOrder {
+                    detail: format!("rule {rule} does not apply to consumer op {op:?}"),
+                });
+            }
+        };
+        rb.splice(site.consumer, replacement);
+    }
+    let added = rb.added().to_vec();
+    Ok((rb.finish(), added))
 }
 
 #[cfg(test)]

@@ -7,16 +7,32 @@
 //! module closes the loop, following the iterative graph-optimization
 //! formulation of Zhong et al. (2023):
 //!
-//! 1. Enumerate every rewrite site of every rule on the current graph.
-//! 2. Turn each site into a **candidate** graph. Sites whose rewrite is
+//! 1. Enumerate every rewrite site of every rule on the current graph. After
+//!    the first iteration this is **incremental**: an accepted delta's
+//!    [`SpliceInfo`](serenity_ir::edit::SpliceInfo) remaps the prior site
+//!    list and only the neighborhood of the added nodes is rescanned
+//!    ([`RewriteRule::match_at`]), instead of re-running every rule over
+//!    every node.
+//! 2. Turn each site into a **candidate** graph by splicing the delta in
+//!    place (O(site), no whole-graph rebuild). Sites whose rewrite is
 //!    footprint-neutral on its own but *enables* another rule (activation
 //!    pushdown exposing `concat→conv`, a kernel-wise slab concat feeding a
 //!    pointwise conv) are chained with the rewrites they enable, so a
-//!    candidate is a maximal enabling chain, not a single blind step.
+//!    candidate is a maximal enabling chain, not a single blind step. Each
+//!    candidate's whole-graph fingerprint is updated incrementally from the
+//!    current graph's ([`FingerprintCache`]); structural twins within an
+//!    iteration are detected by fingerprint (confirmed exactly) and scored
+//!    once.
 //! 3. **Score** each candidate by actually scheduling it (divide-and-conquer
 //!    with the configured scoring backend). Segments unchanged since any
 //!    previous scoring run replay from a [`ScheduleMemo`] instead of being
-//!    re-searched.
+//!    re-searched. With [`RewriteSearchConfig::threads`] > 1 the iteration's
+//!    candidates are scored across `std::thread::scope` workers; each worker
+//!    sees the iteration-start memo through a private layer
+//!    ([`ScheduleMemo::layered`]) and buffers its events, and the results
+//!    are then *replayed* serially in canonical site order — budget
+//!    accounting, stats, events, and the winner are computed from the
+//!    replay, so parallel runs are bit-identical to serial ones.
 //! 4. Accept the best candidate that does not *worsen* the scored peak;
 //!    stop when every candidate worsens it (fixed point), on the iteration
 //!    cap, the candidate budget, the application cap, or the
@@ -31,13 +47,16 @@
 //!
 //! The search is deterministic: sites are scored in a canonical order, ties
 //! keep the earliest site, and all backends are deterministic, so serial and
-//! parallel runs return bit-identical graphs and schedules.
+//! parallel runs return bit-identical graphs, schedules, and summaries at
+//! every thread count.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use serenity_ir::{Graph, GraphError};
+use serenity_ir::fingerprint::{structural_eq, FingerprintCache};
+use serenity_ir::{Graph, GraphError, NodeId};
 
 use crate::backend::{BeamBackend, CompileContext, CompileEvent, SchedulerBackend};
 use crate::divide::DivideAndConquer;
@@ -89,6 +108,10 @@ pub struct RewriteSearchConfig {
     /// Maximum length of one enabling chain (site + the rewrites it
     /// exposes) within a single candidate.
     pub max_chain: usize,
+    /// Worker threads scoring one iteration's candidate set (1 = serial).
+    /// Any thread count returns bit-identical results — parallel scoring is
+    /// replayed deterministically — so this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for RewriteSearchConfig {
@@ -98,6 +121,7 @@ impl Default for RewriteSearchConfig {
             max_candidates: 256,
             max_applications: 512,
             max_chain: 4,
+            threads: 1,
         }
     }
 }
@@ -131,6 +155,13 @@ pub struct RewriteSearchSummary {
     /// Wall-clock time of the whole search.
     #[serde(with = "crate::schedule::duration_micros")]
     pub wall: Duration,
+    /// Wall-clock spent enumerating and rescanning rewrite sites.
+    #[serde(with = "crate::schedule::duration_micros")]
+    pub site_scan: Duration,
+    /// Wall-clock spent building candidate graphs (splices, enabling
+    /// chains, incremental fingerprints).
+    #[serde(with = "crate::schedule::duration_micros")]
+    pub candidate_build: Duration,
 }
 
 impl RewriteSearchSummary {
@@ -141,6 +172,17 @@ impl RewriteSearchSummary {
             0.0
         } else {
             self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Candidate-scoring throughput of the whole search, in candidates per
+    /// second of search wall time (the rewrite loop's headline metric).
+    pub fn candidates_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.candidates_scored as f64 / secs
+        } else {
+            0.0
         }
     }
 }
@@ -207,13 +249,73 @@ impl std::fmt::Debug for RewriteSearch {
     }
 }
 
-/// One candidate: a rewritten graph plus the chain of applications that
-/// produced it.
+/// One candidate: a spliced graph, the chain of applications that produced
+/// it, and the splice bookkeeping the search needs afterwards. Names and
+/// [`AppliedRewrite`] records for the *head* application are resolved
+/// lazily from the current graph — only kept or narrated candidates pay for
+/// the string clones.
 struct Candidate {
     graph: Graph,
-    records: Vec<AppliedRewrite>,
+    /// Whole-graph fingerprint, updated incrementally across the chain.
+    fp: FingerprintCache,
+    /// The head site (ids in the pre-candidate graph).
     head: RewriteSite,
-    head_names: (String, String),
+    /// Chain records beyond the head, with names captured from the
+    /// intermediate graphs they applied to (chains are rare).
+    tail: Vec<AppliedRewrite>,
+    /// Pre-candidate id → candidate id, composed across the chain.
+    node_map: Vec<Option<NodeId>>,
+    /// Nodes created by the chain that survive in the candidate graph.
+    added: Vec<NodeId>,
+}
+
+impl Candidate {
+    /// Number of rewrite applications in this candidate's chain.
+    fn applications(&self) -> usize {
+        1 + self.tail.len()
+    }
+
+    /// Resolves the head application's record against the graph the head
+    /// site belongs to.
+    fn head_record(&self, current: &Graph) -> AppliedRewrite {
+        AppliedRewrite {
+            rule: self.head.rule,
+            concat: current.node(self.head.concat).name.clone(),
+            consumer: current.node(self.head.consumer).name.clone(),
+            branches: self.head.branches,
+        }
+    }
+
+    /// The full application log of this candidate.
+    fn records(&self, current: &Graph) -> Vec<AppliedRewrite> {
+        let mut records = Vec::with_capacity(self.applications());
+        records.push(self.head_record(current));
+        records.extend(self.tail.iter().cloned());
+        records
+    }
+}
+
+/// What scoring one candidate produced (computed by a worker, consumed by
+/// the deterministic replay).
+enum Scored {
+    Done {
+        peak: u64,
+        stats: ScheduleStats,
+        /// Events the scoring run emitted, buffered for ordered replay.
+        events: Vec<CompileEvent>,
+        /// The worker's private memo layer, absorbed into the shared memo
+        /// during replay (in site order).
+        memo_layer: ScheduleMemo,
+    },
+    Failed(ScheduleError),
+}
+
+/// One site's slot in an iteration: the built candidate (if building
+/// succeeded), an optional earlier structural twin, and the scoring result.
+struct Slot {
+    candidate: Option<Candidate>,
+    dup_of: Option<usize>,
+    result: Option<Scored>,
 }
 
 impl RewriteSearch {
@@ -255,44 +357,242 @@ impl RewriteSearch {
         sites
     }
 
-    /// Builds the candidate for `site`: applies it, then chains any rewrite
-    /// whose concat was *created* by the previous application (an enabling
-    /// chain — activation pushdown exposing `concat→conv`, a slab concat
-    /// cascading into channel-wise partitioning).
+    /// Sites on `graph` after accepting `winner`, computed incrementally:
+    /// the prior site list is remapped through the winner's composed node
+    /// map and re-validated, and only consumers adjacent to the winner's
+    /// added nodes are scanned fresh — every other node's neighborhood is
+    /// untouched by the splice, so no new site can appear there. Equal to a
+    /// full [`RewriteSearch::sites`] scan (debug-asserted).
+    fn rescan_after(
+        &self,
+        graph: &Graph,
+        prior: &[(usize, RewriteSite)],
+        winner: &Candidate,
+    ) -> Vec<(usize, RewriteSite)> {
+        let mut consumers: Vec<NodeId> = Vec::with_capacity(prior.len() + winner.added.len() * 2);
+        for (_, site) in prior {
+            if let Some(v) = winner.node_map.get(site.consumer.index()).copied().flatten() {
+                consumers.push(v);
+            }
+        }
+        for &a in &winner.added {
+            consumers.push(a);
+            consumers.extend_from_slice(graph.succs(a));
+        }
+        consumers.sort_unstable();
+        consumers.dedup();
+        let mut sites: Vec<(usize, RewriteSite)> = Vec::new();
+        for &v in &consumers {
+            for (i, rule) in self.rules.iter().enumerate() {
+                if let Some(site) = rule.match_at(graph, v) {
+                    sites.push((i, site));
+                }
+            }
+        }
+        sites.sort_by_key(|(i, s)| (s.consumer, s.concat, *i));
+        debug_assert_eq!(
+            sites,
+            self.sites(graph),
+            "incremental site rescan must equal a full scan"
+        );
+        sites
+    }
+
+    /// The first enabling site exposed by `added` nodes: for each rule in
+    /// priority order, the lowest-consumer site whose concat is one of the
+    /// added nodes (the same selection a full `find` over the graph made
+    /// before site discovery became incremental).
+    fn enabling_site(
+        &self,
+        graph: &Graph,
+        added: &[NodeId],
+    ) -> Option<(&Arc<dyn RewriteRule + Send + Sync>, RewriteSite)> {
+        for rule in &self.rules {
+            let mut best: Option<RewriteSite> = None;
+            for &a in added {
+                for &v in graph.succs(a) {
+                    if best.as_ref().is_some_and(|b| b.consumer <= v) {
+                        continue;
+                    }
+                    if let Some(site) = rule.match_at(graph, v) {
+                        if site.concat == a {
+                            best = Some(site);
+                        }
+                    }
+                }
+            }
+            if let Some(site) = best {
+                return Some((rule, site));
+            }
+        }
+        None
+    }
+
+    /// Builds the candidate for `site`: splices it in place, then chains any
+    /// rewrite whose concat was *created* by the previous application (an
+    /// enabling chain — activation pushdown exposing `concat→conv`, a slab
+    /// concat cascading into channel-wise partitioning). The candidate's
+    /// fingerprint and node map are maintained incrementally across the
+    /// chain.
     fn build_candidate(
         &self,
         current: &Graph,
+        current_fp: &FingerprintCache,
         rule: &Arc<dyn RewriteRule + Send + Sync>,
         site: &RewriteSite,
         max_len: usize,
     ) -> Result<Candidate, GraphError> {
-        let head_names =
-            (current.node(site.concat).name.clone(), current.node(site.consumer).name.clone());
-        let mut records = vec![AppliedRewrite {
-            rule: site.rule,
-            concat: head_names.0.clone(),
-            consumer: head_names.1.clone(),
-            branches: site.branches,
-        }];
         let mut delta = rule.apply_delta(current, site)?;
-        while records.len() < max_len {
-            let Some((next_rule, next_site)) = self.rules.iter().find_map(|r| {
-                r.find(&delta.graph)
-                    .into_iter()
-                    .find(|s| delta.added.contains(&s.concat))
-                    .map(|s| (r, s))
-            }) else {
+        let mut fp = current_fp.update(&delta.graph, delta.splice.first_changed);
+        let mut node_map = std::mem::take(&mut delta.splice.node_map);
+        let mut added = delta.added.clone();
+        let mut tail: Vec<AppliedRewrite> = Vec::new();
+        while 1 + tail.len() < max_len {
+            let Some((next_rule, next_site)) = self.enabling_site(&delta.graph, &added) else {
                 break;
             };
-            records.push(AppliedRewrite {
+            tail.push(AppliedRewrite {
                 rule: next_site.rule,
                 concat: delta.graph.node(next_site.concat).name.clone(),
                 consumer: delta.graph.node(next_site.consumer).name.clone(),
                 branches: next_site.branches,
             });
-            delta = next_rule.apply_delta(&delta.graph, &next_site)?;
+            let next = next_rule.apply_delta(&delta.graph, &next_site)?;
+            fp = fp.update(&next.graph, next.splice.first_changed);
+            for slot in node_map.iter_mut() {
+                *slot = slot.and_then(|v| next.splice.node_map[v.index()]);
+            }
+            added = added
+                .iter()
+                .filter_map(|a| next.splice.node_map[a.index()])
+                .chain(next.added.iter().copied())
+                .collect();
+            delta = next;
         }
-        Ok(Candidate { graph: delta.graph, records, head: site.clone(), head_names })
+        Ok(Candidate { graph: delta.graph, fp, head: site.clone(), tail, node_map, added })
+    }
+
+    /// Scores one candidate: a fresh divide-and-conquer run of the scoring
+    /// backend over a private memo layer, with events buffered when a sink
+    /// is installed.
+    fn score_candidate(
+        &self,
+        candidate: &Candidate,
+        memo: &Arc<ScheduleMemo>,
+        ctx: &CompileContext,
+    ) -> Scored {
+        let events: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let child_ctx = if ctx.has_sink() {
+            let buffer = Arc::clone(&events);
+            ctx.with_event_sink(Some(Arc::new(move |e: &CompileEvent| {
+                buffer.lock().expect("event buffer").push(e.clone());
+            })))
+        } else {
+            ctx.with_event_sink(None)
+        };
+        let layer = Arc::new(ScheduleMemo::layered(Arc::clone(memo)));
+        let outcome = {
+            let scorer =
+                DivideAndConquer::new().backend(Arc::clone(&self.scorer)).memo(Arc::clone(&layer));
+            scorer.schedule_with_ctx(&candidate.graph, &child_ctx)
+        };
+        let memo_layer = Arc::try_unwrap(layer).expect("scorer dropped its memo handle");
+        match outcome {
+            Ok(scored) => Scored::Done {
+                peak: scored.schedule.peak_bytes,
+                stats: scored.total_stats,
+                events: std::mem::take(&mut events.lock().expect("event buffer")),
+                memo_layer,
+            },
+            Err(err) => Scored::Failed(err),
+        }
+    }
+
+    /// Builds and scores one iteration's candidates. Building and twin
+    /// detection are serial and deterministic; scoring fans out across
+    /// `threads` workers (inline when 1). Only the first
+    /// `remaining_budget` successfully built sites are processed — exactly
+    /// the set a serial sweep would have scored before the budget tripped.
+    #[allow(clippy::too_many_arguments)]
+    fn build_and_score(
+        &self,
+        current: &Graph,
+        current_fp: &FingerprintCache,
+        site_list: &[(usize, RewriteSite)],
+        remaining_budget: usize,
+        max_chain: usize,
+        memo: &Arc<ScheduleMemo>,
+        ctx: &CompileContext,
+        candidate_build: &mut Duration,
+    ) -> Vec<Slot> {
+        // Phase 1 (serial): splice the candidates and detect structural
+        // twins via the incremental whole-graph fingerprint (confirmed with
+        // an exact structural compare, so collisions cannot alias).
+        let built_at = Instant::now();
+        let mut slots: Vec<Slot> = Vec::with_capacity(site_list.len());
+        let mut built_ok = 0usize;
+        for (rule_idx, site) in site_list {
+            if built_ok >= remaining_budget {
+                break; // replay stops here too: candidate budget
+            }
+            let candidate = self
+                .build_candidate(current, current_fp, &self.rules[*rule_idx], site, max_chain)
+                .ok();
+            built_ok += usize::from(candidate.is_some());
+            let dup_of = candidate.as_ref().and_then(|c| {
+                slots.iter().position(|other| {
+                    other.candidate.as_ref().is_some_and(|o| {
+                        o.fp.hash() == c.fp.hash() && structural_eq(&o.graph, &c.graph)
+                    })
+                })
+            });
+            slots.push(Slot { candidate, dup_of, result: None });
+        }
+        *candidate_build += built_at.elapsed();
+
+        // Phase 2 (parallel): score each twin-free representative once.
+        let reps: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.candidate.is_some() && s.dup_of.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let threads = self.config.threads.max(1).min(reps.len().max(1));
+        if threads <= 1 {
+            for &i in &reps {
+                let scored = self.score_candidate(
+                    slots[i].candidate.as_ref().expect("rep built"),
+                    memo,
+                    ctx,
+                );
+                slots[i].result = Some(scored);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let results: Vec<Mutex<Option<Scored>>> =
+                reps.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let at = cursor.fetch_add(1, Ordering::Relaxed);
+                        if at >= reps.len() {
+                            break;
+                        }
+                        let slot = &slots[reps[at]];
+                        let scored = self.score_candidate(
+                            slot.candidate.as_ref().expect("rep built"),
+                            memo,
+                            ctx,
+                        );
+                        *results[at].lock().expect("result slot") = Some(scored);
+                    });
+                }
+            });
+            for (at, &i) in reps.iter().enumerate() {
+                slots[i].result = results[at].lock().expect("result slot").take();
+            }
+        }
+        slots
     }
 
     /// Runs the search with no deadline, cancellation, or event sink.
@@ -311,9 +611,10 @@ impl RewriteSearch {
     /// ("never scored"). A deadline expiring *mid-search* is not an error:
     /// the loop stops and the best graph found so far is returned (with
     /// [`RewriteStop::Deadline`]). Cancellation propagates as
-    /// [`ScheduleError::Cancelled`], and scoring failures of the *input*
-    /// graph propagate as-is — if the input cannot be scheduled at all the
-    /// search has no cost signal to work with.
+    /// [`ScheduleError::Cancelled`] — including from scoring worker threads
+    /// — and scoring failures of the *input* graph propagate as-is — if the
+    /// input cannot be scheduled at all the search has no cost signal to
+    /// work with.
     ///
     /// # Errors
     ///
@@ -324,11 +625,15 @@ impl RewriteSearch {
         ctx: &CompileContext,
     ) -> Result<RewriteSearchOutcome, ScheduleError> {
         let started = Instant::now();
+        let mut site_scan = Duration::ZERO;
+        let mut candidate_build = Duration::ZERO;
         // Site-free graphs (every sum-aggregation RandWire, plain CNNs)
         // short-circuit before any scheduling: pattern matching is the only
         // cost, exactly like the blind rewriter's no-match path. The
         // enumeration is reused as iteration 0's site list otherwise.
+        let scan_at = Instant::now();
         let mut sites = self.sites(graph);
+        site_scan += scan_at.elapsed();
         if sites.is_empty() {
             let summary = RewriteSearchSummary {
                 iterations: 0,
@@ -341,6 +646,8 @@ impl RewriteSearch {
                 final_peak_bytes: 0,
                 kept: false,
                 wall: started.elapsed(),
+                site_scan,
+                candidate_build,
             };
             ctx.emit(CompileEvent::RewriteSearchFinished {
                 iterations: 0,
@@ -368,6 +675,7 @@ impl RewriteSearch {
         let initial_peak = initial.schedule.peak_bytes;
 
         let mut current = graph.clone();
+        let mut current_fp = FingerprintCache::new(graph);
         let mut current_peak = initial_peak;
         let mut applied: Vec<AppliedRewrite> = Vec::new();
         let mut candidates_scored = 0usize;
@@ -390,96 +698,137 @@ impl RewriteSearch {
             if sites.is_empty() {
                 break RewriteStop::FixedPoint;
             }
+            if ctx.options().cancel.is_cancelled() {
+                return Err(ScheduleError::Cancelled);
+            }
+            if ctx.check().is_err() {
+                break RewriteStop::Deadline;
+            }
 
-            let mut best: Option<(u64, Candidate)> = None;
-            let mut losers: Vec<(RewriteSite, String, String, u64)> = Vec::new();
-            let mut budget_hit = false;
-            for (rule_idx, site) in std::mem::take(&mut sites) {
+            let site_list = std::mem::take(&mut sites);
+            let remaining_budget = self.config.max_candidates.saturating_sub(candidates_scored);
+            let mut slots = self.build_and_score(
+                &current,
+                &current_fp,
+                &site_list,
+                remaining_budget,
+                remaining_applications.min(self.config.max_chain),
+                &memo,
+                ctx,
+                &mut candidate_build,
+            );
+
+            // Deterministic replay in canonical site order: budget
+            // accounting, stats, events, memo merging, and winner selection
+            // all happen here, so any thread count is bit-identical.
+            let mut best: Option<(u64, usize)> = None;
+            let mut losers: Vec<usize> = Vec::new();
+            let mut budget_hit = slots.len() < site_list.len();
+            for idx in 0..slots.len() {
                 if candidates_scored >= self.config.max_candidates {
                     budget_hit = true;
                     break;
                 }
-                if ctx.check().is_err() {
-                    if ctx.options().cancel.is_cancelled() {
-                        return Err(ScheduleError::Cancelled);
-                    }
-                    break 'search RewriteStop::Deadline;
-                }
-                let candidate = match self.build_candidate(
-                    &current,
-                    &self.rules[rule_idx],
-                    &site,
-                    remaining_applications.min(self.config.max_chain),
-                ) {
-                    Ok(candidate) => candidate,
+                if slots[idx].candidate.is_none() {
                     // A site invalidated between find and apply is a rule
                     // bug upstream; here it only costs us the candidate.
-                    Err(_) => continue,
-                };
+                    continue;
+                }
                 candidates_scored += 1;
-                let scored = match scorer.schedule_with_ctx(&candidate.graph, ctx) {
-                    Ok(outcome) => outcome,
-                    Err(ScheduleError::Cancelled) => return Err(ScheduleError::Cancelled),
-                    Err(ScheduleError::DeadlineExceeded { .. }) => {
+                let source = slots[idx].dup_of.unwrap_or(idx);
+                let (peak, scored_stats) = match slots[source].result.as_ref() {
+                    Some(Scored::Done { peak, stats, .. }) => (*peak, *stats),
+                    Some(Scored::Failed(ScheduleError::Cancelled)) => {
+                        return Err(ScheduleError::Cancelled);
+                    }
+                    Some(Scored::Failed(ScheduleError::DeadlineExceeded { .. })) => {
                         break 'search RewriteStop::Deadline;
                     }
                     // Unschedulable candidate (e.g. backend size cap):
                     // discard it, keep searching.
-                    Err(_) => continue,
+                    Some(Scored::Failed(_)) => continue,
+                    None => unreachable!("every built slot's representative was scored"),
                 };
-                stats.absorb(&scored.total_stats);
-                let peak = scored.schedule.peak_bytes;
-                ctx.emit(CompileEvent::RewriteCandidateScored {
-                    rule: candidate.head.rule,
-                    concat: candidate.head_names.0.clone(),
-                    consumer: candidate.head_names.1.clone(),
-                    branches: candidate.head.branches,
-                    peak_bytes: peak,
-                    current_peak_bytes: current_peak,
-                });
+                if source == idx {
+                    // First occurrence: replay the buffered scoring events
+                    // and fold the worker's memo layer into the shared memo.
+                    if let Some(Scored::Done { events, memo_layer, .. }) = slots[idx].result.take()
+                    {
+                        for event in &events {
+                            ctx.emit(event.clone());
+                        }
+                        memo.absorb(memo_layer);
+                        slots[idx].result = Some(Scored::Done {
+                            peak,
+                            stats: scored_stats,
+                            events: Vec::new(),
+                            memo_layer: ScheduleMemo::new(),
+                        });
+                    }
+                }
+                stats.absorb(&scored_stats);
+                if ctx.has_sink() {
+                    let candidate = slots[idx].candidate.as_ref().expect("slot built");
+                    ctx.emit(CompileEvent::RewriteCandidateScored {
+                        rule: candidate.head.rule,
+                        concat: current.node(candidate.head.concat).name.clone(),
+                        consumer: current.node(candidate.head.consumer).name.clone(),
+                        branches: candidate.head.branches,
+                        peak_bytes: peak,
+                        current_peak_bytes: current_peak,
+                    });
+                }
                 let acceptable = peak <= current_peak;
                 let beats_best = best.as_ref().is_none_or(|(b, _)| peak < *b);
                 if acceptable && beats_best {
-                    if let Some((old_peak, old)) = best.replace((peak, candidate)) {
-                        losers.push((old.head, old.head_names.0, old.head_names.1, old_peak));
+                    if let Some((_, old)) = best.replace((peak, idx)) {
+                        losers.push(old);
                     }
                 } else {
-                    losers.push((
-                        candidate.head,
-                        candidate.head_names.0,
-                        candidate.head_names.1,
-                        peak,
-                    ));
+                    losers.push(idx);
                 }
             }
 
-            for (site, concat, consumer, peak) in losers.drain(..) {
-                ctx.emit(CompileEvent::RewriteCandidateRejected {
-                    rule: site.rule,
-                    concat,
-                    consumer,
-                    peak_bytes: peak,
-                });
-            }
-            match best {
-                Some((peak, winner)) => {
-                    ctx.emit(CompileEvent::RewriteCandidateKept {
-                        rule: winner.head.rule,
-                        concat: winner.head_names.0.clone(),
-                        consumer: winner.head_names.1.clone(),
-                        iteration: iterations,
+            if ctx.has_sink() {
+                for idx in losers.drain(..) {
+                    let candidate = slots[idx].candidate.as_ref().expect("loser was built");
+                    let peak = match slots[slots[idx].dup_of.unwrap_or(idx)].result.as_ref() {
+                        Some(Scored::Done { peak, .. }) => *peak,
+                        _ => continue,
+                    };
+                    ctx.emit(CompileEvent::RewriteCandidateRejected {
+                        rule: candidate.head.rule,
+                        concat: current.node(candidate.head.concat).name.clone(),
+                        consumer: current.node(candidate.head.consumer).name.clone(),
                         peak_bytes: peak,
                     });
+                }
+            }
+            match best {
+                Some((peak, winner_idx)) => {
+                    let winner = slots[winner_idx].candidate.take().expect("winner slot was built");
+                    if ctx.has_sink() {
+                        ctx.emit(CompileEvent::RewriteCandidateKept {
+                            rule: winner.head.rule,
+                            concat: current.node(winner.head.concat).name.clone(),
+                            consumer: current.node(winner.head.consumer).name.clone(),
+                            iteration: iterations,
+                            peak_bytes: peak,
+                        });
+                    }
+                    applied.extend(winner.records(&current));
+                    let scan_at = Instant::now();
+                    sites = self.rescan_after(&winner.graph, &site_list, &winner);
+                    site_scan += scan_at.elapsed();
                     current = winner.graph;
+                    current_fp = winner.fp;
                     current_peak = peak;
-                    applied.extend(winner.records);
                     iterations += 1;
                     if current_peak < best_peak {
                         best_graph = current.clone();
                         best_peak = current_peak;
                         best_applied = applied.len();
                     }
-                    sites = self.sites(&current);
                 }
                 None if budget_hit => break RewriteStop::CandidateBudget,
                 None => break RewriteStop::FixedPoint,
@@ -492,19 +841,19 @@ impl RewriteSearch {
         // Return the last strictly-improving snapshot, dropping trailing
         // plateau steps that never paid off.
         applied.truncate(best_applied);
-        stats.memo_hits = memo.hits();
-        stats.memo_misses = memo.misses();
         let summary = RewriteSearchSummary {
             iterations,
             candidates_scored,
             applied: applied.len(),
             stop,
-            memo_hits: memo.hits(),
-            memo_misses: memo.misses(),
+            memo_hits: stats.memo_hits,
+            memo_misses: stats.memo_misses,
             initial_peak_bytes: initial_peak,
             final_peak_bytes: best_peak,
             kept: !applied.is_empty(),
             wall: started.elapsed(),
+            site_scan,
+            candidate_build,
         };
         ctx.emit(CompileEvent::RewriteSearchFinished {
             iterations: summary.iterations,
@@ -689,5 +1038,14 @@ mod tests {
         let ctx = CompileContext::new(CompileOptions::new().cancel_token(token));
         let err = Rewriter::standard().cost_guided().run(&g, &ctx).unwrap_err();
         assert!(matches!(err, ScheduleError::Cancelled));
+    }
+
+    #[test]
+    fn throughput_metrics_are_populated() {
+        let g = concat_cell(3, 16);
+        let outcome = Rewriter::standard().cost_guided().run_unconstrained(&g).unwrap();
+        assert!(outcome.summary.candidates_per_sec() > 0.0);
+        assert!(outcome.summary.candidate_build > Duration::ZERO);
+        assert!(outcome.summary.site_scan > Duration::ZERO);
     }
 }

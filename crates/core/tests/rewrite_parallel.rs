@@ -1,0 +1,187 @@
+//! Parallel rewrite-search determinism: scoring an iteration's candidates
+//! across worker threads must be bit-identical to the serial sweep — same
+//! summary (modulo wall-clock durations), same accepted-rewrite sequence,
+//! same final graph and schedule — and cancellation/deadlines must still
+//! propagate out of worker threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serenity_core::backend::{CancelToken, CompileContext, CompileOptions};
+use serenity_core::pipeline::Serenity;
+use serenity_core::rewrite::{RewriteSearchConfig, RewriteSearchSummary, Rewriter};
+use serenity_core::ScheduleError;
+use serenity_ir::Graph;
+use serenity_nets::randwire::{randwire_cell, Aggregation, RandWireConfig};
+use serenity_nets::swiftnet::{swiftnet_with, SwiftNetConfig};
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            "randwire-concat-n12",
+            randwire_cell(&RandWireConfig {
+                nodes: 12,
+                seed: 1,
+                hw: 8,
+                channels: 8,
+                aggregation: Aggregation::Concat,
+                ..Default::default()
+            }),
+        ),
+        ("swiftnet-w1", swiftnet_with(&SwiftNetConfig { hw: 16, in_channels: 3, width: 1 })),
+    ]
+}
+
+/// Durations are wall-clock and never bit-identical; zero them before
+/// comparing summaries.
+fn timeless(summary: &RewriteSearchSummary) -> RewriteSearchSummary {
+    RewriteSearchSummary {
+        wall: Duration::ZERO,
+        site_scan: Duration::ZERO,
+        candidate_build: Duration::ZERO,
+        ..summary.clone()
+    }
+}
+
+#[test]
+fn thread_counts_are_bit_identical() {
+    for (id, graph) in workloads() {
+        let run = |threads: usize| {
+            Rewriter::standard()
+                .cost_guided()
+                .config(RewriteSearchConfig { threads, ..Default::default() })
+                .run_unconstrained(&graph)
+                .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2usize, 8] {
+            let parallel = run(threads);
+            assert_eq!(serial.graph, parallel.graph, "{id}: graph diverged at {threads} threads");
+            assert_eq!(serial.applied, parallel.applied, "{id}: applied sequence diverged");
+            assert_eq!(
+                timeless(&serial.summary),
+                timeless(&parallel.summary),
+                "{id}: summary diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_compiles_identically_at_any_thread_count() {
+    for (id, graph) in workloads() {
+        let compile = |threads: usize| {
+            Serenity::builder()
+                .rewrite_threads(threads)
+                .allocator(None)
+                .build()
+                .compile(&graph)
+                .unwrap()
+        };
+        let serial = compile(1);
+        for threads in [2usize, 8] {
+            let parallel = compile(threads);
+            assert_eq!(serial.peak_bytes, parallel.peak_bytes, "{id}: peak diverged");
+            assert_eq!(serial.schedule, parallel.schedule, "{id}: schedule diverged");
+            assert_eq!(serial.graph, parallel.graph, "{id}: compiled graph diverged");
+            assert_eq!(serial.rewrites, parallel.rewrites, "{id}: kept rewrites diverged");
+        }
+    }
+}
+
+#[test]
+fn events_are_replayed_in_serial_order() {
+    use serenity_core::backend::CompileEvent;
+    use std::sync::Mutex;
+    let (_, graph) = workloads().remove(0);
+    let collect = |threads: usize| {
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let ctx = CompileContext::new(CompileOptions::new().on_event(move |e: &CompileEvent| {
+            sink.lock().unwrap().push(format!("{e:?}"));
+        }));
+        Rewriter::standard()
+            .cost_guided()
+            .config(RewriteSearchConfig { threads, ..Default::default() })
+            .run(&graph, &ctx)
+            .unwrap();
+        let events = seen.lock().unwrap().clone();
+        events
+    };
+    let serial = collect(1);
+    let parallel = collect(8);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "event streams must be identical");
+}
+
+#[test]
+fn cancellation_propagates_from_worker_threads() {
+    let (_, graph) = workloads().remove(0);
+    // Cancel shortly after the search starts: workers observe the token
+    // inside their scoring runs and the replay surfaces the cancellation.
+    let token = CancelToken::new();
+    let canceller = token.clone();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(3));
+        canceller.cancel();
+    });
+    let ctx = CompileContext::new(CompileOptions::new().cancel_token(token));
+    let result = Rewriter::standard()
+        .cost_guided()
+        .config(RewriteSearchConfig { threads: 8, ..Default::default() })
+        .run(&graph, &ctx);
+    handle.join().unwrap();
+    assert!(matches!(result, Err(ScheduleError::Cancelled)), "expected Cancelled, got {result:?}");
+}
+
+#[test]
+fn pre_cancelled_token_aborts_at_any_thread_count() {
+    let (_, graph) = workloads().remove(0);
+    for threads in [1usize, 2, 8] {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = CompileContext::new(CompileOptions::new().cancel_token(token));
+        let err = Rewriter::standard()
+            .cost_guided()
+            .config(RewriteSearchConfig { threads, ..Default::default() })
+            .run(&graph, &ctx)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Cancelled));
+    }
+}
+
+#[test]
+fn deadlines_propagate_from_worker_threads() {
+    let (_, graph) = workloads().remove(0);
+    for threads in [1usize, 8] {
+        // A zero deadline trips while scoring the input graph and
+        // propagates as an error; a mid-search deadline instead stops the
+        // loop with the best graph so far. Both are exercised — the zero
+        // case deterministically, the short case opportunistically.
+        let ctx = CompileContext::new(CompileOptions::new().deadline(Duration::ZERO));
+        let err = Rewriter::standard()
+            .cost_guided()
+            .config(RewriteSearchConfig { threads, ..Default::default() })
+            .run(&graph, &ctx)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::DeadlineExceeded { .. }));
+
+        let ctx = CompileContext::new(CompileOptions::new().deadline(Duration::from_millis(8)));
+        match Rewriter::standard()
+            .cost_guided()
+            .config(RewriteSearchConfig { threads, ..Default::default() })
+            .run(&graph, &ctx)
+        {
+            // Deadline hit mid-search: best-so-far with the Deadline stop.
+            Ok(outcome) => {
+                use serenity_core::rewrite::RewriteStop;
+                if outcome.summary.stop == RewriteStop::Deadline {
+                    assert!(outcome.summary.final_peak_bytes <= outcome.summary.initial_peak_bytes);
+                }
+            }
+            // Deadline hit while scoring the input graph.
+            Err(ScheduleError::DeadlineExceeded { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+}

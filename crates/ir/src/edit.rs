@@ -1,0 +1,494 @@
+//! In-place graph splicing: the O(site) edit path behind rewrite deltas.
+//!
+//! The rewrite rules of `serenity-core` replace a tiny neighborhood (a concat
+//! and its consumer) with a handful of new nodes. Rebuilding the whole graph
+//! for that — re-running shape inference and re-hashing an old→new id map for
+//! every untouched node — makes each rewrite candidate cost O(V+E) before a
+//! scheduler ever sees it. [`GraphEdit`] splices instead: removed nodes are
+//! *tombstoned*, replacement nodes are appended (shape-inferred once, at
+//! append time), and renumbering is deferred to a single [`GraphEdit::finish`]
+//! pass that copies the surviving nodes compactly with a piecewise id remap
+//! and **no** inference, hashing, or per-node map lookups.
+//!
+//! The final numbering is defined to match the classic rebuild walk (copy ids
+//! in order, splice replacements at the vacated anchor position): live nodes
+//! keep their relative order, and every added node materializes at the
+//! position of the removed *anchor* node. A spliced graph is therefore
+//! structurally identical — [`crate::fingerprint::structural_eq`] — to the
+//! graph a node-by-node rebuild of the same delta would produce, which is the
+//! contract that keeps incremental fingerprinting
+//! ([`crate::fingerprint::FingerprintCache`]) and schedule memoization sound.
+//!
+//! [`SpliceInfo`] reports what moved: the base→final id map, the final ids of
+//! the added nodes, and `first_changed` — the lowest id whose position or
+//! content differs from the base graph. Everything below `first_changed` is
+//! bit-identical to the base, which is exactly the prefix an incremental
+//! fingerprint can keep.
+
+use crate::infer::infer_shape;
+use crate::{Graph, GraphError, Node, NodeId, Op, TensorShape};
+
+/// What a [`GraphEdit::finish`] changed, in terms a consumer of the delta
+/// (incremental fingerprints, site rescans) can act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpliceInfo {
+    /// Base-graph id → final id (`None` for removed nodes).
+    pub node_map: Vec<Option<NodeId>>,
+    /// Final ids of the added nodes, in creation order.
+    pub added: Vec<NodeId>,
+    /// Lowest final-graph id whose position or content differs from the base
+    /// graph; every node below it is bit-identical (same id, op, shape, and
+    /// predecessor list). Equal to the graph length when nothing changed.
+    pub first_changed: NodeId,
+}
+
+impl SpliceInfo {
+    /// Maps a base-graph id to its final id, `None` if it was removed.
+    pub fn map(&self, id: NodeId) -> Option<NodeId> {
+        self.node_map[id.index()]
+    }
+}
+
+/// A node staged for insertion (shape already inferred).
+#[derive(Debug, Clone)]
+struct AddedNode {
+    name: String,
+    op: Op,
+    shape: TensorShape,
+    preds: Vec<NodeId>,
+}
+
+/// A pending batch edit of a [`Graph`]: remove a set of nodes, splice in
+/// replacements at one of the vacated positions, and rewire consumers — all
+/// in O(|edit|), with one compact copy at [`GraphEdit::finish`].
+///
+/// Working-id space: base-graph ids stay valid while the edit is staged;
+/// nodes created by [`GraphEdit::add_node`] get provisional ids continuing
+/// after the base graph (`base.len()`, `base.len() + 1`, …). Both kinds may
+/// appear as predecessors of later added nodes. `finish` renumbers
+/// everything compactly.
+///
+/// # Example
+///
+/// ```
+/// use serenity_ir::edit::GraphEdit;
+/// use serenity_ir::{Graph, Op, TensorShape, DType};
+///
+/// # fn main() -> Result<(), serenity_ir::GraphError> {
+/// let mut g = Graph::new("g");
+/// let x = g.add_input("x", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+/// let a = g.add(Op::Relu, &[x])?;
+/// let y = g.add(Op::Sigmoid, &[a])?;
+/// g.mark_output(y);
+///
+/// // Replace the relu with a sigmoid, in place.
+/// let mut edit = GraphEdit::new(&g, a);
+/// let replacement = edit.add_node("swapped", Op::Sigmoid, &[x])?;
+/// edit.redirect(a, replacement);
+/// edit.remove(a);
+/// let (spliced, info) = edit.finish()?;
+/// assert_eq!(spliced.len(), g.len());
+/// assert_eq!(info.added.len(), 1);
+/// assert!(matches!(spliced.node(info.added[0]).op, Op::Sigmoid));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GraphEdit<'g> {
+    base: &'g Graph,
+    /// Base position where added nodes materialize. Must be tombstoned by
+    /// the time `finish` runs (added nodes occupy a *vacated* slot).
+    anchor: NodeId,
+    removed: Vec<NodeId>,
+    added: Vec<AddedNode>,
+    /// Consumer rewiring: edges into `.0` become edges into `.1` (working
+    /// ids). At most one entry per source node; targets must be live.
+    redirects: Vec<(NodeId, NodeId)>,
+}
+
+impl<'g> GraphEdit<'g> {
+    /// Starts an edit of `base`. Nodes added later materialize at the
+    /// position of `anchor`, which must be removed before
+    /// [`GraphEdit::finish`] (rewrites splice replacements into the slot of
+    /// the node they replace, preserving the rebuild numbering).
+    pub fn new(base: &'g Graph, anchor: NodeId) -> Self {
+        GraphEdit { base, anchor, removed: Vec::new(), added: Vec::new(), redirects: Vec::new() }
+    }
+
+    /// Number of nodes the finished graph will have.
+    pub fn len(&self) -> usize {
+        self.base.len() - self.removed.len() + self.added.len()
+    }
+
+    /// Whether the finished graph would be empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shape of a working node (base or added).
+    fn shape_of(&self, id: NodeId) -> Result<&TensorShape, GraphError> {
+        if let Some(node) = self.base.get(id) {
+            return Ok(&node.shape);
+        }
+        self.added
+            .get(id.index() - self.base.len())
+            .map(|n| &n.shape)
+            .ok_or(GraphError::UnknownNode(id))
+    }
+
+    /// Stages a new node computing `op` over `preds` (working ids), infers
+    /// its output shape, and returns its working id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a predecessor is unknown or duplicated, or the
+    /// shapes are incompatible with `op` (same contract as [`Graph::add`]).
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        preds: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        for (i, &p) in preds.iter().enumerate() {
+            if preds[..i].contains(&p) {
+                return Err(GraphError::DuplicateInput(p));
+            }
+        }
+        let in_shapes = preds.iter().map(|&p| self.shape_of(p)).collect::<Result<Vec<_>, _>>()?;
+        let shape = infer_shape(&op, &in_shapes, None)?;
+        let id = NodeId::from_index(self.base.len() + self.added.len());
+        self.added.push(AddedNode { name: name.into(), op, shape, preds: preds.to_vec() });
+        Ok(id)
+    }
+
+    /// Tombstones base node `id`: it will not appear in the finished graph.
+    /// Its surviving consumers must be rewired via [`GraphEdit::redirect`]
+    /// (or be removed themselves) — a dangling edge fails `finish`.
+    pub fn remove(&mut self, id: NodeId) {
+        debug_assert!(id.index() < self.base.len(), "only base nodes can be removed");
+        if !self.removed.contains(&id) {
+            self.removed.push(id);
+        }
+    }
+
+    /// Rewires every edge into `old` (a base node about to be removed) to
+    /// read `new` (any live working node) instead, including `old`'s
+    /// explicit-output marking.
+    pub fn redirect(&mut self, old: NodeId, new: NodeId) {
+        debug_assert!(
+            !self.redirects.iter().any(|&(o, _)| o == old),
+            "at most one redirect per source node"
+        );
+        self.redirects.push((old, new));
+    }
+
+    /// Resolves a working id through the redirect table (one hop).
+    fn resolve(&self, id: NodeId) -> NodeId {
+        self.redirects.iter().find(|&&(o, _)| o == id).map_or(id, |&(_, n)| n)
+    }
+
+    /// Renumbers compactly and returns the finished graph plus the
+    /// [`SpliceInfo`] describing the delta. One pass over the base graph; no
+    /// shape inference, no hashing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if a live node (or an explicit
+    /// output) still references a removed node after redirects, and
+    /// [`GraphError::InvalidOrder`] if the splice would place an added node
+    /// before one of its predecessors (the anchor position must come after
+    /// every base predecessor of every added node).
+    pub fn finish(self) -> Result<(Graph, SpliceInfo), GraphError> {
+        let n = self.base.len();
+        let k = self.added.len();
+        if k > 0 && !self.removed.contains(&self.anchor) {
+            return Err(GraphError::InvalidOrder {
+                detail: format!("splice anchor {} must be a removed node", self.anchor),
+            });
+        }
+        let mut tomb = vec![false; n];
+        for &r in &self.removed {
+            tomb[r.index()] = true;
+        }
+
+        // Final ids: live base nodes keep their relative order; added nodes
+        // sit where the anchor was (the rebuild-walk numbering).
+        let mut node_map: Vec<Option<NodeId>> = vec![None; n];
+        let mut added_map: Vec<NodeId> = Vec::with_capacity(k);
+        let mut next = 0u32;
+        for u in 0..n {
+            if u == self.anchor.index() {
+                for _ in 0..k {
+                    added_map.push(NodeId::from_index(next as usize));
+                    next += 1;
+                }
+            }
+            if !tomb[u] {
+                node_map[u] = Some(NodeId::from_index(next as usize));
+                next += 1;
+            }
+        }
+        let m = next as usize;
+        debug_assert_eq!(m, n - self.removed.len() + k);
+
+        let final_of = |working: NodeId| -> Result<NodeId, GraphError> {
+            let resolved = self.resolve(working);
+            if resolved.index() < n {
+                node_map[resolved.index()].ok_or(GraphError::UnknownNode(working))
+            } else {
+                added_map.get(resolved.index() - n).copied().ok_or(GraphError::UnknownNode(working))
+            }
+        };
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(m);
+        let mut preds: Vec<Vec<NodeId>> = Vec::with_capacity(m);
+        let mut added_iter = self.added.iter();
+        for u in 0..n {
+            if u == self.anchor.index() {
+                for (i, staged) in added_iter.by_ref().enumerate() {
+                    let id = added_map[i];
+                    let mapped =
+                        staged.preds.iter().map(|&p| final_of(p)).collect::<Result<Vec<_>, _>>()?;
+                    if mapped.iter().any(|&p| p >= id) {
+                        return Err(GraphError::InvalidOrder {
+                            detail: format!(
+                                "added node {id} spliced before one of its predecessors"
+                            ),
+                        });
+                    }
+                    nodes.push(Node {
+                        id,
+                        name: staged.name.clone(),
+                        op: staged.op.clone(),
+                        shape: staged.shape.clone(),
+                    });
+                    preds.push(mapped);
+                }
+            }
+            if tomb[u] {
+                continue;
+            }
+            let node = self.base.node(NodeId::from_index(u));
+            let id = node_map[u].expect("live node was numbered");
+            let mapped = self
+                .base
+                .preds(node.id)
+                .iter()
+                .map(|&p| final_of(p))
+                .collect::<Result<Vec<_>, _>>()?;
+            nodes.push(Node {
+                id,
+                name: node.name.clone(),
+                op: node.op.clone(),
+                shape: node.shape.clone(),
+            });
+            preds.push(mapped);
+        }
+
+        // Successor lists rebuilt in consumer-id order — the same order
+        // incremental construction produces.
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); m];
+        for (v, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs[p.index()].push(NodeId::from_index(v));
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(self.base.explicit_outputs().len());
+        for &o in self.base.explicit_outputs() {
+            let mapped = final_of(o)?;
+            if !outputs.contains(&mapped) {
+                outputs.push(mapped);
+            }
+        }
+
+        // Match the rebuild path's weight counter exactly: the maximum
+        // referenced weight id + 1 (unreferenced reservations do not carry
+        // over, exactly as a node-by-node rebuild would drop them).
+        let next_weight =
+            nodes.iter().filter_map(|node| node.op.weight().map(|w| w.id.0 + 1)).max().unwrap_or(0);
+
+        let first_changed = if self.removed.is_empty() && k == 0 {
+            NodeId::from_index(m)
+        } else {
+            let lowest_removed = self.removed.iter().copied().min().unwrap_or(self.anchor);
+            lowest_removed.min(self.anchor)
+        };
+
+        let graph = Graph::from_parts(
+            self.base.name().to_owned(),
+            nodes,
+            preds,
+            succs,
+            outputs,
+            next_weight,
+        );
+        let info = SpliceInfo { node_map, added: added_map, first_changed };
+        Ok((graph, info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, GraphBuilder};
+
+    fn diamond() -> (Graph, [NodeId; 4]) {
+        let mut g = Graph::new("diamond");
+        let a = g.add_input("a", TensorShape::nhwc(1, 4, 4, 2, DType::F32));
+        let b = g.add(Op::Relu, &[a]).unwrap();
+        let c = g.add(Op::Sigmoid, &[a]).unwrap();
+        let d = g.add(Op::Add, &[b, c]).unwrap();
+        g.mark_output(d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn no_op_edit_reproduces_the_graph() {
+        let (g, [_, b, ..]) = diamond();
+        let (out, info) = GraphEdit::new(&g, b).finish().unwrap();
+        assert_eq!(out, g);
+        assert_eq!(info.added, vec![]);
+        assert_eq!(info.first_changed, NodeId::from_index(g.len()));
+        assert!(info.node_map.iter().enumerate().all(|(i, m)| m == &Some(NodeId::from_index(i))));
+    }
+
+    #[test]
+    fn replace_one_node_in_place() {
+        let (g, [a, b, _, d]) = diamond();
+        let mut edit = GraphEdit::new(&g, b);
+        let swapped = edit.add_node("swapped", Op::Sigmoid, &[a]).unwrap();
+        edit.redirect(b, swapped);
+        edit.remove(b);
+        let (out, info) = edit.finish().unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.validate().is_ok());
+        // The replacement sits exactly where the removed node was.
+        assert_eq!(info.added, vec![b]);
+        assert_eq!(info.first_changed, b);
+        assert_eq!(out.node(b).name, "swapped");
+        assert_eq!(info.map(d), Some(d));
+        assert_eq!(out.preds(d), &[b, NodeId::from_index(2)]);
+        assert_eq!(out.outputs(), vec![d]);
+    }
+
+    #[test]
+    fn splice_removes_two_and_adds_three() {
+        // relu -> sigmoid pair replaced by a 3-node chain, consumers rewired.
+        let mut g = Graph::new("g");
+        let x = g.add_opaque("x", 8, &[]).unwrap();
+        let a = g.add_opaque("a", 4, &[x]).unwrap();
+        let b = g.add_opaque("b", 2, &[a]).unwrap();
+        let y = g.add_opaque("y", 1, &[b]).unwrap();
+        g.mark_output(y);
+
+        let mut edit = GraphEdit::new(&g, b);
+        let p = edit.add_node("p", Op::Relu, &[x]).unwrap();
+        let q = edit.add_node("q", Op::Relu, &[p]).unwrap();
+        let r = edit.add_node("r", Op::Add, &[p, q]).unwrap();
+        edit.redirect(b, r);
+        edit.remove(a);
+        edit.remove(b);
+        let (out, info) = edit.finish().unwrap();
+        assert!(out.validate().is_ok());
+        assert_eq!(out.len(), 5);
+        assert_eq!(info.first_changed, a);
+        // x keeps id 0; p,q,r take ids 1..4 (anchor b's position after a's
+        // removal shifts); y follows.
+        assert_eq!(out.node(NodeId::from_index(0)).name, "x");
+        assert_eq!(
+            info.added.iter().map(|id| out.node(*id).name.as_str()).collect::<Vec<_>>(),
+            ["p", "q", "r"]
+        );
+        let y_new = info.map(y).unwrap();
+        assert_eq!(out.node(y_new).name, "y");
+        assert_eq!(out.preds(y_new), &[info.added[2]]);
+        assert_eq!(out.outputs(), vec![y_new]);
+    }
+
+    #[test]
+    fn dangling_edge_is_an_error() {
+        let (g, [_, b, ..]) = diamond();
+        let mut edit = GraphEdit::new(&g, b);
+        edit.remove(b); // d still reads b, no redirect
+        assert!(matches!(edit.finish(), Err(GraphError::UnknownNode(id)) if id == b));
+    }
+
+    #[test]
+    fn unremoved_anchor_is_an_error() {
+        let (g, [a, b, ..]) = diamond();
+        let mut edit = GraphEdit::new(&g, b);
+        edit.add_node("extra", Op::Relu, &[a]).unwrap();
+        assert!(matches!(edit.finish(), Err(GraphError::InvalidOrder { .. })));
+    }
+
+    #[test]
+    fn anchor_before_predecessor_is_an_error() {
+        // Adding a node that reads c while anchored at b (< c) would place
+        // it before its predecessor.
+        let (g, [_, b, c, d]) = diamond();
+        let mut edit = GraphEdit::new(&g, b);
+        let swapped = edit.add_node("bad", Op::Relu, &[c]).unwrap();
+        edit.redirect(b, swapped);
+        edit.remove(b);
+        let _ = d;
+        assert!(matches!(edit.finish(), Err(GraphError::InvalidOrder { .. })));
+    }
+
+    #[test]
+    fn shape_inference_runs_at_add_time() {
+        let mut b = GraphBuilder::new("g");
+        let x = b.image_input("x", 4, 4, 2, DType::F32);
+        let l = b.conv1x1(x, 2).unwrap();
+        let r = b.conv1x1(x, 3).unwrap();
+        let g = b.finish();
+        let mut edit = GraphEdit::new(&g, l);
+        // Add over mismatched channel counts must fail immediately.
+        assert!(edit.add_node("bad", Op::Add, &[l, r]).is_err());
+        // Duplicate inputs are rejected like Graph::add.
+        assert!(matches!(
+            edit.add_node("dup", Op::Add, &[l, l]),
+            Err(GraphError::DuplicateInput(_))
+        ));
+    }
+
+    #[test]
+    fn matches_rebuild_on_concat_splice() {
+        // The rewrite-shaped edit: concat+consumer removed, partials + a
+        // combiner spliced at the consumer's position. Compare against a
+        // hand-rebuilt reference.
+        let mut b = GraphBuilder::new("cell");
+        let x = b.image_input("x", 4, 4, 2, DType::F32);
+        let l = b.conv1x1(x, 2).unwrap();
+        let r = b.conv1x1(x, 2).unwrap();
+        let cat = b.concat(&[l, r]).unwrap();
+        let mut g = b.finish();
+        let act = g.add(Op::Relu, &[cat]).unwrap();
+        let out = g.add(Op::Sigmoid, &[act]).unwrap();
+        g.mark_output(out);
+
+        // Push the relu through the concat: relu(l), relu(r), concat.
+        let mut edit = GraphEdit::new(&g, act);
+        let pl = edit.add_node("push0", Op::Relu, &[l]).unwrap();
+        let pr = edit.add_node("push1", Op::Relu, &[r]).unwrap();
+        let cat2 = edit.add_node("cat", Op::Concat { axis: 3 }, &[pl, pr]).unwrap();
+        edit.redirect(act, cat2);
+        edit.remove(cat);
+        edit.remove(act);
+        let (spliced, info) = edit.finish().unwrap();
+
+        let mut reference = Graph::new("cell");
+        let x2 = reference.add_input("x", g.node(x).shape.clone());
+        let l2 = reference.add_named("conv1x1_1", g.node(l).op.clone(), &[x2]).unwrap();
+        let r2 = reference.add_named("conv1x1_2", g.node(r).op.clone(), &[x2]).unwrap();
+        let pl2 = reference.add_named("push0", Op::Relu, &[l2]).unwrap();
+        let pr2 = reference.add_named("push1", Op::Relu, &[r2]).unwrap();
+        let cat3 = reference.add_named("cat", Op::Concat { axis: 3 }, &[pl2, pr2]).unwrap();
+        let out2 = reference.add_named("sigmoid_5", Op::Sigmoid, &[cat3]).unwrap();
+        reference.mark_output(out2);
+
+        assert!(crate::fingerprint::structural_eq(&spliced, &reference));
+        assert_eq!(info.first_changed, cat);
+        assert_eq!(info.map(out), Some(out2));
+    }
+}

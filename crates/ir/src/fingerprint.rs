@@ -39,35 +39,106 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One node's contribution to the fingerprint: a position-keyed splitmix of
+/// everything the scheduler observes about the node (op, shape, preds).
+fn node_contrib(graph: &Graph, id: crate::NodeId) -> u64 {
+    let node = graph.node(id);
+    let mut h = FxHasher::default();
+    // Ops and shapes derive `Hash` (all-integer fields, no floats), so
+    // the per-node hash is allocation-free — this runs per segment per
+    // candidate on the schedule memo's hot path. Opaque labels are
+    // cosmetic (the shape carries the bytes), so they are masked like
+    // names by hashing a fixed marker instead of the variant.
+    match &node.op {
+        Op::Opaque { .. } => h.write_u64(0x4f50_4151_5545_0000),
+        op => op.hash(&mut h),
+    }
+    node.shape.hash(&mut h);
+    for &p in graph.preds(id) {
+        h.write_u64(p.index() as u64);
+    }
+    // Zobrist-style: a per-position key stream keeps the combine O(1) per
+    // node and makes the accumulator independent of everything but content.
+    splitmix64(h.finish() ^ PHI.wrapping_mul(id.index() as u64 + 1))
+}
+
+/// Folds per-node contributions plus the length and output terms into the
+/// final hash.
+fn fold(len: usize, contribs: &[u64], outputs: &[crate::NodeId]) -> u64 {
+    let mut acc = splitmix64(len as u64);
+    for &c in contribs {
+        acc ^= c;
+    }
+    for &o in outputs {
+        acc ^= splitmix64(o.index() as u64 ^ 0xa5a5_a5a5_a5a5_a5a5);
+    }
+    acc
+}
+
 /// Canonical structural hash of `graph` (see the module docs for what is and
 /// is not observed). Stable across runs and threads: no pointer values, no
-/// `HashMap` iteration order, no randomized state.
+/// `HashMap` iteration order, no randomized state — and allocation-free
+/// (this runs per segment per candidate on the schedule memo's hot path;
+/// only [`FingerprintCache`] pays to retain the contribution stream).
 pub fn fingerprint(graph: &Graph) -> u64 {
     let mut acc = splitmix64(graph.len() as u64);
     for id in graph.node_ids() {
-        let node = graph.node(id);
-        let mut h = FxHasher::default();
-        // Ops and shapes derive `Hash` (all-integer fields, no floats), so
-        // the per-node hash is allocation-free — this runs per segment per
-        // candidate on the schedule memo's hot path. Opaque labels are
-        // cosmetic (the shape carries the bytes), so they are masked like
-        // names by hashing a fixed marker instead of the variant.
-        match &node.op {
-            Op::Opaque { .. } => h.write_u64(0x4f50_4151_5545_0000),
-            op => op.hash(&mut h),
-        }
-        node.shape.hash(&mut h);
-        for &p in graph.preds(id) {
-            h.write_u64(p.index() as u64);
-        }
-        // Zobrist-style: a per-position key stream keeps the combine O(1) per
-        // node and makes `acc` independent of everything but content.
-        acc ^= splitmix64(h.finish() ^ PHI.wrapping_mul(id.index() as u64 + 1));
+        acc ^= node_contrib(graph, id);
     }
     for &o in graph.explicit_outputs() {
         acc ^= splitmix64(o.index() as u64 ^ 0xa5a5_a5a5_a5a5_a5a5);
     }
     acc
+}
+
+/// A [`fingerprint`] kept together with its per-node contribution stream, so
+/// that after a graph splice ([`crate::edit::GraphEdit`]) the hash is
+/// re-derived by recomputing **only the suffix the splice disturbed** —
+/// positions below [`crate::edit::SpliceInfo::first_changed`] are bit-
+/// identical in id, op, shape, and predecessor list, so their contributions
+/// are reused verbatim.
+///
+/// The rewrite↔schedule search builds many candidate graphs per iteration,
+/// each one splice away from the current graph; carrying a cache per graph
+/// turns whole-graph fingerprinting from O(V hashes) per candidate into
+/// O(suffix), and is the groundwork for a process-wide compile cache keyed by
+/// whole-graph fingerprints (see ROADMAP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintCache {
+    hash: u64,
+    contribs: Vec<u64>,
+}
+
+impl FingerprintCache {
+    /// Fingerprints `graph` from scratch, retaining the contribution stream.
+    pub fn new(graph: &Graph) -> Self {
+        let contribs: Vec<u64> = graph.node_ids().map(|id| node_contrib(graph, id)).collect();
+        let hash = fold(graph.len(), &contribs, graph.explicit_outputs());
+        FingerprintCache { hash, contribs }
+    }
+
+    /// The cached hash — always equal to [`fingerprint`] of the graph this
+    /// cache was built (or last updated) from.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Re-fingerprints `spliced` — a graph derived from this cache's graph
+    /// by an edit that left every node below `first_changed` untouched (see
+    /// [`crate::edit::SpliceInfo::first_changed`]) — reusing the unchanged
+    /// prefix. Equal to `FingerprintCache::new(spliced)`, property-checked
+    /// in the test suite; a `first_changed` past either graph's length
+    /// degrades safely to a full recompute of the differing suffix.
+    pub fn update(&self, spliced: &Graph, first_changed: crate::NodeId) -> Self {
+        let keep = first_changed.index().min(self.contribs.len()).min(spliced.len());
+        let mut contribs = Vec::with_capacity(spliced.len());
+        contribs.extend_from_slice(&self.contribs[..keep]);
+        for id in (keep..spliced.len()).map(crate::NodeId::from_index) {
+            contribs.push(node_contrib(spliced, id));
+        }
+        let hash = fold(spliced.len(), &contribs, spliced.explicit_outputs());
+        FingerprintCache { hash, contribs }
+    }
 }
 
 /// The exact equality [`fingerprint`] approximates: same node count, and per
@@ -153,5 +224,52 @@ mod tests {
     fn fingerprint_is_deterministic() {
         let g = cell("g", "r");
         assert_eq!(fingerprint(&g), fingerprint(&g.clone()));
+    }
+
+    #[test]
+    fn cache_matches_plain_fingerprint() {
+        let g = cell("g", "r");
+        let cache = FingerprintCache::new(&g);
+        assert_eq!(cache.hash(), fingerprint(&g));
+    }
+
+    #[test]
+    fn incremental_update_equals_scratch_recompute() {
+        use crate::edit::GraphEdit;
+        let g = cell("g", "r");
+        let cache = FingerprintCache::new(&g);
+
+        // Replace the relu tail (last node) with a sigmoid, in place.
+        let relu = crate::NodeId::from_index(g.len() - 1);
+        let cat = g.preds(relu)[0];
+        let mut edit = GraphEdit::new(&g, relu);
+        let swapped = edit.add_node("tail", Op::Sigmoid, &[cat]).unwrap();
+        edit.redirect(relu, swapped);
+        edit.remove(relu);
+        let (spliced, info) = edit.finish().unwrap();
+
+        let updated = cache.update(&spliced, info.first_changed);
+        assert_eq!(updated.hash(), fingerprint(&spliced));
+        assert_eq!(updated, FingerprintCache::new(&spliced));
+        assert_ne!(updated.hash(), cache.hash());
+    }
+
+    #[test]
+    fn update_with_zero_prefix_is_a_full_recompute() {
+        let a = cell("a", "r");
+        let b = cell_wider();
+        let cache = FingerprintCache::new(&a);
+        let updated = cache.update(&b, crate::NodeId::from_index(0));
+        assert_eq!(updated.hash(), fingerprint(&b));
+    }
+
+    fn cell_wider() -> Graph {
+        let mut b = GraphBuilder::new("w");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let l = b.conv1x1(x, 8).unwrap();
+        let r = b.conv1x1(x, 8).unwrap();
+        let cat = b.concat(&[l, r]).unwrap();
+        b.mark_output(cat);
+        b.finish()
     }
 }

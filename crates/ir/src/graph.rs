@@ -185,6 +185,25 @@ impl Graph {
         Ok(id)
     }
 
+    /// Assembles a graph directly from pre-validated parts — the splice path
+    /// of [`crate::edit::GraphEdit::finish`], which has already inferred
+    /// every shape and renumbered every edge. Callers must uphold the
+    /// construction invariants (`nodes[i].id == i`, predecessor/successor
+    /// tables consistent, predecessors precede consumers).
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        preds: Vec<Vec<NodeId>>,
+        succs: Vec<Vec<NodeId>>,
+        outputs: Vec<NodeId>,
+        next_weight: u32,
+    ) -> Self {
+        debug_assert!(nodes.iter().enumerate().all(|(i, n)| n.id.index() == i));
+        debug_assert_eq!(nodes.len(), preds.len());
+        debug_assert_eq!(nodes.len(), succs.len());
+        Graph { name, nodes, preds, succs, outputs, next_weight }
+    }
+
     /// Renames a node (graph structure is unaffected).
     ///
     /// # Panics

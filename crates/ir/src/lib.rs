@@ -23,7 +23,12 @@
 //!   enables dynamic programming (§3.1).
 //! * Canonical structural fingerprints ([`fingerprint`]): Zobrist-style
 //!   content hashes of graphs/segments, keying the schedule memo of the
-//!   iterative rewrite↔schedule search.
+//!   iterative rewrite↔schedule search, with an incremental update path
+//!   ([`fingerprint::FingerprintCache`]) for spliced graphs.
+//! * In-place graph splicing ([`edit`]): [`edit::GraphEdit`] applies a
+//!   rewrite delta with tombstoned ids and one lazy renumbering pass, so
+//!   building a rewrite candidate costs O(site neighborhood) instead of a
+//!   whole-graph rebuild with shape re-inference.
 //!
 //! # Example
 //!
@@ -53,6 +58,7 @@ mod builder;
 pub mod cuts;
 pub mod dot;
 mod dtype;
+pub mod edit;
 mod error;
 pub mod fingerprint;
 pub mod fxhash;

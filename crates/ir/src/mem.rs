@@ -361,6 +361,187 @@ impl<'g> CostModel<'g> {
             .max()
             .unwrap_or(0)
     }
+
+    /// Flattens this model into a [`TransitionTable`] for inner-loop search
+    /// engines.
+    pub fn transition_table(&self) -> TransitionTable {
+        TransitionTable::new(self)
+    }
+}
+
+/// A cache-dense flattening of [`CostModel`] for scheduler inner loops.
+///
+/// [`CostModel`] keeps each adjacency mask in its own [`NodeSet`] (a
+/// separate heap allocation), so a search engine's transition — one
+/// alloc-cost lookup, one free-cost lookup, and a readiness test per
+/// successor — chases several cold pointers. At millions of transitions per
+/// search that pointer-chasing dominates. The table packs every mask the
+/// transition reads into **one** word pool and pre-joins the per-edge data
+/// (releasable bytes with the consumer mask, successor id with its
+/// predecessor mask), so a transition touches a handful of contiguous
+/// arrays.
+///
+/// Semantics are identical to the [`CostModel`] word entry points —
+/// property-checked in the test suite; the table is derived data, valid as
+/// long as the graph it was built from is unchanged.
+#[derive(Debug, Clone)]
+pub struct TransitionTable {
+    words: usize,
+    /// All masks, `words` u64s per entry; offsets below index this pool.
+    mask_pool: Vec<u64>,
+    /// Per node: `(mask offset or u32::MAX, bytes)`. With a mask (slab
+    /// members): charge `bytes` iff no *other* masked node is scheduled.
+    /// Without: charge `bytes` unconditionally (zero for slab heads).
+    alloc: Vec<(u32, u64)>,
+    /// Per node, bytes freed for itself at its own step.
+    self_free: Vec<u64>,
+    /// `(consumer-mask offset, releasable bytes)` per freeing predecessor,
+    /// grouped by consumer; `free_ranges[u]..free_ranges[u+1]` is node `u`'s
+    /// slice.
+    free_edges: Vec<(u32, u64)>,
+    free_ranges: Vec<u32>,
+    /// `(successor, its predecessor-mask offset)` per edge, grouped by
+    /// producer; `succ_ranges[u]..succ_ranges[u+1]` is node `u`'s slice.
+    /// Only successors with **several** predecessors appear — single-pred
+    /// successors are folded into [`TransitionTable::auto_ready`].
+    succ_edges: Vec<(NodeId, u32)>,
+    succ_ranges: Vec<u32>,
+    /// Per node, the mask of successors whose *only* predecessor is that
+    /// node: they become ready the instant it is scheduled, so engines OR
+    /// this mask into `z` wholesale instead of testing each one
+    /// (`u32::MAX` when the node has no such successors).
+    auto_ready: Vec<u32>,
+}
+
+impl TransitionTable {
+    fn new(cost: &CostModel<'_>) -> Self {
+        let graph = cost.graph;
+        let n = graph.len();
+        let words = n.div_ceil(64);
+        let mut mask_pool: Vec<u64> = Vec::new();
+        let mut intern = |set: &NodeSet| -> u32 {
+            let off = mask_pool.len() as u32;
+            let have = set.as_words();
+            mask_pool.extend_from_slice(&have[..have.len().min(words)]);
+            mask_pool.resize(off as usize + words, 0);
+            off
+        };
+        // Predecessor and successor masks are referenced once per adjacent
+        // edge; intern each once, up front, so the pool stays O(V·words)
+        // rather than O(E·words).
+        let pred_offs: Vec<u32> = (0..n).map(|u| intern(&cost.pred_masks[u])).collect();
+        let succ_offs: Vec<u32> = (0..n).map(|u| intern(&cost.succ_masks[u])).collect();
+        let member_offs: Vec<u32> = (0..n).map(|u| intern(&cost.member_masks[u])).collect();
+
+        let mut alloc = Vec::with_capacity(n);
+        let mut free_edges = Vec::new();
+        let mut free_ranges = Vec::with_capacity(n + 1);
+        let mut succ_edges = Vec::new();
+        let mut succ_ranges = Vec::with_capacity(n + 1);
+        let mut auto_ready = Vec::with_capacity(n);
+        free_ranges.push(0);
+        succ_ranges.push(0);
+        for u in graph.node_ids() {
+            alloc.push(if let Some(slab) = cost.slabs.member_of(u) {
+                (member_offs[slab.index()], cost.out_bytes[slab.index()])
+            } else if cost.slabs.is_head(u) {
+                (u32::MAX, 0)
+            } else {
+                (u32::MAX, cost.out_bytes[u.index()])
+            });
+            for &p in graph.preds(u) {
+                let bytes = cost.releasable[p.index()];
+                if bytes > 0 {
+                    free_edges.push((succ_offs[p.index()], bytes));
+                }
+            }
+            free_ranges.push(free_edges.len() as u32);
+            let mut auto = NodeSet::with_capacity(n);
+            for &s in graph.succs(u) {
+                if graph.preds(s).len() == 1 {
+                    auto.insert(s);
+                } else {
+                    succ_edges.push((s, pred_offs[s.index()]));
+                }
+            }
+            succ_ranges.push(succ_edges.len() as u32);
+            auto_ready.push(if auto.is_empty() { u32::MAX } else { intern(&auto) });
+        }
+        TransitionTable {
+            words,
+            mask_pool,
+            alloc,
+            self_free: cost.self_free.clone(),
+            free_edges,
+            free_ranges,
+            succ_edges,
+            succ_ranges,
+            auto_ready,
+        }
+    }
+
+    /// Bitset words per mask (`⌈n/64⌉`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The mask stored at `off` (`words` u64s), for offsets handed out by
+    /// [`TransitionTable::succ_edges`] and [`TransitionTable::auto_ready`].
+    #[inline]
+    pub fn mask(&self, off: u32) -> &[u64] {
+        &self.mask_pool[off as usize..off as usize + self.words]
+    }
+
+    /// [`CostModel::alloc_bytes_words`] against the flattened data.
+    #[inline]
+    pub fn alloc_bytes(&self, scheduled: &[u64], u: NodeId) -> u64 {
+        let (off, bytes) = self.alloc[u.index()];
+        if off == u32::MAX {
+            return bytes;
+        }
+        if wordset::intersects_excluding(self.mask(off), scheduled, u) {
+            0
+        } else {
+            bytes
+        }
+    }
+
+    /// [`CostModel::free_bytes_words`] against the flattened data
+    /// (`scheduled` must not yet include `u`).
+    #[inline]
+    pub fn free_bytes(&self, scheduled: &[u64], u: NodeId) -> u64 {
+        let mut freed = self.self_free[u.index()];
+        let range = self.free_ranges[u.index()] as usize..self.free_ranges[u.index() + 1] as usize;
+        for &(off, bytes) in &self.free_edges[range] {
+            if wordset::is_subset_with(self.mask(off), scheduled, u) {
+                freed += bytes;
+            }
+        }
+        freed
+    }
+
+    /// Offset of `u`'s auto-ready successor mask (successors with no other
+    /// predecessor), or `u32::MAX` when there are none.
+    #[inline]
+    pub fn auto_ready(&self, u: NodeId) -> u32 {
+        self.auto_ready[u.index()]
+    }
+
+    /// `u`'s multi-predecessor successors, each paired with its
+    /// predecessor-mask offset for [`TransitionTable::mask_ready`].
+    #[inline]
+    pub fn succ_edges(&self, u: NodeId) -> &[(NodeId, u32)] {
+        &self.succ_edges
+            [self.succ_ranges[u.index()] as usize..self.succ_ranges[u.index() + 1] as usize]
+    }
+
+    /// Whether the mask at `off` (from [`TransitionTable::succ_edges`]) is
+    /// contained in `scheduled` — the readiness test for that successor.
+    #[inline]
+    pub fn mask_ready(&self, scheduled: &[u64], off: u32) -> bool {
+        wordset::is_subset(self.mask(off), scheduled)
+    }
 }
 
 /// Simulates `order` on `graph` and returns its memory profile.

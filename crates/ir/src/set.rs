@@ -257,6 +257,15 @@ pub mod wordset {
         words[word] |= bit;
     }
 
+    /// ORs `mask` into `words` (missing high words of either side are
+    /// treated as zero).
+    #[inline]
+    pub fn union_into(words: &mut [u64], mask: &[u64]) {
+        for (w, &m) in words.iter_mut().zip(mask) {
+            *w |= m;
+        }
+    }
+
     /// Removes `id` (a no-op when the slice does not cover it).
     #[inline]
     pub fn remove(words: &mut [u64], id: NodeId) {
