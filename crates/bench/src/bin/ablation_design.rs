@@ -1,4 +1,4 @@
-//! Design-choice ablations recorded in DESIGN.md:
+//! Design-choice ablations of this reproduction:
 //!
 //! 1. **Allocator strategy** — first-fit (TFLite's online arena) versus
 //!    greedy-by-size (TFLite's offline planner) versus no reuse, on the

@@ -12,6 +12,10 @@
 //!   network plus concat-aggregation RandWire instances, compiled with the
 //!   loop off and on (rewrite-loop wall time, peak deltas, iteration count,
 //!   schedule-memo hit rate).
+//! * `cache_results` — the process-wide [`CompileCache`]: several
+//!   SwiftNet / concat-RandWire variants compiled twice each in one
+//!   process through one shared cache (cold vs. warm wall time,
+//!   cross-request cache hits, and a bit-identical cold ≡ warm check).
 //!
 //! The emitted file is the perf trajectory future PRs are measured against:
 //! re-run the bin before and after an optimization and compare
@@ -29,6 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serenity_core::backend::{BeamBackend, CompileContext, DpBackend, SchedulerBackend};
+use serenity_core::cache::CompileCache;
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
 use serenity_core::registry::BackendRegistry;
@@ -94,6 +99,29 @@ fn rewrite_workloads(smoke: bool) -> Vec<Workload> {
         suite().into_iter().map(|b| Workload { id: b.id.into(), graph: b.graph }).collect();
     all.push(Workload { id: "randwire-concat-n12".into(), graph: randwire_concat(12, 1, 16, 16) });
     all.push(Workload { id: "randwire-concat-n16".into(), graph: randwire_concat(16, 9, 16, 12) });
+    all
+}
+
+/// Workloads of the compile-cache section: SwiftNet / concat-RandWire
+/// variants compiled in one process. Includes a *structural twin* (same
+/// cells, fresh instance) so even the twin's first compile demonstrates
+/// cross-request reuse — exactly the NAS-family scenario the cache targets.
+fn cache_workloads(smoke: bool) -> Vec<Workload> {
+    if smoke {
+        let cfg = SwiftNetConfig { hw: 16, in_channels: 3, width: 1 };
+        return vec![
+            Workload { id: "swiftnet-w1".into(), graph: swiftnet_with(&cfg) },
+            Workload { id: "swiftnet-w1-twin".into(), graph: swiftnet_with(&cfg) },
+            Workload { id: "randwire-concat-n8".into(), graph: randwire_concat(8, 5, 8, 8) },
+        ];
+    }
+    let mut all: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|b| b.id.starts_with("swiftnet"))
+        .map(|b| Workload { id: b.id.into(), graph: b.graph })
+        .collect();
+    all.push(Workload { id: "swiftnet-full".into(), graph: serenity_nets::swiftnet::swiftnet() });
+    all.push(Workload { id: "randwire-concat-n12".into(), graph: randwire_concat(12, 1, 16, 16) });
     all
 }
 
@@ -292,6 +320,92 @@ fn measure_rewrite(workload: &Workload, iters: usize, check_parallel: bool) -> R
     }
 }
 
+struct CacheRow {
+    workload: String,
+    nodes: usize,
+    ok: bool,
+    error: Option<String>,
+    peak_bytes: u64,
+    cold_wall: Duration,
+    warm_wall: Duration,
+    /// Cross-request cache hits observed by the *cold* (first) compile of
+    /// this workload — non-zero when an earlier workload in the same
+    /// process shared structure (e.g. the structural twin).
+    cold_cache_hits: u64,
+    /// Cache hits observed by the warm (second) compile.
+    warm_cache_hits: u64,
+    /// Whether the warm compile reproduced the cold one bit-identically
+    /// (schedule, peak, compiled graph, applied rewrites).
+    bit_identical: Option<bool>,
+}
+
+/// Compiles every workload twice through one shared [`CompileCache`]: the
+/// cold pass populates it, the warm pass must replay — with warm results
+/// bit-identical to cold ones (the cache's core correctness invariant,
+/// asserted by CI's smoke run).
+fn measure_cache(workloads: &[Workload]) -> Vec<CacheRow> {
+    let cache = Arc::new(CompileCache::new());
+    let compiler = Serenity::builder().allocator(None).compile_cache(Arc::clone(&cache)).build();
+    let mut rows: Vec<CacheRow> = Vec::with_capacity(workloads.len());
+    let mut cold_runs = Vec::with_capacity(workloads.len());
+    for workload in workloads {
+        let started = Instant::now();
+        match compiler.compile(&workload.graph) {
+            Ok(compiled) => {
+                rows.push(CacheRow {
+                    workload: workload.id.clone(),
+                    nodes: workload.graph.len(),
+                    ok: true,
+                    error: None,
+                    peak_bytes: compiled.peak_bytes,
+                    cold_wall: started.elapsed(),
+                    warm_wall: Duration::ZERO,
+                    cold_cache_hits: compiled.stats.cache_hits,
+                    warm_cache_hits: 0,
+                    bit_identical: None,
+                });
+                cold_runs.push(Some(compiled));
+            }
+            Err(e) => {
+                rows.push(CacheRow {
+                    workload: workload.id.clone(),
+                    nodes: workload.graph.len(),
+                    ok: false,
+                    error: Some(format!("cold: {e}")),
+                    peak_bytes: 0,
+                    cold_wall: Duration::ZERO,
+                    warm_wall: Duration::ZERO,
+                    cold_cache_hits: 0,
+                    warm_cache_hits: 0,
+                    bit_identical: None,
+                });
+                cold_runs.push(None);
+            }
+        }
+    }
+    for ((workload, row), cold) in workloads.iter().zip(&mut rows).zip(&cold_runs) {
+        let Some(cold) = cold else { continue };
+        let started = Instant::now();
+        match compiler.compile(&workload.graph) {
+            Ok(warm) => {
+                row.warm_wall = started.elapsed();
+                row.warm_cache_hits = warm.stats.cache_hits;
+                row.bit_identical = Some(
+                    warm.schedule == cold.schedule
+                        && warm.peak_bytes == cold.peak_bytes
+                        && warm.graph == cold.graph
+                        && warm.rewrites == cold.rewrites,
+                );
+            }
+            Err(e) => {
+                row.ok = false;
+                row.error = Some(format!("warm: {e}"));
+            }
+        }
+    }
+    rows
+}
+
 fn main() {
     let mut out = String::from("BENCH_sched.json");
     let mut smoke = false;
@@ -369,6 +483,28 @@ fn main() {
         rewrite_rows.push(row);
     }
 
+    println!();
+    let cache_rows = measure_cache(&cache_workloads(smoke));
+    for row in &cache_rows {
+        if row.ok {
+            println!(
+                "{:<18} cache      cold {:>10.3?}  warm {:>10.3?}  hits {:>3}/{:<3}  identical {}",
+                row.workload,
+                row.cold_wall,
+                row.warm_wall,
+                row.cold_cache_hits,
+                row.warm_cache_hits,
+                row.bit_identical.map_or("-".into(), |b| b.to_string()),
+            );
+        } else {
+            println!(
+                "{:<18} cache      FAILED: {}",
+                row.workload,
+                row.error.as_deref().unwrap_or("unknown"),
+            );
+        }
+    }
+
     let results: Vec<serde_json::Value> = rows
         .iter()
         .map(|r| {
@@ -418,12 +554,35 @@ fn main() {
             })
         })
         .collect();
+    let cache_results: Vec<serde_json::Value> = cache_rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "workload": r.workload,
+                "nodes": r.nodes,
+                "ok": r.ok,
+                "error": r.error,
+                "peak_bytes": r.peak_bytes,
+                "cold_wall_us": r.cold_wall.as_micros() as u64,
+                "warm_wall_us": r.warm_wall.as_micros() as u64,
+                "warm_speedup": if r.warm_wall.as_secs_f64() > 0.0 {
+                    r.cold_wall.as_secs_f64() / r.warm_wall.as_secs_f64()
+                } else {
+                    0.0
+                },
+                "cold_cache_hits": r.cold_cache_hits,
+                "warm_cache_hits": r.warm_cache_hits,
+                "bit_identical": r.bit_identical,
+            })
+        })
+        .collect();
     let report = serde_json::json!({
-        "schema": "serenity-bench-sched/v2",
+        "schema": "serenity-bench-sched/v3",
         "mode": if smoke { "smoke" } else { "full" },
         "iters": iters,
         "results": results,
         "rewrite_results": rewrite_results,
+        "cache_results": cache_results,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, rendered + "\n").unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

@@ -2,7 +2,7 @@
 //! accumulate counts and weight counts, computed from the synthesized
 //! graphs. The paper's full-network values and top-1 accuracies are quoted
 //! for reference (accuracy requires training, which is out of scope for a
-//! scheduling reproduction; see DESIGN.md).
+//! scheduling reproduction).
 //!
 //! Run with: `cargo run --release -p serenity-bench --bin table1_networks`
 

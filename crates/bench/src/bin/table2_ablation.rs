@@ -97,7 +97,7 @@ fn main() {
     println!("\npaper caveat: our whole-graph DP memoizes zero-indegree signatures,");
     println!("which already collapse to a single state at every cell boundary, so");
     println!("row 1 is far faster here than the paper's \"straightforward\"");
-    println!("implementation (see EXPERIMENTS.md).");
+    println!("implementation.");
     let _ = AdaptiveSoftBudget::new(); // doc link anchor
     let _: Option<&Graph> = None;
     let _ = DpConfig::default();

@@ -1,6 +1,7 @@
 //! Shared plumbing for the benchmark harness that regenerates every table
-//! and figure of the SERENITY paper (see DESIGN.md §5 for the experiment
-//! index and EXPERIMENTS.md for recorded results).
+//! and figure of the SERENITY paper (each bin under `src/bin/` names the
+//! table or figure it reproduces; README.md explains how to rerun the
+//! tracked `BENCH_sched.json` emitter).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,9 +11,14 @@ usage:
   serenity backends                              list scheduler backends
   serenity suite                                 schedule every benchmark
   serenity generate <id|swiftnet-full> [-o FILE] emit a benchmark graph as JSON
-  serenity schedule <graph.json> [options]       schedule a graph
+  serenity schedule <graph.json> [more.json ...] [options]
+                                                 schedule one or more graphs
+                                                 (batch mode shares one
+                                                 compile cache across graphs)
       --scheduler <name>      scheduling backend (see `serenity backends`;
                               default adaptive)
+      --cache-bytes <N>       byte budget of the process-wide compile cache
+                              (default 64 MiB; 0 disables caching)
       --no-rewrite            disable identity graph rewriting
       --rewrite-iters <N>     cap the cost-guided rewrite loop at N accepted
                               candidates (0 disables rewriting; default 32)
@@ -52,10 +57,11 @@ pub enum Command {
         /// Output path (stdout when absent).
         output: Option<String>,
     },
-    /// Schedule a graph from a JSON file.
+    /// Schedule one or more graphs from JSON files (batch mode: all graphs
+    /// compile in one process and share one compile cache).
     Schedule {
-        /// Input path.
-        path: String,
+        /// Input paths, in compile order (at least one).
+        paths: Vec<String>,
         /// Backend name from the registry (`None` = default adaptive, or
         /// DP when a fixed budget is given).
         scheduler: Option<String>,
@@ -75,6 +81,9 @@ pub enum Command {
         threads: usize,
         /// Wall-clock compile deadline in milliseconds.
         deadline_ms: Option<u64>,
+        /// Compile-cache byte budget (`None` = default 64 MiB, `Some(0)`
+        /// disables caching).
+        cache_bytes: Option<u64>,
         /// Narrate compile events to stderr.
         verbose: bool,
         /// Emit JSON instead of a table.
@@ -131,6 +140,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "schedule" => {
             let path = it.next().ok_or("schedule: missing graph path")?.to_owned();
+            let mut paths = vec![path];
             let mut scheduler = None;
             let mut no_rewrite = false;
             let mut rewrite_iters = None;
@@ -140,11 +150,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut budget_kb = None;
             let mut threads = 1usize;
             let mut deadline_ms = None;
+            let mut cache_bytes = None;
             let mut verbose = false;
             let mut json = false;
             let mut map = false;
             while let Some(flag) = it.next() {
                 match flag {
+                    more if !more.starts_with('-') => paths.push(more.to_owned()),
                     "--no-rewrite" => no_rewrite = true,
                     "--verbose" => verbose = true,
                     "--json" => json = true,
@@ -181,6 +193,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         deadline_ms = Some(
                             raw.parse::<u64>()
                                 .map_err(|_| format!("schedule: bad deadline {raw}"))?,
+                        );
+                    }
+                    "--cache-bytes" => {
+                        let raw = it.next().ok_or("schedule: --cache-bytes needs a value")?;
+                        cache_bytes = Some(
+                            raw.parse::<u64>()
+                                .map_err(|_| format!("schedule: bad cache budget {raw}"))?,
                         );
                     }
                     "--allocator" => {
@@ -230,7 +249,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .into());
             }
             Ok(Command::Schedule {
-                path,
+                paths,
                 scheduler,
                 no_rewrite,
                 rewrite_iters,
@@ -240,6 +259,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 budget_kb,
                 threads,
                 deadline_ms,
+                cache_bytes,
                 verbose,
                 json,
                 map,
@@ -317,7 +337,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Schedule {
-                path: "g.json".into(),
+                paths: vec!["g.json".into()],
                 scheduler: None,
                 no_rewrite: true,
                 rewrite_iters: None,
@@ -327,6 +347,7 @@ mod tests {
                 budget_kb: Some(256),
                 threads: 4,
                 deadline_ms: None,
+                cache_bytes: None,
                 verbose: false,
                 json: true,
                 map: false,
@@ -335,12 +356,36 @@ mod tests {
     }
 
     #[test]
+    fn parses_batch_paths_and_cache_budget() {
+        let cmd = parse(&args("schedule a.json b.json c.json --cache-bytes 1048576")).unwrap();
+        match cmd {
+            Command::Schedule { paths, cache_bytes, .. } => {
+                assert_eq!(paths, vec!["a.json", "b.json", "c.json"]);
+                assert_eq!(cache_bytes, Some(1_048_576));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        // 0 disables caching; non-numeric budgets are rejected.
+        assert!(parse(&args("schedule g.json --cache-bytes 0")).is_ok());
+        assert!(parse(&args("schedule g.json --cache-bytes lots")).is_err());
+        // Positional paths may come after flags too.
+        let cmd = parse(&args("schedule a.json --json b.json")).unwrap();
+        match cmd {
+            Command::Schedule { paths, json, .. } => {
+                assert_eq!(paths, vec!["a.json", "b.json"]);
+                assert!(json);
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+    }
+
+    #[test]
     fn schedule_defaults() {
         let cmd = parse(&args("schedule g.json")).unwrap();
         assert_eq!(
             cmd,
             Command::Schedule {
-                path: "g.json".into(),
+                paths: vec!["g.json".into()],
                 scheduler: None,
                 no_rewrite: false,
                 rewrite_iters: None,
@@ -350,6 +395,7 @@ mod tests {
                 budget_kb: None,
                 threads: 1,
                 deadline_ms: None,
+                cache_bytes: None,
                 verbose: false,
                 json: false,
                 map: false,

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use serenity_core::backend::{AdaptiveBackend, CompileEvent, DpBackend, SchedulerBackend};
 use serenity_core::budget::BudgetConfig;
+use serenity_core::cache::CompileCache;
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
 use serenity_core::registry::BackendRegistry;
@@ -23,7 +24,7 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Suite => run_suite(),
         Command::Generate { id, output } => generate(&id, output.as_deref()),
         Command::Schedule {
-            path,
+            paths,
             scheduler,
             no_rewrite,
             rewrite_iters,
@@ -33,6 +34,7 @@ pub fn run(command: Command) -> Result<(), String> {
             budget_kb,
             threads,
             deadline_ms,
+            cache_bytes,
             verbose,
             json,
             map,
@@ -47,11 +49,12 @@ pub fn run(command: Command) -> Result<(), String> {
                 budget_kb,
                 threads,
                 deadline_ms,
+                cache_bytes,
                 verbose,
                 json,
                 map,
             };
-            schedule(&path, options)
+            schedule(&paths, options)
         }
         Command::Dot { path } => {
             let graph = load(&path)?;
@@ -143,6 +146,7 @@ struct ScheduleOptions {
     budget_kb: Option<u64>,
     threads: usize,
     deadline_ms: Option<u64>,
+    cache_bytes: Option<u64>,
     verbose: bool,
     json: bool,
     map: bool,
@@ -193,7 +197,10 @@ fn pick_backend(options: &ScheduleOptions) -> Result<Arc<dyn SchedulerBackend>, 
     })
 }
 
-fn compiler(options: &ScheduleOptions) -> Result<Serenity, String> {
+fn compiler(
+    options: &ScheduleOptions,
+    cache: Option<&Arc<CompileCache>>,
+) -> Result<Serenity, String> {
     // `--rewrite-iters 0` means "off", like --no-rewrite.
     let rewrite = if options.no_rewrite || options.rewrite_iters == Some(0) {
         RewriteMode::Off
@@ -204,6 +211,9 @@ fn compiler(options: &ScheduleOptions) -> Result<Serenity, String> {
         .rewrite(rewrite)
         .backend(pick_backend(options)?)
         .allocator(options.allocator);
+    if let Some(cache) = cache {
+        builder = builder.compile_cache(Arc::clone(cache));
+    }
     let mut search = RewriteSearchConfig { threads: options.rewrite_threads, ..Default::default() };
     if let Some(iters) = options.rewrite_iters.filter(|&n| n > 0) {
         search.max_iterations = iters;
@@ -248,6 +258,16 @@ fn render_event(event: &CompileEvent) -> String {
             "memo hit : segment #{index} ({nodes} nodes) replayed at {:.1} KiB",
             *peak_bytes as f64 / 1024.0
         ),
+        CompileEvent::SegmentCacheHit { index, nodes, peak_bytes } => format!(
+            "cache hit: segment #{index} ({nodes} nodes) replayed at {:.1} KiB",
+            *peak_bytes as f64 / 1024.0
+        ),
+        CompileEvent::CacheReport { hits, misses, evictions, entries, entry_bytes } => format!(
+            "cache    : {hits} hits / {} lookups, {evictions} evictions, \
+             {entries} entries ({:.1} KiB resident)",
+            hits + misses,
+            *entry_bytes as f64 / 1024.0
+        ),
         CompileEvent::RewriteCandidateScored { rule, concat, consumer, peak_bytes, .. } => {
             format!(
                 "scored   : {rule} at {concat}->{consumer} -> {:.1} KiB",
@@ -289,64 +309,120 @@ fn render_event(event: &CompileEvent) -> String {
     }
 }
 
-fn schedule(path: &str, options: ScheduleOptions) -> Result<(), String> {
-    let graph = load(path)?;
-    let compiled = compiler(&options)?.compile(&graph).map_err(|e| e.to_string())?;
-    let as_json = options.json;
-    let map = options.map;
-    if as_json {
-        let report = serde_json::json!({
-            "graph": compiled.graph.name(),
-            "nodes": compiled.graph.len(),
-            "peak_bytes": compiled.peak_bytes,
-            "baseline_peak_bytes": compiled.baseline_peak_bytes,
-            "reduction": compiled.reduction_factor(),
-            "arena_bytes": compiled.arena_bytes(),
-            "rewrites": compiled.rewrites,
-            "rewrite_search": compiled.rewrite_search,
-            "partition": compiled.partition,
-            "compile_time_us": compiled.compile_time.as_micros() as u64,
-            "order": compiled.schedule.order,
-        });
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
-    } else {
-        println!("graph         : {}", compiled.graph.name());
-        println!("nodes         : {}", compiled.graph.len());
-        println!("baseline peak : {:.1} KiB", compiled.baseline_peak_bytes as f64 / 1024.0);
-        println!("serenity peak : {:.1} KiB", compiled.peak_bytes as f64 / 1024.0);
-        println!("reduction     : {:.2}x", compiled.reduction_factor());
-        if let Some(arena) = compiled.arena_bytes() {
-            println!("arena size    : {:.1} KiB", arena as f64 / 1024.0);
-        }
-        println!("rewrites      : {}", compiled.rewrites.len());
-        if let Some(search) = &compiled.rewrite_search {
-            println!(
-                "rewrite loop  : {} iters, {} candidates, stop {}, memo {}/{} hits{}",
-                search.iterations,
-                search.candidates_scored,
-                search.stop,
-                search.memo_hits,
-                search.memo_hits + search.memo_misses,
-                if search.kept || search.applied == 0 {
-                    ""
-                } else {
-                    " (winner discarded by final comparison)"
-                }
-            );
-        }
-        println!("segments      : {:?}", compiled.partition.segment_sizes);
-        println!("compile time  : {:.1?}", compiled.compile_time);
-        if map {
-            match compiled.arena.as_ref() {
-                Some(plan) => {
-                    println!("\narena memory map:");
-                    print!("{}", plan.render_ascii(64));
-                }
-                None => println!("(no arena: allocator disabled)"),
+fn schedule(paths: &[String], options: ScheduleOptions) -> Result<(), String> {
+    // One process-wide cache shared by every graph of the invocation
+    // (`--cache-bytes 0` disables it): later graphs replay segments the
+    // earlier ones already scheduled.
+    let cache = match options.cache_bytes {
+        Some(0) => None,
+        Some(bytes) => Some(Arc::new(CompileCache::with_budget(bytes))),
+        None => Some(Arc::new(CompileCache::new())),
+    };
+    let compiler = compiler(&options, cache.as_ref())?;
+    let mut compiled_all = Vec::with_capacity(paths.len());
+    for (index, path) in paths.iter().enumerate() {
+        let graph = load(path)?;
+        let compiled = compiler.compile(&graph).map_err(|e| format!("{path}: {e}"))?;
+        if !options.json {
+            if index > 0 {
+                println!();
             }
+            print_compiled(&compiled, options.map);
         }
+        compiled_all.push(compiled);
+    }
+    let cache_stats = cache.as_ref().map(|c| c.stats());
+    if options.json {
+        let cache_json = cache_stats
+            .map(|s| serde_json::to_value(&s).expect("cache stats serialize"))
+            .unwrap_or(serde_json::Value::Null);
+        // Single-graph invocations keep the original flat report shape;
+        // batch invocations wrap the per-graph reports.
+        let report = if let [only] = &compiled_all[..] {
+            report_json(only, &cache_json)
+        } else {
+            let reports: Vec<serde_json::Value> =
+                compiled_all.iter().map(|c| report_json(c, &serde_json::Value::Null)).collect();
+            serde_json::json!({ "graphs": reports, "cache": cache_json })
+        };
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    } else if let Some(stats) = cache_stats {
+        println!(
+            "\ncompile cache : {} hits / {} lookups, {} evictions, {:.1} KiB resident",
+            stats.hits,
+            stats.hits + stats.misses,
+            stats.evictions,
+            stats.entry_bytes as f64 / 1024.0
+        );
     }
     Ok(())
+}
+
+fn report_json(
+    compiled: &serenity_core::pipeline::CompiledSchedule,
+    cache: &serde_json::Value,
+) -> serde_json::Value {
+    serde_json::json!({
+        "cache": cache.clone(),
+        "graph": compiled.graph.name(),
+        "nodes": compiled.graph.len(),
+        "peak_bytes": compiled.peak_bytes,
+        "baseline_peak_bytes": compiled.baseline_peak_bytes,
+        "reduction": compiled.reduction_factor(),
+        "arena_bytes": compiled.arena_bytes(),
+        "rewrites": compiled.rewrites,
+        "rewrite_search": compiled.rewrite_search,
+        "partition": compiled.partition,
+        "cache_hits": compiled.stats.cache_hits,
+        "cache_misses": compiled.stats.cache_misses,
+        "compile_time_us": compiled.compile_time.as_micros() as u64,
+        "order": compiled.schedule.order,
+    })
+}
+
+fn print_compiled(compiled: &serenity_core::pipeline::CompiledSchedule, map: bool) {
+    println!("graph         : {}", compiled.graph.name());
+    println!("nodes         : {}", compiled.graph.len());
+    println!("baseline peak : {:.1} KiB", compiled.baseline_peak_bytes as f64 / 1024.0);
+    println!("serenity peak : {:.1} KiB", compiled.peak_bytes as f64 / 1024.0);
+    println!("reduction     : {:.2}x", compiled.reduction_factor());
+    if let Some(arena) = compiled.arena_bytes() {
+        println!("arena size    : {:.1} KiB", arena as f64 / 1024.0);
+    }
+    println!("rewrites      : {}", compiled.rewrites.len());
+    if let Some(search) = &compiled.rewrite_search {
+        println!(
+            "rewrite loop  : {} iters, {} candidates, stop {}, memo {}/{} hits{}",
+            search.iterations,
+            search.candidates_scored,
+            search.stop,
+            search.memo_hits,
+            search.memo_hits + search.memo_misses,
+            if search.kept || search.applied == 0 {
+                ""
+            } else {
+                " (winner discarded by final comparison)"
+            }
+        );
+    }
+    if compiled.stats.cache_hits + compiled.stats.cache_misses > 0 {
+        println!(
+            "cache         : {} hits / {} lookups",
+            compiled.stats.cache_hits,
+            compiled.stats.cache_hits + compiled.stats.cache_misses
+        );
+    }
+    println!("segments      : {:?}", compiled.partition.segment_sizes);
+    println!("compile time  : {:.1?}", compiled.compile_time);
+    if map {
+        match compiled.arena.as_ref() {
+            Some(plan) => {
+                println!("\narena memory map:");
+                print!("{}", plan.render_ascii(64));
+            }
+            None => println!("(no arena: allocator disabled)"),
+        }
+    }
 }
 
 fn run_suite() -> Result<(), String> {

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! serenity generate <benchmark-id|swiftnet-full> [-o FILE]
-//! serenity schedule <graph.json> [--no-rewrite] [--allocator greedy|first-fit|none]
-//!                   [--budget-kb N] [--threads N] [--json]
+//! serenity schedule <graph.json> [more.json ...] [--scheduler NAME] [--no-rewrite]
+//!                   [--allocator greedy|first-fit|none] [--budget-kb N]
+//!                   [--threads N] [--cache-bytes N] [--json]
 //! serenity dot <graph.json>
 //! serenity suite
 //! serenity traffic <graph.json> --capacity-kb N [--policy belady|lru|fifo]

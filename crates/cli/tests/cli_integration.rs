@@ -290,3 +290,42 @@ fn spent_deadline_aborts_with_a_deadline_error() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("deadline"));
 }
+
+#[test]
+fn batch_schedule_shares_the_compile_cache() {
+    let dir = std::env::temp_dir().join("serenity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("batch_a.json");
+    let b = dir.join("batch_b.json");
+    let (a_str, b_str) = (a.to_str().unwrap(), b.to_str().unwrap());
+    assert!(serenity(&["generate", "swiftnet-c", "-o", a_str]).status.success());
+    assert!(serenity(&["generate", "swiftnet-c", "-o", b_str]).status.success());
+
+    // Two structurally identical graphs in one batch: the second compile
+    // must replay the first one's schedules from the shared cache, and
+    // both must report identical results.
+    let out = serenity(&["schedule", a_str, b_str, "--json"]);
+    assert!(out.status.success(), "batch schedule failed: {out:?}");
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    let graphs = report["graphs"].as_array().expect("batch report wraps per-graph reports");
+    assert_eq!(graphs.len(), 2);
+    assert_eq!(graphs[0]["peak_bytes"], graphs[1]["peak_bytes"]);
+    assert_eq!(graphs[0]["order"], graphs[1]["order"]);
+    assert!(
+        graphs[1]["cache_hits"].as_u64().unwrap() > 0,
+        "second graph must hit the cache: {report:?}"
+    );
+    assert!(report["cache"]["hits"].as_u64().unwrap() > 0);
+
+    // --cache-bytes 0 disables caching (and the summary shows no cache).
+    let out = serenity(&["schedule", a_str, b_str, "--cache-bytes", "0", "--json"]);
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert!(report["cache"].is_null());
+    assert_eq!(report["graphs"][1]["cache_hits"].as_u64(), Some(0));
+
+    // Table mode prints the cache footer for batches.
+    let out = serenity(&["schedule", a_str, b_str]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("compile cache :"), "cache footer missing:\n{}", stdout(&out));
+}

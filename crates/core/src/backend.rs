@@ -44,17 +44,43 @@
 //! ```
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use serenity_ir::fxhash::FxHasher;
 use serenity_ir::{Graph, NodeId};
 
 use crate::baseline;
 use crate::beam::BeamScheduler;
 use crate::budget::{AdaptiveSoftBudget, BudgetConfig, RoundFlag};
+use crate::cache::CompileCache;
 use crate::dp::{DpConfig, DpScheduler};
 use crate::{Schedule, ScheduleError, ScheduleStats};
+
+/// Canonical backend-identity hash for
+/// [`SchedulerBackend::config_fingerprint`] implementations: folds the
+/// backend name and its result-affecting configuration words into one
+/// stable 64-bit key. Encode an `Option<T>` knob as two words
+/// (`0`/`1` discriminant, then the value or `0`) so `None` can never alias
+/// a legitimate value.
+pub fn config_fingerprint_of(name: &str, parts: &[u64]) -> u64 {
+    let mut hasher = FxHasher::default();
+    name.hash(&mut hasher);
+    for &part in parts {
+        hasher.write_u64(part);
+    }
+    hasher.finish()
+}
+
+/// Encodes one optional configuration knob for [`config_fingerprint_of`].
+fn opt_part(value: Option<u64>) -> [u64; 2] {
+    match value {
+        Some(v) => [1, v],
+        None => [0, 0],
+    }
+}
 
 /// Shared cancellation flag, cloneable across threads.
 ///
@@ -213,6 +239,36 @@ pub enum CompileEvent {
         /// Peak footprint of the chosen schedule in bytes.
         peak_bytes: u64,
     },
+    /// A divide-and-conquer segment schedule was replayed from the
+    /// process-wide [`CompileCache`] — a
+    /// cross-request hit (contrast [`CompileEvent::SegmentMemoHit`], the
+    /// in-request memo).
+    SegmentCacheHit {
+        /// Segment index in series order.
+        index: usize,
+        /// Parent-graph nodes in the segment.
+        nodes: usize,
+        /// Peak footprint of the replayed segment schedule in bytes.
+        peak_bytes: u64,
+    },
+    /// End-of-compile snapshot of the process-wide
+    /// [`CompileCache`] (emitted once per
+    /// [`Serenity::compile`](crate::pipeline::Serenity::compile) when a
+    /// cache is installed). Counters are process-wide totals, not
+    /// per-request deltas — per-request hit/miss counts live in
+    /// [`ScheduleStats::cache_hits`]/[`ScheduleStats::cache_misses`].
+    CacheReport {
+        /// Lookups served from the cache since process start.
+        hits: u64,
+        /// Lookups that missed since process start.
+        misses: u64,
+        /// Entries evicted under the byte budget since process start.
+        evictions: u64,
+        /// Entries currently resident.
+        entries: usize,
+        /// Approximate bytes currently retained.
+        entry_bytes: u64,
+    },
 }
 
 /// Receiver for [`CompileEvent`]s.
@@ -228,6 +284,15 @@ pub struct CompileOptions {
     pub cancel: CancelToken,
     /// Structured event receiver (`None` drops events).
     pub events: Option<EventSink>,
+    /// Process-wide compile cache shared across requests (`None` disables
+    /// cross-request reuse). Consulted by the compile *drivers* —
+    /// [`Serenity`](crate::pipeline::Serenity) and
+    /// [`DivideAndConquer`](crate::divide::DivideAndConquer) — not by raw
+    /// backends, so `backend.schedule(graph, &ctx)` alone never caches.
+    /// For deterministic backends, cached results are bit-identical to
+    /// uncached ones; see the [`crate::cache`] module docs for the caveat
+    /// on timing-adaptive configurations.
+    pub cache: Option<Arc<CompileCache>>,
 }
 
 impl fmt::Debug for CompileOptions {
@@ -236,6 +301,7 @@ impl fmt::Debug for CompileOptions {
             .field("deadline", &self.deadline)
             .field("cancel", &self.cancel)
             .field("events", &self.events.as_ref().map(|_| "<sink>"))
+            .field("cache", &self.cache)
             .finish()
     }
 }
@@ -262,6 +328,13 @@ impl CompileOptions {
     /// Installs an event sink.
     pub fn on_event(mut self, sink: impl Fn(&CompileEvent) + Send + Sync + 'static) -> Self {
         self.events = Some(Arc::new(sink));
+        self
+    }
+
+    /// Shares a process-wide compile cache with this run (clone the same
+    /// `Arc` into every request that should reuse schedules).
+    pub fn compile_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -301,6 +374,7 @@ impl CompileContext {
                 deadline: self.options.deadline,
                 cancel: self.options.cancel.clone(),
                 events,
+                cache: self.options.cache.clone(),
             },
             started: self.started,
         }
@@ -369,6 +443,23 @@ pub trait SchedulerBackend: Send + Sync {
     /// Stable, registry-facing name (lowercase, dash-separated).
     fn name(&self) -> &str;
 
+    /// Canonical fingerprint of this backend's *identity*: its name plus
+    /// every configuration knob that can change the schedules it returns.
+    /// The process-wide [`CompileCache`] keys
+    /// entries by this value, so two backends (or two configurations of
+    /// one backend) that could produce different schedules for the same
+    /// graph **must** fingerprint differently — `dp` can never replay
+    /// `beam`, and a budgeted DP can never replay an unbudgeted one.
+    ///
+    /// Pure wall-clock knobs whose results are bit-identical by contract
+    /// (e.g. worker-thread counts) should be *excluded*, so configurations
+    /// differing only in parallelism share cache entries. The default
+    /// implementation hashes the name alone via [`config_fingerprint_of`];
+    /// backends with result-affecting knobs must override it.
+    fn config_fingerprint(&self) -> u64 {
+        config_fingerprint_of(self.name(), &[])
+    }
+
     /// Schedules `graph` under the run context `ctx`.
     ///
     /// # Errors
@@ -417,6 +508,10 @@ impl<B: SchedulerBackend + ?Sized> SchedulerBackend for Arc<B> {
         (**self).name()
     }
 
+    fn config_fingerprint(&self) -> u64 {
+        (**self).config_fingerprint()
+    }
+
     fn schedule(
         &self,
         graph: &Graph,
@@ -451,6 +546,18 @@ impl DpBackend {
 impl SchedulerBackend for DpBackend {
     fn name(&self) -> &str {
         "dp"
+    }
+
+    /// Everything result-affecting: budget τ, per-step timeout, and the
+    /// state cap (both abort behaviors are observable). `threads` is
+    /// excluded — parallel expansion is bit-identical to serial by
+    /// construction (PR 2), so thread counts share cache entries.
+    fn config_fingerprint(&self) -> u64 {
+        let mut parts = Vec::with_capacity(6);
+        parts.extend(opt_part(self.config.budget));
+        parts.extend(opt_part(self.config.step_timeout.map(|d| d.as_nanos() as u64)));
+        parts.extend(opt_part(self.config.max_states.map(|n| n as u64)));
+        config_fingerprint_of(self.name(), &parts)
     }
 
     fn schedule(
@@ -489,6 +596,15 @@ impl AdaptiveBackend {
 impl SchedulerBackend for AdaptiveBackend {
     fn name(&self) -> &str {
         "adaptive"
+    }
+
+    /// Step timeout, round cap, and state cap all shape which budget the
+    /// meta-search settles on; `threads` is excluded (wall-clock only).
+    fn config_fingerprint(&self) -> u64 {
+        let mut parts =
+            vec![self.config.step_timeout.as_nanos() as u64, self.config.max_rounds as u64];
+        parts.extend(opt_part(self.config.max_states.map(|n| n as u64)));
+        config_fingerprint_of(self.name(), &parts)
     }
 
     fn schedule(
@@ -540,6 +656,12 @@ impl Default for BeamBackend {
 impl SchedulerBackend for BeamBackend {
     fn name(&self) -> &str {
         "beam"
+    }
+
+    /// The beam width bounds which states survive each step, so different
+    /// widths can return different schedules and must key distinctly.
+    fn config_fingerprint(&self) -> u64 {
+        config_fingerprint_of(self.name(), &[self.width as u64])
     }
 
     fn schedule(
@@ -626,6 +748,11 @@ impl SchedulerBackend for BruteForceBackend {
         "brute-force"
     }
 
+    /// The node cap decides which graphs error out versus get scheduled.
+    fn config_fingerprint(&self) -> u64 {
+        config_fingerprint_of(self.name(), &[self.max_nodes as u64])
+    }
+
     fn schedule(
         &self,
         graph: &Graph,
@@ -710,6 +837,45 @@ mod tests {
         let ctx = CompileContext::unconstrained();
         let err = BruteForceBackend::default().schedule(&graph, &ctx).unwrap_err();
         assert!(matches!(err, ScheduleError::TooLarge { limit: 20, .. }));
+    }
+
+    #[test]
+    fn config_fingerprints_separate_backends_and_configs() {
+        let backends: Vec<Box<dyn SchedulerBackend>> = vec![
+            Box::new(DpBackend::default()),
+            Box::new(AdaptiveBackend::default()),
+            Box::new(BeamBackend::default()),
+            Box::new(KahnBackend),
+            Box::new(DfsBackend),
+            Box::new(GreedyBackend),
+            Box::new(BruteForceBackend::default()),
+        ];
+        for (i, a) in backends.iter().enumerate() {
+            for b in &backends[i + 1..] {
+                assert_ne!(
+                    a.config_fingerprint(),
+                    b.config_fingerprint(),
+                    "{} and {} must key distinctly",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+        // Result-affecting knobs split the key…
+        let dp = DpBackend::default();
+        let budgeted =
+            DpBackend::with_config(DpConfig { budget: Some(4096), ..DpConfig::default() });
+        assert_ne!(dp.config_fingerprint(), budgeted.config_fingerprint());
+        assert_ne!(
+            BeamBackend::default().config_fingerprint(),
+            BeamBackend::new(8).config_fingerprint()
+        );
+        // …while pure wall-clock knobs (threads) share cache entries.
+        let threaded = DpBackend::with_config(DpConfig { threads: 4, ..DpConfig::default() });
+        assert_eq!(dp.config_fingerprint(), threaded.config_fingerprint());
+        // A `None` budget can never alias a zero budget.
+        let zero = DpBackend::with_config(DpConfig { budget: Some(0), ..DpConfig::default() });
+        assert_ne!(dp.config_fingerprint(), zero.config_fingerprint());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! precomputed mask OR instead of per-edge subset tests), candidates store
 //! only their `z` signature (`scheduled` is a function of parent and node,
 //! derived for the `width` survivors), they dedup through an open-addressing index
-//! ([`BeamIndex`], content-confirmed so hash collisions cannot merge
+//! (`BeamIndex`, content-confirmed so hash collisions cannot merge
 //! distinct signatures), and backtracking keeps 8-byte `(parent, node)`
 //! records instead of whole states. Graphs of at most 128 nodes — every
 //! divide-and-conquer segment and rewrite candidate in the benchmark suite

@@ -1,0 +1,613 @@
+//! The process-wide compile cache: cross-request schedule reuse for a
+//! long-running compile service.
+//!
+//! The paper's premise is that memory-optimal schedules are *expensive to
+//! find* (the DP/beam searches of §3.1–3.2) but *cheap to replay* — and
+//! networks from one NAS family share cells and whole segments, so most of
+//! the search work recurs across compile requests. A per-search
+//! [`ScheduleMemo`](crate::memo::ScheduleMemo) already exploits recurrence
+//! *within* one rewrite↔schedule loop; [`CompileCache`] promotes the same
+//! mechanism to the whole process: a thread-safe, sharded, byte-budgeted LRU
+//! keyed by
+//!
+//! * the **backend identity** —
+//!   [`config_fingerprint`](crate::backend::SchedulerBackend::config_fingerprint),
+//!   which folds the backend name and every result-affecting configuration
+//!   knob into one canonical hash, so `dp` and `beam` (or two
+//!   differently-budgeted `dp`s) can never replay each other's schedules,
+//!   and
+//! * the **graph structure** — [`serenity_ir::fingerprint::fingerprint`],
+//!   the same name-insensitive canonical hash the schedule memo uses, plus
+//!   the pinned boundary prefix a divide-and-conquer segment was scheduled
+//!   under.
+//!
+//! Hits are exact, not probabilistic: both hashes can collide, so every hit
+//! is confirmed with [`serenity_ir::fingerprint::structural_eq`] and an
+//! exact prefix compare before a stored schedule is replayed — a collision
+//! degrades to a miss, never to a wrong schedule. And because every backend
+//! is a deterministic function of the (structural) graph, a replayed
+//! schedule is bit-identical to what a fresh search would have produced:
+//! **warm compiles equal cold compiles**, byte for byte. That invariant is
+//! what makes sharing one cache across threads and requests safe — a hit
+//! can change *when* an answer arrives, never *what* it is.
+//!
+//! One honest caveat: backend determinism is a *per-configuration
+//! assumption*, not a law of nature. A timing-adaptive configuration — the
+//! `adaptive` meta-search, or DP with a `step_timeout` — reacts to rounds
+//! timing out, and whether a round times out depends on machine load, not
+//! only on the graph. The repo-wide assumption (enforced by the backend
+//! conformance suite) is that the configured timeouts are generous enough
+//! that runs behave identically across invocations; under that assumption
+//! the bit-identical invariant holds. If a timeout *does* race, the cache
+//! pins whichever schedule was computed first, so all later requests stay
+//! mutually consistent — replays can never diverge from each other, only
+//! (in that race) from what a fresh search on a differently-loaded machine
+//! might have found. Workloads that cannot tolerate this should cache only
+//! timeout-free configurations (plain `dp`, `beam`, the baselines).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use serenity_core::cache::CompileCache;
+//! use serenity_core::pipeline::Serenity;
+//! use serenity_ir::{DType, GraphBuilder, Padding};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new("cell");
+//! let x = b.image_input("x", 8, 8, 8, DType::F32);
+//! let l = b.conv1x1(x, 8)?;
+//! let r = b.conv1x1(x, 8)?;
+//! let cat = b.concat(&[l, r])?;
+//! let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same)?;
+//! b.mark_output(y);
+//! let g = b.finish();
+//!
+//! // One shared cache, two requests: the second compile replays the
+//! // first one's segment schedules and returns a bit-identical result.
+//! let cache = Arc::new(CompileCache::new());
+//! let compiler = Serenity::builder().compile_cache(Arc::clone(&cache)).build();
+//! let cold = compiler.compile(&g)?;
+//! let warm = compiler.compile(&g)?;
+//! assert_eq!(cold.schedule, warm.schedule);
+//! assert!(warm.stats.cache_hits > 0, "the warm request must reuse the cold one's work");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Locking
+//!
+//! The cache is sharded: each shard owns an independent `Mutex`, entries
+//! are routed by key hash, and no operation ever holds more than one shard
+//! lock — so there is no lock-ordering and no possibility of deadlock
+//! between concurrent compiles. Shard locks also recover from poisoning
+//! (a thread that panicked mid-operation leaves behind, at worst, a
+//! consistent-but-partial shard; every entry is still confirmed
+//! structurally on hit), so one panicking compile cannot take the cache
+//! down for the rest of the process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use serde::{Deserialize, Serialize};
+use serenity_ir::fingerprint::structural_eq;
+use serenity_ir::fxhash::FxHashMap;
+use serenity_ir::{Graph, NodeId};
+
+use crate::Schedule;
+
+/// Construction knobs of a [`CompileCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileCacheConfig {
+    /// Total byte budget across all shards (approximate retained size of
+    /// the cached graphs and schedules, see [`CompileCache::entry_bytes`]).
+    /// Inserting past the budget evicts least-recently-used entries down to
+    /// a low watermark (7/8 of the budget, so eviction scans amortize); an
+    /// entry larger than its shard's slice of the budget is not admitted at
+    /// all (it could only thrash).
+    pub max_bytes: u64,
+    /// Number of independently locked shards. More shards mean less
+    /// contention between concurrent compiles but a coarser (per-shard)
+    /// LRU horizon. Clamped to at least 1.
+    pub shards: usize,
+}
+
+impl Default for CompileCacheConfig {
+    /// 64 MiB across 16 shards: comfortably holds every segment of the
+    /// benchmark suite many times over while staying irrelevant next to a
+    /// compile service's working set.
+    fn default() -> Self {
+        CompileCacheConfig { max_bytes: 64 * 1024 * 1024, shards: 16 }
+    }
+}
+
+/// Point-in-time counters of a [`CompileCache`] (process-wide totals since
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that replayed a stored schedule (confirmed structurally).
+    pub hits: u64,
+    /// Lookups that found nothing (including collision-confirm failures).
+    pub misses: u64,
+    /// Entries admitted (first-write-wins; duplicate inserts don't count).
+    pub insertions: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes currently retained by resident entries.
+    pub entry_bytes: u64,
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+}
+
+/// One cached schedule: the full identity needed for an exact hit confirm,
+/// plus LRU bookkeeping.
+struct CacheEntry {
+    /// Backend identity (`SchedulerBackend::config_fingerprint`) the
+    /// schedule was produced by. Part of the key: schedules never cross
+    /// backends or configurations.
+    backend_key: u64,
+    /// The graph the schedule belongs to, kept for exact hit confirmation.
+    graph: Graph,
+    /// The pinned prefix the schedule was produced under (see
+    /// [`crate::memo::ScheduleMemo`] for why it is part of the identity).
+    prefix: Vec<NodeId>,
+    order: Vec<NodeId>,
+    peak_bytes: u64,
+    /// Approximate retained bytes, charged against the shard budget.
+    charge: u64,
+    /// Global LRU clock value at the last hit (or admission).
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Mixed (backend, graph) hash → entries; collisions share a bucket
+    /// and are separated by the structural confirm.
+    buckets: FxHashMap<u64, Vec<CacheEntry>>,
+    /// Bytes currently charged to this shard.
+    bytes: u64,
+}
+
+/// The process-wide, thread-safe schedule cache (see the module docs).
+pub struct CompileCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard slice of [`CompileCacheConfig::max_bytes`].
+    shard_budget: u64,
+    budget_bytes: u64,
+    /// Monotonic LRU clock, bumped on every hit and admission.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CompileCache")
+            .field("entries", &stats.entries)
+            .field("entry_bytes", &stats.entry_bytes)
+            .field("budget_bytes", &stats.budget_bytes)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .finish()
+    }
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::with_config(CompileCacheConfig::default())
+    }
+}
+
+/// Mixes the backend identity into the graph fingerprint so the two halves
+/// of the key land in one well-distributed bucket hash.
+fn mixed_key(backend_key: u64, graph_key: u64) -> u64 {
+    // splitmix64 finalizer over the XOR of the halves: cheap, and either
+    // half changing reshuffles the whole key.
+    let mut z = backend_key ^ graph_key.rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl CompileCache {
+    /// A cache with the default configuration (64 MiB, 16 shards).
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// A cache with the default shard count and the given byte budget.
+    pub fn with_budget(max_bytes: u64) -> Self {
+        CompileCache::with_config(CompileCacheConfig { max_bytes, ..CompileCacheConfig::default() })
+    }
+
+    /// A cache with the given configuration.
+    pub fn with_config(config: CompileCacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        CompileCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: config.max_bytes / shards as u64,
+            budget_bytes: config.max_bytes,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the shard owning `key`, recovering from poisoning: a panic in
+    /// another compile leaves the shard's entries intact (inserts are
+    /// single `Vec::push`es of fully built entries), so continuing is safe
+    /// — and every hit is structurally confirmed regardless.
+    fn shard_for(&self, key: u64) -> MutexGuard<'_, Shard> {
+        let index = (key as usize) % self.shards.len();
+        self.shards[index].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Approximate retained bytes of one entry: the entry struct, the
+    /// graph's nodes and edges, and the stored orders. An estimate — the
+    /// budget bounds memory to the right order of magnitude, it is not an
+    /// allocator-accurate account.
+    fn charge_for(graph: &Graph, prefix: &[NodeId], order: &[NodeId]) -> u64 {
+        const ENTRY_OVERHEAD: u64 = 128;
+        const PER_NODE: u64 = 112; // Node struct, name string, shape
+        const PER_EDGE: u64 = 16; // pred + succ adjacency slots
+        ENTRY_OVERHEAD
+            + graph.len() as u64 * PER_NODE
+            + graph.edge_count() as u64 * PER_EDGE
+            + (prefix.len() + order.len()) as u64 * std::mem::size_of::<NodeId>() as u64
+    }
+
+    /// Returns the cached schedule of a graph structurally equal to `graph`
+    /// that was produced by the backend identified by `backend_key` under
+    /// the same pinned `prefix`. `graph_key` is the caller-computed
+    /// [`serenity_ir::fingerprint::fingerprint`] of `graph` (compute once,
+    /// share with [`CompileCache::insert`]). Counts a hit or a miss and
+    /// refreshes the entry's LRU position on hit.
+    pub fn lookup(
+        &self,
+        backend_key: u64,
+        graph_key: u64,
+        graph: &Graph,
+        prefix: &[NodeId],
+    ) -> Option<Schedule> {
+        let key = mixed_key(backend_key, graph_key);
+        let found = {
+            let mut shard = self.shard_for(key);
+            shard.buckets.get_mut(&key).and_then(|bucket| {
+                bucket
+                    .iter_mut()
+                    .find(|e| {
+                        e.backend_key == backend_key
+                            && e.prefix == prefix
+                            && structural_eq(&e.graph, graph)
+                    })
+                    .map(|e| {
+                        e.last_used = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                        Schedule { order: e.order.clone(), peak_bytes: e.peak_bytes }
+                    })
+            })
+        };
+        match found {
+            Some(schedule) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(schedule)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `schedule` (produced by backend `backend_key` under pinned
+    /// `prefix`) for `graph` under `graph_key`. First write wins — all
+    /// backends are deterministic, so a duplicate insert carries an
+    /// identical schedule anyway. Admission may evict least-recently-used
+    /// entries of the target shard to stay under the byte budget; an entry
+    /// larger than one shard's whole budget is not admitted.
+    pub fn insert(
+        &self,
+        backend_key: u64,
+        graph_key: u64,
+        graph: &Graph,
+        prefix: &[NodeId],
+        schedule: &Schedule,
+    ) {
+        let charge = CompileCache::charge_for(graph, prefix, &schedule.order);
+        if charge > self.shard_budget {
+            return;
+        }
+        let key = mixed_key(backend_key, graph_key);
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard_for(key);
+            let bucket = shard.buckets.entry(key).or_default();
+            if bucket.iter().any(|e| {
+                e.backend_key == backend_key && e.prefix == prefix && structural_eq(&e.graph, graph)
+            }) {
+                return;
+            }
+            bucket.push(CacheEntry {
+                backend_key,
+                graph: graph.clone(),
+                prefix: prefix.to_vec(),
+                order: schedule.order.clone(),
+                peak_bytes: schedule.peak_bytes,
+                charge,
+                last_used: self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            });
+            shard.bytes += charge;
+            if shard.bytes > self.shard_budget {
+                // Evict below a low watermark (7/8 of the budget), not just
+                // below the budget: one scan then buys headroom for many
+                // admissions, so steady-state inserts at the budget stay
+                // amortized-cheap instead of scanning the shard every time.
+                evicted = evict_lru_to(&mut shard, self.shard_budget - self.shard_budget / 8);
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Number of resident entries (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().unwrap_or_else(PoisonError::into_inner);
+                shard.buckets.values().map(Vec::len).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes currently retained by resident entries.
+    pub fn entry_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).bytes).sum()
+    }
+
+    /// A point-in-time snapshot of the cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            entry_bytes: self.entry_bytes(),
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}
+
+/// Evicts least-recently-used entries of `shard` until its charged bytes
+/// drop to `target` (or the shard is empty). One scan + sort, then removal
+/// in LRU order; `last_used` stamps are unique (the clock is bumped per
+/// admission and per hit), so a `(stamp, key)` pair identifies one entry.
+/// Returns the number of evicted entries.
+fn evict_lru_to(shard: &mut Shard, target: u64) -> u64 {
+    let mut stamps: Vec<(u64, u64)> = shard
+        .buckets
+        .iter()
+        .flat_map(|(&key, bucket)| bucket.iter().map(move |e| (e.last_used, key)))
+        .collect();
+    stamps.sort_unstable();
+    let mut evicted = 0;
+    for (stamp, key) in stamps {
+        if shard.bytes <= target {
+            break;
+        }
+        let bucket = shard.buckets.get_mut(&key).expect("victim bucket exists");
+        let index = bucket.iter().position(|e| e.last_used == stamp).expect("victim entry exists");
+        let entry = bucket.remove(index);
+        shard.bytes -= entry.charge;
+        if bucket.is_empty() {
+            shard.buckets.remove(&key);
+        }
+        evicted += 1;
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_ir::fingerprint::fingerprint;
+    use serenity_ir::topo;
+
+    fn chain(name: &str, bytes: u64) -> Graph {
+        let mut g = Graph::new(name);
+        let a = g.add_opaque(format!("{name}_a"), bytes, &[]).unwrap();
+        let b = g.add_opaque(format!("{name}_b"), bytes * 2, &[a]).unwrap();
+        g.add_opaque(format!("{name}_c"), bytes.max(2) / 2, &[b]).unwrap();
+        g
+    }
+
+    fn schedule_of(g: &Graph) -> Schedule {
+        Schedule::from_order(g, topo::kahn(g)).unwrap()
+    }
+
+    /// A single-shard cache sized to hold exactly `entries` chain graphs,
+    /// so LRU behavior is deterministic in tests.
+    fn small_cache(entries: u64) -> CompileCache {
+        let g = chain("sizer", 8);
+        let s = schedule_of(&g);
+        let per_entry = CompileCache::charge_for(&g, &[], &s.order);
+        CompileCache::with_config(CompileCacheConfig {
+            max_bytes: per_entry * entries + per_entry / 2,
+            shards: 1,
+        })
+    }
+
+    #[test]
+    fn hit_replays_across_renamed_twins() {
+        let cache = CompileCache::new();
+        let g = chain("g", 8);
+        let s = schedule_of(&g);
+        cache.insert(1, fingerprint(&g), &g, &[], &s);
+
+        let twin = chain("renamed", 8);
+        let replayed = cache.lookup(1, fingerprint(&twin), &twin, &[]).expect("twin hits");
+        assert_eq!(replayed, s);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn backend_keys_never_cross_hit() {
+        // The same graph scheduled by two different backend identities must
+        // produce two independent entries: dp can never replay beam.
+        let cache = CompileCache::new();
+        let g = chain("g", 8);
+        let key = fingerprint(&g);
+        let s = schedule_of(&g);
+        cache.insert(0xD0, key, &g, &[], &s);
+        assert!(cache.lookup(0xBEA, key, &g, &[]).is_none(), "other backend must miss");
+        cache.insert(0xBEA, key, &g, &[], &s);
+        assert_eq!(cache.len(), 2, "backends keep distinct entries");
+        assert!(cache.lookup(0xD0, key, &g, &[]).is_some());
+    }
+
+    #[test]
+    fn pinned_prefix_is_part_of_the_identity() {
+        let cache = CompileCache::new();
+        let g = chain("g", 8);
+        let key = fingerprint(&g);
+        let s = schedule_of(&g);
+        cache.insert(1, key, &g, &[], &s);
+        let pin = [NodeId::from_index(0)];
+        assert!(cache.lookup(1, key, &g, &pin).is_none());
+        cache.insert(1, key, &g, &pin, &s);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn colliding_keys_are_confirmed_structurally() {
+        // Force two different graphs under the same (backend, graph) key:
+        // the structural confirm must separate them.
+        let cache = CompileCache::new();
+        let g = chain("g", 8);
+        let h = chain("h", 64);
+        let gs = schedule_of(&g);
+        let hs = schedule_of(&h);
+        cache.insert(1, 42, &g, &[], &gs);
+        cache.insert(1, 42, &h, &[], &hs);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(1, 42, &h, &[]).unwrap().peak_bytes, hs.peak_bytes);
+        assert_eq!(cache.lookup(1, 42, &g, &[]).unwrap().peak_bytes, gs.peak_bytes);
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let cache = CompileCache::new();
+        let g = chain("g", 8);
+        let s = schedule_of(&g);
+        cache.insert(1, fingerprint(&g), &g, &[], &s);
+        cache.insert(1, fingerprint(&g), &chain("renamed", 8), &[], &s);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_at_the_byte_budget() {
+        let cache = small_cache(2);
+        let graphs: Vec<Graph> = (0..3).map(|i| chain(&format!("g{i}"), 8 + i)).collect();
+        let keys: Vec<u64> = graphs.iter().map(fingerprint).collect();
+        let schedules: Vec<Schedule> = graphs.iter().map(schedule_of).collect();
+
+        cache.insert(1, keys[0], &graphs[0], &[], &schedules[0]);
+        cache.insert(1, keys[1], &graphs[1], &[], &schedules[1]);
+        assert_eq!(cache.len(), 2, "two entries fit the budget");
+
+        // Touch entry 0 so entry 1 is the LRU victim, then overflow.
+        assert!(cache.lookup(1, keys[0], &graphs[0], &[]).is_some());
+        cache.insert(1, keys[2], &graphs[2], &[], &schedules[2]);
+
+        assert_eq!(cache.len(), 2, "the third insert must evict");
+        assert!(cache.lookup(1, keys[0], &graphs[0], &[]).is_some(), "recently used survives");
+        assert!(cache.lookup(1, keys[1], &graphs[1], &[]).is_none(), "LRU entry was evicted");
+        assert!(cache.lookup(1, keys[2], &graphs[2], &[]).is_some(), "new entry resident");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.entry_bytes <= stats.budget_bytes);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_admitted() {
+        // An entry that could never fit must not evict the whole shard
+        // only to be evicted itself.
+        let cache = CompileCache::with_config(CompileCacheConfig { max_bytes: 64, shards: 1 });
+        let g = chain("g", 8);
+        cache.insert(1, fingerprint(&g), &g, &[], &schedule_of(&g));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn contended_access_completes() {
+        // Many threads hammering lookups and inserts on few shards: no
+        // deadlock (single-lock discipline) and consistent final counters.
+        let cache =
+            CompileCache::with_config(CompileCacheConfig { max_bytes: 1024 * 1024, shards: 2 });
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        let g = chain(&format!("t{}_{}", t % 2, i % 4), 8 + (i % 4) as u64);
+                        let key = fingerprint(&g);
+                        let s = schedule_of(&g);
+                        cache.insert(t % 3, key, &g, &[], &s);
+                        assert_eq!(cache.lookup(t % 3, key, &g, &[]), Some(s));
+                    }
+                });
+            }
+        });
+        // 2 graph-name streams × 4 byte variants × 3 backend keys at most
+        // (name is not part of the fingerprint, so t0/t1 streams collapse).
+        assert!(cache.len() <= 12, "first-write-wins bounds residency, got {}", cache.len());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8 * 32);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_without_deadlock() {
+        let cache =
+            CompileCache::with_config(CompileCacheConfig { max_bytes: 1024 * 1024, shards: 1 });
+        let g = chain("g", 8);
+        let key = fingerprint(&g);
+        let s = schedule_of(&g);
+        cache.insert(1, key, &g, &[], &s);
+
+        // Poison the only shard: a thread panics while holding its lock.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = cache.shards[0].lock().unwrap();
+                    panic!("poison the shard lock");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        assert!(cache.shards[0].is_poisoned());
+
+        // Every operation still works: no deadlock, no panic, data intact.
+        assert_eq!(cache.lookup(1, key, &g, &[]), Some(s.clone()));
+        let h = chain("h", 16);
+        cache.insert(1, fingerprint(&h), &h, &[], &schedule_of(&h));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().entry_bytes > 0);
+    }
+}

@@ -20,7 +20,7 @@ use serenity_ir::{Graph, NodeId};
 
 use crate::backend::{AdaptiveBackend, CompileContext, CompileEvent, DpBackend, SchedulerBackend};
 use crate::budget::BudgetConfig;
-use crate::memo::ScheduleMemo;
+use crate::memo::{MemoSource, ScheduleMemo};
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// How each segment is scheduled.
@@ -185,6 +185,18 @@ impl DivideAndConquer {
         let mut reports = Vec::with_capacity(partition.segments.len());
         let mut total_stats = ScheduleStats::default();
 
+        // The memo consulted per segment: an explicitly installed one wins;
+        // otherwise a request-local cache-backed memo is derived when the
+        // context carries a compile cache, so
+        // [`CompileOptions::compile_cache`](crate::backend::CompileOptions::compile_cache)
+        // works for direct divide-and-conquer calls too (not only through
+        // the pipeline).
+        let memo = self.memo.clone().or_else(|| {
+            ctx.options().cache.as_ref().map(|cache| {
+                Arc::new(ScheduleMemo::backed(Arc::clone(cache), self.backend.config_fingerprint()))
+            })
+        });
+
         for (index, segment) in partition.segments.iter().enumerate() {
             ctx.check()?;
             let nodes = segment.graph.len() - usize::from(segment.boundary_input.is_some());
@@ -192,19 +204,45 @@ impl DivideAndConquer {
             // The pinned prefix is part of the memo identity: an unpinned
             // first segment can be structurally identical to a pinned later
             // one, but their schedules are not interchangeable.
-            let memo_key = self.memo.as_ref().map(|m| (m, ScheduleMemo::key(&segment.graph)));
+            let memo_key = memo.as_ref().map(|m| (m, ScheduleMemo::key(&segment.graph)));
             if let Some((memo, key)) = &memo_key {
-                if let Some(schedule) = memo.lookup(*key, &segment.graph, &pinned) {
+                if let Some((schedule, source)) = memo.lookup_traced(*key, &segment.graph, &pinned)
+                {
                     // Replay: the backend is deterministic, so this is the
-                    // schedule a fresh run would have produced.
-                    let stats =
-                        ScheduleStats { memo_hits: 1, steps: schedule.len(), ..Default::default() };
+                    // schedule a fresh run would have produced — whether it
+                    // came from this request's memo or from the process-wide
+                    // compile cache (a cross-request hit).
+                    let stats = match source {
+                        MemoSource::Memo => ScheduleStats {
+                            memo_hits: 1,
+                            steps: schedule.len(),
+                            ..Default::default()
+                        },
+                        MemoSource::Cache => ScheduleStats {
+                            cache_hits: 1,
+                            steps: schedule.len(),
+                            ..Default::default()
+                        },
+                    };
                     total_stats.absorb(&stats);
-                    ctx.emit(CompileEvent::SegmentMemoHit {
-                        index,
-                        nodes,
-                        peak_bytes: schedule.peak_bytes,
+                    ctx.emit(match source {
+                        MemoSource::Memo => CompileEvent::SegmentMemoHit {
+                            index,
+                            nodes,
+                            peak_bytes: schedule.peak_bytes,
+                        },
+                        MemoSource::Cache => CompileEvent::SegmentCacheHit {
+                            index,
+                            nodes,
+                            peak_bytes: schedule.peak_bytes,
+                        },
                     });
+                    if source == MemoSource::Cache {
+                        // Backfill the replayed schedule into the request's
+                        // memo so repeated structures pay the shared-shard
+                        // lookup (lock + structural confirm) only once.
+                        memo.insert_local(*key, &segment.graph, &pinned, &schedule);
+                    }
                     reports.push(SegmentReport { nodes, peak_bytes: schedule.peak_bytes, stats });
                     locals.push(schedule.order);
                     continue;
@@ -231,6 +269,7 @@ impl DivideAndConquer {
             };
             if let Some((memo, key)) = &memo_key {
                 stats.memo_misses += 1;
+                stats.cache_misses += u64::from(memo.is_cache_backed());
                 memo.insert(*key, &segment.graph, &pinned, &schedule);
             }
             total_stats.absorb(&stats);

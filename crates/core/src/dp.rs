@@ -27,14 +27,14 @@
 //!
 //! * **Interned signatures in step arenas.** A state's `z` and scheduled
 //!   bitsets live as fixed-width word slices inside a per-step
-//!   [`StepArena`] word pool — one allocation per step, not two `Vec<u64>`s
+//!   `StepArena` word pool — one allocation per step, not two `Vec<u64>`s
 //!   per state. Transitions build the successor signature in a reused
 //!   scratch buffer; words are copied into the pool only when a signature
 //!   turns out to be new. The steady-state hot loop performs no heap
 //!   allocation per transition.
 //! * **Incremental Zobrist hashing.** Each state carries the 64-bit XOR of
 //!   its members' [`ZobristTable`] keys, updated in O(1) as nodes enter and
-//!   leave `z`. The memo table ([`SigIndex`]) is an open-addressing index
+//!   leave `z`. The memo table (`SigIndex`) is an open-addressing index
 //!   keyed by that pre-computed hash, so lookups never rehash a signature's
 //!   words; hash hits are confirmed by word comparison, keeping the memo
 //!   exact under (astronomically rare) Zobrist collisions.

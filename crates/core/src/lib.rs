@@ -5,14 +5,14 @@
 //! Devices"* (Ahn et al., MLSys 2020), organized around an open scheduling
 //! API:
 //!
-//! * [`backend`] — the [`SchedulerBackend`](backend::SchedulerBackend)
+//! * [`backend`] — the [`SchedulerBackend`]
 //!   trait every strategy implements, plus the compile control plane:
-//!   [`CompileOptions`](backend::CompileOptions) (wall-clock deadline,
-//!   shared [`CancelToken`](backend::CancelToken)) and structured
-//!   [`CompileEvent`](backend::CompileEvent)s replacing silent compilation.
-//! * [`registry`] — [`BackendRegistry`](registry::BackendRegistry), the
+//!   [`CompileOptions`] (wall-clock deadline,
+//!   shared [`CancelToken`]) and structured
+//!   [`CompileEvent`]s replacing silent compilation.
+//! * [`registry`] — [`BackendRegistry`], the
 //!   name → factory map behind `serenity schedule --scheduler <name>`, and
-//!   [`PortfolioBackend`](registry::PortfolioBackend), which runs several
+//!   [`PortfolioBackend`], which runs several
 //!   backends and keeps the minimum-peak schedule.
 //! * [`dp::DpScheduler`] — the dynamic-programming scheduler of §3.1
 //!   (Algorithm 1). Partial schedules are keyed by their *zero-indegree set
@@ -45,11 +45,18 @@
 //!   → schedule cache ([`serenity_ir::fingerprint`]) replaying
 //!   divide-and-conquer segments that are structurally unchanged between
 //!   rewrite-loop iterations.
+//! * [`cache`] — [`CompileCache`]: the process-wide
+//!   promotion of the same mechanism — a thread-safe, sharded, byte-budgeted
+//!   LRU keyed by (backend
+//!   [`config_fingerprint`](backend::SchedulerBackend::config_fingerprint),
+//!   graph fingerprint) that amortizes schedules *across compile requests*
+//!   and across networks sharing cells, with warm results bit-identical to
+//!   cold ones.
 //! * [`pipeline::Serenity`] — the end-to-end flow of Figure 4, run as a
 //!   feedback loop rather than one pass: *(rewrite ⇄ schedule)* until a
 //!   fixed point, then partition → full-backend scheduling of the winner →
 //!   memory allocation, governed by
-//!   [`CompileOptions`](backend::CompileOptions). The original graph is
+//!   [`CompileOptions`]. The original graph is
 //!   always scheduled too, so compilation never regresses below rewrite-off.
 //!
 //! # Example
@@ -100,6 +107,7 @@ pub mod backend;
 pub mod baseline;
 pub mod beam;
 pub mod budget;
+pub mod cache;
 pub mod canon;
 pub mod divide;
 pub mod dp;
@@ -113,6 +121,7 @@ mod schedule;
 pub use backend::{
     BackendOutcome, CancelToken, CompileContext, CompileEvent, CompileOptions, SchedulerBackend,
 };
+pub use cache::{CacheStats, CompileCache, CompileCacheConfig};
 pub use error::ScheduleError;
 pub use registry::{BackendRegistry, PortfolioBackend};
 pub use schedule::{Schedule, ScheduleStats};

@@ -21,6 +21,16 @@
 //! Entries are keyed by graph structure only, so a memo is only coherent for
 //! a single backend configuration. [`RewriteSearch`](crate::rewrite::RewriteSearch)
 //! creates one memo per run and never shares it across backends.
+//!
+//! A memo can additionally be **backed** by the process-wide
+//! [`CompileCache`] ([`ScheduleMemo::backed`]): lookups that miss every
+//! layer fall through to the cache under the owning backend's
+//! [`config_fingerprint`](crate::backend::SchedulerBackend::config_fingerprint),
+//! and inserts are written through, so schedules survive the memo and are
+//! replayed by *later compile requests* — including requests for different
+//! networks that share cells. Because cache hits are confirmed exactly and
+//! backends are deterministic, a cache-backed run stays bit-identical to a
+//! cache-free run; only its wall time and hit counters differ.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -29,7 +39,17 @@ use serenity_ir::fingerprint::{fingerprint, structural_eq};
 use serenity_ir::fxhash::FxHashMap;
 use serenity_ir::{Graph, NodeId};
 
+use crate::cache::CompileCache;
 use crate::Schedule;
+
+/// Where a [`ScheduleMemo::lookup_traced`] hit was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoSource {
+    /// This memo or one of its parent layers (an in-request hit).
+    Memo,
+    /// The backing [`CompileCache`] (a cross-request hit).
+    Cache,
+}
 
 struct MemoEntry {
     /// The graph the schedule belongs to, kept for exact hit confirmation.
@@ -58,6 +78,9 @@ struct MemoEntry {
 pub struct ScheduleMemo {
     entries: Mutex<FxHashMap<u64, Vec<MemoEntry>>>,
     parent: Option<Arc<ScheduleMemo>>,
+    /// Process-wide fall-through and write-through target, with the
+    /// backend identity its entries are keyed under.
+    backing: Option<(Arc<CompileCache>, u64)>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -86,9 +109,26 @@ impl ScheduleMemo {
         ScheduleMemo { parent: Some(parent), ..ScheduleMemo::default() }
     }
 
-    /// Whether an entry for (`key`, `graph`, `prefix`) exists here or in any
-    /// ancestor, without touching the hit/miss counters.
-    fn find(&self, key: u64, graph: &Graph, prefix: &[NodeId]) -> Option<Schedule> {
+    /// An empty memo backed by the process-wide `cache` under
+    /// `backend_key` (the owning backend's
+    /// [`config_fingerprint`](crate::backend::SchedulerBackend::config_fingerprint)):
+    /// lookups missing every layer fall through to the cache, and inserts
+    /// (including absorbed layers) are written through, publishing
+    /// schedules to later compile requests.
+    pub fn backed(cache: Arc<CompileCache>, backend_key: u64) -> Self {
+        ScheduleMemo { backing: Some((cache, backend_key)), ..ScheduleMemo::default() }
+    }
+
+    /// Whether this memo (or any ancestor layer) falls through to a
+    /// [`CompileCache`].
+    pub fn is_cache_backed(&self) -> bool {
+        self.backing.is_some() || self.parent.as_ref().is_some_and(|p| p.is_cache_backed())
+    }
+
+    /// Whether an entry for (`key`, `graph`, `prefix`) exists here, in any
+    /// ancestor, or in the backing cache — without touching the memo
+    /// hit/miss counters (the cache still counts its own).
+    fn find(&self, key: u64, graph: &Graph, prefix: &[NodeId]) -> Option<(Schedule, MemoSource)> {
         let local = {
             let entries = self.entries.lock().expect("memo lock");
             entries.get(&key).and_then(|bucket| {
@@ -98,7 +138,16 @@ impl ScheduleMemo {
                     .map(|e| Schedule { order: e.order.clone(), peak_bytes: e.peak_bytes })
             })
         };
-        local.or_else(|| self.parent.as_ref().and_then(|p| p.find(key, graph, prefix)))
+        if let Some(schedule) = local {
+            return Some((schedule, MemoSource::Memo));
+        }
+        if let Some(found) = self.parent.as_ref().and_then(|p| p.find(key, graph, prefix)) {
+            return Some(found);
+        }
+        self.backing
+            .as_ref()
+            .and_then(|(cache, backend_key)| cache.lookup(*backend_key, key, graph, prefix))
+            .map(|schedule| (schedule, MemoSource::Cache))
     }
 
     /// Folds another memo's local entries into this one (first write wins,
@@ -115,6 +164,15 @@ impl ScheduleMemo {
                     .iter()
                     .any(|e| e.prefix == entry.prefix && structural_eq(&e.graph, &entry.graph))
                 {
+                    if let Some((cache, backend_key)) = &self.backing {
+                        cache.insert(
+                            *backend_key,
+                            key,
+                            &entry.graph,
+                            &entry.prefix,
+                            &Schedule { order: entry.order.clone(), peak_bytes: entry.peak_bytes },
+                        );
+                    }
                     slot.push(entry);
                 }
             }
@@ -129,13 +187,26 @@ impl ScheduleMemo {
 
     /// Returns the memoized schedule of a graph structurally equal to
     /// `graph` that was produced under the same pinned `prefix`, if one was
-    /// inserted here or in a parent layer. Counts a hit or a miss (on this
-    /// memo only — parent counters are untouched).
+    /// inserted here, in a parent layer, or in the backing cache. Counts a
+    /// hit or a miss (on this memo only — parent counters are untouched).
     pub fn lookup(&self, key: u64, graph: &Graph, prefix: &[NodeId]) -> Option<Schedule> {
+        self.lookup_traced(key, graph, prefix).map(|(schedule, _)| schedule)
+    }
+
+    /// Like [`ScheduleMemo::lookup`], but also reports whether the hit was
+    /// resolved in-request ([`MemoSource::Memo`]) or by the process-wide
+    /// backing cache ([`MemoSource::Cache`]), so callers can attribute it
+    /// to the right counter and event.
+    pub fn lookup_traced(
+        &self,
+        key: u64,
+        graph: &Graph,
+        prefix: &[NodeId],
+    ) -> Option<(Schedule, MemoSource)> {
         match self.find(key, graph, prefix) {
-            Some(schedule) => {
+            Some(found) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(schedule)
+                Some(found)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -145,14 +216,45 @@ impl ScheduleMemo {
     }
 
     /// Stores `schedule` (produced under pinned `prefix`) for `graph` under
-    /// `key`. A structurally equal entry with the same prefix already
-    /// present is kept (first write wins — backends are deterministic, so
-    /// the schedules are identical anyway).
+    /// `key`, writing through to the backing cache if one is installed. A
+    /// structurally equal entry with the same prefix already present is
+    /// kept (first write wins — backends are deterministic, so the
+    /// schedules are identical anyway).
     pub fn insert(&self, key: u64, graph: &Graph, prefix: &[NodeId], schedule: &Schedule) {
+        self.insert_impl(key, graph, prefix, schedule, true);
+    }
+
+    /// Stores a schedule locally *without* writing through to the backing
+    /// cache. Used to backfill a cross-request cache hit into the
+    /// request's own memo, so N structurally identical segments pay the
+    /// shared-shard lookup once instead of N times.
+    pub(crate) fn insert_local(
+        &self,
+        key: u64,
+        graph: &Graph,
+        prefix: &[NodeId],
+        schedule: &Schedule,
+    ) {
+        self.insert_impl(key, graph, prefix, schedule, false);
+    }
+
+    fn insert_impl(
+        &self,
+        key: u64,
+        graph: &Graph,
+        prefix: &[NodeId],
+        schedule: &Schedule,
+        write_through: bool,
+    ) {
         let mut entries = self.entries.lock().expect("memo lock");
         let bucket = entries.entry(key).or_default();
         if bucket.iter().any(|e| e.prefix == prefix && structural_eq(&e.graph, graph)) {
             return;
+        }
+        if write_through {
+            if let Some((cache, backend_key)) = &self.backing {
+                cache.insert(*backend_key, key, graph, prefix, schedule);
+            }
         }
         bucket.push(MemoEntry {
             graph: graph.clone(),
@@ -282,6 +384,43 @@ mod tests {
         dup.insert(key, &chain("renamed", 10), &[], &schedule);
         base.absorb(dup);
         assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn cache_backed_memo_falls_through_and_writes_through() {
+        let cache = Arc::new(crate::cache::CompileCache::new());
+        let a = ScheduleMemo::backed(Arc::clone(&cache), 7);
+        let g = chain("g", 10);
+        let key = ScheduleMemo::key(&g);
+        let s = Schedule::from_order(&g, topo::kahn(&g)).unwrap();
+        a.insert(key, &g, &[], &s);
+        assert_eq!(a.lookup_traced(key, &g, &[]).unwrap().1, MemoSource::Memo);
+
+        // A second, fresh memo for the same backend ("the next request")
+        // sees the entry through the cache.
+        let b = ScheduleMemo::backed(Arc::clone(&cache), 7);
+        let (replayed, source) = b.lookup_traced(key, &g, &[]).expect("cache fall-through");
+        assert_eq!(replayed, s);
+        assert_eq!(source, MemoSource::Cache);
+
+        // A memo keyed for a different backend configuration must not.
+        let other = ScheduleMemo::backed(Arc::clone(&cache), 8);
+        assert!(other.lookup(key, &g, &[]).is_none());
+
+        // Layers over a backed memo reach the cache too, and absorbing an
+        // overlay into a backed memo publishes the overlay's entries.
+        let layer = ScheduleMemo::layered(Arc::new(ScheduleMemo::backed(Arc::clone(&cache), 7)));
+        assert!(layer.is_cache_backed());
+        assert_eq!(layer.lookup_traced(key, &g, &[]).unwrap().1, MemoSource::Cache);
+
+        let h = chain("h", 64);
+        let hk = ScheduleMemo::key(&h);
+        let hs = Schedule::from_order(&h, topo::kahn(&h)).unwrap();
+        let overlay = ScheduleMemo::new();
+        overlay.insert(hk, &h, &[], &hs);
+        a.absorb(overlay);
+        let fresh = ScheduleMemo::backed(Arc::clone(&cache), 7);
+        assert_eq!(fresh.lookup_traced(hk, &h, &[]).unwrap().1, MemoSource::Cache);
     }
 
     #[test]

@@ -21,7 +21,9 @@ use crate::backend::{
     DpBackend, SchedulerBackend,
 };
 use crate::budget::BudgetConfig;
+use crate::cache::CompileCache;
 use crate::divide::DivideAndConquer;
+use crate::memo::ScheduleMemo;
 use crate::rewrite::{AppliedRewrite, RewriteSearchConfig, RewriteSearchSummary, Rewriter};
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
@@ -52,6 +54,27 @@ pub enum RewriteMode {
 }
 
 /// Builder for [`Serenity`].
+///
+/// # Example: choosing a backend
+///
+/// Any [`SchedulerBackend`] can drive scheduling (the deprecated
+/// `plain_dp`/`adaptive_budget`/`segment_scheduler` shims forward here):
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use serenity_core::backend::{AdaptiveBackend, DpBackend};
+/// use serenity_core::budget::BudgetConfig;
+/// use serenity_core::dp::DpConfig;
+/// use serenity_core::pipeline::Serenity;
+///
+/// // Formerly `Serenity::builder().plain_dp(config)`:
+/// let dp = Serenity::builder().backend(Arc::new(DpBackend::with_config(DpConfig::default())));
+/// // Formerly `Serenity::builder().adaptive_budget(config)`:
+/// let adaptive = Serenity::builder()
+///     .backend(Arc::new(AdaptiveBackend::with_config(BudgetConfig::default())));
+/// # let (_, _) = (dp.build(), adaptive.build());
+/// ```
 #[derive(Clone)]
 pub struct SerenityBuilder {
     rewrite: RewriteMode,
@@ -165,6 +188,19 @@ impl SerenityBuilder {
     /// Installs a structured event sink.
     pub fn on_event(mut self, sink: impl Fn(&CompileEvent) + Send + Sync + 'static) -> Self {
         self.options = self.options.on_event(sink);
+        self
+    }
+
+    /// Shares a process-wide [`CompileCache`] with this compiler: segment
+    /// schedules (and, without divide-and-conquer, whole-graph schedules)
+    /// are replayed across [`Serenity::compile`] calls and across every
+    /// compiler holding a clone of the same `Arc`. Entries are keyed by
+    /// each backend's
+    /// [`config_fingerprint`](SchedulerBackend::config_fingerprint), so
+    /// mixing differently configured compilers on one cache is safe, and
+    /// cached runs stay bit-identical to cache-free runs.
+    pub fn compile_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.options.cache = Some(cache);
         self
     }
 
@@ -338,11 +374,14 @@ impl Serenity {
                     .rewrite_scorer
                     .clone()
                     .unwrap_or_else(|| Arc::new(BeamBackend::default()));
-                let outcome = Rewriter::standard()
+                let mut search = Rewriter::standard()
                     .cost_guided()
                     .config(self.config.rewrite_search)
-                    .score_backend(scorer)
-                    .run(graph, &ctx)?;
+                    .score_backend(scorer);
+                if let Some(cache) = &self.config.options.cache {
+                    search = search.cache(Arc::clone(cache));
+                }
+                let outcome = search.run(graph, &ctx)?;
                 stats.absorb(&outcome.stats);
                 let changed = outcome.changed();
                 rewrite_search = Some(outcome.summary);
@@ -423,6 +462,16 @@ impl Serenity {
             rewritten: !rewrites.is_empty(),
             peak_bytes: chosen.peak_bytes,
         });
+        if let Some(cache) = &self.config.options.cache {
+            let snapshot = cache.stats();
+            ctx.emit(CompileEvent::CacheReport {
+                hits: snapshot.hits,
+                misses: snapshot.misses,
+                evictions: snapshot.evictions,
+                entries: snapshot.entries,
+                entry_bytes: snapshot.entry_bytes,
+            });
+        }
         let compile_time = started.elapsed();
         Ok(CompiledSchedule {
             peak_bytes: chosen.peak_bytes,
@@ -444,18 +493,48 @@ impl Serenity {
         ctx: &CompileContext,
     ) -> Result<(Schedule, PartitionSummary, ScheduleStats), ScheduleError> {
         if self.config.divide {
-            let outcome = DivideAndConquer::new()
-                .backend(Arc::clone(&self.config.backend))
-                .schedule_with_ctx(graph, ctx)?;
+            let mut scheduler = DivideAndConquer::new().backend(Arc::clone(&self.config.backend));
+            if let Some(cache) = &self.config.options.cache {
+                // Segment schedules flow through a cache-backed memo: hits
+                // replay work done by earlier requests (possibly for other
+                // networks sharing cells), misses are published for later
+                // ones. Replays are exact, so warm compiles stay
+                // bit-identical to cold ones.
+                scheduler = scheduler.memo(Arc::new(ScheduleMemo::backed(
+                    Arc::clone(cache),
+                    self.config.backend.config_fingerprint(),
+                )));
+            }
+            let outcome = scheduler.schedule_with_ctx(graph, ctx)?;
             Ok((outcome.schedule, outcome.partition, outcome.total_stats))
         } else {
-            let outcome = self.config.backend.schedule(graph, ctx)?;
             let partition = PartitionSummary {
                 total_nodes: graph.len(),
                 segment_sizes: vec![graph.len()],
                 cut_count: 0,
             };
-            Ok((outcome.schedule, partition, outcome.stats))
+            // Without divide-and-conquer the whole graph is the unit of
+            // reuse: consult the cache directly.
+            let cache_key = self.config.options.cache.as_ref().map(|cache| {
+                (cache, self.config.backend.config_fingerprint(), ScheduleMemo::key(graph))
+            });
+            if let Some((cache, backend_key, key)) = &cache_key {
+                if let Some(schedule) = cache.lookup(*backend_key, *key, graph, &[]) {
+                    let stats = ScheduleStats {
+                        cache_hits: 1,
+                        steps: schedule.len(),
+                        ..Default::default()
+                    };
+                    return Ok((schedule, partition, stats));
+                }
+            }
+            let outcome = self.config.backend.schedule(graph, ctx)?;
+            let mut stats = outcome.stats;
+            if let Some((cache, backend_key, key)) = &cache_key {
+                stats.cache_misses += 1;
+                cache.insert(*backend_key, *key, graph, &[], &outcome.schedule);
+            }
+            Ok((outcome.schedule, partition, stats))
         }
     }
 }

@@ -188,6 +188,14 @@ impl SchedulerBackend for PortfolioBackend {
         "portfolio"
     }
 
+    /// Members and their order are the whole configuration: the winner is
+    /// min-peak with ties kept by the *earlier* member, so both membership
+    /// and sequence shape the result.
+    fn config_fingerprint(&self) -> u64 {
+        let parts: Vec<u64> = self.backends.iter().map(|b| b.config_fingerprint()).collect();
+        crate::backend::config_fingerprint_of(self.name(), &parts)
+    }
+
     fn schedule(
         &self,
         graph: &Graph,

@@ -218,6 +218,35 @@ impl RewriteOutcome {
 /// # Ok(())
 /// # }
 /// ```
+///
+/// # Example: opting into the cost-guided search
+///
+/// `Rewriter::standard().rewrite(&g)` applies blindly; chaining
+/// [`Rewriter::cost_guided`] instead runs the scheduler-in-the-loop
+/// [`RewriteSearch`], which only keeps rewrites that provably lower the
+/// scored peak (implementors of [`RewriteRule`] provide `apply_delta`;
+/// `apply` is a derived convenience):
+///
+/// ```
+/// use serenity_core::backend::CompileContext;
+/// use serenity_core::rewrite::Rewriter;
+/// use serenity_ir::{GraphBuilder, DType, Padding};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new("cell");
+/// let x = b.image_input("x", 8, 8, 4, DType::F32);
+/// let l = b.conv1x1(x, 8)?;
+/// let r = b.conv1x1(x, 8)?;
+/// let cat = b.concat(&[l, r])?;
+/// let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same)?;
+/// b.mark_output(y);
+/// let g = b.finish();
+///
+/// let outcome = Rewriter::standard().cost_guided().run(&g, &CompileContext::unconstrained())?;
+/// assert!(outcome.summary.final_peak_bytes <= outcome.summary.initial_peak_bytes);
+/// # Ok(())
+/// # }
+/// ```
 pub struct Rewriter {
     rules: Vec<Arc<dyn RewriteRule + Send + Sync>>,
     max_applications: usize,

@@ -59,6 +59,7 @@ use serenity_ir::fingerprint::{structural_eq, FingerprintCache};
 use serenity_ir::{Graph, GraphError, NodeId};
 
 use crate::backend::{BeamBackend, CompileContext, CompileEvent, SchedulerBackend};
+use crate::cache::CompileCache;
 use crate::divide::DivideAndConquer;
 use crate::memo::ScheduleMemo;
 use crate::rewrite::{AppliedRewrite, RewriteRule, RewriteSite};
@@ -237,6 +238,7 @@ pub struct RewriteSearch {
     rules: Vec<Arc<dyn RewriteRule + Send + Sync>>,
     config: RewriteSearchConfig,
     scorer: Arc<dyn SchedulerBackend>,
+    cache: Option<Arc<CompileCache>>,
 }
 
 impl std::fmt::Debug for RewriteSearch {
@@ -245,6 +247,7 @@ impl std::fmt::Debug for RewriteSearch {
             .field("rules", &self.rules.iter().map(|r| r.name()).collect::<Vec<_>>())
             .field("config", &self.config)
             .field("scorer", &self.scorer.name())
+            .field("cache", &self.cache.is_some())
             .finish()
     }
 }
@@ -326,12 +329,24 @@ impl RewriteSearch {
             rules,
             config: RewriteSearchConfig::default(),
             scorer: Arc::new(BeamBackend::default()),
+            cache: None,
         }
     }
 
     /// Replaces the search configuration.
     pub fn config(mut self, config: RewriteSearchConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Backs the run's schedule memo with the process-wide `cache`, keyed
+    /// by the scoring backend's
+    /// [`config_fingerprint`](SchedulerBackend::config_fingerprint):
+    /// candidate segments scored by an earlier compile request replay
+    /// instead of being re-searched, and this run's scores are published
+    /// for later requests. Results stay bit-identical to a cache-free run.
+    pub fn cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -665,7 +680,12 @@ impl RewriteSearch {
                 stats: ScheduleStats::default(),
             });
         }
-        let memo = Arc::new(ScheduleMemo::new());
+        let memo = Arc::new(match &self.cache {
+            Some(cache) => {
+                ScheduleMemo::backed(Arc::clone(cache), self.scorer.config_fingerprint())
+            }
+            None => ScheduleMemo::new(),
+        });
         let scorer =
             DivideAndConquer::new().backend(Arc::clone(&self.scorer)).memo(Arc::clone(&memo));
 

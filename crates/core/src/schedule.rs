@@ -73,6 +73,13 @@ pub struct ScheduleStats {
     /// Segment schedules that missed the memo and were actually searched
     /// (only counted when a memo was installed).
     pub memo_misses: u64,
+    /// Schedules replayed from the process-wide
+    /// [`CompileCache`](crate::cache::CompileCache) — cross-request hits
+    /// (zero when no cache is installed).
+    pub cache_hits: u64,
+    /// Lookups that fell through to the compile cache and missed (only
+    /// counted when a cache is installed).
+    pub cache_misses: u64,
     /// Peak bytes of signature storage (frontier bitsets) live at any one
     /// moment of the search — the DP's search-memory high-water mark. Zero
     /// for schedulers that do not memoize signatures.
@@ -99,6 +106,8 @@ impl ScheduleStats {
         self.probes += other.probes;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         // High-water marks don't add: sequential runs reuse the memory.
         self.peak_memo_bytes = self.peak_memo_bytes.max(other.peak_memo_bytes);
         self.steps = self.steps.max(other.steps);
@@ -159,6 +168,8 @@ mod tests {
             probes: 4,
             memo_hits: 6,
             memo_misses: 9,
+            cache_hits: 3,
+            cache_misses: 8,
             peak_memo_bytes: 4096,
             steps: 3,
             duration: Duration::from_micros(1500),
@@ -177,6 +188,8 @@ mod tests {
             probes: 1,
             memo_hits: 1,
             memo_misses: 2,
+            cache_hits: 1,
+            cache_misses: 3,
             peak_memo_bytes: 100,
             steps: 5,
             duration: Duration::from_micros(10),
@@ -188,6 +201,8 @@ mod tests {
             probes: 2,
             memo_hits: 4,
             memo_misses: 5,
+            cache_hits: 2,
+            cache_misses: 4,
             peak_memo_bytes: 64,
             steps: 4,
             duration: Duration::from_micros(7),
@@ -199,6 +214,8 @@ mod tests {
         assert_eq!(total.probes, 3);
         assert_eq!(total.memo_hits, 5);
         assert_eq!(total.memo_misses, 7);
+        assert_eq!(total.cache_hits, 3);
+        assert_eq!(total.cache_misses, 7);
         assert_eq!(total.peak_memo_bytes, 100, "memo high-water mark keeps the maximum");
         assert_eq!(total.steps, 5, "steps keeps the maximum");
         assert_eq!(total.duration, Duration::from_micros(17));

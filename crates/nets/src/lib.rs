@@ -3,7 +3,7 @@
 //! The paper evaluates SERENITY on graphs extracted from three network
 //! families; the original model files are not distributed, so this crate
 //! *synthesizes* the same families from their published construction rules
-//! (see DESIGN.md for the substitution argument):
+//! (the module docs of each family state the substitution argument):
 //!
 //! * [`darts`] — the DARTS-V2 normal cell (Liu et al. 2019), built from the
 //!   released genotype, with the next cell's `ReLU → 1×1 conv → BN`

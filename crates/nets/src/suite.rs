@@ -71,7 +71,8 @@ pub struct Benchmark {
 }
 
 /// RandWire dimensions per benchmark cell: chosen so the TFLite-style
-/// baseline peaks land near Figure 15's raw KB values (see EXPERIMENTS.md).
+/// baseline peaks land near Figure 15's raw KB values (checked by the
+/// calibration tests in crates/nets/tests/calibration.rs).
 fn randwire(seed: u64, nodes: usize, hw: usize, channels: usize) -> Graph {
     randwire_cell(&RandWireConfig {
         nodes,

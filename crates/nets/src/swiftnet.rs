@@ -16,7 +16,7 @@
 //!
 //! Channel widths below are calibrated so the TFLite-style baseline
 //! (Kahn order + greedy-by-size arena) lands near the paper's Figure 15 raw
-//! numbers; EXPERIMENTS.md records the calibration.
+//! numbers; crates/nets/tests/calibration.rs enforces the calibration.
 
 use serenity_ir::{DType, Graph, GraphBuilder, NodeId, Padding};
 
@@ -37,7 +37,8 @@ impl Default for SwiftNetConfig {
     }
 }
 
-// Per-cell channel widths, calibrated against Figure 15 (see EXPERIMENTS.md):
+// Per-cell channel widths, calibrated against Figure 15 (enforced by
+// crates/nets/tests/calibration.rs):
 // Cell A at 48×48 → TFLite ≈ 552 KB, Cell B at 24×24 → ≈ 194 KB,
 // Cell C at 12×12 → ≈ 70 KB.
 const A_STEM: usize = 4;

@@ -29,7 +29,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Half-open length range accepted by [`vec`].
+    /// Half-open length range accepted by [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         start: usize,
