@@ -1,0 +1,342 @@
+//! `bench_serve` — the tracked compile-service baseline.
+//!
+//! Drives a real [`serenity_serve::Server`] over loopback TCP through the
+//! request mix a long-running service sees, and emits one JSON file
+//! (default `BENCH_serve.json` — run from the repo root):
+//!
+//! * `cold` / `warm` — closed-loop clients compile a mix of unique graphs
+//!   once cold, then replay the mix against the now-warm cache; client-side
+//!   p50/p99 per phase plus the warm speedup (acceptance: warm p50 at
+//!   least 5× faster than cold in full mode).
+//! * `burst` — N concurrent clients post the *same fresh* graph at once;
+//!   single-flight coalescing must collapse the burst to far fewer
+//!   compiles than requests (measured via the server's own flight
+//!   counters).
+//! * `restart` — the service persists its cache, shuts down, and a fresh
+//!   process-equivalent (new server, new in-memory cache, same directory)
+//!   replays the mix; the warm-start fraction is how many replayed
+//!   requests were served from the persisted shards.
+//! * `bit_identical` — every `result` object observed in every phase is
+//!   compared against a cold single-threaded in-process compile of the
+//!   same graph; any mismatch fails the run.
+//!
+//! Run with: `cargo run --release -p serenity-bench --bin bench_serve`
+//!
+//! Flags:
+//! * `--out PATH`  output path (default `BENCH_serve.json`)
+//! * `--smoke`     tiny graphs, small burst — CI keeps the harness honest
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serenity_core::backend::AdaptiveBackend;
+use serenity_core::CompileCache;
+use serenity_ir::json::to_json;
+use serenity_ir::Graph;
+use serenity_nets::randwire::{randwire_cell, Aggregation, RandWireConfig};
+use serenity_nets::swiftnet::{swiftnet_with, SwiftNetConfig};
+use serenity_serve::server::{Server, ServerConfig};
+use serenity_serve::service::{CompileService, ServiceConfig};
+
+struct Workload {
+    id: String,
+    body: String,
+}
+
+fn randwire_concat(nodes: usize, seed: u64, hw: usize, channels: usize) -> Graph {
+    randwire_cell(&RandWireConfig {
+        nodes,
+        seed,
+        hw,
+        channels,
+        aggregation: Aggregation::Concat,
+        ..Default::default()
+    })
+}
+
+/// The replayed mix: unique graphs a NAS-style client family would submit.
+fn workloads(smoke: bool) -> Vec<(String, Graph)> {
+    if smoke {
+        return vec![
+            (
+                "swiftnet-w1".into(),
+                swiftnet_with(&SwiftNetConfig { hw: 16, in_channels: 3, width: 1 }),
+            ),
+            ("randwire-concat-n8".into(), randwire_concat(8, 5, 8, 8)),
+        ];
+    }
+    vec![
+        ("swiftnet-w1".into(), swiftnet_with(&SwiftNetConfig { hw: 32, in_channels: 3, width: 1 })),
+        ("swiftnet-w2".into(), swiftnet_with(&SwiftNetConfig { hw: 32, in_channels: 3, width: 2 })),
+        ("swiftnet-w3".into(), swiftnet_with(&SwiftNetConfig { hw: 32, in_channels: 3, width: 3 })),
+        ("randwire-concat-n10".into(), randwire_concat(10, 3, 16, 12)),
+        ("randwire-concat-n12".into(), randwire_concat(12, 1, 16, 16)),
+        ("randwire-concat-n14".into(), randwire_concat(14, 9, 16, 12)),
+    ]
+}
+
+/// The burst graph is deliberately NOT in the mix: it must be cold when
+/// the concurrent duplicates arrive, or the cache (not single-flight)
+/// would absorb them.
+fn burst_graph(smoke: bool) -> Graph {
+    if smoke {
+        randwire_concat(9, 11, 8, 8)
+    } else {
+        randwire_concat(16, 17, 16, 12)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP client (one request per call, Connection: close).
+
+fn http_post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    read_response(&mut stream)
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    let request = format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("write request");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
+    let status: u16 = head.split(' ').nth(1).expect("status line").parse().expect("numeric status");
+    (status, body.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Latency bookkeeping.
+
+fn percentile(sorted_micros: &[u64], q: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_micros.len() as f64).ceil() as usize).clamp(1, sorted_micros.len());
+    sorted_micros[rank - 1]
+}
+
+fn phase_json(latencies: &mut [u64]) -> serde_json::Value {
+    latencies.sort_unstable();
+    serde_json::json!({
+        "requests": latencies.len(),
+        "p50_us": percentile(latencies, 0.50),
+        "p99_us": percentile(latencies, 0.99),
+        "max_us": latencies.last().copied().unwrap_or(0),
+    })
+}
+
+/// POSTs every workload once, asserting 200 and bit-identity against the
+/// reference results; returns client-side latencies and per-workload
+/// warm-hit flags (`meta.cache_hits > 0`).
+fn run_mix(
+    addr: std::net::SocketAddr,
+    mix: &[Workload],
+    reference: &HashMap<String, serde_json::Value>,
+) -> (Vec<u64>, usize) {
+    let mut latencies = Vec::with_capacity(mix.len());
+    let mut warm_hits = 0usize;
+    for w in mix {
+        let started = Instant::now();
+        let (status, body) = http_post(addr, "/compile", &w.body);
+        latencies.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        assert_eq!(status, 200, "compile of {} failed: {body}", w.id);
+        let parsed: serde_json::Value = serde_json::from_str(&body).expect("valid response JSON");
+        assert_eq!(
+            parsed["result"], reference[&w.id],
+            "{}: served result differs from the cold single-threaded compile",
+            w.id
+        );
+        if parsed["meta"]["cache_hits"].as_u64().unwrap_or(0) > 0 {
+            warm_hits += 1;
+        }
+    }
+    (latencies, warm_hits)
+}
+
+fn spawn_server(persist_dir: &std::path::Path, allow_shutdown: bool) -> Server {
+    let service = CompileService::new(
+        Arc::new(AdaptiveBackend::default()),
+        Arc::new(CompileCache::new()),
+        ServiceConfig {
+            persist_dir: Some(persist_dir.to_path_buf()),
+            allow_shutdown,
+            ..ServiceConfig::default()
+        },
+    );
+    Server::spawn(ServerConfig { threads: 4, ..ServerConfig::default() }, Arc::new(service))
+        .expect("bench server binds")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let persist_dir = std::env::temp_dir().join(if smoke {
+        "serenity_bench_serve_smoke"
+    } else {
+        "serenity_bench_serve"
+    });
+    let _ = std::fs::remove_dir_all(&persist_dir);
+    std::fs::create_dir_all(&persist_dir).expect("create persistence directory");
+
+    let mix: Vec<Workload> = workloads(smoke)
+        .into_iter()
+        .map(|(id, graph)| Workload { body: to_json(&graph), id })
+        .collect();
+    let burst = burst_graph(smoke);
+    let burst_body = to_json(&burst);
+    let burst_clients = if smoke { 4 } else { 8 };
+
+    // Reference results: cold single-threaded compiles with the same
+    // backend configuration, each through a fresh service with a fresh
+    // cache — the bit-identity oracle for every served response.
+    eprintln!("computing cold single-threaded reference results...");
+    let reference: HashMap<String, serde_json::Value> = workloads(smoke)
+        .iter()
+        .chain(std::iter::once(&("burst".to_string(), burst.clone())))
+        .map(|(id, graph)| {
+            let service = CompileService::new(
+                Arc::new(AdaptiveBackend::default()),
+                Arc::new(CompileCache::new()),
+                ServiceConfig::default(),
+            );
+            let json = service.compile_result_json(graph).expect("reference compile");
+            (id.clone(), serde_json::from_str(&json).expect("reference parses"))
+        })
+        .collect();
+
+    // Phase 1+2: cold pass, then warm replay against the same server.
+    let server = spawn_server(&persist_dir, true);
+    let addr = server.addr();
+    eprintln!("cold pass ({} unique graphs)...", mix.len());
+    let (mut cold, cold_hits) = run_mix(addr, &mix, &reference);
+    eprintln!("warm replay...");
+    let (mut warm, warm_hits) = run_mix(addr, &mix, &reference);
+    assert_eq!(warm_hits, mix.len(), "every warm replay must hit the cache");
+
+    // Phase 3: duplicate burst of a fresh graph.
+    eprintln!("duplicate burst ({burst_clients} concurrent identical requests)...");
+    let (_, before_status) = http_get(addr, "/status");
+    let before: serde_json::Value = serde_json::from_str(&before_status).expect("status JSON");
+    let gate = std::sync::Barrier::new(burst_clients);
+    let burst_results: Vec<serde_json::Value> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..burst_clients)
+            .map(|_| {
+                let (gate, body) = (&gate, &burst_body);
+                scope.spawn(move || {
+                    gate.wait();
+                    let (status, body) = http_post(addr, "/compile", body);
+                    assert_eq!(status, 200, "burst compile failed: {body}");
+                    let parsed: serde_json::Value =
+                        serde_json::from_str(&body).expect("valid burst response");
+                    parsed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("burst client")).collect()
+    });
+    for response in &burst_results {
+        assert_eq!(
+            response["result"], reference["burst"],
+            "burst result differs from the cold single-threaded compile"
+        );
+    }
+    let (_, after_status) = http_get(addr, "/status");
+    let after: serde_json::Value = serde_json::from_str(&after_status).expect("status JSON");
+    let burst_leads = after["singleflight"]["leads"].as_u64().unwrap()
+        - before["singleflight"]["leads"].as_u64().unwrap();
+    let burst_coalesced = after["singleflight"]["coalesced"].as_u64().unwrap()
+        - before["singleflight"]["coalesced"].as_u64().unwrap();
+    assert!(
+        burst_leads < burst_clients as u64,
+        "the duplicate burst must coalesce: {burst_leads} compiles for {burst_clients} requests"
+    );
+
+    // Phase 4: persist, shut down, restart warm from disk.
+    eprintln!("persisting cache and restarting the service...");
+    let (status, persist_body) = http_post(addr, "/persist", "");
+    assert_eq!(status, 200, "persist failed: {persist_body}");
+    let persist_report: serde_json::Value =
+        serde_json::from_str(&persist_body).expect("persist report JSON");
+    server.shutdown();
+    server.join();
+
+    let restarted = spawn_server(&persist_dir, false);
+    let (_, restarted_status) = http_get(restarted.addr(), "/status");
+    let restarted_before: serde_json::Value =
+        serde_json::from_str(&restarted_status).expect("status JSON");
+    let warm_start = restarted_before["persist"]["warm_start"].clone();
+    let (mut restarted_warm, restarted_hits) = run_mix(restarted.addr(), &mix, &reference);
+    assert!(
+        restarted_hits * 2 > mix.len(),
+        "a restarted service must serve most of the mix from persisted shards \
+         ({restarted_hits}/{} warm)",
+        mix.len()
+    );
+    restarted.shutdown();
+    restarted.join();
+
+    cold.sort_unstable();
+    warm.sort_unstable();
+    let cold_p50 = percentile(&cold, 0.50);
+    let warm_p50 = percentile(&warm, 0.50).max(1);
+    let speedup_p50 = cold_p50 as f64 / warm_p50 as f64;
+
+    let report = serde_json::json!({
+        "schema": "serenity-bench-serve/v1",
+        "mode": if smoke { "smoke" } else { "full" },
+        "unique_graphs": mix.len(),
+        "cold": phase_json(&mut cold),
+        "cold_warm_hits": cold_hits,
+        "warm": phase_json(&mut warm),
+        "warm_hits": warm_hits,
+        "warm_speedup_p50": speedup_p50,
+        "burst": serde_json::json!({
+            "requests": burst_clients,
+            "compiles": burst_leads,
+            "coalesced": burst_coalesced,
+        }),
+        "persist_report": persist_report,
+        "restart": serde_json::json!({
+            "warm_start": warm_start,
+            "requests": mix.len(),
+            "warm_hits": restarted_hits,
+            "warm_fraction": restarted_hits as f64 / mix.len() as f64,
+            "latency": phase_json(&mut restarted_warm),
+        }),
+        "bit_identical": true,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write report");
+    println!("{rendered}");
+    eprintln!(
+        "wrote {out_path}: warm p50 {warm_p50} us vs cold p50 {cold_p50} us \
+         ({speedup_p50:.1}x), burst {burst_leads}/{burst_clients} compiles, \
+         restart {restarted_hits}/{} warm",
+        mix.len()
+    );
+    if !smoke && speedup_p50 < 5.0 {
+        eprintln!("WARNING: warm p50 speedup {speedup_p50:.1}x is below the 5x acceptance bar");
+        std::process::exit(1);
+    }
+}

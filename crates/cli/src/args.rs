@@ -2,6 +2,7 @@
 //! dependencies outside its allowed set, so no `clap`).
 
 use serenity_allocator::Strategy;
+use serenity_core::AdmissionPolicy;
 use serenity_memsim::Policy;
 
 /// Usage text printed on parse errors and `--help`.
@@ -35,6 +36,29 @@ usage:
       --verbose               narrate compile events to stderr
       --json                  machine-readable output
       --map                   print the ASCII arena memory map
+  serenity serve [options]                       run the long-lived compile
+                                                 service (POST graph JSON to
+                                                 /compile, stats on /status)
+      --addr <host:port>      bind address (default 127.0.0.1:7878; port 0
+                              picks an ephemeral port)
+      --threads <N>           worker threads (default 4)
+      --queue <N>             accepted connections queued before shedding
+                              with 503 (default 64)
+      --scheduler <name>      scheduling backend (see `serenity backends`;
+                              default adaptive)
+      --cache-bytes <N>       byte budget of the shared compile cache
+                              (default 64 MiB)
+      --admission <lru|tinylfu>
+                              cache admission policy (default lru; tinylfu
+                              protects the hot working set from one-shot
+                              request floods)
+      --persist <DIR>         warm-load the cache from DIR at startup and
+                              save it there on POST /persist or shutdown
+      --deadline-ms <N>       default compile deadline applied to requests
+                              without their own ?deadline_ms=
+      --max-body-bytes <N>    largest accepted request body
+                              (default 8 MiB)
+      --allow-shutdown        honour POST /shutdown (for tests/benchmarks)
   serenity dot <graph.json>                      emit Graphviz Dot
   serenity info <graph.json>                     structural analysis
   serenity traffic <graph.json> --capacity-kb <N> [--policy belady|lru|fifo]
@@ -90,6 +114,30 @@ pub enum Command {
         json: bool,
         /// Print the ASCII arena memory map.
         map: bool,
+    },
+    /// Run the long-lived compile service.
+    Serve {
+        /// Bind address (`host:port`; port 0 for ephemeral).
+        addr: String,
+        /// Worker threads.
+        threads: usize,
+        /// Accept-queue capacity before 503 shedding.
+        queue: usize,
+        /// Backend name from the registry (`None` = default adaptive).
+        scheduler: Option<String>,
+        /// Compile-cache byte budget (`None` = default 64 MiB).
+        cache_bytes: Option<u64>,
+        /// Cache admission policy.
+        admission: AdmissionPolicy,
+        /// Cache persistence directory (disabled when absent).
+        persist: Option<String>,
+        /// Default compile deadline in milliseconds for requests without
+        /// their own `?deadline_ms=`.
+        deadline_ms: Option<u64>,
+        /// Largest accepted request body (`None` = default 8 MiB).
+        max_body_bytes: Option<u64>,
+        /// Whether `POST /shutdown` stops the server.
+        allow_shutdown: bool,
     },
     /// Emit Graphviz Dot for a graph file.
     Dot {
@@ -265,6 +313,97 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 map,
             })
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:7878".to_owned();
+            let mut threads = 4usize;
+            let mut queue = 64usize;
+            let mut scheduler = None;
+            let mut cache_bytes = None;
+            let mut admission = AdmissionPolicy::Lru;
+            let mut persist = None;
+            let mut deadline_ms = None;
+            let mut max_body_bytes = None;
+            let mut allow_shutdown = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--allow-shutdown" => allow_shutdown = true,
+                    "--addr" => addr = it.next().ok_or("serve: --addr needs a value")?.to_owned(),
+                    "--scheduler" => {
+                        scheduler =
+                            Some(it.next().ok_or("serve: --scheduler needs a name")?.to_owned());
+                    }
+                    "--persist" => {
+                        persist =
+                            Some(it.next().ok_or("serve: --persist needs a path")?.to_owned());
+                    }
+                    "--admission" => {
+                        admission = match it.next().ok_or("serve: --admission needs a value")? {
+                            "lru" => AdmissionPolicy::Lru,
+                            "tinylfu" => AdmissionPolicy::TinyLfu,
+                            other => {
+                                return Err(format!("serve: unknown admission policy {other}"))
+                            }
+                        };
+                    }
+                    "--threads" => {
+                        let raw = it.next().ok_or("serve: --threads needs a value")?;
+                        threads = raw
+                            .parse::<usize>()
+                            .map_err(|_| format!("serve: bad thread count {raw}"))?;
+                        if threads == 0 {
+                            return Err("serve: --threads must be at least 1".into());
+                        }
+                    }
+                    "--queue" => {
+                        let raw = it.next().ok_or("serve: --queue needs a value")?;
+                        queue = raw
+                            .parse::<usize>()
+                            .map_err(|_| format!("serve: bad queue capacity {raw}"))?;
+                        if queue == 0 {
+                            return Err("serve: --queue must be at least 1".into());
+                        }
+                    }
+                    "--cache-bytes" => {
+                        let raw = it.next().ok_or("serve: --cache-bytes needs a value")?;
+                        cache_bytes = Some(
+                            raw.parse::<u64>()
+                                .map_err(|_| format!("serve: bad cache budget {raw}"))?,
+                        );
+                    }
+                    "--deadline-ms" => {
+                        let raw = it.next().ok_or("serve: --deadline-ms needs a value")?;
+                        deadline_ms = Some(
+                            raw.parse::<u64>().map_err(|_| format!("serve: bad deadline {raw}"))?,
+                        );
+                    }
+                    "--max-body-bytes" => {
+                        let raw = it.next().ok_or("serve: --max-body-bytes needs a value")?;
+                        max_body_bytes = Some(
+                            raw.parse::<u64>()
+                                .map_err(|_| format!("serve: bad body limit {raw}"))?,
+                        );
+                    }
+                    other => return Err(format!("serve: unknown flag {other}")),
+                }
+            }
+            if cache_bytes == Some(0) {
+                return Err("serve: --cache-bytes 0 would disable the cache the service is \
+                     built around; give it a budget"
+                    .into());
+            }
+            Ok(Command::Serve {
+                addr,
+                threads,
+                queue,
+                scheduler,
+                cache_bytes,
+                admission,
+                persist,
+                deadline_ms,
+                max_body_bytes,
+                allow_shutdown,
+            })
+        }
         "dot" => {
             let path = it.next().ok_or("dot: missing graph path")?.to_owned();
             Ok(Command::Dot { path })
@@ -435,6 +574,56 @@ mod tests {
         assert!(parse(&args("schedule g.json --rewrite-threads 0")).is_err());
         assert!(parse(&args("schedule g.json --rewrite-threads lots")).is_err());
         assert!(parse(&args("schedule g.json --no-rewrite --rewrite-threads 2")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&args("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 4,
+                queue: 64,
+                scheduler: None,
+                cache_bytes: None,
+                admission: AdmissionPolicy::Lru,
+                persist: None,
+                deadline_ms: None,
+                max_body_bytes: None,
+                allow_shutdown: false,
+            }
+        );
+        let cmd = parse(&args(
+            "serve --addr 0.0.0.0:0 --threads 8 --queue 16 --scheduler dp \
+             --cache-bytes 1048576 --admission tinylfu --persist /tmp/cache \
+             --deadline-ms 500 --max-body-bytes 4096 --allow-shutdown",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "0.0.0.0:0".into(),
+                threads: 8,
+                queue: 16,
+                scheduler: Some("dp".into()),
+                cache_bytes: Some(1_048_576),
+                admission: AdmissionPolicy::TinyLfu,
+                persist: Some("/tmp/cache".into()),
+                deadline_ms: Some(500),
+                max_body_bytes: Some(4096),
+                allow_shutdown: true,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(parse(&args("serve --threads 0")).is_err());
+        assert!(parse(&args("serve --queue 0")).is_err());
+        assert!(parse(&args("serve --admission random")).is_err());
+        assert!(parse(&args("serve --cache-bytes 0")).is_err());
+        assert!(parse(&args("serve --deadline-ms soon")).is_err());
+        assert!(parse(&args("serve --bogus")).is_err());
     }
 
     #[test]

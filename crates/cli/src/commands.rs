@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use serenity_core::backend::{AdaptiveBackend, CompileEvent, DpBackend, SchedulerBackend};
 use serenity_core::budget::BudgetConfig;
-use serenity_core::cache::CompileCache;
+use serenity_core::cache::{AdmissionPolicy, CompileCache, CompileCacheConfig};
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
 use serenity_core::registry::BackendRegistry;
@@ -56,6 +56,29 @@ pub fn run(command: Command) -> Result<(), String> {
             };
             schedule(&paths, options)
         }
+        Command::Serve {
+            addr,
+            threads,
+            queue,
+            scheduler,
+            cache_bytes,
+            admission,
+            persist,
+            deadline_ms,
+            max_body_bytes,
+            allow_shutdown,
+        } => serve(ServeOptions {
+            addr,
+            threads,
+            queue,
+            scheduler,
+            cache_bytes,
+            admission,
+            persist,
+            deadline_ms,
+            max_body_bytes,
+            allow_shutdown,
+        }),
         Command::Dot { path } => {
             let graph = load(&path)?;
             print!("{}", dot::to_dot(&graph));
@@ -334,7 +357,19 @@ fn schedule(paths: &[String], options: ScheduleOptions) -> Result<(), String> {
     let cache_stats = cache.as_ref().map(|c| c.stats());
     if options.json {
         let cache_json = cache_stats
-            .map(|s| serde_json::to_value(&s).expect("cache stats serialize"))
+            .map(|s| {
+                serde_json::json!({
+                    "hits": s.hits,
+                    "misses": s.misses,
+                    "hit_rate": s.hit_rate(),
+                    "insertions": s.insertions,
+                    "evictions": s.evictions,
+                    "rejected_admissions": s.rejected_admissions,
+                    "entries": s.entries,
+                    "entry_bytes": s.entry_bytes,
+                    "budget_bytes": s.budget_bytes,
+                })
+            })
             .unwrap_or(serde_json::Value::Null);
         // Single-graph invocations keep the original flat report shape;
         // batch invocations wrap the per-graph reports.
@@ -348,9 +383,12 @@ fn schedule(paths: &[String], options: ScheduleOptions) -> Result<(), String> {
         println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
     } else if let Some(stats) = cache_stats {
         println!(
-            "\ncompile cache : {} hits / {} lookups, {} evictions, {:.1} KiB resident",
+            "\ncompile cache : {} hits / {} lookups ({:.0}% hit rate), {} insertions, \
+             {} evictions, {:.1} KiB resident",
             stats.hits,
             stats.hits + stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.insertions,
             stats.evictions,
             stats.entry_bytes as f64 / 1024.0
         );
@@ -423,6 +461,75 @@ fn print_compiled(compiled: &serenity_core::pipeline::CompiledSchedule, map: boo
             None => println!("(no arena: allocator disabled)"),
         }
     }
+}
+
+/// Parsed `serenity serve` flags, bundled.
+struct ServeOptions {
+    addr: String,
+    threads: usize,
+    queue: usize,
+    scheduler: Option<String>,
+    cache_bytes: Option<u64>,
+    admission: AdmissionPolicy,
+    persist: Option<String>,
+    deadline_ms: Option<u64>,
+    max_body_bytes: Option<u64>,
+    allow_shutdown: bool,
+}
+
+fn serve(options: ServeOptions) -> Result<(), String> {
+    use serenity_serve::server::{Server, ServerConfig};
+    use serenity_serve::service::{CompileService, ServiceConfig};
+
+    let backend: Arc<dyn SchedulerBackend> = match &options.scheduler {
+        None => Arc::new(AdaptiveBackend::default()),
+        Some(name) => BackendRegistry::standard().create(name).ok_or_else(|| {
+            format!(
+                "unknown scheduler `{name}` (available: {})",
+                BackendRegistry::standard().names().join(", ")
+            )
+        })?,
+    };
+    let cache_config = CompileCacheConfig {
+        max_bytes: options.cache_bytes.unwrap_or(CompileCacheConfig::default().max_bytes),
+        admission: options.admission,
+        ..CompileCacheConfig::default()
+    };
+    let cache = Arc::new(CompileCache::with_config(cache_config));
+    if let Some(dir) = &options.persist {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create persistence directory {dir}: {e}"))?;
+    }
+    let service = CompileService::new(
+        backend,
+        cache,
+        ServiceConfig {
+            default_deadline: options.deadline_ms.map(Duration::from_millis),
+            persist_dir: options.persist.clone().map(std::path::PathBuf::from),
+            allow_shutdown: options.allow_shutdown,
+            ..ServiceConfig::default()
+        },
+    );
+    let stats = service.cache().stats();
+    if options.persist.is_some() && stats.entries > 0 {
+        eprintln!(
+            "warm start: {} cached schedules ({:.1} KiB) loaded from disk",
+            stats.entries,
+            stats.entry_bytes as f64 / 1024.0
+        );
+    }
+    let server_config = ServerConfig {
+        addr: options.addr.clone(),
+        threads: options.threads,
+        queue_capacity: options.queue,
+        max_body_bytes: options.max_body_bytes.unwrap_or(ServerConfig::default().max_body_bytes),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn(server_config, Arc::new(service))
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    eprintln!("serving on http://{}", server.addr());
+    server.join();
+    Ok(())
 }
 
 fn run_suite() -> Result<(), String> {

@@ -316,6 +316,12 @@ fn batch_schedule_shares_the_compile_cache() {
         "second graph must hit the cache: {report:?}"
     );
     assert!(report["cache"]["hits"].as_u64().unwrap() > 0);
+    assert!(
+        report["cache"]["hit_rate"].as_f64().unwrap() > 0.0,
+        "JSON cache footer must report the hit rate: {report:?}"
+    );
+    assert!(report["cache"]["insertions"].as_u64().unwrap() > 0);
+    assert_eq!(report["cache"]["rejected_admissions"].as_u64(), Some(0));
 
     // --cache-bytes 0 disables caching (and the summary shows no cache).
     let out = serenity(&["schedule", a_str, b_str, "--cache-bytes", "0", "--json"]);
@@ -324,8 +330,72 @@ fn batch_schedule_shares_the_compile_cache() {
     assert!(report["cache"].is_null());
     assert_eq!(report["graphs"][1]["cache_hits"].as_u64(), Some(0));
 
-    // Table mode prints the cache footer for batches.
+    // Table mode prints the cache footer for batches, hit rate included.
     let out = serenity(&["schedule", a_str, b_str]);
     assert!(out.status.success());
-    assert!(stdout(&out).contains("compile cache :"), "cache footer missing:\n{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("compile cache :"), "cache footer missing:\n{text}");
+    assert!(text.contains("hit rate"), "hit rate missing from footer:\n{text}");
+    assert!(text.contains("insertions"), "insertions missing from footer:\n{text}");
+}
+
+#[test]
+fn serve_subcommand_answers_http_and_shuts_down() {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+
+    let dir = std::env::temp_dir().join("serenity_cli_serve_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("serve_cell.json");
+    let graph_str = graph_path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", graph_str]).status.success());
+    let graph_json = std::fs::read_to_string(&graph_path).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serenity"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2", "--allow-shutdown"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    // The server announces its ephemeral address on stderr once bound.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line.trim().strip_prefix("serving on http://").unwrap_or_else(|| {
+        let _ = child.kill();
+        panic!("unexpected announcement: {line}");
+    });
+
+    let result = (|| -> Result<(), String> {
+        let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let request = format!(
+            "POST /compile HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{graph_json}",
+            graph_json.len()
+        );
+        stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response).map_err(|e| format!("read: {e}"))?;
+        if !response.starts_with("HTTP/1.1 200") {
+            return Err(format!("compile over HTTP failed:\n{response}"));
+        }
+        if !response.contains("\"peak_bytes\"") {
+            return Err(format!("response body missing schedule:\n{response}"));
+        }
+
+        let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .write_all(
+                b"POST /shutdown HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                  Content-Length: 0\r\n\r\n",
+            )
+            .map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        Ok(())
+    })();
+    if let Err(reason) = result {
+        let _ = child.kill();
+        panic!("{reason}");
+    }
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exited uncleanly: {status:?}");
 }

@@ -81,21 +81,50 @@
 //! The cache is sharded: each shard owns an independent `Mutex`, entries
 //! are routed by key hash, and no operation ever holds more than one shard
 //! lock — so there is no lock-ordering and no possibility of deadlock
-//! between concurrent compiles. Shard locks also recover from poisoning
+//! between concurrent compiles. (Under [`AdmissionPolicy::TinyLfu`] an
+//! insert additionally takes the frequency-sketch lock while holding its
+//! shard lock; the sketch lock is a leaf — no code path acquires a shard
+//! lock while holding it — so the ordering stays acyclic.) Shard locks
+//! also recover from poisoning
 //! (a thread that panicked mid-operation leaves behind, at worst, a
 //! consistent-but-partial shard; every entry is still confirmed
 //! structurally on hit), so one panicking compile cannot take the cache
 //! down for the rest of the process.
 
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::{fs, io};
 
 use serde::{Deserialize, Serialize};
-use serenity_ir::fingerprint::structural_eq;
+use serenity_ir::fingerprint::{fingerprint, structural_eq};
 use serenity_ir::fxhash::FxHashMap;
 use serenity_ir::{Graph, NodeId};
 
 use crate::Schedule;
+
+/// How a [`CompileCache`] decides what to keep when the byte budget is
+/// exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum AdmissionPolicy {
+    /// Always admit; evict least-recently-used entries to make room. The
+    /// right default for batch compiles, where every graph is compiled a
+    /// bounded number of times and recency is the only signal available.
+    #[default]
+    Lru,
+    /// TinyLFU-style frequency-aware admission (Einziger et al., 2017): a
+    /// compact count-min sketch estimates how often each key has been
+    /// *asked for*; when admitting a new entry would evict a victim whose
+    /// estimated frequency is at least the newcomer's, the newcomer is
+    /// dropped instead. One-shot request floods — an adversarial client
+    /// spraying unique graphs, or an honest but diverse cold sweep —
+    /// therefore cannot evict the hot working set of a long-running
+    /// compile service, because each flood key has frequency 1 while the
+    /// working set has been looked up repeatedly.
+    TinyLfu,
+}
 
 /// Construction knobs of a [`CompileCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,14 +140,21 @@ pub struct CompileCacheConfig {
     /// contention between concurrent compiles but a coarser (per-shard)
     /// LRU horizon. Clamped to at least 1.
     pub shards: usize,
+    /// What to do when an insert would exceed the budget (see
+    /// [`AdmissionPolicy`]).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for CompileCacheConfig {
-    /// 64 MiB across 16 shards: comfortably holds every segment of the
-    /// benchmark suite many times over while staying irrelevant next to a
-    /// compile service's working set.
+    /// 64 MiB across 16 shards with plain LRU admission: comfortably holds
+    /// every segment of the benchmark suite many times over while staying
+    /// irrelevant next to a compile service's working set.
     fn default() -> Self {
-        CompileCacheConfig { max_bytes: 64 * 1024 * 1024, shards: 16 }
+        CompileCacheConfig {
+            max_bytes: 64 * 1024 * 1024,
+            shards: 16,
+            admission: AdmissionPolicy::Lru,
+        }
     }
 }
 
@@ -134,12 +170,29 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to stay under the byte budget.
     pub evictions: u64,
+    /// Insert attempts dropped by [`AdmissionPolicy::TinyLfu`] because the
+    /// would-be victim was estimated more frequent than the newcomer
+    /// (always 0 under [`AdmissionPolicy::Lru`]).
+    pub rejected_admissions: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Approximate bytes currently retained by resident entries.
     pub entry_bytes: u64,
     /// The configured byte budget.
     pub budget_bytes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]`; `0.0` before the first
+    /// lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
 }
 
 /// One cached schedule: the full identity needed for an exact hit confirm,
@@ -171,18 +224,104 @@ struct Shard {
     bytes: u64,
 }
 
+/// A count-min sketch of key request frequencies, the estimator behind
+/// [`AdmissionPolicy::TinyLfu`].
+///
+/// Four rows of byte counters; a key increments the minimum of its four
+/// row slots (conservative update), and an estimate reads their minimum —
+/// so estimates only ever *over*-count, and only when all four slots
+/// collide with hotter keys. Counters saturate at [`Self::CAP`] and all
+/// halve once [`Self::sample`] increments have accumulated, so the sketch
+/// tracks recent popularity rather than all-time totals (the "aging" that
+/// makes TinyLFU adapt when the working set shifts).
+struct FrequencySketch {
+    rows: Vec<Vec<u8>>,
+    mask: u64,
+    /// Increments since the last halving.
+    ops: u64,
+    /// Halve all counters after this many increments.
+    sample: u64,
+}
+
+impl FrequencySketch {
+    const ROWS: usize = 4;
+    /// Counter saturation point. 15 (a 4-bit counter, as in the paper's
+    /// implementations) is plenty: admission only compares counters, and
+    /// past 15 both contenders are simply "hot".
+    const CAP: u8 = 15;
+
+    /// A sketch with `width` counters per row (rounded up to a power of
+    /// two).
+    fn new(width: usize) -> Self {
+        let width = width.next_power_of_two().max(64);
+        FrequencySketch {
+            rows: (0..Self::ROWS).map(|_| vec![0u8; width]).collect(),
+            mask: width as u64 - 1,
+            ops: 0,
+            sample: 10 * width as u64,
+        }
+    }
+
+    /// The slot of `key` in `row` (independent splitmix64-style hashes).
+    fn slot(&self, row: usize, key: u64) -> usize {
+        let mut z = key.wrapping_add((row as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) & self.mask) as usize
+    }
+
+    /// Records one request for `key`.
+    fn increment(&mut self, key: u64) {
+        let slots: Vec<usize> = (0..Self::ROWS).map(|r| self.slot(r, key)).collect();
+        let current = self.estimate(key);
+        if current < Self::CAP {
+            for (row, &slot) in self.rows.iter_mut().zip(&slots) {
+                // Conservative update: only the minimal counters move, so
+                // colliding hot keys inflate cold estimates as little as
+                // possible.
+                if row[slot] == current {
+                    row[slot] += 1;
+                }
+            }
+        }
+        self.ops += 1;
+        if self.ops >= self.sample {
+            self.age();
+        }
+    }
+
+    /// Estimated request count of `key` (an upper bound).
+    fn estimate(&self, key: u64) -> u8 {
+        (0..Self::ROWS).map(|r| self.rows[r][self.slot(r, key)]).min().unwrap_or(0)
+    }
+
+    /// Halves every counter, forgetting half of history.
+    fn age(&mut self) {
+        for row in &mut self.rows {
+            for c in row.iter_mut() {
+                *c >>= 1;
+            }
+        }
+        self.ops /= 2;
+    }
+}
+
 /// The process-wide, thread-safe schedule cache (see the module docs).
 pub struct CompileCache {
     shards: Vec<Mutex<Shard>>,
     /// Per-shard slice of [`CompileCacheConfig::max_bytes`].
     shard_budget: u64,
     budget_bytes: u64,
+    /// Frequency sketch backing [`AdmissionPolicy::TinyLfu`]; `None` under
+    /// plain LRU (no per-lookup overhead when the policy is off).
+    sketch: Option<Mutex<FrequencySketch>>,
     /// Monotonic LRU clock, bumped on every hit and admission.
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl std::fmt::Debug for CompileCache {
@@ -230,15 +369,28 @@ impl CompileCache {
     /// A cache with the given configuration.
     pub fn with_config(config: CompileCacheConfig) -> Self {
         let shards = config.shards.max(1);
+        let sketch = match config.admission {
+            AdmissionPolicy::Lru => None,
+            // Width scales with how many entries could plausibly be
+            // resident (budget / a small-entry floor), so sketch collisions
+            // stay rare at any configured size; the floor of 64 per row and
+            // 8 KiB total keeps tiny test caches functional.
+            AdmissionPolicy::TinyLfu => {
+                let width = (config.max_bytes / 512).clamp(64, 64 * 1024) as usize;
+                Some(Mutex::new(FrequencySketch::new(width)))
+            }
+        };
         CompileCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: config.max_bytes / shards as u64,
             budget_bytes: config.max_bytes,
+            sketch,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -279,6 +431,7 @@ impl CompileCache {
         prefix: &[NodeId],
     ) -> Option<Schedule> {
         let key = mixed_key(backend_key, graph_key);
+        self.record_request(key);
         let found = {
             let mut shard = self.shard_for(key);
             shard.buckets.get_mut(&key).and_then(|bucket| {
@@ -307,12 +460,24 @@ impl CompileCache {
         }
     }
 
+    /// Records one request for `key` in the frequency sketch (no-op under
+    /// [`AdmissionPolicy::Lru`]). The sketch lock recovers from poisoning
+    /// like the shard locks: counters are advisory, a torn update at worst
+    /// skews one admission decision.
+    fn record_request(&self, key: u64) {
+        if let Some(sketch) = &self.sketch {
+            sketch.lock().unwrap_or_else(PoisonError::into_inner).increment(key);
+        }
+    }
+
     /// Stores `schedule` (produced by backend `backend_key` under pinned
     /// `prefix`) for `graph` under `graph_key`. First write wins — all
     /// backends are deterministic, so a duplicate insert carries an
     /// identical schedule anyway. Admission may evict least-recently-used
     /// entries of the target shard to stay under the byte budget; an entry
-    /// larger than one shard's whole budget is not admitted.
+    /// larger than one shard's whole budget is not admitted. Under
+    /// [`AdmissionPolicy::TinyLfu`], the newcomer itself is dropped instead
+    /// when an eviction victim is estimated at least as frequent.
     pub fn insert(
         &self,
         backend_key: u64,
@@ -326,7 +491,9 @@ impl CompileCache {
             return;
         }
         let key = mixed_key(backend_key, graph_key);
+        self.record_request(key);
         let mut evicted = 0u64;
+        let mut rejected = false;
         {
             let mut shard = self.shard_for(key);
             let bucket = shard.buckets.entry(key).or_default();
@@ -335,6 +502,7 @@ impl CompileCache {
             }) {
                 return;
             }
+            let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
             bucket.push(CacheEntry {
                 backend_key,
                 graph: graph.clone(),
@@ -342,7 +510,7 @@ impl CompileCache {
                 order: schedule.order.clone(),
                 peak_bytes: schedule.peak_bytes,
                 charge,
-                last_used: self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+                last_used: stamp,
             });
             shard.bytes += charge;
             if shard.bytes > self.shard_budget {
@@ -350,10 +518,22 @@ impl CompileCache {
                 // below the budget: one scan then buys headroom for many
                 // admissions, so steady-state inserts at the budget stay
                 // amortized-cheap instead of scanning the shard every time.
-                evicted = evict_lru_to(&mut shard, self.shard_budget - self.shard_budget / 8);
+                let target = self.shard_budget - self.shard_budget / 8;
+                match &self.sketch {
+                    None => evicted = evict_lru_to(&mut shard, target),
+                    Some(sketch) => {
+                        let sketch = sketch.lock().unwrap_or_else(PoisonError::into_inner);
+                        (evicted, rejected) =
+                            evict_admitting(&mut shard, target, (key, stamp), &sketch);
+                    }
+                }
             }
         }
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if rejected {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
@@ -385,11 +565,196 @@ impl CompileCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            rejected_admissions: self.rejected.load(Ordering::Relaxed),
             entries: self.len(),
             entry_bytes: self.entry_bytes(),
             budget_bytes: self.budget_bytes,
         }
     }
+
+    /// Serializes every resident entry to per-shard JSON files
+    /// (`shard-NNN.json`) under `dir`, creating the directory if needed and
+    /// replacing any previous save. A restarted process that
+    /// [`load_from_dir`](CompileCache::load_from_dir)s the directory starts
+    /// warm instead of recompiling its whole working set.
+    ///
+    /// Entries are written oldest-first, so a reload replays admissions in
+    /// recency order and restores the LRU horizon. Each file is written to
+    /// a temporary name and atomically renamed into place — a crash
+    /// mid-save leaves the previous complete file, never a torn one.
+    /// Snapshots are taken per shard under its lock, but serialization and
+    /// file IO happen after the lock is released, so saving never blocks
+    /// concurrent compiles for longer than one entry clone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation, writes, renames).
+    pub fn save_to_dir(&self, dir: &Path) -> io::Result<PersistReport> {
+        fs::create_dir_all(dir)?;
+        // Drop stale shard files from a previous save: the shard count may
+        // have shrunk, and a leftover file would resurrect evicted entries
+        // on the next load.
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if is_shard_file(&entry.path()) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        let mut report = PersistReport::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut stamped: Vec<(u64, PersistedEntry)> = {
+                let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                shard
+                    .buckets
+                    .values()
+                    .flatten()
+                    .map(|e| {
+                        (
+                            e.last_used,
+                            PersistedEntry {
+                                backend_key: e.backend_key,
+                                graph: e.graph.clone(),
+                                prefix: e.prefix.clone(),
+                                order: e.order.clone(),
+                                peak_bytes: e.peak_bytes,
+                            },
+                        )
+                    })
+                    .collect()
+            };
+            stamped.sort_by_key(|&(stamp, _)| stamp);
+            let file = PersistedShard {
+                version: PERSIST_VERSION,
+                entries: stamped.into_iter().map(|(_, e)| e).collect(),
+            };
+            report.entries_ok += file.entries.len();
+            let text = serde_json::to_string(&file)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let path = shard_file(dir, i);
+            let tmp = path.with_extension("json.tmp");
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(text.as_bytes())?;
+                f.sync_all()?;
+            }
+            fs::rename(&tmp, &path)?;
+            report.shards_ok += 1;
+        }
+        Ok(report)
+    }
+
+    /// Re-admits the entries saved under `dir` by
+    /// [`save_to_dir`](CompileCache::save_to_dir).
+    ///
+    /// Files are **not trusted**: every entry is re-validated — the graph
+    /// structurally ([`Graph::validate`]), the order by recomputing its
+    /// peak ([`Schedule::from_order`]) and confirming it matches the stored
+    /// value — and re-admitted through the normal [`insert`] path, so
+    /// budget accounting, shard routing, and admission policy apply exactly
+    /// as they would to fresh compiles (a load can therefore also migrate
+    /// between shard counts and byte budgets). A corrupted or
+    /// wrong-version shard file degrades to a cold shard, counted in
+    /// [`PersistReport::shards_failed`]; a tampered entry is dropped and
+    /// counted in [`PersistReport::entries_rejected`] — neither is ever a
+    /// crash, and a validated entry replayed from disk remains
+    /// bit-identical to a fresh compile.
+    ///
+    /// [`insert`]: CompileCache::insert
+    ///
+    /// # Errors
+    ///
+    /// Only if `dir` itself cannot be read; per-file failures degrade
+    /// softly as described.
+    pub fn load_from_dir(&self, dir: &Path) -> io::Result<PersistReport> {
+        let mut report = PersistReport::default();
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| is_shard_file(p))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let parsed: Option<PersistedShard> = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| serde_json::from_str(&text).ok())
+                .filter(|s: &PersistedShard| s.version == PERSIST_VERSION);
+            let Some(file) = parsed else {
+                report.shards_failed += 1;
+                continue;
+            };
+            report.shards_ok += 1;
+            for e in file.entries {
+                let confirmed = e.graph.validate().is_ok()
+                    && e.prefix.iter().all(|p| p.index() < e.graph.len())
+                    && Schedule::from_order(&e.graph, e.order.clone())
+                        .is_ok_and(|s| s.peak_bytes == e.peak_bytes);
+                if !confirmed {
+                    report.entries_rejected += 1;
+                    continue;
+                }
+                let schedule = Schedule { order: e.order, peak_bytes: e.peak_bytes };
+                self.insert(e.backend_key, fingerprint(&e.graph), &e.graph, &e.prefix, &schedule);
+                report.entries_ok += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Version tag of the on-disk shard format; a mismatch degrades the file
+/// to a cold shard rather than attempting a cross-version parse.
+const PERSIST_VERSION: u32 = 1;
+
+/// One cache entry in its on-disk form: the same self-contained identity
+/// and payload as a live entry, minus LRU bookkeeping (recency is encoded
+/// by position in the file instead).
+#[derive(Serialize, Deserialize)]
+struct PersistedEntry {
+    backend_key: u64,
+    graph: Graph,
+    prefix: Vec<NodeId>,
+    order: Vec<NodeId>,
+    peak_bytes: u64,
+}
+
+/// On-disk form of one shard: `{ "version": 1, "entries": [...] }`.
+#[derive(Serialize, Deserialize)]
+struct PersistedShard {
+    version: u32,
+    entries: Vec<PersistedEntry>,
+}
+
+/// Outcome of a [`CompileCache::save_to_dir`] /
+/// [`CompileCache::load_from_dir`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PersistReport {
+    /// Shard files written (save) or parsed successfully (load).
+    pub shards_ok: usize,
+    /// Shard files skipped on load — unreadable, unparseable, or the wrong
+    /// format version. The corresponding entries simply start cold.
+    pub shards_failed: usize,
+    /// Entries written (save) or re-admitted (load).
+    pub entries_ok: usize,
+    /// Entries dropped by load-time validation (invalid graph, invalid
+    /// order, or an inconsistent stored peak).
+    pub entries_rejected: usize,
+}
+
+impl PersistReport {
+    /// Whether anything was skipped — worth a warning in service logs.
+    pub fn degraded(&self) -> bool {
+        self.shards_failed > 0 || self.entries_rejected > 0
+    }
+}
+
+fn shard_file(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}.json"))
+}
+
+fn is_shard_file(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".json"))
 }
 
 /// Evicts least-recently-used entries of `shard` until its charged bytes
@@ -409,16 +774,63 @@ fn evict_lru_to(shard: &mut Shard, target: u64) -> u64 {
         if shard.bytes <= target {
             break;
         }
-        let bucket = shard.buckets.get_mut(&key).expect("victim bucket exists");
-        let index = bucket.iter().position(|e| e.last_used == stamp).expect("victim entry exists");
-        let entry = bucket.remove(index);
-        shard.bytes -= entry.charge;
-        if bucket.is_empty() {
-            shard.buckets.remove(&key);
-        }
+        remove_entry(shard, key, stamp);
         evicted += 1;
     }
     evicted
+}
+
+/// The [`AdmissionPolicy::TinyLfu`] counterpart of [`evict_lru_to`]: walks
+/// victims in LRU order, but before evicting each one compares sketch
+/// frequencies — if the victim is estimated at least as frequent as the
+/// just-inserted `candidate`, the candidate is removed instead and the walk
+/// stops (no point freeing room for an entry we are dropping). Returns the
+/// eviction count and whether the candidate was rejected.
+fn evict_admitting(
+    shard: &mut Shard,
+    target: u64,
+    candidate: (u64, u64),
+    sketch: &FrequencySketch,
+) -> (u64, bool) {
+    let (candidate_key, candidate_stamp) = candidate;
+    let candidate_freq = sketch.estimate(candidate_key);
+    let mut stamps: Vec<(u64, u64)> = shard
+        .buckets
+        .iter()
+        .flat_map(|(&key, bucket)| bucket.iter().map(move |e| (e.last_used, key)))
+        .collect();
+    stamps.sort_unstable();
+    let mut evicted = 0;
+    for (stamp, key) in stamps {
+        if shard.bytes <= target {
+            break;
+        }
+        if (stamp, key) == (candidate_stamp, candidate_key) {
+            // The candidate itself (always the freshest stamp) is never an
+            // LRU victim; reaching it means everything else was evicted.
+            continue;
+        }
+        if sketch.estimate(key) >= candidate_freq {
+            remove_entry(shard, candidate_key, candidate_stamp);
+            return (evicted, true);
+        }
+        remove_entry(shard, key, stamp);
+        evicted += 1;
+    }
+    (evicted, false)
+}
+
+/// Removes the entry identified by `(key, stamp)` from `shard`, maintaining
+/// the byte account. Stamps are unique (the clock is bumped per admission
+/// and per hit), so the pair identifies exactly one entry.
+fn remove_entry(shard: &mut Shard, key: u64, stamp: u64) {
+    let bucket = shard.buckets.get_mut(&key).expect("victim bucket exists");
+    let index = bucket.iter().position(|e| e.last_used == stamp).expect("victim entry exists");
+    let entry = bucket.remove(index);
+    shard.bytes -= entry.charge;
+    if bucket.is_empty() {
+        shard.buckets.remove(&key);
+    }
 }
 
 #[cfg(test)]
@@ -442,13 +854,32 @@ mod tests {
     /// A single-shard cache sized to hold exactly `entries` chain graphs,
     /// so LRU behavior is deterministic in tests.
     fn small_cache(entries: u64) -> CompileCache {
+        small_cache_with(entries, AdmissionPolicy::Lru)
+    }
+
+    fn small_cache_with(entries: u64, admission: AdmissionPolicy) -> CompileCache {
         let g = chain("sizer", 8);
         let s = schedule_of(&g);
         let per_entry = CompileCache::charge_for(&g, &[], &s.order);
         CompileCache::with_config(CompileCacheConfig {
             max_bytes: per_entry * entries + per_entry / 2,
             shards: 1,
+            admission,
         })
+    }
+
+    /// A unique scratch directory under the system temp dir.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "serenity-cache-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -548,7 +979,11 @@ mod tests {
     fn oversized_entries_are_not_admitted() {
         // An entry that could never fit must not evict the whole shard
         // only to be evicted itself.
-        let cache = CompileCache::with_config(CompileCacheConfig { max_bytes: 64, shards: 1 });
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 64,
+            shards: 1,
+            ..Default::default()
+        });
         let g = chain("g", 8);
         cache.insert(1, fingerprint(&g), &g, &[], &schedule_of(&g));
         assert!(cache.is_empty());
@@ -559,8 +994,11 @@ mod tests {
     fn contended_access_completes() {
         // Many threads hammering lookups and inserts on few shards: no
         // deadlock (single-lock discipline) and consistent final counters.
-        let cache =
-            CompileCache::with_config(CompileCacheConfig { max_bytes: 1024 * 1024, shards: 2 });
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 2,
+            ..Default::default()
+        });
         std::thread::scope(|scope| {
             for t in 0..8 {
                 let cache = &cache;
@@ -584,8 +1022,11 @@ mod tests {
 
     #[test]
     fn poisoned_shard_recovers_without_deadlock() {
-        let cache =
-            CompileCache::with_config(CompileCacheConfig { max_bytes: 1024 * 1024, shards: 1 });
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 1,
+            ..Default::default()
+        });
         let g = chain("g", 8);
         let key = fingerprint(&g);
         let s = schedule_of(&g);
@@ -609,5 +1050,286 @@ mod tests {
         cache.insert(1, fingerprint(&h), &h, &[], &schedule_of(&h));
         assert_eq!(cache.len(), 2);
         assert!(cache.stats().entry_bytes > 0);
+    }
+
+    #[test]
+    fn hit_rate_tracks_the_counters() {
+        let cache = CompileCache::new();
+        assert_eq!(cache.stats().hit_rate(), 0.0, "no lookups yet");
+        let g = chain("g", 8);
+        let key = fingerprint(&g);
+        let s = schedule_of(&g);
+        assert!(cache.lookup(1, key, &g, &[]).is_none());
+        cache.insert(1, key, &g, &[], &s);
+        assert!(cache.lookup(1, key, &g, &[]).is_some());
+        assert!(cache.lookup(1, key, &g, &[]).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tinylfu_rejects_one_shot_floods() {
+        // A hot working set that has been looked up repeatedly must survive
+        // a flood of one-shot inserts: each newcomer's frequency is 1,
+        // below every resident's, so the newcomer is dropped instead.
+        let cache = small_cache_with(2, AdmissionPolicy::TinyLfu);
+        let hot: Vec<Graph> = (0..2).map(|i| chain(&format!("hot{i}"), 8 + i)).collect();
+        let keys: Vec<u64> = hot.iter().map(fingerprint).collect();
+        for (g, &key) in hot.iter().zip(&keys) {
+            cache.insert(1, key, g, &[], &schedule_of(g));
+        }
+        for _ in 0..3 {
+            for (g, &key) in hot.iter().zip(&keys) {
+                assert!(cache.lookup(1, key, g, &[]).is_some());
+            }
+        }
+        for i in 0..8 {
+            let one_shot = chain(&format!("flood{i}"), 100 + i);
+            cache.insert(1, fingerprint(&one_shot), &one_shot, &[], &schedule_of(&one_shot));
+        }
+        for (g, &key) in hot.iter().zip(&keys) {
+            assert!(cache.lookup(1, key, g, &[]).is_some(), "hot entry must survive the flood");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.rejected_admissions, 8, "every one-shot insert is rejected");
+        assert_eq!(stats.evictions, 0, "nothing is evicted to make room for rejects");
+    }
+
+    #[test]
+    fn tinylfu_admits_a_frequent_newcomer() {
+        // A newcomer that has been *requested* more often than a resident
+        // (repeated misses count) must displace it — frequency-aware
+        // admission is not a write lock on the first working set.
+        let cache = small_cache_with(2, AdmissionPolicy::TinyLfu);
+        let cold: Vec<Graph> = (0..2).map(|i| chain(&format!("cold{i}"), 8 + i)).collect();
+        for g in &cold {
+            cache.insert(1, fingerprint(g), g, &[], &schedule_of(g));
+        }
+        let wanted = chain("wanted", 64);
+        let wkey = fingerprint(&wanted);
+        for _ in 0..4 {
+            assert!(cache.lookup(1, wkey, &wanted, &[]).is_none(), "still a miss");
+        }
+        cache.insert(1, wkey, &wanted, &[], &schedule_of(&wanted));
+        assert!(cache.lookup(1, wkey, &wanted, &[]).is_some(), "frequent newcomer admitted");
+        let stats = cache.stats();
+        assert_eq!(stats.rejected_admissions, 0);
+        assert!(stats.evictions > 0, "a resident was displaced");
+    }
+
+    #[test]
+    fn lru_policy_never_rejects() {
+        let cache = small_cache(2);
+        for i in 0..6 {
+            let g = chain(&format!("g{i}"), 8 + i);
+            cache.insert(1, fingerprint(&g), &g, &[], &schedule_of(&g));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.rejected_admissions, 0);
+        assert!(stats.evictions > 0);
+    }
+
+    #[test]
+    fn frequency_sketch_estimates_and_ages() {
+        let mut sketch = FrequencySketch::new(256);
+        for _ in 0..10 {
+            sketch.increment(42);
+        }
+        sketch.increment(7);
+        assert!(sketch.estimate(42) >= 10, "conservative update undercounts only via aging");
+        assert!(sketch.estimate(7) >= 1);
+        assert!(sketch.estimate(42) > sketch.estimate(7));
+        // Saturation: estimates never exceed the cap.
+        for _ in 0..100 {
+            sketch.increment(42);
+        }
+        assert!(sketch.estimate(42) <= FrequencySketch::CAP);
+        // Aging halves everything.
+        let before = sketch.estimate(42);
+        sketch.age();
+        assert_eq!(sketch.estimate(42), before / 2);
+    }
+
+    #[test]
+    fn persistence_round_trip_preserves_entries_and_budget() {
+        let dir = scratch_dir("roundtrip");
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 4,
+            ..Default::default()
+        });
+        let graphs: Vec<Graph> = (0..6).map(|i| chain(&format!("g{i}"), 8 + i)).collect();
+        let keys: Vec<u64> = graphs.iter().map(fingerprint).collect();
+        let schedules: Vec<Schedule> = graphs.iter().map(schedule_of).collect();
+        for i in 0..6 {
+            cache.insert(7, keys[i], &graphs[i], &[], &schedules[i]);
+        }
+        // One entry with a pinned prefix, as divide-and-conquer stores them.
+        let pin = [NodeId::from_index(0)];
+        cache.insert(7, keys[0], &graphs[0], &pin, &schedules[0]);
+
+        let saved = cache.save_to_dir(&dir).unwrap();
+        assert_eq!(saved.shards_ok, 4);
+        assert_eq!(saved.entries_ok, 7);
+        assert!(!saved.degraded());
+
+        let restored = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 4,
+            ..Default::default()
+        });
+        let loaded = restored.load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.shards_ok, 4);
+        assert_eq!(loaded.entries_ok, 7);
+        assert_eq!(loaded.entries_rejected, 0);
+
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!(restored.entry_bytes(), cache.entry_bytes(), "budget accounting matches");
+        for i in 0..6 {
+            assert_eq!(
+                restored.lookup(7, keys[i], &graphs[i], &[]),
+                Some(schedules[i].clone()),
+                "entry {i} replays bit-identically after restart"
+            );
+        }
+        assert_eq!(restored.lookup(7, keys[0], &graphs[0], &pin), Some(schedules[0].clone()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_preserves_lru_recency() {
+        let dir = scratch_dir("recency");
+        let cache = small_cache(2);
+        let graphs: Vec<Graph> = (0..3).map(|i| chain(&format!("g{i}"), 8 + i)).collect();
+        let keys: Vec<u64> = graphs.iter().map(fingerprint).collect();
+        cache.insert(1, keys[0], &graphs[0], &[], &schedule_of(&graphs[0]));
+        cache.insert(1, keys[1], &graphs[1], &[], &schedule_of(&graphs[1]));
+        // Touch entry 0 so entry 1 is the LRU victim after a reload too.
+        assert!(cache.lookup(1, keys[0], &graphs[0], &[]).is_some());
+        cache.save_to_dir(&dir).unwrap();
+
+        let restored = small_cache(2);
+        restored.load_from_dir(&dir).unwrap();
+        restored.insert(1, keys[2], &graphs[2], &[], &schedule_of(&graphs[2]));
+        assert!(
+            restored.lookup(1, keys[0], &graphs[0], &[]).is_some(),
+            "recently-used entry survives the post-restart eviction"
+        );
+        assert!(
+            restored.lookup(1, keys[1], &graphs[1], &[]).is_none(),
+            "the pre-save LRU victim is evicted first after restart"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_shard_degrades_to_cold_not_crash() {
+        let dir = scratch_dir("corrupt");
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 2,
+            ..Default::default()
+        });
+        // Several graphs so both shards get at least one entry with high
+        // probability; assert on totals rather than per-shard placement.
+        let graphs: Vec<Graph> = (0..8).map(|i| chain(&format!("g{i}"), 8 + i)).collect();
+        for g in &graphs {
+            cache.insert(1, fingerprint(g), g, &[], &schedule_of(g));
+        }
+        cache.save_to_dir(&dir).unwrap();
+        std::fs::write(dir.join("shard-000.json"), "{ definitely not json").unwrap();
+
+        let restored = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 2,
+            ..Default::default()
+        });
+        let report = restored.load_from_dir(&dir).unwrap();
+        assert_eq!(report.shards_failed, 1, "the corrupted shard is skipped");
+        assert_eq!(report.shards_ok, 1, "the intact shard still loads");
+        assert!(report.degraded());
+        assert!(restored.len() < cache.len(), "corrupted shard's entries are gone");
+        assert!(!restored.is_empty(), "intact shard's entries survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_entries_are_rejected_on_load() {
+        let dir = scratch_dir("tamper");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = chain("g", 8);
+        let s = schedule_of(&g);
+        // A wrong stored peak (evidence of tampering or a stale format)
+        // must be dropped: replaying it would break the bit-identical
+        // warm-equals-cold invariant.
+        let bad_peak = PersistedShard {
+            version: PERSIST_VERSION,
+            entries: vec![PersistedEntry {
+                backend_key: 1,
+                graph: g.clone(),
+                prefix: Vec::new(),
+                order: s.order.clone(),
+                peak_bytes: s.peak_bytes + 1,
+            }],
+        };
+        // An order that is not a topological order of the graph.
+        let mut reversed = s.order.clone();
+        reversed.reverse();
+        let bad_order = PersistedShard {
+            version: PERSIST_VERSION,
+            entries: vec![PersistedEntry {
+                backend_key: 1,
+                graph: g.clone(),
+                prefix: Vec::new(),
+                order: reversed,
+                peak_bytes: s.peak_bytes,
+            }],
+        };
+        // A future format version: skipped wholesale.
+        let wrong_version = PersistedShard { version: PERSIST_VERSION + 1, entries: Vec::new() };
+        std::fs::write(dir.join("shard-000.json"), serde_json::to_string(&bad_peak).unwrap())
+            .unwrap();
+        std::fs::write(dir.join("shard-001.json"), serde_json::to_string(&bad_order).unwrap())
+            .unwrap();
+        std::fs::write(dir.join("shard-002.json"), serde_json::to_string(&wrong_version).unwrap())
+            .unwrap();
+
+        let cache = CompileCache::new();
+        let report = cache.load_from_dir(&dir).unwrap();
+        assert_eq!(report.entries_rejected, 2);
+        assert_eq!(report.entries_ok, 0);
+        assert_eq!(report.shards_failed, 1);
+        assert!(cache.is_empty(), "nothing tampered is admitted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_stale_shard_files() {
+        let dir = scratch_dir("stale");
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 4,
+            ..Default::default()
+        });
+        let g = chain("g", 8);
+        cache.insert(1, fingerprint(&g), &g, &[], &schedule_of(&g));
+        cache.save_to_dir(&dir).unwrap();
+
+        // A smaller cache saved to the same directory must not leave the
+        // old shard files behind (they would resurrect entries on load).
+        let narrow = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 1,
+            ..Default::default()
+        });
+        narrow.save_to_dir(&dir).unwrap();
+        let shard_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| is_shard_file(&e.path()))
+            .count();
+        assert_eq!(shard_files, 1, "stale shard files from the wider save are gone");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -121,7 +121,7 @@ mod schedule;
 pub use backend::{
     BackendOutcome, CancelToken, CompileContext, CompileEvent, CompileOptions, SchedulerBackend,
 };
-pub use cache::{CacheStats, CompileCache, CompileCacheConfig};
+pub use cache::{AdmissionPolicy, CacheStats, CompileCache, CompileCacheConfig, PersistReport};
 pub use error::ScheduleError;
 pub use registry::{BackendRegistry, PortfolioBackend};
 pub use schedule::{Schedule, ScheduleStats};

@@ -186,8 +186,11 @@ fn whole_graph_caching_works_without_divide_and_conquer() {
 fn tiny_budget_evicts_but_never_corrupts_results() {
     // A cache far too small for the workload must keep evicting (or
     // refusing admission) while every compile stays correct.
-    let cache =
-        Arc::new(CompileCache::with_config(CompileCacheConfig { max_bytes: 4 * 1024, shards: 1 }));
+    let cache = Arc::new(CompileCache::with_config(CompileCacheConfig {
+        max_bytes: 4 * 1024,
+        shards: 1,
+        ..Default::default()
+    }));
     let compiler = Serenity::builder().compile_cache(Arc::clone(&cache)).build();
     let reference = Serenity::builder().build();
     for graph in workloads() {

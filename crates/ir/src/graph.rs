@@ -385,6 +385,19 @@ impl Graph {
                     });
                 }
             }
+            // The reverse direction too: a fabricated successor entry with no
+            // predecessor mirror would corrupt (or, if out of range, crash)
+            // Kahn's indegree accounting below.
+            for &s in self.succs(id) {
+                if s.index() >= n {
+                    return Err(GraphError::UnknownNode(s));
+                }
+                if !self.preds(s).contains(&id) {
+                    return Err(GraphError::InvalidOrder {
+                        detail: format!("edge {id}→{s} missing from predecessor table"),
+                    });
+                }
+            }
         }
         for &o in &self.outputs {
             if o.index() >= n {

@@ -3,8 +3,157 @@
 //! Graphs round-trip through [`serde_json`]; deserialized graphs are
 //! re-validated because JSON from external tools may violate the invariants
 //! that [`Graph::add`](crate::Graph::add) enforces by construction.
+//!
+//! Two import entry points exist:
+//!
+//! * [`from_json`] — the trusting path used by the CLI on local files:
+//!   parse, validate, and report failures as [`GraphError`]s.
+//! * [`from_json_checked`] — the hardened path for **untrusted input**
+//!   (the compile service's `POST /compile` body): every failure is a
+//!   structured [`ImportError`] carrying field/node context, and
+//!   [`ImportLimits`] bound the accepted size (text bytes, nodes, edges,
+//!   per-node fan-in, name length) *before* the graph reaches the
+//!   scheduler, so a hostile body can neither panic the process nor make
+//!   it allocate unboundedly.
+
+use std::fmt;
 
 use crate::{Graph, GraphError};
+
+/// Size and arity bounds enforced by [`from_json_checked`].
+///
+/// The defaults are generous for real networks (the paper's largest graphs
+/// are well under a thousand nodes) while small enough that a hostile
+/// request cannot drive memory or validation time far beyond a legitimate
+/// compile's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImportLimits {
+    /// Maximum accepted JSON text length in bytes.
+    pub max_text_bytes: usize,
+    /// Maximum number of nodes.
+    pub max_nodes: usize,
+    /// Maximum number of edges.
+    pub max_edges: usize,
+    /// Maximum fan-in (predecessor count) of a single node.
+    pub max_arity: usize,
+    /// Maximum byte length of a node (or graph) name.
+    pub max_name_bytes: usize,
+}
+
+impl Default for ImportLimits {
+    fn default() -> Self {
+        ImportLimits {
+            max_text_bytes: 8 * 1024 * 1024,
+            max_nodes: 65_536,
+            max_edges: 1_048_576,
+            max_arity: 1_024,
+            max_name_bytes: 4_096,
+        }
+    }
+}
+
+impl ImportLimits {
+    /// No limits at all — the [`from_json`] behavior, structural checks
+    /// only. (`usize::MAX` everywhere.)
+    pub fn unrestricted() -> Self {
+        ImportLimits {
+            max_text_bytes: usize::MAX,
+            max_nodes: usize::MAX,
+            max_edges: usize::MAX,
+            max_arity: usize::MAX,
+            max_name_bytes: usize::MAX,
+        }
+    }
+}
+
+/// A structured import failure: what went wrong, and — when the problem is
+/// attributable — which node or limit it concerns. The compile service
+/// renders these as HTTP 400 bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImportError {
+    /// The text is not valid JSON, or does not describe a graph (missing or
+    /// mistyped fields).
+    Parse {
+        /// Parser or shape-mismatch description (includes the byte offset
+        /// for syntax errors).
+        detail: String,
+    },
+    /// An [`ImportLimits`] bound was exceeded.
+    Limit {
+        /// Which limit (`"text bytes"`, `"nodes"`, `"edges"`, `"arity"`,
+        /// `"name bytes"`).
+        what: &'static str,
+        /// Observed value.
+        got: u64,
+        /// The configured bound.
+        limit: u64,
+    },
+    /// A specific node is malformed.
+    Node {
+        /// Index of the offending node in the `nodes` array.
+        index: usize,
+        /// The node's name (possibly truncated for the error message).
+        name: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The graph as a whole violates a structural invariant (cycle,
+    /// inconsistent edge tables, …).
+    Structure(GraphError),
+}
+
+impl ImportError {
+    /// Stable machine-readable discriminant (`"parse"`, `"limit"`,
+    /// `"node"`, `"structure"`) for error bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ImportError::Parse { .. } => "parse",
+            ImportError::Limit { .. } => "limit",
+            ImportError::Node { .. } => "node",
+            ImportError::Structure(_) => "structure",
+        }
+    }
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Parse { detail } => write!(f, "cannot parse graph: {detail}"),
+            ImportError::Limit { what, got, limit } => {
+                write!(f, "graph exceeds the {what} limit: {got} > {limit}")
+            }
+            ImportError::Node { index, name, detail } => {
+                write!(f, "node #{index} ({name}): {detail}")
+            }
+            ImportError::Structure(e) => write!(f, "invalid graph structure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImportError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ImportError {
+    fn from(e: GraphError) -> Self {
+        ImportError::Structure(e)
+    }
+}
+
+impl From<ImportError> for GraphError {
+    fn from(e: ImportError) -> Self {
+        match e {
+            ImportError::Structure(g) => g,
+            other => GraphError::InvalidOrder { detail: other.to_string() },
+        }
+    }
+}
 
 /// Serializes a graph to a pretty-printed JSON string.
 ///
@@ -16,16 +165,148 @@ pub fn to_json(graph: &Graph) -> String {
     serde_json::to_string_pretty(graph).expect("graph serialization is infallible")
 }
 
-/// Deserializes and validates a graph from JSON.
+/// Deserializes and validates a graph from JSON (trusting path: no size
+/// limits, [`GraphError`] reporting). Equivalent to
+/// [`from_json_checked`] with [`ImportLimits::unrestricted`].
 ///
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidOrder`] describing the parse failure, or any
 /// structural error reported by [`Graph::validate`](crate::Graph::validate).
 pub fn from_json(json: &str) -> Result<Graph, GraphError> {
-    let graph: Graph = serde_json::from_str(json)
-        .map_err(|e| GraphError::InvalidOrder { detail: format!("JSON parse error: {e}") })?;
-    graph.validate()?;
+    from_json_checked(json, &ImportLimits::unrestricted()).map_err(|e| match e {
+        ImportError::Parse { detail } => {
+            GraphError::InvalidOrder { detail: format!("JSON parse error: {detail}") }
+        }
+        other => other.into(),
+    })
+}
+
+fn clipped_name(name: &str) -> String {
+    const CLIP: usize = 64;
+    if name.len() <= CLIP {
+        name.to_owned()
+    } else {
+        let mut end = CLIP;
+        while !name.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &name[..end])
+    }
+}
+
+/// Deserializes and validates a graph from **untrusted** JSON.
+///
+/// Checks run cheapest-first so hostile input is rejected early:
+///
+/// 1. the raw text length against [`ImportLimits::max_text_bytes`],
+/// 2. JSON syntax (structured parse error with byte offset),
+/// 3. the `nodes` array length against [`ImportLimits::max_nodes`]
+///    *before* node structs are materialized,
+/// 4. typed deserialization (field/shape mismatches become
+///    [`ImportError::Parse`]),
+/// 5. whole-graph structure ([`Graph::validate`](crate::Graph::validate)):
+///    edge-table consistency *in both directions* and acyclicity,
+/// 6. per-node invariants with node context: id/position agreement, name
+///    length, fan-in arity, and overflow-free activation byte sizes, plus
+///    the edge-count limit.
+///
+/// A graph accepted here is safe to hand to any scheduler backend: every
+/// node byte size is a finite `u64`, every edge is mirrored, and the graph
+/// is acyclic.
+///
+/// # Errors
+///
+/// An [`ImportError`] locating the first violation.
+pub fn from_json_checked(json: &str, limits: &ImportLimits) -> Result<Graph, ImportError> {
+    if json.len() > limits.max_text_bytes {
+        return Err(ImportError::Limit {
+            what: "text bytes",
+            got: json.len() as u64,
+            limit: limits.max_text_bytes as u64,
+        });
+    }
+    let value: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| ImportError::Parse { detail: e.to_string() })?;
+    // Bound the node count before materializing typed nodes, so a hostile
+    // body cannot force max_nodes × sizeof(Node) of allocation just to be
+    // rejected afterwards.
+    let declared_nodes = value["nodes"].as_array().map(Vec::len).unwrap_or(0);
+    if declared_nodes > limits.max_nodes {
+        return Err(ImportError::Limit {
+            what: "nodes",
+            got: declared_nodes as u64,
+            limit: limits.max_nodes as u64,
+        });
+    }
+    let graph: Graph =
+        serde_json::from_value(value).map_err(|e| ImportError::Parse { detail: e.to_string() })?;
+
+    // Structural validation first: it is the only check that may touch the
+    // edge tables safely when they are inconsistent (every accessor below
+    // indexes them by node position).
+    graph.validate().map_err(ImportError::Structure)?;
+
+    if graph.name().len() > limits.max_name_bytes {
+        return Err(ImportError::Limit {
+            what: "name bytes",
+            got: graph.name().len() as u64,
+            limit: limits.max_name_bytes as u64,
+        });
+    }
+    for (index, node) in graph.nodes().enumerate() {
+        let name = || clipped_name(&node.name);
+        // Id/position agreement first: all node lookups index by id, so a
+        // mismatched id would make every later diagnostic misleading.
+        if node.id.index() != index {
+            return Err(ImportError::Node {
+                index,
+                name: name(),
+                detail: format!("node id {} does not match its position", node.id),
+            });
+        }
+        if node.name.len() > limits.max_name_bytes {
+            return Err(ImportError::Limit {
+                what: "name bytes",
+                got: node.name.len() as u64,
+                limit: limits.max_name_bytes as u64,
+            });
+        }
+        let arity = graph.indegree(node.id);
+        if arity > limits.max_arity {
+            return Err(ImportError::Limit {
+                what: "arity",
+                got: arity as u64,
+                limit: limits.max_arity as u64,
+            });
+        }
+        // The schedulers sum per-node byte sizes into u64 peaks; a shape
+        // whose element product overflows would wrap silently in release
+        // builds and corrupt every footprint comparison downstream.
+        let elements = node
+            .shape
+            .dims()
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+            .ok_or_else(|| ImportError::Node {
+                index,
+                name: name(),
+                detail: "shape element count overflows u64".into(),
+            })?;
+        elements.checked_mul(node.shape.dtype().size_bytes()).ok_or_else(|| ImportError::Node {
+            index,
+            name: name(),
+            detail: "activation byte size overflows u64".into(),
+        })?;
+    }
+    let edges = graph.edge_count();
+    if edges > limits.max_edges {
+        return Err(ImportError::Limit {
+            what: "edges",
+            got: edges as u64,
+            limit: limits.max_edges as u64,
+        });
+    }
     Ok(graph)
 }
 
@@ -53,9 +334,20 @@ mod tests {
     }
 
     #[test]
+    fn checked_round_trip_under_default_limits() {
+        let g = sample();
+        let back = from_json_checked(&to_json(&g), &ImportLimits::default()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(from_json("not json").is_err());
         assert!(from_json("{}").is_err());
+        let e = from_json_checked("not json", &ImportLimits::default()).unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        let e = from_json_checked("{}", &ImportLimits::default()).unwrap_err();
+        assert_eq!(e.kind(), "parse");
     }
 
     #[test]
@@ -67,5 +359,95 @@ mod tests {
         let corrupted = json.replacen("\"succs\"", "\"succs_ignored\"", 1);
         // Unknown field => parse error, or validation error: either way Err.
         assert!(from_json(&corrupted).is_err());
+    }
+
+    #[test]
+    fn limit_violations_are_structured() {
+        let g = sample();
+        let json = to_json(&g);
+        let tiny_text = ImportLimits { max_text_bytes: 8, ..ImportLimits::default() };
+        assert!(matches!(
+            from_json_checked(&json, &tiny_text),
+            Err(ImportError::Limit { what: "text bytes", .. })
+        ));
+        let few_nodes = ImportLimits { max_nodes: 2, ..ImportLimits::default() };
+        let e = from_json_checked(&json, &few_nodes).unwrap_err();
+        assert!(matches!(e, ImportError::Limit { what: "nodes", got: 4, limit: 2 }), "{e}");
+        let few_edges = ImportLimits { max_edges: 1, ..ImportLimits::default() };
+        assert!(matches!(
+            from_json_checked(&json, &few_edges),
+            Err(ImportError::Limit { what: "edges", .. })
+        ));
+        let thin_arity = ImportLimits { max_arity: 1, ..ImportLimits::default() };
+        let e = from_json_checked(&json, &thin_arity).unwrap_err();
+        assert!(matches!(e, ImportError::Limit { what: "arity", got: 2, limit: 1 }), "{e}");
+        let short_names = ImportLimits { max_name_bytes: 3, ..ImportLimits::default() };
+        assert!(matches!(
+            from_json_checked(&json, &short_names),
+            Err(ImportError::Limit { what: "name bytes", .. })
+        ));
+    }
+
+    #[test]
+    fn node_errors_carry_index_and_name_context() {
+        // An id/position mismatch is attributed to the offending node.
+        let g = sample();
+        let json = to_json(&g).replacen("\"id\": 1", "\"id\": 3", 1);
+        match from_json_checked(&json, &ImportLimits::default()) {
+            Err(ImportError::Node { index: 1, name, detail }) => {
+                assert!(name.contains("relu"), "name context: {name}");
+                assert!(detail.contains("position"), "detail: {detail}");
+            }
+            other => panic!("expected a node error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_shapes_are_rejected_not_wrapped() {
+        // dims whose product exceeds u64 would wrap in release builds and
+        // corrupt footprint accounting; the checked path must reject them.
+        let g = sample();
+        let json = to_json(&g).replacen(
+            "\"dims\": [\n          1,\n          4,\n          4,\n          2\n        ]",
+            "\"dims\": [18446744073709551615, 18446744073709551615]",
+            1,
+        );
+        // The textual surgery must have hit the first node's shape.
+        assert!(json.contains("18446744073709551615"), "surgery failed: {json}");
+        let e = from_json_checked(&json, &ImportLimits::default()).unwrap_err();
+        // Either the parser rejects the out-of-range usize or the overflow
+        // check fires; both are structured errors, never a panic.
+        assert!(matches!(e, ImportError::Parse { .. } | ImportError::Node { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn fabricated_successor_edges_are_rejected() {
+        // Splice an extra successor edge 3→0 that has no predecessor
+        // mirror: the reverse-direction table check must catch it.
+        let g = sample();
+        let json = to_json(&g);
+        // succs array of node 3 (the sink) is the last "[]" in the succs
+        // tables; patch the trailing empty succs list to [0].
+        let idx = json.rfind("[]").expect("sink node has an empty succs list");
+        let corrupted = format!("{}[\n      0\n    ]{}", &json[..idx], &json[idx + 2..]);
+        let e = from_json_checked(&corrupted, &ImportLimits::default()).unwrap_err();
+        assert!(
+            matches!(e, ImportError::Node { .. } | ImportError::Structure(_)),
+            "fabricated edge must be rejected, got {e:?}"
+        );
+        assert!(from_json(&corrupted).is_err(), "trusting path rejects it too");
+    }
+
+    #[test]
+    fn import_error_display_and_kind() {
+        let e = ImportError::Limit { what: "nodes", got: 10, limit: 2 };
+        assert_eq!(e.kind(), "limit");
+        assert!(e.to_string().contains("10 > 2"));
+        let e = ImportError::Node { index: 7, name: "conv_7".into(), detail: "bad".into() };
+        assert_eq!(e.kind(), "node");
+        assert!(e.to_string().contains("#7"));
+        assert!(e.to_string().contains("conv_7"));
+        let e: GraphError = ImportError::Parse { detail: "boom".into() }.into();
+        assert!(matches!(e, GraphError::InvalidOrder { .. }));
     }
 }

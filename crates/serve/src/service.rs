@@ -1,0 +1,668 @@
+//! The protocol-agnostic compile service: routing, request → compile
+//! translation, single-flight coalescing, and status reporting.
+//!
+//! [`CompileService`] owns everything above the socket: the shared
+//! [`CompileCache`], the [`SingleFlight`] map, the latency histogram, and
+//! a *prototype* [`SerenityBuilder`] with the backend and cache attached.
+//! Each request clones the prototype and stamps its own deadline and
+//! [`CancelToken`] onto the clone — per-request lifecycle without
+//! rebuilding the pipeline configuration per request.
+//!
+//! # Response shape
+//!
+//! `POST /compile` responses are split in two on purpose:
+//!
+//! * `result` — a function of (backend configuration, graph structure)
+//!   only. Deterministic backends make it **bit-identical** across cache
+//!   hits, coalesced waits, and cold compiles; the benchmark harness and
+//!   the CI smoke test assert exactly that.
+//! * `meta` — per-request circumstance: whether this response was
+//!   coalesced off another request's compile, cache hit/miss counts, and
+//!   the observed compile time. Never part of the identity.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use serenity_core::backend::SchedulerBackend;
+use serenity_core::pipeline::{CompiledSchedule, Serenity, SerenityBuilder};
+use serenity_core::{CacheStats, CancelToken, CompileCache, PersistReport, ScheduleError};
+use serenity_ir::json::{from_json_checked, ImportLimits};
+use serenity_ir::Graph;
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::http::Request;
+use crate::singleflight::{FlightOutcome, SingleFlight, SingleFlightStats, Work};
+
+/// Service-level configuration (everything except the socket).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Limits applied to every incoming graph (untrusted input).
+    pub limits: ImportLimits,
+    /// Deadline applied to compiles whose request carries no
+    /// `?deadline_ms=` parameter. `None` means no default bound.
+    pub default_deadline: Option<Duration>,
+    /// Directory for cache persistence. When set, the service warm-loads
+    /// the cache from it at construction and `POST /persist` saves back to
+    /// it. `None` disables both.
+    pub persist_dir: Option<PathBuf>,
+    /// Whether `POST /shutdown` is honoured (used by the benchmark
+    /// harness and tests; off by default so a stray request cannot stop a
+    /// production service).
+    pub allow_shutdown: bool,
+}
+
+/// A response ready to be written: status code and JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body text.
+    pub body: String,
+    /// Whether the server should begin shutting down after writing this
+    /// response (only ever set by an authorised `POST /shutdown`).
+    pub shutdown: bool,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Response { status, body, shutdown: false }
+    }
+
+    fn error(status: u16, kind: &str, detail: &str) -> Self {
+        #[derive(Serialize)]
+        struct Detail {
+            kind: String,
+            detail: String,
+        }
+        #[derive(Serialize)]
+        struct Body {
+            error: Detail,
+        }
+        let body = serde_json::to_string(&Body {
+            error: Detail { kind: kind.to_string(), detail: detail.to_string() },
+        })
+        .expect("error body serializes");
+        Response::json(status, body)
+    }
+}
+
+/// The deterministic half of a compile response (see the module docs).
+#[derive(Debug, Clone, Serialize)]
+struct CompileResult {
+    graph: String,
+    nodes: usize,
+    peak_bytes: u64,
+    baseline_peak_bytes: u64,
+    reduction_factor: f64,
+    arena_bytes: Option<u64>,
+    rewrites_applied: usize,
+    order: Vec<usize>,
+}
+
+impl CompileResult {
+    fn of(compiled: &CompiledSchedule) -> Self {
+        CompileResult {
+            graph: compiled.graph.name().to_string(),
+            nodes: compiled.graph.len(),
+            peak_bytes: compiled.peak_bytes,
+            baseline_peak_bytes: compiled.baseline_peak_bytes,
+            reduction_factor: compiled.reduction_factor(),
+            arena_bytes: compiled.arena_bytes(),
+            rewrites_applied: compiled.rewrites.len(),
+            order: compiled.schedule.order.iter().map(|id| id.index()).collect(),
+        }
+    }
+}
+
+/// What one leader's compile produced, shared across coalesced waiters.
+#[derive(Debug)]
+struct CompiledPayload {
+    /// Serialized [`CompileResult`] — already a string so every waiter
+    /// ships byte-identical text without re-serializing.
+    result_json: String,
+    cache_hits: u64,
+    cache_misses: u64,
+    compile_micros: u64,
+}
+
+/// A deterministic compile failure, shared across coalesced waiters (all
+/// of them would hit the same error if they re-ran the search).
+#[derive(Debug, Clone)]
+struct SharedFailure {
+    detail: String,
+}
+
+type FlightResult = Result<Arc<CompiledPayload>, SharedFailure>;
+
+/// The compile service (see the module docs).
+#[derive(Debug)]
+pub struct CompileService {
+    /// Prototype pipeline: backend + cache attached, no per-request state.
+    proto: SerenityBuilder,
+    cache: Arc<CompileCache>,
+    backend_key: u64,
+    flights: SingleFlight<FlightResult>,
+    config: ServiceConfig,
+    latency: LatencyHistogram,
+    requests: AtomicU64,
+    started: Instant,
+    /// Report of the warm-start load, when persistence is configured and
+    /// the directory existed.
+    warm_start: Option<PersistReport>,
+}
+
+impl CompileService {
+    /// Builds a service around `backend` and a shared `cache`.
+    ///
+    /// If [`ServiceConfig::persist_dir`] points at an existing directory,
+    /// the cache is warm-loaded from it before the first request; a
+    /// missing or unreadable directory degrades to a cold start (the
+    /// report, or its absence, shows up under `persist.warm_start` on
+    /// `GET /status`).
+    pub fn new(
+        backend: Arc<dyn SchedulerBackend>,
+        cache: Arc<CompileCache>,
+        config: ServiceConfig,
+    ) -> Self {
+        let backend_key = backend.config_fingerprint();
+        let warm_start = config
+            .persist_dir
+            .as_deref()
+            .filter(|dir| dir.is_dir())
+            .and_then(|dir| cache.load_from_dir(dir).ok());
+        let proto = Serenity::builder().backend(backend).compile_cache(Arc::clone(&cache));
+        CompileService {
+            proto,
+            cache,
+            backend_key,
+            flights: SingleFlight::new(),
+            config,
+            latency: LatencyHistogram::new(),
+            requests: AtomicU64::new(0),
+            started: Instant::now(),
+            warm_start,
+        }
+    }
+
+    /// The shared compile cache (for tests and the CLI's shutdown save).
+    pub fn cache(&self) -> &Arc<CompileCache> {
+        &self.cache
+    }
+
+    /// The configured persistence directory, if any.
+    pub fn persist_dir(&self) -> Option<&std::path::Path> {
+        self.config.persist_dir.as_deref()
+    }
+
+    /// Handles one parsed request.
+    ///
+    /// `cancel` is the request's cancellation token: the server's
+    /// disconnect watchdog trips it when the client hangs up, and the
+    /// compile pipeline polls it. Returns `None` when the client is
+    /// already gone and no response should be written.
+    pub fn handle(&self, request: &Request, cancel: &CancelToken) -> Option<Response> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/compile") => self.handle_compile(request, cancel),
+            ("GET", "/status") => Some(self.handle_status()),
+            ("GET", "/healthz") => Some(Response::json(200, "{\"ok\":true}".to_string())),
+            ("POST", "/persist") => Some(self.handle_persist()),
+            ("POST", "/shutdown") => Some(self.handle_shutdown()),
+            (_, "/compile" | "/status" | "/healthz" | "/persist" | "/shutdown") => {
+                Some(Response::error(405, "method", "method not allowed for this path"))
+            }
+            _ => Some(Response::error(404, "route", "unknown path")),
+        }
+    }
+
+    fn handle_compile(&self, request: &Request, cancel: &CancelToken) -> Option<Response> {
+        let arrived = Instant::now();
+        let text = match std::str::from_utf8(&request.body) {
+            Ok(text) => text,
+            Err(_) => {
+                return Some(Response::error(400, "parse", "request body is not valid UTF-8"))
+            }
+        };
+        let graph = match from_json_checked(text, &self.config.limits) {
+            Ok(graph) => graph,
+            Err(e) => return Some(Response::error(400, e.kind(), &e.to_string())),
+        };
+        let deadline = match request.query_param("deadline_ms") {
+            None => self.config.default_deadline,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(ms) => Some(Duration::from_millis(ms)),
+                Err(_) => {
+                    return Some(Response::error(
+                        400,
+                        "parse",
+                        &format!("bad deadline_ms value: {raw}"),
+                    ))
+                }
+            },
+        };
+        let give_up_at = deadline.map(|d| arrived + d);
+
+        // Flight identity = cache identity: backend configuration ×
+        // structural fingerprint. Deadlines are deliberately *not* part of
+        // the key — coalescing ignores them, and each request enforces its
+        // own bound while waiting.
+        let key = flight_key(self.backend_key, serenity_ir::fingerprint::fingerprint(&graph));
+
+        let mut own_error: Option<ScheduleError> = None;
+        let outcome = self.flights.run(
+            key,
+            || cancel.is_cancelled() || give_up_at.is_some_and(|t| Instant::now() >= t),
+            || {
+                let compile_started = Instant::now();
+                let mut pipeline = self.proto.clone().cancel_token(cancel.clone());
+                if let Some(remaining) =
+                    give_up_at.map(|t| t.saturating_duration_since(compile_started))
+                {
+                    pipeline = pipeline.deadline(remaining);
+                }
+                match pipeline.build().compile(&graph) {
+                    Ok(compiled) => {
+                        let result_json = serde_json::to_string(&CompileResult::of(&compiled))
+                            .expect("compile result serializes");
+                        Work::Done(Ok(Arc::new(CompiledPayload {
+                            result_json,
+                            cache_hits: compiled.stats.cache_hits,
+                            cache_misses: compiled.stats.cache_misses,
+                            compile_micros: u64::try_from(compile_started.elapsed().as_micros())
+                                .unwrap_or(u64::MAX),
+                        })))
+                    }
+                    // This request's own lifecycle ended: vacate the
+                    // flight so a live waiter takes over (handoff) rather
+                    // than inheriting our death.
+                    Err(
+                        e @ (ScheduleError::Cancelled | ScheduleError::DeadlineExceeded { .. }),
+                    ) => {
+                        own_error = Some(e);
+                        Work::Abandon
+                    }
+                    // Any other failure is deterministic for this (backend,
+                    // graph) pair: share it, don't re-run the search N times.
+                    Err(e) => Work::Done(Err(SharedFailure { detail: e.to_string() })),
+                }
+            },
+        );
+
+        let coalesced = matches!(outcome, FlightOutcome::Shared(_));
+        let response = match outcome {
+            FlightOutcome::Led(flight) | FlightOutcome::Shared(flight) => match flight {
+                Ok(payload) => Some(self.compile_response(&payload, coalesced, arrived.elapsed())),
+                Err(failure) => Some(Response::error(500, "compile", &failure.detail)),
+            },
+            FlightOutcome::Cancelled => {
+                if cancel.is_cancelled()
+                    && !matches!(own_error, Some(ScheduleError::DeadlineExceeded { .. }))
+                {
+                    // Client disconnect: nobody is listening.
+                    None
+                } else {
+                    Some(Response::error(504, "deadline", "compile deadline exceeded"))
+                }
+            }
+        };
+        if response.is_some() {
+            self.latency.record(arrived.elapsed());
+        }
+        response
+    }
+
+    fn compile_response(
+        &self,
+        payload: &CompiledPayload,
+        coalesced: bool,
+        request_elapsed: Duration,
+    ) -> Response {
+        #[derive(Serialize)]
+        struct Meta {
+            coalesced: bool,
+            cache_hits: u64,
+            cache_misses: u64,
+            compile_micros: u64,
+            request_micros: u64,
+        }
+        let meta = serde_json::to_string(&Meta {
+            coalesced,
+            cache_hits: payload.cache_hits,
+            cache_misses: payload.cache_misses,
+            compile_micros: payload.compile_micros,
+            request_micros: u64::try_from(request_elapsed.as_micros()).unwrap_or(u64::MAX),
+        })
+        .expect("meta serializes");
+        // `result` is spliced in as pre-serialized text so coalesced and
+        // leading responses are byte-identical in that field.
+        let body = format!("{{\"result\":{},\"meta\":{}}}", payload.result_json, meta);
+        Response::json(200, body)
+    }
+
+    fn handle_status(&self) -> Response {
+        #[derive(Serialize)]
+        struct PersistStatus {
+            dir: Option<String>,
+            warm_start: Option<PersistReport>,
+        }
+        #[derive(Serialize)]
+        struct Status {
+            uptime_secs: u64,
+            requests: u64,
+            cache: CacheStats,
+            cache_hit_rate: f64,
+            singleflight: SingleFlightStats,
+            compile_latency: LatencySummary,
+            persist: PersistStatus,
+        }
+        let cache = self.cache.stats();
+        let body = serde_json::to_string(&Status {
+            uptime_secs: self.started.elapsed().as_secs(),
+            requests: self.requests.load(Ordering::Relaxed),
+            cache,
+            cache_hit_rate: cache.hit_rate(),
+            singleflight: self.flights.stats(),
+            compile_latency: self.latency.snapshot(),
+            persist: PersistStatus {
+                dir: self
+                    .config
+                    .persist_dir
+                    .as_deref()
+                    .and_then(|d| d.to_str())
+                    .map(str::to_string),
+                warm_start: self.warm_start,
+            },
+        })
+        .expect("status serializes");
+        Response::json(200, body)
+    }
+
+    fn handle_persist(&self) -> Response {
+        let Some(dir) = self.config.persist_dir.as_deref() else {
+            return Response::error(400, "persist", "no persistence directory is configured");
+        };
+        match self.cache.save_to_dir(dir) {
+            Ok(report) => Response::json(
+                200,
+                serde_json::to_string(&report).expect("persist report serializes"),
+            ),
+            Err(e) => Response::error(500, "persist", &format!("saving cache failed: {e}")),
+        }
+    }
+
+    fn handle_shutdown(&self) -> Response {
+        if !self.config.allow_shutdown {
+            return Response::error(400, "shutdown", "shutdown is not enabled on this service");
+        }
+        // Best-effort final save so a clean shutdown never loses the warm
+        // cache (the benchmark's restart phase depends on it).
+        if let Some(dir) = self.config.persist_dir.as_deref() {
+            let _ = self.cache.save_to_dir(dir);
+        }
+        let mut response = Response::json(200, "{\"shutting_down\":true}".to_string());
+        response.shutdown = true;
+        response
+    }
+
+    /// Directly compiles `graph` the way a request for it would (no HTTP,
+    /// no coalescing, no cache unless the shared cache hits). Used by
+    /// tests and the benchmark for bit-identity baselines.
+    pub fn compile_result_json(&self, graph: &Graph) -> Result<String, ScheduleError> {
+        let compiled = self.proto.clone().build().compile(graph)?;
+        Ok(serde_json::to_string(&CompileResult::of(&compiled)).expect("result serializes"))
+    }
+}
+
+/// Mixes the backend identity with the graph fingerprint (splitmix64
+/// finalizer, mirroring the cache's own key mixing).
+fn flight_key(backend_key: u64, graph_key: u64) -> u64 {
+    let mut z = backend_key ^ graph_key.rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenity_core::backend::AdaptiveBackend;
+    use serenity_ir::json::to_json;
+    use serenity_ir::{DType, GraphBuilder, Padding};
+
+    fn demo_graph(channels: usize) -> Graph {
+        let mut b = GraphBuilder::new("svc-demo");
+        let x = b.image_input("x", 8, 8, 4, DType::F32);
+        let l = b.conv1x1(x, channels).unwrap();
+        let r = b.conv1x1(x, channels).unwrap();
+        let cat = b.concat(&[l, r]).unwrap();
+        let y = b.conv(cat, 8, (3, 3), (1, 1), Padding::Same).unwrap();
+        b.mark_output(y);
+        b.finish()
+    }
+
+    fn service() -> CompileService {
+        CompileService::new(
+            Arc::new(AdaptiveBackend::default()),
+            Arc::new(CompileCache::new()),
+            ServiceConfig { allow_shutdown: true, ..ServiceConfig::default() },
+        )
+    }
+
+    fn post_compile(body: &str, query: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: "/compile".to_string(),
+            query: query.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn compile_round_trip_matches_direct_compile() {
+        let svc = service();
+        let graph = demo_graph(4);
+        let request = post_compile(&to_json(&graph), "");
+        let response = svc.handle(&request, &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let body: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        let direct: serde_json::Value =
+            serde_json::from_str(&svc.compile_result_json(&graph).unwrap()).unwrap();
+        assert_eq!(body["result"], direct, "served result must be bit-identical to direct");
+        assert_eq!(body["meta"]["coalesced"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn malformed_body_is_a_structured_400() {
+        let svc = service();
+        for (body, kind) in
+            [("{definitely not json", "parse"), ("{\"name\":\"x\",\"nodes\":\"nope\"}", "parse")]
+        {
+            let response = svc.handle(&post_compile(body, ""), &CancelToken::new()).unwrap();
+            assert_eq!(response.status, 400, "{}", response.body);
+            let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+            assert_eq!(parsed["error"]["kind"].as_str(), Some(kind), "{}", response.body);
+        }
+    }
+
+    #[test]
+    fn bad_deadline_param_is_rejected() {
+        let svc = service();
+        let graph = demo_graph(4);
+        let request = post_compile(&to_json(&graph), "deadline_ms=soon");
+        let response = svc.handle(&request, &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn already_cancelled_request_writes_nothing() {
+        let svc = service();
+        let token = CancelToken::new();
+        token.cancel();
+        let response = svc.handle(&post_compile(&to_json(&demo_graph(4)), ""), &token);
+        assert!(response.is_none(), "disconnected client must get no response");
+    }
+
+    #[test]
+    fn status_reports_cache_and_flight_counters() {
+        let svc = service();
+        let graph = demo_graph(4);
+        for _ in 0..2 {
+            let r = svc.handle(&post_compile(&to_json(&graph), ""), &CancelToken::new()).unwrap();
+            assert_eq!(r.status, 200);
+        }
+        let status = svc.handle(&get("/status"), &CancelToken::new()).unwrap();
+        assert_eq!(status.status, 200);
+        let parsed: serde_json::Value = serde_json::from_str(&status.body).unwrap();
+        assert!(parsed["requests"].as_u64().unwrap() >= 3);
+        assert!(parsed["cache"]["hits"].as_u64().unwrap() >= 1, "second compile hits the cache");
+        assert_eq!(parsed["singleflight"]["leads"].as_u64(), Some(2));
+        assert!(parsed["compile_latency"]["count"].as_u64().unwrap() >= 2);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_clean_errors() {
+        let svc = service();
+        let token = CancelToken::new();
+        assert_eq!(svc.handle(&get("/nope"), &token).unwrap().status, 404);
+        assert_eq!(svc.handle(&get("/compile"), &token).unwrap().status, 405);
+        let health = svc.handle(&get("/healthz"), &token).unwrap();
+        assert_eq!(health.status, 200);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_compile() {
+        const N: usize = 6;
+        // A backend whose first compile blocks until the test opens the
+        // gate. This makes the schedule deterministic on any machine: the
+        // leader is parked inside its compile while the other N-1 requests
+        // pile up as flight waiters, and only then does the gate open.
+        struct GatedBackend {
+            inner: AdaptiveBackend,
+            gate: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+        }
+        impl GatedBackend {
+            fn wait_for_gate(&self) {
+                let (open, bell) = &*self.gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = bell.wait(open).unwrap();
+                }
+            }
+        }
+        impl SchedulerBackend for GatedBackend {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn config_fingerprint(&self) -> u64 {
+                self.inner.config_fingerprint()
+            }
+            fn schedule(
+                &self,
+                graph: &Graph,
+                ctx: &serenity_core::CompileContext,
+            ) -> Result<serenity_core::backend::BackendOutcome, ScheduleError> {
+                self.wait_for_gate();
+                self.inner.schedule(graph, ctx)
+            }
+        }
+
+        let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let svc = Arc::new(CompileService::new(
+            Arc::new(GatedBackend { inner: AdaptiveBackend::default(), gate: Arc::clone(&gate) }),
+            Arc::new(CompileCache::new()),
+            ServiceConfig::default(),
+        ));
+        let graph = demo_graph(6);
+        let body = to_json(&graph);
+        let mut handles = Vec::new();
+        for _ in 0..N {
+            let (svc, body) = (Arc::clone(&svc), body.clone());
+            handles.push(std::thread::spawn(move || {
+                svc.handle(&post_compile(&body, ""), &CancelToken::new()).unwrap()
+            }));
+        }
+        // Wait until every non-leader request is blocked on the leader's
+        // flight, then let the leader's compile proceed.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while svc.flights.stats().waiting < (N - 1) as u64 {
+            assert!(Instant::now() < deadline, "waiters never joined the flight");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let (open, bell) = &*gate;
+            *open.lock().unwrap() = true;
+            bell.notify_all();
+        }
+        let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<serde_json::Value> = responses
+            .iter()
+            .map(|r| {
+                assert_eq!(r.status, 200, "{}", r.body);
+                let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+                v["result"].clone()
+            })
+            .collect();
+        for r in &results[1..] {
+            assert_eq!(*r, results[0], "coalesced results must be bit-identical");
+        }
+        let status = svc.handle(&get("/status"), &CancelToken::new()).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&status.body).unwrap();
+        let leads = parsed["singleflight"]["leads"].as_u64().unwrap();
+        let coalesced = parsed["singleflight"]["coalesced"].as_u64().unwrap();
+        assert_eq!(leads, 1, "exactly one request ran the compile");
+        assert_eq!(coalesced, (N - 1) as u64, "every other request shared the result");
+    }
+
+    #[test]
+    fn shutdown_route_is_gated() {
+        let open = service();
+        let response = open
+            .handle(
+                &Request {
+                    method: "POST".to_string(),
+                    path: "/shutdown".to_string(),
+                    query: String::new(),
+                    headers: Vec::new(),
+                    body: Vec::new(),
+                },
+                &CancelToken::new(),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert!(response.shutdown);
+
+        let locked = CompileService::new(
+            Arc::new(AdaptiveBackend::default()),
+            Arc::new(CompileCache::new()),
+            ServiceConfig::default(),
+        );
+        let response = locked
+            .handle(
+                &Request {
+                    method: "POST".to_string(),
+                    path: "/shutdown".to_string(),
+                    query: String::new(),
+                    headers: Vec::new(),
+                    body: Vec::new(),
+                },
+                &CancelToken::new(),
+            )
+            .unwrap();
+        assert_eq!(response.status, 400);
+        assert!(!response.shutdown);
+    }
+}
