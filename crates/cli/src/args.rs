@@ -59,6 +59,13 @@ usage:
       --max-body-bytes <N>    largest accepted request body
                               (default 8 MiB)
       --allow-shutdown        honour POST /shutdown (for tests/benchmarks)
+      --degrade <chain|none>  fallback backends tried in order when the
+                              primary fails or panics (comma-separated,
+                              e.g. beam,kahn; default beam,kahn; none
+                              disables degradation)
+      --fault-plan <spec>     TEST ONLY: arm deterministic fault injection,
+                              e.g. compile-panic=2,persist-io=p0.5
+                              (seeded by SERENITY_FAULT_SEED, default 0)
   serenity dot <graph.json>                      emit Graphviz Dot
   serenity info <graph.json>                     structural analysis
   serenity traffic <graph.json> --capacity-kb <N> [--policy belady|lru|fifo]
@@ -138,6 +145,11 @@ pub enum Command {
         max_body_bytes: Option<u64>,
         /// Whether `POST /shutdown` stops the server.
         allow_shutdown: bool,
+        /// Fault-injection plan spec (test only; `None` = no injection).
+        fault_plan: Option<String>,
+        /// Degradation ladder: comma-separated backend names, `Some("none")`
+        /// normalised to an empty chain. `None` = the default ladder.
+        degrade: Option<String>,
     },
     /// Emit Graphviz Dot for a graph file.
     Dot {
@@ -324,9 +336,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut deadline_ms = None;
             let mut max_body_bytes = None;
             let mut allow_shutdown = false;
+            let mut fault_plan = None;
+            let mut degrade = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--allow-shutdown" => allow_shutdown = true,
+                    "--fault-plan" => {
+                        fault_plan =
+                            Some(it.next().ok_or("serve: --fault-plan needs a spec")?.to_owned());
+                    }
+                    "--degrade" => {
+                        degrade =
+                            Some(it.next().ok_or("serve: --degrade needs a chain")?.to_owned());
+                    }
                     "--addr" => addr = it.next().ok_or("serve: --addr needs a value")?.to_owned(),
                     "--scheduler" => {
                         scheduler =
@@ -402,6 +424,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 deadline_ms,
                 max_body_bytes,
                 allow_shutdown,
+                fault_plan,
+                degrade,
             })
         }
         "dot" => {
@@ -591,12 +615,15 @@ mod tests {
                 deadline_ms: None,
                 max_body_bytes: None,
                 allow_shutdown: false,
+                fault_plan: None,
+                degrade: None,
             }
         );
         let cmd = parse(&args(
             "serve --addr 0.0.0.0:0 --threads 8 --queue 16 --scheduler dp \
              --cache-bytes 1048576 --admission tinylfu --persist /tmp/cache \
-             --deadline-ms 500 --max-body-bytes 4096 --allow-shutdown",
+             --deadline-ms 500 --max-body-bytes 4096 --allow-shutdown \
+             --fault-plan compile-panic=2 --degrade beam,kahn",
         ))
         .unwrap();
         assert_eq!(
@@ -612,6 +639,8 @@ mod tests {
                 deadline_ms: Some(500),
                 max_body_bytes: Some(4096),
                 allow_shutdown: true,
+                fault_plan: Some("compile-panic=2".into()),
+                degrade: Some("beam,kahn".into()),
             }
         );
     }
@@ -623,6 +652,8 @@ mod tests {
         assert!(parse(&args("serve --admission random")).is_err());
         assert!(parse(&args("serve --cache-bytes 0")).is_err());
         assert!(parse(&args("serve --deadline-ms soon")).is_err());
+        assert!(parse(&args("serve --fault-plan")).is_err());
+        assert!(parse(&args("serve --degrade")).is_err());
         assert!(parse(&args("serve --bogus")).is_err());
     }
 

@@ -67,6 +67,8 @@ pub fn run(command: Command) -> Result<(), String> {
             deadline_ms,
             max_body_bytes,
             allow_shutdown,
+            fault_plan,
+            degrade,
         } => serve(ServeOptions {
             addr,
             threads,
@@ -78,6 +80,8 @@ pub fn run(command: Command) -> Result<(), String> {
             deadline_ms,
             max_body_bytes,
             allow_shutdown,
+            fault_plan,
+            degrade,
         }),
         Command::Dot { path } => {
             let graph = load(&path)?;
@@ -475,9 +479,34 @@ struct ServeOptions {
     deadline_ms: Option<u64>,
     max_body_bytes: Option<u64>,
     allow_shutdown: bool,
+    fault_plan: Option<String>,
+    degrade: Option<String>,
+}
+
+/// Resolves `--degrade` into a fallback ladder. `None` means the default
+/// `beam,kahn` chain; `none` disables degradation entirely.
+fn degradation_ladder(spec: Option<&str>) -> Result<Vec<Arc<dyn SchedulerBackend>>, String> {
+    let spec = spec.unwrap_or("beam,kahn");
+    if spec == "none" {
+        return Ok(Vec::new());
+    }
+    let registry = BackendRegistry::standard();
+    spec.split(',')
+        .map(str::trim)
+        .filter(|name| !name.is_empty())
+        .map(|name| {
+            registry.create(name).ok_or_else(|| {
+                format!(
+                    "unknown fallback scheduler `{name}` in --degrade (available: {})",
+                    registry.names().join(", ")
+                )
+            })
+        })
+        .collect()
 }
 
 fn serve(options: ServeOptions) -> Result<(), String> {
+    use serenity_core::fault::FaultPlan;
     use serenity_serve::server::{Server, ServerConfig};
     use serenity_serve::service::{CompileService, ServiceConfig};
 
@@ -490,6 +519,20 @@ fn serve(options: ServeOptions) -> Result<(), String> {
             )
         })?,
     };
+    let fault = match &options.fault_plan {
+        None => None,
+        Some(spec) => {
+            let seed = std::env::var("SERENITY_FAULT_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let plan = FaultPlan::parse(spec, seed)
+                .map_err(|e| format!("invalid --fault-plan `{spec}`: {e}"))?;
+            eprintln!("fault injection active: {spec} (seed {seed})");
+            Some(Arc::new(plan))
+        }
+    };
+    let fallback = degradation_ladder(options.degrade.as_deref())?;
     let cache_config = CompileCacheConfig {
         max_bytes: options.cache_bytes.unwrap_or(CompileCacheConfig::default().max_bytes),
         admission: options.admission,
@@ -500,16 +543,18 @@ fn serve(options: ServeOptions) -> Result<(), String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create persistence directory {dir}: {e}"))?;
     }
-    let service = CompileService::new(
+    let service = Arc::new(CompileService::new(
         backend,
         cache,
         ServiceConfig {
             default_deadline: options.deadline_ms.map(Duration::from_millis),
             persist_dir: options.persist.clone().map(std::path::PathBuf::from),
             allow_shutdown: options.allow_shutdown,
+            fault,
+            fallback,
             ..ServiceConfig::default()
         },
-    );
+    ));
     let stats = service.cache().stats();
     if options.persist.is_some() && stats.entries > 0 {
         eprintln!(
@@ -525,10 +570,28 @@ fn serve(options: ServeOptions) -> Result<(), String> {
         max_body_bytes: options.max_body_bytes.unwrap_or(ServerConfig::default().max_body_bytes),
         ..ServerConfig::default()
     };
-    let server = Server::spawn(server_config, Arc::new(service))
+    let server = Server::spawn(server_config, Arc::clone(&service))
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     eprintln!("serving on http://{}", server.addr());
+    if crate::signals::install() {
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            while !crate::signals::triggered() {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            eprintln!("shutdown signal received: draining in-flight requests");
+            handle.shutdown();
+        });
+    }
     server.join();
+    if let Some(dir) = &options.persist {
+        match service.cache().save_to_dir(std::path::Path::new(dir)) {
+            Ok(report) => {
+                eprintln!("cache persisted: {} shard(s) written to {dir}", report.shards_ok)
+            }
+            Err(e) => eprintln!("warning: cache persistence to {dir} failed: {e}"),
+        }
+    }
     Ok(())
 }
 

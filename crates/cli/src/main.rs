@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod signals;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

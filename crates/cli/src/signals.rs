@@ -1,0 +1,63 @@
+//! Minimal POSIX signal hookup for graceful shutdown.
+//!
+//! `serenity serve` should drain on `SIGTERM`/`SIGINT` — stop accepting,
+//! finish in-flight requests, persist the cache when configured — instead
+//! of dying mid-write. The vendor tree has no `libc`, so the `signal(2)`
+//! entry point is declared directly; this is the one place in the
+//! workspace that needs `unsafe` (every library crate forbids it).
+//!
+//! The handler does the only async-signal-safe thing possible: it stores
+//! to a static atomic flag. A monitor thread polls the flag and drives
+//! the actual shutdown from safe code.
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the flag-setting handler for `SIGINT` and `SIGTERM`.
+    /// Returns whether handlers are active.
+    pub fn install() -> bool {
+        // SAFETY: `signal(2)` with a handler that only stores to a static
+        // atomic — the async-signal-safe subset. The casts match the C
+        // prototype (`sighandler_t` is a pointer-sized function address).
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        true
+    }
+
+    /// Whether a termination signal has arrived since [`install`].
+    pub fn triggered() -> bool {
+        SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal handling off Unix; the monitor thread is never started.
+    pub fn install() -> bool {
+        false
+    }
+
+    /// Never triggers off Unix.
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+pub use imp::{install, triggered};

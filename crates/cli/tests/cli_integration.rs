@@ -399,3 +399,84 @@ fn serve_subcommand_answers_http_and_shuts_down() {
     let status = child.wait().expect("server exits");
     assert!(status.success(), "server exited uncleanly: {status:?}");
 }
+
+/// SIGTERM drains the server gracefully: in-flight work finishes, the
+/// process exits cleanly, and `--persist` writes a snapshot on the way out.
+#[cfg(unix)]
+#[test]
+fn serve_drains_and_persists_on_sigterm() {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+
+    let dir = std::env::temp_dir().join("serenity_cli_sigterm_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("drain_cell.json");
+    let graph_str = graph_path.to_str().unwrap();
+    assert!(serenity(&["generate", "swiftnet-c", "-o", graph_str]).status.success());
+    let graph_json = std::fs::read_to_string(&graph_path).unwrap();
+    let persist_dir = dir.join("snapshots");
+    let persist_str = persist_dir.to_str().unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serenity"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2", "--persist", persist_str])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| {
+            let _ = child.kill();
+            panic!("unexpected announcement: {line}");
+        })
+        .to_string();
+
+    let result = (|| -> Result<(), String> {
+        let mut stream =
+            std::net::TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+        let request = format!(
+            "POST /compile HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{graph_json}",
+            graph_json.len()
+        );
+        stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response).map_err(|e| format!("read: {e}"))?;
+        if !response.starts_with("HTTP/1.1 200") {
+            return Err(format!("compile over HTTP failed:\n{response}"));
+        }
+        Ok(())
+    })();
+    if let Err(reason) = result {
+        let _ = child.kill();
+        panic!("{reason}");
+    }
+
+    let kill =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("kill runs");
+    assert!(kill.success(), "kill -TERM failed");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server did not drain cleanly on SIGTERM: {status:?}");
+
+    // Drain the rest of stderr so the persistence announcement is visible.
+    let mut rest = String::new();
+    let _ = stderr.read_to_string(&mut rest);
+    assert!(
+        rest.contains("cache persisted"),
+        "missing persistence announcement on stderr:\n{line}{rest}"
+    );
+    let shards: Vec<_> = std::fs::read_dir(&persist_dir)
+        .expect("persist dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("shard-") && name.ends_with(".json")
+        })
+        .collect();
+    assert!(!shards.is_empty(), "no snapshot shards written to {persist_dir:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

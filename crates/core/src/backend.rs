@@ -57,6 +57,7 @@ use crate::beam::BeamScheduler;
 use crate::budget::{AdaptiveSoftBudget, BudgetConfig, RoundFlag};
 use crate::cache::CompileCache;
 use crate::dp::{DpConfig, DpScheduler};
+use crate::fault::FaultPlan;
 use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// Canonical backend-identity hash for
@@ -293,6 +294,10 @@ pub struct CompileOptions {
     /// uncached ones; see the [`crate::cache`] module docs for the caveat
     /// on timing-adaptive configurations.
     pub cache: Option<Arc<CompileCache>>,
+    /// Armed fault-injection plan (`None` in production). Consulted by
+    /// the compile pipeline at its named injection points; see
+    /// [`crate::fault`].
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl fmt::Debug for CompileOptions {
@@ -302,6 +307,7 @@ impl fmt::Debug for CompileOptions {
             .field("cancel", &self.cancel)
             .field("events", &self.events.as_ref().map(|_| "<sink>"))
             .field("cache", &self.cache)
+            .field("fault", &self.fault)
             .finish()
     }
 }
@@ -335,6 +341,13 @@ impl CompileOptions {
     /// `Arc` into every request that should reuse schedules).
     pub fn compile_cache(mut self, cache: Arc<CompileCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Arms a fault-injection plan for this run (test-only surface; see
+    /// [`crate::fault`]).
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
         self
     }
 }
@@ -375,6 +388,7 @@ impl CompileContext {
                 cancel: self.options.cancel.clone(),
                 events,
                 cache: self.options.cache.clone(),
+                fault: self.options.fault.clone(),
             },
             started: self.started,
         }

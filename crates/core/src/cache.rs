@@ -91,17 +91,19 @@
 //! structurally on hit), so one panicking compile cannot take the cache
 //! down for the rest of the process.
 
+use std::hash::Hasher as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::{fs, io};
 
 use serde::{Deserialize, Serialize};
 use serenity_ir::fingerprint::{fingerprint, structural_eq};
-use serenity_ir::fxhash::FxHashMap;
+use serenity_ir::fxhash::{FxHashMap, FxHasher};
 use serenity_ir::{Graph, NodeId};
 
+use crate::fault::{FaultPlan, FaultPoint};
 use crate::Schedule;
 
 /// How a [`CompileCache`] decides what to keep when the byte budget is
@@ -322,6 +324,9 @@ pub struct CompileCache {
     insertions: AtomicU64,
     evictions: AtomicU64,
     rejected: AtomicU64,
+    /// Armed fault-injection plan for the persistence paths (test-only;
+    /// see [`crate::fault`]).
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl std::fmt::Debug for CompileCache {
@@ -391,7 +396,15 @@ impl CompileCache {
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Arms a fault-injection plan for this cache's persistence paths
+    /// ([`FaultPoint::PersistIoError`], [`FaultPoint::SnapshotCorrupt`];
+    /// test-only surface, see [`crate::fault`]).
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault.lock().unwrap_or_else(PoisonError::into_inner) = Some(plan);
     }
 
     /// Locks the shard owning `key`, recovering from poisoning: a panic in
@@ -579,11 +592,20 @@ impl CompileCache {
     /// warm instead of recompiling its whole working set.
     ///
     /// Entries are written oldest-first, so a reload replays admissions in
-    /// recency order and restores the LRU horizon. Each file is written to
-    /// a temporary name and atomically renamed into place — a crash
-    /// mid-save leaves the previous complete file, never a torn one.
-    /// Snapshots are taken per shard under its lock, but serialization and
-    /// file IO happen after the lock is released, so saving never blocks
+    /// recency order and restores the LRU horizon.
+    ///
+    /// The save is crash-safe in two phases: every shard is first written
+    /// in full to a temporary name (and fsynced), and only then are the
+    /// temporaries renamed over the previous files and stale files from an
+    /// older save removed. A crash during phase one leaves the previous
+    /// snapshot byte-for-byte intact; a crash mid-rename leaves a mix of
+    /// old and new shard files, each individually complete and
+    /// checksummed, which the next load admits entry by entry. Each file
+    /// carries a header line with the format version and an FxHash
+    /// checksum of the payload, so bit-level corruption is caught on load
+    /// even when the damaged bytes still parse as JSON. Snapshots are
+    /// taken per shard under its lock, but serialization and file IO
+    /// happen after the lock is released, so saving never blocks
     /// concurrent compiles for longer than one entry clone.
     ///
     /// # Errors
@@ -591,16 +613,15 @@ impl CompileCache {
     /// Propagates filesystem errors (directory creation, writes, renames).
     pub fn save_to_dir(&self, dir: &Path) -> io::Result<PersistReport> {
         fs::create_dir_all(dir)?;
-        // Drop stale shard files from a previous save: the shard count may
-        // have shrunk, and a leftover file would resurrect evicted entries
-        // on the next load.
-        for entry in fs::read_dir(dir)? {
-            let entry = entry?;
-            if is_shard_file(&entry.path()) {
-                let _ = fs::remove_file(entry.path());
-            }
+        let fault = self.fault.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        if fault.as_ref().is_some_and(|f| f.should_fire(FaultPoint::PersistIoError)) {
+            return Err(io::Error::other("injected fault: persistence io error"));
         }
+        // Phase 1: write every shard to a temporary file. The previous
+        // snapshot stays untouched until every new shard is durably on
+        // disk.
         let mut report = PersistReport::default();
+        let mut staged: Vec<(PathBuf, PathBuf)> = Vec::with_capacity(self.shards.len());
         for (i, shard) in self.shards.iter().enumerate() {
             let mut stamped: Vec<(u64, PersistedEntry)> = {
                 let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
@@ -623,12 +644,9 @@ impl CompileCache {
                     .collect()
             };
             stamped.sort_by_key(|&(stamp, _)| stamp);
-            let file = PersistedShard {
-                version: PERSIST_VERSION,
-                entries: stamped.into_iter().map(|(_, e)| e).collect(),
-            };
+            let file = PersistedShard { entries: stamped.into_iter().map(|(_, e)| e).collect() };
             report.entries_ok += file.entries.len();
-            let text = serde_json::to_string(&file)
+            let text = encode_shard(&file)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
             let path = shard_file(dir, i);
             let tmp = path.with_extension("json.tmp");
@@ -637,8 +655,29 @@ impl CompileCache {
                 f.write_all(text.as_bytes())?;
                 f.sync_all()?;
             }
+            staged.push((tmp, path));
+        }
+        // Phase 2: atomically flip each shard into place.
+        let new_files: Vec<PathBuf> = staged.iter().map(|(_, path)| path.clone()).collect();
+        for (tmp, path) in staged {
             fs::rename(&tmp, &path)?;
             report.shards_ok += 1;
+        }
+        // Phase 3: drop stale files from a previous save — the shard count
+        // may have shrunk, and a leftover shard would resurrect evicted
+        // entries on the next load — plus any temporaries a crashed save
+        // left behind.
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let stale_shard = is_shard_file(&path) && !new_files.contains(&path);
+            let stale_tmp =
+                path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(".json.tmp"));
+            if stale_shard || stale_tmp {
+                let _ = fs::remove_file(path);
+            }
+        }
+        if fault.as_ref().is_some_and(|f| f.should_fire(FaultPoint::SnapshotCorrupt)) {
+            corrupt_one_shard(dir);
         }
         Ok(report)
     }
@@ -652,11 +691,14 @@ impl CompileCache {
     /// value — and re-admitted through the normal [`insert`] path, so
     /// budget accounting, shard routing, and admission policy apply exactly
     /// as they would to fresh compiles (a load can therefore also migrate
-    /// between shard counts and byte budgets). A corrupted or
-    /// wrong-version shard file degrades to a cold shard, counted in
-    /// [`PersistReport::shards_failed`]; a tampered entry is dropped and
-    /// counted in [`PersistReport::entries_rejected`] — neither is ever a
-    /// crash, and a validated entry replayed from disk remains
+    /// between shard counts and byte budgets). A corrupt shard file —
+    /// truncated, bit-flipped (checksum mismatch), unparseable, or the
+    /// wrong format version — is **quarantined**: renamed aside with a
+    /// `.quarantined` suffix so it is never re-read, counted in
+    /// [`PersistReport::shards_quarantined`], and the shard simply starts
+    /// cold. A tampered entry inside a structurally sound file is dropped
+    /// and counted in [`PersistReport::entries_rejected`]. Neither is
+    /// ever a crash, and a validated entry replayed from disk remains
     /// bit-identical to a fresh compile.
     ///
     /// [`insert`]: CompileCache::insert
@@ -674,12 +716,12 @@ impl CompileCache {
             .collect();
         paths.sort();
         for path in paths {
-            let parsed: Option<PersistedShard> = fs::read_to_string(&path)
-                .ok()
-                .and_then(|text| serde_json::from_str(&text).ok())
-                .filter(|s: &PersistedShard| s.version == PERSIST_VERSION);
+            let parsed: Option<PersistedShard> =
+                fs::read_to_string(&path).ok().and_then(|text| decode_shard(&text));
             let Some(file) = parsed else {
                 report.shards_failed += 1;
+                report.shards_quarantined += 1;
+                quarantine_shard_file(&path);
                 continue;
             };
             report.shards_ok += 1;
@@ -701,9 +743,12 @@ impl CompileCache {
     }
 }
 
-/// Version tag of the on-disk shard format; a mismatch degrades the file
-/// to a cold shard rather than attempting a cross-version parse.
-const PERSIST_VERSION: u32 = 1;
+/// Version tag of the on-disk shard format; a mismatch quarantines the
+/// file rather than attempting a cross-version parse. Version 2 moved the
+/// version into a checksummed header line (version 1 files — a single
+/// JSON document with an inline `version` field — are quarantined on
+/// load and the shard starts cold).
+const PERSIST_VERSION: u32 = 2;
 
 /// One cache entry in its on-disk form: the same self-contained identity
 /// and payload as a live entry, minus LRU bookkeeping (recency is encoded
@@ -717,11 +762,82 @@ struct PersistedEntry {
     peak_bytes: u64,
 }
 
-/// On-disk form of one shard: `{ "version": 1, "entries": [...] }`.
+/// On-disk payload of one shard (the second line of the file):
+/// `{ "entries": [...] }`.
 #[derive(Serialize, Deserialize)]
 struct PersistedShard {
-    version: u32,
     entries: Vec<PersistedEntry>,
+}
+
+/// First line of a shard file: the format version plus an FxHash
+/// checksum of the payload line's exact bytes. Checksumming the raw
+/// bytes (rather than re-serializing parsed data) makes any bit flip in
+/// the payload detectable, even one that leaves the JSON well-formed.
+#[derive(Serialize, Deserialize)]
+struct ShardHeader {
+    version: u32,
+    checksum: u64,
+}
+
+/// Serializes a shard to its two-line on-disk form.
+fn encode_shard(shard: &PersistedShard) -> Result<String, serde_json::Error> {
+    let payload = serde_json::to_string(shard)?;
+    let header = serde_json::to_string(&ShardHeader {
+        version: PERSIST_VERSION,
+        checksum: payload_checksum(&payload),
+    })?;
+    Ok(format!("{header}\n{payload}"))
+}
+
+/// Parses and verifies a shard file; `None` on any corruption (missing
+/// header, bad version, checksum mismatch, unparseable payload).
+fn decode_shard(text: &str) -> Option<PersistedShard> {
+    let (header, payload) = text.split_once('\n')?;
+    let header: ShardHeader = serde_json::from_str(header).ok()?;
+    if header.version != PERSIST_VERSION || header.checksum != payload_checksum(payload) {
+        return None;
+    }
+    serde_json::from_str(payload).ok()
+}
+
+/// FxHash of the payload's exact bytes (deterministic across processes:
+/// FxHash has no per-process seed).
+fn payload_checksum(payload: &str) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write(payload.as_bytes());
+    hasher.finish()
+}
+
+/// Moves a corrupt shard file aside (best effort) so it is never
+/// re-read: `shard-007.json` becomes `shard-007.json.quarantined`,
+/// which [`is_shard_file`] no longer matches.
+fn quarantine_shard_file(path: &Path) {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return;
+    };
+    let _ = fs::rename(path, path.with_file_name(format!("{name}.quarantined")));
+}
+
+/// Flips the last byte of the lowest-numbered shard file under `dir`
+/// (the [`FaultPoint::SnapshotCorrupt`] injection: the next load must
+/// quarantine the damaged shard instead of trusting or crashing on it).
+fn corrupt_one_shard(dir: &Path) {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => {
+            entries.filter_map(Result::ok).map(|e| e.path()).filter(|p| is_shard_file(p)).collect()
+        }
+        Err(_) => return,
+    };
+    paths.sort();
+    let Some(path) = paths.first() else {
+        return;
+    };
+    if let Ok(mut bytes) = fs::read(path) {
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0xFF;
+            let _ = fs::write(path, bytes);
+        }
+    }
 }
 
 /// Outcome of a [`CompileCache::save_to_dir`] /
@@ -730,14 +846,19 @@ struct PersistedShard {
 pub struct PersistReport {
     /// Shard files written (save) or parsed successfully (load).
     pub shards_ok: usize,
-    /// Shard files skipped on load — unreadable, unparseable, or the wrong
-    /// format version. The corresponding entries simply start cold.
+    /// Shard files skipped on load — unreadable, truncated, unparseable,
+    /// checksum-mismatched, or the wrong format version. The
+    /// corresponding entries simply start cold.
     pub shards_failed: usize,
     /// Entries written (save) or re-admitted (load).
     pub entries_ok: usize,
     /// Entries dropped by load-time validation (invalid graph, invalid
     /// order, or an inconsistent stored peak).
     pub entries_rejected: usize,
+    /// Corrupt shard files renamed aside with a `.quarantined` suffix on
+    /// load (a subset bookkeeping of [`PersistReport::shards_failed`]:
+    /// every failed shard that still existed on disk is quarantined).
+    pub shards_quarantined: usize,
 }
 
 impl PersistReport {
@@ -1247,10 +1368,16 @@ mod tests {
         });
         let report = restored.load_from_dir(&dir).unwrap();
         assert_eq!(report.shards_failed, 1, "the corrupted shard is skipped");
+        assert_eq!(report.shards_quarantined, 1, "and quarantined");
         assert_eq!(report.shards_ok, 1, "the intact shard still loads");
         assert!(report.degraded());
         assert!(restored.len() < cache.len(), "corrupted shard's entries are gone");
         assert!(!restored.is_empty(), "intact shard's entries survive");
+        assert!(
+            dir.join("shard-000.json.quarantined").exists(),
+            "the corrupt file is renamed aside"
+        );
+        assert!(!dir.join("shard-000.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1264,7 +1391,6 @@ mod tests {
         // must be dropped: replaying it would break the bit-identical
         // warm-equals-cold invariant.
         let bad_peak = PersistedShard {
-            version: PERSIST_VERSION,
             entries: vec![PersistedEntry {
                 backend_key: 1,
                 graph: g.clone(),
@@ -1277,7 +1403,6 @@ mod tests {
         let mut reversed = s.order.clone();
         reversed.reverse();
         let bad_order = PersistedShard {
-            version: PERSIST_VERSION,
             entries: vec![PersistedEntry {
                 backend_key: 1,
                 graph: g.clone(),
@@ -1286,21 +1411,171 @@ mod tests {
                 peak_bytes: s.peak_bytes,
             }],
         };
-        // A future format version: skipped wholesale.
-        let wrong_version = PersistedShard { version: PERSIST_VERSION + 1, entries: Vec::new() };
-        std::fs::write(dir.join("shard-000.json"), serde_json::to_string(&bad_peak).unwrap())
-            .unwrap();
-        std::fs::write(dir.join("shard-001.json"), serde_json::to_string(&bad_order).unwrap())
-            .unwrap();
-        std::fs::write(dir.join("shard-002.json"), serde_json::to_string(&wrong_version).unwrap())
-            .unwrap();
+        // A future format version with a *valid* checksum: quarantined
+        // wholesale on the version check alone.
+        let payload = serde_json::to_string(&PersistedShard { entries: Vec::new() }).unwrap();
+        let header = serde_json::to_string(&ShardHeader {
+            version: PERSIST_VERSION + 1,
+            checksum: payload_checksum(&payload),
+        })
+        .unwrap();
+        std::fs::write(dir.join("shard-000.json"), encode_shard(&bad_peak).unwrap()).unwrap();
+        std::fs::write(dir.join("shard-001.json"), encode_shard(&bad_order).unwrap()).unwrap();
+        std::fs::write(dir.join("shard-002.json"), format!("{header}\n{payload}")).unwrap();
 
         let cache = CompileCache::new();
         let report = cache.load_from_dir(&dir).unwrap();
         assert_eq!(report.entries_rejected, 2);
         assert_eq!(report.entries_ok, 0);
         assert_eq!(report.shards_failed, 1);
+        assert_eq!(report.shards_quarantined, 1);
         assert!(cache.is_empty(), "nothing tampered is admitted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_shard_is_quarantined_on_load() {
+        let dir = scratch_dir("truncated");
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 1,
+            ..Default::default()
+        });
+        let g = chain("g", 8);
+        cache.insert(1, fingerprint(&g), &g, &[], &schedule_of(&g));
+        cache.save_to_dir(&dir).unwrap();
+        let path = dir.join("shard-000.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let restored = CompileCache::new();
+        let report = restored.load_from_dir(&dir).unwrap();
+        assert_eq!(report.shards_quarantined, 1);
+        assert_eq!(report.entries_ok, 0);
+        assert!(restored.is_empty());
+        assert!(path.with_file_name("shard-000.json.quarantined").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_payload_fails_the_checksum() {
+        let dir = scratch_dir("bitflip");
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 1,
+            ..Default::default()
+        });
+        let g = chain("g", 8);
+        cache.insert(1, fingerprint(&g), &g, &[], &schedule_of(&g));
+        cache.save_to_dir(&dir).unwrap();
+        // Flip one digit inside the payload. The JSON stays well-formed,
+        // so only the checksum can catch this — the shard must be
+        // quarantined at the file level, not merely entry-rejected.
+        let path = dir.join("shard-000.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let newline = text.find('\n').unwrap();
+        let digit_at = text[newline..]
+            .char_indices()
+            .find_map(|(i, c)| c.is_ascii_digit().then_some(newline + i))
+            .expect("payload contains a digit");
+        let mut bytes = text.into_bytes();
+        bytes[digit_at] = if bytes[digit_at] == b'9' { b'0' } else { bytes[digit_at] + 1 };
+        std::fs::write(&path, bytes).unwrap();
+
+        let restored = CompileCache::new();
+        let report = restored.load_from_dir(&dir).unwrap();
+        assert_eq!(report.shards_quarantined, 1, "checksum catches the flip");
+        assert_eq!(report.entries_rejected, 0, "never reaches entry validation");
+        assert!(restored.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_is_quarantined_not_parsed() {
+        let dir = scratch_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A version-1 file was one JSON document with an inline version
+        // field and no header line.
+        std::fs::write(dir.join("shard-000.json"), r#"{"version":1,"entries":[]}"#).unwrap();
+        let cache = CompileCache::new();
+        let report = cache.load_from_dir(&dir).unwrap();
+        assert_eq!(report.shards_quarantined, 1);
+        assert_eq!(report.shards_ok, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_persist_io_error_preserves_the_previous_snapshot() {
+        let dir = scratch_dir("midpersist");
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 2,
+            ..Default::default()
+        });
+        let graphs: Vec<Graph> = (0..4).map(|i| chain(&format!("g{i}"), 8 + i)).collect();
+        for g in &graphs {
+            cache.insert(1, fingerprint(g), g, &[], &schedule_of(g));
+        }
+        let first = cache.save_to_dir(&dir).unwrap();
+        assert_eq!(first.entries_ok, 4);
+
+        cache.install_fault_plan(Arc::new(
+            crate::fault::FaultPlan::parse("persist-io=1", 0).unwrap(),
+        ));
+        let g5 = chain("g5", 20);
+        cache.insert(1, fingerprint(&g5), &g5, &[], &schedule_of(&g5));
+        assert!(cache.save_to_dir(&dir).is_err(), "armed IO fault fails the save");
+
+        // The failed save must not have disturbed the snapshot on disk.
+        let restored = CompileCache::new();
+        let report = restored.load_from_dir(&dir).unwrap();
+        assert_eq!(report.entries_ok, 4, "previous snapshot intact");
+        assert_eq!(report.shards_quarantined, 0);
+
+        // The fault is spent: the next save succeeds and picks up g5.
+        let third = cache.save_to_dir(&dir).unwrap();
+        assert_eq!(third.entries_ok, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_snapshot_corruption_is_quarantined_on_the_next_load() {
+        let dir = scratch_dir("snapcorrupt");
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 2,
+            ..Default::default()
+        });
+        let graphs: Vec<Graph> = (0..4).map(|i| chain(&format!("g{i}"), 8 + i)).collect();
+        for g in &graphs {
+            cache.insert(1, fingerprint(g), g, &[], &schedule_of(g));
+        }
+        cache.install_fault_plan(Arc::new(
+            crate::fault::FaultPlan::parse("snapshot-corrupt=1", 0).unwrap(),
+        ));
+        cache.save_to_dir(&dir).unwrap();
+
+        let restored = CompileCache::new();
+        let report = restored.load_from_dir(&dir).unwrap();
+        assert_eq!(report.shards_quarantined, 1, "the corrupted shard is caught");
+        assert_eq!(report.shards_ok, 1, "the other shard loads fine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_cleans_up_crashed_save_temporaries() {
+        let dir = scratch_dir("tmpclean");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("shard-009.json.tmp"), "torn write from a crash").unwrap();
+        let cache = CompileCache::with_config(CompileCacheConfig {
+            max_bytes: 1024 * 1024,
+            shards: 1,
+            ..Default::default()
+        });
+        let g = chain("g", 8);
+        cache.insert(1, fingerprint(&g), &g, &[], &schedule_of(&g));
+        cache.save_to_dir(&dir).unwrap();
+        assert!(!dir.join("shard-009.json.tmp").exists(), "stale temporary removed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -49,6 +49,13 @@ pub enum ScheduleError {
     },
     /// The underlying graph is malformed.
     Graph(GraphError),
+    /// A scheduling worker panicked and the panic was contained. The
+    /// payload is the panic message (best effort); the offending
+    /// candidate or rung is discarded rather than taking the process down.
+    Panicked {
+        /// Panic message recovered from the unwind payload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -71,6 +78,9 @@ impl fmt::Display for ScheduleError {
                 write!(f, "graph of {nodes} nodes exceeds the backend's limit of {limit}")
             }
             ScheduleError::Graph(e) => write!(f, "graph error: {e}"),
+            ScheduleError::Panicked { detail } => {
+                write!(f, "scheduling worker panicked: {detail}")
+            }
         }
     }
 }

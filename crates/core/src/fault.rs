@@ -1,0 +1,369 @@
+//! Deterministic, seedable fault-injection harness.
+//!
+//! A [`FaultPlan`] arms a set of named injection points
+//! ([`FaultPoint`]) that production code consults at well-defined
+//! seams: the compile pipeline (panic, artificial slowness), cache
+//! persistence (IO error, snapshot corruption), and the serving layer
+//! (socket reset). With no plan installed every check is a cheap
+//! `Option::None` test and behaviour is bit-identical to a build
+//! without the harness.
+//!
+//! Plans are parsed from a compact spec string (the CLI's
+//! `--fault-plan` flag). Each point can be armed either with a fixed
+//! fire count (`compile-panic=2` fires on the first two consultations,
+//! then never again) or with a probability driven by a deterministic
+//! splitmix64 stream (`compile-panic=p0.25` with the seed taken from
+//! `SERENITY_FAULT_SEED`). Both modes are fully deterministic given the
+//! seed and the sequence of consultations, which is what lets the chaos
+//! suite assert exact counter values.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Default artificial delay for an armed `slow-compile` point when the
+/// spec does not name one.
+const DEFAULT_SLOW_COMPILE: Duration = Duration::from_millis(100);
+
+/// Named seams where a [`FaultPlan`] can inject a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultPoint {
+    /// Panic inside [`Serenity::compile`](crate::pipeline::Serenity)
+    /// before any scheduling work happens.
+    CompilePanic,
+    /// Sleep inside the compile pipeline, to provoke deadline misses.
+    SlowCompile,
+    /// Fail [`CompileCache::save_to_dir`](crate::cache::CompileCache)
+    /// with an IO error before anything is written.
+    PersistIoError,
+    /// Silently corrupt one shard file after a successful save, so the
+    /// next warm load must quarantine it.
+    SnapshotCorrupt,
+    /// Drop a client connection instead of writing the response.
+    SocketReset,
+}
+
+/// All injection points, in spec/parse order.
+const POINTS: [FaultPoint; 5] = [
+    FaultPoint::CompilePanic,
+    FaultPoint::SlowCompile,
+    FaultPoint::PersistIoError,
+    FaultPoint::SnapshotCorrupt,
+    FaultPoint::SocketReset,
+];
+
+impl FaultPoint {
+    /// The spec-string name of this point (`compile-panic`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::CompilePanic => "compile-panic",
+            FaultPoint::SlowCompile => "slow-compile",
+            FaultPoint::PersistIoError => "persist-io",
+            FaultPoint::SnapshotCorrupt => "snapshot-corrupt",
+            FaultPoint::SocketReset => "socket-reset",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::CompilePanic => 0,
+            FaultPoint::SlowCompile => 1,
+            FaultPoint::PersistIoError => 2,
+            FaultPoint::SnapshotCorrupt => 3,
+            FaultPoint::SocketReset => 4,
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How an armed point decides whether to fire.
+#[derive(Debug, Clone, Copy)]
+enum ArmMode {
+    /// Never fires.
+    Off,
+    /// Fires on the first `n` consultations, then goes quiet.
+    Count(u64),
+    /// Fires with this probability per consultation, from the seeded
+    /// deterministic stream.
+    Probability(f64),
+}
+
+/// Per-point state: the arming mode plus fire bookkeeping.
+#[derive(Debug)]
+struct Arm {
+    mode: ArmMode,
+    /// Remaining fires for [`ArmMode::Count`].
+    remaining: AtomicU64,
+    /// Consultation sequence number for [`ArmMode::Probability`].
+    seq: AtomicU64,
+    /// Total times this point actually fired.
+    fired: AtomicU64,
+    /// Injected delay (only meaningful for `slow-compile`).
+    delay: Duration,
+}
+
+impl Arm {
+    fn off() -> Self {
+        Arm {
+            mode: ArmMode::Off,
+            remaining: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+            delay: DEFAULT_SLOW_COMPILE,
+        }
+    }
+}
+
+/// A deterministic, seedable plan of injected faults.
+///
+/// Shared as an `Arc` between the compile pipeline (via
+/// [`CompileOptions::fault`](crate::backend::CompileOptions)), the
+/// compile cache, and the server. All methods are lock-free and safe to
+/// consult from any thread.
+pub struct FaultPlan {
+    seed: u64,
+    arms: [Arm; 5],
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("FaultPlan");
+        s.field("seed", &self.seed);
+        for point in POINTS {
+            let arm = &self.arms[point.index()];
+            if !matches!(arm.mode, ArmMode::Off) {
+                s.field(point.name(), &arm.mode);
+            }
+        }
+        s.finish()
+    }
+}
+
+impl FaultPlan {
+    /// Parse a plan from a spec string such as
+    /// `compile-panic=2,slow-compile=1:250ms,persist-io=p0.5`.
+    ///
+    /// Each comma-separated clause is `point=trigger[:delay]` where
+    /// `trigger` is a fire count (`3`) or a probability (`p0.25`), and
+    /// the optional `delay` (for `slow-compile`) is milliseconds with
+    /// an optional `ms` suffix. `seed` drives the probability stream;
+    /// count-mode clauses ignore it.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut plan =
+            FaultPlan { seed, arms: [Arm::off(), Arm::off(), Arm::off(), Arm::off(), Arm::off()] };
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, trigger) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause '{clause}' is not 'point=trigger'"))?;
+            let point =
+                POINTS.iter().copied().find(|p| p.name() == name.trim()).ok_or_else(|| {
+                    let known: Vec<&str> = POINTS.iter().map(|p| p.name()).collect();
+                    format!("unknown fault point '{}' (known: {})", name.trim(), known.join(", "))
+                })?;
+            let (trigger, delay) = match trigger.split_once(':') {
+                Some((t, d)) => (t.trim(), Some(parse_delay(d.trim())?)),
+                None => (trigger.trim(), None),
+            };
+            let mode = if let Some(p) = trigger.strip_prefix('p') {
+                let p: f64 =
+                    p.parse().map_err(|_| format!("bad probability '{trigger}' for {point}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability for {point} must be in [0, 1], got {p}"));
+                }
+                ArmMode::Probability(p)
+            } else {
+                let n: u64 = trigger
+                    .parse()
+                    .map_err(|_| format!("bad fire count '{trigger}' for {point}"))?;
+                ArmMode::Count(n)
+            };
+            let arm = &mut plan.arms[point.index()];
+            arm.mode = mode;
+            if let ArmMode::Count(n) = mode {
+                arm.remaining = AtomicU64::new(n);
+            }
+            if let Some(d) = delay {
+                arm.delay = d;
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Consult an injection point: returns `true` when the fault should
+    /// fire now. Count-mode arms burn one charge per `true`;
+    /// probability-mode arms advance their deterministic stream on
+    /// every consultation.
+    pub fn should_fire(&self, point: FaultPoint) -> bool {
+        let arm = &self.arms[point.index()];
+        let fire = match arm.mode {
+            ArmMode::Off => false,
+            ArmMode::Count(_) => loop {
+                let cur = arm.remaining.load(Ordering::Relaxed);
+                if cur == 0 {
+                    break false;
+                }
+                if arm
+                    .remaining
+                    .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break true;
+                }
+            },
+            ArmMode::Probability(p) => {
+                let seq = arm.seq.fetch_add(1, Ordering::Relaxed);
+                let stream = self.seed ^ ((point.index() as u64 + 1) << 56) ^ seq;
+                unit_interval(splitmix64(stream)) < p
+            }
+        };
+        if fire {
+            arm.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Consult the `slow-compile` point; returns the armed delay when
+    /// it fires.
+    pub fn slow_compile_delay(&self) -> Option<Duration> {
+        if self.should_fire(FaultPoint::SlowCompile) {
+            Some(self.arms[FaultPoint::SlowCompile.index()].delay)
+        } else {
+            None
+        }
+    }
+
+    /// Times `point` has actually fired so far.
+    pub fn fired(&self, point: FaultPoint) -> u64 {
+        self.arms[point.index()].fired.load(Ordering::Relaxed)
+    }
+
+    /// Total fires across all points (the `/status` `faults_injected`
+    /// counter).
+    pub fn fired_total(&self) -> u64 {
+        POINTS.iter().map(|p| self.fired(*p)).sum()
+    }
+
+    /// The seed the probability streams were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Parse a clause delay: bare milliseconds with an optional `ms` suffix.
+fn parse_delay(text: &str) -> Result<Duration, String> {
+    let digits = text.strip_suffix("ms").unwrap_or(text).trim();
+    let ms: u64 = digits.parse().map_err(|_| format!("bad fault delay '{text}'"))?;
+    Ok(Duration::from_millis(ms))
+}
+
+/// splitmix64: a tiny, high-quality deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map a u64 onto [0, 1) using the top 53 bits.
+fn unit_interval(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (the `Box<dyn Any>` returned by `catch_unwind`).
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_mode_fires_exactly_n_times() {
+        let plan = FaultPlan::parse("compile-panic=3", 0).expect("parse");
+        let fires: usize = (0..10).filter(|_| plan.should_fire(FaultPoint::CompilePanic)).count();
+        assert_eq!(fires, 3);
+        assert_eq!(plan.fired(FaultPoint::CompilePanic), 3);
+        assert_eq!(plan.fired_total(), 3);
+    }
+
+    #[test]
+    fn probability_mode_is_deterministic_for_a_seed() {
+        let a = FaultPlan::parse("socket-reset=p0.5", 42).expect("parse");
+        let b = FaultPlan::parse("socket-reset=p0.5", 42).expect("parse");
+        let fires_a: Vec<bool> = (0..64).map(|_| a.should_fire(FaultPoint::SocketReset)).collect();
+        let fires_b: Vec<bool> = (0..64).map(|_| b.should_fire(FaultPoint::SocketReset)).collect();
+        assert_eq!(fires_a, fires_b);
+        assert!(fires_a.iter().any(|f| *f), "p=0.5 over 64 draws should fire");
+        assert!(fires_a.iter().any(|f| !*f), "p=0.5 over 64 draws should also skip");
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = FaultPlan::parse("socket-reset=p0.5", 1).expect("parse");
+        let b = FaultPlan::parse("socket-reset=p0.5", 2).expect("parse");
+        let fires_a: Vec<bool> = (0..64).map(|_| a.should_fire(FaultPoint::SocketReset)).collect();
+        let fires_b: Vec<bool> = (0..64).map(|_| b.should_fire(FaultPoint::SocketReset)).collect();
+        assert_ne!(fires_a, fires_b);
+    }
+
+    #[test]
+    fn slow_compile_carries_its_delay() {
+        let plan = FaultPlan::parse("slow-compile=1:250ms", 0).expect("parse");
+        assert_eq!(plan.slow_compile_delay(), Some(Duration::from_millis(250)));
+        assert_eq!(plan.slow_compile_delay(), None, "count exhausted");
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        let plan = FaultPlan::parse("compile-panic=1", 0).expect("parse");
+        assert!(!plan.should_fire(FaultPoint::PersistIoError));
+        assert!(!plan.should_fire(FaultPoint::SnapshotCorrupt));
+        assert_eq!(plan.slow_compile_delay(), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("bogus-point=1", 0).is_err());
+        assert!(FaultPlan::parse("compile-panic", 0).is_err());
+        assert!(FaultPlan::parse("compile-panic=x", 0).is_err());
+        assert!(FaultPlan::parse("compile-panic=p1.5", 0).is_err());
+        assert!(FaultPlan::parse("slow-compile=1:soon", 0).is_err());
+    }
+
+    #[test]
+    fn empty_and_whitespace_specs_are_inert() {
+        let plan = FaultPlan::parse("", 0).expect("parse");
+        assert!(!plan.should_fire(FaultPoint::CompilePanic));
+        let plan = FaultPlan::parse(" compile-panic=1 , ", 0).expect("parse");
+        assert!(plan.should_fire(FaultPoint::CompilePanic));
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str panic");
+        assert_eq!(panic_message(s.as_ref()), "static str panic");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned panic"));
+        assert_eq!(panic_message(s.as_ref()), "owned panic");
+        let s: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(s.as_ref()), "unknown panic payload");
+    }
+}

@@ -112,6 +112,7 @@ pub mod canon;
 pub mod divide;
 pub mod dp;
 mod error;
+pub mod fault;
 pub mod memo;
 pub mod pipeline;
 pub mod registry;
@@ -123,5 +124,6 @@ pub use backend::{
 };
 pub use cache::{AdmissionPolicy, CacheStats, CompileCache, CompileCacheConfig, PersistReport};
 pub use error::ScheduleError;
+pub use fault::{FaultPlan, FaultPoint};
 pub use registry::{BackendRegistry, PortfolioBackend};
 pub use schedule::{Schedule, ScheduleStats};

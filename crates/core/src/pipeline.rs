@@ -9,9 +9,11 @@
 //! wall-clock deadline, shared cancellation token, and a structured
 //! [`CompileEvent`] sink.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use serde::Serialize;
 use serenity_allocator::{MemoryPlan, Strategy};
 use serenity_ir::cuts::PartitionSummary;
 use serenity_ir::Graph;
@@ -23,9 +25,15 @@ use crate::backend::{
 use crate::budget::BudgetConfig;
 use crate::cache::CompileCache;
 use crate::divide::DivideAndConquer;
+use crate::fault::{panic_message, FaultPlan, FaultPoint};
 use crate::memo::ScheduleMemo;
 use crate::rewrite::{AppliedRewrite, RewriteSearchConfig, RewriteSearchSummary, Rewriter};
 use crate::{Schedule, ScheduleError, ScheduleStats};
+
+/// Minimum wall-clock budget worth handing to a non-final degradation
+/// rung; below this the ladder skips straight to its last (cheapest)
+/// rung so a blown deadline still yields *some* valid schedule.
+const MIN_RUNG_BUDGET: Duration = Duration::from_millis(5);
 
 /// Whether and how graph rewriting participates in compilation.
 ///
@@ -84,6 +92,7 @@ pub struct SerenityBuilder {
     allocator: Option<Strategy>,
     divide: bool,
     options: CompileOptions,
+    fallbacks: Vec<Arc<dyn SchedulerBackend>>,
 }
 
 impl std::fmt::Debug for SerenityBuilder {
@@ -96,6 +105,10 @@ impl std::fmt::Debug for SerenityBuilder {
             .field("allocator", &self.allocator)
             .field("divide", &self.divide)
             .field("options", &self.options)
+            .field(
+                "fallbacks",
+                &self.fallbacks.iter().map(|b| b.name().to_owned()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -120,6 +133,7 @@ impl SerenityBuilder {
             allocator: Some(Strategy::GreedyBySize),
             divide: true,
             options: CompileOptions::default(),
+            fallbacks: Vec::new(),
         }
     }
 
@@ -229,6 +243,25 @@ impl SerenityBuilder {
         self.backend(scheduler.into_backend())
     }
 
+    /// Arms a fault-injection plan for every compile run (test-only
+    /// surface; see [`crate::fault`]).
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.options.fault = Some(plan);
+        self
+    }
+
+    /// Installs the graceful-degradation ladder consulted by
+    /// [`Serenity::compile_resilient`]: when the primary backend errors,
+    /// panics, or blows its deadline slice, compilation retries down this
+    /// chain (e.g. `dp → beam → kahn`) instead of failing the request.
+    /// Fallback rungs compile with rewriting off — their job is a cheap
+    /// *valid* schedule, not an optimal one. An empty chain (the default)
+    /// makes `compile_resilient` behave exactly like [`Serenity::compile`].
+    pub fn fallback_backends(mut self, chain: Vec<Arc<dyn SchedulerBackend>>) -> Self {
+        self.fallbacks = chain;
+        self
+    }
+
     /// Chooses the arena allocator (`None` disables offset planning).
     pub fn allocator(mut self, strategy: Option<Strategy>) -> Self {
         self.allocator = strategy;
@@ -324,6 +357,33 @@ impl CompiledSchedule {
     }
 }
 
+/// One failed rung in the degradation ladder's provenance trail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DegradeStep {
+    /// Name of the backend that was tried.
+    pub backend: String,
+    /// Why it did not produce the result (error message, or
+    /// `panic: ...` when the rung panicked and was contained).
+    pub error: String,
+}
+
+/// Outcome of [`Serenity::compile_resilient`]: the compiled schedule
+/// plus how far down the degradation ladder it came from.
+#[derive(Debug)]
+pub struct ResilientCompile {
+    /// The compiled schedule (from the primary backend, or a fallback).
+    pub compiled: CompiledSchedule,
+    /// `true` when a fallback rung — not the primary backend — produced
+    /// the result.
+    pub degraded: bool,
+    /// Name of the fallback backend that produced the result (`None`
+    /// when the primary succeeded).
+    pub fallback_backend: Option<String>,
+    /// The rungs that failed before one succeeded (empty when the
+    /// primary succeeded).
+    pub attempts: Vec<DegradeStep>,
+}
+
 impl Serenity {
     /// Starts building a compiler.
     pub fn builder() -> SerenityBuilder {
@@ -344,6 +404,16 @@ impl Serenity {
         let started = Instant::now();
         let ctx = CompileContext::new(self.config.options.clone());
         ctx.check()?;
+        if let Some(fault) = &self.config.options.fault {
+            if let Some(delay) = fault.slow_compile_delay() {
+                std::thread::sleep(delay);
+                // Let the deadline observe the injected slowness.
+                ctx.check()?;
+            }
+            if fault.should_fire(FaultPoint::CompilePanic) {
+                panic!("injected fault: compile panic");
+            }
+        }
         let baseline_peak_bytes = crate::baseline::kahn(graph)?.peak_bytes;
 
         // Candidate boundaries delimit the event stream: segment/probe
@@ -485,6 +555,103 @@ impl Serenity {
             stats,
             compile_time,
         })
+    }
+
+    /// Compiles `graph` with graceful degradation down the configured
+    /// [`fallback chain`](SerenityBuilder::fallback_backends).
+    ///
+    /// With an empty chain this is exactly [`Serenity::compile`] (same
+    /// behaviour, panics propagate, results bit-identical). With a chain
+    /// installed, each rung — the primary backend first, then each
+    /// fallback in order — is tried with a slice of the remaining
+    /// wall-clock budget: non-final rungs get half of what is left (so a
+    /// blown deadline cannot starve the cheaper rungs behind it), the
+    /// final rung gets everything remaining, and rungs whose slice would
+    /// fall below a small floor are skipped in favour of the final rung.
+    /// A rung that errors, panics (contained via `catch_unwind`), or
+    /// exceeds its slice is recorded in the provenance trail and the
+    /// next rung runs. Fallback rungs compile with rewriting off.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Cancelled`] as soon as cancellation is observed
+    /// (the ladder never retries a cancelled request); otherwise the
+    /// last rung's error when every rung failed.
+    pub fn compile_resilient(&self, graph: &Graph) -> Result<ResilientCompile, ScheduleError> {
+        if self.config.fallbacks.is_empty() {
+            return self.compile(graph).map(|compiled| ResilientCompile {
+                compiled,
+                degraded: false,
+                fallback_backend: None,
+                attempts: Vec::new(),
+            });
+        }
+        let started = Instant::now();
+        let overall_deadline = self.config.options.deadline;
+        let total_rungs = 1 + self.config.fallbacks.len();
+        let mut attempts = Vec::new();
+        let mut last_error: Option<ScheduleError> = None;
+        let rungs =
+            std::iter::once(&self.config.backend).chain(self.config.fallbacks.iter()).enumerate();
+        for (i, backend) in rungs {
+            if self.config.options.cancel.is_cancelled() {
+                return Err(ScheduleError::Cancelled);
+            }
+            let is_last = i + 1 == total_rungs;
+            let remaining = overall_deadline.map(|d| d.saturating_sub(started.elapsed()));
+            if let Some(rem) = remaining {
+                if !is_last && rem < MIN_RUNG_BUDGET {
+                    // Not worth burning the tail of the budget on an
+                    // expensive rung: skip ahead to the cheapest one.
+                    attempts.push(DegradeStep {
+                        backend: backend.name().to_owned(),
+                        error: format!("skipped: {rem:?} of budget left"),
+                    });
+                    continue;
+                }
+            }
+            let mut rung_cfg = self.config.clone();
+            rung_cfg.backend = Arc::clone(backend);
+            rung_cfg.fallbacks = Vec::new();
+            rung_cfg.options.deadline = match remaining {
+                None => None,
+                Some(rem) if is_last => Some(rem),
+                Some(rem) => Some(rem / 2),
+            };
+            if i > 0 {
+                // Fallback rungs trade optimality for certainty: no
+                // rewrite search, just schedule the graph as-is.
+                rung_cfg.rewrite = RewriteMode::Off;
+            }
+            let rung = Serenity { config: rung_cfg };
+            match catch_unwind(AssertUnwindSafe(|| rung.compile(graph))) {
+                Ok(Ok(compiled)) => {
+                    return Ok(ResilientCompile {
+                        compiled,
+                        degraded: i > 0,
+                        fallback_backend: (i > 0).then(|| backend.name().to_owned()),
+                        attempts,
+                    });
+                }
+                Ok(Err(ScheduleError::Cancelled)) => return Err(ScheduleError::Cancelled),
+                Ok(Err(e)) => {
+                    attempts.push(DegradeStep {
+                        backend: backend.name().to_owned(),
+                        error: e.to_string(),
+                    });
+                    last_error = Some(e);
+                }
+                Err(payload) => {
+                    let detail = panic_message(payload.as_ref());
+                    attempts.push(DegradeStep {
+                        backend: backend.name().to_owned(),
+                        error: format!("panic: {detail}"),
+                    });
+                    last_error = Some(ScheduleError::Panicked { detail });
+                }
+            }
+        }
+        Err(last_error.unwrap_or(ScheduleError::Cancelled))
     }
 
     fn schedule_one(
@@ -728,6 +895,131 @@ mod tests {
             .unwrap()
             .iter()
             .any(|e| matches!(e, CompileEvent::BackendChosen { .. })));
+    }
+
+    /// A backend that always panics, for ladder containment tests.
+    struct PanickingBackend;
+
+    impl SchedulerBackend for PanickingBackend {
+        fn name(&self) -> &str {
+            "panicking-test-backend"
+        }
+
+        fn schedule(
+            &self,
+            _graph: &Graph,
+            _ctx: &CompileContext,
+        ) -> Result<crate::backend::BackendOutcome, ScheduleError> {
+            panic!("deliberate test panic");
+        }
+    }
+
+    #[test]
+    fn resilient_with_empty_chain_matches_plain_compile() {
+        let g = concat_cell();
+        let plain = Serenity::builder().build().compile(&g).unwrap();
+        let resilient = Serenity::builder().build().compile_resilient(&g).unwrap();
+        assert!(!resilient.degraded);
+        assert!(resilient.attempts.is_empty());
+        assert_eq!(resilient.compiled.peak_bytes, plain.peak_bytes);
+        assert_eq!(resilient.compiled.schedule.order, plain.schedule.order);
+    }
+
+    #[test]
+    fn ladder_degrades_past_a_panicking_primary() {
+        let g = concat_cell();
+        let registry = BackendRegistry::standard();
+        let resilient = Serenity::builder()
+            .backend(Arc::new(PanickingBackend))
+            .fallback_backends(vec![registry.create("kahn").unwrap()])
+            .build()
+            .compile_resilient(&g)
+            .unwrap();
+        assert!(resilient.degraded);
+        assert_eq!(resilient.fallback_backend.as_deref(), Some("kahn"));
+        assert_eq!(resilient.attempts.len(), 1);
+        assert!(resilient.attempts[0].error.contains("panic"));
+        assert!(serenity_ir::topo::is_order(
+            &resilient.compiled.graph,
+            &resilient.compiled.schedule.order
+        ));
+    }
+
+    #[test]
+    fn ladder_reports_every_failed_rung_when_all_fail() {
+        let g = concat_cell();
+        let err = Serenity::builder()
+            .backend(Arc::new(PanickingBackend))
+            .fallback_backends(vec![Arc::new(PanickingBackend)])
+            .build()
+            .compile_resilient(&g)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Panicked { .. }));
+    }
+
+    #[test]
+    fn ladder_never_retries_a_cancelled_compile() {
+        let g = concat_cell();
+        let token = CancelToken::new();
+        token.cancel();
+        let registry = BackendRegistry::standard();
+        let err = Serenity::builder()
+            .cancel_token(token)
+            .fallback_backends(vec![registry.create("kahn").unwrap()])
+            .build()
+            .compile_resilient(&g)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Cancelled));
+    }
+
+    #[test]
+    fn ladder_recovers_from_a_blown_deadline() {
+        // A zero deadline fails the primary (and every budgeted rung),
+        // but the final rung still runs with whatever is left — the
+        // cheap list scheduler finishes effectively instantly.
+        let g = concat_cell();
+        let registry = BackendRegistry::standard();
+        let resilient = Serenity::builder()
+            .deadline(Duration::ZERO)
+            .fallback_backends(vec![registry.create("kahn").unwrap()])
+            .build()
+            .compile_resilient(&g);
+        // The final rung gets a zero budget too, so either outcome is a
+        // structured one: a degraded schedule or a typed deadline error.
+        match resilient {
+            Ok(r) => assert!(r.degraded),
+            Err(e) => assert!(matches!(e, ScheduleError::DeadlineExceeded { .. })),
+        }
+    }
+
+    #[test]
+    fn injected_compile_panic_fires_then_clears() {
+        let g = concat_cell();
+        let plan =
+            Arc::new(crate::fault::FaultPlan::parse("compile-panic=1", 0).expect("plan parses"));
+        let compiler = Serenity::builder().fault_plan(Arc::clone(&plan)).build();
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| compiler.compile(&g))).is_err();
+        assert!(panicked, "armed compile-panic point must fire");
+        assert_eq!(plan.fired(FaultPoint::CompilePanic), 1);
+        let second = compiler.compile(&g).expect("count exhausted, compile succeeds");
+        let clean = Serenity::builder().build().compile(&g).expect("fault-free compile");
+        assert_eq!(second.peak_bytes, clean.peak_bytes, "fault harness must not change results");
+        assert_eq!(second.schedule.order, clean.schedule.order);
+    }
+
+    #[test]
+    fn injected_slow_compile_trips_the_deadline() {
+        let g = concat_cell();
+        let plan = Arc::new(
+            crate::fault::FaultPlan::parse("slow-compile=1:30ms", 0).expect("plan parses"),
+        );
+        let err = Serenity::builder()
+            .fault_plan(plan)
+            .deadline(Duration::from_millis(5))
+            .build()
+            .compile(&g)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::DeadlineExceeded { .. }));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! parallel runs return bit-identical graphs, schedules, and summaries at
 //! every thread count.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -506,20 +507,30 @@ impl RewriteSearch {
             ctx.with_event_sink(None)
         };
         let layer = Arc::new(ScheduleMemo::layered(Arc::clone(memo)));
+        // A panicking scoring backend must not take the worker (and with it
+        // the whole search) down: contain the unwind and fail the candidate,
+        // which the replay loop then skips deterministically.
         let outcome = {
             let scorer =
                 DivideAndConquer::new().backend(Arc::clone(&self.scorer)).memo(Arc::clone(&layer));
-            scorer.schedule_with_ctx(&candidate.graph, &child_ctx)
+            catch_unwind(AssertUnwindSafe(|| {
+                scorer.schedule_with_ctx(&candidate.graph, &child_ctx)
+            }))
         };
-        let memo_layer = Arc::try_unwrap(layer).expect("scorer dropped its memo handle");
         match outcome {
-            Ok(scored) => Scored::Done {
-                peak: scored.schedule.peak_bytes,
-                stats: scored.total_stats,
-                events: std::mem::take(&mut events.lock().expect("event buffer")),
-                memo_layer,
-            },
-            Err(err) => Scored::Failed(err),
+            Ok(Ok(scored)) => {
+                let memo_layer = Arc::try_unwrap(layer).expect("scorer dropped its memo handle");
+                Scored::Done {
+                    peak: scored.schedule.peak_bytes,
+                    stats: scored.total_stats,
+                    events: std::mem::take(&mut events.lock().expect("event buffer")),
+                    memo_layer,
+                }
+            }
+            Ok(Err(err)) => Scored::Failed(err),
+            Err(payload) => Scored::Failed(ScheduleError::Panicked {
+                detail: crate::fault::panic_message(payload.as_ref()),
+            }),
         }
     }
 
@@ -1058,6 +1069,60 @@ mod tests {
         let ctx = CompileContext::new(CompileOptions::new().cancel_token(token));
         let err = Rewriter::standard().cost_guided().run(&g, &ctx).unwrap_err();
         assert!(matches!(err, ScheduleError::Cancelled));
+    }
+
+    /// Scores untouched graphs via beam search but panics on any graph
+    /// containing a partitioned node — i.e. on every rewrite candidate.
+    struct PanicOnRewritten {
+        inner: BeamBackend,
+    }
+
+    impl SchedulerBackend for PanicOnRewritten {
+        fn name(&self) -> &str {
+            "panic-on-rewritten"
+        }
+
+        fn schedule(
+            &self,
+            graph: &Graph,
+            ctx: &CompileContext,
+        ) -> Result<crate::backend::BackendOutcome, ScheduleError> {
+            if graph.nodes().any(|n| n.name.contains("_part")) {
+                panic!("deliberate scorer panic");
+            }
+            self.inner.schedule(graph, ctx)
+        }
+    }
+
+    #[test]
+    fn panicking_scorer_fails_the_candidate_not_the_search() {
+        // Every candidate's scoring panics; the panic is contained, the
+        // candidates are all discarded, and the search converges on the
+        // unchanged input instead of unwinding.
+        let g = concat_cell(3, 16);
+        let outcome = Rewriter::standard()
+            .cost_guided()
+            .score_backend(Arc::new(PanicOnRewritten { inner: BeamBackend::default() }))
+            .run_unconstrained(&g)
+            .unwrap();
+        assert!(!outcome.changed());
+        assert_eq!(outcome.graph, g);
+        assert_eq!(outcome.summary.stop, RewriteStop::FixedPoint);
+    }
+
+    #[test]
+    fn panicking_scorer_is_contained_on_worker_threads() {
+        // Same containment under the scoped worker pool: no worker unwind
+        // may poison the scope or abort the process.
+        let g = two_site_cell();
+        let outcome = Rewriter::standard()
+            .cost_guided()
+            .config(RewriteSearchConfig { threads: 4, ..Default::default() })
+            .score_backend(Arc::new(PanicOnRewritten { inner: BeamBackend::default() }))
+            .run_unconstrained(&g)
+            .unwrap();
+        assert!(!outcome.changed());
+        assert_eq!(outcome.graph, g);
     }
 
     #[test]

@@ -205,6 +205,11 @@ fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, ReadError> {
 }
 
 /// Writes a complete response with the given status and JSON body.
+///
+/// Every `503` automatically carries a `Retry-After: 1` header: the
+/// service only sheds load transiently (a full accept queue, an
+/// overloaded health probe), so well-behaved clients should back off
+/// briefly and retry rather than treat the error as terminal.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
@@ -213,8 +218,9 @@ pub fn write_response(
 ) -> io::Result<()> {
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry_after = if status == 503 { "retry-after: 1\r\n" } else { "" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n{retry_after}\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -359,5 +365,23 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"), "{text}");
         assert!(text.contains("connection: keep-alive\r\n"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn load_shed_responses_carry_retry_after() {
+        let (mut client, mut server) = pair();
+        write_response(&mut server, 503, "{}", false).unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+
+        let (mut client, mut server) = pair();
+        write_response(&mut server, 200, "{}", false).unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(!text.contains("retry-after"), "non-503 must not advertise a retry: {text}");
     }
 }

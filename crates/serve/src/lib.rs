@@ -67,6 +67,6 @@ pub mod server;
 pub mod service;
 pub mod singleflight;
 
-pub use server::{Server, ServerConfig};
-pub use service::{CompileService, ServiceConfig};
+pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use service::{CompileService, RobustnessStats, ServiceConfig};
 pub use singleflight::{FlightOutcome, SingleFlight};

@@ -21,16 +21,28 @@
 //! watchdog is the only reader, and it only peeks. Once the compile
 //! finishes the worker restores its own (longer) read timeout before the
 //! next keep-alive request.
+//!
+//! # Panic containment and self-healing
+//!
+//! Request handling runs under `catch_unwind`: a panic anywhere in the
+//! service (a backend bug, an injected fault) is contained to the one
+//! request, which gets a structured `500` before its connection closes.
+//! The panicking worker thread then *recycles itself* — it spawns an
+//! identical replacement and exits — so the pool never shrinks no matter
+//! how many requests crash. Both events are counted
+//! (`robustness.worker_panics` / `workers_respawned` on `GET /status`).
 
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use serenity_core::CancelToken;
+use serenity_core::fault::panic_message;
+use serenity_core::{CancelToken, FaultPoint};
 
 use crate::http::{read_request, write_response, ReadError};
 use crate::service::CompileService;
@@ -77,6 +89,10 @@ struct Inner {
     queue: Mutex<VecDeque<TcpStream>>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// Live worker threads. Held by `Inner` (not `Server`) because a
+    /// worker that recycles itself after a contained panic registers its
+    /// replacement here; `Server::join` drains until it is empty.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Inner {
@@ -98,15 +114,32 @@ impl Inner {
 pub struct Server {
     inner: Arc<Inner>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable remote control for a running [`Server`]: lets a signal
+/// monitor (or any other thread) trigger the same graceful drain as
+/// [`Server::shutdown`] without borrowing the server itself.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownHandle").field("addr", &self.inner.addr).finish()
+    }
+}
+
+impl ShutdownHandle {
+    /// Begins the graceful drain (idempotent).
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server")
-            .field("addr", &self.inner.addr)
-            .field("threads", &self.workers.len())
-            .finish()
+        f.debug_struct("Server").field("addr", &self.inner.addr).finish()
     }
 }
 
@@ -116,6 +149,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let threads = config.threads.max(1);
+        service.robustness().queue_capacity.store(config.queue_capacity as u64, Ordering::Relaxed);
         let inner = Arc::new(Inner {
             service,
             config,
@@ -123,20 +157,22 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
         });
 
         let acceptor = {
             let inner = Arc::clone(&inner);
             std::thread::spawn(move || accept_loop(&listener, &inner))
         };
-        let workers = (0..threads)
-            .map(|_| {
+        {
+            let mut workers = inner.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            for _ in 0..threads {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
-            })
-            .collect();
+                workers.push(std::thread::spawn(move || worker_loop(&inner)));
+            }
+        }
 
-        Ok(Server { inner, acceptor: Some(acceptor), workers })
+        Ok(Server { inner, acceptor: Some(acceptor) })
     }
 
     /// The bound address (with the real port when `addr` asked for 0).
@@ -151,14 +187,33 @@ impl Server {
         self.inner.begin_shutdown();
     }
 
+    /// A remote control that can trigger the same graceful drain from
+    /// another thread (e.g. a SIGTERM monitor) while [`Server::join`]
+    /// holds the server itself.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { inner: Arc::clone(&self.inner) }
+    }
+
     /// Blocks until the server has fully stopped (either via
-    /// [`Server::shutdown`] or an authorised `POST /shutdown`).
+    /// [`Server::shutdown`], a [`ShutdownHandle`], or an authorised
+    /// `POST /shutdown`).
     pub fn join(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Workers may recycle themselves (registering replacements) while
+        // we drain, so re-check until the list is empty.
+        loop {
+            let handle = {
+                let mut workers = self.inner.workers.lock().unwrap_or_else(PoisonError::into_inner);
+                workers.pop()
+            };
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -173,7 +228,9 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
         if queue.len() >= inner.config.queue_capacity {
             drop(queue);
             // Shed at the door: a full queue means every worker is busy
-            // and a backlog is already waiting.
+            // and a backlog is already waiting. The baked-in Retry-After
+            // header tells clients this is transient.
+            inner.service.robustness().shed.fetch_add(1, Ordering::Relaxed);
             let mut stream = stream;
             let _ = write_response(
                 &mut stream,
@@ -184,12 +241,13 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
             continue;
         }
         queue.push_back(stream);
+        inner.service.robustness().queue_depth.fetch_add(1, Ordering::Relaxed);
         drop(queue);
         inner.wake.notify_one();
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let stream = {
             let mut queue = inner.lock_queue();
@@ -208,54 +266,71 @@ fn worker_loop(inner: &Inner) {
             }
         };
         let Some(stream) = stream else { return };
-        handle_connection(stream, inner);
+        inner.service.robustness().queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if handle_connection(stream, inner) {
+            // A request panicked on this thread. The unwind was contained
+            // and the client got its 500, but the thread retires anyway
+            // and hands its slot to a fresh replacement: the pool never
+            // shrinks, and a worker with possibly-poisoned thread-locals
+            // never serves another request. Register the replacement
+            // BEFORE exiting so `Server::join` cannot observe a gap.
+            let replacement = {
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            };
+            inner.workers.lock().unwrap_or_else(PoisonError::into_inner).push(replacement);
+            inner.service.robustness().workers_respawned.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
     }
 }
 
-/// Serves one connection, then shuts the socket down explicitly.
+/// Serves one connection, then shuts the socket down explicitly. Returns
+/// whether a request panicked (the worker then recycles itself).
 ///
 /// The explicit `shutdown` matters: a detached watchdog may still hold a
 /// cloned fd for up to one tick, and a plain drop would delay the FIN
 /// until that clone closes — `shutdown` sends it immediately, so clients
 /// reading to end-of-stream see the connection end when the response does.
-fn handle_connection(mut stream: TcpStream, inner: &Inner) {
-    serve_connection(&mut stream, inner);
+fn handle_connection(mut stream: TcpStream, inner: &Inner) -> bool {
+    let panicked = serve_connection(&mut stream, inner);
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    panicked
 }
 
 /// Runs the keep-alive request loop on one connection until the client
-/// closes, errs, or the server shuts down.
-fn serve_connection(stream: &mut TcpStream, inner: &Inner) {
+/// closes, errs, or the server shuts down. Returns whether a request
+/// panicked.
+fn serve_connection(stream: &mut TcpStream, inner: &Inner) -> bool {
     if stream.set_read_timeout(Some(inner.config.read_timeout)).is_err() {
-        return;
+        return false;
     }
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
-            return;
+            return false;
         }
         let request = match read_request(stream, inner.config.max_body_bytes) {
             Ok(request) => request,
             // Normal ends of a connection: peer closed, or went idle past
             // the timeout.
-            Err(ReadError::Closed | ReadError::Timeout | ReadError::Io(_)) => return,
+            Err(ReadError::Closed | ReadError::Timeout | ReadError::Io(_)) => return false,
             Err(e @ ReadError::Malformed(_)) => {
                 let _ = write_response(stream, 400, &http_error_body("http", &e), false);
-                return;
+                return false;
             }
             Err(e @ ReadError::BodyTooLarge { .. }) => {
                 let _ = write_response(stream, 413, &http_error_body("limit", &e), false);
-                return;
+                return false;
             }
         };
         let keep_alive = request.keep_alive();
+        let is_compile = request.method == "POST" && request.path == "/compile";
 
         let cancel = CancelToken::new();
-        let watchdog = if request.method == "POST" && request.path == "/compile" {
-            spawn_watchdog(stream, &cancel)
-        } else {
-            None
-        };
-        let response = inner.service.handle(&request, &cancel);
+        let watchdog = if is_compile { spawn_watchdog(stream, &cancel) } else { None };
+        // Contain any panic in the service: the one request dies with a
+        // structured 500, never the worker (and never the process).
+        let handled = catch_unwind(AssertUnwindSafe(|| inner.service.handle(&request, &cancel)));
         if let Some(done) = watchdog {
             // Signal the watchdog and move on WITHOUT joining it: it may
             // be mid-`peek` and joining would add up to a full tick to
@@ -265,21 +340,42 @@ fn serve_connection(stream: &mut TcpStream, inner: &Inner) {
             // The watchdog shortened the shared read timeout; restore ours
             // before the next keep-alive read.
             if stream.set_read_timeout(Some(inner.config.read_timeout)).is_err() {
-                return;
+                return false;
             }
         }
+        let response = match handled {
+            Ok(response) => response,
+            Err(payload) => {
+                inner.service.robustness().worker_panics.fetch_add(1, Ordering::Relaxed);
+                let detail = serde_json::to_string(&panic_message(payload.as_ref()))
+                    .unwrap_or_else(|_| "\"\"".to_string());
+                let body = format!("{{\"error\":{{\"kind\":\"panic\",\"detail\":{detail}}}}}");
+                let _ = write_response(stream, 500, &body, false);
+                return true;
+            }
+        };
 
         let Some(response) = response else {
             // Client disconnected mid-compile: nothing to write.
-            return;
+            return false;
         };
+        // Injected socket-reset fault: drop the connection instead of
+        // writing the compile response, exactly as a flaky network would.
+        if is_compile {
+            if let Some(fault) = inner.service.fault() {
+                if fault.should_fire(FaultPoint::SocketReset) {
+                    inner.service.robustness().socket_resets.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
         let wrote = write_response(stream, response.status, &response.body, keep_alive).is_ok();
         if response.shutdown {
             inner.begin_shutdown();
-            return;
+            return false;
         }
         if !wrote || !keep_alive {
-            return;
+            return false;
         }
     }
 }

@@ -27,8 +27,10 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use serenity_core::backend::SchedulerBackend;
-use serenity_core::pipeline::{CompiledSchedule, Serenity, SerenityBuilder};
-use serenity_core::{CacheStats, CancelToken, CompileCache, PersistReport, ScheduleError};
+use serenity_core::pipeline::{CompiledSchedule, ResilientCompile, Serenity, SerenityBuilder};
+use serenity_core::{
+    CacheStats, CancelToken, CompileCache, FaultPlan, PersistReport, ScheduleError,
+};
 use serenity_ir::json::{from_json_checked, ImportLimits};
 use serenity_ir::Graph;
 
@@ -37,7 +39,7 @@ use crate::http::Request;
 use crate::singleflight::{FlightOutcome, SingleFlight, SingleFlightStats, Work};
 
 /// Service-level configuration (everything except the socket).
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ServiceConfig {
     /// Limits applied to every incoming graph (untrusted input).
     pub limits: ImportLimits,
@@ -52,6 +54,69 @@ pub struct ServiceConfig {
     /// harness and tests; off by default so a stray request cannot stop a
     /// production service).
     pub allow_shutdown: bool,
+    /// Test-only fault-injection plan, threaded through the pipeline, the
+    /// cache's persistence paths, and the socket layer. `None` (the
+    /// default) disables every injection point.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Graceful-degradation ladder: backends tried in order (rewrite off,
+    /// halved remaining deadline) when the primary backend fails or
+    /// panics. Empty (the default) keeps the exact single-backend
+    /// behavior — including propagating panics to the worker layer.
+    pub fallback: Vec<Arc<dyn SchedulerBackend>>,
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("limits", &self.limits)
+            .field("default_deadline", &self.default_deadline)
+            .field("persist_dir", &self.persist_dir)
+            .field("allow_shutdown", &self.allow_shutdown)
+            .field("fault", &self.fault)
+            .field(
+                "fallback",
+                &self.fallback.iter().map(|b| b.name().to_string()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Liveness counters for the failure-containment machinery, reported
+/// under `robustness` on `GET /status` and consulted by `GET /health`.
+///
+/// Owned by the service but incremented by both layers: the socket layer
+/// records sheds, worker panics/respawns, and injected socket resets; the
+/// service records degraded responses. `queue_depth`/`queue_capacity`
+/// form the overload gauge behind `/health`.
+#[derive(Debug, Default)]
+pub struct RobustnessStats {
+    /// Connections answered `503` at the door because the accept queue
+    /// was full.
+    pub shed: AtomicU64,
+    /// Requests whose handling panicked (each one got a structured `500`
+    /// and cost no worker thread).
+    pub worker_panics: AtomicU64,
+    /// Worker threads respawned after a contained panic (the pool never
+    /// shrinks, so this tracks `worker_panics`).
+    pub workers_respawned: AtomicU64,
+    /// Compile responses served off a fallback backend (`degraded: true`).
+    pub degraded: AtomicU64,
+    /// Connections dropped by the injected socket-reset fault.
+    pub socket_resets: AtomicU64,
+    /// Connections currently queued for a worker (gauge).
+    pub queue_depth: AtomicU64,
+    /// The accept queue's capacity (set once by the socket layer; 0 until
+    /// a server owns this service).
+    pub queue_capacity: AtomicU64,
+}
+
+impl RobustnessStats {
+    /// Whether the accept queue is at (or beyond) capacity — the signal
+    /// `GET /health` reports as `overloaded` and answers `503` for.
+    pub fn overloaded(&self) -> bool {
+        let capacity = self.queue_capacity.load(Ordering::Relaxed);
+        capacity > 0 && self.queue_depth.load(Ordering::Relaxed) >= capacity
+    }
 }
 
 /// A response ready to be written: status code and JSON body.
@@ -126,6 +191,11 @@ struct CompiledPayload {
     cache_hits: u64,
     cache_misses: u64,
     compile_micros: u64,
+    /// Pre-serialized degradation provenance, present only when the
+    /// compile was served off a fallback backend. `None` on the healthy
+    /// path keeps healthy responses byte-identical to a service with no
+    /// ladder configured.
+    degradation_json: Option<String>,
 }
 
 /// A deterministic compile failure, shared across coalesced waiters (all
@@ -152,6 +222,7 @@ pub struct CompileService {
     /// Report of the warm-start load, when persistence is configured and
     /// the directory existed.
     warm_start: Option<PersistReport>,
+    robustness: RobustnessStats,
 }
 
 impl CompileService {
@@ -168,23 +239,47 @@ impl CompileService {
         config: ServiceConfig,
     ) -> Self {
         let backend_key = backend.config_fingerprint();
+        if let Some(plan) = &config.fault {
+            cache.install_fault_plan(Arc::clone(plan));
+        }
         let warm_start = config
             .persist_dir
             .as_deref()
             .filter(|dir| dir.is_dir())
             .and_then(|dir| cache.load_from_dir(dir).ok());
-        let proto = Serenity::builder().backend(backend).compile_cache(Arc::clone(&cache));
+        let mut proto = Serenity::builder().backend(backend).compile_cache(Arc::clone(&cache));
+        if let Some(plan) = &config.fault {
+            proto = proto.fault_plan(Arc::clone(plan));
+        }
+        if !config.fallback.is_empty() {
+            proto = proto.fallback_backends(config.fallback.clone());
+        }
         CompileService {
             proto,
             cache,
             backend_key,
-            flights: SingleFlight::new(),
+            // One retry-as-leader after a transient (panicked) compile
+            // failure: healthy waiters get a fresh attempt instead of a
+            // coalesced copy of someone else's crash.
+            flights: SingleFlight::new().with_failure_retries(1),
             config,
             latency: LatencyHistogram::new(),
             requests: AtomicU64::new(0),
             started: Instant::now(),
             warm_start,
+            robustness: RobustnessStats::default(),
         }
+    }
+
+    /// The failure-containment counters, shared with the socket layer.
+    pub fn robustness(&self) -> &RobustnessStats {
+        &self.robustness
+    }
+
+    /// The installed fault-injection plan, if any (consulted by the
+    /// socket layer for the socket-reset point).
+    pub fn fault(&self) -> Option<&Arc<FaultPlan>> {
+        self.config.fault.as_ref()
     }
 
     /// The shared compile cache (for tests and the CLI's shutdown save).
@@ -209,9 +304,10 @@ impl CompileService {
             ("POST", "/compile") => self.handle_compile(request, cancel),
             ("GET", "/status") => Some(self.handle_status()),
             ("GET", "/healthz") => Some(Response::json(200, "{\"ok\":true}".to_string())),
+            ("GET", "/health") => Some(self.handle_health()),
             ("POST", "/persist") => Some(self.handle_persist()),
             ("POST", "/shutdown") => Some(self.handle_shutdown()),
-            (_, "/compile" | "/status" | "/healthz" | "/persist" | "/shutdown") => {
+            (_, "/compile" | "/status" | "/healthz" | "/health" | "/persist" | "/shutdown") => {
                 Some(Response::error(405, "method", "method not allowed for this path"))
             }
             _ => Some(Response::error(404, "route", "unknown path")),
@@ -263,16 +359,23 @@ impl CompileService {
                 {
                     pipeline = pipeline.deadline(remaining);
                 }
-                match pipeline.build().compile(&graph) {
-                    Ok(compiled) => {
+                match pipeline.build().compile_resilient(&graph) {
+                    Ok(resilient) => {
+                        let ResilientCompile { compiled, degraded, fallback_backend, attempts } =
+                            resilient;
                         let result_json = serde_json::to_string(&CompileResult::of(&compiled))
                             .expect("compile result serializes");
+                        let degradation_json = degraded.then(|| {
+                            self.robustness.degraded.fetch_add(1, Ordering::Relaxed);
+                            degradation_provenance(fallback_backend.as_deref(), &attempts)
+                        });
                         Work::Done(Ok(Arc::new(CompiledPayload {
                             result_json,
                             cache_hits: compiled.stats.cache_hits,
                             cache_misses: compiled.stats.cache_misses,
                             compile_micros: u64::try_from(compile_started.elapsed().as_micros())
                                 .unwrap_or(u64::MAX),
+                            degradation_json,
                         })))
                     }
                     // This request's own lifecycle ended: vacate the
@@ -283,6 +386,12 @@ impl CompileService {
                     ) => {
                         own_error = Some(e);
                         Work::Abandon
+                    }
+                    // A contained panic is transient (it may be an
+                    // injected fault or a data race, not a property of the
+                    // graph): fail this caller but let one waiter retry.
+                    Err(e @ ScheduleError::Panicked { .. }) => {
+                        Work::Fail(Err(SharedFailure { detail: e.to_string() }))
                     }
                     // Any other failure is deterministic for this (backend,
                     // graph) pair: share it, don't re-run the search N times.
@@ -328,7 +437,7 @@ impl CompileService {
             compile_micros: u64,
             request_micros: u64,
         }
-        let meta = serde_json::to_string(&Meta {
+        let mut meta = serde_json::to_string(&Meta {
             coalesced,
             cache_hits: payload.cache_hits,
             cache_misses: payload.cache_misses,
@@ -336,6 +445,15 @@ impl CompileService {
             request_micros: u64::try_from(request_elapsed.as_micros()).unwrap_or(u64::MAX),
         })
         .expect("meta serializes");
+        // Degradation provenance is spliced in ONLY on degraded responses:
+        // the healthy path's body must stay byte-identical to a service
+        // with no ladder configured.
+        if let Some(degradation) = &payload.degradation_json {
+            meta.truncate(meta.len() - 1);
+            meta.push_str(",\"degraded\":true,\"degradation\":");
+            meta.push_str(degradation);
+            meta.push('}');
+        }
         // `result` is spliced in as pre-serialized text so coalesced and
         // leading responses are byte-identical in that field.
         let body = format!("{{\"result\":{},\"meta\":{}}}", payload.result_json, meta);
@@ -349,6 +467,19 @@ impl CompileService {
             warm_start: Option<PersistReport>,
         }
         #[derive(Serialize)]
+        struct RobustnessSnapshot {
+            shed: u64,
+            worker_panics: u64,
+            workers_respawned: u64,
+            degraded_responses: u64,
+            socket_resets: u64,
+            failure_handoffs: u64,
+            queue_depth: u64,
+            queue_capacity: u64,
+            faults_injected: u64,
+            shards_quarantined: u64,
+        }
+        #[derive(Serialize)]
         struct Status {
             uptime_secs: u64,
             requests: u64,
@@ -357,14 +488,17 @@ impl CompileService {
             singleflight: SingleFlightStats,
             compile_latency: LatencySummary,
             persist: PersistStatus,
+            robustness: RobustnessSnapshot,
         }
         let cache = self.cache.stats();
+        let flights = self.flights.stats();
+        let r = &self.robustness;
         let body = serde_json::to_string(&Status {
             uptime_secs: self.started.elapsed().as_secs(),
             requests: self.requests.load(Ordering::Relaxed),
             cache,
             cache_hit_rate: cache.hit_rate(),
-            singleflight: self.flights.stats(),
+            singleflight: flights,
             compile_latency: self.latency.snapshot(),
             persist: PersistStatus {
                 dir: self
@@ -375,9 +509,35 @@ impl CompileService {
                     .map(str::to_string),
                 warm_start: self.warm_start,
             },
+            robustness: RobustnessSnapshot {
+                shed: r.shed.load(Ordering::Relaxed),
+                worker_panics: r.worker_panics.load(Ordering::Relaxed),
+                workers_respawned: r.workers_respawned.load(Ordering::Relaxed),
+                degraded_responses: r.degraded.load(Ordering::Relaxed),
+                socket_resets: r.socket_resets.load(Ordering::Relaxed),
+                failure_handoffs: flights.failure_handoffs,
+                queue_depth: r.queue_depth.load(Ordering::Relaxed),
+                queue_capacity: r.queue_capacity.load(Ordering::Relaxed),
+                faults_injected: self.config.fault.as_ref().map_or(0, |plan| plan.fired_total()),
+                shards_quarantined: self
+                    .warm_start
+                    .map_or(0, |report| report.shards_quarantined as u64),
+            },
         })
         .expect("status serializes");
         Response::json(200, body)
+    }
+
+    /// Liveness/readiness/overload probe. Answering at all proves
+    /// liveness; `ready` is true once construction (including any warm
+    /// load) finished — which it has, by the time requests route here —
+    /// and `overloaded` mirrors the accept-queue gauge. An overloaded
+    /// service answers `503` (with `Retry-After`) so load balancers pull
+    /// it from rotation until the backlog drains.
+    fn handle_health(&self) -> Response {
+        let overloaded = self.robustness.overloaded();
+        let body = format!("{{\"live\":true,\"ready\":true,\"overloaded\":{overloaded}}}");
+        Response::json(if overloaded { 503 } else { 200 }, body)
     }
 
     fn handle_persist(&self) -> Response {
@@ -414,6 +574,25 @@ impl CompileService {
         let compiled = self.proto.clone().build().compile(graph)?;
         Ok(serde_json::to_string(&CompileResult::of(&compiled)).expect("result serializes"))
     }
+}
+
+/// Serializes degradation provenance for a degraded response's meta:
+/// which fallback backend served the result and what each earlier rung
+/// failed with.
+fn degradation_provenance(
+    fallback_backend: Option<&str>,
+    attempts: &[serenity_core::pipeline::DegradeStep],
+) -> String {
+    #[derive(Serialize)]
+    struct Provenance {
+        fallback_backend: Option<String>,
+        attempts: Vec<serenity_core::pipeline::DegradeStep>,
+    }
+    serde_json::to_string(&Provenance {
+        fallback_backend: fallback_backend.map(str::to_string),
+        attempts: attempts.to_vec(),
+    })
+    .expect("degradation provenance serializes")
 }
 
 /// Mixes the backend identity with the graph fingerprint (splitmix64
@@ -625,6 +804,73 @@ mod tests {
         let coalesced = parsed["singleflight"]["coalesced"].as_u64().unwrap();
         assert_eq!(leads, 1, "exactly one request ran the compile");
         assert_eq!(coalesced, (N - 1) as u64, "every other request shared the result");
+    }
+
+    #[test]
+    fn health_route_reports_liveness_and_overload() {
+        let svc = service();
+        let health = svc.handle(&get("/health"), &CancelToken::new()).unwrap();
+        assert_eq!(health.status, 200, "{}", health.body);
+        let parsed: serde_json::Value = serde_json::from_str(&health.body).unwrap();
+        assert_eq!(parsed["live"].as_bool(), Some(true));
+        assert_eq!(parsed["ready"].as_bool(), Some(true));
+        assert_eq!(parsed["overloaded"].as_bool(), Some(false));
+
+        // Saturate the gauge the way a full accept queue would.
+        svc.robustness().queue_capacity.store(2, Ordering::Relaxed);
+        svc.robustness().queue_depth.store(2, Ordering::Relaxed);
+        let health = svc.handle(&get("/health"), &CancelToken::new()).unwrap();
+        assert_eq!(health.status, 503);
+        let parsed: serde_json::Value = serde_json::from_str(&health.body).unwrap();
+        assert_eq!(parsed["overloaded"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn injected_panic_degrades_onto_the_fallback_ladder() {
+        use serenity_core::BackendRegistry;
+        let plan = Arc::new(FaultPlan::parse("compile-panic=1", 7).unwrap());
+        let svc = CompileService::new(
+            Arc::new(AdaptiveBackend::default()),
+            Arc::new(CompileCache::new()),
+            ServiceConfig {
+                fault: Some(Arc::clone(&plan)),
+                fallback: vec![BackendRegistry::standard().create("kahn").unwrap()],
+                ..ServiceConfig::default()
+            },
+        );
+        let graph = demo_graph(4);
+        let response =
+            svc.handle(&post_compile(&to_json(&graph), ""), &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        assert_eq!(parsed["meta"]["degraded"].as_bool(), Some(true), "{}", response.body);
+        assert_eq!(
+            parsed["meta"]["degradation"]["fallback_backend"].as_str(),
+            Some("kahn"),
+            "{}",
+            response.body
+        );
+        let attempts = parsed["meta"]["degradation"]["attempts"].as_array().unwrap();
+        assert!(
+            attempts[0]["error"].as_str().unwrap().contains("panic"),
+            "provenance must record the panicked rung: {}",
+            response.body
+        );
+        assert!(parsed["result"]["peak_bytes"].as_u64().unwrap() > 0);
+
+        // The injected charge is burnt: the next compile is healthy, and
+        // its meta must NOT carry the degraded markers.
+        let graph2 = demo_graph(6);
+        let response =
+            svc.handle(&post_compile(&to_json(&graph2), ""), &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        assert!(parsed["meta"].get("degraded").is_none(), "{}", response.body);
+
+        let status = svc.handle(&get("/status"), &CancelToken::new()).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&status.body).unwrap();
+        assert_eq!(parsed["robustness"]["degraded_responses"].as_u64(), Some(1));
+        assert_eq!(parsed["robustness"]["faults_injected"].as_u64(), Some(1));
     }
 
     #[test]

@@ -26,6 +26,19 @@
 //! Leaders are panic-safe: a guard abandons the flight on unwind, so a
 //! crashed compile can never strand its waiters behind a key that nobody
 //! is working on.
+//!
+//! # Bounded failure retries
+//!
+//! Between "deterministic error, share it" and "leader died, hand off"
+//! sits the *transient* failure: a contained panic or an injected fault
+//! that a fresh attempt may well not hit. [`Work::Fail`] publishes such a
+//! failure with retry semantics: the failing leader's own caller gets the
+//! failure, but — while the flight's attempt count is within the
+//! [`SingleFlight::with_failure_retries`] budget — the key is vacated in a
+//! retry state and exactly one waiter re-runs the work as the new leader
+//! instead of inheriting the error. Once the budget is exhausted the
+//! failure is published like [`Work::Done`], so a deterministic crasher
+//! degenerates to at most `1 + retries` executions, never a retry storm.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,6 +61,12 @@ pub enum Work<T> {
     /// The work was cut short by this request's own deadline or
     /// cancellation: vacate the flight so a waiter can take over.
     Abandon,
+    /// The work failed *transiently* (a contained panic, an injected
+    /// fault): the value is returned to this caller, but while the
+    /// failure-retry budget lasts the key is vacated so one waiter retries
+    /// the work instead of sharing the failure. With the budget exhausted
+    /// (or no budget configured) this behaves exactly like [`Work::Done`].
+    Fail(T),
 }
 
 /// How a [`SingleFlight::run`] call was resolved.
@@ -79,6 +98,9 @@ enum State<T> {
     /// The leader was cancelled; the key is vacated and a waiter should
     /// take over.
     Abandoned,
+    /// The leader failed transiently with retry budget left; the key is
+    /// vacated and a waiter should retry the work as the new leader.
+    Retry,
     /// The leader published a value.
     Done(T),
 }
@@ -86,6 +108,10 @@ enum State<T> {
 struct Flight<T> {
     state: Mutex<State<T>>,
     wake: Condvar,
+    /// How many transient failures preceded this flight (0 for a fresh
+    /// key); compared against the failure-retry budget when the leader
+    /// returns [`Work::Fail`].
+    attempt: u32,
 }
 
 /// Point-in-time counters of a [`SingleFlight`] (see `GET /status`).
@@ -97,6 +123,9 @@ pub struct SingleFlightStats {
     pub coalesced: u64,
     /// Waiters that became leaders after a cancelled leader abandoned.
     pub handoffs: u64,
+    /// Waiters that became leaders to *retry* after a transient leader
+    /// failure ([`Work::Fail`] within the failure-retry budget).
+    pub failure_handoffs: u64,
     /// Requests currently blocked on another request's flight (a gauge,
     /// not a cumulative counter: it falls back to zero when flights
     /// resolve).
@@ -109,9 +138,11 @@ pub struct SingleFlightStats {
 /// clone is a pointer bump, not a copy of the compile result).
 pub struct SingleFlight<T: Clone> {
     flights: Mutex<HashMap<u64, Arc<Flight<T>>>>,
+    failure_retries: u32,
     leads: AtomicU64,
     coalesced: AtomicU64,
     handoffs: AtomicU64,
+    failure_handoffs: AtomicU64,
     waiting: AtomicU64,
 }
 
@@ -128,21 +159,34 @@ impl<T: Clone> std::fmt::Debug for SingleFlight<T> {
             .field("leads", &stats.leads)
             .field("coalesced", &stats.coalesced)
             .field("handoffs", &stats.handoffs)
+            .field("failure_handoffs", &stats.failure_handoffs)
             .field("waiting", &stats.waiting)
             .finish()
     }
 }
 
 impl<T: Clone> SingleFlight<T> {
-    /// An empty coalescing map.
+    /// An empty coalescing map with no failure-retry budget
+    /// ([`Work::Fail`] behaves like [`Work::Done`]).
     pub fn new() -> Self {
         SingleFlight {
             flights: Mutex::new(HashMap::new()),
+            failure_retries: 0,
             leads: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             handoffs: AtomicU64::new(0),
+            failure_handoffs: AtomicU64::new(0),
             waiting: AtomicU64::new(0),
         }
+    }
+
+    /// Sets how many times a transient failure ([`Work::Fail`]) promotes a
+    /// waiter to retry the work before the failure is shared with every
+    /// remaining waiter. `0` (the default) disables retries.
+    #[must_use]
+    pub fn with_failure_retries(mut self, retries: u32) -> Self {
+        self.failure_retries = retries;
+        self
     }
 
     /// Runs `work` under single-flight semantics for `key`.
@@ -160,7 +204,9 @@ impl<T: Clone> SingleFlight<T> {
     /// `work` returning [`Work::Abandon`] (the leader's own request died)
     /// vacates the key and yields [`FlightOutcome::Cancelled`] for the
     /// leader itself; a leader that panics abandons the same way before
-    /// the panic propagates.
+    /// the panic propagates. [`Work::Fail`] yields the failure to the
+    /// leader and — within the failure-retry budget — vacates the key so
+    /// one waiter retries as the new leader instead of sharing the error.
     pub fn run(
         &self,
         key: u64,
@@ -169,6 +215,8 @@ impl<T: Clone> SingleFlight<T> {
     ) -> FlightOutcome<T> {
         let mut work = Some(work);
         let mut took_over = false;
+        let mut retrying = false;
+        let mut attempt = 0u32;
         loop {
             let (flight, is_leader) = {
                 let mut map = self.flights.lock().unwrap_or_else(PoisonError::into_inner);
@@ -178,6 +226,7 @@ impl<T: Clone> SingleFlight<T> {
                         let flight = Arc::new(Flight {
                             state: Mutex::new(State::Running),
                             wake: Condvar::new(),
+                            attempt,
                         });
                         map.insert(key, Arc::clone(&flight));
                         (flight, true)
@@ -186,7 +235,9 @@ impl<T: Clone> SingleFlight<T> {
             };
             if is_leader {
                 self.leads.fetch_add(1, Ordering::Relaxed);
-                if took_over {
+                if retrying {
+                    self.failure_handoffs.fetch_add(1, Ordering::Relaxed);
+                } else if took_over {
                     self.handoffs.fetch_add(1, Ordering::Relaxed);
                 }
                 // The guard abandons the flight if `work` panics, so
@@ -203,6 +254,16 @@ impl<T: Clone> SingleFlight<T> {
                     Work::Abandon => {
                         self.finish(key, &flight, State::Abandoned);
                         FlightOutcome::Cancelled
+                    }
+                    Work::Fail(value) => {
+                        if flight.attempt < self.failure_retries {
+                            // Budget left: vacate so a waiter retries
+                            // instead of inheriting this failure.
+                            self.finish(key, &flight, State::Retry);
+                        } else {
+                            self.finish(key, &flight, State::Done(value.clone()));
+                        }
+                        FlightOutcome::Led(value)
                     }
                 };
             }
@@ -224,6 +285,11 @@ impl<T: Clone> SingleFlight<T> {
                         took_over = true;
                         break;
                     }
+                    State::Retry => {
+                        retrying = true;
+                        attempt = flight.attempt + 1;
+                        break;
+                    }
                     State::Running => {
                         if cancelled() {
                             return FlightOutcome::Cancelled;
@@ -236,7 +302,8 @@ impl<T: Clone> SingleFlight<T> {
                     }
                 }
             }
-            // Leader abandoned: loop back and re-elect.
+            // Leader abandoned or failed with retry budget left: loop back
+            // and re-elect.
         }
     }
 
@@ -265,6 +332,7 @@ impl<T: Clone> SingleFlight<T> {
             leads: self.leads.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             handoffs: self.handoffs.load(Ordering::Relaxed),
+            failure_handoffs: self.failure_handoffs.load(Ordering::Relaxed),
             waiting: self.waiting.load(Ordering::SeqCst),
         }
     }
@@ -309,7 +377,13 @@ mod tests {
         assert_eq!(out, FlightOutcome::Led(7));
         assert_eq!(
             sf.stats(),
-            SingleFlightStats { leads: 1, coalesced: 0, handoffs: 0, waiting: 0 }
+            SingleFlightStats {
+                leads: 1,
+                coalesced: 0,
+                handoffs: 0,
+                failure_handoffs: 0,
+                waiting: 0
+            }
         );
         assert_eq!(sf.in_flight(), 0, "completed flights are vacated");
     }
@@ -419,6 +493,103 @@ mod tests {
             assert_eq!(impatient.join().unwrap(), FlightOutcome::Cancelled);
             assert_eq!(leader.join().unwrap(), FlightOutcome::Led(5), "leader is unaffected");
         });
+    }
+
+    #[test]
+    fn failing_leader_hands_off_to_a_retrying_waiter() {
+        let sf: SingleFlight<&'static str> = SingleFlight::new().with_failure_retries(1);
+        let gate = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let leader = scope.spawn(|| {
+                sf.run(
+                    9,
+                    || false,
+                    || {
+                        gate.wait(); // a waiter is now queued behind us
+                        std::thread::sleep(Duration::from_millis(50));
+                        Work::Fail("transient failure")
+                    },
+                )
+            });
+            let waiter = scope.spawn(|| {
+                gate.wait();
+                sf.run(9, || false, || Work::Done("retried fine"))
+            });
+            // The failing leader's own caller still sees the failure …
+            assert_eq!(leader.join().unwrap(), FlightOutcome::Led("transient failure"));
+            // … but the waiter retried the work instead of inheriting it.
+            assert_eq!(waiter.join().unwrap(), FlightOutcome::Led("retried fine"));
+        });
+        let stats = sf.stats();
+        assert_eq!(stats.failure_handoffs, 1, "the waiter retried as leader");
+        assert_eq!(stats.handoffs, 0, "no cancellation handoff happened");
+        assert_eq!(stats.leads, 2);
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn without_a_retry_budget_failures_are_shared() {
+        let sf: SingleFlight<&'static str> = SingleFlight::new();
+        let gate = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let leader = scope.spawn(|| {
+                sf.run(
+                    9,
+                    || false,
+                    || {
+                        gate.wait();
+                        std::thread::sleep(Duration::from_millis(50));
+                        Work::Fail("shared failure")
+                    },
+                )
+            });
+            let waiter = scope.spawn(|| {
+                gate.wait();
+                sf.run(9, || false, || Work::Done("never runs"))
+            });
+            assert_eq!(leader.join().unwrap(), FlightOutcome::Led("shared failure"));
+            assert_eq!(waiter.join().unwrap(), FlightOutcome::Shared("shared failure"));
+        });
+        assert_eq!(sf.stats().failure_handoffs, 0);
+    }
+
+    #[test]
+    fn retry_chain_is_bounded_by_the_budget() {
+        // Three callers, every execution fails, budget of one retry: the
+        // work runs exactly twice and the third caller shares the second
+        // failure instead of retrying forever.
+        let sf: SingleFlight<u32> = SingleFlight::new().with_failure_retries(1);
+        let executions = AtomicUsize::new(0);
+        let gate = Barrier::new(3);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        gate.wait();
+                        sf.run(
+                            5,
+                            || false,
+                            || {
+                                let n = executions.fetch_add(1, Ordering::SeqCst) as u32;
+                                // Hold the flight open so the pack stays
+                                // coalesced across the retry.
+                                std::thread::sleep(Duration::from_millis(60));
+                                Work::Fail(n)
+                            },
+                        )
+                    })
+                })
+                .collect();
+            let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let led = outcomes.iter().filter(|o| matches!(o, FlightOutcome::Led(_))).count();
+            assert_eq!(led, 2, "one lead plus exactly one retry");
+            assert!(
+                outcomes.iter().any(|o| matches!(o, FlightOutcome::Shared(1))),
+                "the last caller shares the exhausted-budget failure, got {outcomes:?}"
+            );
+        });
+        assert_eq!(executions.load(Ordering::SeqCst), 2);
+        assert_eq!(sf.stats().failure_handoffs, 1);
     }
 
     #[test]

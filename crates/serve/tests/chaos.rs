@@ -1,0 +1,373 @@
+//! Chaos suite: fault-injection scenarios driven over real sockets.
+//!
+//! Every scenario uses **count-mode** fault arms (`point=N`), which fire
+//! deterministically regardless of seed, so the suite is reproducible on
+//! any machine. `SERENITY_FAULT_SEED` (fixed in CI) seeds the plans anyway
+//! so probability arms, if ever added here, stay deterministic too.
+//!
+//! The invariants under test are the PR's headline claims:
+//! - injected compile panics never kill the process: each one becomes a
+//!   structured 500, the worker respawns, and the pool keeps serving;
+//! - a configured degradation ladder turns those panics into degraded 200s
+//!   with provenance instead;
+//! - persistence faults fail the save without corrupting the previous
+//!   snapshot, and corrupt snapshots are quarantined on warm load;
+//! - socket resets drop one connection, not the server;
+//! - fault-free (and delay-only) runs produce bit-identical schedules.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use serenity_core::backend::AdaptiveBackend;
+use serenity_core::fault::FaultPlan;
+use serenity_core::registry::BackendRegistry;
+use serenity_core::CompileCache;
+use serenity_ir::json::to_json;
+use serenity_ir::{DType, Graph, GraphBuilder, Padding};
+use serenity_serve::server::{Server, ServerConfig};
+use serenity_serve::service::{CompileService, ServiceConfig};
+
+/// Seed for the fault plans. CI pins `SERENITY_FAULT_SEED=42`; locally any
+/// value works because every arm below is count-mode (seed-independent).
+fn seed() -> u64 {
+    std::env::var("SERENITY_FAULT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// A small cell whose structure varies with `width`, so different widths
+/// are distinct cache keys (each one really reaches the compile pipeline).
+fn cell(width: usize) -> Graph {
+    let mut b = GraphBuilder::new(format!("chaos-cell-{width}"));
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let l = b.conv1x1(x, width).unwrap();
+    let r = b.conv1x1(x, width).unwrap();
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b.conv(cat, width, (3, 3), (1, 1), Padding::Same).unwrap();
+    b.mark_output(y);
+    b.finish()
+}
+
+fn spawn(config: ServiceConfig, threads: usize) -> (Server, Arc<CompileService>) {
+    let service = Arc::new(CompileService::new(
+        Arc::new(AdaptiveBackend::default()),
+        Arc::new(CompileCache::new()),
+        config,
+    ));
+    let server =
+        Server::spawn(ServerConfig { threads, ..ServerConfig::default() }, Arc::clone(&service))
+            .unwrap();
+    (server, service)
+}
+
+fn post(path: &str, body: &str) -> String {
+    format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len())
+}
+
+/// One request on a fresh connection; returns (status, body).
+fn roundtrip(addr: &str, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    read_response(&mut stream).expect("server closed the connection without a response")
+}
+
+/// Reads one response; `None` if the peer closed before sending a head.
+fn read_response(stream: &mut TcpStream) -> Option<(u16, String)> {
+    let mut bytes = Vec::new();
+    let mut byte = [0u8; 1];
+    while !bytes.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => return None,
+            Ok(_) => bytes.push(byte[0]),
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8(bytes).unwrap();
+    let status: u16 = head.split(' ').nth(1).expect("status line").parse().expect("status");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+        .expect("content-length")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).unwrap();
+    Some((status, String::from_utf8(body).unwrap()))
+}
+
+fn status_json(addr: &str) -> serde_json::Value {
+    let (status, body) = roundtrip(addr, "GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    serde_json::from_str(&body).unwrap()
+}
+
+#[test]
+fn injected_panics_become_500s_and_the_pool_heals() {
+    const PANICS: usize = 3;
+    let plan = FaultPlan::parse(&format!("compile-panic={PANICS}"), seed()).unwrap();
+    let (server, _service) =
+        spawn(ServiceConfig { fault: Some(Arc::new(plan)), ..ServiceConfig::default() }, 2);
+    let addr = server.addr().to_string();
+
+    // The first N distinct compiles each hit the injected panic: the
+    // worker answers with a structured 500 and recycles itself.
+    for width in 0..PANICS {
+        let (status, body) = roundtrip(&addr, &post("/compile", &to_json(&cell(4 + width))));
+        assert_eq!(status, 500, "panic {width} not surfaced: {body}");
+        let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed["error"]["kind"].as_str(), Some("panic"), "{body}");
+        assert!(
+            parsed["error"]["detail"].as_str().unwrap_or("").contains("injected"),
+            "panic detail should name the injection: {body}"
+        );
+    }
+
+    // The plan is exhausted: N+1 further compiles all succeed, proving the
+    // pool never shrank.
+    for width in 0..=PANICS {
+        let (status, body) = roundtrip(&addr, &post("/compile", &to_json(&cell(16 + width))));
+        assert_eq!(status, 200, "post-panic compile {width} failed: {body}");
+    }
+
+    let status = status_json(&addr);
+    let robustness = &status["robustness"];
+    assert_eq!(robustness["worker_panics"].as_u64(), Some(PANICS as u64));
+    assert_eq!(robustness["workers_respawned"].as_u64(), Some(PANICS as u64));
+    assert_eq!(robustness["faults_injected"].as_u64(), Some(PANICS as u64));
+    assert_eq!(robustness["degraded_responses"].as_u64(), Some(0));
+
+    server.shutdown();
+    server.join(); // joins the *respawned* workers — proves none leaked
+}
+
+#[test]
+fn the_degradation_ladder_turns_panics_into_degraded_200s() {
+    let plan = FaultPlan::parse("compile-panic=1", seed()).unwrap();
+    let kahn = BackendRegistry::standard().create("kahn").unwrap();
+    let (server, _service) = spawn(
+        ServiceConfig {
+            fault: Some(Arc::new(plan)),
+            fallback: vec![kahn],
+            ..ServiceConfig::default()
+        },
+        2,
+    );
+    let addr = server.addr().to_string();
+
+    let (status, body) = roundtrip(&addr, &post("/compile", &to_json(&cell(6))));
+    assert_eq!(status, 200, "ladder did not absorb the panic: {body}");
+    let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(parsed["meta"]["degraded"].as_bool(), Some(true), "{body}");
+    let provenance = &parsed["meta"]["degradation"];
+    assert_eq!(provenance["fallback_backend"].as_str(), Some("kahn"), "{body}");
+    assert!(
+        provenance["attempts"][0]["error"].as_str().unwrap_or("").contains("panic"),
+        "first attempt should record the panic: {body}"
+    );
+
+    // Fault exhausted: a fresh graph compiles healthily, with no degraded
+    // markers in the response at all.
+    let (status, body) = roundtrip(&addr, &post("/compile", &to_json(&cell(10))));
+    assert_eq!(status, 200, "{body}");
+    let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(parsed["meta"].get("degraded").is_none(), "healthy response is unmarked: {body}");
+
+    let status = status_json(&addr);
+    assert_eq!(status["robustness"]["degraded_responses"].as_u64(), Some(1));
+    assert_eq!(status["robustness"]["worker_panics"].as_u64(), Some(0), "ladder caught it");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn persist_faults_fail_the_save_without_touching_the_previous_snapshot() {
+    let dir = std::env::temp_dir().join("serenity_chaos_persist");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A healthy service writes snapshot v1.
+    let (server, _service) =
+        spawn(ServiceConfig { persist_dir: Some(dir.clone()), ..ServiceConfig::default() }, 1);
+    let addr = server.addr().to_string();
+    let (status, _) = roundtrip(&addr, &post("/compile", &to_json(&cell(4))));
+    assert_eq!(status, 200);
+    let (status, body) = roundtrip(&addr, &post("/persist", ""));
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+    server.join();
+    let snapshot_v1: Vec<(String, Vec<u8>)> = shard_files(&dir);
+    assert!(!snapshot_v1.is_empty(), "no shards written by the healthy save");
+
+    // A faulty restart: warm load works, but the next save hits an
+    // injected IO error. The v1 snapshot must survive byte-for-byte.
+    let plan = FaultPlan::parse("persist-io=1", seed()).unwrap();
+    let (server, _service) = spawn(
+        ServiceConfig {
+            persist_dir: Some(dir.clone()),
+            fault: Some(Arc::new(plan)),
+            ..ServiceConfig::default()
+        },
+        1,
+    );
+    let addr = server.addr().to_string();
+    let (status, _) = roundtrip(&addr, &post("/compile", &to_json(&cell(8))));
+    assert_eq!(status, 200);
+    let (status, body) = roundtrip(&addr, &post("/persist", ""));
+    assert_eq!(status, 500, "injected IO error should fail the save: {body}");
+    assert_eq!(shard_files(&dir), snapshot_v1, "failed save must not disturb the old snapshot");
+
+    // Fault exhausted: the retry lands and the snapshot grows.
+    let (status, body) = roundtrip(&addr, &post("/persist", ""));
+    assert_eq!(status, 200, "{body}");
+    assert_ne!(shard_files(&dir), snapshot_v1, "retried save should write the new entries");
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shard files in `dir` as (name, bytes), sorted by name.
+fn shard_files(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("shard-") && name.ends_with(".json")
+        })
+        .map(|e| (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap()))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corrupt_snapshots_are_quarantined_on_warm_load_and_reported() {
+    let dir = std::env::temp_dir().join("serenity_chaos_quarantine");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (server, _service) =
+        spawn(ServiceConfig { persist_dir: Some(dir.clone()), ..ServiceConfig::default() }, 1);
+    let addr = server.addr().to_string();
+    let (status, _) = roundtrip(&addr, &post("/compile", &to_json(&cell(4))));
+    assert_eq!(status, 200);
+    let (status, _) = roundtrip(&addr, &post("/persist", ""));
+    assert_eq!(status, 200);
+    server.shutdown();
+    server.join();
+
+    // Flip one payload byte in the first shard: the checksum no longer
+    // matches, so the warm load must quarantine it instead of trusting it.
+    let shards = shard_files(&dir);
+    let (name, mut bytes) = shards.into_iter().next().expect("a shard exists");
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x20;
+    std::fs::write(dir.join(&name), &bytes).unwrap();
+
+    let (server, _service) =
+        spawn(ServiceConfig { persist_dir: Some(dir.clone()), ..ServiceConfig::default() }, 1);
+    let addr = server.addr().to_string();
+    let status = status_json(&addr);
+    assert!(
+        status["robustness"]["shards_quarantined"].as_u64().unwrap() >= 1,
+        "quarantine not reported: {status:?}"
+    );
+    // The poisoned file was moved aside, not deleted and not loaded.
+    let quarantined = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| e.file_name().to_string_lossy().ends_with(".quarantined"));
+    assert!(quarantined, "corrupt shard should be renamed aside for forensics");
+
+    // And the service still compiles fine on top of the partial snapshot.
+    let (status, body) = roundtrip(&addr, &post("/compile", &to_json(&cell(12))));
+    assert_eq!(status, 200, "{body}");
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn socket_resets_drop_one_connection_not_the_server() {
+    let plan = FaultPlan::parse("socket-reset=1", seed()).unwrap();
+    let (server, _service) =
+        spawn(ServiceConfig { fault: Some(Arc::new(plan)), ..ServiceConfig::default() }, 2);
+    let addr = server.addr().to_string();
+
+    // The first compile's response is swallowed: the connection just dies.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(post("/compile", &to_json(&cell(4))).as_bytes()).unwrap();
+    assert!(
+        read_response(&mut stream).is_none(),
+        "socket-reset fault should close the connection without a response"
+    );
+
+    // The server is unharmed — the same graph now answers (and it was
+    // cached by the dropped request's compile).
+    let (status, body) = roundtrip(&addr, &post("/compile", &to_json(&cell(4))));
+    assert_eq!(status, 200, "{body}");
+
+    let status = status_json(&addr);
+    assert_eq!(status["robustness"]["socket_resets"].as_u64(), Some(1));
+    assert_eq!(status["robustness"]["worker_panics"].as_u64(), Some(0));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn fault_free_and_delay_only_runs_are_bit_identical() {
+    // Baseline: no fault plan, no ladder.
+    let (baseline, _service) = spawn(ServiceConfig::default(), 1);
+    let graph_json = to_json(&cell(8));
+    let (status, body) = roundtrip(&baseline.addr().to_string(), &post("/compile", &graph_json));
+    assert_eq!(status, 200);
+    let base: serde_json::Value = serde_json::from_str(&body).unwrap();
+    baseline.shutdown();
+    baseline.join();
+
+    // A ladder configured but never exercised must not perturb the result,
+    // and neither may a delay-only fault (slow-compile changes timing,
+    // never bytes).
+    let plan = FaultPlan::parse("slow-compile=1:20ms", seed()).unwrap();
+    let kahn = BackendRegistry::standard().create("kahn").unwrap();
+    let (server, _service) = spawn(
+        ServiceConfig {
+            fault: Some(Arc::new(plan)),
+            fallback: vec![kahn],
+            ..ServiceConfig::default()
+        },
+        1,
+    );
+    let addr = server.addr().to_string();
+    let (status, body) = roundtrip(&addr, &post("/compile", &graph_json));
+    assert_eq!(status, 200);
+    let slow: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(slow["result"], base["result"], "schedules must be bit-identical");
+    assert!(slow["meta"].get("degraded").is_none(), "delay is not degradation");
+
+    let status = status_json(&addr);
+    assert_eq!(status["robustness"]["faults_injected"].as_u64(), Some(1));
+    assert_eq!(status["robustness"]["degraded_responses"].as_u64(), Some(0));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn health_endpoint_answers_over_the_socket() {
+    let (server, _service) = spawn(ServiceConfig::default(), 1);
+    let addr = server.addr().to_string();
+    let (status, body) = roundtrip(&addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(parsed["live"].as_bool(), Some(true));
+    assert_eq!(parsed["ready"].as_bool(), Some(true));
+    assert_eq!(parsed["overloaded"].as_bool(), Some(false));
+    server.shutdown();
+    server.join();
+}
