@@ -8,7 +8,7 @@ use serenity_core::budget::BudgetConfig;
 use serenity_core::cache::{AdmissionPolicy, CompileCache, CompileCacheConfig};
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
-use serenity_core::registry::BackendRegistry;
+use serenity_core::registry::{BackendRegistry, PortfolioBackend};
 use serenity_core::rewrite::RewriteSearchConfig;
 use serenity_ir::{dot, json, Graph};
 use serenity_memsim::Policy;
@@ -33,6 +33,7 @@ pub fn run(command: Command) -> Result<(), String> {
             allocator,
             budget_kb,
             threads,
+            portfolio_threads,
             deadline_ms,
             cache_bytes,
             verbose,
@@ -48,6 +49,7 @@ pub fn run(command: Command) -> Result<(), String> {
                 allocator,
                 budget_kb,
                 threads,
+                portfolio_threads,
                 deadline_ms,
                 cache_bytes,
                 verbose,
@@ -61,6 +63,7 @@ pub fn run(command: Command) -> Result<(), String> {
             threads,
             queue,
             scheduler,
+            portfolio_threads,
             cache_bytes,
             admission,
             persist,
@@ -74,6 +77,7 @@ pub fn run(command: Command) -> Result<(), String> {
             threads,
             queue,
             scheduler,
+            portfolio_threads,
             cache_bytes,
             admission,
             persist,
@@ -172,6 +176,7 @@ struct ScheduleOptions {
     allocator: Option<serenity_allocator::Strategy>,
     budget_kb: Option<u64>,
     threads: usize,
+    portfolio_threads: usize,
     deadline_ms: Option<u64>,
     cache_bytes: Option<u64>,
     verbose: bool,
@@ -180,6 +185,11 @@ struct ScheduleOptions {
 }
 
 fn pick_backend(options: &ScheduleOptions) -> Result<Arc<dyn SchedulerBackend>, String> {
+    if options.portfolio_threads != 1 && options.scheduler.as_deref() != Some("portfolio") {
+        return Err("--portfolio-threads only applies to `--scheduler portfolio`; the flag races \
+             portfolio members, not a single backend"
+            .into());
+    }
     if let Some(name) = &options.scheduler {
         // `--threads` configures the DP inner loop; honor it for the
         // backends that have one and reject it elsewhere rather than
@@ -196,6 +206,11 @@ fn pick_backend(options: &ScheduleOptions) -> Result<Arc<dyn SchedulerBackend>, 
                     threads,
                     ..BudgetConfig::default()
                 })));
+            }
+            ("portfolio", 1) => {
+                return Ok(Arc::new(
+                    PortfolioBackend::standard().threads(options.portfolio_threads),
+                ));
             }
             (_, 1) => {}
             (other, _) => {
@@ -329,6 +344,9 @@ fn render_event(event: &CompileEvent) -> String {
             format!("probe    : tau {:.1} KiB -> {flag:?}", *budget as f64 / 1024.0)
         }
         CompileEvent::BackendStarted { name } => format!("backend  : {name} started"),
+        CompileEvent::BackendSkipped { name } => {
+            format!("skipped  : {name} (an exact member already won the race)")
+        }
         CompileEvent::BackendChosen { name, peak_bytes } => {
             format!("chosen   : {name} at peak {:.1} KiB", *peak_bytes as f64 / 1024.0)
         }
@@ -417,6 +435,9 @@ fn report_json(
         "partition": compiled.partition,
         "cache_hits": compiled.stats.cache_hits,
         "cache_misses": compiled.stats.cache_misses,
+        "bound_pruned": compiled.stats.bound_pruned,
+        "bound_beaten_exits": compiled.stats.bound_beaten_exits,
+        "race_cutoffs": compiled.stats.race_cutoffs,
         "compile_time_us": compiled.compile_time.as_micros() as u64,
         "order": compiled.schedule.order,
     })
@@ -454,6 +475,13 @@ fn print_compiled(compiled: &serenity_core::pipeline::CompiledSchedule, map: boo
             compiled.stats.cache_hits + compiled.stats.cache_misses
         );
     }
+    let stats = &compiled.stats;
+    if stats.bound_pruned + stats.bound_beaten_exits + stats.race_cutoffs > 0 {
+        println!(
+            "race          : {} states bound-pruned, {} searches cut off, {} members skipped",
+            stats.bound_pruned, stats.bound_beaten_exits, stats.race_cutoffs
+        );
+    }
     println!("segments      : {:?}", compiled.partition.segment_sizes);
     println!("compile time  : {:.1?}", compiled.compile_time);
     if map {
@@ -473,6 +501,7 @@ struct ServeOptions {
     threads: usize,
     queue: usize,
     scheduler: Option<String>,
+    portfolio_threads: usize,
     cache_bytes: Option<u64>,
     admission: AdmissionPolicy,
     persist: Option<String>,
@@ -510,8 +539,16 @@ fn serve(options: ServeOptions) -> Result<(), String> {
     use serenity_serve::server::{Server, ServerConfig};
     use serenity_serve::service::{CompileService, ServiceConfig};
 
-    let backend: Arc<dyn SchedulerBackend> = match &options.scheduler {
+    if options.portfolio_threads != 1 && options.scheduler.as_deref() != Some("portfolio") {
+        return Err("--portfolio-threads only applies to `--scheduler portfolio`; the flag races \
+             portfolio members, not a single backend"
+            .into());
+    }
+    let backend: Arc<dyn SchedulerBackend> = match options.scheduler.as_deref() {
         None => Arc::new(AdaptiveBackend::default()),
+        Some("portfolio") => {
+            Arc::new(PortfolioBackend::standard().threads(options.portfolio_threads))
+        }
         Some(name) => BackendRegistry::standard().create(name).ok_or_else(|| {
             format!(
                 "unknown scheduler `{name}` (available: {})",

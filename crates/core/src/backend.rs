@@ -45,7 +45,7 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -105,6 +105,205 @@ impl CancelToken {
     /// Whether cancellation was requested.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of low bits of an [`IncumbentBound`]'s packed word holding the
+/// setter priority; the remaining high bits hold the peak.
+const PRIORITY_BITS: u32 = 16;
+const PRIORITY_MASK: u64 = (1 << PRIORITY_BITS) - 1;
+/// Peaks at or above 2^48 bytes (256 TiB of activations) cannot be packed;
+/// they are simply never published — the bound stays weaker, which is
+/// always sound.
+const MAX_PACKABLE_PEAK: u64 = (u64::MAX >> PRIORITY_BITS) - 1;
+
+/// A shared branch-and-bound incumbent: the best *completed* schedule peak
+/// any racer has achieved so far, plus the member priority of whoever set
+/// it, packed into one lock-free word.
+///
+/// The packing is `(peak << 16) | setter_priority`, updated by atomic
+/// fetch-min, so a smaller packed value is exactly "a better incumbent":
+/// lower peak first, earlier (smaller-priority) member on peak ties. A
+/// searcher running at priority `p` may discard a state with running peak
+/// `peak` precisely when `(peak << 16) | p` exceeds the packed word — i.e.
+/// when every completion through that state loses to the incumbent under
+/// the portfolio's own min-peak, earliest-member-wins-ties selection rule.
+/// Running peaks are monotone along a schedule path, so this pruning can
+/// never remove a schedule that would have won, which is what keeps raced
+/// portfolios bit-identical to serial ones (ARCHITECTURE.md invariant #2).
+///
+/// Two reserved setter priorities bracket the member range `1..`:
+///
+/// * [`IncumbentBound::SEED_PRIORITY`] (0) — a caller-provided incumbent
+///   that *wins ties*: searchers give up even on equalling it (used by the
+///   pipeline's final re-schedule, where matching the original peak is not
+///   an improvement).
+/// * [`IncumbentBound::WEAK_PRIORITY`] (`u16::MAX`) — a seed that *loses
+///   ties*: searchers prune only strictly worse states (used by the
+///   rewrite scorer, where a candidate equalling the current peak is still
+///   an acceptable plateau step).
+pub struct IncumbentBound {
+    packed: AtomicU64,
+}
+
+impl fmt::Debug for IncumbentBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IncumbentBound")
+            .field("peak", &self.peak())
+            .field("setter_priority", &self.setter_priority())
+            .finish()
+    }
+}
+
+impl Default for IncumbentBound {
+    fn default() -> Self {
+        IncumbentBound { packed: AtomicU64::new(u64::MAX) }
+    }
+}
+
+impl IncumbentBound {
+    /// Setter priority of a tie-winning caller seed (see the type docs).
+    pub const SEED_PRIORITY: u16 = 0;
+    /// Setter priority of a tie-losing caller seed (see the type docs).
+    pub const WEAK_PRIORITY: u16 = u16::MAX;
+
+    /// An empty bound: nothing published, nothing prunes.
+    pub fn new() -> Self {
+        IncumbentBound::default()
+    }
+
+    /// A bound pre-seeded with one incumbent peak.
+    pub fn seeded(peak_bytes: u64, priority: u16) -> Self {
+        let bound = IncumbentBound::new();
+        bound.publish(peak_bytes, priority);
+        bound
+    }
+
+    fn pack(peak_bytes: u64, priority: u16) -> u64 {
+        (peak_bytes << PRIORITY_BITS) | u64::from(priority)
+    }
+
+    /// Publishes a *completed* schedule's peak. Only ever tightens: the
+    /// stored incumbent is the minimum over all publishes (peak first,
+    /// setter priority as tie-break). Peaks too large to pack are ignored.
+    pub fn publish(&self, peak_bytes: u64, priority: u16) {
+        if peak_bytes <= MAX_PACKABLE_PEAK {
+            self.packed.fetch_min(Self::pack(peak_bytes, priority), Ordering::Relaxed);
+        }
+    }
+
+    /// The largest running peak that can still *win* against the current
+    /// incumbent for a searcher at `priority` (`u64::MAX` when nothing was
+    /// published). States strictly above it may be discarded: every
+    /// completion through them loses the race. The bound only tightens, so
+    /// a stale value is merely conservative — engines may cache this per
+    /// search step.
+    pub fn max_viable_peak(&self, priority: u16) -> u64 {
+        let packed = self.packed.load(Ordering::Relaxed);
+        if packed == u64::MAX {
+            return u64::MAX;
+        }
+        let peak = packed >> PRIORITY_BITS;
+        let setter = (packed & PRIORITY_MASK) as u16;
+        // An earlier setter wins peak ties, so equalling it is already a
+        // loss; a later (or tie-losing) setter still loses to an equal peak.
+        if setter < priority {
+            peak.saturating_sub(1)
+        } else {
+            peak
+        }
+    }
+
+    /// The incumbent peak in bytes, if any publish happened.
+    pub fn peak(&self) -> Option<u64> {
+        let packed = self.packed.load(Ordering::Relaxed);
+        (packed != u64::MAX).then_some(packed >> PRIORITY_BITS)
+    }
+
+    /// The member priority of whoever set the incumbent, if any.
+    pub fn setter_priority(&self) -> Option<u16> {
+        let packed = self.packed.load(Ordering::Relaxed);
+        (packed != u64::MAX).then_some((packed & PRIORITY_MASK) as u16)
+    }
+}
+
+/// One run's view of a shared [`IncumbentBound`]: the bound plus the run's
+/// own member priority, carried on [`CompileOptions::bound`]. Cloning
+/// shares the underlying bound.
+#[derive(Clone)]
+pub struct BoundHandle {
+    bound: Arc<IncumbentBound>,
+    priority: u16,
+}
+
+impl fmt::Debug for BoundHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundHandle")
+            .field("bound", &self.bound)
+            .field("priority", &self.priority)
+            .finish()
+    }
+}
+
+impl BoundHandle {
+    /// Default reading priority of a non-portfolio run: later than a
+    /// tie-winning seed, earlier than a tie-losing one.
+    pub const DEFAULT_PRIORITY: u16 = 1;
+
+    /// Wraps a shared bound for a run at `priority`.
+    pub fn new(bound: Arc<IncumbentBound>, priority: u16) -> Self {
+        BoundHandle { bound, priority }
+    }
+
+    /// A fresh bound seeded with a tie-*winning* incumbent: the run gives
+    /// up even on equalling `peak_bytes` (the pipeline's "keep the
+    /// original unless strictly better" rule).
+    pub fn seeded_incumbent(peak_bytes: u64) -> Self {
+        BoundHandle::new(
+            Arc::new(IncumbentBound::seeded(peak_bytes, IncumbentBound::SEED_PRIORITY)),
+            Self::DEFAULT_PRIORITY,
+        )
+    }
+
+    /// A fresh bound seeded with a tie-*losing* incumbent: the run prunes
+    /// only strictly worse states (the rewrite scorer's "a plateau tie is
+    /// still acceptable" rule).
+    pub fn seeded_weak(peak_bytes: u64) -> Self {
+        BoundHandle::new(
+            Arc::new(IncumbentBound::seeded(peak_bytes, IncumbentBound::WEAK_PRIORITY)),
+            Self::DEFAULT_PRIORITY,
+        )
+    }
+
+    /// The same shared bound viewed at a different member priority.
+    pub fn with_priority(&self, priority: u16) -> Self {
+        BoundHandle { bound: Arc::clone(&self.bound), priority }
+    }
+
+    /// This run's member priority.
+    pub fn priority(&self) -> u16 {
+        self.priority
+    }
+
+    /// The shared bound itself.
+    pub fn shared(&self) -> &Arc<IncumbentBound> {
+        &self.bound
+    }
+
+    /// Publishes a completed peak at this run's priority.
+    pub fn publish(&self, peak_bytes: u64) {
+        self.bound.publish(peak_bytes, self.priority);
+    }
+
+    /// See [`IncumbentBound::max_viable_peak`].
+    pub fn max_viable_peak(&self) -> u64 {
+        self.bound.max_viable_peak(self.priority)
+    }
+
+    /// The incumbent peak to report in
+    /// [`ScheduleError::BoundBeaten`](crate::ScheduleError).
+    pub fn beaten_by(&self) -> u64 {
+        self.bound.peak().unwrap_or(u64::MAX)
     }
 }
 
@@ -240,6 +439,13 @@ pub enum CompileEvent {
         /// Peak footprint of the chosen schedule in bytes.
         peak_bytes: u64,
     },
+    /// A portfolio member was cut off — never started, or its in-flight
+    /// raced run discarded — because an exact member had already completed
+    /// with a provably optimal peak that no later member could beat.
+    BackendSkipped {
+        /// Skipped backend name.
+        name: String,
+    },
     /// A divide-and-conquer segment schedule was replayed from the
     /// process-wide [`CompileCache`] — a
     /// cross-request hit (contrast [`CompileEvent::SegmentMemoHit`], the
@@ -298,6 +504,14 @@ pub struct CompileOptions {
     /// the compile pipeline at its named injection points; see
     /// [`crate::fault`].
     pub fault: Option<Arc<FaultPlan>>,
+    /// Shared incumbent-peak bound for branch-and-bound cutoffs (`None`
+    /// disables pruning). Installed by the racing portfolio, the rewrite
+    /// scorer, and the pipeline's seeded re-schedule; consulted inside the
+    /// DP/adaptive transition loops and the beam's per-step cutoff. Like
+    /// `threads`, this is a wall-clock-only knob by construction —
+    /// completed runs are bit-identical with or without it — so it is
+    /// excluded from every `config_fingerprint`.
+    pub bound: Option<BoundHandle>,
 }
 
 impl fmt::Debug for CompileOptions {
@@ -308,6 +522,7 @@ impl fmt::Debug for CompileOptions {
             .field("events", &self.events.as_ref().map(|_| "<sink>"))
             .field("cache", &self.cache)
             .field("fault", &self.fault)
+            .field("bound", &self.bound)
             .finish()
     }
 }
@@ -350,6 +565,12 @@ impl CompileOptions {
         self.fault = Some(plan);
         self
     }
+
+    /// Installs a shared incumbent-peak bound for branch-and-bound cutoffs.
+    pub fn incumbent_bound(mut self, bound: BoundHandle) -> Self {
+        self.bound = Some(bound);
+        self
+    }
 }
 
 /// Per-run compile state handed to every backend: options plus the run's
@@ -389,9 +610,38 @@ impl CompileContext {
                 events,
                 cache: self.options.cache.clone(),
                 fault: self.options.fault.clone(),
+                bound: self.options.bound.clone(),
             },
             started: self.started,
         }
+    }
+
+    /// Derives a context identical to this one except for its incumbent
+    /// bound (`None` removes any installed bound). The deadline clock,
+    /// cancellation token, event sink, cache, and fault plan are shared.
+    pub fn with_bound(&self, bound: Option<BoundHandle>) -> CompileContext {
+        let mut options = self.options.clone();
+        options.bound = bound;
+        CompileContext { options, started: self.started }
+    }
+
+    /// Derives a context whose remaining wall-clock budget is capped at
+    /// `slice` from now (never extending an existing deadline). The serial
+    /// portfolio uses this to split the remaining deadline fairly across
+    /// its unstarted members.
+    pub fn with_deadline_slice(&self, slice: Duration) -> CompileContext {
+        let sliced = self.elapsed().saturating_add(slice);
+        let mut options = self.options.clone();
+        options.deadline = Some(match options.deadline {
+            Some(existing) => existing.min(sliced),
+            None => sliced,
+        });
+        CompileContext { options, started: self.started }
+    }
+
+    /// The installed incumbent bound, if any.
+    pub fn bound(&self) -> Option<&BoundHandle> {
+        self.options.bound.as_ref()
     }
 
     /// Whether an event sink is installed (when absent, callers can skip
@@ -890,6 +1140,73 @@ mod tests {
         // A `None` budget can never alias a zero budget.
         let zero = DpBackend::with_config(DpConfig { budget: Some(0), ..DpConfig::default() });
         assert_ne!(dp.config_fingerprint(), zero.config_fingerprint());
+    }
+
+    #[test]
+    fn incumbent_bound_packs_peak_over_priority() {
+        let bound = IncumbentBound::new();
+        assert_eq!(bound.max_viable_peak(1), u64::MAX, "empty bound prunes nothing");
+        assert_eq!(bound.peak(), None);
+
+        // A later member's publish tightens the peak…
+        bound.publish(100, 3);
+        assert_eq!(bound.peak(), Some(100));
+        assert_eq!(bound.setter_priority(), Some(3));
+        // …and an equal peak from an *earlier* member takes the tie.
+        bound.publish(100, 2);
+        assert_eq!(bound.setter_priority(), Some(2));
+        // A worse or equal-but-later publish is ignored.
+        bound.publish(100, 5);
+        bound.publish(101, 1);
+        assert_eq!((bound.peak(), bound.setter_priority()), (Some(100), Some(2)));
+
+        // Readers earlier than the setter may still *equal* the incumbent;
+        // readers later than the setter must strictly beat it.
+        assert_eq!(bound.max_viable_peak(1), 100, "earlier reader wins peak ties");
+        assert_eq!(bound.max_viable_peak(2), 100, "the setter itself keeps its own peak");
+        assert_eq!(bound.max_viable_peak(3), 99, "later reader loses peak ties");
+    }
+
+    #[test]
+    fn bound_seed_tie_semantics() {
+        // A tie-winning seed: equalling it is already a loss.
+        let strict = BoundHandle::seeded_incumbent(4096);
+        assert_eq!(strict.max_viable_peak(), 4095);
+        assert_eq!(strict.beaten_by(), 4096);
+        // A tie-losing seed: only strictly worse states are lost.
+        let weak = BoundHandle::seeded_weak(4096);
+        assert_eq!(weak.max_viable_peak(), 4096);
+        // Member views of one shared bound order by priority.
+        let shared = Arc::clone(weak.shared());
+        let member2 = BoundHandle::new(Arc::clone(&shared), 2);
+        member2.publish(2048);
+        assert_eq!(BoundHandle::new(shared, 3).max_viable_peak(), 2047);
+        assert_eq!(weak.with_priority(1).max_viable_peak(), 2048);
+    }
+
+    #[test]
+    fn oversized_peaks_are_never_published() {
+        let bound = IncumbentBound::new();
+        bound.publish(u64::MAX / 2, 1);
+        assert_eq!(bound.peak(), None, "unpackable peaks leave the bound empty");
+        bound.publish(512, 1);
+        assert_eq!(bound.peak(), Some(512));
+    }
+
+    #[test]
+    fn context_bound_and_deadline_slice_derivation() {
+        let ctx = CompileContext::unconstrained();
+        assert!(ctx.bound().is_none());
+        let bounded = ctx.with_bound(Some(BoundHandle::seeded_weak(64)));
+        assert_eq!(bounded.bound().unwrap().max_viable_peak(), 64);
+        // The bound survives sink swaps (the buffering-replay path).
+        assert!(bounded.with_event_sink(None).bound().is_some());
+        // A slice caps the deadline; it never extends one.
+        let sliced = bounded.with_deadline_slice(Duration::from_secs(3600));
+        assert!(sliced.options().deadline.is_some());
+        let tight = CompileContext::new(CompileOptions::new().deadline(Duration::from_millis(1)));
+        let resliced = tight.with_deadline_slice(Duration::from_secs(3600));
+        assert!(resliced.options().deadline.unwrap() <= Duration::from_millis(1));
     }
 
     #[test]

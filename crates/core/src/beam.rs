@@ -369,6 +369,16 @@ impl BeamScheduler {
                 ranked.truncate(self.width);
             }
             ranked.sort_unstable();
+            // Whole-frontier cutoff only: pruning individual candidates
+            // would free beam slots for states a serial unbounded run never
+            // admits, changing the search. The step exits when *every*
+            // survivor provably loses the race (peaks are monotone, so no
+            // completion through this frontier can win).
+            if let Some(bound) = ctx.bound() {
+                if ranked.first().is_some_and(|&(peak, _, _)| peak > bound.max_viable_peak()) {
+                    return Err(ScheduleError::BoundBeaten { bound: bound.beaten_by() });
+                }
+            }
             next.clear();
             for &(_, _, ci) in &ranked {
                 let ci = ci as usize;
@@ -523,6 +533,13 @@ impl BeamScheduler {
                 ranked.truncate(self.width);
             }
             ranked.sort_unstable();
+            // Whole-frontier cutoff; see `run_fixed` for why per-candidate
+            // pruning is off the table.
+            if let Some(bound) = ctx.bound() {
+                if ranked.first().is_some_and(|&(peak, _, _)| peak > bound.max_viable_peak()) {
+                    return Err(ScheduleError::BoundBeaten { bound: bound.beaten_by() });
+                }
+            }
             next.clear();
             for &(_, _, ci) in &ranked {
                 let ci = ci as usize;
@@ -652,6 +669,36 @@ mod tests {
                 assert_eq!(fixed.stats.states, pooled.stats.states);
             }
         }
+    }
+
+    #[test]
+    fn weak_bound_leaves_the_beam_result_intact() {
+        use crate::backend::BoundHandle;
+        // A tie-losing seed at the beam's own peak: the winning path ties
+        // the incumbent at worst, so the run completes bit-identically.
+        for g in graphs(6, 14) {
+            for width in [1usize, 8, 64] {
+                let free = BeamScheduler::new(width).schedule(&g).unwrap();
+                let ctx = CompileContext::unconstrained()
+                    .with_bound(Some(BoundHandle::seeded_weak(free.schedule.peak_bytes)));
+                let bounded = BeamScheduler::new(width).schedule_ctx(&g, &ctx).unwrap();
+                assert_eq!(bounded.schedule, free.schedule);
+            }
+        }
+    }
+
+    #[test]
+    fn strict_bound_cuts_the_beam_off() {
+        use crate::backend::BoundHandle;
+        // A tie-winning incumbent at the beam's own peak: somewhere along
+        // the run every survivor peaks at or above it, so the search must
+        // exit as a race loss instead of finishing.
+        let g = &graphs(1, 14)[0];
+        let free = BeamScheduler::new(8).schedule(g).unwrap();
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_incumbent(free.schedule.peak_bytes)));
+        let err = BeamScheduler::new(8).schedule_ctx(g, &ctx).unwrap_err();
+        assert_eq!(err, ScheduleError::BoundBeaten { bound: free.schedule.peak_bytes });
     }
 
     #[test]

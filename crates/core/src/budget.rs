@@ -359,6 +359,31 @@ mod tests {
     }
 
     #[test]
+    fn bound_beaten_propagates_out_of_probes() {
+        use crate::backend::{BoundHandle, CompileContext};
+        // A tie-winning incumbent at µ*: the first probe (τ = hard budget)
+        // is cut off by the bound, and the loss must surface as BoundBeaten
+        // — not be misread as NoSolution, which would tighten τ forever.
+        let g = independent_branches(5, 16);
+        let optimal = DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_incumbent(optimal)));
+        let err = AdaptiveSoftBudget::new().search_with_prefix_ctx(&g, &[], &ctx).unwrap_err();
+        assert_eq!(err, ScheduleError::BoundBeaten { bound: optimal });
+    }
+
+    #[test]
+    fn weak_bound_keeps_the_adaptive_search_optimal() {
+        use crate::backend::{BoundHandle, CompileContext};
+        let g = independent_branches(8, 32);
+        let free = AdaptiveSoftBudget::new().search(&g).unwrap();
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_weak(free.schedule.peak_bytes)));
+        let bounded = AdaptiveSoftBudget::new().search_with_prefix_ctx(&g, &[], &ctx).unwrap();
+        assert_eq!(bounded.schedule, free.schedule);
+    }
+
+    #[test]
     fn midpoint_is_overflow_safe() {
         assert_eq!(midpoint(u64::MAX, u64::MAX), u64::MAX);
         assert_eq!(midpoint(2, 4), 3);

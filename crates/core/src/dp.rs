@@ -70,8 +70,18 @@ use serenity_ir::mem::{CostModel, FootprintTracker};
 use serenity_ir::set::wordset;
 use serenity_ir::{Graph, GraphError, NodeId, NodeSet, ZobristTable};
 
-use crate::backend::CompileContext;
+use crate::backend::{BoundHandle, CompileContext};
 use crate::{Schedule, ScheduleError, ScheduleStats};
+
+/// Why a transition was discarded rather than merged into the next arena.
+#[derive(Debug, Clone, Copy)]
+enum Pruned {
+    /// The peak exceeded the soft budget τ (§3.2 pruning).
+    Budget,
+    /// The peak provably loses to the shared
+    /// [`IncumbentBound`](crate::backend::IncumbentBound) — branch-and-bound.
+    Bound,
+}
 
 /// Configuration of a [`DpScheduler`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -206,6 +216,33 @@ impl StepArena {
         (self.pool.len() * std::mem::size_of::<u64>()) as u64
     }
 
+    /// Reorders the arena into the canonical per-step layout: ascending
+    /// `(hash, z)` — a total order on signatures, since the Zobrist hash is
+    /// disambiguated by the full signature words. Expansion visits states in
+    /// arena order and equal-peak merges keep the first arrival, so a
+    /// canonical layout makes every tie-break a function of the signature
+    /// set alone — pruning a state can then never reshuffle the survivors
+    /// and change which equal-peak schedule the search returns.
+    fn sort_canonical(&mut self) {
+        let mut order: Vec<u32> = (0..self.meta.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (ma, mb) = (&self.meta[a as usize], &self.meta[b as usize]);
+            ma.hash.cmp(&mb.hash).then_with(|| self.z(a as usize).cmp(self.z(b as usize)))
+        });
+        let mut pool = Vec::with_capacity(self.pool.len());
+        let mut meta = Vec::with_capacity(self.meta.len());
+        let mut first_key = Vec::with_capacity(self.first_key.len());
+        for &i in &order {
+            let at = i as usize * 2 * self.words;
+            pool.extend_from_slice(&self.pool[at..at + 2 * self.words]);
+            meta.push(self.meta[i as usize]);
+            first_key.push(self.first_key[i as usize]);
+        }
+        self.pool = pool;
+        self.meta = meta;
+        self.first_key = first_key;
+    }
+
     /// Shrinks the arena to its backtrack records, dropping the signature
     /// pool (the compaction step: completed steps only need the parent
     /// chain).
@@ -309,6 +346,13 @@ fn merge_candidate(
 #[inline]
 fn shard_of(hash: u64, shards: usize) -> usize {
     (hash >> 48) as usize & (shards - 1)
+}
+
+/// The largest running peak that can still win against the installed
+/// incumbent bound (`u64::MAX` when no bound is installed — prunes nothing).
+#[inline]
+fn max_viable_of(bound: Option<&BoundHandle>) -> u64 {
+    bound.map_or(u64::MAX, BoundHandle::max_viable_peak)
 }
 
 const ROOT: u32 = u32::MAX;
@@ -431,6 +475,11 @@ impl DpScheduler {
                 return Err(ScheduleError::NoSolution { budget });
             }
         }
+        if let Some(bound) = ctx.bound() {
+            if frontier.meta[0].peak > bound.max_viable_peak() {
+                return Err(ScheduleError::BoundBeaten { bound: bound.beaten_by() });
+            }
+        }
 
         let mut stats = ScheduleStats { states: 1, ..ScheduleStats::default() };
         stats.peak_memo_bytes = frontier.pool_bytes();
@@ -456,6 +505,16 @@ impl DpScheduler {
             };
             if next.len() == 0 {
                 let budget = self.config.budget.unwrap_or(u64::MAX);
+                // Discriminate the two pruning regimes: when the incumbent
+                // bound is strictly tighter than τ, every budget-pruned state
+                // was also bound-prunable, so the emptiness is a race loss —
+                // without the bound a τ-feasible schedule may still exist.
+                // Sound under a monotonically tightening bound.
+                if let Some(bound) = ctx.bound() {
+                    if bound.max_viable_peak() < budget {
+                        return Err(ScheduleError::BoundBeaten { bound: bound.beaten_by() });
+                    }
+                }
                 return Err(ScheduleError::NoSolution { budget });
             }
             stats.states += next.len() as u64;
@@ -465,6 +524,16 @@ impl DpScheduler {
             // Compaction: the expanded step only needs its parent chain.
             back.push(frontier.into_back_records());
             frontier = next;
+            // Canonicalize the frontier layout before it is expanded.
+            // Equal-peak merge ties at the next step are broken by transition
+            // order — (parent arena position, node) — so the positions must
+            // be a function of the surviving signature *set*, never of
+            // insertion history. Without this, an incumbent-bound prune that
+            // removes a signature's first (high-peak) arrival shifts the
+            // survivor's slot, flips downstream ties, and a bounded run
+            // returns a different equal-peak schedule than an unbounded one
+            // — breaking the raced ≡ serial portfolio invariant.
+            frontier.sort_canonical();
         }
 
         // All nodes scheduled: the final arena holds exactly one state with
@@ -563,8 +632,11 @@ impl DpScheduler {
         arena.pool.reserve(frontier.pool.len());
         let mut index = SigIndex::with_capacity(frontier.len());
         let mut scratch = vec![0u64; 2 * words];
+        let bound = ctx.bound();
+        let mut max_viable = max_viable_of(bound);
         let mut transitions = 0u64;
         let mut pruned = 0u64;
+        let mut bound_pruned = 0u64;
         for si in 0..frontier.len() {
             let (z, scheduled) = frontier.sets(si);
             let meta = frontier.meta[si];
@@ -572,6 +644,9 @@ impl DpScheduler {
                 transitions += 1;
                 if transitions & TIMEOUT_CHECK_MASK == 0 {
                     self.check_limits(step, step_started, arena.len(), ctx)?;
+                    // The bound only tightens, so refreshing at the check
+                    // cadence is sound; a stale value merely prunes less.
+                    max_viable = max_viable_of(bound);
                 }
                 match self.transition(
                     cost,
@@ -581,19 +656,22 @@ impl DpScheduler {
                     &meta,
                     si as u32,
                     u,
+                    max_viable,
                     &mut scratch,
                 ) {
-                    Some(candidate) => {
+                    Ok(candidate) => {
                         let (cz, cs) = scratch.split_at(words);
                         merge_candidate(&mut arena, &mut index, cz, cs, candidate);
                     }
-                    None => pruned += 1,
+                    Err(Pruned::Budget) => pruned += 1,
+                    Err(Pruned::Bound) => bound_pruned += 1,
                 }
             }
         }
         self.check_limits(step, step_started, arena.len(), ctx)?;
         stats.transitions += transitions;
         stats.pruned += pruned;
+        stats.bound_pruned += bound_pruned;
         Ok(arena)
     }
 
@@ -621,7 +699,7 @@ impl DpScheduler {
         // Phase 1: generate candidates, bucketed by hash shard. Blocks are
         // plain `StepArena`s holding the worker's candidates (duplicates and
         // all) in transition order; only phase 2 deduplicates.
-        type ChunkResult = Result<(Vec<StepArena>, u64, u64), ScheduleError>;
+        type ChunkResult = Result<(Vec<StepArena>, u64, u64, u64), ScheduleError>;
         let results: Vec<ChunkResult> = std::thread::scope(|scope| {
             let frontier = &frontier;
             let handles: Vec<_> = (0..threads)
@@ -632,8 +710,11 @@ impl DpScheduler {
                         let mut blocks: Vec<StepArena> =
                             (0..shards).map(|_| StepArena::new(words)).collect();
                         let mut scratch = vec![0u64; 2 * words];
+                        let bound = ctx.bound();
+                        let mut max_viable = max_viable_of(bound);
                         let mut transitions = 0u64;
                         let mut pruned = 0u64;
+                        let mut bound_pruned = 0u64;
                         let mut emitted = 0usize;
                         for si in base..end {
                             let (z, scheduled) = frontier.sets(si);
@@ -642,6 +723,7 @@ impl DpScheduler {
                                 transitions += 1;
                                 if transitions & TIMEOUT_CHECK_MASK == 0 {
                                     self.check_limits(step, step_started, emitted, ctx)?;
+                                    max_viable = max_viable_of(bound);
                                 }
                                 match self.transition(
                                     cost,
@@ -651,19 +733,21 @@ impl DpScheduler {
                                     &meta,
                                     si as u32,
                                     u,
+                                    max_viable,
                                     &mut scratch,
                                 ) {
-                                    Some(candidate) => {
+                                    Ok(candidate) => {
                                         let shard = shard_of(candidate.hash, shards);
                                         let (cz, cs) = scratch.split_at(words);
                                         blocks[shard].push(cz, cs, candidate);
                                         emitted += 1;
                                     }
-                                    None => pruned += 1,
+                                    Err(Pruned::Budget) => pruned += 1,
+                                    Err(Pruned::Bound) => bound_pruned += 1,
                                 }
                             }
                         }
-                        Ok((blocks, transitions, pruned))
+                        Ok((blocks, transitions, pruned, bound_pruned))
                     })
                 })
                 .collect();
@@ -673,9 +757,10 @@ impl DpScheduler {
         let mut worker_blocks: Vec<Vec<StepArena>> = Vec::with_capacity(threads);
         let mut candidate_bytes = 0u64;
         for result in results {
-            let (blocks, transitions, pruned) = result?;
+            let (blocks, transitions, pruned, bound_pruned) = result?;
             stats.transitions += transitions;
             stats.pruned += pruned;
+            stats.bound_pruned += bound_pruned;
             candidate_bytes += blocks.iter().map(StepArena::pool_bytes).sum::<u64>();
             worker_blocks.push(blocks);
         }
@@ -736,8 +821,11 @@ impl DpScheduler {
     /// Applies the Figure 6 step through the shared cost model: allocate `u`,
     /// update the peak, free dead predecessors, build the successor signature
     /// in `scratch` (`z'` then `scheduled'`), and fold `u` and the newly
-    /// ready successors into the Zobrist hash. Returns `None` when the
-    /// transition is pruned by the soft budget.
+    /// ready successors into the Zobrist hash. Returns the prune kind when
+    /// the transition is discarded: running peaks are monotone along a
+    /// schedule path, so a state whose peak already exceeds the soft budget
+    /// (or provably loses to the incumbent bound's `max_viable` peak) can
+    /// never recover.
     #[allow(clippy::too_many_arguments)]
     fn transition(
         &self,
@@ -748,14 +836,18 @@ impl DpScheduler {
         meta: &StateMeta,
         parent: u32,
         u: NodeId,
+        max_viable: u64,
         scratch: &mut [u64],
-    ) -> Option<StateMeta> {
+    ) -> Result<StateMeta, Pruned> {
         let mu_after_alloc = meta.mu + cost.alloc_bytes_words(scheduled, u);
         let peak = meta.peak.max(mu_after_alloc);
         if let Some(budget) = self.config.budget {
             if peak > budget {
-                return None;
+                return Err(Pruned::Budget);
             }
+        }
+        if peak > max_viable {
+            return Err(Pruned::Bound);
         }
         let mu = mu_after_alloc - cost.free_bytes_words(scheduled, u);
         let words = z.len();
@@ -771,7 +863,7 @@ impl DpScheduler {
                 hash ^= zobrist.key(s);
             }
         }
-        Some(StateMeta { hash, mu, peak, parent, node: u })
+        Ok(StateMeta { hash, mu, peak, parent, node: u })
     }
 
     fn check_limits(
@@ -976,6 +1068,149 @@ mod tests {
             full_retention
         );
         assert!(topo::is_order(&g, &dp.schedule.order));
+    }
+
+    #[test]
+    fn weak_bound_seed_preserves_the_optimum() {
+        use crate::backend::{BoundHandle, CompileContext};
+        // A tie-losing seed at any peak ≥ µ* must leave the winning schedule
+        // reachable: bound-pruned runs return the same order and peak.
+        let g = branchy();
+        let free = DpScheduler::new().schedule(&g).unwrap();
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_weak(free.schedule.peak_bytes)));
+        let bounded = DpScheduler::new().schedule_with_prefix_ctx(&g, &[], &ctx).unwrap();
+        assert_eq!(bounded.schedule.order, free.schedule.order);
+        assert_eq!(bounded.schedule.peak_bytes, free.schedule.peak_bytes);
+    }
+
+    #[test]
+    fn bound_pruning_cuts_transitions_at_identical_peaks() {
+        use crate::backend::{BoundHandle, CompileContext};
+        // branchy() has a losing path (big branch first) whose running peak
+        // exceeds µ*, so a weak seed at µ* must prune it mid-schedule.
+        let g = branchy();
+        let free = DpScheduler::new().schedule(&g).unwrap();
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_weak(free.schedule.peak_bytes)));
+        let bounded = DpScheduler::new().schedule_with_prefix_ctx(&g, &[], &ctx).unwrap();
+        assert_eq!(bounded.schedule.peak_bytes, free.schedule.peak_bytes);
+        assert_eq!(bounded.schedule.order, free.schedule.order);
+        assert!(bounded.stats.bound_pruned > 0, "the losing branch must trip branch-and-bound");
+        assert!(bounded.stats.transitions < free.stats.transitions);
+        assert_eq!(bounded.stats.pruned, 0, "no τ budget was set");
+    }
+
+    #[test]
+    fn bound_pruned_random_dags_keep_the_unpruned_peak() {
+        use crate::backend::{BoundHandle, CompileContext};
+        use rand::SeedableRng;
+        // Property over random DAGs: seeding the bound with the optimal peak
+        // (tie-losing) never changes the result, only the effort.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for _ in 0..8 {
+            let config = serenity_ir::random_dag::RandomDagConfig {
+                nodes: 16,
+                edge_prob: 0.2,
+                ..Default::default()
+            };
+            let g = serenity_ir::random_dag::random_dag(&config, &mut rng);
+            let free = DpScheduler::new().schedule(&g).unwrap();
+            let ctx = CompileContext::unconstrained()
+                .with_bound(Some(BoundHandle::seeded_weak(free.schedule.peak_bytes)));
+            let bounded = DpScheduler::new().schedule_with_prefix_ctx(&g, &[], &ctx).unwrap();
+            assert_eq!(bounded.schedule.order, free.schedule.order);
+            assert_eq!(bounded.schedule.peak_bytes, free.schedule.peak_bytes);
+            assert!(bounded.stats.transitions <= free.stats.transitions);
+        }
+    }
+
+    #[test]
+    fn bound_pruning_never_flips_equal_peak_tie_breaks() {
+        use crate::backend::{BoundHandle, CompileContext};
+        use rand::SeedableRng;
+        // Regression: without the canonical frontier sort, pruning a
+        // signature's first (high-peak) arrival shifts the survivor's arena
+        // slot; downstream equal-peak merge ties are broken by transition
+        // order, so a bounded run would return a *different* equal-peak
+        // schedule than the unbounded one. These exact DAGs flipped before
+        // the sort was added.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for _ in 0..4 {
+            let config = serenity_ir::random_dag::RandomDagConfig {
+                nodes: 18,
+                edge_prob: 0.2,
+                ..Default::default()
+            };
+            let g = serenity_ir::random_dag::random_dag(&config, &mut rng);
+            let free = DpScheduler::new().schedule(&g).unwrap();
+            // A later-priority setter at µ* — exactly what a racing portfolio
+            // member publishes — so ties survive and only worse states prune.
+            let ctx = CompileContext::unconstrained()
+                .with_bound(Some(BoundHandle::seeded_weak(free.schedule.peak_bytes)));
+            let bounded = DpScheduler::new().schedule_with_prefix_ctx(&g, &[], &ctx).unwrap();
+            assert_eq!(bounded.schedule.order, free.schedule.order);
+            assert_eq!(bounded.schedule.peak_bytes, free.schedule.peak_bytes);
+        }
+    }
+
+    #[test]
+    fn strict_bound_at_optimum_is_beaten_not_no_solution() {
+        use crate::backend::{BoundHandle, CompileContext};
+        let g = branchy();
+        let optimal = DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        // A tie-winning incumbent at µ*: even the optimum is a loss, and the
+        // emptiness must be reported as a race loss, never NoSolution.
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_incumbent(optimal)));
+        let err = DpScheduler::new().schedule_with_prefix_ctx(&g, &[], &ctx).unwrap_err();
+        assert_eq!(err, ScheduleError::BoundBeaten { bound: optimal });
+    }
+
+    #[test]
+    fn budget_tighter_than_bound_still_reports_no_solution() {
+        use crate::backend::{BoundHandle, CompileContext};
+        let g = branchy();
+        let optimal = DpScheduler::new().schedule(&g).unwrap().schedule.peak_bytes;
+        // τ below µ* with a loose bound: the emptiness belongs to the budget.
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_weak(optimal + 1000)));
+        let err = DpScheduler::new()
+            .budget(optimal - 1)
+            .schedule_with_prefix_ctx(&g, &[], &ctx)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoSolution { .. }));
+    }
+
+    #[test]
+    fn parallel_bound_pruning_matches_serial() {
+        use crate::backend::{BoundHandle, CompileContext};
+        // Six two-node braids (entry → aᵢ → bᵢ → exit) with skewed sizes: the
+        // frontier reaches 3⁶ = 729 states (past PARALLEL_THRESHOLD) and
+        // orders that delay freeing the big aᵢ overshoot µ*, so the sharded
+        // path runs with live bound pruning. A static seed makes the prune
+        // decisions deterministic, so counts must match serial exactly.
+        let mut g = Graph::new("braided");
+        let entry = g.add_opaque("entry", 4, &[]).unwrap();
+        let tails: Vec<_> = (0..6)
+            .map(|i| {
+                let a = g.add_opaque(format!("a{i}"), 10 + 17 * i as u64, &[entry]).unwrap();
+                g.add_opaque(format!("b{i}"), 3 + 2 * i as u64, &[a]).unwrap()
+            })
+            .collect();
+        let exit = g.add_opaque("exit", 2, &tails).unwrap();
+        g.mark_output(exit);
+
+        let free = DpScheduler::new().schedule(&g).unwrap();
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_weak(free.schedule.peak_bytes)));
+        let serial = DpScheduler::new().schedule_with_prefix_ctx(&g, &[], &ctx).unwrap();
+        let parallel =
+            DpScheduler::new().threads(4).schedule_with_prefix_ctx(&g, &[], &ctx).unwrap();
+        assert_eq!(serial.schedule.order, parallel.schedule.order);
+        assert_eq!(serial.schedule.peak_bytes, free.schedule.peak_bytes);
+        assert!(serial.stats.bound_pruned > 0, "skewed braids must trip branch-and-bound");
+        assert_eq!(serial.stats.bound_pruned, parallel.stats.bound_pruned);
     }
 
     #[test]

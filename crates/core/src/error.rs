@@ -56,6 +56,16 @@ pub enum ScheduleError {
         /// Panic message recovered from the unwind payload.
         detail: String,
     },
+    /// The search was cut off by a shared
+    /// [`IncumbentBound`](crate::backend::IncumbentBound): every surviving
+    /// state was provably unable to beat a peak some other portfolio member
+    /// (or caller-provided seed) already achieved. This is a *race loss*,
+    /// not a failure — the portfolio and the rewrite scorer treat it as
+    /// "the incumbent stands" and it must never surface to users.
+    BoundBeaten {
+        /// The incumbent peak (in bytes) that could not be beaten.
+        bound: u64,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -80,6 +90,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Graph(e) => write!(f, "graph error: {e}"),
             ScheduleError::Panicked { detail } => {
                 write!(f, "scheduling worker panicked: {detail}")
+            }
+            ScheduleError::BoundBeaten { bound } => {
+                write!(f, "search cut off: cannot beat the incumbent peak of {bound} bytes")
             }
         }
     }

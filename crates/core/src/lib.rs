@@ -120,7 +120,8 @@ pub mod rewrite;
 mod schedule;
 
 pub use backend::{
-    BackendOutcome, CancelToken, CompileContext, CompileEvent, CompileOptions, SchedulerBackend,
+    BackendOutcome, BoundHandle, CancelToken, CompileContext, CompileEvent, CompileOptions,
+    IncumbentBound, SchedulerBackend,
 };
 pub use cache::{AdmissionPolicy, CacheStats, CompileCache, CompileCacheConfig, PersistReport};
 pub use error::ScheduleError;

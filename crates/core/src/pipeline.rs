@@ -19,8 +19,8 @@ use serenity_ir::cuts::PartitionSummary;
 use serenity_ir::Graph;
 
 use crate::backend::{
-    AdaptiveBackend, BeamBackend, CancelToken, CompileContext, CompileEvent, CompileOptions,
-    DpBackend, SchedulerBackend,
+    AdaptiveBackend, BeamBackend, BoundHandle, CancelToken, CompileContext, CompileEvent,
+    CompileOptions, DpBackend, SchedulerBackend,
 };
 use crate::budget::BudgetConfig;
 use crate::cache::CompileCache;
@@ -461,38 +461,66 @@ impl Serenity {
 
         if let Some((rw_graph, rw_applied)) = rewritten {
             ctx.emit(CompileEvent::CandidateStarted { rewritten: true, nodes: rw_graph.len() });
-            let (rw_schedule, rw_partition, rw_stats) = self.schedule_one(&rw_graph, &ctx)?;
-            let take_rewrite = match self.config.rewrite {
-                RewriteMode::Always => true,
-                // The search already confirmed improvement under the scoring
-                // backend; this final comparison under the *full* backend is
-                // what guarantees compilation never regresses below
-                // rewrite-off, even with an approximate scorer.
-                RewriteMode::IfBeneficial => rw_schedule.peak_bytes < chosen.peak_bytes,
-                RewriteMode::Off => false,
-            };
-            stats.absorb(&rw_stats);
-            // Keep the summary self-consistent with the compiled artifact:
-            // a winner rejected here was searched but not adopted.
-            if let Some(summary) = rewrite_search.as_mut() {
-                summary.kept = take_rewrite;
-            }
-            if take_rewrite {
-                // Narrate only the rewrites that actually end up in the
-                // compiled graph; candidates losing the peak comparison
-                // are not "applied" from the caller's point of view.
-                for applied in &rw_applied {
-                    ctx.emit(CompileEvent::RewriteApplied {
-                        rule: applied.rule,
-                        concat: applied.concat.clone(),
-                        consumer: applied.consumer.clone(),
-                        branches: applied.branches,
-                    });
+            // Under IfBeneficial the rewritten candidate only wins by beating
+            // the original's peak *strictly*, so seed the branch-and-bound
+            // engines with the original as a tie-winning incumbent: the
+            // re-schedule prunes everything that cannot beat it and exits
+            // early (`BoundBeaten`) when nothing can — a cheap "keep the
+            // original", not a failure. `Always` keeps the rewrite
+            // unconditionally, so it must schedule unseeded.
+            let rw_ctx = match self.config.rewrite {
+                RewriteMode::IfBeneficial => {
+                    ctx.with_bound(Some(BoundHandle::seeded_incumbent(chosen.peak_bytes)))
                 }
-                chosen_graph = rw_graph;
-                chosen = rw_schedule;
-                chosen_partition = rw_partition;
-                rewrites = rw_applied;
+                _ => ctx.clone(),
+            };
+            match self.schedule_one(&rw_graph, &rw_ctx) {
+                Ok((rw_schedule, rw_partition, rw_stats)) => {
+                    let take_rewrite = match self.config.rewrite {
+                        RewriteMode::Always => true,
+                        // The search already confirmed improvement under the
+                        // scoring backend; this final comparison under the
+                        // *full* backend is what guarantees compilation never
+                        // regresses below rewrite-off, even with an
+                        // approximate scorer.
+                        RewriteMode::IfBeneficial => rw_schedule.peak_bytes < chosen.peak_bytes,
+                        RewriteMode::Off => false,
+                    };
+                    stats.absorb(&rw_stats);
+                    // Keep the summary self-consistent with the compiled
+                    // artifact: a winner rejected here was searched but not
+                    // adopted.
+                    if let Some(summary) = rewrite_search.as_mut() {
+                        summary.kept = take_rewrite;
+                    }
+                    if take_rewrite {
+                        // Narrate only the rewrites that actually end up in
+                        // the compiled graph; candidates losing the peak
+                        // comparison are not "applied" from the caller's
+                        // point of view.
+                        for applied in &rw_applied {
+                            ctx.emit(CompileEvent::RewriteApplied {
+                                rule: applied.rule,
+                                concat: applied.concat.clone(),
+                                consumer: applied.consumer.clone(),
+                                branches: applied.branches,
+                            });
+                        }
+                        chosen_graph = rw_graph;
+                        chosen = rw_schedule;
+                        chosen_partition = rw_partition;
+                        rewrites = rw_applied;
+                    }
+                }
+                Err(ScheduleError::BoundBeaten { .. }) => {
+                    // The rewritten graph provably cannot beat the original
+                    // schedule: keep the original and record the race loss.
+                    stats.bound_beaten_exits += 1;
+                    if let Some(summary) = rewrite_search.as_mut() {
+                        summary.kept = false;
+                    }
+                }
+                Err(other) => return Err(other),
             }
         }
         // Among the schedules attaining the optimal peak, a run-to-completion

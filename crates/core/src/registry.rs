@@ -2,15 +2,18 @@
 //! multi-backend [`PortfolioBackend`].
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use serenity_ir::{Graph, NodeId};
 
 use crate::backend::{
-    AdaptiveBackend, BackendOutcome, BeamBackend, BruteForceBackend, CompileContext, CompileEvent,
-    DfsBackend, DpBackend, GreedyBackend, KahnBackend, SchedulerBackend,
+    AdaptiveBackend, BackendOutcome, BeamBackend, BoundHandle, BruteForceBackend, CompileContext,
+    CompileEvent, DfsBackend, DpBackend, GreedyBackend, IncumbentBound, KahnBackend,
+    SchedulerBackend,
 };
-use crate::ScheduleError;
+use crate::{ScheduleError, ScheduleStats};
 
 /// Creates a fresh backend instance.
 pub type BackendFactory = Arc<dyn Fn() -> Arc<dyn SchedulerBackend> + Send + Sync>;
@@ -97,11 +100,53 @@ impl BackendRegistry {
 /// deadline aborts propagate immediately — a portfolio under a spent
 /// deadline returns the abort, not a partial winner.
 ///
-/// Emits [`CompileEvent::BackendStarted`] per member and one
-/// [`CompileEvent::BackendChosen`] for the winner.
+/// # The race
+///
+/// Members share an [`IncumbentBound`]: every completed member publishes its
+/// peak (tagged with its member index as the tie priority), and the
+/// branch-and-bound engines (`dp`, `adaptive`, `beam`) prune states that
+/// provably lose to the incumbent, exiting with
+/// [`ScheduleError::BoundBeaten`] — a race *loss*, counted but never
+/// surfaced. With [`PortfolioBackend::threads`] ≥ 2 the members actually
+/// race on `std::thread::scope` workers; serially the bound still flows
+/// forward, so cheap members sharpen the expensive ones that follow.
+/// Winner selection is min-peak with the earlier member keeping ties in
+/// both modes, and a member that completes under the bound is bit-identical
+/// to its unbounded run, so the raced schedule, winner, and event stream
+/// equal the serial ones at any thread count (stats are wall-clock shaped
+/// and exempt). Serial mode additionally splits the remaining deadline
+/// fairly across unstarted members (floor 5 ms) so one slow member cannot
+/// starve the rest, and both modes skip every member after the first
+/// *exact* completer (`adaptive`/`dp`/`brute-force`) — no one can beat a
+/// provably optimal peak.
+///
+/// Emits [`CompileEvent::BackendStarted`] per member ran,
+/// [`CompileEvent::BackendSkipped`] per member cut off by an exact
+/// completer, and one [`CompileEvent::BackendChosen`] for the winner.
 pub struct PortfolioBackend {
     backends: Vec<Arc<dyn SchedulerBackend>>,
+    threads: usize,
 }
+
+/// Serial mode's per-member deadline floor, mirroring the degradation
+/// ladder's minimum rung budget.
+const MIN_MEMBER_SLICE: Duration = Duration::from_millis(5);
+
+/// Backends whose successful completion is provably footprint-optimal:
+/// no later member can beat it, so the portfolio cuts the race off.
+fn is_exact(name: &str) -> bool {
+    matches!(name, "dp" | "adaptive" | "brute-force")
+}
+
+/// The shared-bound setter priority of member `index`: `1..`, leaving 0 for
+/// a caller's tie-winning seed and `u16::MAX` for tie-losing seeds.
+fn member_priority(index: usize) -> u16 {
+    u16::try_from(index + 1).unwrap_or(u16::MAX - 1)
+}
+
+/// What one raced member produced: its result plus the events it buffered,
+/// replayed in member order after the race settles.
+type MemberRun = (usize, Result<BackendOutcome, ScheduleError>, Vec<CompileEvent>);
 
 impl std::fmt::Debug for PortfolioBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -119,7 +164,20 @@ impl PortfolioBackend {
     /// Panics if `backends` is empty.
     pub fn new(backends: Vec<Arc<dyn SchedulerBackend>>) -> Self {
         assert!(!backends.is_empty(), "portfolio needs at least one backend");
-        PortfolioBackend { backends }
+        PortfolioBackend { backends, threads: 1 }
+    }
+
+    /// Sets the number of racing worker threads (1 = serial, the default).
+    /// Results are bit-identical at any thread count; only wall-clock time
+    /// changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread is required");
+        self.threads = threads;
+        self
     }
 
     /// The standard portfolio: adaptive budgeting (optimal when it
@@ -141,15 +199,189 @@ impl PortfolioBackend {
 
     fn run<F>(&self, ctx: &CompileContext, run_member: F) -> Result<BackendOutcome, ScheduleError>
     where
-        F: Fn(&Arc<dyn SchedulerBackend>) -> Result<BackendOutcome, ScheduleError>,
+        F: Fn(&Arc<dyn SchedulerBackend>, &CompileContext) -> Result<BackendOutcome, ScheduleError>
+            + Sync,
     {
+        // Reuse a caller-installed bound (the pipeline's seeded incumbent
+        // then governs the members too); otherwise race on a fresh one.
+        let bound = match ctx.bound() {
+            Some(handle) => Arc::clone(handle.shared()),
+            None => Arc::new(IncumbentBound::new()),
+        };
+        if self.threads > 1 && self.backends.len() > 1 {
+            self.run_raced(ctx, &bound, &run_member)
+        } else {
+            self.run_serial(ctx, &bound, &run_member)
+        }
+    }
+
+    fn run_serial<F>(
+        &self,
+        ctx: &CompileContext,
+        bound: &Arc<IncumbentBound>,
+        run_member: &F,
+    ) -> Result<BackendOutcome, ScheduleError>
+    where
+        F: Fn(&Arc<dyn SchedulerBackend>, &CompileContext) -> Result<BackendOutcome, ScheduleError>,
+    {
+        let total = self.backends.len();
         let mut best: Option<(usize, BackendOutcome)> = None;
         let mut first_error: Option<ScheduleError> = None;
-        let mut total_stats = crate::ScheduleStats::default();
+        let mut bound_beaten: Option<ScheduleError> = None;
+        let mut total_stats = ScheduleStats::default();
         for (index, backend) in self.backends.iter().enumerate() {
             ctx.check()?;
+            let handle = BoundHandle::new(Arc::clone(bound), member_priority(index));
+            let mut member_ctx = ctx.with_bound(Some(handle.clone()));
+            if index + 1 < total {
+                if let Some(deadline) = ctx.options().deadline {
+                    // Fair split: every unstarted member gets an equal share
+                    // of what is left (the last one inherits the remainder
+                    // whole). The floor never extends the global deadline —
+                    // the slice is clamped to it.
+                    let remaining = deadline.saturating_sub(ctx.elapsed());
+                    let share = remaining / (total - index) as u32;
+                    member_ctx = member_ctx.with_deadline_slice(share.max(MIN_MEMBER_SLICE));
+                }
+            }
             ctx.emit(CompileEvent::BackendStarted { name: backend.name().to_string() });
-            match run_member(backend) {
+            match run_member(backend, &member_ctx) {
+                Ok(outcome) => {
+                    handle.publish(outcome.schedule.peak_bytes);
+                    total_stats.absorb(&outcome.stats);
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|(_, b)| outcome.schedule.peak_bytes < b.schedule.peak_bytes);
+                    if better {
+                        best = Some((index, outcome));
+                    }
+                    if is_exact(backend.name()) {
+                        // A completed exact member is provably optimal: no
+                        // later member can beat it, only tie and lose.
+                        for skipped in &self.backends[index + 1..] {
+                            ctx.emit(CompileEvent::BackendSkipped {
+                                name: skipped.name().to_string(),
+                            });
+                        }
+                        total_stats.race_cutoffs += (total - index - 1) as u64;
+                        break;
+                    }
+                }
+                Err(ScheduleError::Cancelled) => return Err(ScheduleError::Cancelled),
+                Err(deadline @ ScheduleError::DeadlineExceeded { .. }) => {
+                    // A member exhausting its *slice* is a loss; only the
+                    // global deadline (re-checked here) aborts the race.
+                    ctx.check()?;
+                    first_error.get_or_insert(deadline);
+                }
+                Err(beaten @ ScheduleError::BoundBeaten { .. }) => {
+                    total_stats.bound_beaten_exits += 1;
+                    bound_beaten.get_or_insert(beaten);
+                }
+                Err(other) => {
+                    first_error.get_or_insert(other);
+                }
+            }
+        }
+        self.finish(ctx, best, total_stats, first_error, bound_beaten)
+    }
+
+    /// Races the members across `self.threads` scoped workers. Each member
+    /// buffers its events and publishes its completed peak to the shared
+    /// bound; afterwards the buffers are replayed in *member order* up to
+    /// the earliest exact completer — exactly the serial stream. Members
+    /// past that cut are dropped unabsorbed (serial never ran them).
+    fn run_raced<F>(
+        &self,
+        ctx: &CompileContext,
+        bound: &Arc<IncumbentBound>,
+        run_member: &F,
+    ) -> Result<BackendOutcome, ScheduleError>
+    where
+        F: Fn(&Arc<dyn SchedulerBackend>, &CompileContext) -> Result<BackendOutcome, ScheduleError>
+            + Sync,
+    {
+        let total = self.backends.len();
+        ctx.check()?;
+        let next = AtomicUsize::new(0);
+        // Smallest member index known to be an exact completer; members
+        // beyond it need not start. Only ever shrinks, so a skip decided
+        // against a stale value is still a skip against the final cut.
+        let cutoff = AtomicUsize::new(total);
+        let workers = self.threads.min(total);
+        let mut runs: Vec<MemberRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, cutoff) = (&next, &cutoff);
+                    scope.spawn(move || {
+                        let mut out: Vec<MemberRun> = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= total {
+                                break;
+                            }
+                            if index > cutoff.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            let backend = &self.backends[index];
+                            let buffer: Arc<Mutex<Vec<CompileEvent>>> =
+                                Arc::new(Mutex::new(Vec::new()));
+                            let sink = Arc::clone(&buffer);
+                            let handle =
+                                BoundHandle::new(Arc::clone(bound), member_priority(index));
+                            let member_ctx = ctx.with_bound(Some(handle.clone())).with_event_sink(
+                                Some(Arc::new(move |e: &CompileEvent| {
+                                    sink.lock().expect("event buffer poisoned").push(e.clone());
+                                })),
+                            );
+                            let result = run_member(backend, &member_ctx);
+                            if let Ok(outcome) = &result {
+                                handle.publish(outcome.schedule.peak_bytes);
+                                if is_exact(backend.name()) {
+                                    cutoff.fetch_min(index, Ordering::Relaxed);
+                                }
+                            }
+                            let events =
+                                std::mem::take(&mut *buffer.lock().expect("event buffer poisoned"));
+                            out.push((index, result, events));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("portfolio worker does not panic"))
+                .collect()
+        });
+        runs.sort_unstable_by_key(|(index, _, _)| *index);
+
+        // The serial cut: serial mode stops after the earliest exact
+        // completer, so only members up to it contribute results, stats,
+        // and events; everyone later is "skipped" no matter what the race
+        // happened to execute.
+        let exact_cut = runs
+            .iter()
+            .filter(|(index, result, _)| result.is_ok() && is_exact(self.backends[*index].name()))
+            .map(|(index, _, _)| *index)
+            .min();
+        let cut = exact_cut.unwrap_or(total - 1);
+
+        let mut best: Option<(usize, BackendOutcome)> = None;
+        let mut first_error: Option<ScheduleError> = None;
+        let mut bound_beaten: Option<ScheduleError> = None;
+        let mut total_stats = ScheduleStats::default();
+        for (index, result, events) in runs {
+            if index > cut {
+                continue;
+            }
+            ctx.emit(CompileEvent::BackendStarted {
+                name: self.backends[index].name().to_string(),
+            });
+            for event in events {
+                ctx.emit(event);
+            }
+            match result {
                 Ok(outcome) => {
                     total_stats.absorb(&outcome.stats);
                     let better = best
@@ -159,16 +391,39 @@ impl PortfolioBackend {
                         best = Some((index, outcome));
                     }
                 }
-                Err(
-                    abort @ (ScheduleError::Cancelled | ScheduleError::DeadlineExceeded { .. }),
-                ) => {
-                    return Err(abort);
+                Err(ScheduleError::Cancelled) => return Err(ScheduleError::Cancelled),
+                Err(deadline @ ScheduleError::DeadlineExceeded { .. }) => {
+                    // No slicing in raced mode: a member deadline is the
+                    // global one, so this re-check propagates the abort.
+                    ctx.check()?;
+                    first_error.get_or_insert(deadline);
+                }
+                Err(beaten @ ScheduleError::BoundBeaten { .. }) => {
+                    total_stats.bound_beaten_exits += 1;
+                    bound_beaten.get_or_insert(beaten);
                 }
                 Err(other) => {
                     first_error.get_or_insert(other);
                 }
             }
         }
+        if exact_cut.is_some() {
+            for skipped in &self.backends[cut + 1..] {
+                ctx.emit(CompileEvent::BackendSkipped { name: skipped.name().to_string() });
+            }
+            total_stats.race_cutoffs += (total - cut - 1) as u64;
+        }
+        self.finish(ctx, best, total_stats, first_error, bound_beaten)
+    }
+
+    fn finish(
+        &self,
+        ctx: &CompileContext,
+        best: Option<(usize, BackendOutcome)>,
+        total_stats: ScheduleStats,
+        first_error: Option<ScheduleError>,
+        bound_beaten: Option<ScheduleError>,
+    ) -> Result<BackendOutcome, ScheduleError> {
         match best {
             Some((index, mut outcome)) => {
                 ctx.emit(CompileEvent::BackendChosen {
@@ -178,7 +433,11 @@ impl PortfolioBackend {
                 outcome.stats = total_stats;
                 Ok(outcome)
             }
-            None => Err(first_error.expect("at least one member ran and failed")),
+            // Every member lost. When losses were to a caller-seeded
+            // incumbent, "the incumbent stands" (BoundBeaten) outranks the
+            // incidental member errors — consumers treat it as keep-the-
+            // original, never as a failure.
+            None => Err(bound_beaten.or(first_error).expect("at least one member ran and failed")),
         }
     }
 }
@@ -190,7 +449,9 @@ impl SchedulerBackend for PortfolioBackend {
 
     /// Members and their order are the whole configuration: the winner is
     /// min-peak with ties kept by the *earlier* member, so both membership
-    /// and sequence shape the result.
+    /// and sequence shape the result. `threads` is excluded — raced runs
+    /// are bit-identical to serial by construction, so thread counts share
+    /// cache entries (like the DP's worker count).
     fn config_fingerprint(&self) -> u64 {
         let parts: Vec<u64> = self.backends.iter().map(|b| b.config_fingerprint()).collect();
         crate::backend::config_fingerprint_of(self.name(), &parts)
@@ -201,7 +462,7 @@ impl SchedulerBackend for PortfolioBackend {
         graph: &Graph,
         ctx: &CompileContext,
     ) -> Result<BackendOutcome, ScheduleError> {
-        self.run(ctx, |backend| backend.schedule(graph, ctx))
+        self.run(ctx, |backend, member_ctx| backend.schedule(graph, member_ctx))
     }
 
     fn schedule_with_prefix(
@@ -210,7 +471,7 @@ impl SchedulerBackend for PortfolioBackend {
         prefix: &[NodeId],
         ctx: &CompileContext,
     ) -> Result<BackendOutcome, ScheduleError> {
-        self.run(ctx, |backend| backend.schedule_with_prefix(graph, prefix, ctx))
+        self.run(ctx, |backend, member_ctx| backend.schedule_with_prefix(graph, prefix, member_ctx))
     }
 }
 
@@ -287,20 +548,194 @@ mod tests {
     }
 
     #[test]
-    fn portfolio_emits_choice_events() {
+    fn portfolio_emits_choice_events_and_race_cutoffs() {
         let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&seen);
         let ctx = CompileContext::new(
             CompileOptions::new().on_event(move |e| sink.lock().unwrap().push(e.clone())),
         );
         let graph = independent_branches(4, 8);
-        PortfolioBackend::standard().schedule(&graph, &ctx).unwrap();
+        let outcome = PortfolioBackend::standard().schedule(&graph, &ctx).unwrap();
         let events = seen.lock().unwrap();
+        // Adaptive (member 0) is exact and completes, so the race is cut
+        // off immediately: one member started, the other four skipped.
         let started =
             events.iter().filter(|e| matches!(e, CompileEvent::BackendStarted { .. })).count();
-        assert_eq!(started, PortfolioBackend::standard().members().len());
+        let skipped =
+            events.iter().filter(|e| matches!(e, CompileEvent::BackendSkipped { .. })).count();
+        assert_eq!(started, 1);
+        assert_eq!(skipped, 4);
+        assert_eq!(outcome.stats.race_cutoffs, 4);
         assert!(events
             .iter()
             .any(|e| matches!(e, CompileEvent::BackendChosen { name, .. } if name == "adaptive")));
+    }
+
+    /// A graph where order matters (the DP prunes against the bound) —
+    /// mirrors `dp::tests::branchy`.
+    fn branchy() -> Graph {
+        let mut g = Graph::new("branchy");
+        let a = g.add_opaque("a", 10, &[]).unwrap();
+        let s1 = g.add_opaque("s1", 10, &[a]).unwrap();
+        let s2 = g.add_opaque("s2", 2, &[s1]).unwrap();
+        let b1 = g.add_opaque("b1", 100, &[a]).unwrap();
+        let sink = g.add_opaque("sink", 2, &[s2, b1]).unwrap();
+        g.mark_output(sink);
+        g
+    }
+
+    /// A portfolio whose exact member runs *last*, so every member
+    /// executes and the cheap ones sharpen the DP via the shared bound.
+    fn race_portfolio() -> PortfolioBackend {
+        PortfolioBackend::new(vec![
+            Arc::new(GreedyBackend),
+            Arc::new(KahnBackend),
+            Arc::new(BeamBackend::default()),
+            Arc::new(DpBackend::default()),
+        ])
+    }
+
+    fn run_collecting(
+        portfolio: &PortfolioBackend,
+        graph: &Graph,
+    ) -> (BackendOutcome, Vec<CompileEvent>) {
+        let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let ctx = CompileContext::new(
+            CompileOptions::new().on_event(move |e| sink.lock().unwrap().push(e.clone())),
+        );
+        let outcome = portfolio.schedule(graph, &ctx).unwrap();
+        drop(ctx);
+        let events = Arc::try_unwrap(seen).unwrap().into_inner().unwrap();
+        (outcome, events)
+    }
+
+    #[test]
+    fn raced_portfolio_is_bit_identical_to_serial() {
+        for graph in [branchy(), independent_branches(6, 24)] {
+            let (serial, serial_events) = run_collecting(&race_portfolio(), &graph);
+            for threads in [2, 8] {
+                let raced = race_portfolio().threads(threads);
+                let (outcome, events) = run_collecting(&raced, &graph);
+                assert_eq!(
+                    outcome.schedule, serial.schedule,
+                    "schedule diverged at {threads} threads"
+                );
+                assert_eq!(events, serial_events, "event stream diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_portfolio_prunes_the_dp_against_earlier_members() {
+        // Kahn runs first and publishes its (suboptimal, 120-byte) peak;
+        // the DP then prunes the losing branch against the incumbent and
+        // still finds the true 112-byte optimum.
+        let portfolio =
+            PortfolioBackend::new(vec![Arc::new(KahnBackend), Arc::new(DpBackend::default())]);
+        let (outcome, _) = run_collecting(&portfolio, &branchy());
+        assert!(outcome.stats.bound_pruned > 0, "expected bound pruning, got {outcome:?}");
+        assert_eq!(outcome.schedule.peak_bytes, 112);
+    }
+
+    /// Delegates to an inner backend under a different name after a pause —
+    /// lets tests invert wall-clock completion order deterministically.
+    struct SlowBackend {
+        inner: Arc<dyn SchedulerBackend>,
+        name: &'static str,
+        pause: Duration,
+    }
+
+    impl SchedulerBackend for SlowBackend {
+        fn name(&self) -> &str {
+            self.name
+        }
+
+        fn schedule(
+            &self,
+            graph: &Graph,
+            ctx: &CompileContext,
+        ) -> Result<BackendOutcome, ScheduleError> {
+            std::thread::sleep(self.pause);
+            self.inner.schedule(graph, ctx)
+        }
+    }
+
+    #[test]
+    fn ties_keep_the_earlier_member_even_when_it_finishes_last() {
+        // Member 0 delegates to Kahn but sleeps first; member 1 (dfs)
+        // finishes long before it in wall-clock. On a graph where every
+        // order has the same peak they tie — and the *earlier* member must
+        // still win, in both serial and raced mode.
+        let graph = independent_branches(5, 16);
+        for threads in [1, 2] {
+            let portfolio = PortfolioBackend::new(vec![
+                Arc::new(SlowBackend {
+                    inner: Arc::new(KahnBackend),
+                    name: "slow-kahn",
+                    pause: Duration::from_millis(30),
+                }),
+                Arc::new(DfsBackend),
+            ])
+            .threads(threads);
+            let (outcome, events) = run_collecting(&portfolio, &graph);
+            let chosen = events
+                .iter()
+                .find_map(|e| match e {
+                    CompileEvent::BackendChosen { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(chosen, "slow-kahn", "tie lost at {threads} threads");
+            assert!(!outcome.schedule.order.is_empty());
+        }
+    }
+
+    #[test]
+    fn bound_beaten_members_never_surface_when_anyone_completes() {
+        // Seed the shared bound at the optimum with the tie-winning
+        // priority: the DP cannot match it and exits BoundBeaten. Greedy
+        // ignores the bound and completes, so the portfolio still answers —
+        // the race loss shows up only in the stats.
+        let graph = branchy();
+        let optimal = DpBackend::default()
+            .schedule(&graph, &CompileContext::unconstrained())
+            .unwrap()
+            .schedule
+            .peak_bytes;
+        let portfolio =
+            PortfolioBackend::new(vec![Arc::new(DpBackend::default()), Arc::new(GreedyBackend)]);
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_incumbent(optimal)));
+        let outcome = portfolio.schedule(&graph, &ctx).unwrap();
+        assert_eq!(outcome.stats.bound_beaten_exits, 1);
+        assert!(outcome.schedule.peak_bytes >= optimal);
+    }
+
+    #[test]
+    fn seeded_portfolio_where_every_member_loses_reports_bound_beaten() {
+        // All members consult the bound and all lose: the incumbent stands,
+        // reported as BoundBeaten for the caller (the pipeline) to absorb.
+        let graph = branchy();
+        let optimal = DpBackend::default()
+            .schedule(&graph, &CompileContext::unconstrained())
+            .unwrap()
+            .schedule
+            .peak_bytes;
+        let portfolio = PortfolioBackend::new(vec![Arc::new(DpBackend::default())]);
+        let ctx = CompileContext::unconstrained()
+            .with_bound(Some(BoundHandle::seeded_incumbent(optimal)));
+        let err = portfolio.schedule(&graph, &ctx).unwrap_err();
+        assert_eq!(err, ScheduleError::BoundBeaten { bound: optimal });
+    }
+
+    #[test]
+    fn serial_deadline_is_split_fairly_across_members() {
+        // With a generous deadline every member still completes: slicing
+        // must not reject members that fit comfortably in their share.
+        let graph = independent_branches(5, 16);
+        let ctx = CompileContext::new(CompileOptions::new().deadline(Duration::from_secs(30)));
+        let outcome = race_portfolio().schedule(&graph, &ctx).unwrap();
+        assert_eq!(outcome.schedule.order.len(), graph.len());
     }
 }

@@ -59,7 +59,7 @@ use serde::{Deserialize, Serialize};
 use serenity_ir::fingerprint::{structural_eq, FingerprintCache};
 use serenity_ir::{Graph, GraphError, NodeId};
 
-use crate::backend::{BeamBackend, CompileContext, CompileEvent, SchedulerBackend};
+use crate::backend::{BeamBackend, BoundHandle, CompileContext, CompileEvent, SchedulerBackend};
 use crate::cache::CompileCache;
 use crate::divide::DivideAndConquer;
 use crate::memo::ScheduleMemo;
@@ -494,6 +494,7 @@ impl RewriteSearch {
     fn score_candidate(
         &self,
         candidate: &Candidate,
+        incumbent_peak: u64,
         memo: &Arc<ScheduleMemo>,
         ctx: &CompileContext,
     ) -> Scored {
@@ -506,6 +507,14 @@ impl RewriteSearch {
         } else {
             ctx.with_event_sink(None)
         };
+        // The search only accepts candidates scoring `<=` the current peak,
+        // so seed the scorer with the iteration-start peak as a *tie-losing*
+        // incumbent: states strictly above it are pruned (they cannot be
+        // accepted), while a candidate that merely ties — a plateau step the
+        // search still wants — completes untouched. A candidate cut off by
+        // the bound surfaces as `Failed(BoundBeaten)` and is discarded by
+        // the deterministic replay exactly like any unschedulable one.
+        let child_ctx = child_ctx.with_bound(Some(BoundHandle::seeded_weak(incumbent_peak)));
         let layer = Arc::new(ScheduleMemo::layered(Arc::clone(memo)));
         // A panicking scoring backend must not take the worker (and with it
         // the whole search) down: contain the unwind and fail the candidate,
@@ -547,6 +556,7 @@ impl RewriteSearch {
         site_list: &[(usize, RewriteSite)],
         remaining_budget: usize,
         max_chain: usize,
+        incumbent_peak: u64,
         memo: &Arc<ScheduleMemo>,
         ctx: &CompileContext,
         candidate_build: &mut Duration,
@@ -588,6 +598,7 @@ impl RewriteSearch {
             for &i in &reps {
                 let scored = self.score_candidate(
                     slots[i].candidate.as_ref().expect("rep built"),
+                    incumbent_peak,
                     memo,
                     ctx,
                 );
@@ -607,6 +618,7 @@ impl RewriteSearch {
                         let slot = &slots[reps[at]];
                         let scored = self.score_candidate(
                             slot.candidate.as_ref().expect("rep built"),
+                            incumbent_peak,
                             memo,
                             ctx,
                         );
@@ -744,6 +756,7 @@ impl RewriteSearch {
                 &site_list,
                 remaining_budget,
                 remaining_applications.min(self.config.max_chain),
+                current_peak,
                 &memo,
                 ctx,
                 &mut candidate_build,
@@ -774,6 +787,14 @@ impl RewriteSearch {
                     }
                     Some(Scored::Failed(ScheduleError::DeadlineExceeded { .. })) => {
                         break 'search RewriteStop::Deadline;
+                    }
+                    // Cut off by the incumbent bound: the candidate provably
+                    // scores worse than the current peak, which the search
+                    // would have rejected anyway — a saved schedule, not a
+                    // lost candidate.
+                    Some(Scored::Failed(ScheduleError::BoundBeaten { .. })) => {
+                        stats.bound_beaten_exits += 1;
+                        continue;
                     }
                     // Unschedulable candidate (e.g. backend size cap):
                     // discard it, keep searching.

@@ -84,6 +84,21 @@ pub struct ScheduleStats {
     /// moment of the search — the DP's search-memory high-water mark. Zero
     /// for schedulers that do not memoize signatures.
     pub peak_memo_bytes: u64,
+    /// Transitions discarded because their running peak provably lost to a
+    /// shared [`IncumbentBound`](crate::backend::IncumbentBound) — the
+    /// branch-and-bound analogue of `pruned` (which counts soft-budget τ
+    /// prunes). Zero when no bound is installed.
+    #[serde(default)]
+    pub bound_pruned: u64,
+    /// Searches abandoned whole because the incumbent bound made a win
+    /// impossible ([`ScheduleError::BoundBeaten`](crate::ScheduleError)
+    /// returns: emptied DP frontiers, beam whole-frontier cutoffs).
+    #[serde(default)]
+    pub bound_beaten_exits: u64,
+    /// Portfolio members skipped outright because an exact member had
+    /// already completed with a provably optimal peak.
+    #[serde(default)]
+    pub race_cutoffs: u64,
     /// Number of search steps executed (equals `|V|` on success).
     pub steps: usize,
     /// Wall-clock scheduling time.
@@ -108,6 +123,9 @@ impl ScheduleStats {
         self.memo_misses += other.memo_misses;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.bound_pruned += other.bound_pruned;
+        self.bound_beaten_exits += other.bound_beaten_exits;
+        self.race_cutoffs += other.race_cutoffs;
         // High-water marks don't add: sequential runs reuse the memory.
         self.peak_memo_bytes = self.peak_memo_bytes.max(other.peak_memo_bytes);
         self.steps = self.steps.max(other.steps);
@@ -171,6 +189,9 @@ mod tests {
             cache_hits: 3,
             cache_misses: 8,
             peak_memo_bytes: 4096,
+            bound_pruned: 11,
+            bound_beaten_exits: 2,
+            race_cutoffs: 1,
             steps: 3,
             duration: Duration::from_micros(1500),
         };
@@ -191,6 +212,9 @@ mod tests {
             cache_hits: 1,
             cache_misses: 3,
             peak_memo_bytes: 100,
+            bound_pruned: 5,
+            bound_beaten_exits: 1,
+            race_cutoffs: 2,
             steps: 5,
             duration: Duration::from_micros(10),
         };
@@ -204,6 +228,9 @@ mod tests {
             cache_hits: 2,
             cache_misses: 4,
             peak_memo_bytes: 64,
+            bound_pruned: 7,
+            bound_beaten_exits: 3,
+            race_cutoffs: 4,
             steps: 4,
             duration: Duration::from_micros(7),
         };
@@ -216,6 +243,9 @@ mod tests {
         assert_eq!(total.memo_misses, 7);
         assert_eq!(total.cache_hits, 3);
         assert_eq!(total.cache_misses, 7);
+        assert_eq!(total.bound_pruned, 12);
+        assert_eq!(total.bound_beaten_exits, 4);
+        assert_eq!(total.race_cutoffs, 6);
         assert_eq!(total.peak_memo_bytes, 100, "memo high-water mark keeps the maximum");
         assert_eq!(total.steps, 5, "steps keeps the maximum");
         assert_eq!(total.duration, Duration::from_micros(17));

@@ -91,6 +91,27 @@ pub fn field<'de, T: Deserialize<'de>>(map: &mut ContentMap, key: &str) -> Resul
     from_content(take(map, key)).map_err(|e| ContentError(format!("field `{key}`: {e}")))
 }
 
+/// Removes and deserializes field `key`, falling back to `T::default()`
+/// when the field is absent — the `#[serde(default)]` behaviour
+/// (derive-internal). An explicitly present value must still describe a
+/// `T`; only a *missing* key takes the default.
+///
+/// # Errors
+///
+/// Returns an error when a present field value does not describe a `T`.
+pub fn field_or_default<'de, T: Deserialize<'de> + Default>(
+    map: &mut ContentMap,
+    key: &str,
+) -> Result<T, ContentError> {
+    match map.iter().position(|(k, _)| k == key) {
+        Some(at) => {
+            let value = map.remove(at).1;
+            from_content(value).map_err(|e| ContentError(format!("field `{key}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_deserialize_int {
     ($($t:ty),*) => {$(
         impl<'de> Deserialize<'de> for $t {

@@ -5,7 +5,7 @@
 //! workspace uses: non-generic structs with named fields, tuple structs,
 //! and enums with unit / newtype / tuple / struct variants, plus the
 //! `#[serde(transparent)]` container attribute and the
-//! `#[serde(with = "module")]` field attribute.
+//! `#[serde(with = "module")]` / `#[serde(default)]` field attributes.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -27,6 +27,9 @@ struct Field {
     name: String,
     /// Module path given by `#[serde(with = "path")]`, if any.
     with: Option<String>,
+    /// Whether `#[serde(default)]` lets the field fall back to
+    /// `Default::default()` when absent from the input.
+    default: bool,
 }
 
 enum Body {
@@ -57,6 +60,7 @@ struct Input {
 struct AttrInfo {
     transparent: bool,
     with: Option<String>,
+    default: bool,
 }
 
 fn parse_input(input: TokenStream) -> Input {
@@ -143,6 +147,7 @@ fn consume_attribute(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTr
         let TokenTree::Ident(key) = token else { continue };
         match key.to_string().as_str() {
             "transparent" => info.transparent = true,
+            "default" => info.default = true,
             "with" => {
                 // `with = "path"`
                 let eq = args.next();
@@ -163,6 +168,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     loop {
         let mut with = None;
+        let mut default = false;
         // Attributes and visibility preceding the field name.
         loop {
             match iter.peek() {
@@ -170,6 +176,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                     let attr = consume_attribute(&mut iter);
                     if attr.with.is_some() {
                         with = attr.with;
+                    }
+                    if attr.default {
+                        default = true;
                     }
                 }
                 Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
@@ -191,7 +200,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("expected `:` after field `{name}`, found {other:?}"),
         }
         skip_type_until_comma(&mut iter);
-        fields.push(Field { name: name.to_string(), with });
+        fields.push(Field { name: name.to_string(), with, default });
     }
     fields
 }
@@ -512,6 +521,9 @@ fn named_field_init(field: &Field) -> String {
             "{f}: {path}::deserialize(::serde::de::ContentDeserializer(\
              ::serde::de::take(&mut __map, \"{f}\"))).map_err({DE_ERR})?,"
         ),
+        None if field.default => {
+            format!("{f}: ::serde::de::field_or_default(&mut __map, \"{f}\").map_err({DE_ERR})?,")
+        }
         None => format!("{f}: ::serde::de::field(&mut __map, \"{f}\").map_err({DE_ERR})?,"),
     }
 }
