@@ -18,6 +18,28 @@ pub enum AllocError {
         /// Second offending tensor.
         b: NodeId,
     },
+    /// A tensor's byte range extends past the plan's declared arena size
+    /// (indicates a stale or corrupted `arena_bytes`; surfaced by
+    /// [`MemoryPlan::validate`](crate::MemoryPlan::validate)).
+    OutOfArena {
+        /// The offending tensor.
+        node: NodeId,
+        /// One past the tensor's last byte.
+        end: u64,
+        /// The declared arena size the tensor overruns.
+        arena_bytes: u64,
+    },
+    /// A tensor's offset is not a multiple of the required alignment
+    /// (surfaced by
+    /// [`MemoryPlan::validate_aligned`](crate::MemoryPlan::validate_aligned)).
+    Misaligned {
+        /// The offending tensor.
+        node: NodeId,
+        /// The tensor's byte offset.
+        offset: u64,
+        /// The required alignment in bytes.
+        align: u64,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -26,6 +48,12 @@ impl fmt::Display for AllocError {
             AllocError::Graph(e) => write!(f, "graph error: {e}"),
             AllocError::Overlap { a, b } => {
                 write!(f, "tensors {a} and {b} overlap while both live")
+            }
+            AllocError::OutOfArena { node, end, arena_bytes } => {
+                write!(f, "tensor {node} ends at byte {end}, past the {arena_bytes}-byte arena")
+            }
+            AllocError::Misaligned { node, offset, align } => {
+                write!(f, "tensor {node} at offset {offset} violates {align}-byte alignment")
             }
         }
     }
@@ -56,6 +84,10 @@ mod tests {
         assert!(e.to_string().contains("n1"));
         let e: AllocError = GraphError::Empty.into();
         assert!(e.to_string().contains("graph error"));
+        let e = AllocError::OutOfArena { node: NodeId::from_index(3), end: 64, arena_bytes: 48 };
+        assert!(e.to_string().contains("64") && e.to_string().contains("48"));
+        let e = AllocError::Misaligned { node: NodeId::from_index(4), offset: 7, align: 8 };
+        assert!(e.to_string().contains("7") && e.to_string().contains("8"));
     }
 
     #[test]

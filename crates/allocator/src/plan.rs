@@ -51,13 +51,45 @@ impl MemoryPlan {
         self.arena_bytes as f64 / 1024.0
     }
 
-    /// Verifies that no two simultaneously live tensors overlap in the arena.
+    /// Verifies the plan's structural soundness: every placement fits
+    /// inside the declared `arena_bytes`, and no two simultaneously live
+    /// tensors overlap in the arena.
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError::Overlap`] naming the first offending pair.
+    /// Returns [`AllocError::OutOfArena`] for a placement past the arena
+    /// end, or [`AllocError::Overlap`] naming the first offending pair.
     pub fn validate(&self) -> Result<(), AllocError> {
+        self.validate_aligned(1)
+    }
+
+    /// Like [`MemoryPlan::validate`], additionally requiring every
+    /// non-empty placement's offset to be a multiple of `align` bytes
+    /// (zero-sized tensors occupy no bytes and are exempt, as in
+    /// [`TensorAlloc::conflicts_with`]). `align = 1` imposes no
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemoryPlan::validate`], plus [`AllocError::Misaligned`] for
+    /// an offset off the alignment grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align == 0`.
+    pub fn validate_aligned(&self, align: u64) -> Result<(), AllocError> {
+        assert!(align >= 1, "alignment must be at least 1 byte");
         for (i, a) in self.allocs.iter().enumerate() {
+            if a.end() > self.arena_bytes {
+                return Err(AllocError::OutOfArena {
+                    node: a.range.node,
+                    end: a.end(),
+                    arena_bytes: self.arena_bytes,
+                });
+            }
+            if a.range.size > 0 && a.offset % align != 0 {
+                return Err(AllocError::Misaligned { node: a.range.node, offset: a.offset, align });
+            }
             for b in &self.allocs[i + 1..] {
                 if a.conflicts_with(b) {
                     return Err(AllocError::Overlap { a: a.range.node, b: b.range.node });
@@ -174,6 +206,36 @@ mod tests {
     fn zero_sized_never_conflicts() {
         let plan = MemoryPlan::new(vec![alloc(0, 0, 0, 0, 5), alloc(1, 10, 0, 0, 5)]);
         assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_out_of_arena_placements() {
+        // A hand-corrupted arena_bytes smaller than the furthest placement.
+        let mut plan = MemoryPlan::new(vec![alloc(0, 10, 0, 0, 1), alloc(1, 20, 16, 1, 2)]);
+        plan.arena_bytes = 30;
+        assert_eq!(
+            plan.validate(),
+            Err(AllocError::OutOfArena { node: NodeId::from_index(1), end: 36, arena_bytes: 30 })
+        );
+    }
+
+    #[test]
+    fn validate_aligned_catches_offsets_off_the_grid() {
+        let plan = MemoryPlan::new(vec![alloc(0, 10, 0, 0, 1), alloc(1, 10, 12, 2, 3)]);
+        assert!(plan.validate_aligned(4).is_ok());
+        assert_eq!(
+            plan.validate_aligned(8),
+            Err(AllocError::Misaligned { node: NodeId::from_index(1), offset: 12, align: 8 })
+        );
+        // Zero-sized tensors are exempt wherever they sit.
+        let plan = MemoryPlan::new(vec![alloc(0, 0, 3, 0, 1), alloc(1, 16, 0, 0, 1)]);
+        assert!(plan.validate_aligned(8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment")]
+    fn zero_alignment_panics() {
+        let _ = MemoryPlan::new(Vec::new()).validate_aligned(0);
     }
 
     #[test]

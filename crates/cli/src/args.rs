@@ -36,6 +36,10 @@ usage:
                               (default 1 = serial; results are bit-identical
                               at any count)
       --deadline-ms <N>       abort compilation after N milliseconds
+      --verify                independently re-check the compiled schedule
+                              (topological order, scan-path peak, arena,
+                              rewrite replay) and print the certificate;
+                              a mismatch fails the command
       --verbose               narrate compile events to stderr
       --json                  machine-readable output
       --map                   print the ASCII arena memory map
@@ -68,6 +72,11 @@ usage:
                               primary fails or panics (comma-separated,
                               e.g. beam,kahn; default beam,kahn; none
                               disables degradation)
+      --search-budget-bytes <N>
+                              hard cap on live search memory per compile;
+                              also caps per-request ?search_budget= values
+                              (exceeding it fails the rung into the
+                              degradation ladder, or answers 413)
       --fault-plan <spec>     TEST ONLY: arm deterministic fault injection,
                               e.g. compile-panic=2,persist-io=p0.5
                               (seeded by SERENITY_FAULT_SEED, default 0)
@@ -122,6 +131,9 @@ pub enum Command {
         /// Compile-cache byte budget (`None` = default 64 MiB, `Some(0)`
         /// disables caching).
         cache_bytes: Option<u64>,
+        /// Independently verify each compiled schedule and print (or, with
+        /// `--json`, embed) the certificate; a mismatch fails the command.
+        verify: bool,
         /// Narrate compile events to stderr.
         verbose: bool,
         /// Emit JSON instead of a table.
@@ -159,6 +171,9 @@ pub enum Command {
         /// Degradation ladder: comma-separated backend names, `Some("none")`
         /// normalised to an empty chain. `None` = the default ladder.
         degrade: Option<String>,
+        /// Server-wide search-memory budget in bytes (`None` = unbudgeted;
+        /// also the cap on per-request `?search_budget=` values).
+        search_budget_bytes: Option<u64>,
     },
     /// Emit Graphviz Dot for a graph file.
     Dot {
@@ -221,6 +236,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut portfolio_threads = 1usize;
             let mut deadline_ms = None;
             let mut cache_bytes = None;
+            let mut verify = false;
             let mut verbose = false;
             let mut json = false;
             let mut map = false;
@@ -228,6 +244,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 match flag {
                     more if !more.starts_with('-') => paths.push(more.to_owned()),
                     "--no-rewrite" => no_rewrite = true,
+                    "--verify" => verify = true,
                     "--verbose" => verbose = true,
                     "--json" => json = true,
                     "--map" => map = true,
@@ -340,6 +357,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 portfolio_threads,
                 deadline_ms,
                 cache_bytes,
+                verify,
                 verbose,
                 json,
                 map,
@@ -359,6 +377,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut allow_shutdown = false;
             let mut fault_plan = None;
             let mut degrade = None;
+            let mut search_budget_bytes = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--allow-shutdown" => allow_shutdown = true,
@@ -435,6 +454,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 .map_err(|_| format!("serve: bad body limit {raw}"))?,
                         );
                     }
+                    "--search-budget-bytes" => {
+                        let raw = it.next().ok_or("serve: --search-budget-bytes needs a value")?;
+                        let bytes = raw
+                            .parse::<u64>()
+                            .map_err(|_| format!("serve: bad search budget {raw}"))?;
+                        if bytes == 0 {
+                            return Err("serve: --search-budget-bytes 0 would refuse every \
+                                 compile; give it a budget"
+                                .into());
+                        }
+                        search_budget_bytes = Some(bytes);
+                    }
                     other => return Err(format!("serve: unknown flag {other}")),
                 }
             }
@@ -457,6 +488,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 allow_shutdown,
                 fault_plan,
                 degrade,
+                search_budget_bytes,
             })
         }
         "dot" => {
@@ -543,6 +575,7 @@ mod tests {
                 portfolio_threads: 1,
                 deadline_ms: None,
                 cache_bytes: None,
+                verify: false,
                 verbose: false,
                 json: true,
                 map: false,
@@ -592,11 +625,21 @@ mod tests {
                 portfolio_threads: 1,
                 deadline_ms: None,
                 cache_bytes: None,
+                verify: false,
                 verbose: false,
                 json: false,
                 map: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_verify_flag() {
+        let cmd = parse(&args("schedule g.json --verify")).unwrap();
+        match cmd {
+            Command::Schedule { verify, .. } => assert!(verify),
+            other => panic!("unexpected parse {other:?}"),
+        }
     }
 
     #[test]
@@ -651,13 +694,15 @@ mod tests {
                 allow_shutdown: false,
                 fault_plan: None,
                 degrade: None,
+                search_budget_bytes: None,
             }
         );
         let cmd = parse(&args(
             "serve --addr 0.0.0.0:0 --threads 8 --queue 16 --scheduler dp \
              --portfolio-threads 2 --cache-bytes 1048576 --admission tinylfu \
              --persist /tmp/cache --deadline-ms 500 --max-body-bytes 4096 \
-             --allow-shutdown --fault-plan compile-panic=2 --degrade beam,kahn",
+             --allow-shutdown --fault-plan compile-panic=2 --degrade beam,kahn \
+             --search-budget-bytes 16777216",
         ))
         .unwrap();
         assert_eq!(
@@ -676,6 +721,7 @@ mod tests {
                 allow_shutdown: true,
                 fault_plan: Some("compile-panic=2".into()),
                 degrade: Some("beam,kahn".into()),
+                search_budget_bytes: Some(16_777_216),
             }
         );
     }
@@ -690,6 +736,8 @@ mod tests {
         assert!(parse(&args("serve --deadline-ms soon")).is_err());
         assert!(parse(&args("serve --fault-plan")).is_err());
         assert!(parse(&args("serve --degrade")).is_err());
+        assert!(parse(&args("serve --search-budget-bytes 0")).is_err());
+        assert!(parse(&args("serve --search-budget-bytes lots")).is_err());
         assert!(parse(&args("serve --bogus")).is_err());
     }
 

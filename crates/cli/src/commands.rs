@@ -36,6 +36,7 @@ pub fn run(command: Command) -> Result<(), String> {
             portfolio_threads,
             deadline_ms,
             cache_bytes,
+            verify,
             verbose,
             json,
             map,
@@ -52,6 +53,7 @@ pub fn run(command: Command) -> Result<(), String> {
                 portfolio_threads,
                 deadline_ms,
                 cache_bytes,
+                verify,
                 verbose,
                 json,
                 map,
@@ -72,6 +74,7 @@ pub fn run(command: Command) -> Result<(), String> {
             allow_shutdown,
             fault_plan,
             degrade,
+            search_budget_bytes,
         } => serve(ServeOptions {
             addr,
             threads,
@@ -86,6 +89,7 @@ pub fn run(command: Command) -> Result<(), String> {
             allow_shutdown,
             fault_plan,
             degrade,
+            search_budget_bytes,
         }),
         Command::Dot { path } => {
             let graph = load(&path)?;
@@ -179,6 +183,7 @@ struct ScheduleOptions {
     portfolio_threads: usize,
     deadline_ms: Option<u64>,
     cache_bytes: Option<u64>,
+    verify: bool,
     verbose: bool,
     json: bool,
     map: bool,
@@ -368,13 +373,32 @@ fn schedule(paths: &[String], options: ScheduleOptions) -> Result<(), String> {
     for (index, path) in paths.iter().enumerate() {
         let graph = load(path)?;
         let compiled = compiler.compile(&graph).map_err(|e| format!("{path}: {e}"))?;
+        // `--verify` re-derives the result through the independent checker;
+        // a mismatch fails the whole invocation rather than printing a
+        // schedule the checker would not certify.
+        let certificate = if options.verify {
+            Some(
+                serenity_core::verify::verify(&graph, &compiled)
+                    .map_err(|e| format!("{path}: verification failed: {e}"))?,
+            )
+        } else {
+            None
+        };
         if !options.json {
             if index > 0 {
                 println!();
             }
             print_compiled(&compiled, options.map);
+            if let Some(cert) = &certificate {
+                println!(
+                    "verified      : {} nodes, peak {:.1} KiB, {} rewrite(s) replayed",
+                    cert.nodes,
+                    cert.peak_bytes as f64 / 1024.0,
+                    cert.rewrites_replayed
+                );
+            }
         }
-        compiled_all.push(compiled);
+        compiled_all.push((compiled, certificate));
     }
     let cache_stats = cache.as_ref().map(|c| c.stats());
     if options.json {
@@ -395,11 +419,13 @@ fn schedule(paths: &[String], options: ScheduleOptions) -> Result<(), String> {
             .unwrap_or(serde_json::Value::Null);
         // Single-graph invocations keep the original flat report shape;
         // batch invocations wrap the per-graph reports.
-        let report = if let [only] = &compiled_all[..] {
-            report_json(only, &cache_json)
+        let report = if let [(only, cert)] = &compiled_all[..] {
+            report_json(only, cert.as_ref(), &cache_json)
         } else {
-            let reports: Vec<serde_json::Value> =
-                compiled_all.iter().map(|c| report_json(c, &serde_json::Value::Null)).collect();
+            let reports: Vec<serde_json::Value> = compiled_all
+                .iter()
+                .map(|(c, cert)| report_json(c, cert.as_ref(), &serde_json::Value::Null))
+                .collect();
             serde_json::json!({ "graphs": reports, "cache": cache_json })
         };
         println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
@@ -420,10 +446,15 @@ fn schedule(paths: &[String], options: ScheduleOptions) -> Result<(), String> {
 
 fn report_json(
     compiled: &serenity_core::pipeline::CompiledSchedule,
+    certificate: Option<&serenity_core::VerifiedCertificate>,
     cache: &serde_json::Value,
 ) -> serde_json::Value {
+    let verification = certificate
+        .map(|c| serde_json::to_value(c).expect("certificate serializes"))
+        .unwrap_or(serde_json::Value::Null);
     serde_json::json!({
         "cache": cache.clone(),
+        "verification": verification,
         "graph": compiled.graph.name(),
         "nodes": compiled.graph.len(),
         "peak_bytes": compiled.peak_bytes,
@@ -510,6 +541,7 @@ struct ServeOptions {
     allow_shutdown: bool,
     fault_plan: Option<String>,
     degrade: Option<String>,
+    search_budget_bytes: Option<u64>,
 }
 
 /// Resolves `--degrade` into a fallback ladder. `None` means the default
@@ -589,6 +621,7 @@ fn serve(options: ServeOptions) -> Result<(), String> {
             allow_shutdown: options.allow_shutdown,
             fault,
             fallback,
+            search_budget: options.search_budget_bytes,
             ..ServiceConfig::default()
         },
     ));

@@ -512,6 +512,15 @@ pub struct CompileOptions {
     /// completed runs are bit-identical with or without it — so it is
     /// excluded from every `config_fingerprint`.
     pub bound: Option<BoundHandle>,
+    /// Hard cap, in bytes, on a search's *own* live memory (DP memo
+    /// arenas, beam frontiers) — not the schedule's activation footprint.
+    /// Backends compare it against the same accounting that feeds
+    /// [`ScheduleStats::peak_memo_bytes`] and fail fast with
+    /// [`ScheduleError::MemoryBudgetExceeded`] instead of growing without
+    /// bound. Excluded from `config_fingerprint`s: a budgeted run either
+    /// errors or returns a result bit-identical to the unbudgeted one, so
+    /// successful compiles share cache entries.
+    pub memory_budget: Option<u64>,
 }
 
 impl fmt::Debug for CompileOptions {
@@ -523,6 +532,7 @@ impl fmt::Debug for CompileOptions {
             .field("cache", &self.cache)
             .field("fault", &self.fault)
             .field("bound", &self.bound)
+            .field("memory_budget", &self.memory_budget)
             .finish()
     }
 }
@@ -571,6 +581,14 @@ impl CompileOptions {
         self.bound = Some(bound);
         self
     }
+
+    /// Caps the search's own live memory (memo arenas, beam frontiers) at
+    /// `bytes`; crossing it fails the run with
+    /// [`ScheduleError::MemoryBudgetExceeded`].
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
 }
 
 /// Per-run compile state handed to every backend: options plus the run's
@@ -611,6 +629,7 @@ impl CompileContext {
                 cache: self.options.cache.clone(),
                 fault: self.options.fault.clone(),
                 bound: self.options.bound.clone(),
+                memory_budget: self.options.memory_budget,
             },
             started: self.started,
         }
@@ -642,6 +661,25 @@ impl CompileContext {
     /// The installed incumbent bound, if any.
     pub fn bound(&self) -> Option<&BoundHandle> {
         self.options.bound.as_ref()
+    }
+
+    /// The search-memory budget in bytes, if one was set.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.options.memory_budget
+    }
+
+    /// Fails the run when `used` live search-memory bytes cross the
+    /// configured budget (a no-op when no budget is set). Engines call
+    /// this at the same accounting points that feed
+    /// [`ScheduleStats::peak_memo_bytes`], so enforcement and reporting
+    /// can never drift apart.
+    pub fn check_memory_budget(&self, used: u64) -> Result<(), ScheduleError> {
+        if let Some(budget) = self.options.memory_budget {
+            if used > budget {
+                return Err(ScheduleError::MemoryBudgetExceeded { used, budget });
+            }
+        }
+        Ok(())
     }
 
     /// Whether an event sink is installed (when absent, callers can skip

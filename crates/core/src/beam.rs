@@ -397,6 +397,14 @@ impl BeamScheduler {
             stats.steps = step + 1;
             debug_assert!(!next.is_empty(), "acyclic graphs always progress");
             std::mem::swap(&mut frontier, &mut next);
+            // Per-step budget enforcement over the same capacity
+            // arithmetic the end-of-run high-water mark reports (the
+            // buffers never shrink, so capacities are the live memory).
+            ctx.check_memory_budget(
+                ((frontier.capacity() + next.capacity()) * std::mem::size_of::<FState<W>>()
+                    + cand.capacity() * std::mem::size_of::<CandState<W>>()
+                    + std::mem::size_of_val(records.as_slice())) as u64,
+            )?;
         }
 
         let best =
@@ -559,6 +567,9 @@ impl BeamScheduler {
             stats.steps = step + 1;
             debug_assert!(!next.states.is_empty(), "acyclic graphs always progress");
             std::mem::swap(&mut frontier, &mut next);
+            // Per-step budget enforcement over the same accounting the
+            // end-of-run high-water mark reports.
+            ctx.check_memory_budget(peak_pool_bytes(&frontier, &next, &cand, &records))?;
         }
 
         let best = frontier

@@ -521,6 +521,7 @@ impl DpScheduler {
             stats.steps = step + 1;
             stats.peak_memo_bytes =
                 stats.peak_memo_bytes.max(frontier.pool_bytes() + next.pool_bytes());
+            ctx.check_memory_budget(stats.peak_memo_bytes)?;
             // Compaction: the expanded step only needs its parent chain.
             back.push(frontier.into_back_records());
             frontier = next;
@@ -814,6 +815,7 @@ impl DpScheduler {
         stats.peak_memo_bytes = stats
             .peak_memo_bytes
             .max(frontier.pool_bytes() + candidate_bytes + shard_bytes + merged.pool_bytes());
+        ctx.check_memory_budget(stats.peak_memo_bytes)?;
         self.check_limits(step, step_started, merged.len(), ctx)?;
         Ok(merged)
     }

@@ -56,6 +56,18 @@ pub enum ScheduleError {
         /// Panic message recovered from the unwind payload.
         detail: String,
     },
+    /// A search's live memo/frontier accounting crossed the caller's
+    /// hard memory budget
+    /// ([`CompileOptions::memory_budget`](crate::backend::CompileOptions)).
+    /// The backend failed fast instead of letting the search arena grow
+    /// unboundedly; the degradation ladder treats this like any other
+    /// rung failure and falls through to a cheaper backend.
+    MemoryBudgetExceeded {
+        /// Live search-memory bytes observed when the budget tripped.
+        used: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
     /// The search was cut off by a shared
     /// [`IncumbentBound`](crate::backend::IncumbentBound): every surviving
     /// state was provably unable to beat a peak some other portfolio member
@@ -91,6 +103,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Panicked { detail } => {
                 write!(f, "scheduling worker panicked: {detail}")
             }
+            ScheduleError::MemoryBudgetExceeded { used, budget } => {
+                write!(f, "search memory of {used} bytes exceeded the budget of {budget} bytes")
+            }
             ScheduleError::BoundBeaten { bound } => {
                 write!(f, "search cut off: cannot beat the incumbent peak of {bound} bytes")
             }
@@ -123,6 +138,9 @@ mod tests {
         assert!(e.to_string().contains("1024"));
         let e = ScheduleError::Timeout { step: 7, elapsed: Duration::from_millis(3) };
         assert!(e.to_string().contains("step 7"));
+        let e = ScheduleError::MemoryBudgetExceeded { used: 2048, budget: 1024 };
+        assert!(e.to_string().contains("2048"));
+        assert!(e.to_string().contains("1024"));
     }
 
     #[test]

@@ -43,15 +43,23 @@ pub enum FaultPoint {
     SnapshotCorrupt,
     /// Drop a client connection instead of writing the response.
     SocketReset,
+    /// Synthesize a
+    /// [`ScheduleError::MemoryBudgetExceeded`](crate::ScheduleError)
+    /// inside the compile pipeline, as if the search's live memo
+    /// accounting had crossed the configured budget. Lets the chaos
+    /// suite drive the budget-exhaustion path deterministically without
+    /// crafting a graph whose real memo footprint overflows.
+    BudgetExhaust,
 }
 
 /// All injection points, in spec/parse order.
-const POINTS: [FaultPoint; 5] = [
+const POINTS: [FaultPoint; 6] = [
     FaultPoint::CompilePanic,
     FaultPoint::SlowCompile,
     FaultPoint::PersistIoError,
     FaultPoint::SnapshotCorrupt,
     FaultPoint::SocketReset,
+    FaultPoint::BudgetExhaust,
 ];
 
 impl FaultPoint {
@@ -63,6 +71,7 @@ impl FaultPoint {
             FaultPoint::PersistIoError => "persist-io",
             FaultPoint::SnapshotCorrupt => "snapshot-corrupt",
             FaultPoint::SocketReset => "socket-reset",
+            FaultPoint::BudgetExhaust => "budget-exhaust",
         }
     }
 
@@ -73,6 +82,7 @@ impl FaultPoint {
             FaultPoint::PersistIoError => 2,
             FaultPoint::SnapshotCorrupt => 3,
             FaultPoint::SocketReset => 4,
+            FaultPoint::BudgetExhaust => 5,
         }
     }
 }
@@ -129,7 +139,7 @@ impl Arm {
 /// consult from any thread.
 pub struct FaultPlan {
     seed: u64,
-    arms: [Arm; 5],
+    arms: [Arm; 6],
 }
 
 impl fmt::Debug for FaultPlan {
@@ -156,8 +166,10 @@ impl FaultPlan {
     /// an optional `ms` suffix. `seed` drives the probability stream;
     /// count-mode clauses ignore it.
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
-        let mut plan =
-            FaultPlan { seed, arms: [Arm::off(), Arm::off(), Arm::off(), Arm::off(), Arm::off()] };
+        let mut plan = FaultPlan {
+            seed,
+            arms: [Arm::off(), Arm::off(), Arm::off(), Arm::off(), Arm::off(), Arm::off()],
+        };
         for clause in spec.split(',') {
             let clause = clause.trim();
             if clause.is_empty() {
@@ -337,7 +349,17 @@ mod tests {
         let plan = FaultPlan::parse("compile-panic=1", 0).expect("parse");
         assert!(!plan.should_fire(FaultPoint::PersistIoError));
         assert!(!plan.should_fire(FaultPoint::SnapshotCorrupt));
+        assert!(!plan.should_fire(FaultPoint::BudgetExhaust));
         assert_eq!(plan.slow_compile_delay(), None);
+    }
+
+    #[test]
+    fn budget_exhaust_parses_and_fires() {
+        let plan = FaultPlan::parse("budget-exhaust=2", 0).expect("parse");
+        assert!(plan.should_fire(FaultPoint::BudgetExhaust));
+        assert!(plan.should_fire(FaultPoint::BudgetExhaust));
+        assert!(!plan.should_fire(FaultPoint::BudgetExhaust), "count exhausted");
+        assert_eq!(plan.fired(FaultPoint::BudgetExhaust), 2);
     }
 
     #[test]

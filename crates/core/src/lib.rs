@@ -118,6 +118,7 @@ pub mod pipeline;
 pub mod registry;
 pub mod rewrite;
 mod schedule;
+pub mod verify;
 
 pub use backend::{
     BackendOutcome, BoundHandle, CancelToken, CompileContext, CompileEvent, CompileOptions,
@@ -128,3 +129,4 @@ pub use error::ScheduleError;
 pub use fault::{FaultPlan, FaultPoint};
 pub use registry::{BackendRegistry, PortfolioBackend};
 pub use schedule::{Schedule, ScheduleStats};
+pub use verify::{VerifiedCertificate, VerifyFailure};

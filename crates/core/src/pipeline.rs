@@ -262,6 +262,17 @@ impl SerenityBuilder {
         self
     }
 
+    /// Caps the search's own live memory (DP memo arenas, beam frontiers)
+    /// at `bytes`; a search that crosses it fails fast with
+    /// [`ScheduleError::MemoryBudgetExceeded`] — which the
+    /// [fallback ladder](SerenityBuilder::fallback_backends) treats as an
+    /// ordinary rung failure, degrading to a cheaper backend instead of
+    /// letting the memo grow unboundedly.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.options.memory_budget = Some(bytes);
+        self
+    }
+
     /// Chooses the arena allocator (`None` disables offset planning).
     pub fn allocator(mut self, strategy: Option<Strategy>) -> Self {
         self.allocator = strategy;
@@ -412,6 +423,16 @@ impl Serenity {
             }
             if fault.should_fire(FaultPoint::CompilePanic) {
                 panic!("injected fault: compile panic");
+            }
+            if fault.should_fire(FaultPoint::BudgetExhaust) {
+                // Synthesize the error the engines raise when their live
+                // memo accounting crosses the budget, so the chaos suite
+                // can drive the exhaustion path deterministically.
+                let budget = self.config.options.memory_budget.unwrap_or(0);
+                return Err(ScheduleError::MemoryBudgetExceeded {
+                    used: budget.saturating_add(1),
+                    budget,
+                });
             }
         }
         let baseline_peak_bytes = crate::baseline::kahn(graph)?.peak_bytes;
@@ -571,7 +592,7 @@ impl Serenity {
             });
         }
         let compile_time = started.elapsed();
-        Ok(CompiledSchedule {
+        let compiled = CompiledSchedule {
             peak_bytes: chosen.peak_bytes,
             graph: chosen_graph,
             schedule: chosen,
@@ -582,7 +603,15 @@ impl Serenity {
             partition: chosen_partition,
             stats,
             compile_time,
-        })
+        };
+        // Debug builds certify every compile through the independent
+        // checker; release builds leave verification to opt-in callers
+        // (`--verify`, `?verify=1`).
+        #[cfg(debug_assertions)]
+        if let Err(failure) = crate::verify::verify(graph, &compiled) {
+            panic!("pipeline produced an uncertifiable schedule: {failure}");
+        }
+        Ok(compiled)
     }
 
     /// Compiles `graph` with graceful degradation down the configured

@@ -1,0 +1,417 @@
+//! Seeded differential fuzzing of the scheduling stack against the
+//! independent verifier.
+//!
+//! Three oracles are cross-checked on randomly generated DAGs:
+//!
+//! 1. **Backend conformance**: every registered backend returns a valid
+//!    topological order whose peak matches the reference profiler; the
+//!    exact engines (dp, adaptive, brute-force) agree on the optimal peak
+//!    and no heuristic ever beats it.
+//! 2. **Pipeline certification**: full pipeline compiles — across
+//!    cached/uncached and 1-/2-thread axes — all pass
+//!    [`serenity_core::verify::verify`] and replay bit-identically.
+//! 3. **Mutation rejection**: every seeded corruption of a certified
+//!    result (reordered schedule, wrong peak, overlapping / out-of-arena
+//!    offsets, tampered live ranges or arena size, fabricated or dropped
+//!    rewrites) is rejected by the verifier. A single surviving mutant
+//!    fails the run.
+//!
+//! The corpus is reproducible: `SERENITY_FUZZ_SEED` picks the seed
+//! (default 42) and `SERENITY_FUZZ_CASES` bounds the number of generated
+//! graphs (default 12, capped at 256 so CI stays bounded). Failures print
+//! the seed so any case can be replayed locally.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serenity_allocator::Strategy;
+use serenity_core::backend::{CompileContext, SchedulerBackend};
+use serenity_core::cache::CompileCache;
+use serenity_core::dp::DpConfig;
+use serenity_core::pipeline::{CompiledSchedule, RewriteMode, Serenity};
+use serenity_core::registry::BackendRegistry;
+use serenity_core::verify::{verify, VerifyFailure};
+use serenity_ir::random_dag::{random_dag, RandomDagConfig};
+use serenity_ir::{mem, topo, DType, Graph, GraphBuilder, Padding};
+
+/// Backends whose schedules are provably optimal: their peaks must agree.
+const EXACT: &[&str] = &["dp", "adaptive", "brute-force"];
+
+/// Brute force enumerates orders; beyond this node count its factorial
+/// blow-up dominates the whole run, so larger graphs skip it.
+const BRUTE_FORCE_MAX_NODES: usize = 10;
+
+fn seed() -> u64 {
+    std::env::var("SERENITY_FUZZ_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+fn cases() -> usize {
+    std::env::var("SERENITY_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+        .clamp(1, 256)
+}
+
+/// The seeded corpus: connected DAGs spanning narrow chains to wide,
+/// heavily cross-wired cells.
+fn corpus() -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed());
+    (0..cases())
+        .map(|i| {
+            let config = RandomDagConfig {
+                nodes: rng.gen_range(4..=16),
+                edge_prob: rng.gen_range(0.1..0.5),
+                max_extra_inputs: rng.gen_range(1..=4),
+                min_bytes: 1,
+                max_bytes: 4096,
+            };
+            let mut g = random_dag(&config, &mut rng);
+            g.set_name(format!("fuzz_{i}"));
+            g
+        })
+        .collect()
+}
+
+/// A concat→conv cell the channel-wise rule fires on, so the rewrite
+/// replay leg of the verifier is part of the differential surface.
+fn rewritable_cell() -> Graph {
+    let mut b = GraphBuilder::new("fuzz_rewrite_cell");
+    let x = b.image_input("x", 8, 8, 4, DType::F32);
+    let l = b.conv1x1(x, 8).unwrap();
+    let r = b.conv1x1(x, 8).unwrap();
+    let cat = b.concat(&[l, r]).unwrap();
+    let y = b.conv(cat, 16, (3, 3), (1, 1), Padding::Same).unwrap();
+    b.mark_output(y);
+    b.finish()
+}
+
+fn compile_with_arena(graph: &Graph) -> CompiledSchedule {
+    Serenity::builder()
+        .allocator(Some(Strategy::GreedyBySize))
+        .build()
+        .compile(graph)
+        .unwrap_or_else(|e| panic!("seed {}: {} failed to compile: {e}", seed(), graph.name()))
+}
+
+#[test]
+fn backends_agree_and_heuristics_never_beat_exact() {
+    let ctx = CompileContext::unconstrained();
+    let registry = BackendRegistry::standard();
+    for graph in corpus() {
+        let mut exact_peak: Option<(String, u64)> = None;
+        let mut peaks = Vec::new();
+        for name in registry.names() {
+            if name == "brute-force" && graph.len() > BRUTE_FORCE_MAX_NODES {
+                continue;
+            }
+            let backend = registry.create(&name).expect("registered name instantiates");
+            let outcome = backend
+                .schedule(&graph, &ctx)
+                .unwrap_or_else(|e| panic!("seed {}: {name} failed on {graph}: {e}", seed()));
+            assert_eq!(
+                outcome.schedule.order.len(),
+                graph.len(),
+                "seed {}: {name} dropped nodes on {graph}",
+                seed()
+            );
+            assert!(
+                topo::is_order(&graph, &outcome.schedule.order),
+                "seed {}: {name} returned a non-topological order on {graph}",
+                seed()
+            );
+            let reference = mem::peak_bytes(&graph, &outcome.schedule.order)
+                .expect("valid orders profile cleanly");
+            assert_eq!(
+                outcome.schedule.peak_bytes,
+                reference,
+                "seed {}: {name} misreported its peak on {graph}",
+                seed()
+            );
+            if EXACT.contains(&name.as_str()) {
+                match &exact_peak {
+                    None => exact_peak = Some((name.clone(), reference)),
+                    Some((first, peak)) => assert_eq!(
+                        *peak,
+                        reference,
+                        "seed {}: exact engines disagree on {graph}: {first}={peak}, \
+                         {name}={reference}",
+                        seed()
+                    ),
+                }
+            }
+            peaks.push((name, reference));
+        }
+        let (_, optimal) = exact_peak.expect("dp and adaptive always run");
+        for (name, peak) in peaks {
+            assert!(
+                peak >= optimal,
+                "seed {}: {name} reported {peak} B below the proven optimum {optimal} B \
+                 on {graph} — its peak accounting is broken",
+                seed()
+            );
+        }
+    }
+}
+
+#[test]
+fn dp_thread_counts_are_bit_identical() {
+    let ctx = CompileContext::unconstrained();
+    for graph in corpus() {
+        let serial = serenity_core::backend::DpBackend::with_config(DpConfig {
+            threads: 1,
+            ..DpConfig::default()
+        })
+        .schedule(&graph, &ctx)
+        .expect("serial dp schedules");
+        let pooled = serenity_core::backend::DpBackend::with_config(DpConfig {
+            threads: 2,
+            ..DpConfig::default()
+        })
+        .schedule(&graph, &ctx)
+        .expect("pooled dp schedules");
+        assert_eq!(
+            serial.schedule,
+            pooled.schedule,
+            "seed {}: dp thread counts diverged on {graph}",
+            seed()
+        );
+    }
+}
+
+#[test]
+fn pipeline_compiles_certify_across_cache_and_thread_axes() {
+    let mut graphs = corpus();
+    graphs.push(rewritable_cell());
+    let cache = Arc::new(CompileCache::new());
+    for graph in &graphs {
+        let mut reference: Option<CompiledSchedule> = None;
+        for threads in [1usize, 2] {
+            for cached in [false, true] {
+                let backend = Arc::new(serenity_core::backend::DpBackend::with_config(DpConfig {
+                    threads,
+                    ..DpConfig::default()
+                }));
+                let mut builder = Serenity::builder()
+                    .rewrite(RewriteMode::IfBeneficial)
+                    .allocator(Some(Strategy::GreedyBySize))
+                    .backend(backend as Arc<dyn SchedulerBackend>);
+                if cached {
+                    builder = builder.compile_cache(Arc::clone(&cache));
+                }
+                let compiled = builder
+                    .build()
+                    .compile(graph)
+                    .unwrap_or_else(|e| panic!("seed {}: {graph} failed: {e}", seed()));
+                let cert = verify(graph, &compiled).unwrap_or_else(|e| {
+                    panic!(
+                        "seed {}: {graph} (threads={threads}, cached={cached}) \
+                         failed certification: {e}",
+                        seed()
+                    )
+                });
+                assert_eq!(cert.peak_bytes, compiled.peak_bytes);
+                match &reference {
+                    None => reference = Some(compiled),
+                    Some(first) => {
+                        assert_eq!(
+                            first.schedule,
+                            compiled.schedule,
+                            "seed {}: {graph} diverged across axes (threads={threads}, \
+                             cached={cached})",
+                            seed()
+                        );
+                        assert_eq!(first.peak_bytes, compiled.peak_bytes);
+                        assert_eq!(first.arena_bytes(), compiled.arena_bytes());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One seeded corruption of a certified compile. Returns the mutant and a
+/// label for failure messages.
+fn mutate(
+    base: &CompiledSchedule,
+    class: usize,
+    rng: &mut StdRng,
+) -> Option<(CompiledSchedule, &'static str)> {
+    let mut m = base.clone();
+    match class {
+        // Schedule corruption: swap two distinct steps.
+        0 => {
+            let n = m.schedule.order.len();
+            if n < 2 {
+                return None;
+            }
+            let i = rng.gen_range(0..n - 1);
+            let j = rng.gen_range(i + 1..n);
+            m.schedule.order.swap(i, j);
+            Some((m, "swapped schedule steps"))
+        }
+        // Schedule corruption: duplicate a step over another.
+        1 => {
+            let n = m.schedule.order.len();
+            if n < 2 {
+                return None;
+            }
+            let i = rng.gen_range(0..n);
+            let j = (i + 1) % n;
+            m.schedule.order[j] = m.schedule.order[i];
+            Some((m, "duplicated schedule step"))
+        }
+        // Peak corruption: off-by-one under-claim (both copies kept
+        // consistent so only the recomputation can catch it).
+        2 => {
+            m.schedule.peak_bytes = m.schedule.peak_bytes.saturating_sub(1);
+            m.peak_bytes = m.schedule.peak_bytes;
+            Some((m, "under-claimed peak"))
+        }
+        // Peak corruption: the outer copy disagrees with the schedule.
+        3 => {
+            m.peak_bytes += 1;
+            Some((m, "inconsistent peak copies"))
+        }
+        // Plan corruption: collapse two placements onto one offset.
+        4 => {
+            let plan = m.arena.as_mut()?;
+            let sized: Vec<usize> = plan
+                .allocs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.range.size > 0)
+                .map(|(i, _)| i)
+                .collect();
+            if sized.len() < 2 {
+                return None;
+            }
+            let from = sized[rng.gen_range(0..sized.len())];
+            let offset = plan.allocs[from].offset;
+            for &i in &sized {
+                if i != from {
+                    plan.allocs[i].offset = offset;
+                }
+            }
+            Some((m, "collapsed plan offsets"))
+        }
+        // Plan corruption: push a placement past the arena end.
+        5 => {
+            let plan = m.arena.as_mut()?;
+            let alloc = plan.allocs.iter_mut().find(|a| a.range.size > 0)?;
+            alloc.offset = plan.arena_bytes;
+            Some((m, "out-of-arena offset"))
+        }
+        // Plan corruption: shrink the declared arena below the peak.
+        6 => {
+            let plan = m.arena.as_mut()?;
+            if base.peak_bytes == 0 {
+                return None;
+            }
+            plan.arena_bytes = base.peak_bytes - 1;
+            Some((m, "shrunken arena"))
+        }
+        // Plan corruption: stretch a live range past its real last use.
+        7 => {
+            let plan = m.arena.as_mut()?;
+            let alloc = plan.allocs.iter_mut().next()?;
+            alloc.range.last_use_step += 1;
+            Some((m, "stretched live range"))
+        }
+        // Rewrite corruption: fabricate an accepted rewrite.
+        8 => {
+            m.rewrites.push(serenity_core::rewrite::AppliedRewrite {
+                rule: "channel-wise",
+                concat: "fuzz_no_such_concat".into(),
+                consumer: "fuzz_no_such_consumer".into(),
+                branches: 2,
+            });
+            Some((m, "fabricated rewrite"))
+        }
+        // Rewrite corruption: drop the accepted rewrite log.
+        9 => {
+            if m.rewrites.is_empty() {
+                return None;
+            }
+            m.rewrites.clear();
+            Some((m, "dropped rewrite log"))
+        }
+        _ => unreachable!("unknown mutation class"),
+    }
+}
+
+#[test]
+fn every_seeded_mutant_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(seed() ^ 0x6d75_7461_6e74);
+    let mut graphs = corpus();
+    graphs.push(rewritable_cell());
+    let mut tried = 0usize;
+    let mut skipped = 0usize;
+    for graph in &graphs {
+        let base = if graph.name().contains("rewrite") {
+            // Force the rewrite so mutation class 9 has a log to drop.
+            Serenity::builder()
+                .rewrite(RewriteMode::Always)
+                .allocator(Some(Strategy::GreedyBySize))
+                .build()
+                .compile(graph)
+                .expect("rewritable cell compiles")
+        } else {
+            compile_with_arena(graph)
+        };
+        verify(graph, &base).expect("the uncorrupted compile must certify");
+        for class in 0..10 {
+            let Some((mutant, label)) = mutate(&base, class, &mut rng) else {
+                skipped += 1;
+                continue;
+            };
+            tried += 1;
+            match verify(graph, &mutant) {
+                Err(_) => {}
+                Ok(cert) => panic!(
+                    "seed {}: mutant `{label}` of {graph} survived verification \
+                     with certificate {cert:?}",
+                    seed()
+                ),
+            }
+        }
+    }
+    // The corpus must actually exercise the verifier: most classes apply
+    // to most graphs, and at least one graph covers every class.
+    assert!(
+        tried >= graphs.len() * 6,
+        "only {tried} mutants generated across {} graphs ({skipped} skipped) — \
+         the corpus is too degenerate to mean anything",
+        graphs.len()
+    );
+}
+
+#[test]
+fn rejection_reasons_are_the_expected_classes() {
+    // Spot-check that each corruption class maps to the failure family the
+    // verifier documents — not just "some error".
+    let mut rng = StdRng::seed_from_u64(seed());
+    let graph = corpus().remove(0);
+    let base = compile_with_arena(&graph);
+
+    let (reordered, _) = mutate(&base, 0, &mut rng).expect("graphs have >= 2 nodes");
+    assert!(matches!(verify(&graph, &reordered), Err(VerifyFailure::OrderInvalid { .. })));
+
+    let (wrong_peak, _) = mutate(&base, 2, &mut rng).expect("peak mutation always applies");
+    assert!(matches!(verify(&graph, &wrong_peak), Err(VerifyFailure::PeakMismatch { .. })));
+
+    if let Some((overlap, _)) = mutate(&base, 4, &mut rng) {
+        assert!(matches!(verify(&graph, &overlap), Err(VerifyFailure::ArenaInvalid(_))));
+    }
+
+    if let Some((shrunk, _)) = mutate(&base, 6, &mut rng) {
+        assert!(matches!(
+            verify(&graph, &shrunk),
+            Err(VerifyFailure::ArenaInvalid(_) | VerifyFailure::ArenaTooSmall { .. })
+        ));
+    }
+
+    let (fabricated, _) = mutate(&base, 8, &mut rng).expect("rewrite fabrication always applies");
+    assert!(matches!(verify(&graph, &fabricated), Err(VerifyFailure::RewriteReplay { .. })));
+}

@@ -209,16 +209,20 @@ fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, ReadError> {
 /// Every `503` automatically carries a `Retry-After: 1` header: the
 /// service only sheds load transiently (a full accept queue, an
 /// overloaded health probe), so well-behaved clients should back off
-/// briefly and retry rather than treat the error as terminal.
+/// briefly and retry rather than treat the error as terminal. Other
+/// statuses advertise it only when the caller passes `retry_after` (the
+/// service sets it on transient refusals like budget 413s with no
+/// degradation ladder to absorb them).
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     keep_alive: bool,
+    retry_after: bool,
 ) -> io::Result<()> {
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let retry_after = if status == 503 { "retry-after: 1\r\n" } else { "" };
+    let retry_after = if status == 503 || retry_after { "retry-after: 1\r\n" } else { "" };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n{retry_after}\r\n",
         body.len()
@@ -357,7 +361,7 @@ mod tests {
     #[test]
     fn response_writer_emits_parseable_http() {
         let (mut client, mut server) = pair();
-        write_response(&mut server, 200, "{\"ok\":true}", true).unwrap();
+        write_response(&mut server, 200, "{\"ok\":true}", true, false).unwrap();
         drop(server);
         let mut text = String::new();
         client.read_to_string(&mut text).unwrap();
@@ -370,7 +374,7 @@ mod tests {
     #[test]
     fn load_shed_responses_carry_retry_after() {
         let (mut client, mut server) = pair();
-        write_response(&mut server, 503, "{}", false).unwrap();
+        write_response(&mut server, 503, "{}", false, false).unwrap();
         drop(server);
         let mut text = String::new();
         client.read_to_string(&mut text).unwrap();
@@ -378,10 +382,18 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
 
         let (mut client, mut server) = pair();
-        write_response(&mut server, 200, "{}", false).unwrap();
+        write_response(&mut server, 200, "{}", false, false).unwrap();
         drop(server);
         let mut text = String::new();
         client.read_to_string(&mut text).unwrap();
         assert!(!text.contains("retry-after"), "non-503 must not advertise a retry: {text}");
+
+        // An explicit retry_after adds the header on any status.
+        let (mut client, mut server) = pair();
+        write_response(&mut server, 413, "{}", false, true).unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
     }
 }

@@ -68,5 +68,5 @@ pub mod service;
 pub mod singleflight;
 
 pub use server::{Server, ServerConfig, ShutdownHandle};
-pub use service::{CompileService, RobustnessStats, ServiceConfig};
+pub use service::{CompileService, ErrorKind, RobustnessStats, ServiceConfig};
 pub use singleflight::{FlightOutcome, SingleFlight};

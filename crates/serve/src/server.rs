@@ -45,7 +45,7 @@ use serenity_core::fault::panic_message;
 use serenity_core::{CancelToken, FaultPoint};
 
 use crate::http::{read_request, write_response, ReadError};
-use crate::service::CompileService;
+use crate::service::{CompileService, ErrorKind};
 
 /// Socket-level configuration.
 #[derive(Debug, Clone)]
@@ -235,7 +235,8 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
             let _ = write_response(
                 &mut stream,
                 503,
-                "{\"error\":{\"kind\":\"overload\",\"detail\":\"request queue is full\"}}",
+                &error_body(ErrorKind::Overload, "request queue is full"),
+                false,
                 false,
             );
             continue;
@@ -315,11 +316,25 @@ fn serve_connection(stream: &mut TcpStream, inner: &Inner) -> bool {
             // the timeout.
             Err(ReadError::Closed | ReadError::Timeout | ReadError::Io(_)) => return false,
             Err(e @ ReadError::Malformed(_)) => {
-                let _ = write_response(stream, 400, &http_error_body("http", &e), false);
+                let _ = write_response(
+                    stream,
+                    400,
+                    &error_body(ErrorKind::Http, &e.to_string()),
+                    false,
+                    false,
+                );
                 return false;
             }
+            // An oversized body is a property of the request, not the
+            // moment: no Retry-After on this 413.
             Err(e @ ReadError::BodyTooLarge { .. }) => {
-                let _ = write_response(stream, 413, &http_error_body("limit", &e), false);
+                let _ = write_response(
+                    stream,
+                    413,
+                    &error_body(ErrorKind::Limit, &e.to_string()),
+                    false,
+                    false,
+                );
                 return false;
             }
         };
@@ -349,8 +364,11 @@ fn serve_connection(stream: &mut TcpStream, inner: &Inner) -> bool {
                 inner.service.robustness().worker_panics.fetch_add(1, Ordering::Relaxed);
                 let detail = serde_json::to_string(&panic_message(payload.as_ref()))
                     .unwrap_or_else(|_| "\"\"".to_string());
-                let body = format!("{{\"error\":{{\"kind\":\"panic\",\"detail\":{detail}}}}}");
-                let _ = write_response(stream, 500, &body, false);
+                let body = format!(
+                    "{{\"error\":{{\"kind\":\"{}\",\"detail\":{detail}}}}}",
+                    ErrorKind::Panic.as_str()
+                );
+                let _ = write_response(stream, 500, &body, false, false);
                 return true;
             }
         };
@@ -369,7 +387,14 @@ fn serve_connection(stream: &mut TcpStream, inner: &Inner) -> bool {
                 }
             }
         }
-        let wrote = write_response(stream, response.status, &response.body, keep_alive).is_ok();
+        let wrote = write_response(
+            stream,
+            response.status,
+            &response.body,
+            keep_alive,
+            response.retry_after,
+        )
+        .is_ok();
         if response.shutdown {
             inner.begin_shutdown();
             return false;
@@ -382,9 +407,9 @@ fn serve_connection(stream: &mut TcpStream, inner: &Inner) -> bool {
 
 /// JSON error body for transport-level failures (the service never saw
 /// the request, so this mirrors its `{"error":{kind,detail}}` shape).
-fn http_error_body(kind: &str, error: &ReadError) -> String {
-    let detail = serde_json::to_string(&error.to_string()).unwrap_or_else(|_| "\"\"".to_string());
-    format!("{{\"error\":{{\"kind\":\"{kind}\",\"detail\":{detail}}}}}")
+fn error_body(kind: ErrorKind, detail: &str) -> String {
+    let detail = serde_json::to_string(detail).unwrap_or_else(|_| "\"\"".to_string());
+    format!("{{\"error\":{{\"kind\":\"{}\",\"detail\":{detail}}}}}", kind.as_str())
 }
 
 /// Watches `stream` for end-of-file while a compile runs, tripping

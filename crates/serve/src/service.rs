@@ -38,6 +38,100 @@ use crate::histogram::{LatencyHistogram, LatencySummary};
 use crate::http::Request;
 use crate::singleflight::{FlightOutcome, SingleFlight, SingleFlightStats, Work};
 
+/// Every `kind` string a `{"error":{kind,detail}}` body can carry, across
+/// both the service and the socket layer. Adding a response error without
+/// adding its kind here fails the exhaustiveness test, so the set clients
+/// can switch on is always complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The request body (or a query parameter) could not be parsed.
+    Parse,
+    /// An import limit or the transport body-size cap was exceeded.
+    Limit,
+    /// A graph node failed validation on import.
+    Node,
+    /// The imported graph's structure is invalid (cycle, dangling edge…).
+    Structure,
+    /// Method not allowed on a known path.
+    Method,
+    /// Unknown path.
+    Route,
+    /// The compile pipeline failed (any error without a dedicated kind).
+    Compile,
+    /// The compile deadline elapsed.
+    Deadline,
+    /// Cache persistence was unavailable or failed.
+    Persist,
+    /// `POST /shutdown` is not enabled on this service.
+    Shutdown,
+    /// A contained panic while handling the request.
+    Panic,
+    /// Load shed at the door: the accept queue is full.
+    Overload,
+    /// The bytes on the wire were not an acceptable HTTP request.
+    Http,
+    /// The search-memory budget was exhausted and no rung could answer.
+    Budget,
+    /// The compiled schedule failed independent verification.
+    Verification,
+}
+
+impl ErrorKind {
+    /// Every kind, for exhaustiveness checks.
+    pub const ALL: [ErrorKind; 15] = [
+        ErrorKind::Parse,
+        ErrorKind::Limit,
+        ErrorKind::Node,
+        ErrorKind::Structure,
+        ErrorKind::Method,
+        ErrorKind::Route,
+        ErrorKind::Compile,
+        ErrorKind::Deadline,
+        ErrorKind::Persist,
+        ErrorKind::Shutdown,
+        ErrorKind::Panic,
+        ErrorKind::Overload,
+        ErrorKind::Http,
+        ErrorKind::Budget,
+        ErrorKind::Verification,
+    ];
+
+    /// The wire string clients see under `error.kind`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Limit => "limit",
+            ErrorKind::Node => "node",
+            ErrorKind::Structure => "structure",
+            ErrorKind::Method => "method",
+            ErrorKind::Route => "route",
+            ErrorKind::Compile => "compile",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Persist => "persist",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Overload => "overload",
+            ErrorKind::Http => "http",
+            ErrorKind::Budget => "budget",
+            ErrorKind::Verification => "verification",
+        }
+    }
+
+    /// The kind whose wire string is `s`, if any (the inverse of
+    /// [`ErrorKind::as_str`]; used to fold externally produced kind
+    /// strings, like the IR importer's, into the taxonomy).
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        ErrorKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Service-level configuration (everything except the socket).
 #[derive(Clone, Default)]
 pub struct ServiceConfig {
@@ -63,6 +157,11 @@ pub struct ServiceConfig {
     /// panics. Empty (the default) keeps the exact single-backend
     /// behavior — including propagating panics to the worker layer.
     pub fallback: Vec<Arc<dyn SchedulerBackend>>,
+    /// Server-wide search-memory budget in bytes, applied to every
+    /// compile and acting as a hard cap on per-request `?search_budget=`
+    /// values (a request can tighten the budget, never raise it past
+    /// this). `None` leaves compiles unbudgeted unless a request asks.
+    pub search_budget: Option<u64>,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -77,6 +176,7 @@ impl std::fmt::Debug for ServiceConfig {
                 "fallback",
                 &self.fallback.iter().map(|b| b.name().to_string()).collect::<Vec<_>>(),
             )
+            .field("search_budget", &self.search_budget)
             .finish()
     }
 }
@@ -103,6 +203,12 @@ pub struct RobustnessStats {
     pub degraded: AtomicU64,
     /// Connections dropped by the injected socket-reset fault.
     pub socket_resets: AtomicU64,
+    /// Compile rungs (primary or fallback) that tripped the search-memory
+    /// budget — counted even when a later rung served a degraded answer.
+    pub budget_exhausted: AtomicU64,
+    /// Compiles whose schedule failed independent verification (each one
+    /// answered with a structured `500`; the schedule was never served).
+    pub verification_failures: AtomicU64,
     /// Connections currently queued for a worker (gauge).
     pub queue_depth: AtomicU64,
     /// The accept queue's capacity (set once by the socket layer; 0 until
@@ -144,14 +250,17 @@ pub struct Response {
     /// Whether the server should begin shutting down after writing this
     /// response (only ever set by an authorised `POST /shutdown`).
     pub shutdown: bool,
+    /// Whether the response should advertise `Retry-After` (the socket
+    /// layer also adds it to every `503` on its own).
+    pub retry_after: bool,
 }
 
 impl Response {
     fn json(status: u16, body: String) -> Self {
-        Response { status, body, shutdown: false }
+        Response { status, body, shutdown: false, retry_after: false }
     }
 
-    fn error(status: u16, kind: &str, detail: &str) -> Self {
+    fn error(status: u16, kind: ErrorKind, detail: &str) -> Self {
         #[derive(Serialize)]
         struct Detail {
             kind: String,
@@ -162,7 +271,7 @@ impl Response {
             error: Detail,
         }
         let body = serde_json::to_string(&Body {
-            error: Detail { kind: kind.to_string(), detail: detail.to_string() },
+            error: Detail { kind: kind.as_str().to_string(), detail: detail.to_string() },
         })
         .expect("error body serializes");
         Response::json(status, body)
@@ -211,12 +320,19 @@ struct CompiledPayload {
     /// path keeps healthy responses byte-identical to a service with no
     /// ladder configured.
     degradation_json: Option<String>,
+    /// Pre-serialized [`serenity_core::VerifiedCertificate`] from the
+    /// leader's independent verification pass. Spliced into `meta` only
+    /// for requests that asked (`?verify=1`), so healthy responses stay
+    /// byte-identical either way.
+    verification_json: String,
 }
 
 /// A deterministic compile failure, shared across coalesced waiters (all
 /// of them would hit the same error if they re-ran the search).
 #[derive(Debug, Clone)]
 struct SharedFailure {
+    status: u16,
+    kind: ErrorKind,
     detail: String,
 }
 
@@ -325,9 +441,9 @@ impl CompileService {
             ("POST", "/persist") => Some(self.handle_persist()),
             ("POST", "/shutdown") => Some(self.handle_shutdown()),
             (_, "/compile" | "/status" | "/healthz" | "/health" | "/persist" | "/shutdown") => {
-                Some(Response::error(405, "method", "method not allowed for this path"))
+                Some(Response::error(405, ErrorKind::Method, "method not allowed for this path"))
             }
-            _ => Some(Response::error(404, "route", "unknown path")),
+            _ => Some(Response::error(404, ErrorKind::Route, "unknown path")),
         }
     }
 
@@ -336,12 +452,19 @@ impl CompileService {
         let text = match std::str::from_utf8(&request.body) {
             Ok(text) => text,
             Err(_) => {
-                return Some(Response::error(400, "parse", "request body is not valid UTF-8"))
+                return Some(Response::error(
+                    400,
+                    ErrorKind::Parse,
+                    "request body is not valid UTF-8",
+                ))
             }
         };
         let graph = match from_json_checked(text, &self.config.limits) {
             Ok(graph) => graph,
-            Err(e) => return Some(Response::error(400, e.kind(), &e.to_string())),
+            Err(e) => {
+                let kind = ErrorKind::parse(e.kind()).unwrap_or(ErrorKind::Parse);
+                return Some(Response::error(400, kind, &e.to_string()));
+            }
         };
         let deadline = match request.query_param("deadline_ms") {
             None => self.config.default_deadline,
@@ -350,19 +473,44 @@ impl CompileService {
                 Err(_) => {
                     return Some(Response::error(
                         400,
-                        "parse",
+                        ErrorKind::Parse,
                         &format!("bad deadline_ms value: {raw}"),
                     ))
                 }
             },
         };
         let give_up_at = deadline.map(|d| arrived + d);
+        let want_verify = request.query_param("verify").is_some_and(|v| v == "1" || v == "true");
+        // Effective search budget: the server-wide cap, tightened (never
+        // raised) by the request's `?search_budget=`.
+        let requested_budget = match request.query_param("search_budget") {
+            None => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(bytes) => Some(bytes),
+                Err(_) => {
+                    return Some(Response::error(
+                        400,
+                        ErrorKind::Parse,
+                        &format!("bad search_budget value: {raw}"),
+                    ))
+                }
+            },
+        };
+        let budget = match (requested_budget, self.config.search_budget) {
+            (Some(asked), Some(cap)) => Some(asked.min(cap)),
+            (asked, cap) => asked.or(cap),
+        };
 
         // Flight identity = cache identity: backend configuration ×
         // structural fingerprint. Deadlines are deliberately *not* part of
         // the key — coalescing ignores them, and each request enforces its
-        // own bound while waiting.
-        let key = flight_key(self.backend_key, serenity_ir::fingerprint::fingerprint(&graph));
+        // own bound while waiting. The search budget IS mixed in: a budget
+        // changes whether the search is allowed to finish, so requests
+        // under different budgets must not share a failure.
+        let key = flight_key(
+            self.backend_key ^ budget.map_or(0, |b| b.wrapping_add(1).rotate_left(17)),
+            serenity_ir::fingerprint::fingerprint(&graph),
+        );
 
         let mut own_error: Option<ScheduleError> = None;
         let outcome = self.flights.run(
@@ -376,10 +524,46 @@ impl CompileService {
                 {
                     pipeline = pipeline.deadline(remaining);
                 }
+                if let Some(bytes) = budget {
+                    pipeline = pipeline.memory_budget(bytes);
+                }
                 match pipeline.build().compile_resilient(&graph) {
                     Ok(resilient) => {
                         let ResilientCompile { compiled, degraded, fallback_backend, attempts } =
                             resilient;
+                        // Budget trips absorbed by the ladder still count:
+                        // the rung's error string is the stable marker
+                        // (mirrors ScheduleError::MemoryBudgetExceeded's
+                        // Display).
+                        let budget_trips = attempts
+                            .iter()
+                            .filter(|a| a.error.contains("exceeded the budget"))
+                            .count() as u64;
+                        if budget_trips > 0 {
+                            self.robustness
+                                .budget_exhausted
+                                .fetch_add(budget_trips, Ordering::Relaxed);
+                        }
+                        // Independent certification of every answer before
+                        // it is shared or served: a schedule the verifier
+                        // rejects becomes a structured 500, never a wrong
+                        // answer.
+                        let verification_json =
+                            match serenity_core::verify::verify(&graph, &compiled) {
+                                Ok(cert) => {
+                                    serde_json::to_string(&cert).expect("certificate serializes")
+                                }
+                                Err(failure) => {
+                                    self.robustness
+                                        .verification_failures
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    return Work::Done(Err(SharedFailure {
+                                        status: 500,
+                                        kind: ErrorKind::Verification,
+                                        detail: failure.to_string(),
+                                    }));
+                                }
+                            };
                         let s = &self.scheduler;
                         s.compiles.fetch_add(1, Ordering::Relaxed);
                         s.bound_pruned.fetch_add(compiled.stats.bound_pruned, Ordering::Relaxed);
@@ -399,6 +583,7 @@ impl CompileService {
                             compile_micros: u64::try_from(compile_started.elapsed().as_micros())
                                 .unwrap_or(u64::MAX),
                             degradation_json,
+                            verification_json,
                         })))
                     }
                     // This request's own lifecycle ended: vacate the
@@ -413,12 +598,29 @@ impl CompileService {
                     // A contained panic is transient (it may be an
                     // injected fault or a data race, not a property of the
                     // graph): fail this caller but let one waiter retry.
-                    Err(e @ ScheduleError::Panicked { .. }) => {
-                        Work::Fail(Err(SharedFailure { detail: e.to_string() }))
+                    Err(e @ ScheduleError::Panicked { .. }) => Work::Fail(Err(SharedFailure {
+                        status: 500,
+                        kind: ErrorKind::Compile,
+                        detail: e.to_string(),
+                    })),
+                    // The budget killed every rung: a 413-style structured
+                    // refusal (the request was too big for the allowance),
+                    // deterministic for this (backend, graph, budget) key.
+                    Err(e @ ScheduleError::MemoryBudgetExceeded { .. }) => {
+                        self.robustness.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+                        Work::Done(Err(SharedFailure {
+                            status: 413,
+                            kind: ErrorKind::Budget,
+                            detail: e.to_string(),
+                        }))
                     }
                     // Any other failure is deterministic for this (backend,
                     // graph) pair: share it, don't re-run the search N times.
-                    Err(e) => Work::Done(Err(SharedFailure { detail: e.to_string() })),
+                    Err(e) => Work::Done(Err(SharedFailure {
+                        status: 500,
+                        kind: ErrorKind::Compile,
+                        detail: e.to_string(),
+                    })),
                 }
             },
         );
@@ -426,8 +628,21 @@ impl CompileService {
         let coalesced = matches!(outcome, FlightOutcome::Shared(_));
         let response = match outcome {
             FlightOutcome::Led(flight) | FlightOutcome::Shared(flight) => match flight {
-                Ok(payload) => Some(self.compile_response(&payload, coalesced, arrived.elapsed())),
-                Err(failure) => Some(Response::error(500, "compile", &failure.detail)),
+                Ok(payload) => {
+                    Some(self.compile_response(&payload, coalesced, arrived.elapsed(), want_verify))
+                }
+                Err(failure) => {
+                    let mut response =
+                        Response::error(failure.status, failure.kind, &failure.detail);
+                    // With no degradation ladder configured a budget
+                    // refusal is transient from the client's view (retry
+                    // later, or with a bigger allowance); with a ladder, a
+                    // budget 413 means even the cheapest rung failed —
+                    // retrying the same request is pointless.
+                    response.retry_after =
+                        failure.kind == ErrorKind::Budget && self.config.fallback.is_empty();
+                    Some(response)
+                }
             },
             FlightOutcome::Cancelled => {
                 if cancel.is_cancelled()
@@ -436,7 +651,7 @@ impl CompileService {
                     // Client disconnect: nobody is listening.
                     None
                 } else {
-                    Some(Response::error(504, "deadline", "compile deadline exceeded"))
+                    Some(Response::error(504, ErrorKind::Deadline, "compile deadline exceeded"))
                 }
             }
         };
@@ -451,6 +666,7 @@ impl CompileService {
         payload: &CompiledPayload,
         coalesced: bool,
         request_elapsed: Duration,
+        want_verify: bool,
     ) -> Response {
         #[derive(Serialize)]
         struct Meta {
@@ -477,6 +693,15 @@ impl CompileService {
             meta.push_str(degradation);
             meta.push('}');
         }
+        // The certificate is spliced in ONLY when this request asked for
+        // it — the leader always verified; requests that didn't ask keep
+        // the exact pre-verification body.
+        if want_verify {
+            meta.truncate(meta.len() - 1);
+            meta.push_str(",\"verification\":");
+            meta.push_str(&payload.verification_json);
+            meta.push('}');
+        }
         // `result` is spliced in as pre-serialized text so coalesced and
         // leading responses are byte-identical in that field.
         let body = format!("{{\"result\":{},\"meta\":{}}}", payload.result_json, meta);
@@ -496,6 +721,8 @@ impl CompileService {
             workers_respawned: u64,
             degraded_responses: u64,
             socket_resets: u64,
+            budget_exhausted: u64,
+            verification_failures: u64,
             failure_handoffs: u64,
             queue_depth: u64,
             queue_capacity: u64,
@@ -546,6 +773,8 @@ impl CompileService {
                 workers_respawned: r.workers_respawned.load(Ordering::Relaxed),
                 degraded_responses: r.degraded.load(Ordering::Relaxed),
                 socket_resets: r.socket_resets.load(Ordering::Relaxed),
+                budget_exhausted: r.budget_exhausted.load(Ordering::Relaxed),
+                verification_failures: r.verification_failures.load(Ordering::Relaxed),
                 failure_handoffs: flights.failure_handoffs,
                 queue_depth: r.queue_depth.load(Ordering::Relaxed),
                 queue_capacity: r.queue_capacity.load(Ordering::Relaxed),
@@ -579,20 +808,30 @@ impl CompileService {
 
     fn handle_persist(&self) -> Response {
         let Some(dir) = self.config.persist_dir.as_deref() else {
-            return Response::error(400, "persist", "no persistence directory is configured");
+            return Response::error(
+                400,
+                ErrorKind::Persist,
+                "no persistence directory is configured",
+            );
         };
         match self.cache.save_to_dir(dir) {
             Ok(report) => Response::json(
                 200,
                 serde_json::to_string(&report).expect("persist report serializes"),
             ),
-            Err(e) => Response::error(500, "persist", &format!("saving cache failed: {e}")),
+            Err(e) => {
+                Response::error(500, ErrorKind::Persist, &format!("saving cache failed: {e}"))
+            }
         }
     }
 
     fn handle_shutdown(&self) -> Response {
         if !self.config.allow_shutdown {
-            return Response::error(400, "shutdown", "shutdown is not enabled on this service");
+            return Response::error(
+                400,
+                ErrorKind::Shutdown,
+                "shutdown is not enabled on this service",
+            );
         }
         // Best-effort final save so a clean shutdown never loses the warm
         // cache (the benchmark's restart phase depends on it).
@@ -914,6 +1153,122 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&status.body).unwrap();
         assert_eq!(parsed["robustness"]["degraded_responses"].as_u64(), Some(1));
         assert_eq!(parsed["robustness"]["faults_injected"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn error_kinds_are_exhaustive_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in ErrorKind::ALL {
+            assert!(seen.insert(kind.as_str()), "duplicate kind string: {kind}");
+            assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(seen.len(), ErrorKind::ALL.len());
+        assert_eq!(ErrorKind::parse("no-such-kind"), None);
+        // Every kind string the IR importer can produce folds into the
+        // taxonomy (so `handle_compile` never falls back to Parse for a
+        // kind we actually know).
+        for import_kind in ["parse", "limit", "node", "structure"] {
+            assert!(
+                ErrorKind::parse(import_kind).is_some(),
+                "importer kind {import_kind:?} missing from ErrorKind"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_param_attaches_a_certificate() {
+        let svc = service();
+        let graph = demo_graph(4);
+        let response =
+            svc.handle(&post_compile(&to_json(&graph), "verify=1"), &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        let cert = &parsed["meta"]["verification"];
+        assert_eq!(cert["nodes"].as_u64(), Some(graph.len() as u64), "{}", response.body);
+        assert_eq!(
+            cert["peak_bytes"].as_u64(),
+            parsed["result"]["peak_bytes"].as_u64(),
+            "certificate peak must match the served peak: {}",
+            response.body
+        );
+
+        // Without the flag the response carries no verification field —
+        // and is byte-identical in `result` to the verified one.
+        let response =
+            svc.handle(&post_compile(&to_json(&graph), ""), &CancelToken::new()).unwrap();
+        let unverified: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        assert!(unverified["meta"].get("verification").is_none(), "{}", response.body);
+        assert_eq!(unverified["result"], parsed["result"]);
+    }
+
+    #[test]
+    fn search_budget_param_is_a_structured_budget_413_without_a_ladder() {
+        let svc = service();
+        let graph = demo_graph(4);
+        let response = svc
+            .handle(&post_compile(&to_json(&graph), "search_budget=1"), &CancelToken::new())
+            .unwrap();
+        assert_eq!(response.status, 413, "{}", response.body);
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        assert_eq!(parsed["error"]["kind"].as_str(), Some("budget"), "{}", response.body);
+        assert!(response.retry_after, "budget refusal with no ladder should advertise a retry");
+        assert_eq!(svc.robustness().budget_exhausted.load(Ordering::Relaxed), 1);
+
+        // A nonsense budget value is a parse error, not a refusal.
+        let response = svc
+            .handle(&post_compile(&to_json(&graph), "search_budget=lots"), &CancelToken::new())
+            .unwrap();
+        assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn server_wide_budget_caps_the_request_budget() {
+        let svc = CompileService::new(
+            Arc::new(AdaptiveBackend::default()),
+            Arc::new(CompileCache::new()),
+            ServiceConfig { search_budget: Some(1), ..ServiceConfig::default() },
+        );
+        let graph = demo_graph(4);
+        // The request asks for a huge budget, but the server caps it at 1
+        // byte: the compile must still be refused.
+        let response = svc
+            .handle(&post_compile(&to_json(&graph), "search_budget=999999999"), &CancelToken::new())
+            .unwrap();
+        assert_eq!(response.status, 413, "{}", response.body);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_onto_the_ladder_with_a_passing_certificate() {
+        use serenity_core::BackendRegistry;
+        let svc = CompileService::new(
+            Arc::new(AdaptiveBackend::default()),
+            Arc::new(CompileCache::new()),
+            ServiceConfig {
+                search_budget: Some(1),
+                fallback: vec![BackendRegistry::standard().create("kahn").unwrap()],
+                ..ServiceConfig::default()
+            },
+        );
+        let graph = demo_graph(4);
+        let response =
+            svc.handle(&post_compile(&to_json(&graph), "verify=1"), &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        assert_eq!(parsed["meta"]["degraded"].as_bool(), Some(true), "{}", response.body);
+        assert!(
+            parsed["meta"]["degradation"]["attempts"][0]["error"]
+                .as_str()
+                .unwrap_or("")
+                .contains("exceeded the budget"),
+            "first rung should record the budget trip: {}",
+            response.body
+        );
+        assert!(
+            parsed["meta"]["verification"]["peak_bytes"].as_u64().is_some(),
+            "degraded answer must still carry a passing certificate: {}",
+            response.body
+        );
+        assert!(svc.robustness().budget_exhausted.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

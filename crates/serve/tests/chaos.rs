@@ -359,6 +359,79 @@ fn fault_free_and_delay_only_runs_are_bit_identical() {
 }
 
 #[test]
+fn injected_budget_exhaustion_degrades_to_a_verified_answer() {
+    let plan = FaultPlan::parse("budget-exhaust=1", seed()).unwrap();
+    let kahn = BackendRegistry::standard().create("kahn").unwrap();
+    let (server, _service) = spawn(
+        ServiceConfig {
+            fault: Some(Arc::new(plan)),
+            fallback: vec![kahn],
+            ..ServiceConfig::default()
+        },
+        2,
+    );
+    let addr = server.addr().to_string();
+
+    // The injected budget trip kills the primary rung; the ladder's kahn
+    // rung answers, and the answer still certifies independently.
+    let (status, body) = roundtrip(&addr, &post("/compile?verify=1", &to_json(&cell(6))));
+    assert_eq!(status, 200, "ladder did not absorb the budget trip: {body}");
+    let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(parsed["meta"]["degraded"].as_bool(), Some(true), "{body}");
+    assert!(
+        parsed["meta"]["degradation"]["attempts"][0]["error"]
+            .as_str()
+            .unwrap_or("")
+            .contains("exceeded the budget"),
+        "first attempt should record the budget exhaustion: {body}"
+    );
+    let cert = &parsed["meta"]["verification"];
+    assert_eq!(
+        cert["peak_bytes"].as_u64(),
+        parsed["result"]["peak_bytes"].as_u64(),
+        "degraded answer must carry a passing certificate: {body}"
+    );
+
+    let status = status_json(&addr);
+    assert!(status["robustness"]["budget_exhausted"].as_u64().unwrap() >= 1, "{status:?}");
+    assert_eq!(status["robustness"]["degraded_responses"].as_u64(), Some(1));
+    assert_eq!(status["robustness"]["verification_failures"].as_u64(), Some(0));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn a_real_budget_smaller_than_the_search_needs_degrades_but_stays_alive() {
+    // No injection here: a genuinely starved search budget (1 byte) trips
+    // live accounting inside the DP/beam engines. The ladder's kahn rung
+    // needs no search memory, so the service still answers — degraded,
+    // verified, process alive.
+    let kahn = BackendRegistry::standard().create("kahn").unwrap();
+    let (server, _service) = spawn(
+        ServiceConfig { search_budget: Some(1), fallback: vec![kahn], ..ServiceConfig::default() },
+        2,
+    );
+    let addr = server.addr().to_string();
+
+    let (status, body) = roundtrip(&addr, &post("/compile?verify=1", &to_json(&cell(8))));
+    assert_eq!(status, 200, "{body}");
+    let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(parsed["meta"]["degraded"].as_bool(), Some(true), "{body}");
+    assert!(parsed["meta"]["verification"]["peak_bytes"].as_u64().is_some(), "{body}");
+
+    // The process is alive and keeps serving.
+    let (status, body) = roundtrip(&addr, &post("/compile?verify=1", &to_json(&cell(12))));
+    assert_eq!(status, 200, "{body}");
+
+    let status = status_json(&addr);
+    assert!(status["robustness"]["budget_exhausted"].as_u64().unwrap() >= 2, "{status:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn health_endpoint_answers_over_the_socket() {
     let (server, _service) = spawn(ServiceConfig::default(), 1);
     let addr = server.addr().to_string();
