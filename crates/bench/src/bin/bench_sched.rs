@@ -16,6 +16,13 @@
 //!   SwiftNet / concat-RandWire variants compiled twice each in one
 //!   process through one shared cache (cold vs. warm wall time,
 //!   cross-request cache hits, and a bit-identical cold ≡ warm check).
+//! * `capacity_results` — the capacity-constrained compile mode (the
+//!   paper's Figure 11 regime): the concat-RandWire and SwiftNet
+//!   workloads swept across capacities derived from their rewrite-on /
+//!   rewrite-off peaks, comparing Belady off-chip traffic of the Kahn
+//!   baseline, the rewrite-off and default (peak-only) compiles, and the
+//!   `MinTraffic`-objective compile — each traffic-objective result
+//!   re-certified by the independent verifier.
 //! * `portfolio_race` — the raced portfolio and the shared incumbent
 //!   bound: the standard portfolio run serially and with 2 racing threads
 //!   (wall time each, bit-identical winner/schedule check) plus a
@@ -46,12 +53,14 @@ use serenity_core::backend::{
     GreedyBackend, SchedulerBackend,
 };
 use serenity_core::cache::CompileCache;
+use serenity_core::capacity::{assess, CapacityTarget};
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{RewriteMode, Serenity};
 use serenity_core::registry::{BackendRegistry, PortfolioBackend};
 use serenity_core::rewrite::RewriteSearchSummary;
+use serenity_core::verify::verify;
 use serenity_core::ScheduleError;
-use serenity_ir::Graph;
+use serenity_ir::{mem, topo, Graph};
 use serenity_nets::randwire::{randwire_cell, Aggregation, RandWireConfig};
 use serenity_nets::suite;
 use serenity_nets::swiftnet::{swiftnet_with, SwiftNetConfig};
@@ -419,6 +428,165 @@ fn measure_cache(workloads: &[Workload]) -> Vec<CacheRow> {
     rows
 }
 
+/// Workloads of the capacity section: the paper-workload pair named by the
+/// Figure 11 regime — a concat-aggregation RandWire cell and SwiftNet —
+/// both of which the rewrite loop improves, so a capacity strictly between
+/// the rewrite-on and rewrite-off peaks exists.
+fn capacity_workloads(smoke: bool) -> Vec<Workload> {
+    if smoke {
+        return vec![
+            Workload {
+                id: "swiftnet-w1".into(),
+                graph: swiftnet_with(&SwiftNetConfig { hw: 16, in_channels: 3, width: 1 }),
+            },
+            Workload { id: "randwire-concat-n8".into(), graph: randwire_concat(8, 5, 8, 8) },
+        ];
+    }
+    vec![
+        Workload { id: "randwire-concat-n16".into(), graph: randwire_concat(16, 9, 16, 12) },
+        Workload { id: "swiftnet-full".into(), graph: serenity_nets::swiftnet::swiftnet() },
+    ]
+}
+
+struct CapacityRow {
+    workload: String,
+    nodes: usize,
+    /// Which point of the sweep this capacity probes (`spill`,
+    /// `at-peak-on`, `between-peaks`, `at-peak-off`).
+    regime: &'static str,
+    capacity_bytes: u64,
+    ok: bool,
+    error: Option<String>,
+    /// Peak and Belady traffic of the unoptimized Kahn order (`None`
+    /// traffic = infeasible: a single working set exceeds the capacity).
+    peak_kahn: u64,
+    traffic_kahn: Option<u64>,
+    /// Peak-only compile with the rewrite loop off.
+    peak_off: u64,
+    traffic_off: Option<u64>,
+    /// Default peak-only compile (rewrite loop on).
+    peak_default: u64,
+    traffic_default: Option<u64>,
+    /// The `MinTraffic`-objective compile and its certified report.
+    peak_traffic_objective: u64,
+    fits: bool,
+    feasible: bool,
+    spill_bytes: u64,
+    traffic_objective: Option<u64>,
+    /// Whether the independent verifier re-derived the exact same
+    /// `CapacityReport` (check 5) and certified the compile end to end.
+    verified: Option<bool>,
+}
+
+impl CapacityRow {
+    fn failed(workload: &Workload, error: String) -> Self {
+        CapacityRow {
+            workload: workload.id.clone(),
+            nodes: workload.graph.len(),
+            regime: "none",
+            capacity_bytes: 0,
+            ok: false,
+            error: Some(error),
+            peak_kahn: 0,
+            traffic_kahn: None,
+            peak_off: 0,
+            traffic_off: None,
+            peak_default: 0,
+            traffic_default: None,
+            peak_traffic_objective: 0,
+            fits: false,
+            feasible: false,
+            spill_bytes: 0,
+            traffic_objective: None,
+            verified: None,
+        }
+    }
+}
+
+/// Belady traffic of `order` at `capacity` — `None` when the schedule is
+/// infeasible there (some single working set exceeds the capacity).
+fn traffic_at(graph: &Graph, order: &[serenity_ir::NodeId], capacity: u64) -> Option<u64> {
+    assess(graph, order, CapacityTarget::fit(capacity))
+        .expect("compiled orders assess cleanly")
+        .traffic
+        .map(|t| t.total_traffic())
+}
+
+/// Sweeps one workload across capacities derived from its rewrite-on /
+/// rewrite-off peaks and measures, at each point, the off-chip traffic of
+/// every compile mode. The `between-peaks` row is the acceptance evidence:
+/// there the `MinTraffic` objective fits on-chip (zero traffic) while the
+/// peak-only rewrite-off schedule must spill.
+fn measure_capacity(workload: &Workload) -> Vec<CapacityRow> {
+    let kahn_order = topo::kahn(&workload.graph);
+    let peak_kahn = mem::peak_bytes(&workload.graph, &kahn_order).expect("Kahn orders profile");
+    let off = match Serenity::builder()
+        .rewrite(RewriteMode::Off)
+        .allocator(None)
+        .build()
+        .compile(&workload.graph)
+    {
+        Ok(compiled) => compiled,
+        Err(e) => return vec![CapacityRow::failed(workload, format!("rewrite-off: {e}"))],
+    };
+    let default = match Serenity::builder().allocator(None).build().compile(&workload.graph) {
+        Ok(compiled) => compiled,
+        Err(e) => return vec![CapacityRow::failed(workload, format!("default: {e}"))],
+    };
+    let (peak_on, peak_off) = (default.peak_bytes, off.peak_bytes);
+    let mut sweep: Vec<(&'static str, u64)> =
+        vec![("spill", peak_on * 3 / 4 + 1), ("at-peak-on", peak_on)];
+    if peak_off > peak_on {
+        sweep.push(("between-peaks", peak_on + (peak_off - peak_on) / 2));
+        sweep.push(("at-peak-off", peak_off));
+    }
+    let mut rows = Vec::with_capacity(sweep.len());
+    for (regime, capacity) in sweep {
+        let compiled = match Serenity::builder()
+            .allocator(None)
+            .capacity_target(CapacityTarget::min_traffic(capacity))
+            .build()
+            .compile(&workload.graph)
+        {
+            Ok(compiled) => compiled,
+            Err(e) => {
+                rows.push(CapacityRow {
+                    regime,
+                    capacity_bytes: capacity,
+                    error: Some(format!("traffic objective: {e}")),
+                    ..CapacityRow::failed(workload, String::new())
+                });
+                continue;
+            }
+        };
+        let report = compiled.capacity.expect("capacity compiles carry a report");
+        let verified = verify(&workload.graph, &compiled)
+            .map(|cert| cert.capacity == compiled.capacity)
+            .unwrap_or(false);
+        rows.push(CapacityRow {
+            workload: workload.id.clone(),
+            nodes: workload.graph.len(),
+            regime,
+            capacity_bytes: capacity,
+            ok: true,
+            error: None,
+            peak_kahn,
+            traffic_kahn: traffic_at(&workload.graph, &kahn_order, capacity),
+            peak_off,
+            traffic_off: traffic_at(&off.graph, &off.schedule.order, capacity),
+            peak_default: peak_on,
+            traffic_default: traffic_at(&default.graph, &default.schedule.order, capacity),
+            peak_traffic_objective: compiled.peak_bytes,
+            fits: report.fits,
+            feasible: report.feasible,
+            spill_bytes: report.spill_bytes,
+            traffic_objective: report.traffic.map(|t| t.total_traffic()),
+            verified: Some(verified),
+        });
+    }
+    rows
+}
+
 /// Workloads of the portfolio-race section. The full run uses the same
 /// N≈32 RandWire cell as the acceptance workload; smoke keeps CI fast with
 /// a 12-node cell that still forces DP bound-pruning against the greedy
@@ -703,6 +871,35 @@ fn main() {
     }
 
     println!();
+    let mut capacity_rows = Vec::new();
+    for workload in capacity_workloads(smoke) {
+        for row in measure_capacity(&workload) {
+            let fmt = |t: Option<u64>| t.map_or("infeasible".into(), |b| format!("{b} B"));
+            if row.ok {
+                println!(
+                    "{:<18} capacity   {:>9} B [{:<13}] kahn {:>11} off {:>11} default {:>11} traffic-obj {:>11}  fits {}  verified {}",
+                    row.workload,
+                    row.capacity_bytes,
+                    row.regime,
+                    fmt(row.traffic_kahn),
+                    fmt(row.traffic_off),
+                    fmt(row.traffic_default),
+                    fmt(row.traffic_objective),
+                    row.fits,
+                    row.verified.map_or("-".into(), |b| b.to_string()),
+                );
+            } else {
+                println!(
+                    "{:<18} capacity   FAILED: {}",
+                    row.workload,
+                    row.error.as_deref().unwrap_or("unknown"),
+                );
+            }
+            capacity_rows.push(row);
+        }
+    }
+
+    println!();
     let mut race_rows = Vec::new();
     for workload in race_workloads(smoke) {
         let row = measure_race(&workload, iters, 2);
@@ -798,6 +995,31 @@ fn main() {
             })
         })
         .collect();
+    let capacity_results: Vec<serde_json::Value> = capacity_rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "workload": r.workload,
+                "nodes": r.nodes,
+                "regime": r.regime,
+                "capacity_bytes": r.capacity_bytes,
+                "ok": r.ok,
+                "error": r.error,
+                "peak_kahn": r.peak_kahn,
+                "traffic_kahn": r.traffic_kahn,
+                "peak_off": r.peak_off,
+                "traffic_off": r.traffic_off,
+                "peak_default": r.peak_default,
+                "traffic_default": r.traffic_default,
+                "peak_traffic_objective": r.peak_traffic_objective,
+                "fits": r.fits,
+                "feasible": r.feasible,
+                "spill_bytes": r.spill_bytes,
+                "traffic_objective": r.traffic_objective,
+                "verified": r.verified,
+            })
+        })
+        .collect();
     let race_results: Vec<serde_json::Value> = race_rows
         .iter()
         .map(|r| {
@@ -833,12 +1055,13 @@ fn main() {
         })
         .collect();
     let report = serde_json::json!({
-        "schema": "serenity-bench-sched/v4",
+        "schema": "serenity-bench-sched/v5",
         "mode": if smoke { "smoke" } else { "full" },
         "iters": iters,
         "results": results,
         "rewrite_results": rewrite_results,
         "cache_results": cache_results,
+        "capacity_results": capacity_results,
         "portfolio_race": race_results,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");

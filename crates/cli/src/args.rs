@@ -2,6 +2,7 @@
 //! dependencies outside its allowed set, so no `clap`).
 
 use serenity_allocator::Strategy;
+use serenity_core::capacity::{CapacityObjective, CapacityTarget};
 use serenity_core::AdmissionPolicy;
 use serenity_memsim::Policy;
 
@@ -31,6 +32,13 @@ usage:
                               (default 1; any count is bit-identical)
       --allocator <greedy|first-fit|none>        offset planner (default greedy)
       --budget-kb <N>         fixed soft budget instead of adaptive search
+      --capacity-bytes <N>    on-chip capacity: annotate (and verify) each
+                              schedule with a fits/traffic capacity report
+      --objective <fit|traffic>
+                              what the capacity constraint steers (default
+                              fit; traffic re-ranks candidate schedules by
+                              (fits, off-chip traffic, peak));
+                              needs --capacity-bytes
       --threads <N>           DP worker threads (default 1)
       --portfolio-threads <N> racing worker threads of the portfolio backend
                               (default 1 = serial; results are bit-identical
@@ -122,6 +130,8 @@ pub enum Command {
         allocator: Option<Strategy>,
         /// Fixed soft budget in KiB (adaptive search when absent).
         budget_kb: Option<u64>,
+        /// On-chip capacity target (`None` = unconstrained).
+        capacity: Option<CapacityTarget>,
         /// DP worker threads.
         threads: usize,
         /// Racing worker threads of the portfolio backend (1 = serial).
@@ -232,6 +242,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut rewrite_threads = 1usize;
             let mut allocator = Some(Strategy::GreedyBySize);
             let mut budget_kb = None;
+            let mut capacity_bytes = None;
+            let mut objective = None;
             let mut threads = 1usize;
             let mut portfolio_threads = 1usize;
             let mut deadline_ms = None;
@@ -304,6 +316,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 .map_err(|_| format!("schedule: bad budget {raw}"))?,
                         );
                     }
+                    "--capacity-bytes" => {
+                        let raw = it.next().ok_or("schedule: --capacity-bytes needs a value")?;
+                        let bytes = raw
+                            .parse::<u64>()
+                            .map_err(|_| format!("schedule: bad capacity {raw}"))?;
+                        if bytes == 0 {
+                            return Err("schedule: --capacity-bytes must be at least 1".into());
+                        }
+                        capacity_bytes = Some(bytes);
+                    }
+                    "--objective" => {
+                        objective = match it.next().ok_or("schedule: --objective needs a value")? {
+                            "fit" => Some(CapacityObjective::Fit),
+                            "traffic" => Some(CapacityObjective::MinTraffic),
+                            other => return Err(format!("schedule: unknown objective {other}")),
+                        };
+                    }
                     "--threads" => {
                         let raw = it.next().ok_or("schedule: --threads needs a value")?;
                         threads = raw
@@ -344,6 +373,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                      --rewrite-score-backend would be ignored; drop one"
                     .into());
             }
+            let capacity = match (capacity_bytes, objective) {
+                (Some(bytes), obj) => Some(CapacityTarget {
+                    capacity_bytes: bytes,
+                    objective: obj.unwrap_or_default(),
+                }),
+                (None, Some(_)) => {
+                    return Err("schedule: --objective steers the capacity constraint and \
+                         needs --capacity-bytes"
+                        .into())
+                }
+                (None, None) => None,
+            };
             Ok(Command::Schedule {
                 paths,
                 scheduler,
@@ -353,6 +394,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 rewrite_threads,
                 allocator,
                 budget_kb,
+                capacity,
                 threads,
                 portfolio_threads,
                 deadline_ms,
@@ -571,6 +613,7 @@ mod tests {
                 rewrite_threads: 1,
                 allocator: Some(Strategy::FirstFitArena),
                 budget_kb: Some(256),
+                capacity: None,
                 threads: 4,
                 portfolio_threads: 1,
                 deadline_ms: None,
@@ -621,6 +664,7 @@ mod tests {
                 rewrite_threads: 1,
                 allocator: Some(Strategy::GreedyBySize),
                 budget_kb: None,
+                capacity: None,
                 threads: 1,
                 portfolio_threads: 1,
                 deadline_ms: None,
@@ -739,6 +783,31 @@ mod tests {
         assert!(parse(&args("serve --search-budget-bytes 0")).is_err());
         assert!(parse(&args("serve --search-budget-bytes lots")).is_err());
         assert!(parse(&args("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_capacity_target() {
+        let cmd = parse(&args("schedule g.json --capacity-bytes 98304")).unwrap();
+        match cmd {
+            Command::Schedule { capacity, .. } => {
+                assert_eq!(capacity, Some(CapacityTarget::fit(98_304)));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        let cmd =
+            parse(&args("schedule g.json --capacity-bytes 98304 --objective traffic")).unwrap();
+        match cmd {
+            Command::Schedule { capacity, .. } => {
+                assert_eq!(capacity, Some(CapacityTarget::min_traffic(98_304)));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        // --objective is meaningless without a capacity; zero and garbage
+        // capacities are rejected.
+        assert!(parse(&args("schedule g.json --objective traffic")).is_err());
+        assert!(parse(&args("schedule g.json --capacity-bytes 64 --objective maximal")).is_err());
+        assert!(parse(&args("schedule g.json --capacity-bytes 0")).is_err());
+        assert!(parse(&args("schedule g.json --capacity-bytes lots")).is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub fn run(command: Command) -> Result<(), String> {
             rewrite_threads,
             allocator,
             budget_kb,
+            capacity,
             threads,
             portfolio_threads,
             deadline_ms,
@@ -49,6 +50,7 @@ pub fn run(command: Command) -> Result<(), String> {
                 rewrite_threads,
                 allocator,
                 budget_kb,
+                capacity,
                 threads,
                 portfolio_threads,
                 deadline_ms,
@@ -179,6 +181,7 @@ struct ScheduleOptions {
     rewrite_threads: usize,
     allocator: Option<serenity_allocator::Strategy>,
     budget_kb: Option<u64>,
+    capacity: Option<serenity_core::capacity::CapacityTarget>,
     threads: usize,
     portfolio_threads: usize,
     deadline_ms: Option<u64>,
@@ -277,6 +280,9 @@ fn compiler(
     }
     if let Some(ms) = options.deadline_ms {
         builder = builder.deadline(Duration::from_millis(ms));
+    }
+    if let Some(target) = options.capacity {
+        builder = builder.capacity_target(target);
     }
     if options.verbose {
         builder = builder.on_event(|event| eprintln!("{}", render_event(event)));
@@ -470,6 +476,7 @@ fn report_json(
         "bound_beaten_exits": compiled.stats.bound_beaten_exits,
         "race_cutoffs": compiled.stats.race_cutoffs,
         "compile_time_us": compiled.compile_time.as_micros() as u64,
+        "capacity": compiled.capacity,
         "order": compiled.schedule.order,
     })
 }
@@ -482,6 +489,23 @@ fn print_compiled(compiled: &serenity_core::pipeline::CompiledSchedule, map: boo
     println!("reduction     : {:.2}x", compiled.reduction_factor());
     if let Some(arena) = compiled.arena_bytes() {
         println!("arena size    : {:.1} KiB", arena as f64 / 1024.0);
+    }
+    if let Some(report) = &compiled.capacity {
+        let fits = if report.fits {
+            "yes".to_owned()
+        } else {
+            format!("no (spill {:.1} KiB)", report.spill_bytes as f64 / 1024.0)
+        };
+        let traffic = match &report.traffic {
+            Some(t) => format!("{:.1} KiB", t.traffic_kib()),
+            None => "infeasible".to_owned(),
+        };
+        println!(
+            "capacity      : {:.1} KiB (objective {})",
+            report.capacity_bytes as f64 / 1024.0,
+            report.objective
+        );
+        println!("fits / traffic: {fits} / {traffic}");
     }
     println!("rewrites      : {}", compiled.rewrites.len());
     if let Some(search) = &compiled.rewrite_search {

@@ -56,6 +56,7 @@ use crate::baseline;
 use crate::beam::BeamScheduler;
 use crate::budget::{AdaptiveSoftBudget, BudgetConfig, RoundFlag};
 use crate::cache::CompileCache;
+use crate::capacity::CapacityTarget;
 use crate::dp::{DpConfig, DpScheduler};
 use crate::fault::FaultPlan;
 use crate::{Schedule, ScheduleError, ScheduleStats};
@@ -144,6 +145,12 @@ const MAX_PACKABLE_PEAK: u64 = (u64::MAX >> PRIORITY_BITS) - 1;
 ///   an acceptable plateau step).
 pub struct IncumbentBound {
     packed: AtomicU64,
+    /// Second bound axis for capacity-constrained compiles: the best total
+    /// off-chip traffic any racer's *completed and assessed* schedule has
+    /// achieved, packed exactly like `packed`. See
+    /// [`IncumbentBound::publish_capacity`] for the coupling rule between
+    /// the two words.
+    traffic_packed: AtomicU64,
 }
 
 impl fmt::Debug for IncumbentBound {
@@ -151,13 +158,17 @@ impl fmt::Debug for IncumbentBound {
         f.debug_struct("IncumbentBound")
             .field("peak", &self.peak())
             .field("setter_priority", &self.setter_priority())
+            .field("traffic", &self.traffic())
             .finish()
     }
 }
 
 impl Default for IncumbentBound {
     fn default() -> Self {
-        IncumbentBound { packed: AtomicU64::new(u64::MAX) }
+        IncumbentBound {
+            packed: AtomicU64::new(u64::MAX),
+            traffic_packed: AtomicU64::new(u64::MAX),
+        }
     }
 }
 
@@ -199,19 +210,54 @@ impl IncumbentBound {
     /// a stale value is merely conservative — engines may cache this per
     /// search step.
     pub fn max_viable_peak(&self, priority: u16) -> u64 {
-        let packed = self.packed.load(Ordering::Relaxed);
+        Self::max_viable(self.packed.load(Ordering::Relaxed), priority)
+    }
+
+    fn max_viable(packed: u64, priority: u16) -> u64 {
         if packed == u64::MAX {
             return u64::MAX;
         }
-        let peak = packed >> PRIORITY_BITS;
+        let value = packed >> PRIORITY_BITS;
         let setter = (packed & PRIORITY_MASK) as u16;
-        // An earlier setter wins peak ties, so equalling it is already a
-        // loss; a later (or tie-losing) setter still loses to an equal peak.
+        // An earlier setter wins ties, so equalling it is already a loss; a
+        // later (or tie-losing) setter still loses to an equal value.
         if setter < priority {
-            peak.saturating_sub(1)
+            value.saturating_sub(1)
         } else {
-            peak
+            value
         }
+    }
+
+    /// Publishes a completed schedule assessed under a
+    /// [`CapacityTarget`]: `traffic` is its total off-chip traffic at the
+    /// target capacity. The traffic word tightens by fetch-min exactly like
+    /// the peak word. The peak word is tightened **only when the schedule
+    /// fits** (`traffic == 0`): under the `(fits, traffic, peak)` objective
+    /// a spilling incumbent's peak must not prune, because a higher-peak
+    /// order can still win on traffic — whereas any rival to a *fitting*
+    /// incumbent must itself fit and beat it on peak, so the classic peak
+    /// cutoff stays sound (see [`crate::capacity`]).
+    pub fn publish_capacity(&self, traffic: u64, peak_bytes: u64, priority: u16) {
+        if traffic <= MAX_PACKABLE_PEAK {
+            self.traffic_packed.fetch_min(Self::pack(traffic, priority), Ordering::Relaxed);
+        }
+        if traffic == 0 {
+            self.publish(peak_bytes, priority);
+        }
+    }
+
+    /// The largest total traffic that can still *win* against the current
+    /// capacity incumbent for a member at `priority` (`u64::MAX` when no
+    /// capacity publish happened). The same tie rule as
+    /// [`IncumbentBound::max_viable_peak`] applies.
+    pub fn max_viable_traffic(&self, priority: u16) -> u64 {
+        Self::max_viable(self.traffic_packed.load(Ordering::Relaxed), priority)
+    }
+
+    /// The incumbent total traffic, if any capacity publish happened.
+    pub fn traffic(&self) -> Option<u64> {
+        let packed = self.traffic_packed.load(Ordering::Relaxed);
+        (packed != u64::MAX).then_some(packed >> PRIORITY_BITS)
     }
 
     /// The incumbent peak in bytes, if any publish happened.
@@ -298,6 +344,17 @@ impl BoundHandle {
     /// See [`IncumbentBound::max_viable_peak`].
     pub fn max_viable_peak(&self) -> u64 {
         self.bound.max_viable_peak(self.priority)
+    }
+
+    /// Publishes a capacity-assessed completion at this run's priority; see
+    /// [`IncumbentBound::publish_capacity`].
+    pub fn publish_capacity(&self, traffic: u64, peak_bytes: u64) {
+        self.bound.publish_capacity(traffic, peak_bytes, self.priority);
+    }
+
+    /// See [`IncumbentBound::max_viable_traffic`].
+    pub fn max_viable_traffic(&self) -> u64 {
+        self.bound.max_viable_traffic(self.priority)
     }
 
     /// The incumbent peak to report in
@@ -521,6 +578,16 @@ pub struct CompileOptions {
     /// errors or returns a result bit-identical to the unbudgeted one, so
     /// successful compiles share cache entries.
     pub memory_budget: Option<u64>,
+    /// On-chip capacity constraint (`None` compiles as today). With
+    /// [`CapacityObjective::Fit`](crate::capacity::CapacityObjective) the
+    /// search is unchanged and the result is annotated with a verified
+    /// [`CapacityReport`](crate::capacity::CapacityReport); with
+    /// [`CapacityObjective::MinTraffic`](crate::capacity::CapacityObjective)
+    /// the pipeline, rewrite loop, and portfolio rank candidates
+    /// lexicographically by `(fits, traffic, peak)`. Unlike the wall-clock
+    /// knobs above this is result-affecting, so compile drivers salt their
+    /// cache keys with [`CapacityTarget::cache_salt`].
+    pub capacity: Option<CapacityTarget>,
 }
 
 impl fmt::Debug for CompileOptions {
@@ -533,6 +600,7 @@ impl fmt::Debug for CompileOptions {
             .field("fault", &self.fault)
             .field("bound", &self.bound)
             .field("memory_budget", &self.memory_budget)
+            .field("capacity", &self.capacity)
             .finish()
     }
 }
@@ -589,6 +657,13 @@ impl CompileOptions {
         self.memory_budget = Some(bytes);
         self
     }
+
+    /// Constrains the compile to an on-chip capacity target (see the
+    /// [`capacity`](CompileOptions::capacity) field).
+    pub fn capacity_target(mut self, target: CapacityTarget) -> Self {
+        self.capacity = Some(target);
+        self
+    }
 }
 
 /// Per-run compile state handed to every backend: options plus the run's
@@ -630,6 +705,7 @@ impl CompileContext {
                 fault: self.options.fault.clone(),
                 bound: self.options.bound.clone(),
                 memory_budget: self.options.memory_budget,
+                capacity: self.options.capacity,
             },
             started: self.started,
         }
@@ -666,6 +742,11 @@ impl CompileContext {
     /// The search-memory budget in bytes, if one was set.
     pub fn memory_budget(&self) -> Option<u64> {
         self.options.memory_budget
+    }
+
+    /// The on-chip capacity target, if one was set.
+    pub fn capacity(&self) -> Option<CapacityTarget> {
+        self.options.capacity
     }
 
     /// Fails the run when `used` live search-memory bytes cross the
@@ -1220,6 +1301,37 @@ mod tests {
         member2.publish(2048);
         assert_eq!(BoundHandle::new(shared, 3).max_viable_peak(), 2047);
         assert_eq!(weak.with_priority(1).max_viable_peak(), 2048);
+    }
+
+    #[test]
+    fn capacity_publishes_tighten_peak_only_when_fitting() {
+        let bound = IncumbentBound::new();
+        assert_eq!(bound.max_viable_traffic(1), u64::MAX);
+        assert_eq!(bound.traffic(), None);
+
+        // A spilling incumbent tightens only the traffic word: its peak
+        // must not prune, because a higher-peak order can still win on
+        // traffic.
+        bound.publish_capacity(5000, 120, 2);
+        assert_eq!(bound.traffic(), Some(5000));
+        assert_eq!(bound.peak(), None, "spilling peaks never reach the peak word");
+        assert_eq!(bound.max_viable_peak(1), u64::MAX);
+        assert_eq!(bound.max_viable_traffic(1), 5000, "earlier reader may equal");
+        assert_eq!(bound.max_viable_traffic(3), 4999, "later reader must beat");
+
+        // A fitting (zero-traffic) incumbent tightens both axes: any rival
+        // must itself fit, so the classic peak cutoff becomes sound again.
+        bound.publish_capacity(0, 100, 3);
+        assert_eq!(bound.traffic(), Some(0));
+        assert_eq!(bound.peak(), Some(100));
+        assert_eq!(bound.max_viable_peak(3), 100);
+        assert_eq!(bound.max_viable_peak(4), 99);
+
+        // Handles pass both axes through at their priority.
+        let handle = BoundHandle::new(Arc::new(IncumbentBound::new()), 2);
+        handle.publish_capacity(7, 64);
+        assert_eq!(handle.max_viable_traffic(), 7);
+        assert_eq!(handle.with_priority(3).max_viable_traffic(), 6);
     }
 
     #[test]

@@ -109,6 +109,7 @@ pub mod beam;
 pub mod budget;
 pub mod cache;
 pub mod canon;
+pub mod capacity;
 pub mod divide;
 pub mod dp;
 mod error;
@@ -125,6 +126,7 @@ pub use backend::{
     IncumbentBound, SchedulerBackend,
 };
 pub use cache::{AdmissionPolicy, CacheStats, CompileCache, CompileCacheConfig, PersistReport};
+pub use capacity::{CapacityObjective, CapacityReport, CapacityTarget};
 pub use error::ScheduleError;
 pub use fault::{FaultPlan, FaultPoint};
 pub use registry::{BackendRegistry, PortfolioBackend};

@@ -24,6 +24,7 @@ use crate::backend::{
 };
 use crate::budget::BudgetConfig;
 use crate::cache::CompileCache;
+use crate::capacity::{CapacityReport, CapacityTarget};
 use crate::divide::DivideAndConquer;
 use crate::fault::{panic_message, FaultPlan, FaultPoint};
 use crate::memo::ScheduleMemo;
@@ -273,6 +274,18 @@ impl SerenityBuilder {
         self
     }
 
+    /// Constrains every compile to an on-chip capacity target: the result
+    /// carries a verifier-checked
+    /// [`CapacityReport`], and under
+    /// [`CapacityObjective::MinTraffic`](crate::capacity::CapacityObjective)
+    /// the pipeline ranks candidate schedules lexicographically by
+    /// `(fits, traffic, peak)` instead of peak alone (see
+    /// [`crate::capacity`]).
+    pub fn capacity_target(mut self, target: CapacityTarget) -> Self {
+        self.options.capacity = Some(target);
+        self
+    }
+
     /// Chooses the arena allocator (`None` disables offset planning).
     pub fn allocator(mut self, strategy: Option<Strategy>) -> Self {
         self.allocator = strategy;
@@ -349,6 +362,11 @@ pub struct CompiledSchedule {
     pub stats: ScheduleStats,
     /// End-to-end compilation wall-clock time.
     pub compile_time: Duration,
+    /// Capacity assessment of the chosen schedule (`None` when no
+    /// [`CapacityTarget`] was configured). Recomputed independently by
+    /// [`verify`](crate::verify::verify), which rejects any report that
+    /// under-claims traffic or fabricates `fits`.
+    pub capacity: Option<CapacityReport>,
 }
 
 impl CompiledSchedule {
@@ -451,6 +469,13 @@ impl Serenity {
         let mut rewrites = Vec::new();
         let mut rewrite_search = None;
 
+        // Capacity mode: every kept schedule carries its assessment, and a
+        // traffic-steering target replaces the peak-only comparisons below
+        // with the lexicographic `(fits, traffic, peak)` rank.
+        let capacity_target = self.config.options.capacity;
+        let steers = capacity_target.is_some_and(|t| t.steers_search());
+        let mut chosen_report = self.assess_capacity(&chosen_graph, &chosen)?;
+
         // Obtain the rewritten candidate: cost-guided search (IfBeneficial)
         // or the blind fixpoint (Always).
         let rewritten = match self.config.rewrite {
@@ -489,14 +514,21 @@ impl Serenity {
             // early (`BoundBeaten`) when nothing can — a cheap "keep the
             // original", not a failure. `Always` keeps the rewrite
             // unconditionally, so it must schedule unseeded.
+            // Under a traffic-steering target with a *spilling* incumbent
+            // the peak seed would be unsound — a higher-peak order can
+            // still win on traffic — so the re-schedule runs unseeded.
+            // A fitting incumbent keeps the classic seed: any rival must
+            // itself fit, i.e. strictly beat it on peak.
+            let spilling_incumbent = steers && chosen_report.as_ref().is_some_and(|r| !r.fits);
             let rw_ctx = match self.config.rewrite {
-                RewriteMode::IfBeneficial => {
+                RewriteMode::IfBeneficial if !spilling_incumbent => {
                     ctx.with_bound(Some(BoundHandle::seeded_incumbent(chosen.peak_bytes)))
                 }
                 _ => ctx.clone(),
             };
             match self.schedule_one(&rw_graph, &rw_ctx) {
                 Ok((rw_schedule, rw_partition, rw_stats)) => {
+                    let rw_report = self.assess_capacity(&rw_graph, &rw_schedule)?;
                     let take_rewrite = match self.config.rewrite {
                         RewriteMode::Always => true,
                         // The search already confirmed improvement under the
@@ -504,6 +536,17 @@ impl Serenity {
                         // *full* backend is what guarantees compilation never
                         // regresses below rewrite-off, even with an
                         // approximate scorer.
+                        RewriteMode::IfBeneficial if steers => {
+                            let rw_rank = rw_report
+                                .as_ref()
+                                .expect("target set")
+                                .rank(rw_schedule.peak_bytes);
+                            rw_rank
+                                < chosen_report
+                                    .as_ref()
+                                    .expect("target set")
+                                    .rank(chosen.peak_bytes)
+                        }
                         RewriteMode::IfBeneficial => rw_schedule.peak_bytes < chosen.peak_bytes,
                         RewriteMode::Off => false,
                     };
@@ -530,6 +573,7 @@ impl Serenity {
                         chosen_graph = rw_graph;
                         chosen = rw_schedule;
                         chosen_partition = rw_partition;
+                        chosen_report = rw_report;
                         rewrites = rw_applied;
                     }
                 }
@@ -547,9 +591,33 @@ impl Serenity {
         // Among the schedules attaining the optimal peak, a run-to-completion
         // order (`canon::stackify`) often allocates more tightly — but not
         // always, so when an allocator is configured both candidates are
-        // planned and the smaller arena wins at identical live peak.
+        // planned and the smaller arena wins at identical live peak. A
+        // traffic-steering target ranks the candidates on
+        // `(fits, traffic, peak)` first: the canonical order preserves the
+        // peak but not necessarily the traffic, so it must not displace a
+        // lower-traffic schedule, and conversely wins outright when it
+        // lowers the traffic.
         let canonical = crate::canon::stackify(&chosen_graph, chosen.peak_bytes)
             .and_then(|order| Schedule::from_order(&chosen_graph, order).ok());
+        let canonical = match canonical {
+            Some(candidate) => {
+                let report = self.assess_capacity(&chosen_graph, &candidate)?;
+                Some((candidate, report))
+            }
+            None => None,
+        };
+        fn rank_cmp(
+            candidate: &Schedule,
+            report: &Option<CapacityReport>,
+            chosen: &Schedule,
+            chosen_report: &Option<CapacityReport>,
+        ) -> std::cmp::Ordering {
+            report
+                .as_ref()
+                .expect("target set")
+                .rank(candidate.peak_bytes)
+                .cmp(&chosen_report.as_ref().expect("target set").rank(chosen.peak_bytes))
+        }
 
         let mut arena = None;
         if let Some(strategy) = self.config.allocator {
@@ -564,17 +632,33 @@ impl Serenity {
                 })
             };
             let mut best = plan_for(&chosen)?;
-            if let Some(candidate) = canonical {
+            if let Some((candidate, report)) = canonical {
                 let candidate_plan = plan_for(&candidate)?;
-                if candidate_plan.arena_bytes < best.arena_bytes {
+                let accept = if steers {
+                    match rank_cmp(&candidate, &report, &chosen, &chosen_report) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => candidate_plan.arena_bytes < best.arena_bytes,
+                        std::cmp::Ordering::Greater => false,
+                    }
+                } else {
+                    candidate_plan.arena_bytes < best.arena_bytes
+                };
+                if accept {
                     chosen = candidate;
+                    chosen_report = report;
                     best = candidate_plan;
                 }
             }
             arena = Some(best);
-        } else if let Some(candidate) = canonical {
+        } else if let Some((candidate, report)) = canonical {
             debug_assert!(candidate.peak_bytes <= chosen.peak_bytes);
-            chosen = candidate;
+            if !steers
+                || rank_cmp(&candidate, &report, &chosen, &chosen_report)
+                    != std::cmp::Ordering::Greater
+            {
+                chosen = candidate;
+                chosen_report = report;
+            }
         }
 
         ctx.emit(CompileEvent::CandidateKept {
@@ -603,6 +687,7 @@ impl Serenity {
             partition: chosen_partition,
             stats,
             compile_time,
+            capacity: chosen_report,
         };
         // Debug builds certify every compile through the independent
         // checker; release builds leave verification to opt-in callers
@@ -711,6 +796,32 @@ impl Serenity {
         Err(last_error.unwrap_or(ScheduleError::Cancelled))
     }
 
+    /// Assesses `schedule` against the configured capacity target (`None`
+    /// when no target is set).
+    fn assess_capacity(
+        &self,
+        graph: &Graph,
+        schedule: &Schedule,
+    ) -> Result<Option<CapacityReport>, ScheduleError> {
+        let Some(target) = self.config.options.capacity else {
+            return Ok(None);
+        };
+        crate::capacity::assess_for_driver(graph, &schedule.order, target).map(Some)
+    }
+
+    /// The backend fingerprint used for cache/memo keys: the backend's own
+    /// [`config_fingerprint`](SchedulerBackend::config_fingerprint), salted
+    /// with the capacity target when it steers the search (a
+    /// traffic-steering portfolio can pick different winners at different
+    /// capacities, so those schedules must never replay each other).
+    fn backend_cache_fingerprint(&self) -> u64 {
+        let fingerprint = self.config.backend.config_fingerprint();
+        match self.config.options.capacity {
+            Some(target) => fingerprint ^ target.cache_salt(),
+            None => fingerprint,
+        }
+    }
+
     fn schedule_one(
         &self,
         graph: &Graph,
@@ -726,7 +837,7 @@ impl Serenity {
                 // bit-identical to cold ones.
                 scheduler = scheduler.memo(Arc::new(ScheduleMemo::backed(
                     Arc::clone(cache),
-                    self.config.backend.config_fingerprint(),
+                    self.backend_cache_fingerprint(),
                 )));
             }
             let outcome = scheduler.schedule_with_ctx(graph, ctx)?;
@@ -739,9 +850,10 @@ impl Serenity {
             };
             // Without divide-and-conquer the whole graph is the unit of
             // reuse: consult the cache directly.
-            let cache_key = self.config.options.cache.as_ref().map(|cache| {
-                (cache, self.config.backend.config_fingerprint(), ScheduleMemo::key(graph))
-            });
+            let cache_key =
+                self.config.options.cache.as_ref().map(|cache| {
+                    (cache, self.backend_cache_fingerprint(), ScheduleMemo::key(graph))
+                });
             if let Some((cache, backend_key, key)) = &cache_key {
                 if let Some(schedule) = cache.lookup(*backend_key, *key, graph, &[]) {
                     let stats = ScheduleStats {

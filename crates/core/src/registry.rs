@@ -13,7 +13,8 @@ use crate::backend::{
     CompileEvent, DfsBackend, DpBackend, GreedyBackend, IncumbentBound, KahnBackend,
     SchedulerBackend,
 };
-use crate::{ScheduleError, ScheduleStats};
+use crate::capacity::CapacityTarget;
+use crate::{Schedule, ScheduleError, ScheduleStats};
 
 /// Creates a fresh backend instance.
 pub type BackendFactory = Arc<dyn Fn() -> Arc<dyn SchedulerBackend> + Send + Sync>;
@@ -120,6 +121,20 @@ impl BackendRegistry {
 /// *exact* completer (`adaptive`/`dp`/`brute-force`) — no one can beat a
 /// provably optimal peak.
 ///
+/// # Capacity targets
+///
+/// Under a steering [`CapacityTarget`] (objective `MinTraffic`), every
+/// completed member is assessed with the Belady simulator and the winner is
+/// the lexicographically smallest `(fits, traffic, peak)` rank — earlier
+/// member still keeping ties. Members publish through
+/// [`BoundHandle::publish_capacity`], which tightens the shared *peak* word
+/// only for fitting (zero-traffic) schedules: a spilling incumbent's peak
+/// must never prune, because a higher-peak order can still pay less
+/// traffic. For the same reason the exact-completer cutoff only fires when
+/// the exact member's provably peak-optimal schedule also *fits* — if the
+/// optimal peak spills, nothing fits, and a later member may still win on
+/// traffic.
+///
 /// Emits [`CompileEvent::BackendStarted`] per member ran,
 /// [`CompileEvent::BackendSkipped`] per member cut off by an exact
 /// completer, and one [`CompileEvent::BackendChosen`] for the winner.
@@ -144,9 +159,33 @@ fn member_priority(index: usize) -> u16 {
     u16::try_from(index + 1).unwrap_or(u16::MAX - 1)
 }
 
-/// What one raced member produced: its result plus the events it buffered,
-/// replayed in member order after the race settles.
-type MemberRun = (usize, Result<BackendOutcome, ScheduleError>, Vec<CompileEvent>);
+/// A member schedule's `(fits, traffic, peak)` rank under a steering
+/// capacity target; smaller wins (see
+/// [`CapacityReport::rank`](crate::capacity::CapacityReport::rank)).
+type CapacityRank = (u64, u64, u64);
+
+/// Assesses a completed member schedule against the steering target,
+/// returning `(total_traffic, rank)` for publishing and winner selection.
+fn assess_member(
+    graph: &Graph,
+    schedule: &Schedule,
+    target: CapacityTarget,
+) -> Result<(u64, CapacityRank), ScheduleError> {
+    let report = crate::capacity::assess_for_driver(graph, &schedule.order, target)?;
+    Ok((report.total_traffic(), report.rank(schedule.peak_bytes)))
+}
+
+/// Whether `rank`'s schedule fits the capacity outright (the first
+/// lexicographic component is the "does not fit" flag).
+fn rank_fits(rank: &CapacityRank) -> bool {
+    rank.0 == 0
+}
+
+/// What one raced member produced: its result (with its capacity rank when
+/// a steering target is set) plus the events it buffered, replayed in
+/// member order after the race settles.
+type MemberRun =
+    (usize, Result<(BackendOutcome, Option<CapacityRank>), ScheduleError>, Vec<CompileEvent>);
 
 impl std::fmt::Debug for PortfolioBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -197,7 +236,12 @@ impl PortfolioBackend {
         &self.backends
     }
 
-    fn run<F>(&self, ctx: &CompileContext, run_member: F) -> Result<BackendOutcome, ScheduleError>
+    fn run<F>(
+        &self,
+        graph: &Graph,
+        ctx: &CompileContext,
+        run_member: F,
+    ) -> Result<BackendOutcome, ScheduleError>
     where
         F: Fn(&Arc<dyn SchedulerBackend>, &CompileContext) -> Result<BackendOutcome, ScheduleError>
             + Sync,
@@ -209,14 +253,15 @@ impl PortfolioBackend {
             None => Arc::new(IncumbentBound::new()),
         };
         if self.threads > 1 && self.backends.len() > 1 {
-            self.run_raced(ctx, &bound, &run_member)
+            self.run_raced(graph, ctx, &bound, &run_member)
         } else {
-            self.run_serial(ctx, &bound, &run_member)
+            self.run_serial(graph, ctx, &bound, &run_member)
         }
     }
 
     fn run_serial<F>(
         &self,
+        graph: &Graph,
         ctx: &CompileContext,
         bound: &Arc<IncumbentBound>,
         run_member: &F,
@@ -224,8 +269,9 @@ impl PortfolioBackend {
     where
         F: Fn(&Arc<dyn SchedulerBackend>, &CompileContext) -> Result<BackendOutcome, ScheduleError>,
     {
+        let target = ctx.capacity().filter(CapacityTarget::steers_search);
         let total = self.backends.len();
-        let mut best: Option<(usize, BackendOutcome)> = None;
+        let mut best: Option<(usize, BackendOutcome, Option<CapacityRank>)> = None;
         let mut first_error: Option<ScheduleError> = None;
         let mut bound_beaten: Option<ScheduleError> = None;
         let mut total_stats = ScheduleStats::default();
@@ -245,19 +291,37 @@ impl PortfolioBackend {
                 }
             }
             ctx.emit(CompileEvent::BackendStarted { name: backend.name().to_string() });
-            match run_member(backend, &member_ctx) {
-                Ok(outcome) => {
-                    handle.publish(outcome.schedule.peak_bytes);
-                    total_stats.absorb(&outcome.stats);
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|(_, b)| outcome.schedule.peak_bytes < b.schedule.peak_bytes);
-                    if better {
-                        best = Some((index, outcome));
+            let assessed = run_member(backend, &member_ctx).and_then(|outcome| {
+                let rank = match target {
+                    Some(t) => {
+                        let (traffic, rank) = assess_member(graph, &outcome.schedule, t)?;
+                        handle.publish_capacity(traffic, outcome.schedule.peak_bytes);
+                        Some(rank)
                     }
-                    if is_exact(backend.name()) {
+                    None => {
+                        handle.publish(outcome.schedule.peak_bytes);
+                        None
+                    }
+                };
+                Ok((outcome, rank))
+            });
+            match assessed {
+                Ok((outcome, rank)) => {
+                    total_stats.absorb(&outcome.stats);
+                    let better =
+                        best.as_ref().is_none_or(|(_, b, best_rank)| match (&rank, best_rank) {
+                            (Some(r), Some(br)) => r < br,
+                            _ => outcome.schedule.peak_bytes < b.schedule.peak_bytes,
+                        });
+                    if better {
+                        best = Some((index, outcome, rank));
+                    }
+                    if is_exact(backend.name()) && rank.as_ref().is_none_or(rank_fits) {
                         // A completed exact member is provably optimal: no
-                        // later member can beat it, only tie and lose.
+                        // later member can beat it, only tie and lose. Under
+                        // a steering target this holds only when the optimal
+                        // peak *fits* (rank (0, 0, optimal)); a spilling
+                        // optimum can still lose on traffic.
                         for skipped in &self.backends[index + 1..] {
                             ctx.emit(CompileEvent::BackendSkipped {
                                 name: skipped.name().to_string(),
@@ -283,7 +347,7 @@ impl PortfolioBackend {
                 }
             }
         }
-        self.finish(ctx, best, total_stats, first_error, bound_beaten)
+        self.finish(ctx, best.map(|(i, o, _)| (i, o)), total_stats, first_error, bound_beaten)
     }
 
     /// Races the members across `self.threads` scoped workers. Each member
@@ -293,6 +357,7 @@ impl PortfolioBackend {
     /// past that cut are dropped unabsorbed (serial never ran them).
     fn run_raced<F>(
         &self,
+        graph: &Graph,
         ctx: &CompileContext,
         bound: &Arc<IncumbentBound>,
         run_member: &F,
@@ -301,6 +366,7 @@ impl PortfolioBackend {
         F: Fn(&Arc<dyn SchedulerBackend>, &CompileContext) -> Result<BackendOutcome, ScheduleError>
             + Sync,
     {
+        let target = ctx.capacity().filter(CapacityTarget::steers_search);
         let total = self.backends.len();
         ctx.check()?;
         let next = AtomicUsize::new(0);
@@ -334,13 +400,25 @@ impl PortfolioBackend {
                                     sink.lock().expect("event buffer poisoned").push(e.clone());
                                 })),
                             );
-                            let result = run_member(backend, &member_ctx);
-                            if let Ok(outcome) = &result {
-                                handle.publish(outcome.schedule.peak_bytes);
-                                if is_exact(backend.name()) {
+                            let result = run_member(backend, &member_ctx).and_then(|outcome| {
+                                let rank = match target {
+                                    Some(t) => {
+                                        let (traffic, rank) =
+                                            assess_member(graph, &outcome.schedule, t)?;
+                                        handle
+                                            .publish_capacity(traffic, outcome.schedule.peak_bytes);
+                                        Some(rank)
+                                    }
+                                    None => {
+                                        handle.publish(outcome.schedule.peak_bytes);
+                                        None
+                                    }
+                                };
+                                if is_exact(backend.name()) && rank.as_ref().is_none_or(rank_fits) {
                                     cutoff.fetch_min(index, Ordering::Relaxed);
                                 }
-                            }
+                                Ok((outcome, rank))
+                            });
                             let events =
                                 std::mem::take(&mut *buffer.lock().expect("event buffer poisoned"));
                             out.push((index, result, events));
@@ -362,12 +440,19 @@ impl PortfolioBackend {
         // happened to execute.
         let exact_cut = runs
             .iter()
-            .filter(|(index, result, _)| result.is_ok() && is_exact(self.backends[*index].name()))
+            .filter(|(index, result, _)| match result {
+                // Same gate as the serial cut: the exact member's optimal
+                // peak must also fit when a steering target is set.
+                Ok((_, rank)) => {
+                    is_exact(self.backends[*index].name()) && rank.as_ref().is_none_or(rank_fits)
+                }
+                Err(_) => false,
+            })
             .map(|(index, _, _)| *index)
             .min();
         let cut = exact_cut.unwrap_or(total - 1);
 
-        let mut best: Option<(usize, BackendOutcome)> = None;
+        let mut best: Option<(usize, BackendOutcome, Option<CapacityRank>)> = None;
         let mut first_error: Option<ScheduleError> = None;
         let mut bound_beaten: Option<ScheduleError> = None;
         let mut total_stats = ScheduleStats::default();
@@ -382,13 +467,15 @@ impl PortfolioBackend {
                 ctx.emit(event);
             }
             match result {
-                Ok(outcome) => {
+                Ok((outcome, rank)) => {
                     total_stats.absorb(&outcome.stats);
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|(_, b)| outcome.schedule.peak_bytes < b.schedule.peak_bytes);
+                    let better =
+                        best.as_ref().is_none_or(|(_, b, best_rank)| match (&rank, best_rank) {
+                            (Some(r), Some(br)) => r < br,
+                            _ => outcome.schedule.peak_bytes < b.schedule.peak_bytes,
+                        });
                     if better {
-                        best = Some((index, outcome));
+                        best = Some((index, outcome, rank));
                     }
                 }
                 Err(ScheduleError::Cancelled) => return Err(ScheduleError::Cancelled),
@@ -413,7 +500,7 @@ impl PortfolioBackend {
             }
             total_stats.race_cutoffs += (total - cut - 1) as u64;
         }
-        self.finish(ctx, best, total_stats, first_error, bound_beaten)
+        self.finish(ctx, best.map(|(i, o, _)| (i, o)), total_stats, first_error, bound_beaten)
     }
 
     fn finish(
@@ -462,7 +549,7 @@ impl SchedulerBackend for PortfolioBackend {
         graph: &Graph,
         ctx: &CompileContext,
     ) -> Result<BackendOutcome, ScheduleError> {
-        self.run(ctx, |backend, member_ctx| backend.schedule(graph, member_ctx))
+        self.run(graph, ctx, |backend, member_ctx| backend.schedule(graph, member_ctx))
     }
 
     fn schedule_with_prefix(
@@ -471,7 +558,9 @@ impl SchedulerBackend for PortfolioBackend {
         prefix: &[NodeId],
         ctx: &CompileContext,
     ) -> Result<BackendOutcome, ScheduleError> {
-        self.run(ctx, |backend, member_ctx| backend.schedule_with_prefix(graph, prefix, member_ctx))
+        self.run(graph, ctx, |backend, member_ctx| {
+            backend.schedule_with_prefix(graph, prefix, member_ctx)
+        })
     }
 }
 
@@ -595,19 +684,26 @@ mod tests {
         ])
     }
 
-    fn run_collecting(
+    fn run_collecting_with(
         portfolio: &PortfolioBackend,
         graph: &Graph,
+        options: CompileOptions,
     ) -> (BackendOutcome, Vec<CompileEvent>) {
         let seen: Arc<Mutex<Vec<CompileEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&seen);
-        let ctx = CompileContext::new(
-            CompileOptions::new().on_event(move |e| sink.lock().unwrap().push(e.clone())),
-        );
+        let ctx =
+            CompileContext::new(options.on_event(move |e| sink.lock().unwrap().push(e.clone())));
         let outcome = portfolio.schedule(graph, &ctx).unwrap();
         drop(ctx);
         let events = Arc::try_unwrap(seen).unwrap().into_inner().unwrap();
         (outcome, events)
+    }
+
+    fn run_collecting(
+        portfolio: &PortfolioBackend,
+        graph: &Graph,
+    ) -> (BackendOutcome, Vec<CompileEvent>) {
+        run_collecting_with(portfolio, graph, CompileOptions::new())
     }
 
     #[test]
@@ -727,6 +823,82 @@ mod tests {
             .with_bound(Some(BoundHandle::seeded_incumbent(optimal)));
         let err = portfolio.schedule(&graph, &ctx).unwrap_err();
         assert_eq!(err, ScheduleError::BoundBeaten { bound: optimal });
+    }
+
+    /// `branchy()`'s optimal peak is 112 and its largest single working set
+    /// is 110 (`a` + `b1`), so capacity 111 is feasible-but-spilling for
+    /// every schedule while 112 lets the optimum fit outright.
+    const BRANCHY_SPILL_CAPACITY: u64 = 111;
+
+    #[test]
+    fn spilling_exact_member_does_not_cut_off_the_race() {
+        let graph = branchy();
+        let portfolio =
+            PortfolioBackend::new(vec![Arc::new(DpBackend::default()), Arc::new(KahnBackend)]);
+
+        // At 111 the provably peak-optimal schedule still spills, so Kahn
+        // must get its chance to win on traffic: both members run.
+        let spilling = CompileOptions::new()
+            .capacity_target(CapacityTarget::min_traffic(BRANCHY_SPILL_CAPACITY));
+        let (_, events) = run_collecting_with(&portfolio, &graph, spilling);
+        let started =
+            events.iter().filter(|e| matches!(e, CompileEvent::BackendStarted { .. })).count();
+        let skipped =
+            events.iter().filter(|e| matches!(e, CompileEvent::BackendSkipped { .. })).count();
+        assert_eq!((started, skipped), (2, 0), "spilling exact member must not cut the race");
+
+        // At 112 the optimum fits (zero traffic): nothing can beat it, so
+        // the cutoff fires exactly as in the peak-only race.
+        let fitting = CompileOptions::new().capacity_target(CapacityTarget::min_traffic(112));
+        let (outcome, events) = run_collecting_with(&portfolio, &graph, fitting);
+        let started =
+            events.iter().filter(|e| matches!(e, CompileEvent::BackendStarted { .. })).count();
+        let skipped =
+            events.iter().filter(|e| matches!(e, CompileEvent::BackendSkipped { .. })).count();
+        assert_eq!((started, skipped), (1, 1), "fitting exact member must cut the race");
+        assert_eq!(outcome.schedule.peak_bytes, 112);
+    }
+
+    #[test]
+    fn capacity_winner_has_min_rank_across_members() {
+        let graph = branchy();
+        let target = CapacityTarget::min_traffic(BRANCHY_SPILL_CAPACITY);
+        let portfolio = race_portfolio();
+        let (outcome, _) =
+            run_collecting_with(&portfolio, &graph, CompileOptions::new().capacity_target(target));
+        let winner = crate::capacity::assess(&graph, &outcome.schedule.order, target)
+            .unwrap()
+            .rank(outcome.schedule.peak_bytes);
+        for member in portfolio.members() {
+            let single =
+                member.schedule(&graph, &CompileContext::unconstrained()).unwrap().schedule;
+            let rank = crate::capacity::assess(&graph, &single.order, target)
+                .unwrap()
+                .rank(single.peak_bytes);
+            assert!(winner <= rank, "portfolio rank {winner:?} lost to {}", member.name());
+        }
+    }
+
+    #[test]
+    fn raced_capacity_portfolio_is_bit_identical_to_serial() {
+        let graph = branchy();
+        for capacity in [BRANCHY_SPILL_CAPACITY, 200] {
+            let options =
+                || CompileOptions::new().capacity_target(CapacityTarget::min_traffic(capacity));
+            let (serial, serial_events) = run_collecting_with(&race_portfolio(), &graph, options());
+            for threads in [2, 8] {
+                let raced = race_portfolio().threads(threads);
+                let (outcome, events) = run_collecting_with(&raced, &graph, options());
+                assert_eq!(
+                    outcome.schedule, serial.schedule,
+                    "schedule diverged at {threads} threads, capacity {capacity}"
+                );
+                assert_eq!(
+                    events, serial_events,
+                    "event stream diverged at {threads} threads, capacity {capacity}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ use serenity_ir::{Graph, GraphError, NodeId};
 
 use crate::backend::{BeamBackend, BoundHandle, CompileContext, CompileEvent, SchedulerBackend};
 use crate::cache::CompileCache;
+use crate::capacity::CapacityTarget;
 use crate::divide::DivideAndConquer;
 use crate::memo::ScheduleMemo;
 use crate::rewrite::{AppliedRewrite, RewriteRule, RewriteSite};
@@ -299,11 +300,25 @@ impl Candidate {
     }
 }
 
+/// A candidate's comparison key: `(fits, traffic, peak)` under a steering
+/// [`CapacityTarget`], `(0, 0, peak)` otherwise — so lexicographic
+/// comparison degenerates to the classic peak comparison when no capacity
+/// steers the search. Smaller wins.
+type ScoreKey = (u64, u64, u64);
+
 /// What scoring one candidate produced (computed by a worker, consumed by
 /// the deterministic replay).
+//
+// `Done` is the overwhelmingly common variant and every instance is
+// short-lived scratch consumed by the same iteration's replay — boxing it
+// would cost an allocation per scored candidate for nothing.
+#[allow(clippy::large_enum_variant)]
 enum Scored {
     Done {
         peak: u64,
+        /// The candidate's capacity rank; `None` when no steering target is
+        /// set.
+        rank: Option<ScoreKey>,
         stats: ScheduleStats,
         /// Events the scoring run emitted, buffered for ordered replay.
         events: Vec<CompileEvent>,
@@ -494,7 +509,8 @@ impl RewriteSearch {
     fn score_candidate(
         &self,
         candidate: &Candidate,
-        incumbent_peak: u64,
+        bound_seed: Option<u64>,
+        target: Option<CapacityTarget>,
         memo: &Arc<ScheduleMemo>,
         ctx: &CompileContext,
     ) -> Scored {
@@ -507,14 +523,20 @@ impl RewriteSearch {
         } else {
             ctx.with_event_sink(None)
         };
-        // The search only accepts candidates scoring `<=` the current peak,
+        // The search only accepts candidates scoring `<=` the current key,
         // so seed the scorer with the iteration-start peak as a *tie-losing*
         // incumbent: states strictly above it are pruned (they cannot be
         // accepted), while a candidate that merely ties — a plateau step the
         // search still wants — completes untouched. A candidate cut off by
         // the bound surfaces as `Failed(BoundBeaten)` and is discarded by
         // the deterministic replay exactly like any unschedulable one.
-        let child_ctx = child_ctx.with_bound(Some(BoundHandle::seeded_weak(incumbent_peak)));
+        // Under a steering capacity target the caller passes `None` while
+        // the current graph spills: a higher-peak candidate can then still
+        // win on traffic, so the peak bound must not prune at all.
+        let child_ctx = match bound_seed {
+            Some(peak) => child_ctx.with_bound(Some(BoundHandle::seeded_weak(peak))),
+            None => child_ctx.with_bound(None),
+        };
         let layer = Arc::new(ScheduleMemo::layered(Arc::clone(memo)));
         // A panicking scoring backend must not take the worker (and with it
         // the whole search) down: contain the unwind and fail the candidate,
@@ -528,9 +550,21 @@ impl RewriteSearch {
         };
         match outcome {
             Ok(Ok(scored)) => {
+                let rank = match target {
+                    Some(t) => match crate::capacity::assess_for_driver(
+                        &candidate.graph,
+                        &scored.schedule.order,
+                        t,
+                    ) {
+                        Ok(report) => Some(report.rank(scored.schedule.peak_bytes)),
+                        Err(err) => return Scored::Failed(err),
+                    },
+                    None => None,
+                };
                 let memo_layer = Arc::try_unwrap(layer).expect("scorer dropped its memo handle");
                 Scored::Done {
                     peak: scored.schedule.peak_bytes,
+                    rank,
                     stats: scored.total_stats,
                     events: std::mem::take(&mut events.lock().expect("event buffer")),
                     memo_layer,
@@ -556,7 +590,8 @@ impl RewriteSearch {
         site_list: &[(usize, RewriteSite)],
         remaining_budget: usize,
         max_chain: usize,
-        incumbent_peak: u64,
+        bound_seed: Option<u64>,
+        target: Option<CapacityTarget>,
         memo: &Arc<ScheduleMemo>,
         ctx: &CompileContext,
         candidate_build: &mut Duration,
@@ -598,7 +633,8 @@ impl RewriteSearch {
             for &i in &reps {
                 let scored = self.score_candidate(
                     slots[i].candidate.as_ref().expect("rep built"),
-                    incumbent_peak,
+                    bound_seed,
+                    target,
                     memo,
                     ctx,
                 );
@@ -618,7 +654,8 @@ impl RewriteSearch {
                         let slot = &slots[reps[at]];
                         let scored = self.score_candidate(
                             slot.candidate.as_ref().expect("rep built"),
-                            incumbent_peak,
+                            bound_seed,
+                            target,
                             memo,
                             ctx,
                         );
@@ -703,10 +740,14 @@ impl RewriteSearch {
                 stats: ScheduleStats::default(),
             });
         }
+        let target = ctx.capacity().filter(CapacityTarget::steers_search);
+        // A capacity-sensitive scorer (the portfolio) can pick different
+        // winners per capacity under the same config fingerprint, so the
+        // memo key is salted exactly like the pipeline's cache key.
+        let scorer_fingerprint =
+            self.scorer.config_fingerprint() ^ target.map_or(0, |t| t.cache_salt());
         let memo = Arc::new(match &self.cache {
-            Some(cache) => {
-                ScheduleMemo::backed(Arc::clone(cache), self.scorer.config_fingerprint())
-            }
+            Some(cache) => ScheduleMemo::backed(Arc::clone(cache), scorer_fingerprint),
             None => ScheduleMemo::new(),
         });
         let scorer =
@@ -716,18 +757,25 @@ impl RewriteSearch {
         let initial = scorer.schedule_with_ctx(graph, ctx)?;
         stats.absorb(&initial.total_stats);
         let initial_peak = initial.schedule.peak_bytes;
+        let initial_key: ScoreKey = match target {
+            Some(t) => crate::capacity::assess_for_driver(graph, &initial.schedule.order, t)?
+                .rank(initial_peak),
+            None => (0, 0, initial_peak),
+        };
 
         let mut current = graph.clone();
         let mut current_fp = FingerprintCache::new(graph);
         let mut current_peak = initial_peak;
+        let mut current_key = initial_key;
         let mut applied: Vec<AppliedRewrite> = Vec::new();
         let mut candidates_scored = 0usize;
         let mut iterations = 0usize;
         // Snapshot at the last *strict* improvement: what the search
-        // returns. Plateau (peak-neutral) steps advance `current` so later
+        // returns. Plateau (key-neutral) steps advance `current` so later
         // wins can build on them, but are only banked once they pay off.
         let mut best_graph = graph.clone();
         let mut best_peak = initial_peak;
+        let mut best_key = initial_key;
         let mut best_applied = 0usize;
 
         let stop = 'search: loop {
@@ -750,13 +798,18 @@ impl RewriteSearch {
 
             let site_list = std::mem::take(&mut sites);
             let remaining_budget = self.config.max_candidates.saturating_sub(candidates_scored);
+            // Seed the scorer's pruning bound only while the current graph
+            // fits (or no capacity steers): against a spilling current, a
+            // higher-peak candidate can still win on traffic.
+            let bound_seed = (current_key.0 == 0).then_some(current_peak);
             let mut slots = self.build_and_score(
                 &current,
                 &current_fp,
                 &site_list,
                 remaining_budget,
                 remaining_applications.min(self.config.max_chain),
-                current_peak,
+                bound_seed,
+                target,
                 &memo,
                 ctx,
                 &mut candidate_build,
@@ -765,7 +818,7 @@ impl RewriteSearch {
             // Deterministic replay in canonical site order: budget
             // accounting, stats, events, memo merging, and winner selection
             // all happen here, so any thread count is bit-identical.
-            let mut best: Option<(u64, usize)> = None;
+            let mut best: Option<(ScoreKey, usize)> = None;
             let mut losers: Vec<usize> = Vec::new();
             let mut budget_hit = slots.len() < site_list.len();
             for idx in 0..slots.len() {
@@ -780,8 +833,8 @@ impl RewriteSearch {
                 }
                 candidates_scored += 1;
                 let source = slots[idx].dup_of.unwrap_or(idx);
-                let (peak, scored_stats) = match slots[source].result.as_ref() {
-                    Some(Scored::Done { peak, stats, .. }) => (*peak, *stats),
+                let (peak, rank, scored_stats) = match slots[source].result.as_ref() {
+                    Some(Scored::Done { peak, rank, stats, .. }) => (*peak, *rank, *stats),
                     Some(Scored::Failed(ScheduleError::Cancelled)) => {
                         return Err(ScheduleError::Cancelled);
                     }
@@ -812,6 +865,7 @@ impl RewriteSearch {
                         memo.absorb(memo_layer);
                         slots[idx].result = Some(Scored::Done {
                             peak,
+                            rank,
                             stats: scored_stats,
                             events: Vec::new(),
                             memo_layer: ScheduleMemo::new(),
@@ -830,10 +884,11 @@ impl RewriteSearch {
                         current_peak_bytes: current_peak,
                     });
                 }
-                let acceptable = peak <= current_peak;
-                let beats_best = best.as_ref().is_none_or(|(b, _)| peak < *b);
+                let key = rank.unwrap_or((0, 0, peak));
+                let acceptable = key <= current_key;
+                let beats_best = best.as_ref().is_none_or(|(b, _)| key < *b);
                 if acceptable && beats_best {
-                    if let Some((_, old)) = best.replace((peak, idx)) {
+                    if let Some((_, old)) = best.replace((key, idx)) {
                         losers.push(old);
                     }
                 } else {
@@ -857,7 +912,7 @@ impl RewriteSearch {
                 }
             }
             match best {
-                Some((peak, winner_idx)) => {
+                Some((key, winner_idx)) => {
                     let winner = slots[winner_idx].candidate.take().expect("winner slot was built");
                     if ctx.has_sink() {
                         ctx.emit(CompileEvent::RewriteCandidateKept {
@@ -865,7 +920,7 @@ impl RewriteSearch {
                             concat: current.node(winner.head.concat).name.clone(),
                             consumer: current.node(winner.head.consumer).name.clone(),
                             iteration: iterations,
-                            peak_bytes: peak,
+                            peak_bytes: key.2,
                         });
                     }
                     applied.extend(winner.records(&current));
@@ -874,11 +929,13 @@ impl RewriteSearch {
                     site_scan += scan_at.elapsed();
                     current = winner.graph;
                     current_fp = winner.fp;
-                    current_peak = peak;
+                    current_peak = key.2;
+                    current_key = key;
                     iterations += 1;
-                    if current_peak < best_peak {
+                    if current_key < best_key {
                         best_graph = current.clone();
                         best_peak = current_peak;
+                        best_key = current_key;
                         best_applied = applied.len();
                     }
                 }

@@ -18,18 +18,31 @@
 //!   independent checker exists. The recomputed peak must equal both
 //!   `schedule.peak_bytes` and the `CompiledSchedule::peak_bytes` the
 //!   caller sees.
-//! * **Arena soundness** via [`MemoryPlan::validate`] (pairwise overlap +
+//! * **Arena soundness** via
+//!   [`MemoryPlan::validate`](serenity_allocator::MemoryPlan::validate)
+//!   (pairwise overlap +
 //!   arena containment), an independent [`live_ranges`] recomputation
 //!   that every placement's live range must match, and the containment
 //!   inequality `arena_bytes >= peak_bytes` (an arena holding all
 //!   simultaneously live tensors disjointly can never be smaller than
 //!   their peak sum).
 //! * **Rewrite equivalence** by replaying every accepted
-//!   [`AppliedRewrite`] from the *original* graph through
-//!   [`rewrite::rebuild::reference_apply`] — the node-by-node rebuild
+//!   [`AppliedRewrite`](crate::rewrite::AppliedRewrite) from the
+//!   *original* graph through
+//!   [`rewrite::rebuild::reference_apply`](rebuild::reference_apply) —
+//!   the node-by-node rebuild
 //!   path, not the in-place splice the hot path uses — and requiring the
 //!   result to be structurally identical
 //!   ([`serenity_ir::fingerprint::structural_eq`]) to the compiled graph.
+//! * **Capacity report replay**: when the compile carried a
+//!   [`CapacityTarget`](crate::capacity::CapacityTarget), the claimed
+//!   [`CapacityReport`] is re-derived by an independent Belady
+//!   re-simulation of the access trace (ordered-map residency, not the
+//!   simulator's swap-removed vector — the canonical victim rule makes
+//!   eviction a pure function of the trace, so both must agree
+//!   byte-for-byte). Under-claimed traffic and fabricated fits are
+//!   rejected, so a served "fits within capacity / costs N spill bytes"
+//!   claim is as trustworthy as the peak itself.
 //!
 //! What the checker *trusts*: the input graph itself (shapes, edges,
 //! output markings) and the process's arithmetic. Everything the search
@@ -48,8 +61,10 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use serenity_allocator::{live_ranges, AllocError};
 use serenity_ir::mem::CostModel;
-use serenity_ir::{fingerprint, topo, Graph, NodeSet};
+use serenity_ir::{fingerprint, topo, Graph, NodeId, NodeSet};
+use serenity_memsim::{AccessTrace, TrafficStats};
 
+use crate::capacity::CapacityReport;
 use crate::pipeline::CompiledSchedule;
 use crate::rewrite::{rebuild, Rewriter};
 
@@ -66,6 +81,10 @@ pub struct VerifiedCertificate {
     pub arena_bytes: Option<u64>,
     /// Accepted rewrites replayed through the reference rebuild path.
     pub rewrites_replayed: usize,
+    /// The capacity report, re-derived by the independent traffic replay
+    /// and found to match the compile's claim (absent when the compile
+    /// carried no capacity target).
+    pub capacity: Option<CapacityReport>,
 }
 
 /// A discrepancy between a [`CompiledSchedule`]'s claims and the
@@ -117,6 +136,15 @@ pub enum VerifyFailure {
     /// Replaying every accepted rewrite did not reproduce the compiled
     /// graph structurally.
     GraphMismatch,
+    /// The claimed capacity report disagrees with the independent traffic
+    /// replay — under-claimed traffic, a fabricated fit, a wrong spill, or
+    /// a feasibility lie.
+    CapacityMismatch {
+        /// The report the compiled schedule claims.
+        claimed: CapacityReport,
+        /// The report the independent replay re-derives.
+        recomputed: CapacityReport,
+    },
 }
 
 impl fmt::Display for VerifyFailure {
@@ -149,6 +177,19 @@ impl fmt::Display for VerifyFailure {
             VerifyFailure::GraphMismatch => {
                 write!(f, "replayed rewrites do not reproduce the compiled graph")
             }
+            VerifyFailure::CapacityMismatch { claimed, recomputed } => {
+                write!(
+                    f,
+                    "claimed capacity report (fits: {}, spill: {}, traffic: {:?}) disagrees \
+                     with the independent replay (fits: {}, spill: {}, traffic: {:?})",
+                    claimed.fits,
+                    claimed.spill_bytes,
+                    claimed.traffic.map(|t| t.total_traffic()),
+                    recomputed.fits,
+                    recomputed.spill_bytes,
+                    recomputed.traffic.map(|t| t.total_traffic()),
+                )
+            }
         }
     }
 }
@@ -162,6 +203,101 @@ impl Error for VerifyFailure {
     }
 }
 
+/// One resident tensor in the independent traffic replay.
+#[derive(Clone, Copy)]
+struct Replayed {
+    size: u64,
+    dirty: bool,
+    last_access: usize,
+}
+
+/// The independent Belady re-simulation backing the capacity check: same
+/// semantics as `serenity_memsim::simulate` with `Policy::Belady`, built on
+/// an ordered-map residency instead of the simulator's swap-removed vector.
+/// The canonical victim rule — furthest next use, then least-recent access,
+/// then tensor id — keys every resident distinctly, so eviction is a pure
+/// function of the access trace and the two implementations must agree
+/// byte-for-byte. Returns `None` when some working set exceeds `capacity`
+/// (the infeasible case).
+//
+// Verification is a cold once-per-compile path; a by-value `VerifyFailure`
+// (fattened by the two `CapacityReport`s in `CapacityMismatch`) beats
+// boxing every error construction site.
+#[allow(clippy::result_large_err)]
+fn replay_traffic(
+    graph: &Graph,
+    order: &[NodeId],
+    capacity: u64,
+) -> Result<Option<TrafficStats>, VerifyFailure> {
+    let trace = AccessTrace::build(graph, order)
+        .map_err(|e| VerifyFailure::OrderInvalid { detail: e.to_string() })?;
+    let mut stats =
+        TrafficStats { capacity, bytes_in: 0, bytes_out: 0, evictions: 0, peak_resident: 0 };
+    let mut resident: std::collections::BTreeMap<NodeId, Replayed> =
+        std::collections::BTreeMap::new();
+    let mut used = 0u64;
+    for (step, access) in trace.steps().iter().enumerate() {
+        let mut working: Vec<NodeId> = access.reads.clone();
+        if !working.contains(&access.write) {
+            working.push(access.write);
+        }
+        let working_total: u64 = working.iter().map(|&t| trace.size(t)).sum();
+        if working_total > capacity {
+            return Ok(None);
+        }
+        let demand: u64 =
+            working.iter().filter(|t| !resident.contains_key(t)).map(|&t| trace.size(t)).sum();
+        while used + demand > capacity {
+            let (&victim, &entry) = resident
+                .iter()
+                .filter(|(t, r)| !working.contains(t) && r.size > 0)
+                .max_by_key(|(t, r)| {
+                    let next = trace.next_use_after(**t, step).unwrap_or(usize::MAX);
+                    (next, usize::MAX - r.last_access, t.index())
+                })
+                .expect("working set fits, so a victim must exist");
+            resident.remove(&victim);
+            used -= entry.size;
+            stats.evictions += 1;
+            let live = trace.next_use_after(victim, step).is_some() || trace.is_output(victim);
+            if entry.dirty && live {
+                stats.bytes_out += entry.size;
+            }
+        }
+        for &t in &access.reads {
+            if let std::collections::btree_map::Entry::Vacant(slot) = resident.entry(t) {
+                let size = trace.size(t);
+                stats.bytes_in += size;
+                used += size;
+                slot.insert(Replayed { size, dirty: false, last_access: step });
+            }
+        }
+        match resident.get_mut(&access.write) {
+            Some(r) => {
+                r.dirty = true;
+                r.last_access = step;
+            }
+            None => {
+                let size = trace.size(access.write);
+                used += size;
+                resident.insert(access.write, Replayed { size, dirty: true, last_access: step });
+            }
+        }
+        for &t in &access.reads {
+            if let Some(r) = resident.get_mut(&t) {
+                r.last_access = step;
+            }
+        }
+        stats.peak_resident = stats.peak_resident.max(used);
+        let dead: Vec<NodeId> =
+            resident.keys().copied().filter(|&t| trace.dead_after(t, step)).collect();
+        for t in dead {
+            used -= resident.remove(&t).expect("dead tensor was resident").size;
+        }
+    }
+    Ok(Some(stats))
+}
+
 /// Independently certifies `compiled` against the `original` (pre-rewrite)
 /// graph it was compiled from. See the module docs for exactly what is
 /// re-derived versus trusted.
@@ -169,7 +305,9 @@ impl Error for VerifyFailure {
 /// # Errors
 ///
 /// The first [`VerifyFailure`] encountered, in check order: topological
-/// validity, peak recomputation, arena soundness, rewrite replay.
+/// validity, peak recomputation, arena soundness, rewrite replay, capacity
+/// report replay.
+#[allow(clippy::result_large_err)]
 pub fn verify(
     original: &Graph,
     compiled: &CompiledSchedule,
@@ -286,11 +424,35 @@ pub fn verify(
         return Err(VerifyFailure::GraphMismatch);
     }
 
+    // 5. Capacity report replay: re-simulate the order under the claimed
+    //    capacity and require every claimed field — fits, feasibility,
+    //    spill, and the full traffic stats — to match. The fit/spill
+    //    checks are derived from the *recomputed* peak of check 2, never
+    //    the claimed one.
+    if let Some(report) = &compiled.capacity {
+        let traffic = replay_traffic(graph, order, report.capacity_bytes)?;
+        let rederived = CapacityReport {
+            capacity_bytes: report.capacity_bytes,
+            objective: report.objective,
+            fits: recomputed <= report.capacity_bytes,
+            feasible: traffic.is_some(),
+            spill_bytes: recomputed.saturating_sub(report.capacity_bytes),
+            traffic,
+        };
+        if *report != rederived {
+            return Err(VerifyFailure::CapacityMismatch {
+                claimed: *report,
+                recomputed: rederived,
+            });
+        }
+    }
+
     Ok(VerifiedCertificate {
         nodes: graph.len(),
         peak_bytes: recomputed,
         arena_bytes: compiled.arena.as_ref().map(|p| p.arena_bytes),
         rewrites_replayed: compiled.rewrites.len(),
+        capacity: compiled.capacity,
     })
 }
 
@@ -463,9 +625,77 @@ mod tests {
             peak_bytes: 128,
             arena_bytes: Some(160),
             rewrites_replayed: 1,
+            capacity: None,
         };
         let json = serde_json::to_string(&cert).unwrap();
         let back: VerifiedCertificate = serde_json::from_str(&json).unwrap();
         assert_eq!(cert, back);
+    }
+
+    /// Only one topological order exists, the peak is 576 and the largest
+    /// working set is 512, so capacity 520 is feasible-but-spilling no
+    /// matter what the pipeline does.
+    fn spilling_compile() -> (Graph, CompiledSchedule) {
+        let mut g = Graph::new("reuse");
+        let a = g.add_opaque("a", 64, &[]).unwrap();
+        let b = g.add_opaque("b", 256, &[a]).unwrap();
+        let c = g.add_opaque("c", 256, &[b]).unwrap();
+        let d = g.add_opaque("d", 64, &[c, a]).unwrap();
+        g.mark_output(d);
+        let compiled = Serenity::builder()
+            .capacity_target(crate::capacity::CapacityTarget::min_traffic(520))
+            .build()
+            .compile(&g)
+            .unwrap();
+        (g, compiled)
+    }
+
+    #[test]
+    fn capacity_reports_certify_and_flow_into_the_certificate() {
+        for objective_fit in [true, false] {
+            for g in sample_graphs(3) {
+                let base = compile(&g);
+                let target = if objective_fit {
+                    crate::capacity::CapacityTarget::fit(base.peak_bytes)
+                } else {
+                    crate::capacity::CapacityTarget::min_traffic(base.peak_bytes)
+                };
+                let compiled = Serenity::builder()
+                    .allocator(Some(Strategy::GreedyBySize))
+                    .capacity_target(target)
+                    .build()
+                    .compile(&g)
+                    .unwrap();
+                let report = compiled.capacity.expect("capacity target set");
+                assert!(report.fits, "capacity == peak-only peak must fit");
+                let cert = verify(&g, &compiled).expect("capacity compile must certify");
+                assert_eq!(cert.capacity, compiled.capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn under_claimed_traffic_is_rejected() {
+        let (g, compiled) = spilling_compile();
+        let report = compiled.capacity.expect("capacity target set");
+        assert!(!report.fits && report.total_traffic() > 0, "must actually spill: {report:?}");
+        verify(&g, &compiled).expect("honest spilling report must certify");
+
+        let mut tampered = compiled.clone();
+        if let Some(t) = tampered.capacity.as_mut().and_then(|r| r.traffic.as_mut()) {
+            t.bytes_in = 0; // "our schedule moves less data than it does"
+        }
+        assert!(matches!(verify(&g, &tampered), Err(VerifyFailure::CapacityMismatch { .. })));
+    }
+
+    #[test]
+    fn fabricated_fits_are_rejected() {
+        let (g, compiled) = spilling_compile();
+        let mut tampered = compiled.clone();
+        if let Some(r) = tampered.capacity.as_mut() {
+            r.fits = true;
+            r.spill_bytes = 0;
+        }
+        assert!(matches!(verify(&g, &tampered), Err(VerifyFailure::CapacityMismatch { .. })));
     }
 }

@@ -12,8 +12,9 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serenity_core::backend::{CancelToken, CompileContext, CompileOptions, SchedulerBackend};
+use serenity_core::capacity::CapacityTarget;
 use serenity_core::pipeline::Serenity;
-use serenity_core::registry::BackendRegistry;
+use serenity_core::registry::{BackendRegistry, PortfolioBackend};
 use serenity_core::ScheduleError;
 use serenity_ir::random_dag::{hourglass_stack, independent_branches, random_dag, RandomDagConfig};
 use serenity_ir::{mem, topo, Graph};
@@ -164,6 +165,68 @@ fn mid_flight_cancellation_interrupts_the_dp_inner_loop() {
             assert!(topo::is_order(&graph, &outcome.schedule.order));
         }
         Err(other) => panic!("expected Cancelled or success, got {other:?}"),
+    }
+}
+
+#[test]
+fn capacity_targets_preserve_validity_and_determinism() {
+    // A CapacityTarget on the compile context must not change the backend
+    // contract: complete topological orders, and the same bits on every
+    // run. Both objectives are exercised — `fit` annotates only, while
+    // `min_traffic` below the baseline peak actively steers the portfolio.
+    for graph in conformance_graphs() {
+        let baseline =
+            mem::peak_bytes(&graph, &topo::kahn(&graph)).expect("conformance graphs profile");
+        for target in
+            [CapacityTarget::fit(baseline), CapacityTarget::min_traffic(baseline * 3 / 4 + 1)]
+        {
+            let ctx = CompileContext::new(CompileOptions::new().capacity_target(target));
+            for (name, backend) in each_backend() {
+                let first = backend
+                    .schedule(&graph, &ctx)
+                    .unwrap_or_else(|e| panic!("{name} failed on {graph} under {target:?}: {e}"));
+                assert_eq!(
+                    first.schedule.order.len(),
+                    graph.len(),
+                    "{name} dropped nodes under {target:?}"
+                );
+                assert!(
+                    topo::is_order(&graph, &first.schedule.order),
+                    "{name} returned a non-topological order under {target:?}"
+                );
+                let second = backend.schedule(&graph, &ctx).expect(&name);
+                assert_eq!(
+                    first.schedule, second.schedule,
+                    "{name} is nondeterministic under {target:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn raced_portfolio_matches_serial_under_min_traffic() {
+    // The acceptance criterion for capacity-aware racing: the raced
+    // portfolio must be bit-identical to the serial one even while the
+    // lexicographic (fits, traffic, peak) rank decides the winner.
+    for graph in conformance_graphs() {
+        let baseline =
+            mem::peak_bytes(&graph, &topo::kahn(&graph)).expect("conformance graphs profile");
+        let target = CapacityTarget::min_traffic(baseline * 3 / 4 + 1);
+        let ctx = CompileContext::new(CompileOptions::new().capacity_target(target));
+        let serial = PortfolioBackend::standard()
+            .schedule(&graph, &ctx)
+            .expect("serial portfolio schedules");
+        for threads in [2usize, 4] {
+            let raced = PortfolioBackend::standard()
+                .threads(threads)
+                .schedule(&graph, &ctx)
+                .expect("raced portfolio schedules");
+            assert_eq!(
+                serial.schedule, raced.schedule,
+                "raced portfolio ({threads} threads) diverged from serial on {graph}"
+            );
+        }
     }
 }
 

@@ -10,11 +10,15 @@
 //! 2. **Pipeline certification**: full pipeline compiles — across
 //!    cached/uncached and 1-/2-thread axes — all pass
 //!    [`serenity_core::verify::verify`] and replay bit-identically.
-//! 3. **Mutation rejection**: every seeded corruption of a certified
+//! 3. **Capacity differential**: compiles under random
+//!    [`CapacityTarget`]s carry a [`CapacityReport`] that must equal both
+//!    a direct `serenity_memsim` simulation of the compiled order and the
+//!    verifier's own independent trace replay.
+//! 4. **Mutation rejection**: every seeded corruption of a certified
 //!    result (reordered schedule, wrong peak, overlapping / out-of-arena
 //!    offsets, tampered live ranges or arena size, fabricated or dropped
-//!    rewrites) is rejected by the verifier. A single surviving mutant
-//!    fails the run.
+//!    rewrites, under-claimed traffic, fabricated capacity fits) is
+//!    rejected by the verifier. A single surviving mutant fails the run.
 //!
 //! The corpus is reproducible: `SERENITY_FUZZ_SEED` picks the seed
 //! (default 42) and `SERENITY_FUZZ_CASES` bounds the number of generated
@@ -28,12 +32,14 @@ use rand::{Rng, SeedableRng};
 use serenity_allocator::Strategy;
 use serenity_core::backend::{CompileContext, SchedulerBackend};
 use serenity_core::cache::CompileCache;
+use serenity_core::capacity::CapacityTarget;
 use serenity_core::dp::DpConfig;
 use serenity_core::pipeline::{CompiledSchedule, RewriteMode, Serenity};
 use serenity_core::registry::BackendRegistry;
 use serenity_core::verify::{verify, VerifyFailure};
 use serenity_ir::random_dag::{random_dag, RandomDagConfig};
 use serenity_ir::{mem, topo, DType, Graph, GraphBuilder, Padding};
+use serenity_memsim::{simulate, MemSimError, Policy};
 
 /// Backends whose schedules are provably optimal: their peaks must agree.
 const EXACT: &[&str] = &["dp", "adaptive", "brute-force"];
@@ -88,8 +94,13 @@ fn rewritable_cell() -> Graph {
 }
 
 fn compile_with_arena(graph: &Graph) -> CompiledSchedule {
+    // Capacity at ~¾ of the Kahn baseline peak: usually feasible but
+    // spilling, so the capacity mutation classes (10, 11) apply to most of
+    // the corpus.
+    let baseline = mem::peak_bytes(graph, &topo::kahn(graph)).expect("corpus graphs profile");
     Serenity::builder()
         .allocator(Some(Strategy::GreedyBySize))
+        .capacity_target(CapacityTarget::min_traffic(baseline * 3 / 4 + 1))
         .build()
         .compile(graph)
         .unwrap_or_else(|e| panic!("seed {}: {} failed to compile: {e}", seed(), graph.name()))
@@ -231,6 +242,67 @@ fn pipeline_compiles_certify_across_cache_and_thread_axes() {
     }
 }
 
+#[test]
+fn capacity_reports_match_independent_simulation() {
+    let mut rng = StdRng::seed_from_u64(seed() ^ 0x6361_7061_6369_7479);
+    for graph in corpus() {
+        let baseline = mem::peak_bytes(&graph, &topo::kahn(&graph)).expect("corpus graphs profile");
+        for _ in 0..2 {
+            // Capacities span deeply infeasible through comfortably fitting.
+            let capacity = rng.gen_range(1..=baseline.saturating_mul(2));
+            let target = if rng.gen_bool(0.5) {
+                CapacityTarget::fit(capacity)
+            } else {
+                CapacityTarget::min_traffic(capacity)
+            };
+            let compiled = Serenity::builder()
+                .allocator(Some(Strategy::GreedyBySize))
+                .capacity_target(target)
+                .build()
+                .compile(&graph)
+                .unwrap_or_else(|e| panic!("seed {}: {graph} at capacity {capacity}: {e}", seed()));
+            let report = compiled.capacity.unwrap_or_else(|| {
+                panic!("seed {}: {graph} compiled without a capacity report", seed())
+            });
+            assert_eq!(report.capacity_bytes, capacity);
+            assert_eq!(report.objective, target.objective);
+
+            // Oracle 1: the claimed report must equal a direct memsim run
+            // over the compiled order.
+            let peak = mem::peak_bytes(&compiled.graph, &compiled.schedule.order)
+                .expect("compiled orders profile");
+            assert_eq!(report.fits, peak <= capacity, "seed {}: {graph} fits bit", seed());
+            assert_eq!(report.spill_bytes, peak.saturating_sub(capacity));
+            match simulate(&compiled.graph, &compiled.schedule.order, capacity, Policy::Belady) {
+                Ok(stats) => {
+                    assert!(report.feasible);
+                    assert_eq!(
+                        report.traffic,
+                        Some(stats),
+                        "seed {}: {graph} traffic diverged from direct simulation",
+                        seed()
+                    );
+                }
+                Err(MemSimError::WorkingSetTooLarge { .. }) => {
+                    assert!(
+                        !report.feasible && report.traffic.is_none(),
+                        "seed {}: {graph} claimed feasible but a working set overflows",
+                        seed()
+                    );
+                }
+                Err(e) => panic!("seed {}: {graph} simulation failed: {e}", seed()),
+            }
+
+            // Oracle 2: the verifier's own trace replay agrees, and the
+            // report flows into the certificate.
+            let cert = verify(&graph, &compiled).unwrap_or_else(|e| {
+                panic!("seed {}: {graph} at capacity {capacity} failed certification: {e}", seed())
+            });
+            assert_eq!(cert.capacity, compiled.capacity);
+        }
+    }
+}
+
 /// One seeded corruption of a certified compile. Returns the mutant and a
 /// label for failure messages.
 fn mutate(
@@ -337,6 +409,26 @@ fn mutate(
             m.rewrites.clear();
             Some((m, "dropped rewrite log"))
         }
+        // Capacity corruption: under-claim the traffic the schedule pays.
+        10 => {
+            let traffic = m.capacity.as_mut()?.traffic.as_mut()?;
+            if traffic.total_traffic() == 0 {
+                return None;
+            }
+            traffic.bytes_in = 0;
+            traffic.bytes_out = 0;
+            Some((m, "under-claimed traffic"))
+        }
+        // Capacity corruption: claim a spilling schedule fits on-chip.
+        11 => {
+            let report = m.capacity.as_mut()?;
+            if report.fits {
+                return None;
+            }
+            report.fits = true;
+            report.spill_bytes = 0;
+            Some((m, "fabricated fits"))
+        }
         _ => unreachable!("unknown mutation class"),
     }
 }
@@ -348,6 +440,7 @@ fn every_seeded_mutant_is_rejected() {
     graphs.push(rewritable_cell());
     let mut tried = 0usize;
     let mut skipped = 0usize;
+    let mut capacity_tried = 0usize;
     for graph in &graphs {
         let base = if graph.name().contains("rewrite") {
             // Force the rewrite so mutation class 9 has a log to drop.
@@ -361,12 +454,15 @@ fn every_seeded_mutant_is_rejected() {
             compile_with_arena(graph)
         };
         verify(graph, &base).expect("the uncorrupted compile must certify");
-        for class in 0..10 {
+        for class in 0..12 {
             let Some((mutant, label)) = mutate(&base, class, &mut rng) else {
                 skipped += 1;
                 continue;
             };
             tried += 1;
+            if class >= 10 {
+                capacity_tried += 1;
+            }
             match verify(graph, &mutant) {
                 Err(_) => {}
                 Ok(cert) => panic!(
@@ -384,6 +480,11 @@ fn every_seeded_mutant_is_rejected() {
         "only {tried} mutants generated across {} graphs ({skipped} skipped) — \
          the corpus is too degenerate to mean anything",
         graphs.len()
+    );
+    assert!(
+        capacity_tried >= 2,
+        "only {capacity_tried} capacity mutants generated — no corpus graph spills \
+         at ¾ of its baseline peak, so classes 10/11 went untested"
     );
 }
 
@@ -414,4 +515,15 @@ fn rejection_reasons_are_the_expected_classes() {
 
     let (fabricated, _) = mutate(&base, 8, &mut rng).expect("rewrite fabrication always applies");
     assert!(matches!(verify(&graph, &fabricated), Err(VerifyFailure::RewriteReplay { .. })));
+
+    if let Some((under_claimed, _)) = mutate(&base, 10, &mut rng) {
+        assert!(matches!(
+            verify(&graph, &under_claimed),
+            Err(VerifyFailure::CapacityMismatch { .. })
+        ));
+    }
+
+    if let Some((fake_fit, _)) = mutate(&base, 11, &mut rng) {
+        assert!(matches!(verify(&graph, &fake_fit), Err(VerifyFailure::CapacityMismatch { .. })));
+    }
 }

@@ -189,13 +189,17 @@ fn choose_victim(
         .filter(|(_, r)| !working.contains(&r.tensor) && r.size > 0)
         .max_by_key(|(_, r)| match policy {
             // Furthest next use wins; tensors never used again (or only as
-            // final outputs) are ideal victims.
+            // final outputs) are ideal victims. The tensor id is the final
+            // tie-break so the victim is a function of the trace alone —
+            // never of the (swap_remove-permuted) residency order — which
+            // is what lets an independent replay reproduce these choices
+            // exactly.
             Policy::Belady => {
                 let next = trace.next_use_after(r.tensor, step).unwrap_or(usize::MAX);
-                (next, usize::MAX - r.last_access)
+                (next, usize::MAX - r.last_access, r.tensor.index())
             }
-            Policy::Lru => (usize::MAX - r.last_access, 0),
-            Policy::Fifo => (usize::MAX - r.inserted_at, 0),
+            Policy::Lru => (usize::MAX - r.last_access, r.tensor.index(), 0),
+            Policy::Fifo => (usize::MAX - r.inserted_at, r.tensor.index(), 0),
         })
         .map(|(i, _)| i)
 }

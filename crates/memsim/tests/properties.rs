@@ -1,0 +1,221 @@
+//! Property tests for the memory-hierarchy simulator over seeded random DAGs.
+//!
+//! These pin the invariants the capacity-constrained compile mode in
+//! `serenity-core` relies on:
+//!
+//! 1. off-chip traffic is monotone non-increasing in capacity,
+//! 2. traffic is zero exactly when the capacity covers the schedule peak
+//!    (dead tensors are freed eagerly, so the resident set is the live set),
+//! 3. `sweep_capacities` points each equal a direct `simulate` call,
+//! 4. `simulate_blocked` at block-size 1 agrees with whole-tensor `simulate`
+//!    in the zero-traffic regime and never pays *more* traffic elsewhere
+//!    (single-byte blocks evict exactly the bytes needed, whole-tensor
+//!    eviction may over-evict).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serenity_ir::random_dag::{random_dag, RandomDagConfig};
+use serenity_ir::{mem, topo, Graph, NodeId};
+use serenity_memsim::{simulate, simulate_blocked, sweep_capacities, MemSimError, Policy};
+
+/// Seeded corpus: a spread of shapes and tensor-size ranges.
+fn corpus() -> Vec<(Graph, Vec<NodeId>)> {
+    let configs = [
+        RandomDagConfig {
+            nodes: 6,
+            edge_prob: 0.4,
+            min_bytes: 8,
+            max_bytes: 64,
+            ..Default::default()
+        },
+        RandomDagConfig {
+            nodes: 12,
+            edge_prob: 0.25,
+            min_bytes: 1,
+            max_bytes: 128,
+            ..Default::default()
+        },
+        RandomDagConfig {
+            nodes: 18,
+            edge_prob: 0.2,
+            min_bytes: 16,
+            max_bytes: 256,
+            ..Default::default()
+        },
+        RandomDagConfig {
+            nodes: 24,
+            edge_prob: 0.15,
+            min_bytes: 4,
+            max_bytes: 96,
+            ..Default::default()
+        },
+    ];
+    let mut cases = Vec::new();
+    for (i, config) in configs.iter().enumerate() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(0x5EED_0000 + (i as u64) * 100 + seed);
+            let g = random_dag(config, &mut rng);
+            let order = topo::kahn(&g);
+            cases.push((g, order));
+        }
+    }
+    cases
+}
+
+/// Capacity grid for a schedule: fractions of the peak plus the exact peak
+/// and a comfortable margin above it.
+fn capacity_grid(peak: u64) -> Vec<u64> {
+    let mut caps: Vec<u64> = [
+        peak / 8,
+        peak / 4,
+        peak / 2,
+        (peak * 3) / 4,
+        peak.saturating_sub(1),
+        peak,
+        peak + 1,
+        peak * 2,
+    ]
+    .into_iter()
+    .filter(|&c| c > 0)
+    .collect();
+    caps.sort_unstable();
+    caps.dedup();
+    caps
+}
+
+#[test]
+fn traffic_is_monotone_non_increasing_in_capacity() {
+    for (policy, g, order) in corpus().into_iter().flat_map(|(g, order)| {
+        [Policy::Belady, Policy::Lru, Policy::Fifo]
+            .into_iter()
+            .map(move |p| (p, g.clone(), order.clone()))
+    }) {
+        let peak = mem::peak_bytes(&g, &order).unwrap();
+        let mut prev: Option<(u64, u64)> = None; // (capacity, traffic)
+        for cap in capacity_grid(peak) {
+            let stats = match simulate(&g, &order, cap, policy) {
+                Ok(s) => s,
+                // Feasibility depends only on working sets, not on the
+                // replacement policy, so infeasible points form a prefix of
+                // the sorted grid.
+                Err(MemSimError::WorkingSetTooLarge { .. }) => {
+                    assert!(prev.is_none(), "feasibility must be monotone in capacity");
+                    continue;
+                }
+                Err(e) => panic!("unexpected simulate error: {e}"),
+            };
+            if let Some((pcap, ptraffic)) = prev {
+                assert!(
+                    stats.total_traffic() <= ptraffic,
+                    "{policy} traffic rose from {ptraffic} at capacity {pcap} to {} at {cap} (graph {}, peak {peak})",
+                    stats.total_traffic(),
+                    g.name(),
+                );
+            }
+            prev = Some((cap, stats.total_traffic()));
+        }
+    }
+}
+
+#[test]
+fn traffic_is_zero_iff_capacity_covers_the_peak() {
+    for (g, order) in corpus() {
+        let peak = mem::peak_bytes(&g, &order).unwrap();
+        for cap in capacity_grid(peak) {
+            let stats = match simulate(&g, &order, cap, Policy::Belady) {
+                Ok(s) => s,
+                Err(MemSimError::WorkingSetTooLarge { .. }) => continue,
+                Err(e) => panic!("unexpected simulate error: {e}"),
+            };
+            if cap >= peak {
+                assert_eq!(
+                    stats.total_traffic(),
+                    0,
+                    "capacity {cap} >= peak {peak} must induce zero traffic"
+                );
+                assert_eq!(stats.evictions, 0);
+            } else {
+                // Dead tensors are freed eagerly, so the resident set is the
+                // live set: a capacity below the peak *must* evict live data
+                // and pay for it. The capacity-aware scheduler's pruning
+                // rules ("only zero-traffic incumbents bound the peak axis")
+                // depend on this equivalence.
+                assert!(
+                    stats.total_traffic() > 0,
+                    "capacity {cap} < peak {peak} must induce traffic"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_points_match_direct_simulation() {
+    for (g, order) in corpus() {
+        let peak = mem::peak_bytes(&g, &order).unwrap();
+        let caps = capacity_grid(peak);
+        for policy in [Policy::Belady, Policy::Lru, Policy::Fifo] {
+            let sweep = sweep_capacities(&g, &order, &caps, policy).unwrap();
+            assert_eq!(sweep.len(), caps.len());
+            for (cap, swept) in sweep {
+                match simulate(&g, &order, cap, policy) {
+                    Ok(direct) => assert_eq!(
+                        swept,
+                        Some(direct),
+                        "sweep point at capacity {cap} diverges from direct simulate"
+                    ),
+                    Err(MemSimError::WorkingSetTooLarge { .. }) => {
+                        assert_eq!(swept, None, "sweep must mark capacity {cap} infeasible")
+                    }
+                    Err(e) => panic!("unexpected simulate error: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_simulation_agrees_at_block_size_one() {
+    for (g, order) in corpus() {
+        let peak = mem::peak_bytes(&g, &order).unwrap();
+        for cap in capacity_grid(peak) {
+            let whole = simulate(&g, &order, cap, Policy::Belady);
+            let blocked = simulate_blocked(&g, &order, cap, 1, Policy::Belady);
+            match (whole, blocked) {
+                (Ok(w), Ok(b)) => {
+                    if cap >= peak {
+                        // Zero-traffic regime: exact agreement.
+                        assert_eq!(w.total_traffic(), 0);
+                        assert_eq!(
+                            b.total_traffic(),
+                            0,
+                            "blocked at capacity {cap} >= peak {peak}"
+                        );
+                    } else {
+                        // Byte-granular eviction is a refinement: it evicts
+                        // exactly the bytes needed where the whole-tensor
+                        // model may over-evict, so it never pays more.
+                        assert!(
+                            b.total_traffic() <= w.total_traffic(),
+                            "blocked traffic {} exceeds whole-tensor traffic {} at capacity {cap}",
+                            b.total_traffic(),
+                            w.total_traffic(),
+                        );
+                    }
+                }
+                // The blocked model streams block by block, so it stays
+                // feasible below the whole-tensor working-set floor; it only
+                // refuses capacities that cannot hold two blocks (< 2 bytes
+                // at block size 1).
+                (Err(MemSimError::WorkingSetTooLarge { .. }), Ok(_)) => {}
+                (
+                    Err(MemSimError::WorkingSetTooLarge { .. }),
+                    Err(MemSimError::WorkingSetTooLarge { .. }),
+                ) if cap < 2 => {}
+                (w, b) => {
+                    panic!("feasibility disagreement at capacity {cap}: whole={w:?} blocked={b:?}")
+                }
+            }
+        }
+    }
+}

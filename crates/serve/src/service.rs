@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use serenity_core::backend::SchedulerBackend;
+use serenity_core::capacity::{CapacityObjective, CapacityTarget};
 use serenity_core::pipeline::{CompiledSchedule, ResilientCompile, Serenity, SerenityBuilder};
 use serenity_core::{
     CacheStats, CancelToken, CompileCache, FaultPlan, PersistReport, ScheduleError,
@@ -325,6 +326,10 @@ struct CompiledPayload {
     /// for requests that asked (`?verify=1`), so healthy responses stay
     /// byte-identical either way.
     verification_json: String,
+    /// Pre-serialized capacity summary, present only when the request
+    /// carried `?capacity=`. `None` keeps unconstrained responses
+    /// byte-identical to a service that never heard of capacities.
+    capacity_json: Option<String>,
 }
 
 /// A deterministic compile failure, shared across coalesced waiters (all
@@ -500,15 +505,62 @@ impl CompileService {
             (Some(asked), Some(cap)) => Some(asked.min(cap)),
             (asked, cap) => asked.or(cap),
         };
+        // `?capacity=N` constrains the compile to an on-chip capacity;
+        // `&objective=traffic` additionally re-ranks candidate schedules by
+        // (fits, off-chip traffic, peak).
+        let capacity_bytes = match request.query_param("capacity") {
+            None => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(bytes) if bytes > 0 => Some(bytes),
+                _ => {
+                    return Some(Response::error(
+                        400,
+                        ErrorKind::Parse,
+                        &format!("bad capacity value: {raw}"),
+                    ))
+                }
+            },
+        };
+        let objective = match request.query_param("objective") {
+            None => CapacityObjective::Fit,
+            Some("fit") => CapacityObjective::Fit,
+            Some("traffic") => CapacityObjective::MinTraffic,
+            Some(other) => {
+                return Some(Response::error(
+                    400,
+                    ErrorKind::Parse,
+                    &format!("bad objective value: {other} (expected fit or traffic)"),
+                ))
+            }
+        };
+        if capacity_bytes.is_none() && request.query_param("objective").is_some() {
+            return Some(Response::error(
+                400,
+                ErrorKind::Parse,
+                "objective= steers the capacity constraint and needs capacity=",
+            ));
+        }
+        let capacity =
+            capacity_bytes.map(|bytes| CapacityTarget { capacity_bytes: bytes, objective });
 
         // Flight identity = cache identity: backend configuration ×
         // structural fingerprint. Deadlines are deliberately *not* part of
         // the key — coalescing ignores them, and each request enforces its
         // own bound while waiting. The search budget IS mixed in: a budget
         // changes whether the search is allowed to finish, so requests
-        // under different budgets must not share a failure.
+        // under different budgets must not share a failure. Capacity
+        // targets are also mixed in — even a non-steering `fit` target
+        // changes the response meta, so it must never coalesce with an
+        // unconstrained request (the steering salt alone would miss that).
+        let capacity_key = capacity.map_or(0, |t| {
+            t.capacity_bytes.rotate_left(23)
+                ^ t.cache_salt()
+                ^ (u64::from(t.steers_search()) << 1 | 1)
+        });
         let key = flight_key(
-            self.backend_key ^ budget.map_or(0, |b| b.wrapping_add(1).rotate_left(17)),
+            self.backend_key
+                ^ budget.map_or(0, |b| b.wrapping_add(1).rotate_left(17))
+                ^ capacity_key,
             serenity_ir::fingerprint::fingerprint(&graph),
         );
 
@@ -526,6 +578,9 @@ impl CompileService {
                 }
                 if let Some(bytes) = budget {
                     pipeline = pipeline.memory_budget(bytes);
+                }
+                if let Some(target) = capacity {
+                    pipeline = pipeline.capacity_target(target);
                 }
                 match pipeline.build().compile_resilient(&graph) {
                     Ok(resilient) => {
@@ -576,6 +631,7 @@ impl CompileService {
                             self.robustness.degraded.fetch_add(1, Ordering::Relaxed);
                             degradation_provenance(fallback_backend.as_deref(), &attempts)
                         });
+                        let capacity_json = compiled.capacity.map(|r| capacity_summary(&r));
                         Work::Done(Ok(Arc::new(CompiledPayload {
                             result_json,
                             cache_hits: compiled.stats.cache_hits,
@@ -584,6 +640,7 @@ impl CompileService {
                                 .unwrap_or(u64::MAX),
                             degradation_json,
                             verification_json,
+                            capacity_json,
                         })))
                     }
                     // This request's own lifecycle ended: vacate the
@@ -691,6 +748,15 @@ impl CompileService {
             meta.truncate(meta.len() - 1);
             meta.push_str(",\"degraded\":true,\"degradation\":");
             meta.push_str(degradation);
+            meta.push('}');
+        }
+        // The capacity summary is spliced in exactly when the compile ran
+        // under `?capacity=` (the flight key guarantees constrained and
+        // unconstrained requests never share a payload).
+        if let Some(capacity) = &payload.capacity_json {
+            meta.truncate(meta.len() - 1);
+            meta.push_str(",\"capacity\":");
+            meta.push_str(capacity);
             meta.push('}');
         }
         // The certificate is spliced in ONLY when this request asked for
@@ -869,6 +935,31 @@ fn degradation_provenance(
         attempts: attempts.to_vec(),
     })
     .expect("degradation provenance serializes")
+}
+
+/// Serializes the `meta.capacity` summary from the pipeline's verified
+/// [`CapacityReport`](serenity_core::capacity::CapacityReport): whether the
+/// schedule fits, how far it spills, and the total off-chip traffic it
+/// would pay (`null` when a single working set exceeds the capacity).
+fn capacity_summary(report: &serenity_core::capacity::CapacityReport) -> String {
+    #[derive(Serialize)]
+    struct CapacitySummary {
+        capacity_bytes: u64,
+        objective: String,
+        fits: bool,
+        feasible: bool,
+        spill_bytes: u64,
+        traffic: Option<u64>,
+    }
+    serde_json::to_string(&CapacitySummary {
+        capacity_bytes: report.capacity_bytes,
+        objective: report.objective.to_string(),
+        fits: report.fits,
+        feasible: report.feasible,
+        spill_bytes: report.spill_bytes,
+        traffic: report.traffic.map(|t| t.total_traffic()),
+    })
+    .expect("capacity summary serializes")
 }
 
 /// Mixes the backend identity with the graph fingerprint (splitmix64
@@ -1199,6 +1290,53 @@ mod tests {
         let unverified: serde_json::Value = serde_json::from_str(&response.body).unwrap();
         assert!(unverified["meta"].get("verification").is_none(), "{}", response.body);
         assert_eq!(unverified["result"], parsed["result"]);
+    }
+
+    #[test]
+    fn capacity_param_attaches_capacity_meta() {
+        let svc = service();
+        let graph = demo_graph(4);
+
+        // A 1-byte capacity: nothing fits, and traffic is null because
+        // even a single working set overflows.
+        let response =
+            svc.handle(&post_compile(&to_json(&graph), "capacity=1"), &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        let capacity = &parsed["meta"]["capacity"];
+        assert_eq!(capacity["capacity_bytes"].as_u64(), Some(1), "{}", response.body);
+        assert_eq!(capacity["fits"].as_bool(), Some(false));
+        assert_eq!(capacity["feasible"].as_bool(), Some(false));
+        assert!(capacity["traffic"].is_null());
+        assert!(capacity["spill_bytes"].as_u64().unwrap() > 0);
+
+        // A generous capacity under the traffic objective: fits, zero
+        // traffic, and the report names the objective.
+        let peak = parsed["result"]["peak_bytes"].as_u64().unwrap();
+        let query = format!("capacity={}&objective=traffic", peak * 2);
+        let response =
+            svc.handle(&post_compile(&to_json(&graph), &query), &CancelToken::new()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        let capacity = &parsed["meta"]["capacity"];
+        assert_eq!(capacity["objective"].as_str(), Some("traffic"));
+        assert_eq!(capacity["fits"].as_bool(), Some(true));
+        assert_eq!(capacity["traffic"].as_u64(), Some(0));
+
+        // Unconstrained responses carry no capacity key at all.
+        let response =
+            svc.handle(&post_compile(&to_json(&graph), ""), &CancelToken::new()).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&response.body).unwrap();
+        assert!(parsed["meta"].get("capacity").is_none(), "{}", response.body);
+
+        // Bad values are structured 400s.
+        for query in
+            ["capacity=0", "capacity=lots", "objective=traffic", "capacity=64&objective=maximal"]
+        {
+            let response =
+                svc.handle(&post_compile(&to_json(&graph), query), &CancelToken::new()).unwrap();
+            assert_eq!(response.status, 400, "query {query}: {}", response.body);
+        }
     }
 
     #[test]

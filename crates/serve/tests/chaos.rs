@@ -402,6 +402,76 @@ fn injected_budget_exhaustion_degrades_to_a_verified_answer() {
 }
 
 #[test]
+fn budget_exhaustion_under_a_capacity_target_still_serves_a_certified_annotated_answer() {
+    // Two stressors at once: an injected budget trip on the primary rung
+    // AND a capacity-constrained compile under the traffic objective. The
+    // ladder must still serve — degraded, carrying BOTH a passing
+    // certificate and the capacity annotation — with the process alive.
+    let plan = FaultPlan::parse("budget-exhaust=1", seed()).unwrap();
+    let kahn = BackendRegistry::standard().create("kahn").unwrap();
+    let (server, _service) = spawn(
+        ServiceConfig {
+            fault: Some(Arc::new(plan)),
+            fallback: vec![kahn],
+            ..ServiceConfig::default()
+        },
+        2,
+    );
+    let addr = server.addr().to_string();
+
+    // A 1 KiB capacity is far below any cell's peak: the answer spills.
+    let (status, body) = roundtrip(
+        &addr,
+        &post("/compile?verify=1&capacity=1024&objective=traffic", &to_json(&cell(6))),
+    );
+    assert_eq!(status, 200, "ladder did not absorb the budget trip: {body}");
+    let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(parsed["meta"]["degraded"].as_bool(), Some(true), "{body}");
+    assert!(
+        parsed["meta"]["degradation"]["attempts"][0]["error"]
+            .as_str()
+            .unwrap_or("")
+            .contains("exceeded the budget"),
+        "first attempt should record the budget exhaustion: {body}"
+    );
+    // The degraded answer is still independently certified — including the
+    // capacity report, which verify() recomputes from its own trace replay.
+    let cert = &parsed["meta"]["verification"];
+    assert_eq!(
+        cert["peak_bytes"].as_u64(),
+        parsed["result"]["peak_bytes"].as_u64(),
+        "degraded answer must carry a passing certificate: {body}"
+    );
+    assert_eq!(
+        cert["capacity"]["capacity_bytes"].as_u64(),
+        Some(1024),
+        "certificate must carry the verified capacity report: {body}"
+    );
+    // And the capacity annotation is in the response meta.
+    let capacity = &parsed["meta"]["capacity"];
+    assert_eq!(capacity["capacity_bytes"].as_u64(), Some(1024), "{body}");
+    assert_eq!(capacity["objective"].as_str(), Some("traffic"), "{body}");
+    assert_eq!(capacity["fits"].as_bool(), Some(false), "a 1 KiB capacity cannot fit: {body}");
+    assert!(capacity["spill_bytes"].as_u64().unwrap() > 0, "{body}");
+
+    // The process is alive and keeps serving healthy capacity compiles.
+    let (status, body) =
+        roundtrip(&addr, &post("/compile?capacity=1024&objective=traffic", &to_json(&cell(10))));
+    assert_eq!(status, 200, "{body}");
+    let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(parsed["meta"].get("degraded").is_none(), "fault exhausted: {body}");
+    assert!(parsed["meta"]["capacity"]["capacity_bytes"].as_u64().is_some(), "{body}");
+
+    let status = status_json(&addr);
+    assert!(status["robustness"]["budget_exhausted"].as_u64().unwrap() >= 1, "{status:?}");
+    assert_eq!(status["robustness"]["degraded_responses"].as_u64(), Some(1));
+    assert_eq!(status["robustness"]["verification_failures"].as_u64(), Some(0));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn a_real_budget_smaller_than_the_search_needs_degrades_but_stays_alive() {
     // No injection here: a genuinely starved search budget (1 byte) trips
     // live accounting inside the DP/beam engines. The ladder's kahn rung
